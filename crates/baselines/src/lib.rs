@@ -1,0 +1,29 @@
+//! # iva-baselines
+//!
+//! The comparison systems from the iVA-file evaluation (Sec. V of the
+//! paper), implemented from scratch over the same storage substrate so
+//! that every comparison isolates the indexing idea, not incidental
+//! engineering differences:
+//!
+//! - [`SiiIndex`] — the sparse inverted index of Yu et al. [7]: per
+//!   attribute, a list of tids that define it; content-free filtering.
+//! - [`DirectScan`] — DST: no index, full sequential scan with exact
+//!   distances.
+//! - [`VaFile`] — the classic full-dimensional VA-file [23] with the ndf
+//!   extension [24], included to demonstrate why the paper excludes it
+//!   (its size exceeds the table file on sparse wide data).
+//! - [`GramIndex`] — the n-gram inverted index of Li et al. [11] from the
+//!   related work: fast single-attribute threshold string search, but no
+//!   multi-attribute ranking — the gap the iVA-file fills.
+
+#![warn(missing_docs)]
+
+mod dst;
+mod gram_index;
+mod sii;
+mod vafile;
+
+pub use dst::{DirectScan, DstOutcome};
+pub use gram_index::{GramIndex, GramMatch};
+pub use sii::{SiiIndex, SiiOutcome};
+pub use vafile::{VaFile, VaOutcome};

@@ -1,0 +1,41 @@
+//! Fig. 11: standard deviation of per-query time vs values per query.
+//!
+//! Paper result: "the iVA-file also significantly improves the stability
+//! of single-query time" — SII's cost swings with how many tuples happen
+//! to define the queried attributes, while iVA's content filter keeps the
+//! candidate count (and hence the expensive random-access phase) small
+//! and steady.
+
+use iva_bench::{report, run_point, scale_config, System, TestBed};
+use iva_core::{IvaConfig, MetricKind, WeightScheme};
+
+fn main() {
+    let workload = scale_config();
+    let config = IvaConfig::default();
+    report::banner(
+        "Fig. 11",
+        "standard deviation of query time vs values per query",
+        &workload,
+        &config,
+    );
+    let bed = TestBed::new(&workload, config);
+    report::header(&[
+        "values/query",
+        "iVA std ms",
+        "SII std ms",
+        "iVA std/mean",
+        "SII std/mean",
+    ]);
+    for values in [1usize, 3, 5, 7, 9] {
+        let iva = run_point(&bed, System::Iva, values, 10, MetricKind::L2, WeightScheme::Equal);
+        let sii = run_point(&bed, System::Sii, values, 10, MetricKind::L2, WeightScheme::Equal);
+        report::row(&[
+            values.to_string(),
+            report::f(iva.std_ms),
+            report::f(sii.std_ms),
+            format!("{:.2}", iva.std_ms / iva.mean_ms.max(1e-9)),
+            format!("{:.2}", sii.std_ms / sii.mean_ms.max(1e-9)),
+        ]);
+    }
+    println!("\npaper: iVA per-query time is markedly more stable than SII");
+}

@@ -1,0 +1,48 @@
+//! Fig. 12: effect of k (top-k size) on query time, k ∈ {5, 10, 15, 20, 25}.
+//!
+//! Paper result: "The iVA-file surpasses the SII in query efficiency for
+//! all ks. And the slope of the iVA-file curve is smaller."
+
+use iva_bench::{report, run_point, scale_config, System, TestBed};
+use iva_core::{IvaConfig, MetricKind, WeightScheme};
+
+fn main() {
+    let workload = scale_config();
+    let config = IvaConfig::default();
+    report::banner("Fig. 12", "effect of k on query time", &workload, &config);
+    let bed = TestBed::new(&workload, config);
+    report::header(&[
+        "k",
+        "iVA wall ms",
+        "SII wall ms",
+        "iVA accesses",
+        "SII accesses",
+    ]);
+    let mut iva_first = 0.0;
+    let mut iva_last = 0.0;
+    let mut sii_first = 0.0;
+    let mut sii_last = 0.0;
+    for (i, k) in [5usize, 10, 15, 20, 25].into_iter().enumerate() {
+        let iva = run_point(&bed, System::Iva, 3, k, MetricKind::L2, WeightScheme::Equal);
+        let sii = run_point(&bed, System::Sii, 3, k, MetricKind::L2, WeightScheme::Equal);
+        if i == 0 {
+            iva_first = iva.mean_ms;
+            sii_first = sii.mean_ms;
+        }
+        iva_last = iva.mean_ms;
+        sii_last = sii.mean_ms;
+        report::row(&[
+            k.to_string(),
+            report::f(iva.mean_ms),
+            report::f(sii.mean_ms),
+            report::f(iva.table_accesses),
+            report::f(sii.table_accesses),
+        ]);
+    }
+    println!(
+        "\nslope (k=5 -> k=25): iVA {:+.1} ms, SII {:+.1} ms",
+        iva_last - iva_first,
+        sii_last - sii_first
+    );
+    println!("paper: iVA wins at every k and grows with a smaller slope");
+}

@@ -1,0 +1,33 @@
+//! Fig. 14: effect of the relative vector length α on overall iVA query
+//! time, α ∈ {10%, 15%, 20%, 25%, 30%}.
+//!
+//! Paper result: "The query efficiency reaches the best when α = 20%" —
+//! α tunes the trade-off between index-scan I/O and table-file random
+//! accesses.
+
+use iva_bench::{report, run_point, scale_config, System, TestBed};
+use iva_core::{IvaConfig, MetricKind, WeightScheme};
+
+fn main() {
+    let workload = scale_config();
+    report::banner(
+        "Fig. 14",
+        "effect of relative vector length alpha on iVA query time",
+        &workload,
+        &IvaConfig::default(),
+    );
+    report::header(&["alpha", "wall ms", "hdd ms", "index size MB", "accesses"]);
+    for alpha in [0.10f64, 0.15, 0.20, 0.25, 0.30] {
+        let config = IvaConfig { alpha, ..Default::default() };
+        let bed = TestBed::new(&workload, config);
+        let iva = run_point(&bed, System::Iva, 3, 10, MetricKind::L2, WeightScheme::Equal);
+        report::row(&[
+            format!("{:.0}%", alpha * 100.0),
+            report::f(iva.mean_ms),
+            report::f(iva.modeled_ms),
+            format!("{:.2}", bed.iva.size_bytes() as f64 / (1024.0 * 1024.0)),
+            report::f(iva.table_accesses),
+        ]);
+    }
+    println!("\npaper: a U-shaped curve with the optimum near alpha = 20%");
+}

@@ -1,0 +1,32 @@
+//! Fig. 15: filtering vs refining time per query across α.
+//!
+//! Paper result: "the filtering time keeps growing with longer vectors,
+//! while the refining time drops steadily" — the two halves of the
+//! trade-off Fig. 14 sums.
+
+use iva_bench::{report, run_point, scale_config, System, TestBed};
+use iva_core::{IvaConfig, MetricKind, WeightScheme};
+
+fn main() {
+    let workload = scale_config();
+    report::banner(
+        "Fig. 15",
+        "iVA filtering vs refining time across alpha",
+        &workload,
+        &IvaConfig::default(),
+    );
+    report::header(&["alpha", "filter ms", "refine ms", "accesses", "index MB"]);
+    for alpha in [0.10f64, 0.15, 0.20, 0.25, 0.30] {
+        let config = IvaConfig { alpha, ..Default::default() };
+        let bed = TestBed::new(&workload, config);
+        let iva = run_point(&bed, System::Iva, 3, 10, MetricKind::L2, WeightScheme::Equal);
+        report::row(&[
+            format!("{:.0}%", alpha * 100.0),
+            report::f(iva.filter_ms),
+            report::f(iva.refine_ms),
+            report::f(iva.table_accesses),
+            format!("{:.2}", bed.iva.size_bytes() as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    println!("\npaper: filter time grows with alpha while refine time falls");
+}

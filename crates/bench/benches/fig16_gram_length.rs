@@ -1,0 +1,33 @@
+//! Fig. 16: effect of the gram length n ∈ {2, 3, 4, 5} on iVA query time.
+//!
+//! Paper result: "the average time of processing one query keeps growing
+//! as n grows. So n = 2 is a good choice for short text." Longer grams
+//! inflate the gram count per string (|s| + n − 1), hence longer
+//! signatures at fixed α and weaker per-gram selectivity on short strings.
+
+use iva_bench::{report, run_point, scale_config, System, TestBed};
+use iva_core::{IvaConfig, MetricKind, WeightScheme};
+
+fn main() {
+    let workload = scale_config();
+    report::banner(
+        "Fig. 16",
+        "effect of gram length n on iVA query time",
+        &workload,
+        &IvaConfig::default(),
+    );
+    report::header(&["n", "wall ms", "hdd ms", "index size MB", "accesses"]);
+    for n in [2usize, 3, 4, 5] {
+        let config = IvaConfig { n, ..Default::default() };
+        let bed = TestBed::new(&workload, config);
+        let iva = run_point(&bed, System::Iva, 3, 10, MetricKind::L2, WeightScheme::Equal);
+        report::row(&[
+            n.to_string(),
+            report::f(iva.mean_ms),
+            report::f(iva.modeled_ms),
+            format!("{:.2}", bed.iva.size_bytes() as f64 / (1024.0 * 1024.0)),
+            report::f(iva.table_accesses),
+        ]);
+    }
+    println!("\npaper: time grows with n; n = 2 is the right choice for short community text");
+}

@@ -1,0 +1,80 @@
+//! Plain-text experiment reports: each bench target prints the same series
+//! the corresponding paper figure plots, in aligned columns, so
+//! `cargo bench` output is directly comparable to the paper.
+
+use iva_core::IvaConfig;
+use iva_workload::WorkloadConfig;
+
+/// Print the experiment banner with the active configuration (the Table I
+/// defaults plus the dataset scale).
+pub fn banner(figure: &str, what: &str, workload: &WorkloadConfig, config: &IvaConfig) {
+    println!();
+    println!("=== {figure}: {what} ===");
+    println!(
+        "dataset: {} tuples x {} attrs ({} text) | alpha={:.0}% n={} ndf-penalty={}",
+        workload.n_tuples,
+        workload.n_attrs,
+        workload.n_text_attrs(),
+        config.alpha * 100.0,
+        config.n,
+        config.ndf_penalty,
+    );
+    println!(
+        "(paper defaults: 3 values/query, k=10, Euclidean, equal weights; \
+         IVA_SCALE=small|medium|full|<n> rescales)"
+    );
+    println!();
+}
+
+/// Print an aligned header row.
+pub fn header(cols: &[&str]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+    println!("{}", "-".repeat(15 * cols.len()));
+}
+
+/// Print an aligned data row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Format a float cell.
+pub fn f(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a ratio cell.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".into()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// Format a byte count as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2} MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(42.42), "42.4");
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(ratio(10.0, 4.0), "2.50x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert_eq!(mb(1024 * 1024 * 3 + 512 * 1024), "3.50 MB");
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment scale selection.
+//!
+//! The paper's dataset is 779,019 × 1,147. Running every figure at that
+//! scale takes hours; the default scale keeps the whole suite in minutes
+//! while preserving every comparative shape (ratios are scale-stable; see
+//! EXPERIMENTS.md). Override with the `IVA_SCALE` environment variable:
+//!
+//! - `IVA_SCALE=small` — 20,000 tuples (default)
+//! - `IVA_SCALE=medium` — 100,000 tuples
+//! - `IVA_SCALE=full` — the paper's 779,019 × 1,147
+//! - `IVA_SCALE=<number>` — custom tuple count
+
+use iva_workload::WorkloadConfig;
+
+/// Resolve the workload configuration from `IVA_SCALE`.
+pub fn scale_config() -> WorkloadConfig {
+    match std::env::var("IVA_SCALE").ok().as_deref() {
+        None | Some("small") | Some("") => WorkloadConfig::scaled(20_000),
+        Some("medium") => WorkloadConfig::scaled(100_000),
+        Some("full") => WorkloadConfig::paper_full(),
+        Some(n) => {
+            let count: usize = n.parse().unwrap_or_else(|_| {
+                panic!("IVA_SCALE must be small|medium|full|<number>, got {n:?}")
+            });
+            WorkloadConfig::scaled(count)
+        }
+    }
+}
+
+/// Number of measured queries per point (the paper uses 40 after 10 warm).
+pub fn queries_per_point() -> (usize, usize) {
+    // (total, warm)
+    (50, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_small() {
+        // The test environment does not set IVA_SCALE.
+        if std::env::var("IVA_SCALE").is_err() {
+            assert_eq!(scale_config().n_tuples, 20_000);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Building an iVA-file from a sparse wide table.
+//!
+//! A (re)build scans the table once, encodes every value's approximation
+//! vector, picks each attribute's cheapest vector-list organization by the
+//! Sec. III-D size formulas, and writes all lists physically contiguous so
+//! subsequent partial scans are sequential. Numeric attributes are
+//! re-quantized on their *current* relative domain (Sec. III-C's periodic
+//! renewal).
+
+use std::path::Path;
+
+use iva_storage::{write_contiguous_list, IoStats, Pager, PagerOptions};
+use iva_swt::{SwtTable, Value};
+
+use crate::config::IvaConfig;
+use crate::error::{IvaError, Result};
+use crate::index::IvaIndex;
+use crate::layout::{AttrEntry, IndexHeader};
+use crate::numeric::NumericCodec;
+use crate::veclist::{
+    choose_num_type, choose_text_type, encode_num_list, encode_text_list, ListType,
+};
+
+/// Where to put the index file.
+pub enum IndexTarget<'a> {
+    /// On disk at the given path.
+    Disk(&'a Path),
+    /// In memory (tests, property checks).
+    Mem,
+}
+
+/// Build an iVA-file over all live tuples of `table`.
+pub fn build_index(
+    table: &SwtTable,
+    target: IndexTarget<'_>,
+    opts: &PagerOptions,
+    io: IoStats,
+    config: IvaConfig,
+) -> Result<IvaIndex> {
+    config.validate().map_err(IvaError::InvalidArgument)?;
+    let sig_codec = config.sig_codec();
+    let n_attrs = table.catalog().len();
+
+    // Per-attribute accumulators.
+    let mut text_items: Vec<Vec<(u32, Vec<Vec<u8>>)>> = vec![Vec::new(); n_attrs];
+    let mut num_items: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_attrs];
+    let mut tuple_entries: Vec<(u32, u64)> = Vec::new();
+
+    for item in table.scan() {
+        let (ptr, rec) = item?;
+        if rec.deleted {
+            continue;
+        }
+        if rec.tid >= u64::from(u32::MAX) {
+            return Err(IvaError::TidOverflow(rec.tid));
+        }
+        let tid = rec.tid as u32;
+        tuple_entries.push((tid, ptr.0));
+        for (attr, value) in rec.tuple.iter() {
+            if attr.index() >= n_attrs {
+                return Err(IvaError::Corrupt(format!(
+                    "tuple {tid} references attribute {attr} beyond catalog"
+                )));
+            }
+            match value {
+                Value::Text(strings) => {
+                    let sigs = strings
+                        .iter()
+                        .map(|s| sig_codec.encode_to_vec(s.as_bytes()))
+                        .collect();
+                    text_items[attr.index()].push((tid, sigs));
+                }
+                Value::Num(v) => num_items[attr.index()].push((tid, *v)),
+            }
+        }
+    }
+
+    let all_tids: Vec<u32> = tuple_entries.iter().map(|(t, _)| *t).collect();
+    let n_tuples = all_tids.len() as u64;
+
+    // Create the index file: page 0 reserved for the header.
+    let pager = match target {
+        IndexTarget::Disk(path) => Pager::create(path, opts, io)?,
+        IndexTarget::Mem => Pager::create_mem(opts, io),
+    };
+    let header_page = pager.allocate_page()?;
+    debug_assert_eq!(header_page.0, 0);
+
+    let mut entries: Vec<AttrEntry> = Vec::with_capacity(n_attrs);
+    for (attr, def) in table.catalog().iter() {
+        let i = attr.index();
+        let entry = if def.ty == iva_swt::AttrType::Text {
+            let items = &text_items[i];
+            let df = items.len() as u64;
+            let str_count: u64 = items.iter().map(|(_, s)| s.len() as u64).sum();
+            let ty = choose_text_type(str_count, df, n_tuples);
+            let data = encode_text_list(ty, items, &all_tids);
+            let vlist = write_contiguous_list(&pager, &data)?;
+            let elem_count = match ty {
+                ListType::I => str_count,
+                ListType::II => df,
+                ListType::III => n_tuples,
+                ListType::IV => unreachable!(),
+            };
+            AttrEntry {
+                vlist,
+                df,
+                str_count,
+                elem_count,
+                list_type: ty,
+                is_text: true,
+                alpha: config.alpha,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            }
+        } else {
+            let values = &num_items[i];
+            let df = values.len() as u64;
+            let (min, max) = values
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, v)| {
+                    (lo.min(*v), hi.max(*v))
+                });
+            let codec = NumericCodec::new(min, max, config.numeric_code_bytes());
+            let items: Vec<(u32, u64)> =
+                values.iter().map(|(t, v)| (*t, codec.encode(*v))).collect();
+            let ty = choose_num_type(config.numeric_code_bytes(), df, n_tuples);
+            let data = encode_num_list(ty, &items, &all_tids, &codec);
+            let vlist = write_contiguous_list(&pager, &data)?;
+            let elem_count = match ty {
+                ListType::I => df,
+                ListType::IV => n_tuples,
+                _ => unreachable!(),
+            };
+            AttrEntry {
+                vlist,
+                df,
+                str_count: 0,
+                elem_count,
+                list_type: ty,
+                is_text: false,
+                alpha: config.alpha,
+                min,
+                max,
+            }
+        };
+        entries.push(entry);
+    }
+
+    // Attribute list.
+    let mut attr_bytes = Vec::with_capacity(entries.len() * AttrEntry::ENCODED_LEN);
+    for e in &entries {
+        e.encode(&mut attr_bytes);
+    }
+    let attr_list = write_contiguous_list(&pager, &attr_bytes)?;
+
+    // Tuple list.
+    let mut tuple_bytes = Vec::with_capacity(tuple_entries.len() * 12);
+    for (tid, ptr) in &tuple_entries {
+        tuple_bytes.extend_from_slice(&tid.to_le_bytes());
+        tuple_bytes.extend_from_slice(&ptr.to_le_bytes());
+    }
+    let tuple_list = write_contiguous_list(&pager, &tuple_bytes)?;
+
+    let header = IndexHeader {
+        config,
+        n_attrs: n_attrs as u32,
+        n_tuples,
+        n_deleted: 0,
+        attr_list,
+        tuple_list,
+    };
+    IvaIndex::assemble(pager, header, entries)
+}

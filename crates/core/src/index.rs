@@ -1,0 +1,600 @@
+//! The iVA-file index: query processing (Algorithm 1) and updates
+//! (Sec. IV-B).
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use iva_storage::{
+    overwrite_in_list, IoStats, ListReader, ListWriter, PageId, Pager, PagerOptions,
+};
+use iva_swt::{AttrId, AttrType, Catalog, RecordPtr, SwtTable, Tid, Tuple, Value};
+use iva_text::{QueryStringMatcher, SigCodec};
+
+use crate::config::IvaConfig;
+use crate::error::{IvaError, Result};
+use crate::layout::{AttrEntry, IndexHeader, TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
+use crate::metric::{Metric, WeightScheme};
+use crate::numeric::NumericCodec;
+use crate::pool::{PoolEntry, ResultPool};
+use crate::query::{exact_distance, Query, QueryStats, QueryValue};
+use crate::veclist::{ListType, NumListCursor, TextListCursor};
+
+/// Result of one top-k query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The top-k answers in ascending distance order.
+    pub results: Vec<PoolEntry>,
+    /// Measurement counters.
+    pub stats: QueryStats,
+}
+
+/// The inverted vector approximation file.
+pub struct IvaIndex {
+    pager: Arc<Pager>,
+    header: IndexHeader,
+    entries: Vec<AttrEntry>,
+    sig_codec: SigCodec,
+}
+
+pub(crate) enum PreparedAttr {
+    Text { matcher: QueryStringMatcher, cursor: TextListCursor },
+    Num { q: f64, codec: NumericCodec, cursor: NumListCursor },
+    /// The attribute was added to the catalog after the last (re)build and
+    /// no tuple defines it in the index: every tuple reads as *ndf*.
+    AlwaysNdf,
+}
+
+impl IvaIndex {
+    /// Internal constructor used by the builder: persists header + entries.
+    pub(crate) fn assemble(
+        pager: Arc<Pager>,
+        header: IndexHeader,
+        entries: Vec<AttrEntry>,
+    ) -> Result<Self> {
+        let sig_codec = header.config.sig_codec();
+        let mut idx = Self { pager, header, entries, sig_codec };
+        idx.write_header()?;
+        Ok(idx)
+    }
+
+    /// Open an existing index file.
+    pub fn open(path: &Path, opts: &PagerOptions, io: IoStats) -> Result<Self> {
+        let pager = Pager::open(path, opts, io)?;
+        Self::load(pager)
+    }
+
+    fn load(pager: Arc<Pager>) -> Result<Self> {
+        let page0 = pager.read_page(PageId(0))?;
+        let header = IndexHeader::decode(&page0)?;
+        drop(page0);
+        let mut reader = ListReader::open(Arc::clone(&pager), header.attr_list)?;
+        let mut entries = Vec::with_capacity(header.n_attrs as usize);
+        let mut buf = vec![0u8; AttrEntry::ENCODED_LEN];
+        for _ in 0..header.n_attrs {
+            reader.read_exact(&mut buf)?;
+            entries.push(AttrEntry::decode(&buf)?);
+        }
+        let sig_codec = header.config.sig_codec();
+        Ok(Self { pager, header, entries, sig_codec })
+    }
+
+    /// Index configuration.
+    pub fn config(&self) -> &IvaConfig {
+        &self.header.config
+    }
+
+    /// Number of tuple-list elements (live + tombstoned).
+    pub fn n_tuples(&self) -> u64 {
+        self.header.n_tuples
+    }
+
+    /// Tombstoned tuple-list elements.
+    pub fn n_deleted(&self) -> u64 {
+        self.header.n_deleted
+    }
+
+    /// Fraction of tuple-list elements that are tombstones (the cleanup
+    /// trigger input, Sec. V-C's β).
+    pub fn deleted_fraction(&self) -> f64 {
+        if self.header.n_tuples == 0 {
+            0.0
+        } else {
+            self.header.n_deleted as f64 / self.header.n_tuples as f64
+        }
+    }
+
+    /// Attribute-list entry (None if the attribute postdates the index).
+    pub fn attr_entry(&self, attr: AttrId) -> Option<&AttrEntry> {
+        self.entries.get(attr.index())
+    }
+
+    /// Physical index size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.pager.size_bytes()
+    }
+
+    /// I/O counters of the index file.
+    pub fn io_stats(&self) -> &IoStats {
+        self.pager.stats()
+    }
+
+    /// Drop cached pages (cold-start experiments).
+    pub fn clear_cache(&self) {
+        self.pager.clear_cache()
+    }
+
+    /// Resize the buffer pool (experiments keep cache-to-data ratios
+    /// constant across scales).
+    pub fn resize_cache(&self, cache_bytes: usize) {
+        self.pager.resize_cache(cache_bytes)
+    }
+
+    fn write_header(&mut self) -> Result<()> {
+        let bytes = self.header.encode();
+        self.pager.update_page(PageId(0), |p| {
+            p[..bytes.len()].copy_from_slice(&bytes);
+        })?;
+        Ok(())
+    }
+
+    fn write_entry(&mut self, idx: usize) -> Result<()> {
+        let mut buf = Vec::with_capacity(AttrEntry::ENCODED_LEN);
+        self.entries[idx].encode(&mut buf);
+        overwrite_in_list(
+            &self.pager,
+            self.header.attr_list,
+            (idx * AttrEntry::ENCODED_LEN) as u64,
+            &buf,
+        )?;
+        Ok(())
+    }
+
+    fn numeric_codec(&self, entry: &AttrEntry) -> NumericCodec {
+        let code_bytes = ((entry.alpha * self.header.config.numeric_width as f64).ceil()
+            as usize)
+            .clamp(1, 8);
+        NumericCodec::new(entry.min, entry.max, code_bytes)
+    }
+
+    /// Resolve the weight `λ` of each query attribute under `scheme`.
+    pub fn resolve_weights(&self, query: &Query, scheme: WeightScheme) -> Vec<f64> {
+        let total = self.header.n_tuples - self.header.n_deleted;
+        query
+            .iter()
+            .map(|(attr, _)| {
+                let df = self.attr_entry(attr).map_or(0, |e| e.df);
+                scheme.weight(total, df)
+            })
+            .collect()
+    }
+
+    pub(crate) fn pager_ref(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    pub(crate) fn tuple_list_handle(&self) -> iva_storage::ListHandle {
+        self.header.tuple_list
+    }
+
+    /// Advance every cursor past a tombstoned tuple.
+    pub(crate) fn skip_cursors(&self, prepared: &mut [PreparedAttr], tid: u32) -> Result<()> {
+        for pa in prepared.iter_mut() {
+            match pa {
+                PreparedAttr::Text { cursor, .. } => cursor.skip(tid, &self.sig_codec)?,
+                PreparedAttr::Num { codec, cursor, .. } => cursor.skip(tid, codec)?,
+                PreparedAttr::AlwaysNdf => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Fill `diffs` with the weighted per-attribute lower bounds for
+    /// `tid`; returns true if any query attribute is defined on the tuple.
+    pub(crate) fn lower_bounds_into(
+        &self,
+        prepared: &mut [PreparedAttr],
+        tid: u32,
+        lambda: &[f64],
+        ndf_penalty: f64,
+        diffs: &mut [f64],
+    ) -> Result<bool> {
+        let mut any_defined = false;
+        for (i, pa) in prepared.iter_mut().enumerate() {
+            let lb = match pa {
+                PreparedAttr::Text { matcher, cursor } => {
+                    cursor.advance(tid, &self.sig_codec, matcher)?
+                }
+                PreparedAttr::Num { q, codec, cursor } => cursor
+                    .advance(tid, codec)?
+                    .map(|code| codec.lower_bound_dist(code, *q)),
+                PreparedAttr::AlwaysNdf => None,
+            };
+            any_defined |= lb.is_some();
+            diffs[i] = lambda[i] * lb.unwrap_or(ndf_penalty);
+        }
+        Ok(any_defined)
+    }
+
+    pub(crate) fn prepare_cursors(&self, query: &Query) -> Result<Vec<PreparedAttr>> {
+        let mut prepared = Vec::with_capacity(query.len());
+        for (attr, qv) in query.iter() {
+            let Some(entry) = self.attr_entry(attr) else {
+                prepared.push(PreparedAttr::AlwaysNdf);
+                continue;
+            };
+            let reader = ListReader::open(Arc::clone(&self.pager), entry.vlist)?;
+            match qv {
+                QueryValue::Text(s) => {
+                    if !entry.is_text {
+                        return Err(IvaError::InvalidArgument(format!(
+                            "query gives a string on numerical attribute {attr}"
+                        )));
+                    }
+                    prepared.push(PreparedAttr::Text {
+                        matcher: QueryStringMatcher::new(&self.sig_codec, s.as_bytes()),
+                        cursor: TextListCursor::new(reader, entry.list_type),
+                    });
+                }
+                QueryValue::Num(v) => {
+                    if entry.is_text {
+                        return Err(IvaError::InvalidArgument(format!(
+                            "query gives a number on text attribute {attr}"
+                        )));
+                    }
+                    prepared.push(PreparedAttr::Num {
+                        q: *v,
+                        codec: self.numeric_codec(entry),
+                        cursor: NumListCursor::new(reader, entry.list_type),
+                    });
+                }
+            }
+        }
+        Ok(prepared)
+    }
+
+    /// Algorithm 1: top-k query with the parallel filter-and-refine plan.
+    ///
+    /// The tuple list and the vector lists of the query's attributes are
+    /// scanned in a synchronized pass; each tuple's estimated distance is a
+    /// lower bound (by the monotonous property of `metric`), and only
+    /// candidates the pool admits are fetched from the table file.
+    pub fn query<M: Metric>(
+        &self,
+        table: &SwtTable,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        weights: WeightScheme,
+    ) -> Result<QueryOutcome> {
+        let lambda = self.resolve_weights(query, weights);
+        let mut prepared = self.prepare_cursors(query)?;
+        let mut treader = ListReader::open(Arc::clone(&self.pager), self.header.tuple_list)?;
+        let mut pool = ResultPool::new(k);
+        let mut stats = QueryStats::default();
+        let mut diffs = vec![0.0f64; query.len()];
+        let ndf = self.header.config.ndf_penalty;
+
+        let start = Instant::now();
+        let mut refine_nanos = 0u64;
+        for _ in 0..self.header.n_tuples {
+            let tid = treader.read_u32()?;
+            let ptr = treader.read_u64()?;
+            stats.tuples_scanned += 1;
+            if ptr == TOMBSTONE_PTR {
+                self.skip_cursors(&mut prepared, tid)?;
+                continue;
+            }
+            self.lower_bounds_into(&mut prepared, tid, &lambda, ndf, &mut diffs)?;
+            let est = metric.combine(&diffs);
+            if pool.admits(est) {
+                let refine_start = Instant::now();
+                let rec = table.get(RecordPtr(ptr))?;
+                stats.table_accesses += 1;
+                let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                pool.insert_at(rec.tid, actual, RecordPtr(ptr));
+                refine_nanos += refine_start.elapsed().as_nanos() as u64;
+            }
+        }
+        let total_nanos = start.elapsed().as_nanos() as u64;
+        stats.refine_nanos = refine_nanos;
+        stats.filter_nanos = total_nanos.saturating_sub(refine_nanos);
+        Ok(QueryOutcome { results: pool.into_sorted(), stats })
+    }
+
+    /// Index a freshly inserted tuple (Sec. IV-B): append to the tuple list
+    /// and to the vector lists of its defined attributes. Attributes newly
+    /// added to the catalog since the last (re)build get fresh empty lists.
+    pub fn insert(
+        &mut self,
+        tid: Tid,
+        ptr: RecordPtr,
+        tuple: &Tuple,
+        catalog: &Catalog,
+    ) -> Result<()> {
+        if tid >= u64::from(u32::MAX) {
+            return Err(IvaError::TidOverflow(tid));
+        }
+        let tid32 = tid as u32;
+        self.sync_catalog(catalog)?;
+
+        let tuple_index = self.header.n_tuples;
+
+        // Vector lists of defined attributes.
+        for (attr, value) in tuple.iter() {
+            let i = attr.index();
+            if i >= self.entries.len() {
+                return Err(IvaError::InvalidArgument(format!(
+                    "attribute {attr} not in catalog"
+                )));
+            }
+            let entry = self.entries[i].clone();
+            let mut w = ListWriter::append_to(Arc::clone(&self.pager), entry.vlist)?;
+            let mut new_entry = entry;
+            match value {
+                Value::Text(strings) => {
+                    let sigs: Vec<Vec<u8>> =
+                        strings.iter().map(|s| self.sig_codec.encode_to_vec(s.as_bytes())).collect();
+                    match new_entry.list_type {
+                        ListType::I => {
+                            for sig in &sigs {
+                                w.append_u32(tid32)?;
+                                w.append(sig)?;
+                                new_entry.elem_count += 1;
+                            }
+                        }
+                        ListType::II => {
+                            w.append_u32(tid32)?;
+                            w.append_u8(sigs.len() as u8)?;
+                            for sig in &sigs {
+                                w.append(sig)?;
+                            }
+                            new_entry.elem_count += 1;
+                        }
+                        ListType::III => {
+                            // Lazy positional padding for tuples inserted
+                            // since the last element on this attribute.
+                            for _ in new_entry.elem_count..tuple_index {
+                                w.append_u8(0)?;
+                            }
+                            w.append_u8(sigs.len() as u8)?;
+                            for sig in &sigs {
+                                w.append(sig)?;
+                            }
+                            new_entry.elem_count = tuple_index + 1;
+                        }
+                        ListType::IV => unreachable!("text attribute with Type IV list"),
+                    }
+                    new_entry.str_count += sigs.len() as u64;
+                }
+                Value::Num(v) => {
+                    // First value on a fresh attribute fixes a degenerate
+                    // domain; rebuilds re-quantize on the real domain.
+                    if new_entry.min > new_entry.max {
+                        new_entry.min = *v;
+                        new_entry.max = *v;
+                    }
+                    let codec = self.numeric_codec(&new_entry);
+                    let code = codec.encode(*v);
+                    let mut code_buf = Vec::with_capacity(8);
+                    match new_entry.list_type {
+                        ListType::I => {
+                            w.append_u32(tid32)?;
+                            codec.write_code(code, &mut code_buf);
+                            w.append(&code_buf)?;
+                            new_entry.elem_count += 1;
+                        }
+                        ListType::IV => {
+                            let mut ndf_buf = Vec::with_capacity(8);
+                            codec.write_code(codec.ndf_code(), &mut ndf_buf);
+                            for _ in new_entry.elem_count..tuple_index {
+                                w.append(&ndf_buf)?;
+                            }
+                            codec.write_code(code, &mut code_buf);
+                            w.append(&code_buf)?;
+                            new_entry.elem_count = tuple_index + 1;
+                        }
+                        _ => unreachable!("numeric attribute with text list type"),
+                    }
+                }
+            }
+            new_entry.df += 1;
+            new_entry.vlist = w.finish()?;
+            self.entries[i] = new_entry;
+            self.write_entry(i)?;
+        }
+
+        // Tuple list.
+        let mut tw = ListWriter::append_to(Arc::clone(&self.pager), self.header.tuple_list)?;
+        tw.append_u32(tid32)?;
+        tw.append_u64(ptr.0)?;
+        self.header.tuple_list = tw.finish()?;
+        self.header.n_tuples += 1;
+        self.write_header()
+    }
+
+    /// Extend the attribute list for attributes defined in the catalog
+    /// after the last (re)build.
+    fn sync_catalog(&mut self, catalog: &Catalog) -> Result<()> {
+        if catalog.len() <= self.entries.len() {
+            return Ok(());
+        }
+        let mut appended = Vec::new();
+        for i in self.entries.len()..catalog.len() {
+            let def = catalog.def(AttrId(i as u32)).unwrap();
+            let vlist = ListWriter::create(Arc::clone(&self.pager))?.finish()?;
+            let entry =
+                AttrEntry::empty(vlist, def.ty == AttrType::Text, self.header.config.alpha);
+            entry.encode(&mut appended);
+            self.entries.push(entry);
+        }
+        let mut w = ListWriter::append_to(Arc::clone(&self.pager), self.header.attr_list)?;
+        w.append(&appended)?;
+        self.header.attr_list = w.finish()?;
+        self.header.n_attrs = self.entries.len() as u32;
+        self.write_header()
+    }
+
+    /// Tombstone a tuple (Sec. IV-B): scan the tuple list for its element
+    /// and rewrite the `ptr` with the special value. Vector lists and the
+    /// table file are not modified. Returns false if the tid is absent or
+    /// already deleted.
+    pub fn delete(&mut self, tid: Tid) -> Result<bool> {
+        if tid >= u64::from(u32::MAX) {
+            return Err(IvaError::TidOverflow(tid));
+        }
+        let tid32 = tid as u32;
+        let mut reader = ListReader::open(Arc::clone(&self.pager), self.header.tuple_list)?;
+        for i in 0..self.header.n_tuples {
+            let t = reader.read_u32()?;
+            let ptr = reader.read_u64()?;
+            if t == tid32 {
+                if ptr == TOMBSTONE_PTR {
+                    return Ok(false);
+                }
+                overwrite_in_list(
+                    &self.pager,
+                    self.header.tuple_list,
+                    i * TUPLE_ENTRY_LEN as u64 + 4,
+                    &TOMBSTONE_PTR.to_le_bytes(),
+                )?;
+                self.header.n_deleted += 1;
+                self.write_header()?;
+                return Ok(true);
+            }
+            if t > tid32 {
+                break;
+            }
+        }
+        Ok(false)
+    }
+
+    /// Look up the record pointer of a live tuple by scanning the tuple
+    /// list (used by callers that track tuples by tid only).
+    pub fn lookup_ptr(&self, tid: Tid) -> Result<Option<RecordPtr>> {
+        if tid >= u64::from(u32::MAX) {
+            return Err(IvaError::TidOverflow(tid));
+        }
+        let tid32 = tid as u32;
+        let mut reader = ListReader::open(Arc::clone(&self.pager), self.header.tuple_list)?;
+        for _ in 0..self.header.n_tuples {
+            let t = reader.read_u32()?;
+            let ptr = reader.read_u64()?;
+            if t == tid32 {
+                return Ok((ptr != TOMBSTONE_PTR).then_some(RecordPtr(ptr)));
+            }
+            if t > tid32 {
+                break;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Flush the index file.
+    pub fn flush(&mut self) -> Result<()> {
+        self.write_header()?;
+        self.pager.sync()?;
+        Ok(())
+    }
+
+    /// Describe how a query would execute: per attribute, the vector-list
+    /// organization, its size, the definedness (`df/|T|`), and the
+    /// resolved weight — the information an operator needs to understand
+    /// a slow query.
+    pub fn explain(&self, query: &Query, weights: WeightScheme) -> QueryExplain {
+        let lambda = self.resolve_weights(query, weights);
+        let live = self.header.n_tuples - self.header.n_deleted;
+        let attrs = query
+            .iter()
+            .zip(&lambda)
+            .map(|((attr, qv), &weight)| {
+                let entry = self.attr_entry(attr);
+                ExplainAttr {
+                    attr,
+                    is_text: matches!(qv, QueryValue::Text(_)),
+                    list_type: entry.map(|e| e.list_type),
+                    list_bytes: entry.map_or(0, |e| e.vlist.len),
+                    df: entry.map_or(0, |e| e.df),
+                    definedness: if live == 0 {
+                        0.0
+                    } else {
+                        entry.map_or(0, |e| e.df) as f64 / live as f64
+                    },
+                    weight,
+                }
+            })
+            .collect();
+        QueryExplain {
+            attrs,
+            tuples_to_scan: self.header.n_tuples,
+            tombstones: self.header.n_deleted,
+            tuple_list_bytes: self.header.tuple_list.len,
+        }
+    }
+}
+
+/// Per-attribute execution detail from [`IvaIndex::explain`].
+#[derive(Debug, Clone)]
+pub struct ExplainAttr {
+    /// The attribute.
+    pub attr: AttrId,
+    /// Whether the query value is a string.
+    pub is_text: bool,
+    /// Vector-list organization (None if the attribute postdates the
+    /// index — it reads as ndf everywhere).
+    pub list_type: Option<ListType>,
+    /// Bytes of vector list this query attribute will scan.
+    pub list_bytes: u64,
+    /// Tuples defining the attribute.
+    pub df: u64,
+    /// `df / live tuples`.
+    pub definedness: f64,
+    /// Resolved weight λ.
+    pub weight: f64,
+}
+
+/// Execution plan description from [`IvaIndex::explain`].
+#[derive(Debug, Clone)]
+pub struct QueryExplain {
+    /// Per-attribute details, in query order.
+    pub attrs: Vec<ExplainAttr>,
+    /// Tuple-list elements the scan will visit.
+    pub tuples_to_scan: u64,
+    /// Of which tombstones (skipped without estimation).
+    pub tombstones: u64,
+    /// Tuple-list bytes scanned.
+    pub tuple_list_bytes: u64,
+}
+
+impl QueryExplain {
+    /// Total index bytes one execution of the query scans.
+    pub fn index_bytes_scanned(&self) -> u64 {
+        self.tuple_list_bytes + self.attrs.iter().map(|a| a.list_bytes).sum::<u64>()
+    }
+}
+
+impl std::fmt::Display for QueryExplain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "scan {} tuples ({} tombstones), {} index bytes",
+            self.tuples_to_scan,
+            self.tombstones,
+            self.index_bytes_scanned()
+        )?;
+        for a in &self.attrs {
+            writeln!(
+                f,
+                "  {}: {} list {:?} ({} B), df {} ({:.1}%), weight {:.3}",
+                a.attr,
+                if a.is_text { "text" } else { "num" },
+                a.list_type.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+                a.list_bytes,
+                a.df,
+                a.definedness * 100.0,
+                a.weight
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,245 @@
+//! On-disk layout of the iVA-file.
+//!
+//! One paged file holds everything (Fig. 5): page 0 is the header; the
+//! attribute list, the tuple list and one vector list per attribute are
+//! chained page lists located by [`ListHandle`]s. After a (re)build all
+//! lists are physically contiguous; updates append pages at the file tail.
+//!
+//! The attribute-list element extends the paper's
+//! `<ptr1, ptr2, df, str, α>` with the numeric domain `[min, max]` (needed
+//! to decode relative-domain codes — the paper does not say where these
+//! live), the chosen list type, an element count (drives lazy positional
+//! padding on inserts), and the text/numeric kind.
+
+use iva_storage::ListHandle;
+
+use crate::config::IvaConfig;
+use crate::error::{IvaError, Result};
+use crate::veclist::ListType;
+
+/// Tombstone marker in a tuple-list `ptr` (Sec. IV-B: "rewrite the ptr in
+/// the element with a special value to mark the deletion").
+pub const TOMBSTONE_PTR: u64 = u64::MAX;
+
+/// Size of one tuple-list element: `<tid: u32, ptr: u64>`.
+pub const TUPLE_ENTRY_LEN: usize = 12;
+
+/// One attribute-list element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrEntry {
+    /// The attribute's vector list (`ptr1` = head, `ptr2` = tail).
+    pub vlist: ListHandle,
+    /// Tuples with a defined value (`df`).
+    pub df: u64,
+    /// Total strings on the attribute (`str`; 0 for numeric).
+    pub str_count: u64,
+    /// Elements present in the vector list. For positional types this is
+    /// the number of tuple-list positions covered; keyed types count
+    /// elements.
+    pub elem_count: u64,
+    /// Chosen organization (Type I–IV).
+    pub list_type: ListType,
+    /// True for text attributes.
+    pub is_text: bool,
+    /// Relative vector length `α` used for this attribute's vectors.
+    pub alpha: f64,
+    /// Numeric relative domain minimum (`+inf` when empty; unused for text).
+    pub min: f64,
+    /// Numeric relative domain maximum (`-inf` when empty; unused for text).
+    pub max: f64,
+}
+
+impl AttrEntry {
+    /// Fixed encoded size.
+    pub const ENCODED_LEN: usize = 24 + 8 * 3 + 1 + 1 + 8 * 3;
+
+    /// A fresh entry for an attribute with no data yet.
+    pub fn empty(vlist: ListHandle, is_text: bool, alpha: f64) -> Self {
+        Self {
+            vlist,
+            df: 0,
+            str_count: 0,
+            elem_count: 0,
+            list_type: if is_text { ListType::II } else { ListType::I },
+            is_text,
+            alpha,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Serialize into exactly [`AttrEntry::ENCODED_LEN`] bytes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        self.vlist.encode(out);
+        out.extend_from_slice(&self.df.to_le_bytes());
+        out.extend_from_slice(&self.str_count.to_le_bytes());
+        out.extend_from_slice(&self.elem_count.to_le_bytes());
+        out.push(self.list_type.code());
+        out.push(u8::from(self.is_text));
+        out.extend_from_slice(&self.alpha.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.min.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max.to_bits().to_le_bytes());
+        debug_assert_eq!(out.len() - start, Self::ENCODED_LEN);
+    }
+
+    /// Deserialize from [`AttrEntry::ENCODED_LEN`] bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < Self::ENCODED_LEN {
+            return Err(IvaError::Corrupt("short attribute entry".into()));
+        }
+        let vlist = ListHandle::decode(&buf[0..24])?;
+        let u = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        Ok(Self {
+            vlist,
+            df: u(24),
+            str_count: u(32),
+            elem_count: u(40),
+            list_type: ListType::from_code(buf[48])?,
+            is_text: buf[49] != 0,
+            alpha: f64::from_bits(u(50)),
+            min: f64::from_bits(u(58)),
+            max: f64::from_bits(u(66)),
+        })
+    }
+}
+
+const MAGIC: u32 = 0x6956_4146; // "iVAF"
+const VERSION: u32 = 1;
+
+/// The index header stored in page 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexHeader {
+    /// Index configuration.
+    pub config: IvaConfig,
+    /// Number of attributes (attribute-list elements).
+    pub n_attrs: u32,
+    /// Tuple-list element count (including tombstones).
+    pub n_tuples: u64,
+    /// Tombstoned tuple-list elements.
+    pub n_deleted: u64,
+    /// Location of the attribute list.
+    pub attr_list: ListHandle,
+    /// Location of the tuple list.
+    pub tuple_list: ListHandle,
+}
+
+impl IndexHeader {
+    /// Serialize into a page-0 prefix.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.config.alpha.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.config.n as u32).to_le_bytes());
+        out.extend_from_slice(&self.config.ndf_penalty.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.config.numeric_width as u32).to_le_bytes());
+        out.extend_from_slice(&self.n_attrs.to_le_bytes());
+        out.extend_from_slice(&self.n_tuples.to_le_bytes());
+        out.extend_from_slice(&self.n_deleted.to_le_bytes());
+        self.attr_list.encode(&mut out);
+        self.tuple_list.encode(&mut out);
+        out
+    }
+
+    /// Deserialize from a page-0 prefix.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < 100 {
+            return Err(IvaError::Corrupt("short index header".into()));
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(IvaError::Corrupt("bad index magic".into()));
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(IvaError::Corrupt(format!("unsupported index version {version}")));
+        }
+        let u64at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        let u32at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        let config = IvaConfig {
+            alpha: f64::from_bits(u64at(8)),
+            n: u32at(16) as usize,
+            ndf_penalty: f64::from_bits(u64at(20)),
+            numeric_width: u32at(28) as usize,
+        };
+        let n_attrs = u32at(32);
+        let n_tuples = u64at(36);
+        let n_deleted = u64at(44);
+        let attr_list = ListHandle::decode(&buf[52..76])?;
+        let tuple_list = ListHandle::decode(&buf[76..100])?;
+        Ok(Self { config, n_attrs, n_tuples, n_deleted, attr_list, tuple_list })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iva_storage::PageId;
+
+    fn handle(a: u64, b: u64, l: u64) -> ListHandle {
+        ListHandle { head: PageId(a), tail: PageId(b), len: l }
+    }
+
+    #[test]
+    fn attr_entry_roundtrip() {
+        let e = AttrEntry {
+            vlist: handle(3, 9, 1000),
+            df: 42,
+            str_count: 77,
+            elem_count: 42,
+            list_type: ListType::III,
+            is_text: true,
+            alpha: 0.2,
+            min: -1.5,
+            max: 99.0,
+        };
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        assert_eq!(buf.len(), AttrEntry::ENCODED_LEN);
+        assert_eq!(AttrEntry::decode(&buf).unwrap(), e);
+        assert!(AttrEntry::decode(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn empty_entry_defaults() {
+        let e = AttrEntry::empty(handle(1, 1, 0), false, 0.25);
+        assert_eq!(e.list_type, ListType::I);
+        assert!(!e.is_text);
+        assert!(e.min > e.max); // empty domain
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let back = AttrEntry::decode(&buf).unwrap();
+        assert!(back.min.is_infinite() && back.min > 0.0);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = IndexHeader {
+            config: IvaConfig { alpha: 0.15, n: 3, ndf_penalty: 25.0, numeric_width: 8 },
+            n_attrs: 1147,
+            n_tuples: 779_019,
+            n_deleted: 3,
+            attr_list: handle(1, 2, 100),
+            tuple_list: handle(3, 4, 200),
+        };
+        let buf = h.encode();
+        assert_eq!(IndexHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic() {
+        let h = IndexHeader {
+            config: IvaConfig::default(),
+            n_attrs: 0,
+            n_tuples: 0,
+            n_deleted: 0,
+            attr_list: handle(1, 1, 0),
+            tuple_list: handle(2, 2, 0),
+        };
+        let mut buf = h.encode();
+        buf[0] ^= 0xFF;
+        assert!(IndexHeader::decode(&buf).is_err());
+        assert!(IndexHeader::decode(&buf[..20]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # iva-core
+//!
+//! The iVA-file (inverted vector approximation file) — the paper's primary
+//! contribution: a content-conscious, scan-efficient, metric-oblivious
+//! index for structured similarity search over sparse wide tables.
+//!
+//! Structure (Fig. 5): one *tuple list* (`<tid, ptr>` per tuple), one
+//! *attribute list* (per-attribute metadata + vector-list location), and
+//! one *vector list* per attribute holding approximation vectors —
+//! nG-signatures for strings, relative-domain codes for numbers — in one of
+//! four organizations (Types I–IV) selected by exact size formulas.
+//!
+//! Query processing (Algorithm 1) scans the tuple list and the query
+//! attributes' vector lists in one synchronized pass, lower-bounds each
+//! tuple's distance through any monotone metric, and random-accesses the
+//! table file only for candidates the top-k pool admits — the "parallel
+//! plan" that works even though unbounded strings admit no upper bound.
+//!
+//! Guarantee: with no-false-negative vector encodings and a monotone
+//! metric, results are exactly the brute-force top-k.
+
+#![warn(missing_docs)]
+
+mod build;
+mod config;
+mod error;
+mod index;
+mod layout;
+mod metric;
+mod numeric;
+mod pool;
+mod query;
+mod seqplan;
+mod veclist;
+
+pub use build::{build_index, IndexTarget};
+pub use config::IvaConfig;
+pub use error::{IvaError, Result};
+pub use index::{ExplainAttr, IvaIndex, QueryExplain, QueryOutcome};
+pub use layout::{AttrEntry, IndexHeader, TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
+pub use metric::{Metric, MetricKind, WeightScheme};
+pub use numeric::NumericCodec;
+pub use pool::{PoolEntry, ResultPool};
+pub use query::{attr_difference, exact_distance, Query, QueryStats, QueryValue};
+pub use veclist::{
+    choose_num_type, choose_text_type, encode_num_list, encode_text_list, num_list_sizes,
+    text_list_sizes, ListType, NumListCursor, TextListCursor, LNUM, LTID,
+};

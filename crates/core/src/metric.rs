@@ -1,0 +1,153 @@
+//! Similarity metrics and attribute weights (Sec. III-A and V-B.3).
+//!
+//! The distance between a query and a tuple is
+//! `D(T,Q) = f(λ₁·d₁, …, λ_q·d_q)` where `dᵢ` is the per-attribute
+//! difference and `λᵢ > 0` the attribute's importance weight. The index is
+//! *metric-oblivious*: it works with any `f` satisfying the monotonous
+//! property (Property 3.1 — coordinate-wise dominance implies distance
+//! dominance). The paper evaluates `L1`, `L2` (Euclidean) and `L∞`
+//! combined with equal (EQU) or inverse-tuple-frequency (ITF) weights.
+
+/// A rational similarity metric: combines the weighted per-attribute
+/// differences into one distance.
+///
+/// # Contract
+///
+/// Implementations must satisfy the monotonous property (Property 3.1):
+/// if `a[i] >= b[i]` for all `i` then `combine(a) >= combine(b)`. The
+/// query processor relies on this to turn per-attribute lower bounds into a
+/// whole-distance lower bound; a non-monotone metric voids the exactness
+/// guarantee.
+pub trait Metric {
+    /// Combine weighted differences (all `>= 0`) into a distance.
+    fn combine(&self, weighted_diffs: &[f64]) -> f64;
+
+    /// Human-readable name (for experiment reports).
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// The three metrics evaluated in the paper.
+///
+/// ```
+/// use iva_core::{Metric, MetricKind};
+///
+/// let diffs = [3.0, 4.0];
+/// assert_eq!(MetricKind::L1.combine(&diffs), 7.0);
+/// assert_eq!(MetricKind::L2.combine(&diffs), 5.0);
+/// assert_eq!(MetricKind::LInf.combine(&diffs), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// `Σ λᵢdᵢ`.
+    L1,
+    /// `sqrt(Σ (λᵢdᵢ)²)` — the Euclidean default of Table I.
+    L2,
+    /// `max λᵢdᵢ`.
+    LInf,
+}
+
+impl Metric for MetricKind {
+    fn combine(&self, weighted_diffs: &[f64]) -> f64 {
+        match self {
+            MetricKind::L1 => weighted_diffs.iter().sum(),
+            MetricKind::L2 => weighted_diffs.iter().map(|d| d * d).sum::<f64>().sqrt(),
+            MetricKind::LInf => weighted_diffs.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            MetricKind::L1 => "L1",
+            MetricKind::L2 => "L2",
+            MetricKind::LInf => "Linf",
+        }
+    }
+}
+
+/// Attribute weight schemes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightScheme {
+    /// All weights 1 (EQU).
+    Equal,
+    /// Inverse tuple frequency: `λ_A = ln((1+|T|)/(1+|T|_A))` (Sec. V-B.3).
+    Itf,
+}
+
+impl WeightScheme {
+    /// Weight of an attribute defined in `df` of `total` tuples.
+    pub fn weight(&self, total: u64, df: u64) -> f64 {
+        match self {
+            WeightScheme::Equal => 1.0,
+            WeightScheme::Itf => ((1 + total) as f64 / (1 + df) as f64).ln(),
+        }
+    }
+
+    /// Scheme name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightScheme::Equal => "EQU",
+            WeightScheme::Itf => "ITF",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_values() {
+        let d = [3.0, 4.0];
+        assert_eq!(MetricKind::L1.combine(&d), 7.0);
+        assert_eq!(MetricKind::L2.combine(&d), 5.0);
+        assert_eq!(MetricKind::LInf.combine(&d), 4.0);
+    }
+
+    #[test]
+    fn empty_diffs_are_zero() {
+        for m in [MetricKind::L1, MetricKind::L2, MetricKind::LInf] {
+            assert_eq!(m.combine(&[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn monotonous_property_randomized() {
+        // Property 3.1 on random dominated pairs.
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for m in [MetricKind::L1, MetricKind::L2, MetricKind::LInf] {
+            for _ in 0..500 {
+                let dim = 1 + (next() * 6.0) as usize;
+                let lo: Vec<f64> = (0..dim).map(|_| next() * 10.0).collect();
+                let hi: Vec<f64> = lo.iter().map(|&v| v + next() * 5.0).collect();
+                assert!(
+                    m.combine(&hi) >= m.combine(&lo) - 1e-12,
+                    "{} violated monotonicity",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn itf_weights_favor_rare_attributes() {
+        let w = WeightScheme::Itf;
+        let rare = w.weight(1000, 10);
+        let common = w.weight(1000, 900);
+        assert!(rare > common);
+        assert!(common > 0.0);
+        assert_eq!(WeightScheme::Equal.weight(1000, 10), 1.0);
+    }
+
+    #[test]
+    fn itf_weight_formula() {
+        // ln((1+|T|)/(1+|T|_A))
+        let w = WeightScheme::Itf.weight(999, 99);
+        assert!((w - (1000.0f64 / 100.0).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,258 @@
+//! Numerical approximation vectors on the *relative domain* (Sec. III-C).
+//!
+//! The VA-file quantizes on the attribute's declared (absolute) domain; the
+//! paper observes that actual values "usually lie within a much smaller
+//! range and fall in very few slices", and proposes cutting the *relative*
+//! domain `[min, max]` observed on the attribute instead, so shorter codes
+//! reach the same precision.
+//!
+//! A code of `b` bits addresses `2^b − 1` slices (the all-ones code is
+//! reserved for *ndf*, needed by Type IV vector lists). Values inserted
+//! outside the current relative domain are encoded "with the id of the
+//! nearest slice" — to keep that free of false negatives, the two boundary
+//! slices are treated as open-ended (`(−∞, hi₀]` and `[lo_last, +∞)`) when
+//! computing lower bounds. Rebuilds re-quantize on the fresh domain.
+
+use crate::error::{IvaError, Result};
+
+/// Relative-domain quantizer for one numerical attribute.
+///
+/// ```
+/// use iva_core::NumericCodec;
+///
+/// // Observed domain [0, 1000], 2-byte codes (the alpha = 20% default).
+/// let codec = NumericCodec::new(0.0, 1000.0, 2);
+/// let code = codec.encode(230.0);
+///
+/// // The slice bound never exceeds the true difference:
+/// assert!(codec.lower_bound_dist(code, 200.0) <= 30.0);
+/// // A query inside the slice bounds nothing out:
+/// assert_eq!(codec.lower_bound_dist(code, 230.0), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericCodec {
+    min: f64,
+    max: f64,
+    code_bytes: usize,
+    slices: u64,
+}
+
+impl NumericCodec {
+    /// Build a codec for domain `[min, max]` with `code_bytes`-byte codes
+    /// (1..=8). An empty domain (`min > max`, i.e. no value ever observed)
+    /// is allowed: every code is then *ndf*.
+    pub fn new(min: f64, max: f64, code_bytes: usize) -> Self {
+        assert!((1..=8).contains(&code_bytes), "code bytes must be in 1..=8");
+        let bits = (code_bytes * 8).min(63) as u32;
+        // Reserve the all-ones pattern for ndf.
+        let slices = (1u64 << bits) - 1;
+        Self { min, max, code_bytes, slices }
+    }
+
+    /// Code width in bytes.
+    pub fn code_bytes(&self) -> usize {
+        self.code_bytes
+    }
+
+    /// Number of addressable slices.
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// The reserved *ndf* code (all ones).
+    pub fn ndf_code(&self) -> u64 {
+        self.slices
+    }
+
+    /// Domain bounds `(min, max)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    fn width(&self) -> f64 {
+        if self.max > self.min {
+            (self.max - self.min) / self.slices as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Encode a value into its slice id, clamping out-of-domain values to
+    /// the nearest slice (Sec. III-C).
+    pub fn encode(&self, v: f64) -> u64 {
+        debug_assert!(v.is_finite());
+        let w = self.width();
+        if w == 0.0 {
+            return 0;
+        }
+        let idx = ((v - self.min) / w).floor();
+        if idx < 0.0 {
+            0
+        } else {
+            (idx as u64).min(self.slices - 1)
+        }
+    }
+
+    /// Slice interval of a code, with boundary slices open-ended.
+    pub fn slice_bounds(&self, code: u64) -> (f64, f64) {
+        debug_assert!(code < self.slices || self.slices == 0);
+        let w = self.width();
+        if w == 0.0 {
+            // Degenerate domain: single point; still open-ended on both
+            // sides to cover post-build out-of-domain inserts.
+            return (f64::NEG_INFINITY, f64::INFINITY);
+        }
+        let lo = if code == 0 { f64::NEG_INFINITY } else { self.min + code as f64 * w };
+        let hi = if code == self.slices - 1 {
+            f64::INFINITY
+        } else {
+            self.min + (code + 1) as f64 * w
+        };
+        (lo, hi)
+    }
+
+    /// Lower bound on `|q − v|` for any value `v` encoded as `code`.
+    pub fn lower_bound_dist(&self, code: u64, q: f64) -> f64 {
+        let (lo, hi) = self.slice_bounds(code);
+        if q < lo {
+            lo - q
+        } else if q > hi {
+            q - hi
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialize a code into `code_bytes` little-endian bytes.
+    pub fn write_code(&self, code: u64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&code.to_le_bytes()[..self.code_bytes]);
+    }
+
+    /// Deserialize a code from `code_bytes` bytes.
+    pub fn read_code(&self, buf: &[u8]) -> Result<u64> {
+        if buf.len() < self.code_bytes {
+            return Err(IvaError::Corrupt("short numeric code".into()));
+        }
+        let mut bytes = [0u8; 8];
+        bytes[..self.code_bytes].copy_from_slice(&buf[..self.code_bytes]);
+        Ok(u64::from_le_bytes(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> NumericCodec {
+        NumericCodec::new(0.0, 1000.0, 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = codec();
+        assert_eq!(c.code_bytes(), 2);
+        assert_eq!(c.slices(), 65535);
+        assert_eq!(c.ndf_code(), 65535);
+    }
+
+    #[test]
+    fn encode_covers_domain() {
+        let c = codec();
+        assert_eq!(c.encode(0.0), 0);
+        assert_eq!(c.encode(1000.0), c.slices() - 1);
+        let mid = c.encode(500.0);
+        assert!(mid > 0 && mid < c.slices() - 1);
+    }
+
+    #[test]
+    fn out_of_domain_clamps() {
+        let c = codec();
+        assert_eq!(c.encode(-50.0), 0);
+        assert_eq!(c.encode(5000.0), c.slices() - 1);
+    }
+
+    #[test]
+    fn lower_bound_is_sound_within_domain() {
+        let c = codec();
+        for v in [0.0, 0.01, 123.456, 999.99, 1000.0] {
+            let code = c.encode(v);
+            for q in [-100.0, 0.0, 123.0, 500.0, 1000.0, 2000.0] {
+                let lb = c.lower_bound_dist(code, q);
+                let actual = (q - v).abs();
+                assert!(lb <= actual + 1e-9, "v={v} q={q} lb={lb} actual={actual}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_sound_for_out_of_domain_inserts() {
+        // The false-negative trap the open-ended boundary slices avoid.
+        let c = codec();
+        let v = 100_000.0; // inserted far outside [0, 1000]
+        let code = c.encode(v);
+        let q = 100_000.0; // query right at the value
+        assert_eq!(c.lower_bound_dist(code, q), 0.0);
+        let v2 = -99.0;
+        let code2 = c.encode(v2);
+        assert_eq!(c.lower_bound_dist(code2, -99.0), 0.0);
+    }
+
+    #[test]
+    fn interior_slices_give_positive_bounds() {
+        let c = codec();
+        let code = c.encode(500.0);
+        let lb = c.lower_bound_dist(code, 900.0);
+        assert!(lb > 390.0 && lb <= 400.0, "{lb}");
+    }
+
+    #[test]
+    fn degenerate_domain() {
+        let c = NumericCodec::new(42.0, 42.0, 1);
+        assert_eq!(c.encode(42.0), 0);
+        assert_eq!(c.encode(7.0), 0);
+        assert_eq!(c.lower_bound_dist(0, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn empty_domain() {
+        let c = NumericCodec::new(f64::INFINITY, f64::NEG_INFINITY, 2);
+        // Nothing was ever observed; encode is never called in practice but
+        // must not panic.
+        assert_eq!(c.encode(1.0), 0);
+    }
+
+    #[test]
+    fn code_roundtrip_bytes() {
+        for bytes in 1..=8usize {
+            let c = NumericCodec::new(0.0, 10.0, bytes);
+            let code = c.encode(7.3);
+            let mut buf = Vec::new();
+            c.write_code(code, &mut buf);
+            assert_eq!(buf.len(), bytes);
+            assert_eq!(c.read_code(&buf).unwrap(), code);
+        }
+    }
+
+    #[test]
+    fn read_short_code_fails() {
+        let c = codec();
+        assert!(c.read_code(&[1]).is_err());
+    }
+
+    #[test]
+    fn finer_codes_tighter_bounds() {
+        // More code bytes -> narrower slices -> larger (tighter) lower
+        // bounds on average.
+        let coarse = NumericCodec::new(0.0, 1000.0, 1);
+        let fine = NumericCodec::new(0.0, 1000.0, 2);
+        let mut sum_coarse = 0.0;
+        let mut sum_fine = 0.0;
+        for i in 0..100 {
+            let v = i as f64 * 10.0;
+            let q = 555.5;
+            sum_coarse += coarse.lower_bound_dist(coarse.encode(v), q);
+            sum_fine += fine.lower_bound_dist(fine.encode(v), q);
+        }
+        assert!(sum_fine >= sum_coarse);
+    }
+}

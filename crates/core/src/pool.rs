@@ -1,0 +1,169 @@
+//! The temporary result pool (Sec. IV-A).
+//!
+//! Holds at most `k` `(tid, dist)` pairs with their *actual* distances; a
+//! candidate is admitted to refinement iff the pool is not yet full or its
+//! estimated distance is below the pool's current maximum. Implemented as a
+//! bounded binary max-heap on distance.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use iva_swt::{RecordPtr, Tid};
+
+/// One ranked answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolEntry {
+    /// Tuple id.
+    pub tid: Tid,
+    /// Actual distance to the query.
+    pub dist: f64,
+    /// Location of the tuple in the table file (lets callers materialize
+    /// results without re-scanning the tuple list).
+    pub ptr: RecordPtr,
+}
+
+impl Eq for PoolEntry {}
+
+impl Ord for PoolEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on distance; tie-break on tid for determinism.
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.tid.cmp(&other.tid))
+    }
+}
+
+impl PartialOrd for PoolEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded top-k pool keyed by actual distance.
+#[derive(Debug)]
+pub struct ResultPool {
+    heap: BinaryHeap<PoolEntry>,
+    k: usize,
+}
+
+impl ResultPool {
+    /// Pool retaining the `k` smallest distances.
+    pub fn new(k: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(k + 1), k }
+    }
+
+    /// `pool.Size()` of Algorithm 1.
+    pub fn size(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `pool.MaxDist()` of Algorithm 1: the largest distance currently held
+    /// (`+∞` while empty, so everything is admitted).
+    pub fn max_dist(&self) -> f64 {
+        self.heap.peek().map_or(f64::INFINITY, |e| e.dist)
+    }
+
+    /// The admission test of lines 10/13: true if a candidate with (lower
+    /// bound of) distance `d` could enter the top-k.
+    pub fn admits(&self, d: f64) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        self.heap.len() < self.k || d < self.max_dist()
+    }
+
+    /// `pool.Insert(tid, dist)`: insert, evicting the current maximum when
+    /// over capacity. Returns false if the entry was rejected outright.
+    pub fn insert(&mut self, tid: Tid, dist: f64) -> bool {
+        self.insert_at(tid, dist, RecordPtr(u64::MAX))
+    }
+
+    /// [`ResultPool::insert`] carrying the tuple's table-file location.
+    pub fn insert_at(&mut self, tid: Tid, dist: f64, ptr: RecordPtr) -> bool {
+        if !self.admits(dist) {
+            return false;
+        }
+        self.heap.push(PoolEntry { tid, dist, ptr });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+        true
+    }
+
+    /// Drain into ascending-distance order.
+    pub fn into_sorted(self) -> Vec<PoolEntry> {
+        let mut v = self.heap.into_vec();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut p = ResultPool::new(3);
+        for (tid, d) in [(0, 9.0), (1, 1.0), (2, 5.0), (3, 3.0), (4, 7.0), (5, 0.5)] {
+            p.insert(tid, d);
+        }
+        let out = p.into_sorted();
+        let tids: Vec<_> = out.iter().map(|e| e.tid).collect();
+        assert_eq!(tids, vec![5, 1, 3]);
+        let dists: Vec<_> = out.iter().map(|e| e.dist).collect();
+        assert_eq!(dists, vec![0.5, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn admits_everything_until_full() {
+        let mut p = ResultPool::new(2);
+        assert!(p.admits(f64::MAX));
+        assert_eq!(p.max_dist(), f64::INFINITY);
+        p.insert(0, 10.0);
+        assert!(p.admits(1e300));
+        p.insert(1, 20.0);
+        assert!(!p.admits(20.0)); // equal to max: cannot improve
+        assert!(p.admits(19.999));
+    }
+
+    #[test]
+    fn rejected_insert_returns_false() {
+        let mut p = ResultPool::new(1);
+        assert!(p.insert(0, 1.0));
+        assert!(!p.insert(1, 2.0));
+        assert!(p.insert(2, 0.5));
+        let out = p.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tid, 2);
+    }
+
+    #[test]
+    fn k_zero_never_admits() {
+        let mut p = ResultPool::new(0);
+        assert!(!p.insert(0, 0.0));
+        assert!(p.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let mut p = ResultPool::new(2);
+        for tid in [5u64, 1, 9, 3] {
+            p.insert(tid, 1.0);
+        }
+        let tids: Vec<_> = p.into_sorted().iter().map(|e| e.tid).collect();
+        // Once full, equal-distance candidates are rejected (strict `<`),
+        // so the first two arrivals survive, sorted by the tid tie-break.
+        assert_eq!(tids, vec![1, 5]);
+    }
+
+    #[test]
+    fn size_tracks_entries() {
+        let mut p = ResultPool::new(5);
+        assert_eq!(p.size(), 0);
+        p.insert(0, 1.0);
+        p.insert(1, 2.0);
+        assert_eq!(p.size(), 2);
+    }
+}

@@ -1,0 +1,652 @@
+//! Vector lists: the four element organizations of Sec. III-D.
+//!
+//! Every attribute gets one vector list holding the approximation vectors
+//! of its values, ordered by tuple id. Three organizations suit text
+//! attributes and two suit numerical ones; the paper selects per attribute
+//! whichever the size formulas make smallest (with `ltid` the tuple-id
+//! width and `lnum` the string-count width):
+//!
+//! ```text
+//! Text:     LI  = ltid·str + L          <tid, vector> per string
+//!           LII = (ltid+lnum)·df + L    <tid, num, vector...> per tuple
+//!           LIII= lnum·|T| + L          <num, vector...> for every tuple
+//! Numeric:  LI  = (ltid + |vec|)·df     <tid, vector> per defined tuple
+//!           LIV = |vec|·|T|             <vector> for every tuple (ndf code)
+//! ```
+//!
+//! Types III/IV are *positional*: the tuple owning an element is inferred
+//! by counting, so they store elements for every tuple. Types I/II are
+//! *keyed* by tid and skip ndf tuples entirely.
+
+use iva_storage::ListReader;
+use iva_text::{QueryStringMatcher, SigCodec};
+
+use crate::error::{IvaError, Result};
+use crate::numeric::NumericCodec;
+
+/// Width of a tuple id in list elements (the paper's `ltid`).
+pub const LTID: usize = 4;
+/// Width of a string-count field (the paper's `lnum`).
+pub const LNUM: usize = 1;
+
+/// The four vector-list organizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ListType {
+    /// `<tid, vector>` per string (text) or per defined tuple (numeric).
+    I,
+    /// `<tid, num, vector₁, vector₂, …>` per defined tuple (text only).
+    II,
+    /// `<num, vector₁, …>` for **all** tuples, positional (text only).
+    III,
+    /// `<vector>` for **all** tuples, positional, with a reserved ndf code
+    /// (numeric only).
+    IV,
+}
+
+impl ListType {
+    /// Stable on-disk code.
+    pub fn code(self) -> u8 {
+        match self {
+            ListType::I => 1,
+            ListType::II => 2,
+            ListType::III => 3,
+            ListType::IV => 4,
+        }
+    }
+
+    /// Decode an on-disk code.
+    pub fn from_code(c: u8) -> Result<Self> {
+        Ok(match c {
+            1 => ListType::I,
+            2 => ListType::II,
+            3 => ListType::III,
+            4 => ListType::IV,
+            x => return Err(IvaError::Corrupt(format!("bad list type code {x}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for ListType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ListType::I => "I",
+            ListType::II => "II",
+            ListType::III => "III",
+            ListType::IV => "IV",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Text list sizes `(LI, LII, LIII)` from the paper's formulas. `sig_total`
+/// is `L`: the total bytes of all signatures on the attribute.
+pub fn text_list_sizes(str_count: u64, df: u64, tuples: u64, sig_total: u64) -> (u64, u64, u64) {
+    (
+        LTID as u64 * str_count + sig_total,
+        (LTID + LNUM) as u64 * df + sig_total,
+        LNUM as u64 * tuples + sig_total,
+    )
+}
+
+/// Pick the smallest text organization (ties break toward the lower type).
+pub fn choose_text_type(str_count: u64, df: u64, tuples: u64) -> ListType {
+    // L is common to all three candidates and cancels.
+    let (l1, l2, l3) = text_list_sizes(str_count, df, tuples, 0);
+    if l1 <= l2 && l1 <= l3 {
+        ListType::I
+    } else if l2 <= l3 {
+        ListType::II
+    } else {
+        ListType::III
+    }
+}
+
+/// Numeric list sizes `(LI, LIV)`.
+pub fn num_list_sizes(code_bytes: usize, df: u64, tuples: u64) -> (u64, u64) {
+    (((LTID + code_bytes) as u64) * df, code_bytes as u64 * tuples)
+}
+
+/// Pick the smaller numeric organization.
+pub fn choose_num_type(code_bytes: usize, df: u64, tuples: u64) -> ListType {
+    let (l1, l4) = num_list_sizes(code_bytes, df, tuples);
+    if l1 <= l4 {
+        ListType::I
+    } else {
+        ListType::IV
+    }
+}
+
+/// Encode a text attribute's vector list. `items` are `(tid, signatures)`
+/// in strictly increasing tid order; `all_tids` is the full tuple-list tid
+/// sequence (needed by the positional Type III).
+pub fn encode_text_list(ty: ListType, items: &[(u32, Vec<Vec<u8>>)], all_tids: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    match ty {
+        ListType::I => {
+            for (tid, sigs) in items {
+                for sig in sigs {
+                    out.extend_from_slice(&tid.to_le_bytes());
+                    out.extend_from_slice(sig);
+                }
+            }
+        }
+        ListType::II => {
+            for (tid, sigs) in items {
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.push(sigs.len() as u8);
+                for sig in sigs {
+                    out.extend_from_slice(sig);
+                }
+            }
+        }
+        ListType::III => {
+            let mut it = items.iter().peekable();
+            for &tid in all_tids {
+                match it.peek() {
+                    Some((t, sigs)) if *t == tid => {
+                        out.push(sigs.len() as u8);
+                        for sig in sigs {
+                            out.extend_from_slice(sig);
+                        }
+                        it.next();
+                    }
+                    _ => out.push(0),
+                }
+            }
+            debug_assert!(it.peek().is_none(), "items not aligned with tuple list");
+        }
+        ListType::IV => unreachable!("Type IV is numeric-only"),
+    }
+    out
+}
+
+/// Encode a numeric attribute's vector list. `items` are `(tid, code)` in
+/// strictly increasing tid order.
+pub fn encode_num_list(
+    ty: ListType,
+    items: &[(u32, u64)],
+    all_tids: &[u32],
+    codec: &NumericCodec,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    match ty {
+        ListType::I => {
+            for (tid, code) in items {
+                out.extend_from_slice(&tid.to_le_bytes());
+                codec.write_code(*code, &mut out);
+            }
+        }
+        ListType::IV => {
+            let mut it = items.iter().peekable();
+            for &tid in all_tids {
+                match it.peek() {
+                    Some((t, code)) if *t == tid => {
+                        codec.write_code(*code, &mut out);
+                        it.next();
+                    }
+                    _ => codec.write_code(codec.ndf_code(), &mut out),
+                }
+            }
+            debug_assert!(it.peek().is_none(), "items not aligned with tuple list");
+        }
+        _ => unreachable!("text-only list type for numeric attribute"),
+    }
+    out
+}
+
+/// Scanning cursor over a text vector list, implementing the synchronized
+/// `MoveTo(currentTuple)` / freeze semantics of Sec. IV-A.
+pub struct TextListCursor {
+    reader: ListReader,
+    ty: ListType,
+    /// For keyed types: tid of the element whose header has been read but
+    /// whose payload has not yet been consumed ("frozen" pointer).
+    peek_tid: Option<u32>,
+    sig_buf: Vec<u8>,
+}
+
+impl TextListCursor {
+    /// Open a cursor at the head of a list.
+    pub fn new(reader: ListReader, ty: ListType) -> Self {
+        debug_assert!(matches!(ty, ListType::I | ListType::II | ListType::III));
+        Self { reader, ty, peek_tid: None, sig_buf: Vec::new() }
+    }
+
+    fn read_sig(&mut self, codec: &SigCodec) -> Result<()> {
+        let len_byte = self.reader.read_u8()?;
+        let ch = codec.ch_bytes(len_byte);
+        self.sig_buf.clear();
+        self.sig_buf.push(len_byte);
+        self.sig_buf.resize(1 + ch, 0);
+        self.reader.read_exact(&mut self.sig_buf[1..])?;
+        Ok(())
+    }
+
+    fn skip_sig(&mut self, codec: &SigCodec) -> Result<()> {
+        let len_byte = self.reader.read_u8()?;
+        self.reader.skip(codec.ch_bytes(len_byte) as u64)?;
+        Ok(())
+    }
+
+    /// Move to `tid` and return the estimated difference lower bound
+    /// (minimum `est` over the value's strings), or `None` for *ndf*.
+    ///
+    /// Must be called exactly once per tuple-list element, in tid order.
+    pub fn advance(
+        &mut self,
+        tid: u32,
+        codec: &SigCodec,
+        matcher: &mut QueryStringMatcher,
+    ) -> Result<Option<f64>> {
+        match self.ty {
+            ListType::I => {
+                let mut best: Option<f64> = None;
+                loop {
+                    if self.peek_tid.is_none() {
+                        if self.reader.at_end() {
+                            break;
+                        }
+                        self.peek_tid = Some(self.reader.read_u32()?);
+                    }
+                    let t = self.peek_tid.unwrap();
+                    if t < tid {
+                        self.skip_sig(codec)?;
+                        self.peek_tid = None;
+                    } else if t == tid {
+                        self.read_sig(codec)?;
+                        let est = matcher.estimate(codec, &self.sig_buf);
+                        best = Some(best.map_or(est, |b: f64| b.min(est)));
+                        self.peek_tid = None;
+                    } else {
+                        break; // freeze
+                    }
+                }
+                Ok(best)
+            }
+            ListType::II => {
+                loop {
+                    if self.peek_tid.is_none() {
+                        if self.reader.at_end() {
+                            return Ok(None);
+                        }
+                        self.peek_tid = Some(self.reader.read_u32()?);
+                    }
+                    let t = self.peek_tid.unwrap();
+                    if t < tid {
+                        let num = self.reader.read_u8()?;
+                        for _ in 0..num {
+                            self.skip_sig(codec)?;
+                        }
+                        self.peek_tid = None;
+                    } else if t == tid {
+                        let num = self.reader.read_u8()?;
+                        let mut best = f64::INFINITY;
+                        for _ in 0..num {
+                            self.read_sig(codec)?;
+                            best = best.min(matcher.estimate(codec, &self.sig_buf));
+                        }
+                        self.peek_tid = None;
+                        return Ok(if best.is_finite() { Some(best) } else { None });
+                    } else {
+                        return Ok(None); // freeze
+                    }
+                }
+            }
+            ListType::III => {
+                if self.reader.at_end() {
+                    // Tuples appended after the last element on this
+                    // attribute: ndf (lazy positional padding).
+                    return Ok(None);
+                }
+                let num = self.reader.read_u8()?;
+                if num == 0 {
+                    return Ok(None);
+                }
+                let mut best = f64::INFINITY;
+                for _ in 0..num {
+                    self.read_sig(codec)?;
+                    best = best.min(matcher.estimate(codec, &self.sig_buf));
+                }
+                Ok(Some(best))
+            }
+            ListType::IV => unreachable!(),
+        }
+    }
+
+    /// Move past `tid` without evaluating (tombstoned tuples).
+    pub fn skip(&mut self, tid: u32, codec: &SigCodec) -> Result<()> {
+        match self.ty {
+            ListType::I => loop {
+                if self.peek_tid.is_none() {
+                    if self.reader.at_end() {
+                        return Ok(());
+                    }
+                    self.peek_tid = Some(self.reader.read_u32()?);
+                }
+                let t = self.peek_tid.unwrap();
+                if t <= tid {
+                    self.skip_sig(codec)?;
+                    self.peek_tid = None;
+                } else {
+                    return Ok(());
+                }
+            },
+            ListType::II => loop {
+                if self.peek_tid.is_none() {
+                    if self.reader.at_end() {
+                        return Ok(());
+                    }
+                    self.peek_tid = Some(self.reader.read_u32()?);
+                }
+                let t = self.peek_tid.unwrap();
+                if t <= tid {
+                    let num = self.reader.read_u8()?;
+                    for _ in 0..num {
+                        self.skip_sig(codec)?;
+                    }
+                    self.peek_tid = None;
+                } else {
+                    return Ok(());
+                }
+            },
+            ListType::III => {
+                if self.reader.at_end() {
+                    return Ok(());
+                }
+                let num = self.reader.read_u8()?;
+                for _ in 0..num {
+                    self.skip_sig(codec)?;
+                }
+                Ok(())
+            }
+            ListType::IV => unreachable!(),
+        }
+    }
+}
+
+/// Scanning cursor over a numeric vector list.
+pub struct NumListCursor {
+    reader: ListReader,
+    ty: ListType,
+    peek_tid: Option<u32>,
+    code_buf: [u8; 8],
+}
+
+impl NumListCursor {
+    /// Open a cursor at the head of a list.
+    pub fn new(reader: ListReader, ty: ListType) -> Self {
+        debug_assert!(matches!(ty, ListType::I | ListType::IV));
+        Self { reader, ty, peek_tid: None, code_buf: [0; 8] }
+    }
+
+    fn read_code(&mut self, codec: &NumericCodec) -> Result<u64> {
+        let n = codec.code_bytes();
+        self.reader.read_exact(&mut self.code_buf[..n])?;
+        codec.read_code(&self.code_buf[..n])
+    }
+
+    /// Move to `tid` and return the stored code, or `None` for *ndf*.
+    pub fn advance(&mut self, tid: u32, codec: &NumericCodec) -> Result<Option<u64>> {
+        match self.ty {
+            ListType::I => loop {
+                if self.peek_tid.is_none() {
+                    if self.reader.at_end() {
+                        return Ok(None);
+                    }
+                    self.peek_tid = Some(self.reader.read_u32()?);
+                }
+                let t = self.peek_tid.unwrap();
+                if t < tid {
+                    self.reader.skip(codec.code_bytes() as u64)?;
+                    self.peek_tid = None;
+                } else if t == tid {
+                    let code = self.read_code(codec)?;
+                    self.peek_tid = None;
+                    return Ok(Some(code));
+                } else {
+                    return Ok(None); // freeze
+                }
+            },
+            ListType::IV => {
+                if self.reader.at_end() {
+                    return Ok(None);
+                }
+                let code = self.read_code(codec)?;
+                Ok(if code == codec.ndf_code() { None } else { Some(code) })
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Move past `tid` without evaluating.
+    pub fn skip(&mut self, tid: u32, codec: &NumericCodec) -> Result<()> {
+        match self.ty {
+            ListType::I => loop {
+                if self.peek_tid.is_none() {
+                    if self.reader.at_end() {
+                        return Ok(());
+                    }
+                    self.peek_tid = Some(self.reader.read_u32()?);
+                }
+                let t = self.peek_tid.unwrap();
+                if t <= tid {
+                    self.reader.skip(codec.code_bytes() as u64)?;
+                    self.peek_tid = None;
+                } else {
+                    return Ok(());
+                }
+            },
+            ListType::IV => {
+                if !self.reader.at_end() {
+                    self.reader.skip(codec.code_bytes() as u64)?;
+                }
+                Ok(())
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iva_storage::{write_contiguous_list, IoStats, Pager, PagerOptions};
+    use std::sync::Arc;
+
+    fn pager() -> Arc<Pager> {
+        Pager::create_mem(&PagerOptions { page_size: 128, cache_bytes: 4096 }, IoStats::new())
+    }
+
+    fn reader_for(p: &Arc<Pager>, data: &[u8]) -> ListReader {
+        let h = write_contiguous_list(p, data).unwrap();
+        ListReader::open(Arc::clone(p), h).unwrap()
+    }
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for t in [ListType::I, ListType::II, ListType::III, ListType::IV] {
+            assert_eq!(ListType::from_code(t.code()).unwrap(), t);
+        }
+        assert!(ListType::from_code(0).is_err());
+        assert!(ListType::from_code(9).is_err());
+    }
+
+    #[test]
+    fn selection_matches_formulas() {
+        // Dense attribute with one string per value: Type III wins when
+        // lnum·|T| < (ltid+lnum)·df, i.e. df > |T|/5.
+        assert_eq!(choose_text_type(900, 900, 1000), ListType::III);
+        // Sparse attribute: Type II wins over I when str > df (multi-string)
+        // and over III when df small.
+        assert_eq!(choose_text_type(40, 20, 1000), ListType::II);
+        // One string per tuple, sparse: I and II tie at str == df except
+        // lnum; LI = 4·str, LII = 5·df; str == df => I wins.
+        assert_eq!(choose_text_type(20, 20, 1000), ListType::I);
+        // Numeric: IV wins when code·|T| < (4+code)·df.
+        assert_eq!(choose_num_type(2, 900, 1000), ListType::IV);
+        assert_eq!(choose_num_type(2, 100, 1000), ListType::I);
+    }
+
+    #[test]
+    fn encoded_sizes_match_formulas() {
+        let codec = SigCodec::new(0.2, 2);
+        let items: Vec<(u32, Vec<Vec<u8>>)> = vec![
+            (0, vec![codec.encode_to_vec(b"wide-angle"), codec.encode_to_vec(b"telephoto")]),
+            (3, vec![codec.encode_to_vec(b"white")]),
+            (7, vec![codec.encode_to_vec(b"red")]),
+        ];
+        let all_tids: Vec<u32> = (0..10).collect();
+        let sig_total: u64 = items
+            .iter()
+            .flat_map(|(_, sigs)| sigs.iter())
+            .map(|s| s.len() as u64)
+            .sum();
+        let (l1, l2, l3) = text_list_sizes(4, 3, 10, sig_total);
+        assert_eq!(encode_text_list(ListType::I, &items, &all_tids).len() as u64, l1);
+        assert_eq!(encode_text_list(ListType::II, &items, &all_tids).len() as u64, l2);
+        assert_eq!(encode_text_list(ListType::III, &items, &all_tids).len() as u64, l3);
+
+        let ncodec = NumericCodec::new(0.0, 100.0, 2);
+        let nitems: Vec<(u32, u64)> =
+            vec![(1, ncodec.encode(5.0)), (4, ncodec.encode(50.0)), (9, ncodec.encode(99.0))];
+        let (n1, n4) = num_list_sizes(2, 3, 10);
+        assert_eq!(encode_num_list(ListType::I, &nitems, &all_tids, &ncodec).len() as u64, n1);
+        assert_eq!(encode_num_list(ListType::IV, &nitems, &all_tids, &ncodec).len() as u64, n4);
+    }
+
+    fn text_roundtrip(ty: ListType) {
+        let codec = SigCodec::new(0.3, 2);
+        let p = pager();
+        let strings: Vec<(u32, Vec<&str>)> = vec![
+            (0, vec!["wide-angle", "telephoto"]),
+            (3, vec!["white"]),
+            (7, vec!["red"]),
+        ];
+        let items: Vec<(u32, Vec<Vec<u8>>)> = strings
+            .iter()
+            .map(|(t, ss)| (*t, ss.iter().map(|s| codec.encode_to_vec(s.as_bytes())).collect()))
+            .collect();
+        let all_tids: Vec<u32> = (0..10).collect();
+        let data = encode_text_list(ty, &items, &all_tids);
+        let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
+
+        let mut matcher = QueryStringMatcher::new(&codec, b"white");
+        for tid in 0..10u32 {
+            let got = cur.advance(tid, &codec, &mut matcher).unwrap();
+            let expect_defined = strings.iter().any(|(t, _)| *t == tid);
+            assert_eq!(got.is_some(), expect_defined, "type {ty} tid {tid}");
+            if tid == 3 {
+                // Exact match on one of the strings: estimate must be 0.
+                assert_eq!(got, Some(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn text_cursor_type_i() {
+        text_roundtrip(ListType::I);
+    }
+
+    #[test]
+    fn text_cursor_type_ii() {
+        text_roundtrip(ListType::II);
+    }
+
+    #[test]
+    fn text_cursor_type_iii() {
+        text_roundtrip(ListType::III);
+    }
+
+    #[test]
+    fn multi_string_takes_min_estimate() {
+        let codec = SigCodec::new(0.3, 2);
+        let p = pager();
+        let items: Vec<(u32, Vec<Vec<u8>>)> = vec![(
+            0,
+            vec![codec.encode_to_vec(b"alkaline battery"), codec.encode_to_vec(b"white")],
+        )];
+        let all_tids = vec![0u32];
+        for ty in [ListType::I, ListType::II, ListType::III] {
+            let data = encode_text_list(ty, &items, &all_tids);
+            let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
+            let mut matcher = QueryStringMatcher::new(&codec, b"white");
+            let got = cur.advance(0, &codec, &mut matcher).unwrap().unwrap();
+            assert_eq!(got, 0.0, "type {ty}");
+        }
+    }
+
+    fn num_roundtrip(ty: ListType) {
+        let codec = NumericCodec::new(0.0, 100.0, 2);
+        let p = pager();
+        let items: Vec<(u32, u64)> =
+            vec![(1, codec.encode(10.0)), (4, codec.encode(50.0)), (9, codec.encode(90.0))];
+        let all_tids: Vec<u32> = (0..10).collect();
+        let data = encode_num_list(ty, &items, &all_tids, &codec);
+        let mut cur = NumListCursor::new(reader_for(&p, &data), ty);
+        for tid in 0..10u32 {
+            let got = cur.advance(tid, &codec).unwrap();
+            let expect = items.iter().find(|(t, _)| *t == tid).map(|(_, c)| *c);
+            assert_eq!(got, expect, "type {ty} tid {tid}");
+        }
+    }
+
+    #[test]
+    fn num_cursor_type_i() {
+        num_roundtrip(ListType::I);
+    }
+
+    #[test]
+    fn num_cursor_type_iv() {
+        num_roundtrip(ListType::IV);
+    }
+
+    #[test]
+    fn skip_keeps_alignment() {
+        let codec = SigCodec::new(0.3, 2);
+        let p = pager();
+        let items: Vec<(u32, Vec<Vec<u8>>)> = (0..5u32)
+            .map(|t| (t, vec![codec.encode_to_vec(format!("val{t}").as_bytes())]))
+            .collect();
+        let all_tids: Vec<u32> = (0..5).collect();
+        for ty in [ListType::I, ListType::II, ListType::III] {
+            let data = encode_text_list(ty, &items, &all_tids);
+            let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
+            let mut matcher = QueryStringMatcher::new(&codec, b"val3");
+            // Skip tuples 0-2 (as if tombstoned), then evaluate 3.
+            for tid in 0..3u32 {
+                cur.skip(tid, &codec).unwrap();
+            }
+            let got = cur.advance(3, &codec, &mut matcher).unwrap();
+            assert_eq!(got, Some(0.0), "type {ty}");
+        }
+    }
+
+    #[test]
+    fn positional_cursor_lazy_tail_is_ndf() {
+        // Type III/IV lists shorter than the tuple list: the tail reads as
+        // ndf (tuples appended after the last element on this attribute).
+        let codec = SigCodec::new(0.3, 2);
+        let p = pager();
+        let items: Vec<(u32, Vec<Vec<u8>>)> = vec![(0, vec![codec.encode_to_vec(b"x")])];
+        let data = encode_text_list(ListType::III, &items, &[0u32]);
+        let mut cur = TextListCursor::new(reader_for(&p, &data), ListType::III);
+        let mut matcher = QueryStringMatcher::new(&codec, b"x");
+        assert!(cur.advance(0, &codec, &mut matcher).unwrap().is_some());
+        assert!(cur.advance(1, &codec, &mut matcher).unwrap().is_none());
+        assert!(cur.advance(2, &codec, &mut matcher).unwrap().is_none());
+    }
+
+    #[test]
+    fn keyed_cursor_with_gaps_in_tids() {
+        // Tuple list tids need not be consecutive (deletions/updates).
+        let codec = NumericCodec::new(0.0, 10.0, 1);
+        let p = pager();
+        let items: Vec<(u32, u64)> = vec![(5, codec.encode(1.0)), (20, codec.encode(9.0))];
+        let data = encode_num_list(ListType::I, &items, &[], &codec);
+        let mut cur = NumListCursor::new(reader_for(&p, &data), ListType::I);
+        for tid in [2u32, 5, 11, 20, 30] {
+            let got = cur.advance(tid, &codec).unwrap();
+            assert_eq!(got.is_some(), tid == 5 || tid == 20, "tid {tid}");
+        }
+    }
+}

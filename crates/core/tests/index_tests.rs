@@ -1,0 +1,460 @@
+//! End-to-end tests of the iVA-file: build, query, update, reopen.
+//!
+//! The key oracle is brute force: for any dataset, query, metric and weight
+//! scheme, the index's top-k distances must equal the exact in-memory
+//! top-k distances (the index may return a different tuple among exact
+//! ties, so distances — not tids — are compared, plus set-inclusion checks
+//! on untied prefixes).
+
+use iva_core::{
+    build_index, exact_distance, IndexTarget, IvaConfig, IvaIndex, Metric, MetricKind, Query,
+    QueryValue, WeightScheme,
+};
+use iva_storage::{IoStats, PagerOptions};
+use iva_swt::{AttrId, SwtTable, Tid, Tuple, Value};
+
+fn opts() -> PagerOptions {
+    PagerOptions { page_size: 512, cache_bytes: 64 * 1024 }
+}
+
+/// A small electronics-flavoured dataset exercising text (single- and
+/// multi-string), numeric, and heavy sparsity.
+fn sample_table() -> SwtTable {
+    let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+    let ty = t.define_text("Type").unwrap();
+    let price = t.define_numeric("Price").unwrap();
+    let company = t.define_text("Company").unwrap();
+    let pixel = t.define_numeric("Pixel").unwrap();
+    let lens = t.define_text("Lens").unwrap();
+    let _unused = t.define_text("NeverDefined").unwrap();
+
+    let rows: Vec<Tuple> = vec![
+        Tuple::new()
+            .with(ty, Value::text("Digital Camera"))
+            .with(price, Value::num(230.0))
+            .with(company, Value::text("Canon"))
+            .with(pixel, Value::num(10_000_000.0)),
+        Tuple::new()
+            .with(ty, Value::text("Digital Camera"))
+            .with(price, Value::num(240.0))
+            .with(company, Value::text("Sony")),
+        Tuple::new()
+            .with(ty, Value::text("Digital Camera"))
+            .with(price, Value::num(230.0))
+            .with(company, Value::text("Cannon")), // the paper's typo tuple
+        Tuple::new()
+            .with(ty, Value::text("Music Album"))
+            .with(price, Value::num(20.0)),
+        Tuple::new()
+            .with(ty, Value::text("Job Position"))
+            .with(company, Value::text("Google")),
+        Tuple::new()
+            .with(lens, Value::texts(["Telephoto", "Wide-angle"]))
+            .with(company, Value::text("Canon")),
+        Tuple::new().with(lens, Value::text("Wide-angle")).with(company, Value::text("Nikon")),
+        Tuple::new().with(price, Value::num(500.0)),
+    ];
+    for r in &rows {
+        t.insert(r).unwrap();
+    }
+    t
+}
+
+fn brute_force_topk<M: Metric>(
+    table: &SwtTable,
+    index: &IvaIndex,
+    query: &Query,
+    k: usize,
+    metric: &M,
+    weights: WeightScheme,
+) -> Vec<(Tid, f64)> {
+    let lambda = index.resolve_weights(query, weights);
+    let ndf = index.config().ndf_penalty;
+    let mut all: Vec<(Tid, f64)> = table
+        .scan()
+        .map(|r| r.unwrap().1)
+        .filter(|rec| !rec.deleted)
+        .map(|rec| (rec.tid, exact_distance(&rec.tuple, query, &lambda, metric, ndf)))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+fn assert_matches_brute_force<M: Metric>(
+    table: &SwtTable,
+    index: &IvaIndex,
+    query: &Query,
+    k: usize,
+    metric: &M,
+    weights: WeightScheme,
+) {
+    let got = index.query(table, query, k, metric, weights).unwrap();
+    let expect = brute_force_topk(table, index, query, k, metric, weights);
+    let got_dists: Vec<f64> = got.results.iter().map(|e| e.dist).collect();
+    let expect_dists: Vec<f64> = expect.iter().map(|(_, d)| *d).collect();
+    assert_eq!(got_dists.len(), expect_dists.len(), "result count");
+    for (g, e) in got_dists.iter().zip(&expect_dists) {
+        assert!((g - e).abs() < 1e-9, "distances diverge: {got_dists:?} vs {expect_dists:?}");
+    }
+}
+
+fn build(table: &SwtTable, config: IvaConfig) -> IvaIndex {
+    build_index(table, IndexTarget::Mem, &opts(), IoStats::new(), config).unwrap()
+}
+
+#[test]
+fn exact_results_default_config() {
+    let table = sample_table();
+    let index = build(&table, IvaConfig::default());
+    let ty = AttrId(0);
+    let price = AttrId(1);
+    let company = AttrId(2);
+
+    let q = Query::new().text(ty, "Digital Camera").num(price, 200.0).text(company, "Canon");
+    for k in [1, 2, 3, 5, 100] {
+        assert_matches_brute_force(&table, &index, &q, k, &MetricKind::L2, WeightScheme::Equal);
+    }
+}
+
+#[test]
+fn typo_tolerant_ranking() {
+    // The paper's Fig. 2: "Cannon" (typo) must rank close behind "Canon".
+    let table = sample_table();
+    let index = build(&table, IvaConfig::default());
+    let q = Query::new()
+        .text(AttrId(0), "Digital Camera")
+        .num(AttrId(1), 230.0)
+        .text(AttrId(2), "Canon");
+    let out = index
+        .query(&table, &q, 2, &MetricKind::L1, WeightScheme::Equal)
+        .unwrap();
+    assert_eq!(out.results[0].tid, 0); // exact match on all three
+    assert_eq!(out.results[1].tid, 2); // the "Cannon" typo tuple
+    assert!((out.results[1].dist - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn all_metrics_and_weights_are_exact() {
+    let table = sample_table();
+    let index = build(&table, IvaConfig::default());
+    let q = Query::new().text(AttrId(4), "Wide-angle").text(AttrId(2), "Canon");
+    for metric in [MetricKind::L1, MetricKind::L2, MetricKind::LInf] {
+        for weights in [WeightScheme::Equal, WeightScheme::Itf] {
+            assert_matches_brute_force(&table, &index, &q, 3, &metric, weights);
+        }
+    }
+}
+
+#[test]
+fn custom_monotone_metric_is_supported() {
+    // Metric-obliviousness: any monotone f works. Use a weighted power
+    // mean not shipped with the crate.
+    struct PowerMean;
+    impl Metric for PowerMean {
+        fn combine(&self, d: &[f64]) -> f64 {
+            (d.iter().map(|x| x.powf(3.0)).sum::<f64>()).powf(1.0 / 3.0)
+        }
+    }
+    let table = sample_table();
+    let index = build(&table, IvaConfig::default());
+    let q = Query::new().text(AttrId(0), "Music Album").num(AttrId(1), 25.0);
+    assert_matches_brute_force(&table, &index, &q, 4, &PowerMean, WeightScheme::Equal);
+}
+
+#[test]
+fn single_attribute_queries() {
+    let table = sample_table();
+    let index = build(&table, IvaConfig::default());
+    assert_matches_brute_force(
+        &table,
+        &index,
+        &Query::new().num(AttrId(1), 230.0),
+        3,
+        &MetricKind::L2,
+        WeightScheme::Equal,
+    );
+    assert_matches_brute_force(
+        &table,
+        &index,
+        &Query::new().text(AttrId(2), "Sony"),
+        3,
+        &MetricKind::L2,
+        WeightScheme::Equal,
+    );
+}
+
+#[test]
+fn query_on_never_defined_attribute() {
+    let table = sample_table();
+    let index = build(&table, IvaConfig::default());
+    // Attribute 5 exists in the catalog but no tuple defines it: every
+    // tuple is at the ndf penalty.
+    let q = Query::new().text(AttrId(5), "anything");
+    let out = index.query(&table, &q, 3, &MetricKind::L1, WeightScheme::Equal).unwrap();
+    assert_eq!(out.results.len(), 3);
+    for e in &out.results {
+        assert!((e.dist - 20.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn alpha_and_n_sweeps_stay_exact() {
+    let table = sample_table();
+    let q = Query::new().text(AttrId(0), "Digital Camera").text(AttrId(2), "Canon");
+    for alpha in [0.10, 0.15, 0.20, 0.25, 0.30] {
+        for n in [2usize, 3, 4, 5] {
+            let cfg = IvaConfig { alpha, n, ..Default::default() };
+            let index = build(&table, cfg);
+            assert_matches_brute_force(&table, &index, &q, 3, &MetricKind::L2, WeightScheme::Equal);
+        }
+    }
+}
+
+#[test]
+fn query_type_mismatch_is_rejected() {
+    let table = sample_table();
+    let index = build(&table, IvaConfig::default());
+    let bad = Query::new().num(AttrId(0), 1.0); // Type is a text attribute
+    assert!(index.query(&table, &bad, 2, &MetricKind::L2, WeightScheme::Equal).is_err());
+    let bad = Query::new().text(AttrId(1), "x"); // Price is numeric
+    assert!(index.query(&table, &bad, 2, &MetricKind::L2, WeightScheme::Equal).is_err());
+    // An attribute beyond the indexed catalog is not an error: it is
+    // simply ndf everywhere (it may have been defined after the build).
+    let post_build = Query::new().text(AttrId(99), "x");
+    let out = index.query(&table, &post_build, 2, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    assert!(out.results.iter().all(|e| (e.dist - 20.0).abs() < 1e-9));
+}
+
+#[test]
+fn filter_prunes_table_accesses() {
+    // Content-consciousness: with a selective query, the index must fetch
+    // far fewer tuples than a full scan would.
+    let mut table = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+    let name = table.define_text("Name").unwrap();
+    let value = table.define_numeric("Value").unwrap();
+    for i in 0..500u32 {
+        table
+            .insert(
+                &Tuple::new()
+                    .with(name, Value::text(format!("distinct item label {i:04}")))
+                    .with(value, Value::num(f64::from(i))),
+            )
+            .unwrap();
+    }
+    let index = build(&table, IvaConfig::default());
+    let q = Query::new().text(name, "distinct item label 0007").num(value, 7.0);
+    let out = index.query(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    assert_eq!(out.results[0].tid, 7);
+    assert_eq!(out.stats.tuples_scanned, 500);
+    assert!(
+        out.stats.table_accesses < 250,
+        "expected pruning, got {} accesses",
+        out.stats.table_accesses
+    );
+}
+
+#[test]
+fn insert_then_query_finds_new_tuple() {
+    let mut table = sample_table();
+    let mut index = build(&table, IvaConfig::default());
+    let ty = AttrId(0);
+    let company = AttrId(2);
+
+    let new = Tuple::new()
+        .with(ty, Value::text("Digital Camera"))
+        .with(company, Value::text("Panasonic"));
+    let (tid, ptr) = table.insert(&new).unwrap();
+    index.insert(tid, ptr, &new, table.catalog()).unwrap();
+
+    let q = Query::new().text(company, "Panasonic");
+    let out = index.query(&table, &q, 1, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    assert_eq!(out.results[0].tid, tid);
+    assert_eq!(out.results[0].dist, 0.0);
+    assert_matches_brute_force(&table, &index, &q, 3, &MetricKind::L2, WeightScheme::Equal);
+}
+
+#[test]
+fn insert_on_new_catalog_attribute() {
+    let mut table = sample_table();
+    let mut index = build(&table, IvaConfig::default());
+    let color = table.define_text("Color").unwrap();
+    let weight = table.define_numeric("Weight").unwrap();
+
+    let new = Tuple::new().with(color, Value::text("Red")).with(weight, Value::num(1.5));
+    let (tid, ptr) = table.insert(&new).unwrap();
+    index.insert(tid, ptr, &new, table.catalog()).unwrap();
+
+    let q = Query::new().text(color, "Red").num(weight, 1.5);
+    let out = index.query(&table, &q, 2, &MetricKind::L1, WeightScheme::Equal).unwrap();
+    assert_eq!(out.results[0].tid, tid);
+    assert_eq!(out.results[0].dist, 0.0);
+    assert_matches_brute_force(&table, &index, &q, 4, &MetricKind::L1, WeightScheme::Equal);
+}
+
+#[test]
+fn many_inserts_stay_exact() {
+    let mut table = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+    let a = table.define_text("A").unwrap();
+    let b = table.define_numeric("B").unwrap();
+    // Build over an initial chunk...
+    for i in 0..30u32 {
+        table
+            .insert(
+                &Tuple::new()
+                    .with(a, Value::text(format!("base{i}")))
+                    .with(b, Value::num(f64::from(i))),
+            )
+            .unwrap();
+    }
+    let mut index = build(&table, IvaConfig::default());
+    // ...then insert more incrementally, alternating sparse patterns.
+    for i in 30..80u32 {
+        let mut t = Tuple::new();
+        if i % 2 == 0 {
+            t.set(a, Value::text(format!("inc{i}")));
+        }
+        if i % 3 == 0 {
+            t.set(b, Value::num(f64::from(i) * 2.0));
+        }
+        let (tid, ptr) = table.insert(&t).unwrap();
+        index.insert(tid, ptr, &t, table.catalog()).unwrap();
+    }
+    for q in [
+        Query::new().text(a, "inc42"),
+        Query::new().num(b, 100.0),
+        Query::new().text(a, "base7").num(b, 7.0),
+    ] {
+        assert_matches_brute_force(&table, &index, &q, 5, &MetricKind::L2, WeightScheme::Equal);
+    }
+}
+
+#[test]
+fn delete_removes_from_results() {
+    let mut table = sample_table();
+    let mut index = build(&table, IvaConfig::default());
+    let q = Query::new().text(AttrId(2), "Canon");
+    let before = index.query(&table, &q, 1, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    let victim = before.results[0].tid;
+
+    let ptr = index.lookup_ptr(victim).unwrap().unwrap();
+    table.delete(ptr).unwrap();
+    assert!(index.delete(victim).unwrap());
+    assert!(!index.delete(victim).unwrap()); // idempotent
+    assert_eq!(index.n_deleted(), 1);
+    assert!(index.deleted_fraction() > 0.0);
+
+    let after = index.query(&table, &q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    assert!(after.results.iter().all(|e| e.tid != victim));
+    assert_matches_brute_force(&table, &index, &q, 5, &MetricKind::L2, WeightScheme::Equal);
+}
+
+#[test]
+fn delete_unknown_tid_is_noop() {
+    let table = sample_table();
+    let mut index = build(&table, IvaConfig::default());
+    assert!(!index.delete(9999).unwrap());
+    assert_eq!(index.n_deleted(), 0);
+}
+
+#[test]
+fn rebuild_after_deletes_matches() {
+    let mut table = sample_table();
+    let mut index = build(&table, IvaConfig::default());
+    for tid in [1u64, 3, 5] {
+        let ptr = index.lookup_ptr(tid).unwrap().unwrap();
+        table.delete(ptr).unwrap();
+        index.delete(tid).unwrap();
+    }
+    // Periodic cleanup: compact the table, rebuild the index.
+    let (fresh_table, _) = table.compact_into(None, &opts(), IoStats::new()).unwrap();
+    let fresh_index = build(&fresh_table, IvaConfig::default());
+    assert_eq!(fresh_index.n_tuples(), 5);
+    assert_eq!(fresh_index.n_deleted(), 0);
+
+    let q = Query::new().text(AttrId(2), "Canon").num(AttrId(1), 230.0);
+    assert_matches_brute_force(
+        &fresh_table,
+        &fresh_index,
+        &q,
+        4,
+        &MetricKind::L2,
+        WeightScheme::Equal,
+    );
+    // Deleted tids must not resurface.
+    let out = fresh_index
+        .query(&fresh_table, &q, 10, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
+    assert!(out.results.iter().all(|e| ![1u64, 3, 5].contains(&e.tid)));
+}
+
+#[test]
+fn persistence_roundtrip_on_disk() {
+    let dir = std::env::temp_dir().join(format!("iva-idx-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let table = sample_table();
+    let idx_path = dir.join("test.iva");
+    let q = Query::new().text(AttrId(0), "Digital Camera").text(AttrId(2), "Canon");
+    let expect: Vec<f64>;
+    {
+        let mut index = build_index(
+            &table,
+            IndexTarget::Disk(&idx_path),
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
+        expect = index
+            .query(&table, &q, 3, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap()
+            .results
+            .iter()
+            .map(|e| e.dist)
+            .collect();
+        index.flush().unwrap();
+    }
+    let index = IvaIndex::open(&idx_path, &opts(), IoStats::new()).unwrap();
+    assert_eq!(index.n_tuples(), 8);
+    let got: Vec<f64> = index
+        .query(&table, &q, 3, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap()
+        .results
+        .iter()
+        .map(|e| e.dist)
+        .collect();
+    assert_eq!(got, expect);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn k_larger_than_table_returns_all_live() {
+    let table = sample_table();
+    let index = build(&table, IvaConfig::default());
+    let q = Query::new().num(AttrId(1), 0.0);
+    let out = index.query(&table, &q, 100, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    assert_eq!(out.results.len(), 8);
+    // Sorted ascending.
+    for w in out.results.windows(2) {
+        assert!(w[0].dist <= w[1].dist);
+    }
+}
+
+#[test]
+fn empty_table_build_and_query() {
+    let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+    let a = t.define_text("A").unwrap();
+    let index = build(&t, IvaConfig::default());
+    let out = index
+        .query(&t, &Query::new().text(a, "x"), 5, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
+    assert!(out.results.is_empty());
+}
+
+#[test]
+fn query_value_accessors() {
+    let q = Query::new().text(AttrId(1), "abc").num(AttrId(0), 2.0);
+    let vals: Vec<_> = q.iter().collect();
+    assert_eq!(vals[0].1, &QueryValue::Num(2.0));
+    assert_eq!(vals[1].1, &QueryValue::Text("abc".into()));
+}

@@ -1,0 +1,181 @@
+//! Property tests: for ANY random sparse dataset and query, the iVA-file
+//! returns exactly the brute-force top-k distances — under every metric,
+//! weight scheme, and (α, n) configuration, and across updates.
+
+use proptest::prelude::*;
+
+use iva_core::{
+    build_index, exact_distance, IndexTarget, IvaConfig, IvaIndex, Metric, MetricKind, Query,
+    WeightScheme,
+};
+use iva_storage::{IoStats, PagerOptions};
+use iva_swt::{AttrId, SwtTable, Tuple, Value};
+
+const N_TEXT_ATTRS: u32 = 4;
+const N_NUM_ATTRS: u32 = 3;
+
+fn opts() -> PagerOptions {
+    PagerOptions { page_size: 256, cache_bytes: 32 * 1024 }
+}
+
+/// A random sparse tuple over a small attribute universe with a shared
+/// vocabulary (so queries have near-matches).
+fn arb_tuple() -> impl Strategy<Value = Vec<(u32, FieldVal)>> {
+    let text_field = (0..N_TEXT_ATTRS, arb_text_value()).prop_map(|(a, v)| (a, FieldVal::T(v)));
+    let num_field = (0..N_NUM_ATTRS, -50.0f64..50.0)
+        .prop_map(|(a, v)| (N_TEXT_ATTRS + a, FieldVal::N(v)));
+    proptest::collection::vec(prop_oneof![text_field, num_field], 0..5)
+}
+
+#[derive(Debug, Clone)]
+enum FieldVal {
+    T(Vec<String>),
+    N(f64),
+}
+
+fn arb_word() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec![
+        "canon", "cannon", "sony", "nikon", "camera", "digital camera", "music album",
+        "wide-angle", "telephoto", "google", "red", "white", "job position",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn arb_text_value() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_word(), 1..3)
+}
+
+fn build_table(rows: &[Vec<(u32, FieldVal)>]) -> SwtTable {
+    let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+    for i in 0..N_TEXT_ATTRS {
+        t.define_text(&format!("T{i}")).unwrap();
+    }
+    for i in 0..N_NUM_ATTRS {
+        t.define_numeric(&format!("N{i}")).unwrap();
+    }
+    for row in rows {
+        let mut tuple = Tuple::new();
+        for (attr, v) in row {
+            match v {
+                FieldVal::T(strings) => {
+                    tuple.set(AttrId(*attr), Value::texts(strings.clone()));
+                }
+                FieldVal::N(x) => {
+                    tuple.set(AttrId(*attr), Value::num(*x));
+                }
+            }
+        }
+        t.insert(&tuple).unwrap();
+    }
+    t
+}
+
+fn build_query(fields: &[(u32, FieldVal)]) -> Query {
+    let mut q = Query::new();
+    for (attr, v) in fields {
+        match v {
+            FieldVal::T(strings) => q = q.text(AttrId(*attr), strings[0].clone()),
+            FieldVal::N(x) => q = q.num(AttrId(*attr), *x),
+        }
+    }
+    q
+}
+
+fn check_equivalence<M: Metric>(
+    table: &SwtTable,
+    index: &IvaIndex,
+    query: &Query,
+    k: usize,
+    metric: &M,
+    weights: WeightScheme,
+) -> Result<(), TestCaseError> {
+    let lambda = index.resolve_weights(query, weights);
+    let ndf = index.config().ndf_penalty;
+    let mut expect: Vec<f64> = table
+        .scan()
+        .map(|r| r.unwrap().1)
+        .filter(|rec| !rec.deleted)
+        .map(|rec| exact_distance(&rec.tuple, query, &lambda, metric, ndf))
+        .collect();
+    expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    expect.truncate(k);
+
+    let got = index.query(table, query, k, metric, weights).unwrap();
+    let got: Vec<f64> = got.results.iter().map(|e| e.dist).collect();
+    prop_assert_eq!(got.len(), expect.len());
+    for (g, e) in got.iter().zip(&expect) {
+        prop_assert!((g - e).abs() < 1e-9, "got {:?} expect {:?}", got, expect);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn topk_equals_brute_force(
+        rows in proptest::collection::vec(arb_tuple(), 1..30),
+        qfields in proptest::collection::vec(
+            prop_oneof![
+                (0..N_TEXT_ATTRS, arb_text_value()).prop_map(|(a, v)| (a, FieldVal::T(v))),
+                (0..N_NUM_ATTRS, -60.0f64..60.0).prop_map(|(a, v)| (N_TEXT_ATTRS + a, FieldVal::N(v))),
+            ],
+            1..4,
+        ),
+        k in 1usize..8,
+        alpha in 0.1f64..0.4,
+        metric_sel in 0u8..3,
+        itf in proptest::bool::ANY,
+    ) {
+        let table = build_table(&rows);
+        let cfg = IvaConfig { alpha, ..Default::default() };
+        let index = build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), cfg).unwrap();
+        let query = build_query(&qfields);
+        let weights = if itf { WeightScheme::Itf } else { WeightScheme::Equal };
+        match metric_sel {
+            0 => check_equivalence(&table, &index, &query, k, &MetricKind::L1, weights)?,
+            1 => check_equivalence(&table, &index, &query, k, &MetricKind::L2, weights)?,
+            _ => check_equivalence(&table, &index, &query, k, &MetricKind::LInf, weights)?,
+        }
+    }
+
+    #[test]
+    fn topk_exact_after_inserts_and_deletes(
+        initial in proptest::collection::vec(arb_tuple(), 1..15),
+        extra in proptest::collection::vec(arb_tuple(), 0..10),
+        delete_sel in proptest::collection::vec(proptest::bool::ANY, 25),
+        qfields in proptest::collection::vec(
+            (0..N_TEXT_ATTRS, arb_text_value()).prop_map(|(a, v)| (a, FieldVal::T(v))),
+            1..3,
+        ),
+    ) {
+        let mut table = build_table(&initial);
+        let mut index =
+            build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), IvaConfig::default())
+                .unwrap();
+        // Incremental inserts.
+        for row in &extra {
+            let mut tuple = Tuple::new();
+            for (attr, v) in row {
+                match v {
+                    FieldVal::T(strings) => { tuple.set(AttrId(*attr), Value::texts(strings.clone())); }
+                    FieldVal::N(x) => { tuple.set(AttrId(*attr), Value::num(*x)); }
+                }
+            }
+            let (tid, ptr) = table.insert(&tuple).unwrap();
+            index.insert(tid, ptr, &tuple, table.catalog()).unwrap();
+        }
+        // Random deletions.
+        let total = (initial.len() + extra.len()) as u64;
+        for tid in 0..total {
+            if delete_sel[tid as usize % delete_sel.len()] && tid % 3 == 0 {
+                if let Some(ptr) = index.lookup_ptr(tid).unwrap() {
+                    table.delete(ptr).unwrap();
+                    index.delete(tid).unwrap();
+                }
+            }
+        }
+        let query = build_query(&qfields);
+        check_equivalence(&table, &index, &query, 5, &MetricKind::L2, WeightScheme::Equal)?;
+    }
+}

@@ -1,0 +1,145 @@
+//! Robustness and operational-surface tests: the explain API, concurrent
+//! readers, and graceful failure on corrupted index files.
+
+use std::sync::Arc;
+
+use iva_core::{
+    build_index, IndexTarget, IvaConfig, IvaIndex, ListType, MetricKind, Query, WeightScheme,
+};
+use iva_storage::{IoStats, PagerOptions};
+use iva_swt::{AttrId, SwtTable, Tuple, Value};
+
+fn opts() -> PagerOptions {
+    PagerOptions { page_size: 512, cache_bytes: 64 * 1024 }
+}
+
+fn sample() -> (SwtTable, IvaIndex) {
+    let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+    let name = t.define_text("name").unwrap();
+    let price = t.define_numeric("price").unwrap();
+    for i in 0..300u32 {
+        let mut tup = Tuple::new();
+        tup.set(name, Value::text(format!("listing number {i:04}")));
+        if i % 2 == 0 {
+            tup.set(price, Value::num(f64::from(i)));
+        }
+        t.insert(&tup).unwrap();
+    }
+    let idx = build_index(&t, IndexTarget::Mem, &opts(), IoStats::new(), IvaConfig::default())
+        .unwrap();
+    (t, idx)
+}
+
+#[test]
+fn explain_reports_plan_shape() {
+    let (_t, idx) = sample();
+    let q = Query::new().text(AttrId(0), "listing number 0001").num(AttrId(1), 10.0);
+    let ex = idx.explain(&q, WeightScheme::Itf);
+    assert_eq!(ex.attrs.len(), 2);
+    assert_eq!(ex.tuples_to_scan, 300);
+    assert_eq!(ex.tombstones, 0);
+
+    let text_attr = &ex.attrs[0];
+    assert!(text_attr.is_text);
+    assert_eq!(text_attr.df, 300);
+    assert!((text_attr.definedness - 1.0).abs() < 1e-9);
+    // Defined everywhere => ITF weight ~ 0.
+    assert!(text_attr.weight.abs() < 1e-6);
+
+    let num_attr = &ex.attrs[1];
+    assert!(!num_attr.is_text);
+    assert_eq!(num_attr.df, 150);
+    assert!(num_attr.weight > 0.0);
+    assert!(num_attr.list_type.is_some());
+    // Dense text attribute gets a positional list; check consistency.
+    assert_eq!(text_attr.list_type, Some(ListType::III));
+
+    assert!(ex.index_bytes_scanned() > ex.tuple_list_bytes);
+    let rendered = ex.to_string();
+    assert!(rendered.contains("scan 300 tuples"));
+    assert!(rendered.contains("df 150"));
+}
+
+#[test]
+fn explain_handles_unknown_attribute() {
+    let (_t, idx) = sample();
+    let q = Query::new().text(AttrId(99), "whatever");
+    let ex = idx.explain(&q, WeightScheme::Equal);
+    assert_eq!(ex.attrs[0].list_type, None);
+    assert_eq!(ex.attrs[0].df, 0);
+}
+
+#[test]
+fn concurrent_readers_agree() {
+    // IvaIndex::query takes &self; many threads must be able to share one
+    // index and get identical answers.
+    let (t, idx) = sample();
+    let t = Arc::new(t);
+    let idx = Arc::new(idx);
+    let q = Query::new().text(AttrId(0), "listing number 0123").num(AttrId(1), 122.0);
+    let baseline: Vec<f64> = idx
+        .query(&t, &q, 5, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap()
+        .results
+        .iter()
+        .map(|e| e.dist)
+        .collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..8 {
+            let (t, idx, q, baseline) = (Arc::clone(&t), Arc::clone(&idx), q.clone(), baseline.clone());
+            s.spawn(move |_| {
+                for _ in 0..5 {
+                    let got: Vec<f64> = idx
+                        .query(&t, &q, 5, &MetricKind::L2, WeightScheme::Equal)
+                        .unwrap()
+                        .results
+                        .iter()
+                        .map(|e| e.dist)
+                        .collect();
+                    assert_eq!(got, baseline);
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn corrupted_index_file_fails_cleanly() {
+    let dir = std::env::temp_dir().join(format!("iva-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("x.iva");
+    {
+        let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+        let a = t.define_text("a").unwrap();
+        t.insert(&Tuple::new().with(a, Value::text("v"))).unwrap();
+        let mut idx =
+            build_index(&t, IndexTarget::Disk(&path), &opts(), IoStats::new(), IvaConfig::default())
+                .unwrap();
+        idx.flush().unwrap();
+    }
+    // Flip header magic.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(IvaIndex::open(&path, &opts(), IoStats::new()).is_err());
+
+    // Truncated file (not a whole number of pages).
+    std::fs::write(&path, &bytes[..100]).unwrap();
+    assert!(IvaIndex::open(&path, &opts(), IoStats::new()).is_err());
+
+    // Empty file.
+    std::fs::write(&path, b"").unwrap();
+    assert!(IvaIndex::open(&path, &opts(), IoStats::new()).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_length_query_is_benign() {
+    let (t, idx) = sample();
+    let q = Query::new();
+    let out = idx.query(&t, &q, 3, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    // No constraints: every tuple is at distance 0; any 3 are returned.
+    assert_eq!(out.results.len(), 3);
+    assert!(out.results.iter().all(|e| e.dist == 0.0));
+}

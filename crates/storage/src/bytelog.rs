@@ -1,0 +1,375 @@
+//! Append-only byte log over a paged file.
+//!
+//! The table file of the paper "adopts the row-wise storage structure" with
+//! tuples located by a byte pointer (`ptr` in the tuple list) and new tuples
+//! "appended to the end of the table file" (Sec. IV-B). A [`ByteLog`] is
+//! exactly that: logical byte addresses over physically contiguous pages,
+//! supporting fast sequential append/scan and random `read_at`.
+//!
+//! Page 0 is the header (`magic`, `version`, `len`, plus 32 user bytes for
+//! the owning layer); data pages follow contiguously, full-width (no
+//! per-page header, so address math is trivial).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::error::{Result, StorageError};
+use crate::page::PageId;
+use crate::pager::{Pager, PagerOptions};
+use crate::stats::IoStats;
+
+const MAGIC: u32 = 0x4956_414C; // "IVAL"
+const VERSION: u32 = 1;
+/// Bytes of header space reserved for the owning layer.
+pub const USER_HEADER_LEN: usize = 32;
+
+/// Append-only byte log with random read access.
+pub struct ByteLog {
+    pager: Arc<Pager>,
+    len: u64,
+    tail_page: PageId,
+    tail_buf: Vec<u8>,
+    tail_dirty: bool,
+    user_header: [u8; USER_HEADER_LEN],
+    header_dirty: bool,
+}
+
+impl ByteLog {
+    /// Create a new log backed by a fresh disk file.
+    pub fn create(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        let pager = Pager::create(path, opts, stats)?;
+        Self::init(pager)
+    }
+
+    /// Create a new log in memory.
+    pub fn create_mem(opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        Self::init(Pager::create_mem(opts, stats))
+    }
+
+    fn init(pager: Arc<Pager>) -> Result<Self> {
+        let header = pager.allocate_page()?; // page 0
+        debug_assert_eq!(header, PageId(0));
+        let tail_page = pager.allocate_page()?; // first data page
+        let tail_buf = vec![0u8; pager.page_size()];
+        let mut log = Self {
+            pager,
+            len: 0,
+            tail_page,
+            tail_buf,
+            tail_dirty: false,
+            user_header: [0; USER_HEADER_LEN],
+            header_dirty: true,
+        };
+        log.flush()?;
+        Ok(log)
+    }
+
+    /// Open an existing log.
+    pub fn open(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        let pager = Pager::open(path, opts, stats)?;
+        if pager.num_pages() < 2 {
+            return Err(StorageError::Corrupt("byte log too short".into()));
+        }
+        let header = pager.read_page(PageId(0))?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(StorageError::Corrupt("bad byte-log magic".into()));
+        }
+        if version != VERSION {
+            return Err(StorageError::Corrupt(format!("unsupported byte-log version {version}")));
+        }
+        let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let mut user_header = [0u8; USER_HEADER_LEN];
+        user_header.copy_from_slice(&header[16..16 + USER_HEADER_LEN]);
+
+        let page_size = pager.page_size() as u64;
+        let tail_page = PageId(1 + len / page_size);
+        if tail_page.0 >= pager.num_pages() {
+            return Err(StorageError::Corrupt("byte-log length beyond file".into()));
+        }
+        let tail_buf = pager.read_page(tail_page)?.as_ref().clone();
+        Ok(Self {
+            pager,
+            len,
+            tail_page,
+            tail_buf,
+            tail_dirty: false,
+            user_header,
+            header_dirty: false,
+        })
+    }
+
+    /// Logical length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The pager (for stats / size queries).
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    /// Physical size in bytes (pages × page size).
+    pub fn size_bytes(&self) -> u64 {
+        self.pager.size_bytes()
+    }
+
+    /// The 32 user-header bytes.
+    pub fn user_header(&self) -> &[u8; USER_HEADER_LEN] {
+        &self.user_header
+    }
+
+    /// Overwrite the user-header bytes (persisted on the next flush).
+    pub fn set_user_header(&mut self, bytes: [u8; USER_HEADER_LEN]) {
+        self.user_header = bytes;
+        self.header_dirty = true;
+    }
+
+    /// Append bytes, returning the logical start offset.
+    pub fn append(&mut self, mut data: &[u8]) -> Result<u64> {
+        let start = self.len;
+        let page_size = self.pager.page_size();
+        while !data.is_empty() {
+            let in_page = (self.len % page_size as u64) as usize;
+            let n = data.len().min(page_size - in_page);
+            self.tail_buf[in_page..in_page + n].copy_from_slice(&data[..n]);
+            self.tail_dirty = true;
+            self.len += n as u64;
+            data = &data[n..];
+            if self.len.is_multiple_of(page_size as u64) {
+                // Page filled: flush it and move to a fresh page.
+                self.pager.write_page(self.tail_page, std::mem::replace(
+                    &mut self.tail_buf,
+                    vec![0u8; page_size],
+                ))?;
+                self.tail_dirty = false;
+                self.tail_page = self.pager.allocate_page()?;
+            }
+        }
+        self.header_dirty = true;
+        Ok(start)
+    }
+
+    /// Random read of `buf.len()` bytes at logical offset `pos`.
+    pub fn read_at(&self, pos: u64, buf: &mut [u8]) -> Result<()> {
+        if pos + buf.len() as u64 > self.len {
+            return Err(StorageError::Corrupt(format!(
+                "byte-log read [{pos}, +{}) beyond length {}",
+                buf.len(),
+                self.len
+            )));
+        }
+        let page_size = self.pager.page_size() as u64;
+        let mut filled = 0usize;
+        let mut pos = pos;
+        while filled < buf.len() {
+            let page = PageId(1 + pos / page_size);
+            let in_page = (pos % page_size) as usize;
+            let n = (buf.len() - filled).min(page_size as usize - in_page);
+            if page == self.tail_page {
+                buf[filled..filled + n].copy_from_slice(&self.tail_buf[in_page..in_page + n]);
+            } else {
+                let p = self.pager.read_page(page)?;
+                buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
+            }
+            filled += n;
+            pos += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Random overwrite of already-appended bytes (used for in-place flag
+    /// updates such as tombstones; cannot extend the log).
+    pub fn write_at(&mut self, pos: u64, data: &[u8]) -> Result<()> {
+        if pos + data.len() as u64 > self.len {
+            return Err(StorageError::Corrupt(format!(
+                "byte-log write [{pos}, +{}) beyond length {}",
+                data.len(),
+                self.len
+            )));
+        }
+        let page_size = self.pager.page_size() as u64;
+        let mut written = 0usize;
+        let mut pos = pos;
+        while written < data.len() {
+            let page = PageId(1 + pos / page_size);
+            let in_page = (pos % page_size) as usize;
+            let n = (data.len() - written).min(page_size as usize - in_page);
+            if page == self.tail_page {
+                self.tail_buf[in_page..in_page + n].copy_from_slice(&data[written..written + n]);
+                self.tail_dirty = true;
+            } else {
+                self.pager.update_page(page, |p| {
+                    p[in_page..in_page + n].copy_from_slice(&data[written..written + n]);
+                })?;
+            }
+            written += n;
+            pos += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Persist the tail page and header.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.tail_dirty {
+            self.pager.write_page(self.tail_page, self.tail_buf.clone())?;
+            self.tail_dirty = false;
+        }
+        if self.header_dirty {
+            let user = self.user_header;
+            let len = self.len;
+            self.pager.update_page(PageId(0), |h| {
+                h[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+                h[4..8].copy_from_slice(&VERSION.to_le_bytes());
+                h[8..16].copy_from_slice(&len.to_le_bytes());
+                h[16..16 + USER_HEADER_LEN].copy_from_slice(&user);
+            })?;
+            self.header_dirty = false;
+        }
+        self.pager.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_log() -> ByteLog {
+        let opts = PagerOptions { page_size: 128, cache_bytes: 128 * 8 };
+        ByteLog::create_mem(&opts, IoStats::new()).unwrap()
+    }
+
+    #[test]
+    fn append_and_read_within_page() {
+        let mut log = mem_log();
+        let p1 = log.append(b"hello ").unwrap();
+        let p2 = log.append(b"world").unwrap();
+        assert_eq!(p1, 0);
+        assert_eq!(p2, 6);
+        let mut buf = vec![0u8; 11];
+        log.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn append_spanning_pages() {
+        let mut log = mem_log();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut offsets = Vec::new();
+        for chunk in data.chunks(37) {
+            offsets.push(log.append(chunk).unwrap());
+        }
+        assert_eq!(log.len(), 1000);
+        // Whole-log read.
+        let mut buf = vec![0u8; 1000];
+        log.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // Random chunk reads.
+        for (i, chunk) in data.chunks(37).enumerate() {
+            let mut b = vec![0u8; chunk.len()];
+            log.read_at(offsets[i], &mut b).unwrap();
+            assert_eq!(b, chunk);
+        }
+    }
+
+    #[test]
+    fn read_past_end_fails() {
+        let mut log = mem_log();
+        log.append(b"abc").unwrap();
+        let mut buf = [0u8; 4];
+        assert!(log.read_at(0, &mut buf).is_err());
+        assert!(log.read_at(3, &mut [0u8; 1]).is_err());
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("iva-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.db");
+        let opts = PagerOptions { page_size: 128, cache_bytes: 1024 };
+        let data: Vec<u8> = (0..500u16).map(|i| (i % 256) as u8).collect();
+        {
+            let mut log = ByteLog::create(&path, &opts, IoStats::new()).unwrap();
+            log.append(&data).unwrap();
+            log.set_user_header([7u8; USER_HEADER_LEN]);
+            log.flush().unwrap();
+        }
+        {
+            let mut log = ByteLog::open(&path, &opts, IoStats::new()).unwrap();
+            assert_eq!(log.len(), 500);
+            assert_eq!(log.user_header(), &[7u8; USER_HEADER_LEN]);
+            let mut buf = vec![0u8; 500];
+            log.read_at(0, &mut buf).unwrap();
+            assert_eq!(buf, data);
+            // Appending after reopen lands after existing data.
+            let off = log.append(b"tail").unwrap();
+            assert_eq!(off, 500);
+            log.flush().unwrap();
+        }
+        let log = ByteLog::open(&path, &opts, IoStats::new()).unwrap();
+        assert_eq!(log.len(), 504);
+        let mut buf = vec![0u8; 4];
+        log.read_at(500, &mut buf).unwrap();
+        assert_eq!(&buf, b"tail");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_tail_is_readable() {
+        let mut log = mem_log();
+        log.append(b"not yet flushed").unwrap();
+        let mut buf = vec![0u8; 15];
+        log.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"not yet flushed");
+    }
+
+    #[test]
+    fn exact_page_boundary_append() {
+        let mut log = mem_log();
+        // Exactly one page of data.
+        log.append(&[9u8; 128]).unwrap();
+        assert_eq!(log.len(), 128);
+        log.append(b"x").unwrap();
+        let mut b = [0u8; 1];
+        log.read_at(128, &mut b).unwrap();
+        assert_eq!(b[0], b'x');
+        let mut b = [0u8; 1];
+        log.read_at(127, &mut b).unwrap();
+        assert_eq!(b[0], 9);
+    }
+
+    #[test]
+    fn write_at_overwrites_in_place() {
+        let mut log = mem_log();
+        let data: Vec<u8> = vec![0u8; 300]; // spans 3 pages of 128
+        log.append(&data).unwrap();
+        log.write_at(126, b"XYZW").unwrap(); // crosses a page boundary
+        let mut buf = vec![0u8; 6];
+        log.read_at(125, &mut buf).unwrap();
+        assert_eq!(&buf, b"\0XYZW\0");
+        assert!(log.write_at(298, b"abc").is_err()); // would extend
+        // Overwrite in the (unflushed) tail page.
+        log.write_at(299, b"T").unwrap();
+        let mut b = [0u8; 1];
+        log.read_at(299, &mut b).unwrap();
+        assert_eq!(&b, b"T");
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let dir = std::env::temp_dir().join(format!("iva-log2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.db");
+        std::fs::write(&path, vec![0u8; 256]).unwrap();
+        let opts = PagerOptions { page_size: 128, cache_bytes: 1024 };
+        assert!(ByteLog::open(&path, &opts, IoStats::new()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

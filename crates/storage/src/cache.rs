@@ -1,0 +1,255 @@
+//! LRU buffer pool.
+//!
+//! The paper's experiments use a 10 MB file cache shared by the index and
+//! the table file (Sec. V-A); this module provides that cache. It is a plain
+//! LRU keyed by page id, holding immutable page snapshots (`Arc<Vec<u8>>`).
+//! Writers replace the cached entry, so readers holding an older `Arc` keep
+//! a consistent view.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::page::PageId;
+
+/// Shared immutable page contents.
+pub type PageRef = Arc<Vec<u8>>;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: PageId,
+    value: PageRef,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU cache of pages.
+pub struct LruCache {
+    map: HashMap<PageId, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl LruCache {
+    /// Cache holding at most `capacity` pages. A zero capacity disables
+    /// caching entirely (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Look up a page, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: PageId) -> Option<PageRef> {
+        let idx = *self.map.get(&key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(Arc::clone(&self.nodes[idx].value))
+    }
+
+    /// Insert or replace a page, evicting the least-recently-used entry if
+    /// the cache is full. Returns the evicted page id, if any.
+    pub fn put(&mut self, key: PageId, value: PageRef) -> Option<PageId> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let old_key = self.nodes[lru].key;
+            self.map.remove(&old_key);
+            self.free.push(lru);
+            evicted = Some(old_key);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node { key, value, prev: NIL, next: NIL };
+            idx
+        } else {
+            self.nodes.push(Node { key, value, prev: NIL, next: NIL });
+            self.nodes.len() - 1
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Remove a page from the cache (used when a file shrinks on rebuild).
+    pub fn remove(&mut self, key: PageId) {
+        if let Some(idx) = self.map.remove(&key) {
+            self.unlink(idx);
+            self.free.push(idx);
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(b: u8) -> PageRef {
+        Arc::new(vec![b; 8])
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(PageId(1)).is_none());
+        c.put(PageId(1), page(1));
+        assert_eq!(c.get(PageId(1)).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn evicts_lru_order() {
+        let mut c = LruCache::new(2);
+        c.put(PageId(1), page(1));
+        c.put(PageId(2), page(2));
+        // Touch 1 so 2 becomes LRU.
+        c.get(PageId(1)).unwrap();
+        let evicted = c.put(PageId(3), page(3));
+        assert_eq!(evicted, Some(PageId(2)));
+        assert!(c.get(PageId(2)).is_none());
+        assert!(c.get(PageId(1)).is_some());
+        assert!(c.get(PageId(3)).is_some());
+    }
+
+    #[test]
+    fn replace_updates_value_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.put(PageId(1), page(1));
+        c.put(PageId(2), page(2));
+        assert_eq!(c.put(PageId(1), page(9)), None);
+        assert_eq!(c.get(PageId(1)).unwrap()[0], 9);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let mut c = LruCache::new(2);
+        c.put(PageId(1), page(1));
+        c.put(PageId(2), page(2));
+        c.remove(PageId(1));
+        assert_eq!(c.len(), 1);
+        c.put(PageId(3), page(3));
+        c.put(PageId(4), page(4));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(PageId(3)).is_some() || c.get(PageId(4)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        c.put(PageId(1), page(1));
+        assert!(c.get(PageId(1)).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn single_capacity_cycles() {
+        let mut c = LruCache::new(1);
+        for i in 0..100u64 {
+            c.put(PageId(i), page(i as u8));
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(PageId(i)).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        // Cross-check against a simple Vec-based LRU model.
+        let mut c = LruCache::new(4);
+        let mut model: Vec<PageId> = Vec::new(); // front = MRU
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        for _ in 0..5000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = PageId(seed >> 60); // 16 distinct keys
+            if seed & 1 == 0 {
+                c.put(key, page(key.0 as u8));
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model.remove(pos);
+                } else if model.len() == 4 {
+                    model.pop();
+                }
+                model.insert(0, key);
+            } else {
+                let got = c.get(key).is_some();
+                let expect = model.contains(&key);
+                assert_eq!(got, expect, "key {key}");
+                if expect {
+                    let pos = model.iter().position(|&k| k == key).unwrap();
+                    let k = model.remove(pos);
+                    model.insert(0, k);
+                }
+            }
+        }
+    }
+}

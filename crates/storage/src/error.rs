@@ -1,0 +1,53 @@
+//! Error type shared by all storage-layer operations.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A page id beyond the end of the file was requested.
+    PageOutOfBounds {
+        /// The offending page id.
+        page: u64,
+        /// Number of pages currently in the file.
+        pages: u64,
+    },
+    /// On-disk data failed validation (bad magic, truncated list, ...).
+    Corrupt(String),
+    /// An operation was attempted with inconsistent arguments
+    /// (e.g. a write crossing a page boundary).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageOutOfBounds { page, pages } => {
+                write!(f, "page {page} out of bounds (file has {pages} pages)")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenient result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

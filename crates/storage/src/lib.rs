@@ -1,0 +1,42 @@
+//! # iva-storage
+//!
+//! Storage substrate for the iVA-file reproduction: a paged file manager
+//! with an LRU buffer pool, precise I/O accounting (sequential bytes vs.
+//! random seeks), chained page lists for the append-at-tail structures the
+//! paper's index is made of, and an analytical disk cost model used by the
+//! benchmark harness to reproduce the 2009 disk-bound timing shape.
+//!
+//! Layering:
+//!
+//! ```text
+//! ListWriter/ListReader/write_contiguous_list   (listfile)
+//!                 |
+//!               Pager  -- LruCache (buffer pool)
+//!                 |
+//!             BlockFile -- IoStats -- DiskModel
+//! ```
+
+#![warn(missing_docs)]
+
+mod bytelog;
+mod cache;
+mod disk_model;
+mod error;
+mod file;
+mod listfile;
+mod page;
+mod pager;
+mod stats;
+
+pub use bytelog::{ByteLog, USER_HEADER_LEN};
+pub use cache::{LruCache, PageRef};
+pub use disk_model::DiskModel;
+pub use error::{Result, StorageError};
+pub use file::BlockFile;
+pub use listfile::{
+    overwrite_in_list, write_contiguous_list, ListHandle, ListReader, ListWriter,
+    LIST_PAGE_HEADER,
+};
+pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use pager::{Pager, PagerOptions};
+pub use stats::{IoSnapshot, IoStats};

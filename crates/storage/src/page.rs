@@ -1,0 +1,51 @@
+//! Page primitives.
+
+/// Default page size: 4 KiB, the classic database page granularity.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within one paged file (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel used to terminate page chains ("no next page").
+    pub const NULL: PageId = PageId(u64::MAX);
+
+    /// True if this is the [`PageId::NULL`] sentinel.
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+
+    /// Byte offset of this page in a file with the given page size.
+    pub fn offset(self, page_size: usize) -> u64 {
+        self.0 * page_size as u64
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "P(null)")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sentinel() {
+        assert!(PageId::NULL.is_null());
+        assert!(!PageId(0).is_null());
+        assert_eq!(PageId(3).offset(4096), 12288);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PageId(7).to_string(), "P7");
+        assert_eq!(PageId::NULL.to_string(), "P(null)");
+    }
+}

@@ -1,0 +1,161 @@
+//! I/O accounting.
+//!
+//! The iVA-file evaluation (Sec. V of the paper) is driven by two physical
+//! quantities: bytes moved by *sequential* scans of index structures, and
+//! *random* accesses into the table file. Every disk touch in this crate is
+//! classified into one of those buckets so experiments can report exact
+//! counts and feed them to the [`DiskModel`](crate::disk_model::DiskModel).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters. Cheap to clone (an [`Arc`] inside).
+#[derive(Debug, Default, Clone)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    /// Physical page reads that hit the disk (cache misses).
+    disk_page_reads: AtomicU64,
+    /// Physical page writes.
+    disk_page_writes: AtomicU64,
+    /// Page requests served from the buffer pool.
+    cache_hits: AtomicU64,
+    /// Page requests that had to go to disk.
+    cache_misses: AtomicU64,
+    /// Disk reads that were *not* at/after the previously read position,
+    /// i.e. required a seek.
+    random_seeks: AtomicU64,
+    /// Bytes read from disk sequentially (page following the previous one).
+    seq_bytes_read: AtomicU64,
+    /// Bytes read from disk after a seek.
+    random_bytes_read: AtomicU64,
+    /// Bytes written to disk.
+    bytes_written: AtomicU64,
+}
+
+/// A point-in-time copy of the counters; subtract two to get a delta.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Physical page reads that hit the disk (cache misses).
+    pub disk_page_reads: u64,
+    /// Physical page writes.
+    pub disk_page_writes: u64,
+    /// Page requests served from the buffer pool.
+    pub cache_hits: u64,
+    /// Page requests that went to disk.
+    pub cache_misses: u64,
+    /// Disk reads that required a seek.
+    pub random_seeks: u64,
+    /// Bytes read from disk sequentially.
+    pub seq_bytes_read: u64,
+    /// Bytes read from disk after a seek.
+    pub random_bytes_read: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+}
+
+impl IoStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_disk_read(&self, bytes: u64, sequential: bool) {
+        self.inner.disk_page_reads.fetch_add(1, Ordering::Relaxed);
+        if sequential {
+            self.inner.seq_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.inner.random_seeks.fetch_add(1, Ordering::Relaxed);
+            self.inner.random_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_disk_write(&self, bytes: u64) {
+        self.inner.disk_page_writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        let c = &*self.inner;
+        IoSnapshot {
+            disk_page_reads: c.disk_page_reads.load(Ordering::Relaxed),
+            disk_page_writes: c.disk_page_writes.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            random_seeks: c.random_seeks.load(Ordering::Relaxed),
+            seq_bytes_read: c.seq_bytes_read.load(Ordering::Relaxed),
+            random_bytes_read: c.random_bytes_read.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            disk_page_reads: self.disk_page_reads.saturating_sub(earlier.disk_page_reads),
+            disk_page_writes: self.disk_page_writes.saturating_sub(earlier.disk_page_writes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            random_seeks: self.random_seeks.saturating_sub(earlier.random_seeks),
+            seq_bytes_read: self.seq_bytes_read.saturating_sub(earlier.seq_bytes_read),
+            random_bytes_read: self.random_bytes_read.saturating_sub(earlier.random_bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+
+    /// Total bytes read from disk (sequential + random).
+    pub fn bytes_read(&self) -> u64 {
+        self.seq_bytes_read + self.random_bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let s = IoStats::new();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_disk_read(4096, true);
+        let mid = s.snapshot();
+        s.record_disk_read(4096, false);
+        s.record_disk_write(4096);
+        let end = s.snapshot();
+
+        assert_eq!(mid.cache_hits, 1);
+        assert_eq!(mid.seq_bytes_read, 4096);
+        assert_eq!(mid.random_seeks, 0);
+
+        let d = end.since(&mid);
+        assert_eq!(d.disk_page_reads, 1);
+        assert_eq!(d.random_seeks, 1);
+        assert_eq!(d.random_bytes_read, 4096);
+        assert_eq!(d.bytes_written, 4096);
+        assert_eq!(d.cache_hits, 0);
+        assert_eq!(end.bytes_read(), 8192);
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let s = IoStats::new();
+        let s2 = s.clone();
+        s2.record_disk_write(10);
+        assert_eq!(s.snapshot().bytes_written, 10);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the storage substrate: chained lists and the byte
+//! log must behave exactly like an in-memory byte vector under arbitrary
+//! operation sequences.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use iva_storage::{
+    overwrite_in_list, write_contiguous_list, ByteLog, IoStats, ListReader, ListWriter, Pager,
+    PagerOptions,
+};
+
+fn small_pager() -> Arc<Pager> {
+    Pager::create_mem(&PagerOptions { page_size: 96, cache_bytes: 96 * 4 }, IoStats::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn list_append_read_roundtrip(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..200), 0..20)) {
+        let p = small_pager();
+        let mut w = ListWriter::create(Arc::clone(&p)).unwrap();
+        let mut model = Vec::new();
+        for c in &chunks {
+            w.append(c).unwrap();
+            model.extend_from_slice(c);
+        }
+        let h = w.finish().unwrap();
+        prop_assert_eq!(h.len, model.len() as u64);
+        let mut r = ListReader::open(p, h).unwrap();
+        let mut out = vec![0u8; model.len()];
+        r.read_exact(&mut out).unwrap();
+        prop_assert_eq!(out, model);
+        prop_assert!(r.at_end());
+    }
+
+    #[test]
+    fn list_resume_appending_matches_model(
+        first in proptest::collection::vec(any::<u8>(), 0..300),
+        second in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let p = small_pager();
+        let mut w = ListWriter::create(Arc::clone(&p)).unwrap();
+        w.append(&first).unwrap();
+        let h1 = w.finish().unwrap();
+        let mut w = ListWriter::append_to(Arc::clone(&p), h1).unwrap();
+        w.append(&second).unwrap();
+        let h2 = w.finish().unwrap();
+
+        let mut model = first.clone();
+        model.extend_from_slice(&second);
+        let mut r = ListReader::open(p, h2).unwrap();
+        let mut out = vec![0u8; model.len()];
+        r.read_exact(&mut out).unwrap();
+        prop_assert_eq!(out, model);
+    }
+
+    #[test]
+    fn list_skip_equals_read(
+        data in proptest::collection::vec(any::<u8>(), 1..400),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let p = small_pager();
+        let h = write_contiguous_list(&p, &data).unwrap();
+        let cut = cut.index(data.len());
+        let mut r = ListReader::open(Arc::clone(&p), h).unwrap();
+        r.skip(cut as u64).unwrap();
+        let mut rest = vec![0u8; data.len() - cut];
+        r.read_exact(&mut rest).unwrap();
+        prop_assert_eq!(&rest[..], &data[cut..]);
+    }
+
+    #[test]
+    fn list_overwrite_matches_model(
+        data in proptest::collection::vec(any::<u8>(), 1..400),
+        patch in proptest::collection::vec(any::<u8>(), 1..50),
+        at in any::<prop::sample::Index>(),
+    ) {
+        let p = small_pager();
+        let h = write_contiguous_list(&p, &data).unwrap();
+        let max_start = data.len().saturating_sub(patch.len());
+        let at = at.index(max_start + 1);
+        let mut model = data.clone();
+        if at + patch.len() <= data.len() {
+            model[at..at + patch.len()].copy_from_slice(&patch);
+            overwrite_in_list(&p, h, at as u64, &patch).unwrap();
+        } else {
+            prop_assert!(overwrite_in_list(&p, h, at as u64, &patch).is_err());
+        }
+        let mut r = ListReader::open(p, h).unwrap();
+        let mut out = vec![0u8; model.len()];
+        r.read_exact(&mut out).unwrap();
+        prop_assert_eq!(out, model);
+    }
+
+    #[test]
+    fn bytelog_matches_model(
+        appends in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..150), 1..15),
+        reads in proptest::collection::vec((any::<prop::sample::Index>(), 0usize..60), 0..10),
+        patches in proptest::collection::vec(
+            (any::<prop::sample::Index>(), proptest::collection::vec(any::<u8>(), 1..20)), 0..5),
+    ) {
+        let opts = PagerOptions { page_size: 64, cache_bytes: 64 * 4 };
+        let mut log = ByteLog::create_mem(&opts, IoStats::new()).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for a in &appends {
+            let off = log.append(a).unwrap();
+            prop_assert_eq!(off, model.len() as u64);
+            model.extend_from_slice(a);
+        }
+        // Random in-place patches.
+        for (at, patch) in &patches {
+            if model.len() >= patch.len() {
+                let at = at.index(model.len() - patch.len() + 1);
+                log.write_at(at as u64, patch).unwrap();
+                model[at..at + patch.len()].copy_from_slice(patch);
+            }
+        }
+        // Random reads.
+        for (at, len) in &reads {
+            if model.is_empty() { continue; }
+            let at = at.index(model.len());
+            let len = (*len).min(model.len() - at);
+            let mut buf = vec![0u8; len];
+            log.read_at(at as u64, &mut buf).unwrap();
+            prop_assert_eq!(&buf[..], &model[at..at + len]);
+        }
+        // Full read.
+        let mut all = vec![0u8; model.len()];
+        log.read_at(0, &mut all).unwrap();
+        prop_assert_eq!(all, model);
+    }
+}

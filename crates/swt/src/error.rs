@@ -1,0 +1,63 @@
+//! Errors of the sparse-wide-table layer.
+
+use std::fmt;
+
+use iva_storage::StorageError;
+
+/// Errors produced by SWT operations.
+#[derive(Debug)]
+pub enum SwtError {
+    /// Propagated storage failure.
+    Storage(StorageError),
+    /// Attribute name/id not present in the catalog.
+    UnknownAttribute(String),
+    /// An attribute was used with the wrong type (text vs numerical).
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// What the catalog says.
+        expected: &'static str,
+    },
+    /// Serialized tuple/record data failed validation.
+    Corrupt(String),
+    /// Invalid user input (empty text value, oversized field, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SwtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwtError::Storage(e) => write!(f, "storage: {e}"),
+            SwtError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            SwtError::TypeMismatch { attr, expected } => {
+                write!(f, "attribute {attr} is not {expected}")
+            }
+            SwtError::Corrupt(m) => write!(f, "corrupt table data: {m}"),
+            SwtError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SwtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwtError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SwtError {
+    fn from(e: StorageError) -> Self {
+        SwtError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for SwtError {
+    fn from(e: std::io::Error) -> Self {
+        SwtError::Storage(StorageError::Io(e))
+    }
+}
+
+/// Result alias for SWT operations.
+pub type Result<T> = std::result::Result<T, SwtError>;

@@ -1,0 +1,223 @@
+//! The interpreted record format.
+//!
+//! Beckmann et al. concluded "the best option is to store the data
+//! horizontally in an interpreted format" (Sec. II-A), and the paper's
+//! table file "adopts the row-wise storage structure, such as the
+//! interpreted schema" (Sec. III-D). A record is a self-describing sequence
+//! of `(attribute id, type, payload)` fields — undefined attributes simply
+//! do not appear, which is what makes the format efficient for sparse data.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [n_fields: u16]
+//!   per field: [attr_id: u32][tag: u8]
+//!     tag 0 (numeric): [f64: 8B]
+//!     tag 1 (text):    [n_strings: u8] per string: [len: u16][bytes]
+//! ```
+
+use crate::error::{Result, SwtError};
+use crate::schema::AttrId;
+use crate::value::{Tuple, Value};
+
+const TAG_NUM: u8 = 0;
+const TAG_TEXT: u8 = 1;
+
+/// Encode a tuple into the interpreted format, appending to `out`.
+pub fn encode_record(tuple: &Tuple, out: &mut Vec<u8>) -> Result<()> {
+    tuple.validate()?;
+    if tuple.arity() > u16::MAX as usize {
+        return Err(SwtError::InvalidArgument("tuple with more than 65535 fields".into()));
+    }
+    out.extend_from_slice(&(tuple.arity() as u16).to_le_bytes());
+    for (attr, value) in tuple.iter() {
+        out.extend_from_slice(&attr.0.to_le_bytes());
+        match value {
+            Value::Num(v) => {
+                out.push(TAG_NUM);
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Value::Text(strings) => {
+                out.push(TAG_TEXT);
+                out.push(strings.len() as u8);
+                for s in strings {
+                    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encoded size of a tuple in the interpreted format.
+pub fn record_len(tuple: &Tuple) -> usize {
+    let mut len = 2;
+    for (_, value) in tuple.iter() {
+        len += 4 + 1;
+        match value {
+            Value::Num(_) => len += 8,
+            Value::Text(strings) => {
+                len += 1;
+                for s in strings {
+                    len += 2 + s.len();
+                }
+            }
+        }
+    }
+    len
+}
+
+/// Decode a record produced by [`encode_record`]. Returns the tuple and the
+/// number of bytes consumed.
+pub fn decode_record(buf: &[u8]) -> Result<(Tuple, usize)> {
+    let corrupt = |m: &str| SwtError::Corrupt(format!("record: {m}"));
+    if buf.len() < 2 {
+        return Err(corrupt("truncated field count"));
+    }
+    let n_fields = u16::from_le_bytes(buf[0..2].try_into().unwrap()) as usize;
+    let mut pos = 2;
+    let mut tuple = Tuple::new();
+    for _ in 0..n_fields {
+        if pos + 5 > buf.len() {
+            return Err(corrupt("truncated field header"));
+        }
+        let attr = AttrId(u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()));
+        let tag = buf[pos + 4];
+        pos += 5;
+        match tag {
+            TAG_NUM => {
+                if pos + 8 > buf.len() {
+                    return Err(corrupt("truncated numeric payload"));
+                }
+                let bits = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                tuple.set(attr, Value::Num(f64::from_bits(bits)));
+            }
+            TAG_TEXT => {
+                if pos >= buf.len() {
+                    return Err(corrupt("truncated string count"));
+                }
+                let n_strings = buf[pos] as usize;
+                pos += 1;
+                if n_strings == 0 {
+                    return Err(corrupt("empty text value"));
+                }
+                let mut strings = Vec::with_capacity(n_strings);
+                for _ in 0..n_strings {
+                    if pos + 2 > buf.len() {
+                        return Err(corrupt("truncated string length"));
+                    }
+                    let slen = u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
+                    pos += 2;
+                    if pos + slen > buf.len() {
+                        return Err(corrupt("truncated string bytes"));
+                    }
+                    let s = std::str::from_utf8(&buf[pos..pos + slen])
+                        .map_err(|_| corrupt("non-utf8 string"))?;
+                    strings.push(s.to_string());
+                    pos += slen;
+                }
+                tuple.set(attr, Value::Text(strings));
+            }
+            x => return Err(corrupt(&format!("unknown field tag {x}"))),
+        }
+    }
+    Ok((tuple, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tuple() -> Tuple {
+        Tuple::new()
+            .with(AttrId(0), Value::text("Digital Camera"))
+            .with(AttrId(3), Value::num(230.0))
+            .with(AttrId(4), Value::text("Canon"))
+            .with(AttrId(6), Value::num(10_000_000.0))
+            .with(AttrId(9), Value::texts(["Computer", "Software"]))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_tuple();
+        let mut buf = Vec::new();
+        encode_record(&t, &mut buf).unwrap();
+        assert_eq!(buf.len(), record_len(&t));
+        let (back, used) = decode_record(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_tuple_roundtrip() {
+        let t = Tuple::new();
+        let mut buf = Vec::new();
+        encode_record(&t, &mut buf).unwrap();
+        let (back, used) = decode_record(&buf).unwrap();
+        assert_eq!(used, 2);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let t = sample_tuple();
+        let mut buf = Vec::new();
+        encode_record(&t, &mut buf).unwrap();
+        let n = buf.len();
+        buf.extend_from_slice(b"garbage-after-record");
+        let (back, used) = decode_record(&buf).unwrap();
+        assert_eq!(used, n);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn special_floats_roundtrip() {
+        // Negative zero and subnormals must survive bit-exactly.
+        let t = Tuple::new()
+            .with(AttrId(0), Value::num(-0.0))
+            .with(AttrId(1), Value::num(f64::MIN_POSITIVE / 2.0));
+        let mut buf = Vec::new();
+        encode_record(&t, &mut buf).unwrap();
+        let (back, _) = decode_record(&buf).unwrap();
+        match back.get(AttrId(0)) {
+            Some(Value::Num(v)) => assert!(v.is_sign_negative() && *v == 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn utf8_multibyte_strings() {
+        let t = Tuple::new().with(AttrId(0), Value::texts(["数码相机", "カメラ"]));
+        let mut buf = Vec::new();
+        encode_record(&t, &mut buf).unwrap();
+        let (back, _) = decode_record(&buf).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(decode_record(&[]).is_err());
+        assert!(decode_record(&[1, 0]).is_err()); // one field promised, none present
+        // Valid header, bad tag.
+        let buf = [1u8, 0, 0, 0, 0, 0, 99];
+        assert!(decode_record(&buf).is_err());
+        // Non-utf8 string bytes.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.push(TAG_TEXT);
+        buf.push(1);
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_record(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_values_at_encode() {
+        let t = Tuple::new().with(AttrId(0), Value::num(f64::NAN));
+        let mut buf = Vec::new();
+        assert!(encode_record(&t, &mut buf).is_err());
+    }
+}

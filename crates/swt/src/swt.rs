@@ -1,0 +1,301 @@
+//! The sparse wide table: catalog + statistics + table file, with typed
+//! inserts and compaction.
+
+use std::path::{Path, PathBuf};
+
+use iva_storage::{IoStats, PagerOptions};
+
+use crate::error::{Result, SwtError};
+use crate::schema::{AttrId, AttrType, Catalog};
+use crate::stats::TableStats;
+use crate::table::{RecordPtr, StoredRecord, TableFile, TableScan, Tid};
+use crate::value::{Tuple, Value};
+
+const META_MAGIC: u32 = 0x4956_4D54; // "IVMT"
+
+/// A sparse wide table: the data side of the system (the index lives in
+/// `iva-core`).
+pub struct SwtTable {
+    catalog: Catalog,
+    stats: TableStats,
+    file: TableFile,
+    meta_path: Option<PathBuf>,
+}
+
+impl SwtTable {
+    /// Create a fresh disk-backed table. `base` is a path prefix: the table
+    /// file lands at `<base>.tbl` and catalog/statistics at `<base>.meta`.
+    pub fn create(base: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        let file = TableFile::create(&base.with_extension("tbl"), opts, stats)?;
+        Ok(Self {
+            catalog: Catalog::new(),
+            stats: TableStats::new(),
+            file,
+            meta_path: Some(base.with_extension("meta")),
+        })
+    }
+
+    /// Create a fresh memory-backed table (tests, property checks).
+    pub fn create_mem(opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        Ok(Self {
+            catalog: Catalog::new(),
+            stats: TableStats::new(),
+            file: TableFile::create_mem(opts, stats)?,
+            meta_path: None,
+        })
+    }
+
+    /// Open an existing disk-backed table created with [`SwtTable::create`].
+    pub fn open(base: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        let file = TableFile::open(&base.with_extension("tbl"), opts, stats)?;
+        let meta_path = base.with_extension("meta");
+        let bytes = std::fs::read(&meta_path)?;
+        let (catalog, table_stats) = decode_meta(&bytes)?;
+        Ok(Self { catalog, stats: table_stats, file, meta_path: Some(meta_path) })
+    }
+
+    /// Define (or look up) a text attribute.
+    pub fn define_text(&mut self, name: &str) -> Result<AttrId> {
+        self.catalog.define(name, AttrType::Text)
+    }
+
+    /// Define (or look up) a numerical attribute.
+    pub fn define_numeric(&mut self, name: &str) -> Result<AttrId> {
+        self.catalog.define(name, AttrType::Numeric)
+    }
+
+    /// The attribute catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Table statistics (df / str / numeric domains).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// The underlying table file.
+    pub fn file(&self) -> &TableFile {
+        &self.file
+    }
+
+    fn check_types(&self, tuple: &Tuple) -> Result<()> {
+        for (attr, value) in tuple.iter() {
+            match (self.catalog.attr_type(attr), value) {
+                (None, _) => {
+                    return Err(SwtError::UnknownAttribute(format!("{attr}")));
+                }
+                (Some(AttrType::Text), Value::Num(_)) => {
+                    return Err(SwtError::TypeMismatch {
+                        attr: self.catalog.def(attr).unwrap().name.clone(),
+                        expected: "text",
+                    });
+                }
+                (Some(AttrType::Numeric), Value::Text(_)) => {
+                    return Err(SwtError::TypeMismatch {
+                        attr: self.catalog.def(attr).unwrap().name.clone(),
+                        expected: "numerical",
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a tuple (validated against the catalog).
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<(Tid, RecordPtr)> {
+        tuple.validate()?;
+        self.check_types(tuple)?;
+        let out = self.file.append(tuple)?;
+        self.stats.ensure_attrs(self.catalog.len());
+        self.stats.observe_insert(tuple);
+        Ok(out)
+    }
+
+    /// Tombstone the record at `ptr`.
+    pub fn delete(&mut self, ptr: RecordPtr) -> Result<()> {
+        self.file.mark_deleted(ptr)
+    }
+
+    /// Fetch the record at `ptr`.
+    pub fn get(&self, ptr: RecordPtr) -> Result<StoredRecord> {
+        self.file.get(ptr)
+    }
+
+    /// Sequential scan of all records.
+    pub fn scan(&self) -> TableScan<'_> {
+        self.file.scan()
+    }
+
+    /// Copy all live records into a fresh table (same catalog), preserving
+    /// tuple ids, recomputing statistics, and reclaiming tombstoned space —
+    /// the table-file half of the paper's periodic cleanup (Sec. IV-B).
+    /// Returns the new table and the `(tid, new ptr)` pairs in tid order.
+    pub fn compact_into(
+        &self,
+        base: Option<&Path>,
+        opts: &PagerOptions,
+        io: IoStats,
+    ) -> Result<(SwtTable, Vec<(Tid, RecordPtr)>)> {
+        let mut fresh = match base {
+            Some(b) => SwtTable::create(b, opts, io)?,
+            None => SwtTable::create_mem(opts, io)?,
+        };
+        fresh.catalog = self.catalog.clone();
+        // Never reassign a tid that existed before the rebuild, even if its
+        // tuple was deleted.
+        fresh.file.reserve_tids_below(self.file.next_tid());
+        let mut mapping = Vec::new();
+        for item in self.scan() {
+            let (_, rec) = item?;
+            if rec.deleted {
+                continue;
+            }
+            let ptr = fresh.file.append_with_tid(rec.tid, &rec.tuple)?;
+            fresh.stats.ensure_attrs(fresh.catalog.len());
+            fresh.stats.observe_insert(&rec.tuple);
+            mapping.push((rec.tid, ptr));
+        }
+        fresh.flush()?;
+        Ok((fresh, mapping))
+    }
+
+    /// Persist data file and catalog/statistics sidecar.
+    pub fn flush(&mut self) -> Result<()> {
+        self.file.flush()?;
+        if let Some(path) = &self.meta_path {
+            std::fs::write(path, encode_meta(&self.catalog, &self.stats))?;
+        }
+        Ok(())
+    }
+}
+
+fn encode_meta(catalog: &Catalog, stats: &TableStats) -> Vec<u8> {
+    let cat = catalog.encode();
+    let st = stats.encode();
+    let mut out = Vec::with_capacity(12 + cat.len() + st.len());
+    out.extend_from_slice(&META_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(cat.len() as u32).to_le_bytes());
+    out.extend_from_slice(&cat);
+    out.extend_from_slice(&(st.len() as u32).to_le_bytes());
+    out.extend_from_slice(&st);
+    out
+}
+
+fn decode_meta(buf: &[u8]) -> Result<(Catalog, TableStats)> {
+    let corrupt = |m: &str| SwtError::Corrupt(format!("meta: {m}"));
+    if buf.len() < 8 || u32::from_le_bytes(buf[0..4].try_into().unwrap()) != META_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let cat_len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    if buf.len() < 8 + cat_len + 4 {
+        return Err(corrupt("truncated catalog"));
+    }
+    let catalog = Catalog::decode(&buf[8..8 + cat_len])?;
+    let st_off = 8 + cat_len;
+    let st_len = u32::from_le_bytes(buf[st_off..st_off + 4].try_into().unwrap()) as usize;
+    if buf.len() < st_off + 4 + st_len {
+        return Err(corrupt("truncated stats"));
+    }
+    let stats = TableStats::decode(&buf[st_off + 4..st_off + 4 + st_len])
+        .ok_or_else(|| corrupt("bad stats"))?;
+    Ok((catalog, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> PagerOptions {
+        PagerOptions { page_size: 256, cache_bytes: 4096 }
+    }
+
+    fn camera_table() -> (SwtTable, AttrId, AttrId, AttrId) {
+        let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+        let ty = t.define_text("Type").unwrap();
+        let price = t.define_numeric("Price").unwrap();
+        let company = t.define_text("Company").unwrap();
+        (t, ty, price, company)
+    }
+
+    #[test]
+    fn typed_insert_and_get() {
+        let (mut t, ty, price, company) = camera_table();
+        let tuple = Tuple::new()
+            .with(ty, Value::text("Digital Camera"))
+            .with(price, Value::num(230.0))
+            .with(company, Value::text("Canon"));
+        let (tid, ptr) = t.insert(&tuple).unwrap();
+        assert_eq!(tid, 0);
+        assert_eq!(t.get(ptr).unwrap().tuple, tuple);
+        assert_eq!(t.stats().tuple_count, 1);
+        assert_eq!(t.stats().attr(price).min, 230.0);
+    }
+
+    #[test]
+    fn insert_rejects_type_mismatch_and_unknown_attr() {
+        let (mut t, ty, price, _) = camera_table();
+        let bad_type = Tuple::new().with(ty, Value::num(1.0));
+        assert!(matches!(t.insert(&bad_type), Err(SwtError::TypeMismatch { .. })));
+        let bad_type2 = Tuple::new().with(price, Value::text("x"));
+        assert!(matches!(t.insert(&bad_type2), Err(SwtError::TypeMismatch { .. })));
+        let unknown = Tuple::new().with(AttrId(99), Value::num(1.0));
+        assert!(matches!(t.insert(&unknown), Err(SwtError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_keeps_tids() {
+        let (mut t, ty, price, _) = camera_table();
+        let mut ptrs = Vec::new();
+        for i in 0..10 {
+            let tuple = Tuple::new()
+                .with(ty, Value::text(format!("item {i}")))
+                .with(price, Value::num(i as f64));
+            ptrs.push(t.insert(&tuple).unwrap().1);
+        }
+        t.delete(ptrs[3]).unwrap();
+        t.delete(ptrs[7]).unwrap();
+
+        let (fresh, mapping) = t.compact_into(None, &opts(), IoStats::new()).unwrap();
+        assert_eq!(mapping.len(), 8);
+        assert!(mapping.iter().all(|(tid, _)| *tid != 3 && *tid != 7));
+        assert_eq!(fresh.file().total_records(), 8);
+        assert_eq!(fresh.file().deleted_records(), 0);
+        assert_eq!(fresh.stats().tuple_count, 8);
+        // Tid preserved; content matches.
+        for (tid, ptr) in &mapping {
+            let rec = fresh.get(*ptr).unwrap();
+            assert_eq!(rec.tid, *tid);
+        }
+        // next_tid not reset below old ids.
+        assert!(fresh.file().next_tid() >= 10);
+    }
+
+    #[test]
+    fn disk_persistence_with_meta() {
+        let dir = std::env::temp_dir().join(format!("iva-swt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("data");
+        {
+            let mut t = SwtTable::create(&base, &opts(), IoStats::new()).unwrap();
+            let a = t.define_text("Name").unwrap();
+            let b = t.define_numeric("Year").unwrap();
+            t.insert(
+                &Tuple::new()
+                    .with(a, Value::text("Thriller"))
+                    .with(b, Value::num(1982.0)),
+            )
+            .unwrap();
+            t.flush().unwrap();
+        }
+        let t = SwtTable::open(&base, &opts(), IoStats::new()).unwrap();
+        assert_eq!(t.catalog().len(), 2);
+        assert_eq!(t.catalog().id_of("Year"), Some(AttrId(1)));
+        assert_eq!(t.stats().tuple_count, 1);
+        assert_eq!(t.stats().attr(AttrId(1)).max, 1982.0);
+        let recs: Vec<_> = t.scan().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recs.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,322 @@
+//! The table file: row-wise interpreted records in an append-only log.
+//!
+//! Matches Sec. IV-B of the paper: "the new tuple is appended to the end of
+//! the table file for an insertion"; deletions are tombstoned and physically
+//! reclaimed only by a periodic rebuild. Each stored record carries its
+//! tuple id and a flags byte so the file is self-contained for full scans
+//! (the DST baseline) and for rebuilds.
+//!
+//! Stored record layout: `[rec_len: u32][tid: u64][flags: u8][record bytes]`.
+
+use std::path::Path;
+
+use iva_storage::{ByteLog, IoStats, PagerOptions, USER_HEADER_LEN};
+
+use crate::error::{Result, SwtError};
+use crate::record::{decode_record, encode_record};
+use crate::value::Tuple;
+
+/// Tuple identifier. Monotonically increasing; never reused (updates are
+/// delete + insert with a fresh id, per Sec. IV-B).
+pub type Tid = u64;
+
+/// Byte address of a stored record in the table file (the tuple list's
+/// `ptr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordPtr(pub u64);
+
+const FLAG_DELETED: u8 = 1;
+const RECORD_HEADER: usize = 4 + 8 + 1;
+
+/// A record fetched from the table file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecord {
+    /// Tuple id.
+    pub tid: Tid,
+    /// Tombstone flag.
+    pub deleted: bool,
+    /// The tuple payload.
+    pub tuple: Tuple,
+}
+
+/// Append-only table file of interpreted records.
+pub struct TableFile {
+    log: ByteLog,
+    next_tid: Tid,
+    total_records: u64,
+    deleted_records: u64,
+}
+
+impl TableFile {
+    /// Create a fresh disk-backed table file.
+    pub fn create(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        Ok(Self::from_log(ByteLog::create(path, opts, stats)?))
+    }
+
+    /// Create a fresh memory-backed table file.
+    pub fn create_mem(opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        Ok(Self::from_log(ByteLog::create_mem(opts, stats)?))
+    }
+
+    fn from_log(log: ByteLog) -> Self {
+        Self { log, next_tid: 0, total_records: 0, deleted_records: 0 }
+    }
+
+    /// Open an existing table file.
+    pub fn open(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        let log = ByteLog::open(path, opts, stats)?;
+        let h = log.user_header();
+        let next_tid = u64::from_le_bytes(h[0..8].try_into().unwrap());
+        let total_records = u64::from_le_bytes(h[8..16].try_into().unwrap());
+        let deleted_records = u64::from_le_bytes(h[16..24].try_into().unwrap());
+        Ok(Self { log, next_tid, total_records, deleted_records })
+    }
+
+    /// Append a tuple, returning its assigned tuple id and record pointer.
+    pub fn append(&mut self, tuple: &Tuple) -> Result<(Tid, RecordPtr)> {
+        let tid = self.next_tid;
+        let ptr = self.append_with_tid(tid, tuple)?;
+        Ok((tid, ptr))
+    }
+
+    /// Append a tuple under a caller-chosen tuple id (used by rebuilds to
+    /// preserve ids). Advances `next_tid` past `tid` if needed.
+    pub fn append_with_tid(&mut self, tid: Tid, tuple: &Tuple) -> Result<RecordPtr> {
+        let mut payload = Vec::new();
+        encode_record(tuple, &mut payload)?;
+        self.next_tid = self.next_tid.max(tid + 1);
+        self.total_records += 1;
+
+        let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&tid.to_le_bytes());
+        rec.push(0); // flags
+        rec.extend_from_slice(&payload);
+        let pos = self.log.append(&rec)?;
+        Ok(RecordPtr(pos))
+    }
+
+    /// Random-access fetch of the record at `ptr`.
+    pub fn get(&self, ptr: RecordPtr) -> Result<StoredRecord> {
+        let mut header = [0u8; RECORD_HEADER];
+        self.log.read_at(ptr.0, &mut header)?;
+        let rec_len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let tid = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let flags = header[12];
+        let mut payload = vec![0u8; rec_len];
+        self.log.read_at(ptr.0 + RECORD_HEADER as u64, &mut payload)?;
+        let (tuple, used) = decode_record(&payload)?;
+        if used != rec_len {
+            return Err(SwtError::Corrupt(format!(
+                "record at {} decoded {used} of {rec_len} bytes",
+                ptr.0
+            )));
+        }
+        Ok(StoredRecord { tid, deleted: flags & FLAG_DELETED != 0, tuple })
+    }
+
+    /// Tombstone the record at `ptr` (idempotent).
+    pub fn mark_deleted(&mut self, ptr: RecordPtr) -> Result<()> {
+        let mut header = [0u8; RECORD_HEADER];
+        self.log.read_at(ptr.0, &mut header)?;
+        if header[12] & FLAG_DELETED == 0 {
+            header[12] |= FLAG_DELETED;
+            self.log.write_at(ptr.0 + 12, &[header[12]])?;
+            self.deleted_records += 1;
+        }
+        Ok(())
+    }
+
+    /// Sequential scan over all records (including tombstones).
+    pub fn scan(&self) -> TableScan<'_> {
+        TableScan { table: self, pos: 0 }
+    }
+
+    /// Next tuple id to be assigned.
+    pub fn next_tid(&self) -> Tid {
+        self.next_tid
+    }
+
+    /// Raise the tid floor (used by compaction so ids of tuples deleted
+    /// before the rebuild are never reassigned).
+    pub fn reserve_tids_below(&mut self, tid: Tid) {
+        self.next_tid = self.next_tid.max(tid);
+    }
+
+    /// Total records ever appended (including tombstones).
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Records currently tombstoned.
+    pub fn deleted_records(&self) -> u64 {
+        self.deleted_records
+    }
+
+    /// Live (non-tombstoned) records.
+    pub fn live_records(&self) -> u64 {
+        self.total_records - self.deleted_records
+    }
+
+    /// Logical data bytes in the file.
+    pub fn data_len(&self) -> u64 {
+        self.log.len()
+    }
+
+    /// Physical file size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.log.size_bytes()
+    }
+
+    /// I/O counters of the backing pager.
+    pub fn io_stats(&self) -> &IoStats {
+        self.log.pager().stats()
+    }
+
+    /// Drop all cached pages (cold-start experiments).
+    pub fn clear_cache(&self) {
+        self.log.pager().clear_cache();
+    }
+
+    /// Resize the buffer pool (experiments keep cache-to-data ratios
+    /// constant across scales).
+    pub fn resize_cache(&self, cache_bytes: usize) {
+        self.log.pager().resize_cache(cache_bytes);
+    }
+
+    /// Persist header and tail page.
+    pub fn flush(&mut self) -> Result<()> {
+        let mut h = [0u8; USER_HEADER_LEN];
+        h[0..8].copy_from_slice(&self.next_tid.to_le_bytes());
+        h[8..16].copy_from_slice(&self.total_records.to_le_bytes());
+        h[16..24].copy_from_slice(&self.deleted_records.to_le_bytes());
+        self.log.set_user_header(h);
+        self.log.flush()?;
+        Ok(())
+    }
+}
+
+/// Iterator over `(ptr, record)` pairs in file order.
+pub struct TableScan<'a> {
+    table: &'a TableFile,
+    pos: u64,
+}
+
+impl Iterator for TableScan<'_> {
+    type Item = Result<(RecordPtr, StoredRecord)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.table.log.len() {
+            return None;
+        }
+        let ptr = RecordPtr(self.pos);
+        match self.table.get(ptr) {
+            Ok(rec) => {
+                // Advance past header + payload.
+                let mut len_buf = [0u8; 4];
+                if let Err(e) = self.table.log.read_at(self.pos, &mut len_buf) {
+                    return Some(Err(e.into()));
+                }
+                let rec_len = u32::from_le_bytes(len_buf) as u64;
+                self.pos += RECORD_HEADER as u64 + rec_len;
+                Some(Ok((ptr, rec)))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use crate::value::Value;
+
+    fn opts() -> PagerOptions {
+        PagerOptions { page_size: 256, cache_bytes: 256 * 8 }
+    }
+
+    fn tuple(i: u64) -> Tuple {
+        Tuple::new()
+            .with(AttrId(0), Value::text(format!("item number {i}")))
+            .with(AttrId(1), Value::num(i as f64 * 1.5))
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let mut t = TableFile::create_mem(&opts(), IoStats::new()).unwrap();
+        let (tid0, p0) = t.append(&tuple(0)).unwrap();
+        let (tid1, p1) = t.append(&tuple(1)).unwrap();
+        assert_eq!((tid0, tid1), (0, 1));
+        assert_ne!(p0, p1);
+
+        let r = t.get(p1).unwrap();
+        assert_eq!(r.tid, 1);
+        assert!(!r.deleted);
+        assert_eq!(r.tuple, tuple(1));
+    }
+
+    #[test]
+    fn tombstone_is_idempotent() {
+        let mut t = TableFile::create_mem(&opts(), IoStats::new()).unwrap();
+        let (_, p) = t.append(&tuple(7)).unwrap();
+        t.mark_deleted(p).unwrap();
+        t.mark_deleted(p).unwrap();
+        assert!(t.get(p).unwrap().deleted);
+        assert_eq!(t.deleted_records(), 1);
+        assert_eq!(t.live_records(), 0);
+    }
+
+    #[test]
+    fn scan_returns_all_in_order() {
+        let mut t = TableFile::create_mem(&opts(), IoStats::new()).unwrap();
+        let mut ptrs = Vec::new();
+        for i in 0..50 {
+            ptrs.push(t.append(&tuple(i)).unwrap().1);
+        }
+        t.mark_deleted(ptrs[10]).unwrap();
+        let scanned: Vec<_> = t.scan().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(scanned.len(), 50);
+        for (i, (ptr, rec)) in scanned.iter().enumerate() {
+            assert_eq!(*ptr, ptrs[i]);
+            assert_eq!(rec.tid, i as u64);
+            assert_eq!(rec.deleted, i == 10);
+            assert_eq!(rec.tuple, tuple(i as u64));
+        }
+    }
+
+    #[test]
+    fn persistence() {
+        let dir = std::env::temp_dir().join(format!("iva-tbl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tbl");
+        let p;
+        {
+            let mut t = TableFile::create(&path, &opts(), IoStats::new()).unwrap();
+            p = t.append(&tuple(0)).unwrap().1;
+            t.append(&tuple(1)).unwrap();
+            t.mark_deleted(p).unwrap();
+            t.flush().unwrap();
+        }
+        let t = TableFile::open(&path, &opts(), IoStats::new()).unwrap();
+        assert_eq!(t.next_tid(), 2);
+        assert_eq!(t.total_records(), 2);
+        assert_eq!(t.deleted_records(), 1);
+        assert!(t.get(p).unwrap().deleted);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn get_at_bad_ptr_fails() {
+        let mut t = TableFile::create_mem(&opts(), IoStats::new()).unwrap();
+        t.append(&tuple(0)).unwrap();
+        assert!(t.get(RecordPtr(1_000_000)).is_err());
+    }
+
+    #[test]
+    fn empty_tuple_storable() {
+        let mut t = TableFile::create_mem(&opts(), IoStats::new()).unwrap();
+        let (_, p) = t.append(&Tuple::new()).unwrap();
+        assert!(t.get(p).unwrap().tuple.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Levenshtein edit distance.
+//!
+//! The paper adopts edit distance as the typo-tolerant string metric
+//! (Sec. I-B): "the minimum number of edit operations (insertions,
+//! deletions, and substitutions) of single characters needed to transform
+//! the first string into the second". All string lengths in this
+//! reproduction are measured in bytes, consistently across grams,
+//! signatures and distances, so the Gravano n-gram lower bound holds.
+
+/// Edit distance between two byte strings (two-row dynamic program).
+pub fn edit_distance_bytes(a: &[u8], b: &[u8]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Ensure the inner row is the shorter side.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur: Vec<usize> = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Edit distance between two UTF-8 strings, computed over bytes.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    edit_distance_bytes(a.as_bytes(), b.as_bytes())
+}
+
+/// Banded edit distance: returns `Some(d)` if `d <= bound`, `None`
+/// otherwise. Used where only a threshold check is needed; `O(bound·n)`.
+pub fn edit_distance_within(a: &[u8], b: &[u8], bound: usize) -> Option<usize> {
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if a.len() - b.len() > bound {
+        return None;
+    }
+    let inf = bound + 1;
+    let mut prev: Vec<usize> = (0..=b.len()).map(|j| if j <= bound { j } else { inf }).collect();
+    let mut cur = vec![inf; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = (i + 1).saturating_sub(bound);
+        let hi = (i + 1 + bound).min(b.len());
+        cur[0] = if i < bound { i + 1 } else { inf };
+        if lo > 1 {
+            cur[lo - 1] = inf;
+        }
+        for j in lo.max(1)..=hi {
+            let (ca, cb) = (ca, b[j - 1]);
+            let sub = prev[j - 1] + usize::from(ca != cb);
+            let del = if prev[j] < inf { prev[j] + 1 } else { inf };
+            let ins = if cur[j - 1] < inf { cur[j - 1] + 1 } else { inf };
+            cur[j] = sub.min(del).min(ins).min(inf);
+        }
+        if hi < b.len() {
+            cur[hi + 1..].fill(inf);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[b.len()];
+    (d <= bound).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+        // The paper's running typo: "Cannon" vs "Canon".
+        assert_eq!(edit_distance("Cannon", "Canon"), 1);
+    }
+
+    #[test]
+    fn single_ops() {
+        assert_eq!(edit_distance("canon", "canons"), 1); // insertion
+        assert_eq!(edit_distance("canon", "cann"), 1); // deletion of 'o'
+        assert_eq!(edit_distance("canon", "caxon"), 1); // substitution
+        assert_eq!(edit_distance("canon", "cano"), 1); // deletion
+    }
+
+    #[test]
+    fn banded_agrees_with_full() {
+        let pairs = [
+            ("google", "googel"),
+            ("digital camera", "digtal camera"),
+            ("a", "zzzzzz"),
+            ("same", "same"),
+            ("", "xy"),
+        ];
+        for (a, b) in pairs {
+            let full = edit_distance(a, b);
+            for bound in 0..8 {
+                let banded = edit_distance_within(a.as_bytes(), b.as_bytes(), bound);
+                if full <= bound {
+                    assert_eq!(banded, Some(full), "{a} {b} bound={bound}");
+                } else {
+                    assert_eq!(banded, None, "{a} {b} bound={bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_difference_lower_bounds() {
+        assert!(edit_distance("ab", "abcdef") >= 4);
+        assert_eq!(edit_distance_within(b"ab", b"abcdef", 3), None);
+    }
+}

@@ -1,0 +1,317 @@
+//! The nG-signature (Sec. III-B): encoding, hit testing and the lower-bound
+//! edit-distance estimator `est(sq, c(sd))` of Eq. 3.
+//!
+//! A signature `c(s)` has two parts: the lower bits `cL(s)` record the
+//! string length (one byte here, clamped to 255 — clamping can only shrink
+//! the estimate, preserving the no-false-negative guarantee), and the higher
+//! bits `cH[l,t](s)` are the OR of `h[l,t](ωᵢ)` over all n-grams `ωᵢ`
+//! (Example 3.2).
+//!
+//! The signature width follows the iVA-file's *relative vector length* `α`
+//! (Sec. III-D): `cH` occupies `⌈α·(|s|+n−1)⌉` bytes, so `l = 8·⌈α·(|s|+n−1)⌉`
+//! bits, and `t = argmin ē` per the appendix analysis, both precomputed per
+//! possible length byte in [`SigCodec`].
+
+use crate::hash::{gram_bit_positions, or_gram_into, positions_hit};
+use crate::ngram::{gram_count, grams_of, GramMultiset};
+use crate::params::optimal_t;
+
+/// Precomputed signature geometry for one `(α, n)` configuration.
+///
+/// ```
+/// use iva_text::{edit_distance, QueryStringMatcher, SigCodec};
+///
+/// let codec = SigCodec::new(0.2, 2); // the paper's defaults
+/// let sig = codec.encode_to_vec(b"canon");
+///
+/// // The estimator never exceeds the true edit distance:
+/// let mut matcher = QueryStringMatcher::new(&codec, b"cannon");
+/// let est = matcher.estimate(&codec, &sig);
+/// assert!(est <= edit_distance("cannon", "canon") as f64);
+///
+/// // Identical strings always estimate zero:
+/// let mut same = QueryStringMatcher::new(&codec, b"canon");
+/// assert_eq!(same.estimate(&codec, &sig), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SigCodec {
+    n: usize,
+    alpha: f64,
+    /// Indexed by the clamped length byte: `(cH bytes, l bits, t)`.
+    table: Vec<(u16, u16, u8)>,
+}
+
+impl SigCodec {
+    /// Build the codec for gram length `n` (≥ 2) and relative vector length
+    /// `α ∈ (0, 1]`.
+    pub fn new(alpha: f64, n: usize) -> Self {
+        assert!(n >= 2, "gram length must be >= 2");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        let table = (0..=255usize)
+            .map(|len| {
+                let grams = gram_count(len, n) as u32;
+                let ch_bytes = ((alpha * grams as f64).ceil() as u16).max(1);
+                let l_bits = ch_bytes * 8;
+                let t = optimal_t(u32::from(l_bits), grams) as u8;
+                (ch_bytes, l_bits, t)
+            })
+            .collect();
+        Self { n, alpha, table }
+    }
+
+    /// Gram length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Relative vector length `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The length byte stored for a string of `len` bytes.
+    pub fn clamp_len(len: usize) -> u8 {
+        len.min(255) as u8
+    }
+
+    /// `cH` size in bytes for a given length byte.
+    pub fn ch_bytes(&self, len_byte: u8) -> usize {
+        usize::from(self.table[usize::from(len_byte)].0)
+    }
+
+    /// Total encoded signature size (`cL` + `cH`) for a given length byte.
+    pub fn encoded_len(&self, len_byte: u8) -> usize {
+        1 + self.ch_bytes(len_byte)
+    }
+
+    /// `(l bits, t)` for a given length byte.
+    pub fn geometry(&self, len_byte: u8) -> (u32, u32) {
+        let (_, l, t) = self.table[usize::from(len_byte)];
+        (u32::from(l), u32::from(t))
+    }
+
+    /// Encode the nG-signature of `s`, appending `[cL][cH...]` to `out`.
+    /// Returns the number of bytes written.
+    pub fn encode(&self, s: &[u8], out: &mut Vec<u8>) -> usize {
+        let len_byte = Self::clamp_len(s.len());
+        let (l, t) = self.geometry(len_byte);
+        let ch = self.ch_bytes(len_byte);
+        out.push(len_byte);
+        let start = out.len();
+        out.resize(start + ch, 0);
+        let mut scratch = Vec::with_capacity(t as usize);
+        for gram in grams_of(s, self.n) {
+            or_gram_into(&gram, l, t, &mut out[start..], &mut scratch);
+        }
+        1 + ch
+    }
+
+    /// Encode into a fresh vector.
+    pub fn encode_to_vec(&self, s: &[u8]) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode(s, &mut v);
+        v
+    }
+}
+
+/// Query-side matcher for one query string: hashes the query's grams lazily
+/// per data-string geometry and evaluates `est(sq, c(sd))`.
+///
+/// Built once per (query, attribute); [`QueryStringMatcher::estimate`] is
+/// then called for every signature scanned from the vector list, so the
+/// per-length hashed gram positions are memoized (the paper's "in-memory
+/// table" advice).
+#[derive(Debug)]
+pub struct QueryStringMatcher {
+    q_len: usize,
+    n: usize,
+    /// Distinct query grams.
+    grams: Vec<Vec<u8>>,
+    /// Multiset count of each distinct gram (parallel to `grams`).
+    counts: Vec<u32>,
+    /// Per length byte: the hashed bit positions of each distinct gram.
+    cache: Vec<Option<Box<[Vec<u32>]>>>,
+}
+
+impl QueryStringMatcher {
+    /// Prepare a matcher for query string `sq`.
+    pub fn new(codec: &SigCodec, sq: &[u8]) -> Self {
+        let ms = GramMultiset::new(sq, codec.n);
+        let grams: Vec<Vec<u8>> = ms.iter().map(|(g, _)| g.to_vec()).collect();
+        let counts: Vec<u32> = ms.iter().map(|(_, c)| c).collect();
+        Self { q_len: sq.len(), n: codec.n, grams, counts, cache: vec![None; 256] }
+    }
+
+    /// Query string length in bytes.
+    pub fn query_len(&self) -> usize {
+        self.q_len
+    }
+
+    /// Evaluate `est(sq, c(sd))` (Eq. 3) against an encoded signature
+    /// (`[cL][cH...]`, as produced by [`SigCodec::encode`]). The result is
+    /// a lower bound on `ed(sq, sd)` (Proposition 3.3), clamped at 0.
+    pub fn estimate(&mut self, codec: &SigCodec, sig: &[u8]) -> f64 {
+        let len_byte = sig[0];
+        debug_assert_eq!(sig.len(), codec.encoded_len(len_byte));
+        let ch = &sig[1..];
+        if self.cache[usize::from(len_byte)].is_none() {
+            let (l, t) = codec.geometry(len_byte);
+            let hashed: Vec<Vec<u32>> = self
+                .grams
+                .iter()
+                .map(|g| {
+                    let mut pos = Vec::with_capacity(t as usize);
+                    gram_bit_positions(g, l, t, &mut pos);
+                    pos
+                })
+                .collect();
+            self.cache[usize::from(len_byte)] = Some(hashed.into_boxed_slice());
+        }
+        let hashed = self.cache[usize::from(len_byte)].as_ref().unwrap();
+        let mut hg = 0u64;
+        for (pos, &c) in hashed.iter().zip(&self.counts) {
+            if positions_hit(pos, ch) {
+                hg += u64::from(c);
+            }
+        }
+        let m = self.q_len.max(usize::from(len_byte)) as f64;
+        ((m - hg as f64 - 1.0) / self.n as f64 + 1.0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance::edit_distance_bytes;
+    use crate::ngram::est_prime;
+
+    fn codec() -> SigCodec {
+        SigCodec::new(0.2, 2)
+    }
+
+    #[test]
+    fn encoded_layout() {
+        let c = codec();
+        let sig = c.encode_to_vec(b"digital camera");
+        let len_byte = sig[0];
+        assert_eq!(usize::from(len_byte), 14);
+        assert_eq!(sig.len(), c.encoded_len(len_byte));
+        // cH bytes = ceil(0.2 * (14 + 1)) = 3.
+        assert_eq!(c.ch_bytes(len_byte), 3);
+    }
+
+    #[test]
+    fn long_strings_clamp_length() {
+        let c = codec();
+        let s = vec![b'x'; 400];
+        let sig = c.encode_to_vec(&s);
+        assert_eq!(sig[0], 255);
+        assert_eq!(sig.len(), c.encoded_len(255));
+    }
+
+    #[test]
+    fn identical_strings_estimate_zero() {
+        let c = codec();
+        for s in [&b"ok"[..], b"digital camera", b"a", b"some longer value here"] {
+            let sig = c.encode_to_vec(s);
+            let mut m = QueryStringMatcher::new(&c, s);
+            assert_eq!(m.estimate(&c, &sig), 0.0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn estimate_never_exceeds_est_prime() {
+        // est uses |hg| >= |cg|, hence est <= est'.
+        let c = codec();
+        let data: &[&[u8]] = &[b"canon", b"sony", b"digital camera", b"google base", b"x"];
+        let queries: &[&[u8]] = &[b"cannon", b"sonny", b"digital kamera", b"googel", b"xyz"];
+        for &d in data {
+            let sig = c.encode_to_vec(d);
+            for &q in queries {
+                let mut m = QueryStringMatcher::new(&c, q);
+                let est = m.estimate(&c, &sig);
+                let estp = est_prime(q, d, 2);
+                assert!(est <= estp + 1e-9, "est({q:?},{d:?})={est} > est'={estp}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_exhaustive_small() {
+        // Proposition 3.3 over a brute-forced small universe.
+        let c = SigCodec::new(0.3, 2);
+        let alphabet = [b'a', b'b', b'c'];
+        let mut strings: Vec<Vec<u8>> = vec![];
+        for l in 1..=3usize {
+            let mut idx = vec![0usize; l];
+            loop {
+                strings.push(idx.iter().map(|&i| alphabet[i]).collect());
+                let mut k = 0;
+                loop {
+                    idx[k] += 1;
+                    if idx[k] < alphabet.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                    if k == l {
+                        break;
+                    }
+                }
+                if k == l {
+                    break;
+                }
+            }
+        }
+        for d in &strings {
+            let sig = c.encode_to_vec(d);
+            for q in &strings {
+                let mut m = QueryStringMatcher::new(&c, q);
+                let est = m.estimate(&c, &sig);
+                let ed = edit_distance_bytes(q, d) as f64;
+                assert!(est <= ed + 1e-9, "est({q:?},{d:?})={est} > ed={ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_discriminates_unrelated_strings() {
+        // A sanity check on filtering power: a totally different string
+        // should get a positive estimate nearly always at reasonable α.
+        let c = SigCodec::new(0.3, 2);
+        let sig = c.encode_to_vec(b"wide-angle lens");
+        let mut m = QueryStringMatcher::new(&c, b"alkaline battery pack");
+        assert!(m.estimate(&c, &sig) > 0.0);
+    }
+
+    #[test]
+    fn larger_alpha_estimates_at_least_as_tight_on_average() {
+        // Not a strict per-pair guarantee, but across pairs the mean
+        // estimate under α = 0.4 must be >= the mean under α = 0.1
+        // (longer signatures -> fewer false hits -> larger estimates).
+        let lo = SigCodec::new(0.1, 2);
+        let hi = SigCodec::new(0.4, 2);
+        let data: Vec<String> = (0..50).map(|i| format!("data string number {i}")).collect();
+        let query = b"completely different query";
+        let (mut sum_lo, mut sum_hi) = (0.0, 0.0);
+        for d in &data {
+            let mut mlo = QueryStringMatcher::new(&lo, query);
+            let mut mhi = QueryStringMatcher::new(&hi, query);
+            sum_lo += mlo.estimate(&lo, &lo.encode_to_vec(d.as_bytes()));
+            sum_hi += mhi.estimate(&hi, &hi.encode_to_vec(d.as_bytes()));
+        }
+        assert!(sum_hi >= sum_lo, "hi={sum_hi} lo={sum_lo}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gram length")]
+    fn rejects_n_below_two() {
+        SigCodec::new(0.2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        SigCodec::new(0.0, 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the nG-signature machinery.
+//!
+//! The headline invariant is Proposition 3.3: the signature estimator never
+//! exceeds the true edit distance, for any strings and any (α, n)
+//! configuration — this is what makes iVA-file filtering exact.
+
+use proptest::prelude::*;
+
+use iva_text::{
+    edit_distance_bytes, edit_distance_within, est_prime, GramMultiset, QueryStringMatcher,
+    SigCodec,
+};
+
+fn short_string() -> impl Strategy<Value = Vec<u8>> {
+    // Printable-ish bytes incl. spaces; community strings are short.
+    proptest::collection::vec(0x20u8..0x7f, 0..40)
+}
+
+fn long_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0x20u8..0x7f, 200..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn edit_distance_symmetric(a in short_string(), b in short_string()) {
+        prop_assert_eq!(edit_distance_bytes(&a, &b), edit_distance_bytes(&b, &a));
+    }
+
+    #[test]
+    fn edit_distance_triangle(a in short_string(), b in short_string(), c in short_string()) {
+        let ab = edit_distance_bytes(&a, &b);
+        let bc = edit_distance_bytes(&b, &c);
+        let ac = edit_distance_bytes(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn edit_distance_identity(a in short_string()) {
+        prop_assert_eq!(edit_distance_bytes(&a, &a), 0);
+    }
+
+    #[test]
+    fn edit_distance_length_bound(a in short_string(), b in short_string()) {
+        let d = edit_distance_bytes(&a, &b);
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+        prop_assert!(d <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn banded_matches_full(a in short_string(), b in short_string(), bound in 0usize..12) {
+        let full = edit_distance_bytes(&a, &b);
+        let banded = edit_distance_within(&a, &b, bound);
+        if full <= bound {
+            prop_assert_eq!(banded, Some(full));
+        } else {
+            prop_assert_eq!(banded, None);
+        }
+    }
+
+    #[test]
+    fn est_prime_is_lower_bound(a in short_string(), b in short_string(), n in 2usize..5) {
+        let est = est_prime(&a, &b, n);
+        let ed = edit_distance_bytes(&a, &b) as f64;
+        prop_assert!(est <= ed + 1e-9, "est'={est} ed={ed}");
+    }
+
+    #[test]
+    fn signature_estimate_is_lower_bound(
+        a in short_string(),
+        b in short_string(),
+        alpha in 0.05f64..0.9,
+        n in 2usize..5,
+    ) {
+        let codec = SigCodec::new(alpha, n);
+        let sig = codec.encode_to_vec(&b);
+        let mut m = QueryStringMatcher::new(&codec, &a);
+        let est = m.estimate(&codec, &sig);
+        let ed = edit_distance_bytes(&a, &b) as f64;
+        prop_assert!(est <= ed + 1e-9, "est={est} ed={ed} alpha={alpha} n={n}");
+    }
+
+    #[test]
+    fn signature_estimate_lower_bound_long_strings(
+        a in long_string(),
+        b in long_string(),
+    ) {
+        // Length clamping at 255 must preserve the bound.
+        let codec = SigCodec::new(0.2, 2);
+        let sig = codec.encode_to_vec(&b);
+        let mut m = QueryStringMatcher::new(&codec, &a);
+        let est = m.estimate(&codec, &sig);
+        let ed = edit_distance_bytes(&a, &b) as f64;
+        prop_assert!(est <= ed + 1e-9, "est={est} ed={ed}");
+    }
+
+    #[test]
+    fn signature_self_estimate_zero(a in short_string(), alpha in 0.05f64..0.9, n in 2usize..5) {
+        let codec = SigCodec::new(alpha, n);
+        let sig = codec.encode_to_vec(&a);
+        let mut m = QueryStringMatcher::new(&codec, &a);
+        prop_assert_eq!(m.estimate(&codec, &sig), 0.0);
+    }
+
+    #[test]
+    fn estimate_at_most_est_prime(a in short_string(), b in short_string()) {
+        // |hg| >= |cg| implies est <= est'.
+        let codec = SigCodec::new(0.2, 2);
+        let sig = codec.encode_to_vec(&b);
+        let mut m = QueryStringMatcher::new(&codec, &a);
+        let est = m.estimate(&codec, &sig);
+        let estp = est_prime(&a, &b, 2);
+        prop_assert!(est <= estp + 1e-9);
+    }
+
+    #[test]
+    fn gram_multiset_size_formula(a in short_string(), n in 2usize..5) {
+        let g = GramMultiset::new(&a, n);
+        prop_assert_eq!(g.size(), (a.len() + n - 1) as u64);
+    }
+
+    #[test]
+    fn common_grams_bounded_by_sizes(a in short_string(), b in short_string()) {
+        let ga = GramMultiset::new(&a, 2);
+        let gb = GramMultiset::new(&b, 2);
+        let c = ga.common_size(&gb);
+        prop_assert!(c <= ga.size());
+        prop_assert!(c <= gb.size());
+        prop_assert_eq!(c, gb.common_size(&ga));
+    }
+
+    #[test]
+    fn signature_encoding_deterministic(a in short_string()) {
+        let codec = SigCodec::new(0.2, 2);
+        prop_assert_eq!(codec.encode_to_vec(&a), codec.encode_to_vec(&a));
+    }
+}

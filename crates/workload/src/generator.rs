@@ -1,0 +1,260 @@
+//! Dataset synthesis.
+//!
+//! Generates a sparse wide table matching the paper's Google Base
+//! statistics: Zipf attribute popularity, per-attribute vocabularies with
+//! heavy value sharing, occasional multi-string values and typos, and
+//! numerical attributes with realistic clustered domains. Fully
+//! deterministic in the configuration seed; generation is parallelized
+//! over tuple chunks with per-chunk derived seeds so parallelism does not
+//! change the output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use iva_storage::{IoStats, PagerOptions};
+use iva_swt::{AttrId, AttrType, Result as SwtResult, SwtTable, Tuple, Value};
+
+use crate::config::WorkloadConfig;
+use crate::typo::apply_typo;
+use crate::vocab::attribute_vocabulary;
+use crate::zipf::Zipf;
+
+/// A fully generated dataset: attribute schema plus tuples, kept in memory
+/// so query workloads can be sampled from it.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The generating configuration.
+    pub config: WorkloadConfig,
+    /// Attribute types in catalog order (text first, then numeric).
+    pub attr_types: Vec<AttrType>,
+    /// All generated tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+fn attr_type_of(cfg: &WorkloadConfig, attr: usize) -> AttrType {
+    if attr < cfg.n_text_attrs() {
+        AttrType::Text
+    } else {
+        AttrType::Numeric
+    }
+}
+
+/// Numeric attribute domains: each attribute gets its own scale so that
+/// relative-domain codes matter (the Sec. III-C motivation).
+fn numeric_value<R: Rng>(rng: &mut R, attr: usize) -> f64 {
+    let scale = 10f64.powi((attr % 6) as i32); // 1 .. 100k
+    (rng.random::<f64>() * scale * 100.0).round() / 100.0
+}
+
+impl Dataset {
+    /// Generate deterministically from `cfg`.
+    pub fn generate(cfg: &WorkloadConfig) -> Self {
+        cfg.validate().expect("invalid workload config");
+        let attr_types: Vec<AttrType> =
+            (0..cfg.n_attrs).map(|a| attr_type_of(cfg, a)).collect();
+
+        // Popularity: a random permutation of attributes gets Zipf ranks so
+        // text and numeric attributes are interleaved in popularity.
+        let mut perm: Vec<u32> = (0..cfg.n_attrs as u32).collect();
+        let mut prng = StdRng::seed_from_u64(cfg.seed ^ SEED_PERM);
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, prng.random_range(0..=i));
+        }
+
+        // Hidden schema (the clustering structure Chu et al. [4] mine from
+        // real CWMS data): every tuple belongs to a category — "digital
+        // camera", "job position", ... — and draws its attributes from
+        // that category's pool: a few universal attributes (price, type)
+        // plus a category-specific block. This is what makes attributes
+        // co-occur, and with them, multi-attribute queries meaningful.
+        let universal = UNIVERSAL_ATTRS.min(cfg.n_attrs);
+        let specific = CATEGORY_ATTRS.min(cfg.n_attrs.saturating_sub(universal).max(1));
+        let n_categories = ((cfg.n_attrs - universal) / (specific / 2).max(1)).clamp(1, 40);
+        let pools: Vec<Vec<u32>> = (0..n_categories)
+            .map(|c| {
+                let mut pool: Vec<u32> = perm[..universal].to_vec();
+                let tail = &perm[universal..];
+                for i in 0..specific {
+                    pool.push(tail[(c * specific / 2 + i) % tail.len()]);
+                }
+                pool
+            })
+            .collect();
+        let zipf = Zipf::new(universal + specific, cfg.zipf_exponent);
+
+        // Vocabularies for text attributes (built once, shared by chunks).
+        let vocabs: Vec<Vec<String>> = (0..cfg.n_attrs)
+            .map(|a| {
+                if attr_types[a] == AttrType::Text {
+                    attribute_vocabulary(cfg.seed, a as u32, cfg.vocab_per_attr, cfg.mean_string_len)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+
+        let chunk = 8_192usize;
+        let n_chunks = cfg.n_tuples.div_ceil(chunk);
+        let mut tuples: Vec<Tuple> = Vec::with_capacity(cfg.n_tuples);
+        let chunks: Vec<Vec<Tuple>> = if n_chunks > 1 {
+            let mut results: Vec<Vec<Tuple>> = vec![Vec::new(); n_chunks];
+            crossbeam::thread::scope(|s| {
+                for (ci, slot) in results.iter_mut().enumerate() {
+                    let zipf = &zipf;
+                    let pools = &pools;
+                    let vocabs = &vocabs;
+                    let attr_types = &attr_types;
+                    s.spawn(move |_| {
+                        let lo = ci * chunk;
+                        let hi = ((ci + 1) * chunk).min(cfg.n_tuples);
+                        *slot =
+                            generate_chunk(cfg, ci as u64, hi - lo, zipf, pools, vocabs, attr_types);
+                    });
+                }
+            })
+            .expect("generation threads panicked");
+            results
+        } else {
+            vec![generate_chunk(cfg, 0, cfg.n_tuples, &zipf, &pools, &vocabs, &attr_types)]
+        };
+        for c in chunks {
+            tuples.extend(c);
+        }
+        Self { config: cfg.clone(), attr_types, tuples }
+    }
+
+    /// Materialize as a memory-backed [`SwtTable`].
+    pub fn build_table(&self, opts: &PagerOptions, io: IoStats) -> SwtResult<SwtTable> {
+        let mut t = SwtTable::create_mem(opts, io)?;
+        self.populate(&mut t)?;
+        Ok(t)
+    }
+
+    /// Materialize as a disk-backed [`SwtTable`] at `base`.
+    pub fn build_table_disk(
+        &self,
+        base: &std::path::Path,
+        opts: &PagerOptions,
+        io: IoStats,
+    ) -> SwtResult<SwtTable> {
+        let mut t = SwtTable::create(base, opts, io)?;
+        self.populate(&mut t)?;
+        Ok(t)
+    }
+
+    fn populate(&self, t: &mut SwtTable) -> SwtResult<()> {
+        for (a, ty) in self.attr_types.iter().enumerate() {
+            match ty {
+                AttrType::Text => t.define_text(&format!("attr_{a}"))?,
+                AttrType::Numeric => t.define_numeric(&format!("attr_{a}"))?,
+            };
+        }
+        for tuple in &self.tuples {
+            t.insert(tuple)?;
+        }
+        t.flush()?;
+        Ok(())
+    }
+
+    /// Observed mean defined-attributes per tuple (calibration check).
+    pub fn mean_defined(&self) -> f64 {
+        self.tuples.iter().map(|t| t.arity() as f64).sum::<f64>() / self.tuples.len() as f64
+    }
+
+    /// Observed mean string length in bytes (calibration check).
+    pub fn mean_string_len(&self) -> f64 {
+        let (mut total, mut count) = (0usize, 0usize);
+        for t in &self.tuples {
+            for (_, v) in t.iter() {
+                if let Value::Text(strings) = v {
+                    for s in strings {
+                        total += s.len();
+                        count += 1;
+                    }
+                }
+            }
+        }
+        total as f64 / count.max(1) as f64
+    }
+}
+
+/// Seed salt for the attribute-popularity permutation.
+const SEED_PERM: u64 = 0x0BAD_CAFE;
+/// Attributes every category shares ("price", "type", ...).
+const UNIVERSAL_ATTRS: usize = 6;
+/// Size of a category's specific attribute block.
+const CATEGORY_ATTRS: usize = 56;
+
+fn generate_chunk(
+    cfg: &WorkloadConfig,
+    chunk_id: u64,
+    count: usize,
+    zipf: &Zipf,
+    pools: &[Vec<u32>],
+    vocabs: &[Vec<String>],
+    attr_types: &[AttrType],
+) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (chunk_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let p_stop = 1.0 / cfg.mean_defined;
+    let mut out: Vec<Tuple> = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Near-duplicate reposts (within the chunk, so parallel generation
+        // stays deterministic): clone an earlier listing and maybe slip a
+        // typo into one of its strings.
+        if !out.is_empty() && rng.random::<f64>() < cfg.duplicate_rate {
+            let mut dup = out[rng.random_range(0..out.len())].clone();
+            if rng.random::<f64>() < 0.5 {
+                let text_attrs: Vec<_> = dup
+                    .iter()
+                    .filter_map(|(a, v)| matches!(v, Value::Text(_)).then_some(a))
+                    .collect();
+                if let Some(&attr) = text_attrs.first() {
+                    if let Some(Value::Text(strings)) = dup.get(attr).cloned() {
+                        let mut strings = strings;
+                        let i = rng.random_range(0..strings.len());
+                        strings[i] = apply_typo(&mut rng, &strings[i]);
+                        dup.set(attr, Value::Text(strings));
+                    }
+                }
+            }
+            out.push(dup);
+            continue;
+        }
+        // Shifted-geometric arity with mean `mean_defined`.
+        let mut arity = 1usize;
+        while rng.random::<f64>() > p_stop && arity < 64 {
+            arity += 1;
+        }
+        let pool = &pools[rng.random_range(0..pools.len())];
+        let mut tuple = Tuple::new();
+        let mut tries = 0;
+        while tuple.arity() < arity && tries < arity * 8 {
+            tries += 1;
+            let attr = pool[zipf.sample(&mut rng) % pool.len()] as usize;
+            if tuple.get(AttrId(attr as u32)).is_some() {
+                continue;
+            }
+            let value = match attr_types[attr] {
+                AttrType::Text => {
+                    let vocab = &vocabs[attr];
+                    let multi = rng.random::<f64>() < cfg.multi_string_rate;
+                    let n_strings = if multi { 2 } else { 1 };
+                    let mut strings = Vec::with_capacity(n_strings);
+                    for _ in 0..n_strings {
+                        let s = vocab[rng.random_range(0..vocab.len())].clone();
+                        strings.push(if rng.random::<f64>() < cfg.typo_rate {
+                            apply_typo(&mut rng, &s)
+                        } else {
+                            s
+                        });
+                    }
+                    Value::Text(strings)
+                }
+                AttrType::Numeric => Value::Num(numeric_value(&mut rng, attr)),
+            };
+            tuple.set(AttrId(attr as u32), value);
+        }
+        out.push(tuple);
+    }
+    out
+}

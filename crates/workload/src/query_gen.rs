@@ -1,0 +1,150 @@
+//! Query workload synthesis (Sec. V-A).
+//!
+//! "To simulate the actual workload in real applications, we generate
+//! several sets of queries by randomly selecting values in the dataset so
+//! that the distribution of queries follows the data distribution of the
+//! dataset. Each selected value and its attribute id form one value in a
+//! structured query. Each query set has 50 queries with the first 10
+//! queries used for warming the file cache and the other 40 for experiment
+//! evaluation. The number of defined values per query is fixed in one
+//! query set."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use iva_core::Query;
+use iva_swt::Value;
+
+use crate::generator::Dataset;
+
+/// A query set in the paper's shape: fixed values-per-query, warm prefix.
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    /// All queries (warm prefix first).
+    pub queries: Vec<Query>,
+    /// How many leading queries warm the cache (not measured).
+    pub warm: usize,
+}
+
+impl QuerySet {
+    /// The measured suffix.
+    pub fn measured(&self) -> &[Query] {
+        &self.queries[self.warm..]
+    }
+}
+
+/// Generate the paper's query set: `total` queries of exactly
+/// `values_per_query` values each, sampled from the data distribution.
+pub fn generate_query_set(
+    dataset: &Dataset,
+    values_per_query: usize,
+    total: usize,
+    warm: usize,
+    seed: u64,
+) -> QuerySet {
+    assert!(warm < total, "warm prefix must leave measured queries");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(total);
+    while queries.len() < total {
+        if let Some(q) = sample_query(dataset, values_per_query, &mut rng) {
+            queries.push(q);
+        }
+    }
+    QuerySet { queries, warm }
+}
+
+/// Sample one query of `values_per_query` values, drawn from a single
+/// random tuple (a user describes *one* kind of item, so the queried
+/// attributes co-occur — the hidden-schema structure of real CWMS data).
+/// Values are copied verbatim from the tuple, so "the distribution of
+/// queries follows the data distribution of the dataset" (Sec. V-A).
+pub fn sample_query(
+    dataset: &Dataset,
+    values_per_query: usize,
+    rng: &mut StdRng,
+) -> Option<Query> {
+    for _ in 0..2_000 {
+        let t = &dataset.tuples[rng.random_range(0..dataset.tuples.len())];
+        if t.arity() < values_per_query {
+            continue;
+        }
+        // Choose `values_per_query` distinct defined attributes.
+        let mut picks: Vec<usize> = (0..t.arity()).collect();
+        for i in (1..picks.len()).rev() {
+            picks.swap(i, rng.random_range(0..=i));
+        }
+        picks.truncate(values_per_query);
+        let mut q = Query::new();
+        for &pick in &picks {
+            let (attr, value) = t.iter().nth(pick).unwrap();
+            match value {
+                Value::Text(strings) => {
+                    let s = &strings[rng.random_range(0..strings.len())];
+                    q = q.text(attr, s.clone());
+                }
+                Value::Num(v) => {
+                    q = q.num(attr, *v);
+                }
+            }
+        }
+        if q.len() == values_per_query {
+            return Some(q);
+        }
+    }
+    None // dataset too small/degenerate for this shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+
+    fn small_dataset() -> Dataset {
+        Dataset::generate(&WorkloadConfig::scaled(500))
+    }
+
+    #[test]
+    fn query_set_shape_matches_paper() {
+        let ds = small_dataset();
+        let qs = generate_query_set(&ds, 3, 50, 10, 7);
+        assert_eq!(qs.queries.len(), 50);
+        assert_eq!(qs.measured().len(), 40);
+        for q in &qs.queries {
+            assert_eq!(q.len(), 3);
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let ds = small_dataset();
+        let a = generate_query_set(&ds, 3, 10, 2, 9);
+        let b = generate_query_set(&ds, 3, 10, 2, 9);
+        assert_eq!(a.queries, b.queries);
+        let c = generate_query_set(&ds, 3, 10, 2, 10);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn query_values_come_from_dataset() {
+        let ds = small_dataset();
+        let qs = generate_query_set(&ds, 1, 20, 1, 3);
+        for q in &qs.queries {
+            let (attr, qv) = q.iter().next().unwrap();
+            let found = ds.tuples.iter().any(|t| match (t.get(attr), qv) {
+                (Some(Value::Text(ss)), iva_core::QueryValue::Text(s)) => ss.contains(s),
+                (Some(Value::Num(v)), iva_core::QueryValue::Num(x)) => v == x,
+                _ => false,
+            });
+            assert!(found, "query value not present in dataset");
+        }
+    }
+
+    #[test]
+    fn wide_queries_supported() {
+        let ds = small_dataset();
+        let qs = generate_query_set(&ds, 9, 10, 1, 4);
+        for q in &qs.queries {
+            assert_eq!(q.len(), 9);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Human-style typo injection.
+//!
+//! "In CWMSs, strings are typically short, and typos are very common
+//! because of the participation of large groups of people" (Sec. I-B) —
+//! e.g. the paper's running "Cannon"/"Canon" example. A typo is one random
+//! single-character edit: insertion, deletion, substitution, or an
+//! adjacent transposition (two substitutions' worth of edit distance, but
+//! the most common human slip).
+
+use rand::Rng;
+
+/// Apply one random typo to an ASCII string. Returns the mutated string;
+/// the edit distance to the input is 1 (or 2 for a transposition).
+pub fn apply_typo<R: Rng>(rng: &mut R, s: &str) -> String {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return "x".to_string();
+    }
+    let mut out = bytes.to_vec();
+    let op = rng.random_range(0..4u8);
+    let pos = rng.random_range(0..bytes.len());
+    let letter = b'a' + rng.random_range(0..26u8);
+    match op {
+        0 => out.insert(pos, letter), // duplicate-finger insertion
+        1 => {
+            if out.len() > 1 {
+                out.remove(pos);
+            } else {
+                out[0] = letter;
+            }
+        }
+        2 => out[pos] = letter,
+        _ => {
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else if out.len() > 1 {
+                let l = out.len();
+                out.swap(l - 2, l - 1);
+            } else {
+                out[0] = letter;
+            }
+        }
+    }
+    String::from_utf8(out).expect("ascii in, ascii out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn typo_is_small_edit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut changed = 0;
+        for _ in 0..500 {
+            let s = "digital camera";
+            let t = apply_typo(&mut rng, s);
+            let d = iva_text_ed(s, &t);
+            // A typo can be a no-op (substituting a letter with itself,
+            // transposing equal characters) but never a large edit.
+            assert!(d <= 2, "{s} -> {t} distance {d}");
+            if d > 0 {
+                changed += 1;
+            }
+        }
+        assert!(changed > 400, "typos almost always change the string: {changed}/500");
+    }
+
+    // Local Levenshtein to avoid a test-only dependency cycle.
+    fn iva_text_ed(a: &str, b: &str) -> usize {
+        let (a, b) = (a.as_bytes(), b.as_bytes());
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                cur[j + 1] = (prev[j] + usize::from(ca != cb))
+                    .min(prev[j + 1] + 1)
+                    .min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn empty_and_single_char_inputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(!apply_typo(&mut rng, "").is_empty());
+        for _ in 0..50 {
+            let t = apply_typo(&mut rng, "a");
+            assert!(!t.is_empty());
+        }
+    }
+}

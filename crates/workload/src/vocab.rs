@@ -1,0 +1,104 @@
+//! Deterministic vocabulary synthesis.
+//!
+//! Each attribute owns a vocabulary of short human-looking phrases (product
+//! names, categories, brands...). Values are drawn from the vocabulary so
+//! that tuples share values — which is what gives similarity queries
+//! non-trivial answers, exactly like the real Google Base strings the
+//! paper sampled its queries from.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ONSETS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "ch",
+    "st", "br", "cr", "tr", "pl",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "ck", "nd", "st"];
+
+/// One pronounceable pseudo-word of 1–3 syllables.
+pub fn word<R: Rng>(rng: &mut R) -> String {
+    let syllables = rng.random_range(1..=3);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+        w.push_str(NUCLEI[rng.random_range(0..NUCLEI.len())]);
+        w.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+    }
+    w
+}
+
+/// A short phrase targeting `mean_len` bytes on average, with the high
+/// length variance of real community strings (brand words, long product
+/// titles, model numbers like "450d").
+pub fn phrase<R: Rng>(rng: &mut R, mean_len: f64) -> String {
+    let mut p = word(rng);
+    // ~25% stay single short words ("canon"); the rest grow toward and
+    // past the target, so lengths spread from ~3 to ~3x the mean — length
+    // is a powerful part of the signature lower bound.
+    if rng.random::<f64>() >= 0.25 {
+        let target = mean_len * (0.3 + 1.2 * rng.random::<f64>());
+        while (p.len() as f64) < target {
+            p.push(' ');
+            p.push_str(&word(rng));
+        }
+    }
+    // Model-number token ("450d", "mk2") on a fifth of phrases.
+    if rng.random::<f64>() < 0.2 {
+        p.push(' ');
+        p.push_str(&format!("{}{}", rng.random_range(1..1000), (b'a' + rng.random_range(0..26u8)) as char));
+    }
+    p
+}
+
+/// The vocabulary of one attribute: `size` distinct phrases, derived purely
+/// from `(dataset seed, attr id)`.
+pub fn attribute_vocabulary(seed: u64, attr_id: u32, size: usize, mean_len: f64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(attr_id) << 32) ^ 0xA77C_0FFE);
+    let mut vocab = Vec::with_capacity(size);
+    let mut seen = std::collections::HashSet::with_capacity(size);
+    while vocab.len() < size {
+        let p = phrase(&mut rng, mean_len);
+        if seen.insert(p.clone()) {
+            vocab.push(p);
+        }
+    }
+    vocab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_nonempty_ascii() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let w = word(&mut rng);
+            assert!(!w.is_empty());
+            assert!(w.is_ascii());
+        }
+    }
+
+    #[test]
+    fn phrases_near_target_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 =
+            (0..2000).map(|_| phrase(&mut rng, 16.8).len() as f64).sum::<f64>() / 2000.0;
+        assert!((10.0..24.0).contains(&mean), "mean phrase length {mean}");
+    }
+
+    #[test]
+    fn vocabulary_is_deterministic_and_distinct() {
+        let a = attribute_vocabulary(42, 7, 50, 16.8);
+        let b = attribute_vocabulary(42, 7, 50, 16.8);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50);
+        // Different attribute -> different vocabulary.
+        let c = attribute_vocabulary(42, 8, 50, 16.8);
+        assert_ne!(a, c);
+    }
+}

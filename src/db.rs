@@ -1,0 +1,294 @@
+//! `IvaDb`: the full system — a sparse wide table plus its iVA-file, with
+//! the paper's periodic-cleanup policy (Sec. IV-B / V-C) wired in.
+
+use std::path::{Path, PathBuf};
+
+use iva_core::{
+    build_index, IndexTarget, IvaConfig, IvaError, IvaIndex, Metric, MetricKind, Query,
+    QueryStats, Result, WeightScheme,
+};
+use iva_storage::{IoStats, PagerOptions};
+use iva_swt::{AttrId, SwtTable, Tid, Tuple};
+
+/// Options for creating an [`IvaDb`].
+#[derive(Debug, Clone)]
+pub struct IvaDbOptions {
+    /// Pager/page-cache options (shared shape for table and index files).
+    pub pager: PagerOptions,
+    /// Index configuration (α, n, ndf penalty...).
+    pub config: IvaConfig,
+    /// Cleaning trigger threshold β (Sec. V-C): when the fraction of
+    /// deleted tuples reaches β, the table file and the iVA-file are
+    /// rebuilt. Set to 1.0 to disable automatic cleaning.
+    pub cleaning_threshold: f64,
+    /// Default metric for [`IvaDb::search`].
+    pub metric: MetricKind,
+    /// Default weight scheme for [`IvaDb::search`].
+    pub weights: WeightScheme,
+}
+
+impl Default for IvaDbOptions {
+    fn default() -> Self {
+        Self {
+            pager: PagerOptions::default(),
+            config: IvaConfig::default(),
+            cleaning_threshold: 0.02,
+            metric: MetricKind::L2,
+            weights: WeightScheme::Equal,
+        }
+    }
+}
+
+/// One search answer with its tuple materialized.
+#[derive(Debug, Clone)]
+pub struct SearchHit {
+    /// Tuple id.
+    pub tid: Tid,
+    /// Distance to the query (under the metric used).
+    pub dist: f64,
+    /// The matching tuple.
+    pub tuple: Tuple,
+}
+
+/// A complete community-data store: table + iVA-file + cleanup policy.
+pub struct IvaDb {
+    table: SwtTable,
+    index: IvaIndex,
+    dir: Option<PathBuf>,
+    opts: IvaDbOptions,
+    table_io: IoStats,
+    index_io: IoStats,
+}
+
+impl IvaDb {
+    /// Create an in-memory database (tests, examples, experiments).
+    pub fn create_mem(opts: IvaDbOptions) -> Result<Self> {
+        let table_io = IoStats::new();
+        let index_io = IoStats::new();
+        let table = SwtTable::create_mem(&opts.pager, table_io.clone())?;
+        let index =
+            build_index(&table, IndexTarget::Mem, &opts.pager, index_io.clone(), opts.config)?;
+        Ok(Self { table, index, dir: None, opts, table_io, index_io })
+    }
+
+    /// Create a disk-backed database inside directory `dir` (created if
+    /// missing): `data.tbl` + `data.meta` + `index.iva`.
+    pub fn create(dir: &Path, opts: IvaDbOptions) -> Result<Self> {
+        std::fs::create_dir_all(dir).map_err(|e| IvaError::Swt(e.into()))?;
+        let table_io = IoStats::new();
+        let index_io = IoStats::new();
+        let table = SwtTable::create(&dir.join("data"), &opts.pager, table_io.clone())?;
+        let index = build_index(
+            &table,
+            IndexTarget::Disk(&dir.join("index.iva")),
+            &opts.pager,
+            index_io.clone(),
+            opts.config,
+        )?;
+        let mut db = Self { table, index, dir: Some(dir.to_path_buf()), opts, table_io, index_io };
+        db.flush()?; // make the directory openable immediately
+        Ok(db)
+    }
+
+    /// Open an existing disk-backed database.
+    pub fn open(dir: &Path, opts: IvaDbOptions) -> Result<Self> {
+        let table_io = IoStats::new();
+        let index_io = IoStats::new();
+        let table = SwtTable::open(&dir.join("data"), &opts.pager, table_io.clone())?;
+        let index = IvaIndex::open(&dir.join("index.iva"), &opts.pager, index_io.clone())?;
+        Ok(Self { table, index, dir: Some(dir.to_path_buf()), opts, table_io, index_io })
+    }
+
+    /// Define (or look up) a text attribute.
+    pub fn define_text(&mut self, name: &str) -> Result<AttrId> {
+        Ok(self.table.define_text(name)?)
+    }
+
+    /// Define (or look up) a numerical attribute.
+    pub fn define_numeric(&mut self, name: &str) -> Result<AttrId> {
+        Ok(self.table.define_numeric(name)?)
+    }
+
+    /// Attribute id by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.table.catalog().id_of(name)
+    }
+
+    /// Insert a tuple; returns its tuple id.
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<Tid> {
+        let (tid, ptr) = self.table.insert(tuple)?;
+        self.index.insert(tid, ptr, tuple, self.table.catalog())?;
+        Ok(tid)
+    }
+
+    /// Delete a tuple by id. Returns false if absent/already deleted.
+    /// Triggers a rebuild when the deleted fraction reaches β.
+    pub fn delete(&mut self, tid: Tid) -> Result<bool> {
+        let Some(ptr) = self.index.lookup_ptr(tid)? else {
+            return Ok(false);
+        };
+        self.table.delete(ptr)?;
+        self.index.delete(tid)?;
+        self.maybe_clean()?;
+        Ok(true)
+    }
+
+    /// Update = delete + insert under a fresh tuple id (Sec. IV-B).
+    /// Returns the new tuple id.
+    pub fn update(&mut self, tid: Tid, new_tuple: &Tuple) -> Result<Tid> {
+        if !self.delete(tid)? {
+            return Err(IvaError::InvalidArgument(format!("update of unknown tuple {tid}")));
+        }
+        self.insert(new_tuple)
+    }
+
+    /// Fetch a live tuple by id.
+    pub fn get(&self, tid: Tid) -> Result<Option<Tuple>> {
+        match self.index.lookup_ptr(tid)? {
+            Some(ptr) => Ok(Some(self.table.get(ptr)?.tuple)),
+            None => Ok(None),
+        }
+    }
+
+    /// Top-k search with the default metric and weights.
+    pub fn search(&self, query: &Query, k: usize) -> Result<Vec<SearchHit>> {
+        let metric = self.opts.metric;
+        self.search_with(query, k, &metric, self.opts.weights)
+    }
+
+    /// Top-k search under an explicit metric and weight scheme.
+    pub fn search_with<M: Metric>(
+        &self,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        weights: WeightScheme,
+    ) -> Result<Vec<SearchHit>> {
+        let out = self.index.query(&self.table, query, k, metric, weights)?;
+        out.results
+            .into_iter()
+            .map(|e| {
+                Ok(SearchHit { tid: e.tid, dist: e.dist, tuple: self.table.get(e.ptr)?.tuple })
+            })
+            .collect()
+    }
+
+    /// Top-k search returning measurement counters (for experiments).
+    pub fn search_measured<M: Metric>(
+        &self,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        weights: WeightScheme,
+    ) -> Result<(Vec<SearchHit>, QueryStats)> {
+        let out = self.index.query(&self.table, query, k, metric, weights)?;
+        let stats = out.stats;
+        let hits = out
+            .results
+            .into_iter()
+            .map(|e| {
+                Ok(SearchHit { tid: e.tid, dist: e.dist, tuple: self.table.get(e.ptr)?.tuple })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok((hits, stats))
+    }
+
+    /// Rebuild if the deleted fraction reached β.
+    pub fn maybe_clean(&mut self) -> Result<bool> {
+        if self.index.deleted_fraction() >= self.opts.cleaning_threshold
+            && self.index.n_deleted() > 0
+        {
+            self.rebuild()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// The periodic cleanup (Sec. IV-B): compact the table file (dropping
+    /// tombstones, preserving tuple ids) and rebuild the iVA-file over it.
+    pub fn rebuild(&mut self) -> Result<()> {
+        let table_io = IoStats::new();
+        let index_io = IoStats::new();
+        match &self.dir {
+            None => {
+                let (fresh, _) = self.table.compact_into(None, &self.opts.pager, table_io.clone())?;
+                let index = build_index(
+                    &fresh,
+                    IndexTarget::Mem,
+                    &self.opts.pager,
+                    index_io.clone(),
+                    self.opts.config,
+                )?;
+                self.table = fresh;
+                self.index = index;
+            }
+            Some(dir) => {
+                let tmp_base = dir.join("data.rebuild");
+                let tmp_index = dir.join("index.rebuild.iva");
+                {
+                    let (mut fresh, _) =
+                        self.table.compact_into(Some(&tmp_base), &self.opts.pager, table_io.clone())?;
+                    fresh.flush()?;
+                    let mut index = build_index(
+                        &fresh,
+                        IndexTarget::Disk(&tmp_index),
+                        &self.opts.pager,
+                        index_io.clone(),
+                        self.opts.config,
+                    )?;
+                    index.flush()?;
+                }
+                // Swap files into place, then reopen.
+                let rn = |a: PathBuf, b: PathBuf| {
+                    std::fs::rename(a, b).map_err(|e| IvaError::Swt(e.into()))
+                };
+                rn(tmp_base.with_extension("tbl"), dir.join("data.tbl"))?;
+                rn(tmp_base.with_extension("meta"), dir.join("data.meta"))?;
+                rn(tmp_index, dir.join("index.iva"))?;
+                self.table = SwtTable::open(&dir.join("data"), &self.opts.pager, table_io.clone())?;
+                self.index =
+                    IvaIndex::open(&dir.join("index.iva"), &self.opts.pager, index_io.clone())?;
+            }
+        }
+        self.table_io = table_io;
+        self.index_io = index_io;
+        Ok(())
+    }
+
+    /// Live tuple count.
+    pub fn len(&self) -> u64 {
+        self.table.file().live_records()
+    }
+
+    /// True if no live tuples exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &SwtTable {
+        &self.table
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &IvaIndex {
+        &self.index
+    }
+
+    /// Table-file I/O counters.
+    pub fn table_io(&self) -> &IoStats {
+        &self.table_io
+    }
+
+    /// Index-file I/O counters.
+    pub fn index_io(&self) -> &IoStats {
+        &self.index_io
+    }
+
+    /// Persist both files.
+    pub fn flush(&mut self) -> Result<()> {
+        self.table.flush()?;
+        self.index.flush()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,81 @@
+//! # iva-file
+//!
+//! A from-scratch Rust implementation of the **iVA-file** (inverted vector
+//! approximation file) from *"iVA-File: Efficiently Indexing Sparse Wide
+//! Tables in Community Systems"* (ICDE 2009) — the first content-conscious
+//! index for top-k structured similarity search over sparse wide tables —
+//! together with the complete system around it: the interpreted-format
+//! table storage, nG-signature string approximation, relative-domain
+//! numeric codes, the evaluation baselines (SII, DST, VA-file), a
+//! calibrated Google-Base-like workload generator, and a benchmark harness
+//! regenerating every figure of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iva_file::{IvaDb, IvaDbOptions, Query, Tuple, Value};
+//!
+//! let mut db = IvaDb::create_mem(IvaDbOptions::default()).unwrap();
+//! let ty = db.define_text("Type").unwrap();
+//! let price = db.define_numeric("Price").unwrap();
+//! let company = db.define_text("Company").unwrap();
+//!
+//! db.insert(
+//!     &Tuple::new()
+//!         .with(ty, Value::text("Digital Camera"))
+//!         .with(price, Value::num(230.0))
+//!         .with(company, Value::text("Canon")),
+//! )
+//! .unwrap();
+//!
+//! let hits = db
+//!     .search(&Query::new().text(ty, "Digital Camera").text(company, "Cannon"), 5)
+//!     .unwrap();
+//! assert_eq!(hits[0].dist, 1.0); // one typo away
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | `iva-storage` | pager, buffer pool, chained lists, I/O accounting |
+//! | `iva-text` | n-grams, edit distance, nG-signatures |
+//! | `iva-swt` | the sparse wide table (interpreted row format) |
+//! | `iva-core` | the iVA-file index and query processor |
+//! | `iva-baselines` | SII, DST, VA-file |
+//! | `iva-workload` | synthetic Google-Base-like datasets and query sets |
+//! | `iva-bench` | per-figure experiment harness |
+
+#![warn(missing_docs)]
+
+mod db;
+mod sharded;
+
+pub use db::{IvaDb, IvaDbOptions, SearchHit};
+pub use sharded::{ShardedHit, ShardedIvaDb, ShardedTid};
+
+// Re-export the pieces users compose.
+pub use iva_core::{
+    build_index, IndexTarget, IvaConfig, IvaError, IvaIndex, Metric, MetricKind, Query,
+    QueryStats, QueryValue, Result, WeightScheme,
+};
+pub use iva_storage::{DiskModel, IoSnapshot, IoStats, PagerOptions};
+pub use iva_swt::{AttrId, AttrType, Catalog, SwtTable, Tid, Tuple, Value};
+
+/// Baseline methods from the paper's evaluation.
+pub mod baselines {
+    pub use iva_baselines::{DirectScan, SiiIndex, VaFile};
+}
+
+/// Workload generation (synthetic Google Base).
+pub mod workload {
+    pub use iva_workload::{generate_query_set, Dataset, QuerySet, WorkloadConfig};
+}
+
+/// String approximation internals (exposed for power users).
+pub mod text {
+    pub use iva_text::{
+        edit_distance, edit_distance_bytes, est_prime, expected_relative_error,
+        false_hit_probability, optimal_t, QueryStringMatcher, SigCodec,
+    };
+}

@@ -1,0 +1,204 @@
+//! Horizontally partitioned iVA-files.
+//!
+//! The paper closes by noting that, "being a non-hierarchical index, the
+//! iVA-file is suitable for indexing horizontally or vertically partitioned
+//! datasets in a distributed and parallel system architecture which is
+//! widely adopted for implementing the community systems" (Sec. VI). This
+//! module makes that concrete for the horizontal case: a [`ShardedIvaDb`]
+//! hash-partitions tuples across N independent table+index shards, fans a
+//! query out to every shard in parallel (scan-based indexes need no
+//! cross-shard coordination), and merges the per-shard top-k pools.
+//!
+//! Exactness is preserved: each shard's result is its exact local top-k,
+//! and the global top-k is contained in the union of local top-ks.
+
+use iva_core::{IvaError, Metric, MetricKind, PoolEntry, Query, Result, WeightScheme};
+use iva_swt::{Tid, Tuple};
+
+use crate::db::{IvaDb, IvaDbOptions};
+
+/// A horizontally partitioned collection of [`IvaDb`] shards.
+pub struct ShardedIvaDb {
+    shards: Vec<IvaDb>,
+    /// Tuples inserted so far (drives round-robin placement and global ids).
+    inserted: u64,
+    opts: IvaDbOptions,
+}
+
+/// A globally unique tuple handle: `(shard, local tid)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardedTid {
+    /// Which shard holds the tuple.
+    pub shard: u32,
+    /// The tuple id within that shard.
+    pub tid: Tid,
+}
+
+/// One ranked answer from a sharded search.
+#[derive(Debug, Clone)]
+pub struct ShardedHit {
+    /// Global handle of the tuple.
+    pub id: ShardedTid,
+    /// Distance to the query.
+    pub dist: f64,
+    /// The tuple.
+    pub tuple: Tuple,
+}
+
+impl ShardedIvaDb {
+    /// Create `n_shards` in-memory shards.
+    pub fn create_mem(n_shards: usize, opts: IvaDbOptions) -> Result<Self> {
+        if n_shards == 0 {
+            return Err(IvaError::InvalidArgument("need at least one shard".into()));
+        }
+        let shards = (0..n_shards)
+            .map(|_| IvaDb::create_mem(opts.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { shards, inserted: 0, opts })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total live tuples across shards.
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(IvaDb::len).sum()
+    }
+
+    /// True if no live tuples exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Define a text attribute on every shard (same id everywhere as long
+    /// as definitions happen through this method, in order).
+    pub fn define_text(&mut self, name: &str) -> Result<iva_swt::AttrId> {
+        let mut id = None;
+        for s in &mut self.shards {
+            let got = s.define_text(name)?;
+            if *id.get_or_insert(got) != got {
+                return Err(IvaError::Corrupt("shards disagree on attribute ids".into()));
+            }
+        }
+        Ok(id.unwrap())
+    }
+
+    /// Define a numerical attribute on every shard.
+    pub fn define_numeric(&mut self, name: &str) -> Result<iva_swt::AttrId> {
+        let mut id = None;
+        for s in &mut self.shards {
+            let got = s.define_numeric(name)?;
+            if *id.get_or_insert(got) != got {
+                return Err(IvaError::Corrupt("shards disagree on attribute ids".into()));
+            }
+        }
+        Ok(id.unwrap())
+    }
+
+    /// Insert a tuple (round-robin placement), returning its global handle.
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<ShardedTid> {
+        let shard = (self.inserted % self.shards.len() as u64) as u32;
+        self.inserted += 1;
+        let tid = self.shards[shard as usize].insert(tuple)?;
+        Ok(ShardedTid { shard, tid })
+    }
+
+    /// Delete by global handle.
+    pub fn delete(&mut self, id: ShardedTid) -> Result<bool> {
+        let Some(shard) = self.shards.get_mut(id.shard as usize) else {
+            return Ok(false);
+        };
+        shard.delete(id.tid)
+    }
+
+    /// Fetch by global handle.
+    pub fn get(&self, id: ShardedTid) -> Result<Option<Tuple>> {
+        match self.shards.get(id.shard as usize) {
+            Some(shard) => shard.get(id.tid),
+            None => Ok(None),
+        }
+    }
+
+    /// Parallel top-k search: every shard runs Algorithm 1 concurrently on
+    /// its own scoped thread; the per-shard top-k pools merge into the
+    /// global top-k.
+    pub fn search(&self, query: &Query, k: usize) -> Result<Vec<ShardedHit>> {
+        let metric = self.opts.metric;
+        self.search_with(query, k, &metric, self.opts.weights)
+    }
+
+    /// Parallel top-k search under an explicit metric and weights.
+    pub fn search_with<M: Metric + Sync>(
+        &self,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        weights: WeightScheme,
+    ) -> Result<Vec<ShardedHit>> {
+        let locals: Vec<Result<Vec<PoolEntry>>> = if self.shards.len() == 1 {
+            vec![self.shards[0]
+                .index()
+                .query(self.shards[0].table(), query, k, metric, weights)
+                .map(|o| o.results)]
+        } else {
+            let mut slots: Vec<Result<Vec<PoolEntry>>> =
+                (0..self.shards.len()).map(|_| Ok(Vec::new())).collect();
+            crossbeam::thread::scope(|scope| {
+                for (shard, slot) in self.shards.iter().zip(slots.iter_mut()) {
+                    scope.spawn(move |_| {
+                        *slot = shard
+                            .index()
+                            .query(shard.table(), query, k, metric, weights)
+                            .map(|o| o.results);
+                    });
+                }
+            })
+            .expect("shard query thread panicked");
+            slots
+        };
+
+        // Merge: take the k smallest across shards, then materialize.
+        let mut merged: Vec<(u32, PoolEntry)> = Vec::new();
+        for (i, local) in locals.into_iter().enumerate() {
+            for e in local? {
+                merged.push((i as u32, e));
+            }
+        }
+        merged.sort_by(|a, b| {
+            a.1.dist
+                .partial_cmp(&b.1.dist)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.tid.cmp(&b.1.tid))
+                .then(a.0.cmp(&b.0))
+        });
+        merged.truncate(k);
+        merged
+            .into_iter()
+            .map(|(shard, e)| {
+                let id = ShardedTid { shard, tid: e.tid };
+                let tuple = self.shards[shard as usize].table().get(e.ptr)?.tuple;
+                Ok(ShardedHit { id, dist: e.dist, tuple })
+            })
+            .collect()
+    }
+
+    /// Run the β-cleanup check on every shard.
+    pub fn maybe_clean(&mut self) -> Result<()> {
+        for s in &mut self.shards {
+            s.maybe_clean()?;
+        }
+        Ok(())
+    }
+
+    /// The default metric configured for this database.
+    pub fn default_metric(&self) -> MetricKind {
+        self.opts.metric
+    }
+
+    /// Access a shard (diagnostics, tests).
+    pub fn shard(&self, i: usize) -> Option<&IvaDb> {
+        self.shards.get(i)
+    }
+}

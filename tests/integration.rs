@@ -1,0 +1,178 @@
+//! Whole-system integration tests: `IvaDb` lifecycle, persistence,
+//! automatic cleanup, and agreement with the baselines on generated
+//! workloads.
+
+use iva_file::baselines::{DirectScan, SiiIndex};
+use iva_file::workload::{generate_query_set, Dataset, WorkloadConfig};
+use iva_file::{
+    IvaDb, IvaDbOptions, MetricKind, PagerOptions, Query, Tuple, Value, WeightScheme,
+};
+
+fn mem_db() -> IvaDb {
+    IvaDb::create_mem(IvaDbOptions::default()).unwrap()
+}
+
+#[test]
+fn crud_lifecycle() {
+    let mut db = mem_db();
+    let name = db.define_text("name").unwrap();
+    let price = db.define_numeric("price").unwrap();
+
+    let t1 = db
+        .insert(&Tuple::new().with(name, Value::text("alpha")).with(price, Value::num(10.0)))
+        .unwrap();
+    let t2 = db
+        .insert(&Tuple::new().with(name, Value::text("beta")).with(price, Value::num(20.0)))
+        .unwrap();
+    assert_eq!(db.len(), 2);
+
+    // Read back.
+    let got = db.get(t1).unwrap().unwrap();
+    assert_eq!(got.get(name), Some(&Value::text("alpha")));
+
+    // Update gives a fresh id (paper Sec. IV-B).
+    let t3 = db
+        .update(t2, &Tuple::new().with(name, Value::text("beta v2")).with(price, Value::num(21.0)))
+        .unwrap();
+    assert_ne!(t2, t3);
+    assert!(db.get(t2).unwrap().is_none());
+    assert!(db.get(t3).unwrap().is_some());
+
+    // Delete.
+    assert!(db.delete(t1).unwrap());
+    assert!(!db.delete(t1).unwrap());
+    assert_eq!(db.len(), 1);
+
+    // Search still exact.
+    let hits = db.search(&Query::new().text(name, "beta v2"), 5).unwrap();
+    assert_eq!(hits[0].tid, t3);
+    assert_eq!(hits[0].dist, 0.0);
+}
+
+#[test]
+fn update_of_unknown_tuple_fails() {
+    let mut db = mem_db();
+    let name = db.define_text("name").unwrap();
+    assert!(db.update(42, &Tuple::new().with(name, Value::text("x"))).is_err());
+}
+
+#[test]
+fn auto_cleanup_triggers_at_beta() {
+    let mut db = IvaDb::create_mem(IvaDbOptions {
+        cleaning_threshold: 0.10,
+        ..Default::default()
+    })
+    .unwrap();
+    let name = db.define_text("name").unwrap();
+    let mut tids = Vec::new();
+    for i in 0..50 {
+        tids.push(db.insert(&Tuple::new().with(name, Value::text(format!("item {i}")))).unwrap());
+    }
+    // Delete 4 tuples: fraction 8% < β, no cleanup.
+    for &t in &tids[..4] {
+        db.delete(t).unwrap();
+    }
+    assert!(db.index().n_deleted() > 0);
+    // The 5th deletion crosses 10%: rebuild fires and tombstones vanish.
+    db.delete(tids[4]).unwrap();
+    assert_eq!(db.index().n_deleted(), 0);
+    assert_eq!(db.len(), 45);
+    // Content preserved.
+    let hits = db.search(&Query::new().text(name, "item 30"), 1).unwrap();
+    assert_eq!(hits[0].dist, 0.0);
+}
+
+#[test]
+fn disk_persistence_full_cycle() {
+    let dir = std::env::temp_dir().join(format!("iva-db-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let name_attr;
+    {
+        let mut db = IvaDb::create(&dir, IvaDbOptions::default()).unwrap();
+        name_attr = db.define_text("name").unwrap();
+        let year = db.define_numeric("year").unwrap();
+        for i in 0..100 {
+            db.insert(
+                &Tuple::new()
+                    .with(name_attr, Value::text(format!("record number {i}")))
+                    .with(year, Value::num(1990.0 + f64::from(i % 30))),
+            )
+            .unwrap();
+        }
+        db.delete(7).unwrap();
+        db.flush().unwrap();
+    }
+    {
+        let mut db = IvaDb::open(&dir, IvaDbOptions::default()).unwrap();
+        assert_eq!(db.len(), 99);
+        let hits = db.search(&Query::new().text(name_attr, "record number 42"), 1).unwrap();
+        assert_eq!(hits[0].dist, 0.0);
+        assert!(db.get(7).unwrap().is_none());
+        // Mutate after reopen; rebuild on disk; reopen again.
+        db.insert(&Tuple::new().with(name_attr, Value::text("post-reopen insert"))).unwrap();
+        db.rebuild().unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.len(), 100);
+    }
+    let db = IvaDb::open(&dir, IvaDbOptions::default()).unwrap();
+    assert_eq!(db.len(), 100);
+    let hits = db.search(&Query::new().text(name_attr, "post-reopen insert"), 1).unwrap();
+    assert_eq!(hits[0].dist, 0.0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn generated_workload_agreement_with_baselines() {
+    let cfg = WorkloadConfig::scaled(3_000);
+    let dataset = Dataset::generate(&cfg);
+    let opts = PagerOptions::default();
+    let table = dataset.build_table(&opts, iva_file::IoStats::new()).unwrap();
+    let index = iva_file::build_index(
+        &table,
+        iva_file::IndexTarget::Mem,
+        &opts,
+        iva_file::IoStats::new(),
+        iva_file::IvaConfig::default(),
+    )
+    .unwrap();
+    let sii = SiiIndex::build(&table, &opts, iva_file::IoStats::new(), 20.0).unwrap();
+    let dst = DirectScan::new(20.0);
+
+    let qs = generate_query_set(&dataset, 3, 15, 5, 1234);
+    for q in qs.measured() {
+        let a = index.query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
+        let b = sii.query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
+        let c = dst.query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
+        let da: Vec<f64> = a.results.iter().map(|e| e.dist).collect();
+        let db_: Vec<f64> = b.results.iter().map(|e| e.dist).collect();
+        let dc: Vec<f64> = c.results.iter().map(|e| e.dist).collect();
+        for ((x, y), z) in da.iter().zip(&db_).zip(&dc) {
+            assert!((x - y).abs() < 1e-9 && (x - z).abs() < 1e-9, "{da:?} {db_:?} {dc:?}");
+        }
+        // And the sampled query must have a strong match somewhere (its
+        // values came from the data).
+        assert!(!a.results.is_empty());
+    }
+}
+
+#[test]
+fn search_hits_materialize_matching_tuples() {
+    let mut db = mem_db();
+    let brand = db.define_text("brand").unwrap();
+    for b in ["Canon", "Sony", "Nikon", "Cannon"] {
+        db.insert(&Tuple::new().with(brand, Value::text(b))).unwrap();
+    }
+    let hits = db.search(&Query::new().text(brand, "Canon"), 2).unwrap();
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0].tuple.get(brand), Some(&Value::text("Canon")));
+    assert_eq!(hits[1].tuple.get(brand), Some(&Value::text("Cannon")));
+}
+
+#[test]
+fn empty_database_searches_cleanly() {
+    let mut db = mem_db();
+    let a = db.define_text("a").unwrap();
+    assert!(db.is_empty());
+    let hits = db.search(&Query::new().text(a, "nothing"), 5).unwrap();
+    assert!(hits.is_empty());
+}
