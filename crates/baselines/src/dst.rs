@@ -8,7 +8,9 @@
 
 use std::time::Instant;
 
-use iva_core::{exact_distance, Metric, PoolEntry, Query, QueryStats, ResultPool, Result, WeightScheme};
+use iva_core::{
+    exact_distance, Metric, PoolEntry, Query, QueryStats, Result, ResultPool, WeightScheme,
+};
 use iva_swt::SwtTable;
 
 /// Result of one DST top-k query.
@@ -41,7 +43,12 @@ impl DirectScan {
     }
 
     /// Resolve attribute weights from table statistics.
-    pub fn resolve_weights(&self, table: &SwtTable, query: &Query, scheme: WeightScheme) -> Vec<f64> {
+    pub fn resolve_weights(
+        &self,
+        table: &SwtTable,
+        query: &Query,
+        scheme: WeightScheme,
+    ) -> Vec<f64> {
         let total = table.file().live_records();
         query
             .iter()
@@ -73,6 +80,9 @@ impl DirectScan {
             pool.insert_at(rec.tid, d, ptr);
         }
         stats.refine_nanos = start.elapsed().as_nanos() as u64;
-        Ok(DstOutcome { results: pool.into_sorted(), stats })
+        Ok(DstOutcome {
+            results: pool.into_sorted(),
+            stats,
+        })
     }
 }

@@ -80,7 +80,12 @@ impl GramIndex {
                 }
             }
         }
-        Ok(Self { attr, n, postings, strings })
+        Ok(Self {
+            attr,
+            n,
+            postings,
+            strings,
+        })
     }
 
     /// The indexed attribute.
@@ -131,9 +136,13 @@ impl GramIndex {
                 return;
             }
             let (tid, ptr, s) = &self.strings[sid as usize];
-            if let Some(edits) = edit_distance_within(query.as_bytes(), s.as_bytes(), max_edits)
-            {
-                out.push(GramMatch { tid: *tid, ptr: *ptr, string: s.clone(), edits });
+            if let Some(edits) = edit_distance_within(query.as_bytes(), s.as_bytes(), max_edits) {
+                out.push(GramMatch {
+                    tid: *tid,
+                    ptr: *ptr,
+                    string: s.clone(),
+                    edits,
+                });
             }
         };
         for (&sid, &shared) in &counts {
@@ -185,7 +194,10 @@ mod tests {
     use iva_text::edit_distance;
 
     fn opts() -> PagerOptions {
-        PagerOptions { page_size: 512, cache_bytes: 16 * 1024 }
+        PagerOptions {
+            page_size: 512,
+            cache_bytes: 16 * 1024,
+        }
     }
 
     fn table() -> (SwtTable, AttrId) {
@@ -193,8 +205,17 @@ mod tests {
         let brand = t.define_text("brand").unwrap();
         let price = t.define_numeric("price").unwrap();
         let data = [
-            "canon", "cannon", "canyon", "sony", "nikon", "nikkon", "olympus", "panasonic",
-            "kodak", "casio", "canonical",
+            "canon",
+            "cannon",
+            "canyon",
+            "sony",
+            "nikon",
+            "nikkon",
+            "olympus",
+            "panasonic",
+            "kodak",
+            "casio",
+            "canonical",
         ];
         for (i, b) in data.iter().enumerate() {
             t.insert(
@@ -232,11 +253,19 @@ mod tests {
         let idx = GramIndex::build(&t, brand, 2).unwrap();
         for q in ["canon", "sonny", "kodiak", "olympus", "x"] {
             for tau in 0..4usize {
-                let got: Vec<String> =
-                    idx.search(q, tau).into_iter().map(|m| m.string).collect();
+                let got: Vec<String> = idx.search(q, tau).into_iter().map(|m| m.string).collect();
                 let mut expect: Vec<String> = [
-                    "canon", "cannon", "canyon", "sony", "nikon", "nikkon", "olympus",
-                    "panasonic", "kodak", "casio", "canonical",
+                    "canon",
+                    "cannon",
+                    "canyon",
+                    "sony",
+                    "nikon",
+                    "nikkon",
+                    "olympus",
+                    "panasonic",
+                    "kodak",
+                    "casio",
+                    "canonical",
                 ]
                 .iter()
                 .filter(|s| edit_distance(q, s) <= tau)
@@ -266,9 +295,11 @@ mod tests {
     fn multi_string_values_and_deletes() {
         let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
         let a = t.define_text("a").unwrap();
-        let (_, p1) =
-            t.insert(&Tuple::new().with(a, Value::texts(["wide-angle", "telephoto"]))).unwrap();
-        t.insert(&Tuple::new().with(a, Value::text("wide angle"))).unwrap();
+        let (_, p1) = t
+            .insert(&Tuple::new().with(a, Value::texts(["wide-angle", "telephoto"])))
+            .unwrap();
+        t.insert(&Tuple::new().with(a, Value::text("wide angle")))
+            .unwrap();
         // Tombstoned tuples are not indexed.
         t.delete(p1).unwrap();
         let idx = GramIndex::build(&t, a, 2).unwrap();
@@ -281,7 +312,10 @@ mod tests {
     fn tiny_strings_with_zero_shared_grams_still_found() {
         // needed <= 0 degenerate case: "x" vs "y" share no grams but are
         // within edit distance 1 < 2.
-        let opts = PagerOptions { page_size: 512, cache_bytes: 16 * 1024 };
+        let opts = PagerOptions {
+            page_size: 512,
+            cache_bytes: 16 * 1024,
+        };
         let mut t = SwtTable::create_mem(&opts, IoStats::new()).unwrap();
         let a = t.define_text("a").unwrap();
         for s in ["y", "z", "ab", "longer string"] {

@@ -18,12 +18,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use iva_core::{
-    exact_distance, IvaError, Metric, PoolEntry, Query, QueryStats, ResultPool, Result,
+    exact_distance, IvaError, Metric, PoolEntry, Query, QueryStats, Result, ResultPool,
     WeightScheme, TOMBSTONE_PTR, TUPLE_ENTRY_LEN,
 };
 use iva_storage::{
-    overwrite_in_list, write_contiguous_list, IoStats, ListHandle, ListReader, ListWriter,
-    Pager, PagerOptions,
+    overwrite_in_list, write_contiguous_list, IoStats, ListHandle, ListReader, ListWriter, Pager,
+    PagerOptions,
 };
 use iva_swt::{AttrId, Catalog, RecordPtr, SwtTable, Tid, Tuple};
 
@@ -114,10 +114,20 @@ impl SiiIndex {
                 bytes.extend_from_slice(&t.to_le_bytes());
             }
             let list = write_contiguous_list(&pager, &bytes)?;
-            entries.push(SiiEntry { list, df: tids.len() as u64 });
+            entries.push(SiiEntry {
+                list,
+                df: tids.len() as u64,
+            });
         }
         let tuple_list = write_contiguous_list(&pager, &tuple_bytes)?;
-        Ok(Self { pager, entries, tuple_list, n_tuples, n_deleted: 0, ndf_penalty })
+        Ok(Self {
+            pager,
+            entries,
+            tuple_list,
+            n_tuples,
+            n_deleted: 0,
+            ndf_penalty,
+        })
     }
 
     /// Number of tuple-list elements (live + tombstoned).
@@ -232,8 +242,7 @@ impl SiiIndex {
                 let refine_start = Instant::now();
                 let rec = table.get(RecordPtr(ptr))?;
                 stats.table_accesses += 1;
-                let actual =
-                    exact_distance(&rec.tuple, query, &lambda, metric, self.ndf_penalty);
+                let actual = exact_distance(&rec.tuple, query, &lambda, metric, self.ndf_penalty);
                 pool.insert_at(rec.tid, actual, RecordPtr(ptr));
                 refine_nanos += refine_start.elapsed().as_nanos() as u64;
             } else {
@@ -243,7 +252,10 @@ impl SiiIndex {
         let total = start.elapsed().as_nanos() as u64;
         stats.refine_nanos = refine_nanos;
         stats.filter_nanos = total.saturating_sub(refine_nanos);
-        Ok(SiiOutcome { results: pool.into_sorted(), stats })
+        Ok(SiiOutcome {
+            results: pool.into_sorted(),
+            stats,
+        })
     }
 
     /// Index a freshly inserted tuple: append its tid to the inverted
@@ -266,7 +278,9 @@ impl SiiIndex {
         for (attr, _) in tuple.iter() {
             let i = attr.index();
             if i >= self.entries.len() {
-                return Err(IvaError::InvalidArgument(format!("attribute {attr} not in catalog")));
+                return Err(IvaError::InvalidArgument(format!(
+                    "attribute {attr} not in catalog"
+                )));
             }
             let mut w = ListWriter::append_to(Arc::clone(&self.pager), self.entries[i].list)?;
             w.append_u32(tid32)?;

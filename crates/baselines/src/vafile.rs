@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use iva_core::{
     exact_distance, IvaError, Metric, NumericCodec, PoolEntry, Query, QueryStats, QueryValue,
-    ResultPool, Result, WeightScheme,
+    Result, ResultPool, WeightScheme,
 };
 use iva_storage::{write_contiguous_list, IoStats, ListHandle, ListReader, Pager, PagerOptions};
 use iva_swt::{AttrType, RecordPtr, SwtTable, Value};
@@ -51,8 +51,10 @@ impl VaFile {
             let st = table.stats().attr(attr);
             attrs.push((is_text, NumericCodec::new(st.min, st.max, code_bytes)));
         }
-        let row_bytes: usize =
-            attrs.iter().map(|(t, c)| if *t { 1 } else { c.code_bytes() }).sum();
+        let row_bytes: usize = attrs
+            .iter()
+            .map(|(t, c)| if *t { 1 } else { c.code_bytes() })
+            .sum();
 
         let mut bytes = Vec::new();
         let mut tids_ptrs = Vec::new();
@@ -77,7 +79,14 @@ impl VaFile {
         }
         let pager = Pager::create_mem(opts, io);
         let rows = write_contiguous_list(&pager, &bytes)?;
-        Ok(Self { pager, rows, attrs, tids_ptrs, row_bytes, ndf_penalty })
+        Ok(Self {
+            pager,
+            rows,
+            attrs,
+            tids_ptrs,
+            row_bytes,
+            ndf_penalty,
+        })
     }
 
     /// Physical size in bytes — the headline number for the exclusion
@@ -105,15 +114,15 @@ impl VaFile {
         let total = self.tids_ptrs.len() as u64;
         let lambda: Vec<f64> = query
             .iter()
-            .map(|(attr, _)| {
-                weights.weight(total, table.stats().attr(attr).df)
-            })
+            .map(|(attr, _)| weights.weight(total, table.stats().attr(attr).df))
             .collect();
         // Precompute each queried attribute's byte offset within a row.
         let mut offsets = Vec::with_capacity(query.len());
         for (attr, _) in query.iter() {
             if attr.index() >= self.attrs.len() {
-                return Err(IvaError::InvalidArgument(format!("attribute {attr} not indexed")));
+                return Err(IvaError::InvalidArgument(format!(
+                    "attribute {attr} not indexed"
+                )));
             }
             let off: usize = self.attrs[..attr.index()]
                 .iter()
@@ -157,8 +166,7 @@ impl VaFile {
                 let refine_start = Instant::now();
                 let rec = table.get(RecordPtr(ptr))?;
                 stats.table_accesses += 1;
-                let actual =
-                    exact_distance(&rec.tuple, query, &lambda, metric, self.ndf_penalty);
+                let actual = exact_distance(&rec.tuple, query, &lambda, metric, self.ndf_penalty);
                 pool.insert_at(tid, actual, RecordPtr(ptr));
                 refine_nanos += refine_start.elapsed().as_nanos() as u64;
             }
@@ -166,7 +174,10 @@ impl VaFile {
         let totaln = start.elapsed().as_nanos() as u64;
         stats.refine_nanos = refine_nanos;
         stats.filter_nanos = totaln.saturating_sub(refine_nanos);
-        Ok(VaOutcome { results: pool.into_sorted(), stats })
+        Ok(VaOutcome {
+            results: pool.into_sorted(),
+            stats,
+        })
     }
 }
 

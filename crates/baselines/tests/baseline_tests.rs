@@ -9,7 +9,10 @@ use iva_storage::{IoStats, PagerOptions};
 use iva_swt::{AttrId, SwtTable, Tuple, Value};
 
 fn opts() -> PagerOptions {
-    PagerOptions { page_size: 512, cache_bytes: 64 * 1024 }
+    PagerOptions {
+        page_size: 512,
+        cache_bytes: 64 * 1024,
+    }
 }
 
 /// Deterministic pseudo-random sparse table: `n` tuples over 12 attributes
@@ -24,11 +27,22 @@ fn make_table(n: u32, seed: u64) -> SwtTable {
     for i in 0..4 {
         num_attrs.push(t.define_numeric(&format!("N{i}")).unwrap());
     }
-    let words =
-        ["canon", "cannon", "sony", "nikon", "camera", "album", "google", "red", "wide-angle"];
+    let words = [
+        "canon",
+        "cannon",
+        "sony",
+        "nikon",
+        "camera",
+        "album",
+        "google",
+        "red",
+        "wide-angle",
+    ];
     let mut state = seed;
     let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     for _ in 0..n {
@@ -69,9 +83,14 @@ fn queries() -> Vec<Query> {
 #[test]
 fn all_four_methods_agree() {
     let table = make_table(400, 7);
-    let iva =
-        build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), IvaConfig::default())
-            .unwrap();
+    let iva = build_index(
+        &table,
+        IndexTarget::Mem,
+        &opts(),
+        IoStats::new(),
+        IvaConfig::default(),
+    )
+    .unwrap();
     let sii = SiiIndex::build(&table, &opts(), IoStats::new(), 20.0).unwrap();
     let dst = DirectScan::new(20.0);
     let va = VaFile::build(&table, &opts(), IoStats::new(), 2, 20.0).unwrap();
@@ -107,16 +126,25 @@ fn iva_filters_better_than_sii() {
     // The headline claim (Fig. 8): content-conscious filtering admits far
     // fewer candidates than defined/ndf-only filtering.
     let table = make_table(2000, 11);
-    let iva =
-        build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), IvaConfig::default())
-            .unwrap();
+    let iva = build_index(
+        &table,
+        IndexTarget::Mem,
+        &opts(),
+        IoStats::new(),
+        IvaConfig::default(),
+    )
+    .unwrap();
     let sii = SiiIndex::build(&table, &opts(), IoStats::new(), 20.0).unwrap();
 
     let mut iva_total = 0u64;
     let mut sii_total = 0u64;
     for q in queries() {
-        let a = iva.query(&table, &q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
-        let b = sii.query(&table, &q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
+        let a = iva
+            .query(&table, &q, 10, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
+        let b = sii
+            .query(&table, &q, 10, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
         iva_total += a.stats.table_accesses;
         sii_total += b.stats.table_accesses;
     }
@@ -150,9 +178,16 @@ fn sii_update_paths_stay_exact() {
     }
     assert!(sii.deleted_fraction() > 0.0);
 
-    for q in [Query::new().text(color, "red"), Query::new().text(AttrId(0), "new item 7")] {
-        let a = sii.query(&table, &q, 8, &MetricKind::L2, WeightScheme::Equal).unwrap();
-        let b = dst.query(&table, &q, 8, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    for q in [
+        Query::new().text(color, "red"),
+        Query::new().text(AttrId(0), "new item 7"),
+    ] {
+        let a = sii
+            .query(&table, &q, 8, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
+        let b = dst
+            .query(&table, &q, 8, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
         let da: Vec<f64> = a.results.iter().map(|e| e.dist).collect();
         let db: Vec<f64> = b.results.iter().map(|e| e.dist).collect();
         for (x, y) in da.iter().zip(&db) {
@@ -178,13 +213,22 @@ fn vafile_size_exceeds_table_on_sparse_data() {
     for _ in 0..300 {
         let mut tuple = Tuple::new();
         for _ in 0..5 {
-            tuple.set(AttrId((rnd() % 200) as u32), Value::num((rnd() % 1000) as f64));
+            tuple.set(
+                AttrId((rnd() % 200) as u32),
+                Value::num((rnd() % 1000) as f64),
+            );
         }
         t.insert(&tuple).unwrap();
     }
     let va = VaFile::build(&t, &opts(), IoStats::new(), 2, 20.0).unwrap();
-    let iva =
-        build_index(&t, IndexTarget::Mem, &opts(), IoStats::new(), IvaConfig::default()).unwrap();
+    let iva = build_index(
+        &t,
+        IndexTarget::Mem,
+        &opts(),
+        IoStats::new(),
+        IvaConfig::default(),
+    )
+    .unwrap();
     let table_size = t.file().size_bytes();
     assert!(
         va.size_bytes() > table_size,
@@ -206,8 +250,12 @@ fn dst_is_parameter_insensitive() {
     let dst = DirectScan::new(20.0);
     let q1 = Query::new().text(AttrId(0), "canon");
     let q3 = queries()[3].clone();
-    let a = dst.query(&table, &q1, 5, &MetricKind::L2, WeightScheme::Equal).unwrap();
-    let b = dst.query(&table, &q3, 25, &MetricKind::L1, WeightScheme::Itf).unwrap();
+    let a = dst
+        .query(&table, &q1, 5, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
+    let b = dst
+        .query(&table, &q3, 25, &MetricKind::L1, WeightScheme::Itf)
+        .unwrap();
     // Same number of tuples touched regardless of query shape or k.
     assert_eq!(a.stats.tuples_scanned, b.stats.tuples_scanned);
     assert_eq!(a.stats.table_accesses, b.stats.table_accesses);

@@ -11,7 +11,10 @@ use iva_swt::{SwtTable, Tuple, Value};
 use iva_text::edit_distance;
 
 fn build_table(strings: &[String]) -> Result<(SwtTable, iva_swt::AttrId)> {
-    let opts = PagerOptions { page_size: 512, cache_bytes: 16 * 1024 };
+    let opts = PagerOptions {
+        page_size: 512,
+        cache_bytes: 16 * 1024,
+    };
     let mut t = SwtTable::create_mem(&opts, IoStats::new())?;
     let a = t.define_text("a")?;
     for s in strings {

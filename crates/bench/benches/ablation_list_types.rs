@@ -51,7 +51,8 @@ fn main() {
     for (attr, def) in table.catalog().iter() {
         let st = table.stats().attr(attr);
         if def.ty == AttrType::Text {
-            let (l1, l2, l3) = text_list_sizes(st.str_count, st.df, tuples, sig_total[attr.index()]);
+            let (l1, l2, l3) =
+                text_list_sizes(st.str_count, st.df, tuples, sig_total[attr.index()]);
             let choice = choose_text_type(st.str_count, st.df, tuples);
             *counts.entry(choice).or_default() += 1;
             auto += match choice {

@@ -20,13 +20,30 @@ fn main() {
     let bed = TestBed::new(&workload, config);
     report::header(&["values/query", "iVA accesses", "SII accesses", "iVA/SII"]);
     for values in [1usize, 3, 5, 7, 9] {
-        let iva = run_point(&bed, System::Iva, values, 10, MetricKind::L2, WeightScheme::Equal);
-        let sii = run_point(&bed, System::Sii, values, 10, MetricKind::L2, WeightScheme::Equal);
+        let iva = run_point(
+            &bed,
+            System::Iva,
+            values,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
+        let sii = run_point(
+            &bed,
+            System::Sii,
+            values,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
         report::row(&[
             values.to_string(),
             report::f(iva.table_accesses),
             report::f(sii.table_accesses),
-            format!("{:.1}%", 100.0 * iva.table_accesses / sii.table_accesses.max(1.0)),
+            format!(
+                "{:.1}%",
+                100.0 * iva.table_accesses / sii.table_accesses.max(1.0)
+            ),
         ]);
     }
     println!("\npaper: iVA accesses ~1.5%-22% of SII and does not grow steadily with query width");

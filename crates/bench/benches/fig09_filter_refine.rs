@@ -10,7 +10,12 @@ use iva_core::{IvaConfig, MetricKind, WeightScheme};
 fn main() {
     let workload = scale_config();
     let config = IvaConfig::default();
-    report::banner("Fig. 9", "filtering and refining time per query (ms)", &workload, &config);
+    report::banner(
+        "Fig. 9",
+        "filtering and refining time per query (ms)",
+        &workload,
+        &config,
+    );
     let bed = TestBed::new(&workload, config);
     report::header(&[
         "values/query",
@@ -20,8 +25,22 @@ fn main() {
         "SII refine",
     ]);
     for values in [1usize, 3, 5, 7, 9] {
-        let iva = run_point(&bed, System::Iva, values, 10, MetricKind::L2, WeightScheme::Equal);
-        let sii = run_point(&bed, System::Sii, values, 10, MetricKind::L2, WeightScheme::Equal);
+        let iva = run_point(
+            &bed,
+            System::Iva,
+            values,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
+        let sii = run_point(
+            &bed,
+            System::Sii,
+            values,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
         report::row(&[
             values.to_string(),
             report::f(iva.filter_ms),

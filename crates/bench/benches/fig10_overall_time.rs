@@ -12,7 +12,12 @@ use iva_core::{IvaConfig, MetricKind, WeightScheme};
 fn main() {
     let workload = scale_config();
     let config = IvaConfig::default();
-    report::banner("Fig. 10", "overall time per query vs values per query", &workload, &config);
+    report::banner(
+        "Fig. 10",
+        "overall time per query vs values per query",
+        &workload,
+        &config,
+    );
     let bed = TestBed::new(&workload, config);
     report::header(&[
         "values/query",
@@ -23,8 +28,22 @@ fn main() {
         "SII/iVA hdd",
     ]);
     for values in [1usize, 3, 5, 7, 9] {
-        let iva = run_point(&bed, System::Iva, values, 10, MetricKind::L2, WeightScheme::Equal);
-        let sii = run_point(&bed, System::Sii, values, 10, MetricKind::L2, WeightScheme::Equal);
+        let iva = run_point(
+            &bed,
+            System::Iva,
+            values,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
+        let sii = run_point(
+            &bed,
+            System::Sii,
+            values,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
         report::row(&[
             values.to_string(),
             report::f(iva.mean_ms),

@@ -27,8 +27,22 @@ fn main() {
         "SII std/mean",
     ]);
     for values in [1usize, 3, 5, 7, 9] {
-        let iva = run_point(&bed, System::Iva, values, 10, MetricKind::L2, WeightScheme::Equal);
-        let sii = run_point(&bed, System::Sii, values, 10, MetricKind::L2, WeightScheme::Equal);
+        let iva = run_point(
+            &bed,
+            System::Iva,
+            values,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
+        let sii = run_point(
+            &bed,
+            System::Sii,
+            values,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
         report::row(&[
             values.to_string(),
             report::f(iva.std_ms),

@@ -18,9 +18,19 @@ fn main() {
     );
     report::header(&["alpha", "wall ms", "hdd ms", "index size MB", "accesses"]);
     for alpha in [0.10f64, 0.15, 0.20, 0.25, 0.30] {
-        let config = IvaConfig { alpha, ..Default::default() };
+        let config = IvaConfig {
+            alpha,
+            ..Default::default()
+        };
         let bed = TestBed::new(&workload, config);
-        let iva = run_point(&bed, System::Iva, 3, 10, MetricKind::L2, WeightScheme::Equal);
+        let iva = run_point(
+            &bed,
+            System::Iva,
+            3,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
         report::row(&[
             format!("{:.0}%", alpha * 100.0),
             report::f(iva.mean_ms),

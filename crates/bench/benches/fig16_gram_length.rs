@@ -18,9 +18,19 @@ fn main() {
     );
     report::header(&["n", "wall ms", "hdd ms", "index size MB", "accesses"]);
     for n in [2usize, 3, 4, 5] {
-        let config = IvaConfig { n, ..Default::default() };
+        let config = IvaConfig {
+            n,
+            ..Default::default()
+        };
         let bed = TestBed::new(&workload, config);
-        let iva = run_point(&bed, System::Iva, 3, 10, MetricKind::L2, WeightScheme::Equal);
+        let iva = run_point(
+            &bed,
+            System::Iva,
+            3,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
         report::row(&[
             n.to_string(),
             report::f(iva.mean_ms),

@@ -21,7 +21,12 @@ use iva_workload::Dataset;
 fn main() {
     let workload = scale_config();
     let config = IvaConfig::default();
-    report::banner("Fig. 17", "average update time vs cleaning threshold beta", &workload, &config);
+    report::banner(
+        "Fig. 17",
+        "average update time vs cleaning threshold beta",
+        &workload,
+        &config,
+    );
     let opts = bench_pager_options();
     let dataset = Dataset::generate(&workload);
     let mut table = dataset.build_table(&opts, IoStats::new()).expect("table");
@@ -41,7 +46,9 @@ fn main() {
     let deletions = (n / 100).clamp(50, 2_000);
     let mut lcg = 0x5EEDu64;
     let mut pick = move || {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (lcg >> 33) % n
     };
     let victims: Vec<u64> = (0..deletions).map(|_| pick()).collect();
@@ -70,7 +77,9 @@ fn main() {
 
     // --- tr: rebuild time per system (compact table + rebuild index). ---
     let t0 = Instant::now();
-    let (fresh, _) = table.compact_into(None, &opts, IoStats::new()).expect("compact");
+    let (fresh, _) = table
+        .compact_into(None, &opts, IoStats::new())
+        .expect("compact");
     let tr_table = t0.elapsed().as_secs_f64() * 1e3;
 
     let t0 = Instant::now();
@@ -102,5 +111,7 @@ fn main() {
             report::f(upd(td_dst, tr_dst)),
         ]);
     }
-    println!("\npaper: iVA update cost is very close to SII and DST, and ~100x cheaper than a query");
+    println!(
+        "\npaper: iVA update cost is very close to SII and DST, and ~100x cheaper than a query"
+    );
 }

@@ -44,7 +44,12 @@ fn bench_signatures(c: &mut Criterion) {
 
 fn bench_edit_distance(c: &mut Criterion) {
     c.bench_function("text/edit_distance_17B", |b| {
-        b.iter(|| edit_distance_bytes(black_box(b"digital camera xx"), black_box(b"digtal camera xyz")))
+        b.iter(|| {
+            edit_distance_bytes(
+                black_box(b"digital camera xx"),
+                black_box(b"digtal camera xyz"),
+            )
+        })
     });
 }
 
@@ -80,7 +85,10 @@ fn bench_record_codec(c: &mut Criterion) {
 }
 
 fn bench_end_to_end_query(c: &mut Criterion) {
-    let opts = PagerOptions { page_size: 4096, cache_bytes: 4 * 1024 * 1024 };
+    let opts = PagerOptions {
+        page_size: 4096,
+        cache_bytes: 4 * 1024 * 1024,
+    };
     let mut table = SwtTable::create_mem(&opts, IoStats::new()).unwrap();
     let name = table.define_text("name").unwrap();
     let price = table.define_numeric("price").unwrap();
@@ -93,14 +101,27 @@ fn bench_end_to_end_query(c: &mut Criterion) {
             )
             .unwrap();
     }
-    let index =
-        build_index(&table, IndexTarget::Mem, &opts, IoStats::new(), IvaConfig::default())
-            .unwrap();
-    let q = Query::new().text(name, "catalog item 00777").num(price, 777.0);
+    let index = build_index(
+        &table,
+        IndexTarget::Mem,
+        &opts,
+        IoStats::new(),
+        IvaConfig::default(),
+    )
+    .unwrap();
+    let q = Query::new()
+        .text(name, "catalog item 00777")
+        .num(price, 777.0);
     c.bench_function("query/top10_of_2000_tuples", |b| {
         b.iter(|| {
             index
-                .query(&table, black_box(&q), 10, &MetricKind::L2, WeightScheme::Equal)
+                .query(
+                    &table,
+                    black_box(&q),
+                    10,
+                    &MetricKind::L2,
+                    WeightScheme::Equal,
+                )
                 .unwrap()
         })
     });

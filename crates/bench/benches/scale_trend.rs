@@ -24,16 +24,39 @@ fn main() {
         .into_iter()
         .filter(|&n| n <= max.max(60_000))
         .collect();
-    report::header(&["tuples", "iVA accesses", "SII accesses", "iVA/SII", "iVA % of T"]);
+    report::header(&[
+        "tuples",
+        "iVA accesses",
+        "SII accesses",
+        "iVA/SII",
+        "iVA % of T",
+    ]);
     for n in sizes {
         let bed = TestBed::new(&WorkloadConfig::scaled(n), config);
-        let iva = run_point(&bed, System::Iva, 3, 10, MetricKind::L2, WeightScheme::Equal);
-        let sii = run_point(&bed, System::Sii, 3, 10, MetricKind::L2, WeightScheme::Equal);
+        let iva = run_point(
+            &bed,
+            System::Iva,
+            3,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
+        let sii = run_point(
+            &bed,
+            System::Sii,
+            3,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
         report::row(&[
             n.to_string(),
             report::f(iva.table_accesses),
             report::f(sii.table_accesses),
-            format!("{:.1}%", 100.0 * iva.table_accesses / sii.table_accesses.max(1.0)),
+            format!(
+                "{:.1}%",
+                100.0 * iva.table_accesses / sii.table_accesses.max(1.0)
+            ),
             format!("{:.1}%", 100.0 * iva.table_accesses / n as f64),
         ]);
     }

@@ -15,7 +15,12 @@ use iva_workload::Dataset;
 fn main() {
     let workload = scale_config();
     let config = IvaConfig::default();
-    report::banner("Sizes", "index and table file sizes (Sec. V-A)", &workload, &config);
+    report::banner(
+        "Sizes",
+        "index and table file sizes (Sec. V-A)",
+        &workload,
+        &config,
+    );
     let opts = bench_pager_options();
     let dataset = Dataset::generate(&workload);
     let table = dataset.build_table(&opts, IoStats::new()).expect("table");
@@ -49,5 +54,8 @@ fn main() {
         "\npaper @779k x 1147: table 355.7 MB (1.00x), SII 101.5 MB (0.29x), \
          iVA 82.7-116.7 MB (0.23x-0.33x); VA-file far exceeds the table file"
     );
-    println!("(the VA-file stores a cell for each of the {} attributes of every tuple)", workload.n_attrs);
+    println!(
+        "(the VA-file stores a cell for each of the {} attributes of every tuple)",
+        workload.n_attrs
+    );
 }

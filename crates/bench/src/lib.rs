@@ -15,7 +15,6 @@ pub mod runner;
 pub mod scale;
 
 pub use runner::{
-    aggregate, bench_pager_options, run_point, run_queries, PerQuery, PointStats, System,
-    TestBed,
+    aggregate, bench_pager_options, run_point, run_queries, PerQuery, PointStats, System, TestBed,
 };
 pub use scale::{queries_per_point, scale_config};

@@ -5,9 +5,7 @@
 use std::time::Instant;
 
 use iva_baselines::{DirectScan, SiiIndex};
-use iva_core::{
-    build_index, IndexTarget, IvaConfig, IvaIndex, MetricKind, Query, WeightScheme,
-};
+use iva_core::{build_index, IndexTarget, IvaConfig, IvaIndex, MetricKind, Query, WeightScheme};
 use iva_storage::{DiskModel, IoSnapshot, IoStats, PagerOptions};
 use iva_swt::SwtTable;
 use iva_workload::{generate_query_set, Dataset, QuerySet, WorkloadConfig};
@@ -34,7 +32,10 @@ pub struct TestBed {
 
 /// Pager options used throughout the experiments.
 pub fn bench_pager_options() -> PagerOptions {
-    PagerOptions { page_size: 4096, cache_bytes: 5 * 1024 * 1024 }
+    PagerOptions {
+        page_size: 4096,
+        cache_bytes: 5 * 1024 * 1024,
+    }
 }
 
 /// The paper's cache regime: a 10 MB cache against a 355.7 MB table file,
@@ -50,13 +51,15 @@ impl TestBed {
         let opts = bench_pager_options();
         let dataset = Dataset::generate(workload);
         let table_io = IoStats::new();
-        let table = dataset.build_table(&opts, table_io.clone()).expect("table build");
+        let table = dataset
+            .build_table(&opts, table_io.clone())
+            .expect("table build");
         let iva_io = IoStats::new();
         let iva = build_index(&table, IndexTarget::Mem, &opts, iva_io.clone(), config)
             .expect("iva build");
         let sii_io = IoStats::new();
-        let sii = SiiIndex::build(&table, &opts, sii_io.clone(), config.ndf_penalty)
-            .expect("sii build");
+        let sii =
+            SiiIndex::build(&table, &opts, sii_io.clone(), config.ndf_penalty).expect("sii build");
         let dst = DirectScan::new(config.ndf_penalty);
 
         // Scale each file's buffer pool to the paper's cache:data ratio
@@ -66,12 +69,27 @@ impl TestBed {
         iva.resize_cache(scaled(iva.size_bytes()));
         sii.resize_cache(scaled(sii.size_bytes()));
 
-        Self { dataset, table, table_io, iva, iva_io, sii, sii_io, dst }
+        Self {
+            dataset,
+            table,
+            table_io,
+            iva,
+            iva_io,
+            sii,
+            sii_io,
+            dst,
+        }
     }
 
     /// Sample a paper-shaped query set.
     pub fn query_set(&self, values_per_query: usize, total: usize, warm: usize) -> QuerySet {
-        generate_query_set(&self.dataset, values_per_query, total, warm, 0xBEEF + values_per_query as u64)
+        generate_query_set(
+            &self.dataset,
+            values_per_query,
+            total,
+            warm,
+            0xBEEF + values_per_query as u64,
+        )
     }
 }
 
@@ -121,11 +139,17 @@ pub fn aggregate(samples: &[PerQuery]) -> PointStats {
     let n = samples.len().max(1) as f64;
     let mean = |f: &dyn Fn(&PerQuery) -> f64| samples.iter().map(f).sum::<f64>() / n;
     let mean_ms = mean(&|s| s.total_ms);
-    let var =
-        samples.iter().map(|s| (s.total_ms - mean_ms).powi(2)).sum::<f64>() / n;
+    let var = samples
+        .iter()
+        .map(|s| (s.total_ms - mean_ms).powi(2))
+        .sum::<f64>()
+        / n;
     let modeled_mean = mean(&|s| s.modeled_ms());
-    let modeled_var =
-        samples.iter().map(|s| (s.modeled_ms() - modeled_mean).powi(2)).sum::<f64>() / n;
+    let modeled_var = samples
+        .iter()
+        .map(|s| (s.modeled_ms() - modeled_mean).powi(2))
+        .sum::<f64>()
+        / n;
     PointStats {
         mean_ms,
         std_ms: var.sqrt(),
@@ -169,15 +193,24 @@ pub fn run_queries(
         let start = Instant::now();
         let (stats, _len) = match system {
             System::Iva => {
-                let out = bed.iva.query(&bed.table, q, k, &metric, weights).expect("iva query");
+                let out = bed
+                    .iva
+                    .query(&bed.table, q, k, &metric, weights)
+                    .expect("iva query");
                 (out.stats, out.results.len())
             }
             System::Sii => {
-                let out = bed.sii.query(&bed.table, q, k, &metric, weights).expect("sii query");
+                let out = bed
+                    .sii
+                    .query(&bed.table, q, k, &metric, weights)
+                    .expect("sii query");
                 (out.stats, out.results.len())
             }
             System::Dst => {
-                let out = bed.dst.query(&bed.table, q, k, &metric, weights).expect("dst query");
+                let out = bed
+                    .dst
+                    .query(&bed.table, q, k, &metric, weights)
+                    .expect("dst query");
                 (out.stats, out.results.len())
             }
         };
@@ -242,8 +275,22 @@ mod tests {
         let cfg = WorkloadConfig::scaled(800);
         let bed = TestBed::new(&cfg, IvaConfig::default());
         let qs = bed.query_set(3, 6, 2);
-        let iva = run_queries(&bed, System::Iva, &qs, 10, MetricKind::L2, WeightScheme::Equal);
-        let sii = run_queries(&bed, System::Sii, &qs, 10, MetricKind::L2, WeightScheme::Equal);
+        let iva = run_queries(
+            &bed,
+            System::Iva,
+            &qs,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
+        let sii = run_queries(
+            &bed,
+            System::Sii,
+            &qs,
+            10,
+            MetricKind::L2,
+            WeightScheme::Equal,
+        );
         assert_eq!(iva.len(), 4);
         assert_eq!(sii.len(), 4);
         let a = aggregate(&iva);
@@ -257,8 +304,20 @@ mod tests {
     fn aggregate_math() {
         let io = IoSnapshot::default();
         let samples = vec![
-            PerQuery { total_ms: 2.0, filter_ms: 1.0, refine_ms: 1.0, table_accesses: 10, io },
-            PerQuery { total_ms: 4.0, filter_ms: 2.0, refine_ms: 2.0, table_accesses: 20, io },
+            PerQuery {
+                total_ms: 2.0,
+                filter_ms: 1.0,
+                refine_ms: 1.0,
+                table_accesses: 10,
+                io,
+            },
+            PerQuery {
+                total_ms: 4.0,
+                filter_ms: 2.0,
+                refine_ms: 2.0,
+                table_accesses: 20,
+                io,
+            },
         ];
         let s = aggregate(&samples);
         assert_eq!(s.mean_ms, 3.0);

@@ -15,11 +15,23 @@ pub struct IvaConfig {
     pub ndf_penalty: f64,
     /// Width `r` in bytes of a stored numerical value (f64 ⇒ 8).
     pub numeric_width: usize,
+    /// Worker threads for the segmented filter scan (`0` ⇒ one per
+    /// available CPU). An effective count of 1 runs the exact
+    /// single-threaded code path; any count produces bit-identical
+    /// results. Runtime-only: not persisted in the index header, so a
+    /// reopened index starts back at the default.
+    pub search_threads: usize,
 }
 
 impl Default for IvaConfig {
     fn default() -> Self {
-        Self { alpha: 0.20, n: 2, ndf_penalty: 20.0, numeric_width: 8 }
+        Self {
+            alpha: 0.20,
+            n: 2,
+            ndf_penalty: 20.0,
+            numeric_width: 8,
+            search_threads: 0,
+        }
     }
 }
 
@@ -34,6 +46,16 @@ impl IvaConfig {
         SigCodec::new(self.alpha, self.n)
     }
 
+    /// Resolve [`IvaConfig::search_threads`]: `0` means one worker per
+    /// available CPU (falling back to 1 if parallelism cannot be queried).
+    pub fn resolved_search_threads(&self) -> usize {
+        if self.search_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.search_threads
+        }
+    }
+
     /// Validate parameter ranges.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.alpha > 0.0 && self.alpha <= 1.0) {
@@ -43,10 +65,22 @@ impl IvaConfig {
             return Err(format!("gram length must be in [2,8], got {}", self.n));
         }
         if self.ndf_penalty < 0.0 || !self.ndf_penalty.is_finite() {
-            return Err(format!("ndf penalty must be finite and >= 0, got {}", self.ndf_penalty));
+            return Err(format!(
+                "ndf penalty must be finite and >= 0, got {}",
+                self.ndf_penalty
+            ));
         }
         if self.numeric_width == 0 || self.numeric_width > 8 {
-            return Err(format!("numeric width must be in [1,8], got {}", self.numeric_width));
+            return Err(format!(
+                "numeric width must be in [1,8], got {}",
+                self.numeric_width
+            ));
+        }
+        if self.search_threads > 1024 {
+            return Err(format!(
+                "search threads must be <= 1024, got {}",
+                self.search_threads
+            ));
         }
         Ok(())
     }
@@ -67,22 +101,76 @@ mod tests {
 
     #[test]
     fn numeric_code_bytes_formula() {
-        let c = IvaConfig { alpha: 0.20, ..Default::default() };
+        let c = IvaConfig {
+            alpha: 0.20,
+            ..Default::default()
+        };
         assert_eq!(c.numeric_code_bytes(), 2); // ceil(0.2 * 8)
-        let c = IvaConfig { alpha: 0.10, ..Default::default() };
+        let c = IvaConfig {
+            alpha: 0.10,
+            ..Default::default()
+        };
         assert_eq!(c.numeric_code_bytes(), 1);
-        let c = IvaConfig { alpha: 0.30, ..Default::default() };
+        let c = IvaConfig {
+            alpha: 0.30,
+            ..Default::default()
+        };
         assert_eq!(c.numeric_code_bytes(), 3);
-        let c = IvaConfig { alpha: 1.0, ..Default::default() };
+        let c = IvaConfig {
+            alpha: 1.0,
+            ..Default::default()
+        };
         assert_eq!(c.numeric_code_bytes(), 8);
     }
 
     #[test]
     fn validation_rejects_bad_params() {
-        assert!(IvaConfig { alpha: 0.0, ..Default::default() }.validate().is_err());
-        assert!(IvaConfig { alpha: 1.5, ..Default::default() }.validate().is_err());
-        assert!(IvaConfig { n: 1, ..Default::default() }.validate().is_err());
-        assert!(IvaConfig { ndf_penalty: f64::NAN, ..Default::default() }.validate().is_err());
-        assert!(IvaConfig { numeric_width: 0, ..Default::default() }.validate().is_err());
+        assert!(IvaConfig {
+            alpha: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(IvaConfig {
+            alpha: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(IvaConfig {
+            n: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(IvaConfig {
+            ndf_penalty: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(IvaConfig {
+            numeric_width: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(IvaConfig {
+            search_threads: 2000,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn search_threads_resolution() {
+        let c = IvaConfig {
+            search_threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.resolved_search_threads(), 3);
+        let auto = IvaConfig::default().resolved_search_threads();
+        assert!(auto >= 1);
     }
 }

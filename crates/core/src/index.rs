@@ -38,8 +38,15 @@ pub struct IvaIndex {
 }
 
 pub(crate) enum PreparedAttr {
-    Text { matcher: QueryStringMatcher, cursor: TextListCursor },
-    Num { q: f64, codec: NumericCodec, cursor: NumListCursor },
+    Text {
+        matcher: QueryStringMatcher,
+        cursor: TextListCursor,
+    },
+    Num {
+        q: f64,
+        codec: NumericCodec,
+        cursor: NumListCursor,
+    },
     /// The attribute was added to the catalog after the last (re)build and
     /// no tuple defines it in the index: every tuple reads as *ndf*.
     AlwaysNdf,
@@ -53,7 +60,12 @@ impl IvaIndex {
         entries: Vec<AttrEntry>,
     ) -> Result<Self> {
         let sig_codec = header.config.sig_codec();
-        let mut idx = Self { pager, header, entries, sig_codec };
+        let mut idx = Self {
+            pager,
+            header,
+            entries,
+            sig_codec,
+        };
         idx.write_header()?;
         Ok(idx)
     }
@@ -76,7 +88,12 @@ impl IvaIndex {
             entries.push(AttrEntry::decode(&buf)?);
         }
         let sig_codec = header.config.sig_codec();
-        Ok(Self { pager, header, entries, sig_codec })
+        Ok(Self {
+            pager,
+            header,
+            entries,
+            sig_codec,
+        })
     }
 
     /// Index configuration.
@@ -151,9 +168,8 @@ impl IvaIndex {
     }
 
     fn numeric_codec(&self, entry: &AttrEntry) -> NumericCodec {
-        let code_bytes = ((entry.alpha * self.header.config.numeric_width as f64).ceil()
-            as usize)
-            .clamp(1, 8);
+        let code_bytes =
+            ((entry.alpha * self.header.config.numeric_width as f64).ceil() as usize).clamp(1, 8);
         NumericCodec::new(entry.min, entry.max, code_bytes)
     }
 
@@ -175,6 +191,19 @@ impl IvaIndex {
 
     pub(crate) fn tuple_list_handle(&self) -> iva_storage::ListHandle {
         self.header.tuple_list
+    }
+
+    /// Position freshly prepared cursors past the first `n` tuple-list
+    /// elements (segmented scans start mid-list).
+    pub(crate) fn seek_cursors(&self, prepared: &mut [PreparedAttr], n: u64) -> Result<()> {
+        for pa in prepared.iter_mut() {
+            match pa {
+                PreparedAttr::Text { cursor, .. } => cursor.seek_elements(n, &self.sig_codec)?,
+                PreparedAttr::Num { codec, cursor, .. } => cursor.seek_elements(n, codec)?,
+                PreparedAttr::AlwaysNdf => {}
+            }
+        }
+        Ok(())
     }
 
     /// Advance every cursor past a tombstoned tuple.
@@ -267,6 +296,20 @@ impl IvaIndex {
         metric: &M,
         weights: WeightScheme,
     ) -> Result<QueryOutcome> {
+        self.query_serial(table, query, k, metric, weights, true)
+    }
+
+    /// The single-threaded Algorithm 1 scan. With `measured` false no
+    /// clock is read on the hot path and the phase nanos stay 0.
+    pub(crate) fn query_serial<M: Metric>(
+        &self,
+        table: &SwtTable,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        weights: WeightScheme,
+        measured: bool,
+    ) -> Result<QueryOutcome> {
         let lambda = self.resolve_weights(query, weights);
         let mut prepared = self.prepare_cursors(query)?;
         let mut treader = ListReader::open(Arc::clone(&self.pager), self.header.tuple_list)?;
@@ -275,7 +318,7 @@ impl IvaIndex {
         let mut diffs = vec![0.0f64; query.len()];
         let ndf = self.header.config.ndf_penalty;
 
-        let start = Instant::now();
+        let start = measured.then(Instant::now);
         let mut refine_nanos = 0u64;
         for _ in 0..self.header.n_tuples {
             let tid = treader.read_u32()?;
@@ -288,18 +331,25 @@ impl IvaIndex {
             self.lower_bounds_into(&mut prepared, tid, &lambda, ndf, &mut diffs)?;
             let est = metric.combine(&diffs);
             if pool.admits(est) {
-                let refine_start = Instant::now();
+                let refine_start = measured.then(Instant::now);
                 let rec = table.get(RecordPtr(ptr))?;
                 stats.table_accesses += 1;
                 let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
                 pool.insert_at(rec.tid, actual, RecordPtr(ptr));
-                refine_nanos += refine_start.elapsed().as_nanos() as u64;
+                if let Some(t) = refine_start {
+                    refine_nanos += t.elapsed().as_nanos() as u64;
+                }
             }
         }
-        let total_nanos = start.elapsed().as_nanos() as u64;
-        stats.refine_nanos = refine_nanos;
-        stats.filter_nanos = total_nanos.saturating_sub(refine_nanos);
-        Ok(QueryOutcome { results: pool.into_sorted(), stats })
+        if let Some(t) = start {
+            let total_nanos = t.elapsed().as_nanos() as u64;
+            stats.refine_nanos = refine_nanos;
+            stats.filter_nanos = total_nanos.saturating_sub(refine_nanos);
+        }
+        Ok(QueryOutcome {
+            results: pool.into_sorted(),
+            stats,
+        })
     }
 
     /// Index a freshly inserted tuple (Sec. IV-B): append to the tuple list
@@ -333,8 +383,10 @@ impl IvaIndex {
             let mut new_entry = entry;
             match value {
                 Value::Text(strings) => {
-                    let sigs: Vec<Vec<u8>> =
-                        strings.iter().map(|s| self.sig_codec.encode_to_vec(s.as_bytes())).collect();
+                    let sigs: Vec<Vec<u8>> = strings
+                        .iter()
+                        .map(|s| self.sig_codec.encode_to_vec(s.as_bytes()))
+                        .collect();
                     match new_entry.list_type {
                         ListType::I => {
                             for sig in &sigs {
@@ -423,8 +475,7 @@ impl IvaIndex {
         for i in self.entries.len()..catalog.len() {
             let def = catalog.def(AttrId(i as u32)).unwrap();
             let vlist = ListWriter::create(Arc::clone(&self.pager))?.finish()?;
-            let entry =
-                AttrEntry::empty(vlist, def.ty == AttrType::Text, self.header.config.alpha);
+            let entry = AttrEntry::empty(vlist, def.ty == AttrType::Text, self.header.config.alpha);
             entry.encode(&mut appended);
             self.entries.push(entry);
         }
@@ -588,7 +639,9 @@ impl std::fmt::Display for QueryExplain {
                 "  {}: {} list {:?} ({} B), df {} ({:.1}%), weight {:.3}",
                 a.attr,
                 if a.is_text { "text" } else { "num" },
-                a.list_type.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+                a.list_type
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 a.list_bytes,
                 a.df,
                 a.definedness * 100.0,

@@ -153,7 +153,9 @@ impl IndexHeader {
         }
         let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
         if version != VERSION {
-            return Err(IvaError::Corrupt(format!("unsupported index version {version}")));
+            return Err(IvaError::Corrupt(format!(
+                "unsupported index version {version}"
+            )));
         }
         let u64at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
         let u32at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
@@ -162,13 +164,22 @@ impl IndexHeader {
             n: u32at(16) as usize,
             ndf_penalty: f64::from_bits(u64at(20)),
             numeric_width: u32at(28) as usize,
+            // Runtime knob, not part of the persistent format.
+            search_threads: 0,
         };
         let n_attrs = u32at(32);
         let n_tuples = u64at(36);
         let n_deleted = u64at(44);
         let attr_list = ListHandle::decode(&buf[52..76])?;
         let tuple_list = ListHandle::decode(&buf[76..100])?;
-        Ok(Self { config, n_attrs, n_tuples, n_deleted, attr_list, tuple_list })
+        Ok(Self {
+            config,
+            n_attrs,
+            n_tuples,
+            n_deleted,
+            attr_list,
+            tuple_list,
+        })
     }
 }
 
@@ -178,7 +189,11 @@ mod tests {
     use iva_storage::PageId;
 
     fn handle(a: u64, b: u64, l: u64) -> ListHandle {
-        ListHandle { head: PageId(a), tail: PageId(b), len: l }
+        ListHandle {
+            head: PageId(a),
+            tail: PageId(b),
+            len: l,
+        }
     }
 
     #[test]
@@ -216,7 +231,12 @@ mod tests {
     #[test]
     fn header_roundtrip() {
         let h = IndexHeader {
-            config: IvaConfig { alpha: 0.15, n: 3, ndf_penalty: 25.0, numeric_width: 8 },
+            config: IvaConfig {
+                alpha: 0.15,
+                n: 3,
+                ndf_penalty: 25.0,
+                ..Default::default()
+            },
             n_attrs: 1147,
             n_tuples: 779_019,
             n_deleted: 3,
@@ -225,6 +245,25 @@ mod tests {
         };
         let buf = h.encode();
         assert_eq!(IndexHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn search_threads_is_runtime_only() {
+        let mut h = IndexHeader {
+            config: IvaConfig {
+                search_threads: 7,
+                ..Default::default()
+            },
+            n_attrs: 1,
+            n_tuples: 10,
+            n_deleted: 0,
+            attr_list: handle(1, 2, 100),
+            tuple_list: handle(3, 4, 200),
+        };
+        let back = IndexHeader::decode(&h.encode()).unwrap();
+        assert_eq!(back.config.search_threads, 0);
+        h.config.search_threads = 0;
+        assert_eq!(back, h);
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod index;
 mod layout;
 mod metric;
 mod numeric;
+mod parallel;
 mod pool;
 mod query;
 mod seqplan;
@@ -40,6 +41,7 @@ pub use index::{ExplainAttr, IvaIndex, QueryExplain, QueryOutcome};
 pub use layout::{AttrEntry, IndexHeader, TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
 pub use metric::{Metric, MetricKind, WeightScheme};
 pub use numeric::NumericCodec;
+pub use parallel::QueryOptions;
 pub use pool::{PoolEntry, ResultPool};
 pub use query::{attr_difference, exact_distance, Query, QueryStats, QueryValue};
 pub use veclist::{

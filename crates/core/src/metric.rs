@@ -117,7 +117,9 @@ mod tests {
         // Property 3.1 on random dominated pairs.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for m in [MetricKind::L1, MetricKind::L2, MetricKind::LInf] {

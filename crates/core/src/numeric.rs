@@ -46,7 +46,12 @@ impl NumericCodec {
         let bits = (code_bytes * 8).min(63) as u32;
         // Reserve the all-ones pattern for ndf.
         let slices = (1u64 << bits) - 1;
-        Self { min, max, code_bytes, slices }
+        Self {
+            min,
+            max,
+            code_bytes,
+            slices,
+        }
     }
 
     /// Code width in bytes.
@@ -102,7 +107,11 @@ impl NumericCodec {
             // sides to cover post-build out-of-domain inserts.
             return (f64::NEG_INFINITY, f64::INFINITY);
         }
-        let lo = if code == 0 { f64::NEG_INFINITY } else { self.min + code as f64 * w };
+        let lo = if code == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.min + code as f64 * w
+        };
         let hi = if code == self.slices - 1 {
             f64::INFINITY
         } else {

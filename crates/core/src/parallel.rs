@@ -1,0 +1,440 @@
+//! Intra-query parallel filtering: Algorithm 1 over tuple-list segments.
+//!
+//! The tuple list is split into `t` contiguous segments, each scanned by a
+//! worker thread with its own cursors and a *private* top-k pool. A worker
+//! records every candidate it fetches — `(tid, ptr, estimate, exact
+//! distance)` in scan order — and the merge step replays the recorded
+//! candidates through one fresh pool in segment order. The replay
+//! reproduces the serial pool's evolution exactly, so the final top-k (and
+//! `table_accesses`) is bit-identical to [`IvaIndex::query`]:
+//!
+//! * A worker's pool only ever holds entries from its own segment prefix,
+//!   so its admission threshold is never tighter than the serial scan's at
+//!   the same position — every candidate the serial scan fetches is also
+//!   fetched by the worker owning its segment (superset property).
+//! * The replay applies the serial admission rule to that superset in
+//!   serial order: by induction its pool equals the serial pool at every
+//!   step, so it admits exactly the serially-admitted candidates.
+//!
+//! Surplus worker fetches the replay rejects are reported as
+//! [`QueryStats::speculative_accesses`]; the exact distances they computed
+//! are simply discarded. Refinement work rides inside the workers (a fetch
+//! happens once, where the candidate is found), so the table file's
+//! [`iva_storage::IoStats`] counts each physical access exactly once.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use iva_storage::ListReader;
+use iva_swt::{RecordPtr, SwtTable};
+
+use crate::error::Result;
+use crate::index::{IvaIndex, QueryOutcome};
+use crate::layout::{TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
+use crate::metric::{Metric, WeightScheme};
+use crate::pool::ResultPool;
+use crate::query::{exact_distance, Query, QueryStats};
+
+/// Smallest tuple-list segment worth a worker thread; requests for more
+/// parallelism than `⌈n/64⌉` are clamped.
+const MIN_SEGMENT: u64 = 64;
+
+/// Per-thread CPU time, used for worker phase timings. Wall-clock would
+/// charge a worker for time its siblings spent preempting it whenever
+/// workers outnumber cores, inflating the max-over-workers phase stats;
+/// thread CPU time equals wall time when every worker has a core to
+/// itself and stays meaningful when oversubscribed.
+#[cfg(target_os = "linux")]
+fn thread_clock_nanos() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid out-pointer and the clock id is a constant
+    // every Linux kernel supports.
+    if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } == 0 {
+        ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+    } else {
+        0
+    }
+}
+
+/// Fallback where thread clocks are unavailable: a process-wide monotonic
+/// clock (phase timings then include preemption by sibling workers).
+#[cfg(not(target_os = "linux"))]
+fn thread_clock_nanos() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Execution knobs for [`IvaIndex::query_opts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Worker threads for the filter scan. `None` defers to
+    /// [`crate::IvaConfig::search_threads`]. An effective count of 1 runs
+    /// the single-threaded code path; any count returns bit-identical
+    /// results.
+    pub threads: Option<usize>,
+    /// Collect wall-clock phase timings. When false no clock is read on
+    /// the hot path and the phase nanos stay 0.
+    pub measured: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            measured: true,
+        }
+    }
+}
+
+/// One fetched candidate, recorded in scan order for the merge replay.
+struct Candidate {
+    tid: u64,
+    ptr: u64,
+    est: f64,
+    actual: f64,
+}
+
+/// What one worker brings to the merge barrier.
+struct SegmentScan {
+    candidates: Vec<Candidate>,
+    tuples_scanned: u64,
+    filter_nanos: u64,
+    refine_nanos: u64,
+}
+
+impl IvaIndex {
+    /// [`IvaIndex::query`] with explicit execution options: the filter
+    /// scan runs on `threads` segments in parallel, the merged result is
+    /// bit-identical to the serial scan.
+    ///
+    /// Counter stats sum across workers; phase timings take the slowest
+    /// worker — measured in per-thread CPU time, so the max is the phase's
+    /// critical path even when workers outnumber cores — with the merge
+    /// counted as filter time.
+    pub fn query_opts<M: Metric + Sync>(
+        &self,
+        table: &SwtTable,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        weights: WeightScheme,
+        opts: &QueryOptions,
+    ) -> Result<QueryOutcome> {
+        let n = self.n_tuples();
+        let requested = opts
+            .threads
+            .unwrap_or_else(|| self.config().resolved_search_threads());
+        let max_useful = usize::try_from(n.div_ceil(MIN_SEGMENT)).unwrap_or(usize::MAX);
+        let threads = requested.min(max_useful).max(1);
+        if threads == 1 {
+            return self.query_serial(table, query, k, metric, weights, opts.measured);
+        }
+
+        let lambda = self.resolve_weights(query, weights);
+        let ndf = self.config().ndf_penalty;
+        let measured = opts.measured;
+        let t = threads as u64;
+        let bounds: Vec<(u64, u64)> = (0..t).map(|i| (i * n / t, (i + 1) * n / t)).collect();
+
+        let mut slots: Vec<Option<Result<SegmentScan>>> = Vec::new();
+        slots.resize_with(bounds.len(), || None);
+        crossbeam::thread::scope(|s| {
+            for (&(lo, hi), slot) in bounds.iter().zip(slots.iter_mut()) {
+                let lambda = &lambda;
+                s.spawn(move |_| {
+                    *slot = Some(
+                        self.scan_segment(table, query, k, metric, lambda, ndf, lo, hi, measured),
+                    );
+                });
+            }
+        })
+        .expect("filter worker panicked");
+
+        // Merge barrier: replay recorded candidates in segment order
+        // through one fresh pool (see module doc for why this reproduces
+        // the serial scan exactly).
+        let merge_start = measured.then(Instant::now);
+        let mut pool = ResultPool::new(k);
+        let mut stats = QueryStats::default();
+        let mut max_filter = 0u64;
+        let mut max_refine = 0u64;
+        for slot in slots {
+            let seg = slot.expect("worker slot unfilled")?;
+            stats.tuples_scanned += seg.tuples_scanned;
+            max_filter = max_filter.max(seg.filter_nanos);
+            max_refine = max_refine.max(seg.refine_nanos);
+            for c in seg.candidates {
+                if pool.admits(c.est) {
+                    stats.table_accesses += 1;
+                    pool.insert_at(c.tid, c.actual, RecordPtr(c.ptr));
+                } else {
+                    stats.speculative_accesses += 1;
+                }
+            }
+        }
+        if let Some(m) = merge_start {
+            max_filter += m.elapsed().as_nanos() as u64;
+        }
+        stats.filter_nanos = max_filter;
+        stats.refine_nanos = max_refine;
+        Ok(QueryOutcome {
+            results: pool.into_sorted(),
+            stats,
+        })
+    }
+
+    /// Scan tuple-list positions `[lo, hi)` with private cursors and pool,
+    /// recording every fetched candidate.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_segment<M: Metric>(
+        &self,
+        table: &SwtTable,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        lambda: &[f64],
+        ndf: f64,
+        lo: u64,
+        hi: u64,
+        measured: bool,
+    ) -> Result<SegmentScan> {
+        let mut prepared = self.prepare_cursors(query)?;
+        self.seek_cursors(&mut prepared, lo)?;
+        let mut treader = ListReader::open(Arc::clone(self.pager_ref()), self.tuple_list_handle())?;
+        treader.skip(lo * TUPLE_ENTRY_LEN as u64)?;
+        let mut pool = ResultPool::new(k);
+        let mut out = SegmentScan {
+            candidates: Vec::new(),
+            tuples_scanned: 0,
+            filter_nanos: 0,
+            refine_nanos: 0,
+        };
+        let mut diffs = vec![0.0f64; query.len()];
+        let start = measured.then(thread_clock_nanos);
+        for _ in lo..hi {
+            let tid = treader.read_u32()?;
+            let ptr = treader.read_u64()?;
+            out.tuples_scanned += 1;
+            if ptr == TOMBSTONE_PTR {
+                self.skip_cursors(&mut prepared, tid)?;
+                continue;
+            }
+            self.lower_bounds_into(&mut prepared, tid, lambda, ndf, &mut diffs)?;
+            let est = metric.combine(&diffs);
+            if pool.admits(est) {
+                let refine_start = measured.then(thread_clock_nanos);
+                let rec = table.get(RecordPtr(ptr))?;
+                let actual = exact_distance(&rec.tuple, query, lambda, metric, ndf);
+                pool.insert_at(rec.tid, actual, RecordPtr(ptr));
+                out.candidates.push(Candidate {
+                    tid: rec.tid,
+                    ptr,
+                    est,
+                    actual,
+                });
+                if let Some(rt) = refine_start {
+                    out.refine_nanos += thread_clock_nanos().saturating_sub(rt);
+                }
+            }
+        }
+        if let Some(st) = start {
+            out.filter_nanos = thread_clock_nanos()
+                .saturating_sub(st)
+                .saturating_sub(out.refine_nanos);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_index, IndexTarget};
+    use crate::config::IvaConfig;
+    use crate::metric::MetricKind;
+    use iva_storage::{IoStats, PagerOptions};
+    use iva_swt::{AttrId, Tuple, Value};
+
+    fn opts() -> PagerOptions {
+        PagerOptions {
+            page_size: 512,
+            cache_bytes: 256 * 1024,
+        }
+    }
+
+    /// A table wide enough to exercise every list type: a dense text
+    /// attribute (Type III), a sparse one (I or II), a dense numeric
+    /// (Type IV) and a sparse numeric (Type I).
+    fn table(n: u32) -> SwtTable {
+        let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+        let dense_txt = t.define_text("title").unwrap();
+        let sparse_txt = t.define_text("note").unwrap();
+        let dense_num = t.define_numeric("price").unwrap();
+        let sparse_num = t.define_numeric("stock").unwrap();
+        for i in 0..n {
+            let mut tup = Tuple::new();
+            if i % 5 != 0 {
+                tup.set(dense_txt, Value::text(format!("product listing {i:04}")));
+            }
+            if i % 13 == 0 {
+                tup.set(sparse_txt, Value::text(format!("note {i}")));
+            }
+            if i % 2 == 0 {
+                tup.set(dense_num, Value::num(f64::from(i % 97)));
+            }
+            if i % 11 == 0 {
+                tup.set(sparse_num, Value::num(f64::from(i)));
+            }
+            t.insert(&tup).unwrap();
+        }
+        t
+    }
+
+    fn probe() -> Query {
+        Query::new()
+            .text(AttrId(0), "product listing 0042")
+            .text(AttrId(1), "note 39")
+            .num(AttrId(2), 42.0)
+            .num(AttrId(3), 33.0)
+    }
+
+    fn assert_bit_identical(a: &QueryOutcome, b: &QueryOutcome, label: &str) {
+        assert_eq!(a.results.len(), b.results.len(), "{label}: result count");
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.tid, y.tid, "{label}");
+            assert_eq!(x.ptr, y.ptr, "{label}");
+            assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "{label}");
+        }
+        assert_eq!(a.stats.tuples_scanned, b.stats.tuples_scanned, "{label}");
+        assert_eq!(a.stats.table_accesses, b.stats.table_accesses, "{label}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let table = table(600);
+        let index = build_index(
+            &table,
+            IndexTarget::Mem,
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
+        let q = probe();
+        for k in [1usize, 5, 20] {
+            let serial = index
+                .query(&table, &q, k, &MetricKind::L2, WeightScheme::Equal)
+                .unwrap();
+            for threads in [2usize, 4, 8] {
+                let o = QueryOptions {
+                    threads: Some(threads),
+                    measured: true,
+                };
+                let par = index
+                    .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
+                    .unwrap();
+                assert_bit_identical(&serial, &par, &format!("k={k} threads={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_tombstones_and_appends() {
+        let table = table(400);
+        let mut index = build_index(
+            &table,
+            IndexTarget::Mem,
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
+        // Tombstone a spread of tuples, including segment-boundary areas.
+        for tid in [0u64, 99, 100, 101, 199, 200, 350, 399] {
+            assert!(index.delete(tid).unwrap());
+        }
+        let q = probe();
+        let serial = index
+            .query(&table, &q, 10, &MetricKind::L1, WeightScheme::Equal)
+            .unwrap();
+        for threads in [2usize, 3, 7] {
+            let o = QueryOptions {
+                threads: Some(threads),
+                measured: false,
+            };
+            let par = index
+                .query_opts(&table, &q, 10, &MetricKind::L1, WeightScheme::Equal, &o)
+                .unwrap();
+            assert_bit_identical(&serial, &par, &format!("threads={threads}"));
+            assert_eq!(par.stats.filter_nanos, 0, "unmeasured run read the clock");
+            assert_eq!(par.stats.refine_nanos, 0);
+        }
+    }
+
+    #[test]
+    fn thread_count_clamps_to_segment_floor() {
+        let table = table(100); // ⌈100/64⌉ = 2 useful segments
+        let index = build_index(
+            &table,
+            IndexTarget::Mem,
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
+        let q = probe();
+        let serial = index
+            .query(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
+        let o = QueryOptions {
+            threads: Some(64),
+            measured: true,
+        };
+        let par = index
+            .query_opts(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal, &o)
+            .unwrap();
+        assert_bit_identical(&serial, &par, "clamped");
+    }
+
+    #[test]
+    fn speculative_accesses_only_in_parallel_runs() {
+        let table = table(600);
+        let index = build_index(
+            &table,
+            IndexTarget::Mem,
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
+        let q = probe();
+        let serial = index
+            .query(&table, &q, 3, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
+        assert_eq!(serial.stats.speculative_accesses, 0);
+        let o = QueryOptions {
+            threads: Some(4),
+            measured: true,
+        };
+        let par = index
+            .query_opts(&table, &q, 3, &MetricKind::L2, WeightScheme::Equal, &o)
+            .unwrap();
+        // Workers 2..4 start with empty pools, so they must over-fetch at
+        // least their warm-up candidates.
+        assert!(par.stats.speculative_accesses > 0);
+        assert_eq!(par.stats.table_accesses, serial.stats.table_accesses);
+    }
+}

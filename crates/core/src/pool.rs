@@ -50,7 +50,10 @@ pub struct ResultPool {
 impl ResultPool {
     /// Pool retaining the `k` smallest distances.
     pub fn new(k: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(k + 1), k }
+        Self {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+        }
     }
 
     /// `pool.Size()` of Algorithm 1.

@@ -107,8 +107,14 @@ pub struct QueryStats {
     /// Tuples examined in the filter step.
     pub tuples_scanned: u64,
     /// Candidates that passed the filter and were fetched from the table
-    /// file (the paper's "table file accesses", Fig. 8).
+    /// file (the paper's "table file accesses", Fig. 8). Identical for
+    /// serial and parallel execution of the same query.
     pub table_accesses: u64,
+    /// Extra table fetches made by parallel filter workers whose private
+    /// pools admit more loosely than the merged pool (0 when
+    /// single-threaded). Physical reads beyond the serial plan's — the
+    /// price paid for segment parallelism.
+    pub speculative_accesses: u64,
     /// Time spent scanning the index and estimating distances, in nanos.
     pub filter_nanos: u64,
     /// Time spent on random table accesses + exact distances, in nanos.
@@ -139,7 +145,10 @@ mod tests {
 
     #[test]
     fn builder_sorts_and_replaces() {
-        let q = Query::new().num(AttrId(5), 1.0).text(AttrId(1), "x").num(AttrId(5), 2.0);
+        let q = Query::new()
+            .num(AttrId(5), 1.0)
+            .text(AttrId(1), "x")
+            .num(AttrId(5), 2.0);
         assert_eq!(q.len(), 2);
         let attrs: Vec<u32> = q.iter().map(|(a, _)| a.0).collect();
         assert_eq!(attrs, vec![1, 5]);
@@ -149,17 +158,29 @@ mod tests {
     #[test]
     fn attr_difference_cases() {
         assert_eq!(attr_difference(None, &QueryValue::Num(5.0), 20.0), 20.0);
-        assert_eq!(attr_difference(Some(&Value::num(3.0)), &QueryValue::Num(5.0), 20.0), 2.0);
+        assert_eq!(
+            attr_difference(Some(&Value::num(3.0)), &QueryValue::Num(5.0), 20.0),
+            2.0
+        );
         let v = Value::texts(["Canon", "Cannon"]);
-        assert_eq!(attr_difference(Some(&v), &QueryValue::Text("Canon".into()), 20.0), 0.0);
+        assert_eq!(
+            attr_difference(Some(&v), &QueryValue::Text("Canon".into()), 20.0),
+            0.0
+        );
         let v = Value::text("Cannon");
-        assert_eq!(attr_difference(Some(&v), &QueryValue::Text("Canon".into()), 20.0), 1.0);
+        assert_eq!(
+            attr_difference(Some(&v), &QueryValue::Text("Canon".into()), 20.0),
+            1.0
+        );
     }
 
     #[test]
     fn mismatched_types_fall_back_to_penalty() {
         let v = Value::num(3.0);
-        assert_eq!(attr_difference(Some(&v), &QueryValue::Text("x".into()), 20.0), 20.0);
+        assert_eq!(
+            attr_difference(Some(&v), &QueryValue::Text("x".into()), 20.0),
+            20.0
+        );
     }
 
     #[test]
@@ -186,7 +207,11 @@ mod tests {
 
     #[test]
     fn stats_time_conversions() {
-        let s = QueryStats { filter_nanos: 2_500_000, refine_nanos: 500_000, ..Default::default() };
+        let s = QueryStats {
+            filter_nanos: 2_500_000,
+            refine_nanos: 500_000,
+            ..Default::default()
+        };
         assert_eq!(s.filter_ms(), 2.5);
         assert_eq!(s.refine_ms(), 0.5);
         assert_eq!(s.total_ms(), 3.0);

@@ -94,8 +94,10 @@ impl IvaIndex {
         // fetch. To stay exact when fewer than k candidates exist, the
         // leftovers are refined afterwards in lower-bound order.
         let mut pool = ResultPool::new(k);
-        let mut stats =
-            QueryStats { tuples_scanned: scanned.len() as u64, ..Default::default() };
+        let mut stats = QueryStats {
+            tuples_scanned: scanned.len() as u64,
+            ..Default::default()
+        };
         let refine_start = Instant::now();
         let mut leftovers: Vec<(u64, u64, f64)> = Vec::new();
         for &(tid, ptr, lb, any_defined) in &scanned {
@@ -126,7 +128,10 @@ impl IvaIndex {
         let total = start.elapsed().as_nanos() as u64;
         stats.refine_nanos = refine_nanos;
         stats.filter_nanos = total.saturating_sub(refine_nanos);
-        Ok(QueryOutcome { results: pool.into_sorted(), stats })
+        Ok(QueryOutcome {
+            results: pool.into_sorted(),
+            stats,
+        })
     }
 }
 
@@ -140,7 +145,10 @@ mod tests {
     use iva_swt::{AttrId, Tuple, Value};
 
     fn opts() -> PagerOptions {
-        PagerOptions { page_size: 512, cache_bytes: 64 * 1024 }
+        PagerOptions {
+            page_size: 512,
+            cache_bytes: 64 * 1024,
+        }
     }
 
     fn table() -> SwtTable {
@@ -163,12 +171,21 @@ mod tests {
     #[test]
     fn sequential_plan_is_exact_but_fetches_more() {
         let table = table();
-        let index =
-            build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), IvaConfig::default())
-                .unwrap();
-        let q = Query::new().text(AttrId(0), "product listing 042").num(AttrId(1), 42.0);
+        let index = build_index(
+            &table,
+            IndexTarget::Mem,
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
+        let q = Query::new()
+            .text(AttrId(0), "product listing 042")
+            .num(AttrId(1), 42.0);
         for k in [1usize, 5, 20] {
-            let par = index.query(&table, &q, k, &MetricKind::L2, WeightScheme::Equal).unwrap();
+            let par = index
+                .query(&table, &q, k, &MetricKind::L2, WeightScheme::Equal)
+                .unwrap();
             let seq = index
                 .query_sequential_plan(&table, &q, k, &MetricKind::L2, WeightScheme::Equal)
                 .unwrap();
@@ -195,11 +212,18 @@ mod tests {
         // With a text query, nothing defined can be upper-bounded, so the
         // candidate set ~ every tuple defining the attribute.
         let table = table();
-        let index =
-            build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), IvaConfig::default())
-                .unwrap();
+        let index = build_index(
+            &table,
+            IndexTarget::Mem,
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
         let q = Query::new().text(AttrId(0), "product listing 042");
-        let par = index.query(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal).unwrap();
+        let par = index
+            .query(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
         let seq = index
             .query_sequential_plan(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal)
             .unwrap();

@@ -103,7 +103,10 @@ pub fn choose_text_type(str_count: u64, df: u64, tuples: u64) -> ListType {
 
 /// Numeric list sizes `(LI, LIV)`.
 pub fn num_list_sizes(code_bytes: usize, df: u64, tuples: u64) -> (u64, u64) {
-    (((LTID + code_bytes) as u64) * df, code_bytes as u64 * tuples)
+    (
+        ((LTID + code_bytes) as u64) * df,
+        code_bytes as u64 * tuples,
+    )
 }
 
 /// Pick the smaller numeric organization.
@@ -209,7 +212,12 @@ impl TextListCursor {
     /// Open a cursor at the head of a list.
     pub fn new(reader: ListReader, ty: ListType) -> Self {
         debug_assert!(matches!(ty, ListType::I | ListType::II | ListType::III));
-        Self { reader, ty, peek_tid: None, sig_buf: Vec::new() }
+        Self {
+            reader,
+            ty,
+            peek_tid: None,
+            sig_buf: Vec::new(),
+        }
     }
 
     fn read_sig(&mut self, codec: &SigCodec) -> Result<()> {
@@ -313,6 +321,30 @@ impl TextListCursor {
         }
     }
 
+    /// Position a fresh cursor past the first `n` positional elements, so
+    /// a scan can start mid-list (segmented parallel filtering). Keyed
+    /// types (I/II) need no seek — their `advance` skips lower tids lazily
+    /// without estimating — so this is a no-op for them. Must be called
+    /// before the first `advance`/`skip`.
+    pub fn seek_elements(&mut self, n: u64, codec: &SigCodec) -> Result<()> {
+        match self.ty {
+            ListType::I | ListType::II => Ok(()),
+            ListType::III => {
+                for _ in 0..n {
+                    if self.reader.at_end() {
+                        break; // lazy positional tail: the rest reads as ndf
+                    }
+                    let num = self.reader.read_u8()?;
+                    for _ in 0..num {
+                        self.skip_sig(codec)?;
+                    }
+                }
+                Ok(())
+            }
+            ListType::IV => unreachable!(),
+        }
+    }
+
     /// Move past `tid` without evaluating (tombstoned tuples).
     pub fn skip(&mut self, tid: u32, codec: &SigCodec) -> Result<()> {
         match self.ty {
@@ -376,7 +408,12 @@ impl NumListCursor {
     /// Open a cursor at the head of a list.
     pub fn new(reader: ListReader, ty: ListType) -> Self {
         debug_assert!(matches!(ty, ListType::I | ListType::IV));
-        Self { reader, ty, peek_tid: None, code_buf: [0; 8] }
+        Self {
+            reader,
+            ty,
+            peek_tid: None,
+            code_buf: [0; 8],
+        }
     }
 
     fn read_code(&mut self, codec: &NumericCodec) -> Result<u64> {
@@ -412,7 +449,25 @@ impl NumListCursor {
                     return Ok(None);
                 }
                 let code = self.read_code(codec)?;
-                Ok(if code == codec.ndf_code() { None } else { Some(code) })
+                Ok(if code == codec.ndf_code() {
+                    None
+                } else {
+                    Some(code)
+                })
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Position a fresh cursor past the first `n` positional elements (see
+    /// [`TextListCursor::seek_elements`]). No-op for the keyed Type I.
+    pub fn seek_elements(&mut self, n: u64, codec: &NumericCodec) -> Result<()> {
+        match self.ty {
+            ListType::I => Ok(()),
+            ListType::IV => {
+                // Fixed-width codes: a byte skip, capped at the lazy tail.
+                let bytes = (n * codec.code_bytes() as u64).min(self.reader.remaining());
+                Ok(self.reader.skip(bytes)?)
             }
             _ => unreachable!(),
         }
@@ -454,7 +509,13 @@ mod tests {
     use std::sync::Arc;
 
     fn pager() -> Arc<Pager> {
-        Pager::create_mem(&PagerOptions { page_size: 128, cache_bytes: 4096 }, IoStats::new())
+        Pager::create_mem(
+            &PagerOptions {
+                page_size: 128,
+                cache_bytes: 4096,
+            },
+            IoStats::new(),
+        )
     }
 
     fn reader_for(p: &Arc<Pager>, data: &[u8]) -> ListReader {
@@ -491,7 +552,13 @@ mod tests {
     fn encoded_sizes_match_formulas() {
         let codec = SigCodec::new(0.2, 2);
         let items: Vec<(u32, Vec<Vec<u8>>)> = vec![
-            (0, vec![codec.encode_to_vec(b"wide-angle"), codec.encode_to_vec(b"telephoto")]),
+            (
+                0,
+                vec![
+                    codec.encode_to_vec(b"wide-angle"),
+                    codec.encode_to_vec(b"telephoto"),
+                ],
+            ),
             (3, vec![codec.encode_to_vec(b"white")]),
             (7, vec![codec.encode_to_vec(b"red")]),
         ];
@@ -502,16 +569,34 @@ mod tests {
             .map(|s| s.len() as u64)
             .sum();
         let (l1, l2, l3) = text_list_sizes(4, 3, 10, sig_total);
-        assert_eq!(encode_text_list(ListType::I, &items, &all_tids).len() as u64, l1);
-        assert_eq!(encode_text_list(ListType::II, &items, &all_tids).len() as u64, l2);
-        assert_eq!(encode_text_list(ListType::III, &items, &all_tids).len() as u64, l3);
+        assert_eq!(
+            encode_text_list(ListType::I, &items, &all_tids).len() as u64,
+            l1
+        );
+        assert_eq!(
+            encode_text_list(ListType::II, &items, &all_tids).len() as u64,
+            l2
+        );
+        assert_eq!(
+            encode_text_list(ListType::III, &items, &all_tids).len() as u64,
+            l3
+        );
 
         let ncodec = NumericCodec::new(0.0, 100.0, 2);
-        let nitems: Vec<(u32, u64)> =
-            vec![(1, ncodec.encode(5.0)), (4, ncodec.encode(50.0)), (9, ncodec.encode(99.0))];
+        let nitems: Vec<(u32, u64)> = vec![
+            (1, ncodec.encode(5.0)),
+            (4, ncodec.encode(50.0)),
+            (9, ncodec.encode(99.0)),
+        ];
         let (n1, n4) = num_list_sizes(2, 3, 10);
-        assert_eq!(encode_num_list(ListType::I, &nitems, &all_tids, &ncodec).len() as u64, n1);
-        assert_eq!(encode_num_list(ListType::IV, &nitems, &all_tids, &ncodec).len() as u64, n4);
+        assert_eq!(
+            encode_num_list(ListType::I, &nitems, &all_tids, &ncodec).len() as u64,
+            n1
+        );
+        assert_eq!(
+            encode_num_list(ListType::IV, &nitems, &all_tids, &ncodec).len() as u64,
+            n4
+        );
     }
 
     fn text_roundtrip(ty: ListType) {
@@ -524,7 +609,14 @@ mod tests {
         ];
         let items: Vec<(u32, Vec<Vec<u8>>)> = strings
             .iter()
-            .map(|(t, ss)| (*t, ss.iter().map(|s| codec.encode_to_vec(s.as_bytes())).collect()))
+            .map(|(t, ss)| {
+                (
+                    *t,
+                    ss.iter()
+                        .map(|s| codec.encode_to_vec(s.as_bytes()))
+                        .collect(),
+                )
+            })
             .collect();
         let all_tids: Vec<u32> = (0..10).collect();
         let data = encode_text_list(ty, &items, &all_tids);
@@ -563,7 +655,10 @@ mod tests {
         let p = pager();
         let items: Vec<(u32, Vec<Vec<u8>>)> = vec![(
             0,
-            vec![codec.encode_to_vec(b"alkaline battery"), codec.encode_to_vec(b"white")],
+            vec![
+                codec.encode_to_vec(b"alkaline battery"),
+                codec.encode_to_vec(b"white"),
+            ],
         )];
         let all_tids = vec![0u32];
         for ty in [ListType::I, ListType::II, ListType::III] {
@@ -578,8 +673,11 @@ mod tests {
     fn num_roundtrip(ty: ListType) {
         let codec = NumericCodec::new(0.0, 100.0, 2);
         let p = pager();
-        let items: Vec<(u32, u64)> =
-            vec![(1, codec.encode(10.0)), (4, codec.encode(50.0)), (9, codec.encode(90.0))];
+        let items: Vec<(u32, u64)> = vec![
+            (1, codec.encode(10.0)),
+            (4, codec.encode(50.0)),
+            (9, codec.encode(90.0)),
+        ];
         let all_tids: Vec<u32> = (0..10).collect();
         let data = encode_num_list(ty, &items, &all_tids, &codec);
         let mut cur = NumListCursor::new(reader_for(&p, &data), ty);
@@ -619,6 +717,60 @@ mod tests {
             let got = cur.advance(3, &codec, &mut matcher).unwrap();
             assert_eq!(got, Some(0.0), "type {ty}");
         }
+    }
+
+    #[test]
+    fn seek_elements_positions_mid_list() {
+        let codec = SigCodec::new(0.3, 2);
+        let p = pager();
+        let items: Vec<(u32, Vec<Vec<u8>>)> = (0..6u32)
+            .map(|t| (t, vec![codec.encode_to_vec(format!("val{t}").as_bytes())]))
+            .collect();
+        let all_tids: Vec<u32> = (0..6).collect();
+        for ty in [ListType::I, ListType::II, ListType::III] {
+            let data = encode_text_list(ty, &items, &all_tids);
+            let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
+            cur.seek_elements(4, &codec).unwrap();
+            let mut matcher = QueryStringMatcher::new(&codec, b"val4");
+            // Keyed types seek lazily inside advance; positional types
+            // must land exactly on element 4.
+            let got = cur.advance(4, &codec, &mut matcher).unwrap();
+            assert_eq!(got, Some(0.0), "type {ty}");
+        }
+
+        let ncodec = NumericCodec::new(0.0, 100.0, 2);
+        let nitems: Vec<(u32, u64)> = (0..6u32)
+            .map(|t| (t, ncodec.encode(f64::from(t))))
+            .collect();
+        for ty in [ListType::I, ListType::IV] {
+            let data = encode_num_list(ty, &nitems, &all_tids, &ncodec);
+            let mut cur = NumListCursor::new(reader_for(&p, &data), ty);
+            cur.seek_elements(4, &ncodec).unwrap();
+            assert_eq!(
+                cur.advance(4, &ncodec).unwrap(),
+                Some(nitems[4].1),
+                "type {ty}"
+            );
+        }
+    }
+
+    #[test]
+    fn seek_elements_past_lazy_tail_is_ok() {
+        let codec = SigCodec::new(0.3, 2);
+        let p = pager();
+        let items: Vec<(u32, Vec<Vec<u8>>)> = vec![(0, vec![codec.encode_to_vec(b"x")])];
+        let data = encode_text_list(ListType::III, &items, &[0u32]);
+        let mut cur = TextListCursor::new(reader_for(&p, &data), ListType::III);
+        cur.seek_elements(5, &codec).unwrap();
+        let mut matcher = QueryStringMatcher::new(&codec, b"x");
+        assert!(cur.advance(5, &codec, &mut matcher).unwrap().is_none());
+
+        let ncodec = NumericCodec::new(0.0, 10.0, 1);
+        let nitems: Vec<(u32, u64)> = vec![(0, ncodec.encode(1.0))];
+        let data = encode_num_list(ListType::IV, &nitems, &[0u32], &ncodec);
+        let mut cur = NumListCursor::new(reader_for(&p, &data), ListType::IV);
+        cur.seek_elements(5, &ncodec).unwrap();
+        assert!(cur.advance(5, &ncodec).unwrap().is_none());
     }
 
     #[test]

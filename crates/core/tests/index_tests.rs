@@ -14,7 +14,10 @@ use iva_storage::{IoStats, PagerOptions};
 use iva_swt::{AttrId, SwtTable, Tid, Tuple, Value};
 
 fn opts() -> PagerOptions {
-    PagerOptions { page_size: 512, cache_bytes: 64 * 1024 }
+    PagerOptions {
+        page_size: 512,
+        cache_bytes: 64 * 1024,
+    }
 }
 
 /// A small electronics-flavoured dataset exercising text (single- and
@@ -51,7 +54,9 @@ fn sample_table() -> SwtTable {
         Tuple::new()
             .with(lens, Value::texts(["Telephoto", "Wide-angle"]))
             .with(company, Value::text("Canon")),
-        Tuple::new().with(lens, Value::text("Wide-angle")).with(company, Value::text("Nikon")),
+        Tuple::new()
+            .with(lens, Value::text("Wide-angle"))
+            .with(company, Value::text("Nikon")),
         Tuple::new().with(price, Value::num(500.0)),
     ];
     for r in &rows {
@@ -74,7 +79,12 @@ fn brute_force_topk<M: Metric>(
         .scan()
         .map(|r| r.unwrap().1)
         .filter(|rec| !rec.deleted)
-        .map(|rec| (rec.tid, exact_distance(&rec.tuple, query, &lambda, metric, ndf)))
+        .map(|rec| {
+            (
+                rec.tid,
+                exact_distance(&rec.tuple, query, &lambda, metric, ndf),
+            )
+        })
         .collect();
     all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
     all.truncate(k);
@@ -95,7 +105,10 @@ fn assert_matches_brute_force<M: Metric>(
     let expect_dists: Vec<f64> = expect.iter().map(|(_, d)| *d).collect();
     assert_eq!(got_dists.len(), expect_dists.len(), "result count");
     for (g, e) in got_dists.iter().zip(&expect_dists) {
-        assert!((g - e).abs() < 1e-9, "distances diverge: {got_dists:?} vs {expect_dists:?}");
+        assert!(
+            (g - e).abs() < 1e-9,
+            "distances diverge: {got_dists:?} vs {expect_dists:?}"
+        );
     }
 }
 
@@ -111,7 +124,10 @@ fn exact_results_default_config() {
     let price = AttrId(1);
     let company = AttrId(2);
 
-    let q = Query::new().text(ty, "Digital Camera").num(price, 200.0).text(company, "Canon");
+    let q = Query::new()
+        .text(ty, "Digital Camera")
+        .num(price, 200.0)
+        .text(company, "Canon");
     for k in [1, 2, 3, 5, 100] {
         assert_matches_brute_force(&table, &index, &q, k, &MetricKind::L2, WeightScheme::Equal);
     }
@@ -138,7 +154,9 @@ fn typo_tolerant_ranking() {
 fn all_metrics_and_weights_are_exact() {
     let table = sample_table();
     let index = build(&table, IvaConfig::default());
-    let q = Query::new().text(AttrId(4), "Wide-angle").text(AttrId(2), "Canon");
+    let q = Query::new()
+        .text(AttrId(4), "Wide-angle")
+        .text(AttrId(2), "Canon");
     for metric in [MetricKind::L1, MetricKind::L2, MetricKind::LInf] {
         for weights in [WeightScheme::Equal, WeightScheme::Itf] {
             assert_matches_brute_force(&table, &index, &q, 3, &metric, weights);
@@ -158,7 +176,9 @@ fn custom_monotone_metric_is_supported() {
     }
     let table = sample_table();
     let index = build(&table, IvaConfig::default());
-    let q = Query::new().text(AttrId(0), "Music Album").num(AttrId(1), 25.0);
+    let q = Query::new()
+        .text(AttrId(0), "Music Album")
+        .num(AttrId(1), 25.0);
     assert_matches_brute_force(&table, &index, &q, 4, &PowerMean, WeightScheme::Equal);
 }
 
@@ -191,7 +211,9 @@ fn query_on_never_defined_attribute() {
     // Attribute 5 exists in the catalog but no tuple defines it: every
     // tuple is at the ndf penalty.
     let q = Query::new().text(AttrId(5), "anything");
-    let out = index.query(&table, &q, 3, &MetricKind::L1, WeightScheme::Equal).unwrap();
+    let out = index
+        .query(&table, &q, 3, &MetricKind::L1, WeightScheme::Equal)
+        .unwrap();
     assert_eq!(out.results.len(), 3);
     for e in &out.results {
         assert!((e.dist - 20.0).abs() < 1e-9);
@@ -201,10 +223,16 @@ fn query_on_never_defined_attribute() {
 #[test]
 fn alpha_and_n_sweeps_stay_exact() {
     let table = sample_table();
-    let q = Query::new().text(AttrId(0), "Digital Camera").text(AttrId(2), "Canon");
+    let q = Query::new()
+        .text(AttrId(0), "Digital Camera")
+        .text(AttrId(2), "Canon");
     for alpha in [0.10, 0.15, 0.20, 0.25, 0.30] {
         for n in [2usize, 3, 4, 5] {
-            let cfg = IvaConfig { alpha, n, ..Default::default() };
+            let cfg = IvaConfig {
+                alpha,
+                n,
+                ..Default::default()
+            };
             let index = build(&table, cfg);
             assert_matches_brute_force(&table, &index, &q, 3, &MetricKind::L2, WeightScheme::Equal);
         }
@@ -216,13 +244,19 @@ fn query_type_mismatch_is_rejected() {
     let table = sample_table();
     let index = build(&table, IvaConfig::default());
     let bad = Query::new().num(AttrId(0), 1.0); // Type is a text attribute
-    assert!(index.query(&table, &bad, 2, &MetricKind::L2, WeightScheme::Equal).is_err());
+    assert!(index
+        .query(&table, &bad, 2, &MetricKind::L2, WeightScheme::Equal)
+        .is_err());
     let bad = Query::new().text(AttrId(1), "x"); // Price is numeric
-    assert!(index.query(&table, &bad, 2, &MetricKind::L2, WeightScheme::Equal).is_err());
+    assert!(index
+        .query(&table, &bad, 2, &MetricKind::L2, WeightScheme::Equal)
+        .is_err());
     // An attribute beyond the indexed catalog is not an error: it is
     // simply ndf everywhere (it may have been defined after the build).
     let post_build = Query::new().text(AttrId(99), "x");
-    let out = index.query(&table, &post_build, 2, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    let out = index
+        .query(&table, &post_build, 2, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
     assert!(out.results.iter().all(|e| (e.dist - 20.0).abs() < 1e-9));
 }
 
@@ -243,8 +277,12 @@ fn filter_prunes_table_accesses() {
             .unwrap();
     }
     let index = build(&table, IvaConfig::default());
-    let q = Query::new().text(name, "distinct item label 0007").num(value, 7.0);
-    let out = index.query(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    let q = Query::new()
+        .text(name, "distinct item label 0007")
+        .num(value, 7.0);
+    let out = index
+        .query(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
     assert_eq!(out.results[0].tid, 7);
     assert_eq!(out.stats.tuples_scanned, 500);
     assert!(
@@ -268,7 +306,9 @@ fn insert_then_query_finds_new_tuple() {
     index.insert(tid, ptr, &new, table.catalog()).unwrap();
 
     let q = Query::new().text(company, "Panasonic");
-    let out = index.query(&table, &q, 1, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    let out = index
+        .query(&table, &q, 1, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
     assert_eq!(out.results[0].tid, tid);
     assert_eq!(out.results[0].dist, 0.0);
     assert_matches_brute_force(&table, &index, &q, 3, &MetricKind::L2, WeightScheme::Equal);
@@ -281,12 +321,16 @@ fn insert_on_new_catalog_attribute() {
     let color = table.define_text("Color").unwrap();
     let weight = table.define_numeric("Weight").unwrap();
 
-    let new = Tuple::new().with(color, Value::text("Red")).with(weight, Value::num(1.5));
+    let new = Tuple::new()
+        .with(color, Value::text("Red"))
+        .with(weight, Value::num(1.5));
     let (tid, ptr) = table.insert(&new).unwrap();
     index.insert(tid, ptr, &new, table.catalog()).unwrap();
 
     let q = Query::new().text(color, "Red").num(weight, 1.5);
-    let out = index.query(&table, &q, 2, &MetricKind::L1, WeightScheme::Equal).unwrap();
+    let out = index
+        .query(&table, &q, 2, &MetricKind::L1, WeightScheme::Equal)
+        .unwrap();
     assert_eq!(out.results[0].tid, tid);
     assert_eq!(out.results[0].dist, 0.0);
     assert_matches_brute_force(&table, &index, &q, 4, &MetricKind::L1, WeightScheme::Equal);
@@ -334,7 +378,9 @@ fn delete_removes_from_results() {
     let mut table = sample_table();
     let mut index = build(&table, IvaConfig::default());
     let q = Query::new().text(AttrId(2), "Canon");
-    let before = index.query(&table, &q, 1, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    let before = index
+        .query(&table, &q, 1, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
     let victim = before.results[0].tid;
 
     let ptr = index.lookup_ptr(victim).unwrap().unwrap();
@@ -344,7 +390,9 @@ fn delete_removes_from_results() {
     assert_eq!(index.n_deleted(), 1);
     assert!(index.deleted_fraction() > 0.0);
 
-    let after = index.query(&table, &q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    let after = index
+        .query(&table, &q, 10, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
     assert!(after.results.iter().all(|e| e.tid != victim));
     assert_matches_brute_force(&table, &index, &q, 5, &MetricKind::L2, WeightScheme::Equal);
 }
@@ -394,7 +442,9 @@ fn persistence_roundtrip_on_disk() {
     std::fs::create_dir_all(&dir).unwrap();
     let table = sample_table();
     let idx_path = dir.join("test.iva");
-    let q = Query::new().text(AttrId(0), "Digital Camera").text(AttrId(2), "Canon");
+    let q = Query::new()
+        .text(AttrId(0), "Digital Camera")
+        .text(AttrId(2), "Canon");
     let expect: Vec<f64>;
     {
         let mut index = build_index(
@@ -432,7 +482,9 @@ fn k_larger_than_table_returns_all_live() {
     let table = sample_table();
     let index = build(&table, IvaConfig::default());
     let q = Query::new().num(AttrId(1), 0.0);
-    let out = index.query(&table, &q, 100, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    let out = index
+        .query(&table, &q, 100, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
     assert_eq!(out.results.len(), 8);
     // Sorted ascending.
     for w in out.results.windows(2) {
@@ -446,7 +498,13 @@ fn empty_table_build_and_query() {
     let a = t.define_text("A").unwrap();
     let index = build(&t, IvaConfig::default());
     let out = index
-        .query(&t, &Query::new().text(a, "x"), 5, &MetricKind::L2, WeightScheme::Equal)
+        .query(
+            &t,
+            &Query::new().text(a, "x"),
+            5,
+            &MetricKind::L2,
+            WeightScheme::Equal,
+        )
         .unwrap();
     assert!(out.results.is_empty());
 }

@@ -15,15 +15,18 @@ const N_TEXT_ATTRS: u32 = 4;
 const N_NUM_ATTRS: u32 = 3;
 
 fn opts() -> PagerOptions {
-    PagerOptions { page_size: 256, cache_bytes: 32 * 1024 }
+    PagerOptions {
+        page_size: 256,
+        cache_bytes: 32 * 1024,
+    }
 }
 
 /// A random sparse tuple over a small attribute universe with a shared
 /// vocabulary (so queries have near-matches).
 fn arb_tuple() -> impl Strategy<Value = Vec<(u32, FieldVal)>> {
     let text_field = (0..N_TEXT_ATTRS, arb_text_value()).prop_map(|(a, v)| (a, FieldVal::T(v)));
-    let num_field = (0..N_NUM_ATTRS, -50.0f64..50.0)
-        .prop_map(|(a, v)| (N_TEXT_ATTRS + a, FieldVal::N(v)));
+    let num_field =
+        (0..N_NUM_ATTRS, -50.0f64..50.0).prop_map(|(a, v)| (N_TEXT_ATTRS + a, FieldVal::N(v)));
     proptest::collection::vec(prop_oneof![text_field, num_field], 0..5)
 }
 
@@ -35,8 +38,19 @@ enum FieldVal {
 
 fn arb_word() -> impl Strategy<Value = String> {
     proptest::sample::select(vec![
-        "canon", "cannon", "sony", "nikon", "camera", "digital camera", "music album",
-        "wide-angle", "telephoto", "google", "red", "white", "job position",
+        "canon",
+        "cannon",
+        "sony",
+        "nikon",
+        "camera",
+        "digital camera",
+        "music album",
+        "wide-angle",
+        "telephoto",
+        "google",
+        "red",
+        "white",
+        "job position",
     ])
     .prop_map(str::to_string)
 }

@@ -10,7 +10,10 @@ use iva_storage::{IoStats, PagerOptions};
 use iva_swt::{AttrId, SwtTable, Tuple, Value};
 
 fn opts() -> PagerOptions {
-    PagerOptions { page_size: 512, cache_bytes: 64 * 1024 }
+    PagerOptions {
+        page_size: 512,
+        cache_bytes: 64 * 1024,
+    }
 }
 
 fn sample() -> (SwtTable, IvaIndex) {
@@ -25,15 +28,23 @@ fn sample() -> (SwtTable, IvaIndex) {
         }
         t.insert(&tup).unwrap();
     }
-    let idx = build_index(&t, IndexTarget::Mem, &opts(), IoStats::new(), IvaConfig::default())
-        .unwrap();
+    let idx = build_index(
+        &t,
+        IndexTarget::Mem,
+        &opts(),
+        IoStats::new(),
+        IvaConfig::default(),
+    )
+    .unwrap();
     (t, idx)
 }
 
 #[test]
 fn explain_reports_plan_shape() {
     let (_t, idx) = sample();
-    let q = Query::new().text(AttrId(0), "listing number 0001").num(AttrId(1), 10.0);
+    let q = Query::new()
+        .text(AttrId(0), "listing number 0001")
+        .num(AttrId(1), 10.0);
     let ex = idx.explain(&q, WeightScheme::Itf);
     assert_eq!(ex.attrs.len(), 2);
     assert_eq!(ex.tuples_to_scan, 300);
@@ -76,7 +87,9 @@ fn concurrent_readers_agree() {
     let (t, idx) = sample();
     let t = Arc::new(t);
     let idx = Arc::new(idx);
-    let q = Query::new().text(AttrId(0), "listing number 0123").num(AttrId(1), 122.0);
+    let q = Query::new()
+        .text(AttrId(0), "listing number 0123")
+        .num(AttrId(1), 122.0);
     let baseline: Vec<f64> = idx
         .query(&t, &q, 5, &MetricKind::L2, WeightScheme::Equal)
         .unwrap()
@@ -86,7 +99,12 @@ fn concurrent_readers_agree() {
         .collect();
     crossbeam::thread::scope(|s| {
         for _ in 0..8 {
-            let (t, idx, q, baseline) = (Arc::clone(&t), Arc::clone(&idx), q.clone(), baseline.clone());
+            let (t, idx, q, baseline) = (
+                Arc::clone(&t),
+                Arc::clone(&idx),
+                q.clone(),
+                baseline.clone(),
+            );
             s.spawn(move |_| {
                 for _ in 0..5 {
                     let got: Vec<f64> = idx
@@ -113,9 +131,14 @@ fn corrupted_index_file_fails_cleanly() {
         let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
         let a = t.define_text("a").unwrap();
         t.insert(&Tuple::new().with(a, Value::text("v"))).unwrap();
-        let mut idx =
-            build_index(&t, IndexTarget::Disk(&path), &opts(), IoStats::new(), IvaConfig::default())
-                .unwrap();
+        let mut idx = build_index(
+            &t,
+            IndexTarget::Disk(&path),
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
         idx.flush().unwrap();
     }
     // Flip header magic.
@@ -138,7 +161,9 @@ fn corrupted_index_file_fails_cleanly() {
 fn zero_length_query_is_benign() {
     let (t, idx) = sample();
     let q = Query::new();
-    let out = idx.query(&t, &q, 3, &MetricKind::L2, WeightScheme::Equal).unwrap();
+    let out = idx
+        .query(&t, &q, 3, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
     // No constraints: every tuple is at distance 0; any 3 are returned.
     assert_eq!(out.results.len(), 3);
     assert!(out.results.iter().all(|e| e.dist == 0.0));

@@ -77,7 +77,9 @@ impl ByteLog {
             return Err(StorageError::Corrupt("bad byte-log magic".into()));
         }
         if version != VERSION {
-            return Err(StorageError::Corrupt(format!("unsupported byte-log version {version}")));
+            return Err(StorageError::Corrupt(format!(
+                "unsupported byte-log version {version}"
+            )));
         }
         let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
         let mut user_header = [0u8; USER_HEADER_LEN];
@@ -144,10 +146,10 @@ impl ByteLog {
             data = &data[n..];
             if self.len.is_multiple_of(page_size as u64) {
                 // Page filled: flush it and move to a fresh page.
-                self.pager.write_page(self.tail_page, std::mem::replace(
-                    &mut self.tail_buf,
-                    vec![0u8; page_size],
-                ))?;
+                self.pager.write_page(
+                    self.tail_page,
+                    std::mem::replace(&mut self.tail_buf, vec![0u8; page_size]),
+                )?;
                 self.tail_dirty = false;
                 self.tail_page = self.pager.allocate_page()?;
             }
@@ -218,7 +220,8 @@ impl ByteLog {
     /// Persist the tail page and header.
     pub fn flush(&mut self) -> Result<()> {
         if self.tail_dirty {
-            self.pager.write_page(self.tail_page, self.tail_buf.clone())?;
+            self.pager
+                .write_page(self.tail_page, self.tail_buf.clone())?;
             self.tail_dirty = false;
         }
         if self.header_dirty {
@@ -242,7 +245,10 @@ mod tests {
     use super::*;
 
     fn mem_log() -> ByteLog {
-        let opts = PagerOptions { page_size: 128, cache_bytes: 128 * 8 };
+        let opts = PagerOptions {
+            page_size: 128,
+            cache_bytes: 128 * 8,
+        };
         ByteLog::create_mem(&opts, IoStats::new()).unwrap()
     }
 
@@ -293,7 +299,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("iva-log-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("log.db");
-        let opts = PagerOptions { page_size: 128, cache_bytes: 1024 };
+        let opts = PagerOptions {
+            page_size: 128,
+            cache_bytes: 1024,
+        };
         let data: Vec<u8> = (0..500u16).map(|i| (i % 256) as u8).collect();
         {
             let mut log = ByteLog::create(&path, &opts, IoStats::new()).unwrap();
@@ -355,7 +364,7 @@ mod tests {
         log.read_at(125, &mut buf).unwrap();
         assert_eq!(&buf, b"\0XYZW\0");
         assert!(log.write_at(298, b"abc").is_err()); // would extend
-        // Overwrite in the (unflushed) tail page.
+                                                     // Overwrite in the (unflushed) tail page.
         log.write_at(299, b"T").unwrap();
         let mut b = [0u8; 1];
         log.read_at(299, &mut b).unwrap();
@@ -368,7 +377,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.db");
         std::fs::write(&path, vec![0u8; 256]).unwrap();
-        let opts = PagerOptions { page_size: 128, cache_bytes: 1024 };
+        let opts = PagerOptions {
+            page_size: 128,
+            cache_bytes: 1024,
+        };
         assert!(ByteLog::open(&path, &opts, IoStats::new()).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }

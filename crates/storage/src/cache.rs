@@ -123,10 +123,20 @@ impl LruCache {
             evicted = Some(old_key);
         }
         let idx = if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = Node { key, value, prev: NIL, next: NIL };
+            self.nodes[idx] = Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            };
             idx
         } else {
-            self.nodes.push(Node { key, value, prev: NIL, next: NIL });
+            self.nodes.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
             self.nodes.len() - 1
         };
         self.push_front(idx);
@@ -230,7 +240,9 @@ mod tests {
         let mut model: Vec<PageId> = Vec::new(); // front = MRU
         let mut seed = 0x9E3779B97F4A7C15u64;
         for _ in 0..5000 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = PageId(seed >> 60); // 16 distinct keys
             if seed & 1 == 0 {
                 c.put(key, page(key.0 as u8));

@@ -23,12 +23,18 @@ impl DiskModel {
     /// A 2009-era 7200 rpm desktop disk: ~8 ms average access, ~80 MB/s
     /// sustained transfer. Matches the hardware class in Sec. V-A.
     pub fn hdd_2009() -> Self {
-        Self { seek_ms: 8.0, transfer_mb_per_s: 80.0 }
+        Self {
+            seek_ms: 8.0,
+            transfer_mb_per_s: 80.0,
+        }
     }
 
     /// A modern SATA SSD, for sensitivity analysis.
     pub fn ssd() -> Self {
-        Self { seek_ms: 0.08, transfer_mb_per_s: 500.0 }
+        Self {
+            seek_ms: 0.08,
+            transfer_mb_per_s: 500.0,
+        }
     }
 
     /// Modeled I/O time in milliseconds for a counter delta.
@@ -56,7 +62,11 @@ mod tests {
     #[test]
     fn seeks_dominate_small_random_io() {
         let m = DiskModel::hdd_2009();
-        let io = IoSnapshot { random_seeks: 100, random_bytes_read: 100 * 4096, ..Default::default() };
+        let io = IoSnapshot {
+            random_seeks: 100,
+            random_bytes_read: 100 * 4096,
+            ..Default::default()
+        };
         let ms = m.modeled_ms(&io);
         assert!(ms > 800.0 && ms < 810.0, "{ms}");
     }
@@ -64,14 +74,20 @@ mod tests {
     #[test]
     fn sequential_scan_costs_transfer_only() {
         let m = DiskModel::hdd_2009();
-        let io = IoSnapshot { seq_bytes_read: 80 * 1024 * 1024, ..Default::default() };
+        let io = IoSnapshot {
+            seq_bytes_read: 80 * 1024 * 1024,
+            ..Default::default()
+        };
         let ms = m.modeled_ms(&io);
         assert!((ms - 1000.0).abs() < 1.0, "{ms}");
     }
 
     #[test]
     fn ssd_much_cheaper_seeks() {
-        let io = IoSnapshot { random_seeks: 1000, ..Default::default() };
+        let io = IoSnapshot {
+            random_seeks: 1000,
+            ..Default::default()
+        };
         assert!(DiskModel::ssd().modeled_ms(&io) < DiskModel::hdd_2009().modeled_ms(&io) / 50.0);
     }
 }

@@ -46,7 +46,14 @@ impl BlockFile {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self { backing: Backing::Disk(file), page_size, num_pages: 0, streams: [u64::MAX; READ_STREAMS], stream_clock: 0, stats })
+        Ok(Self {
+            backing: Backing::Disk(file),
+            page_size,
+            num_pages: 0,
+            streams: [u64::MAX; READ_STREAMS],
+            stream_clock: 0,
+            stats,
+        })
     }
 
     /// Open an existing disk-backed file. Its length must be a whole number
@@ -72,7 +79,14 @@ impl BlockFile {
     /// Create a memory-backed file (used in tests and property checks;
     /// accounting behaves identically to the disk backing).
     pub fn create_mem(page_size: usize, stats: IoStats) -> Self {
-        Self { backing: Backing::Mem(Vec::new()), page_size, num_pages: 0, streams: [u64::MAX; READ_STREAMS], stream_clock: 0, stats }
+        Self {
+            backing: Backing::Mem(Vec::new()),
+            page_size,
+            num_pages: 0,
+            streams: [u64::MAX; READ_STREAMS],
+            stream_clock: 0,
+            stats,
+        }
     }
 
     /// Page size in bytes.
@@ -105,7 +119,10 @@ impl BlockFile {
     pub fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.page_size);
         if id.0 >= self.num_pages {
-            return Err(StorageError::PageOutOfBounds { page: id.0, pages: self.num_pages });
+            return Err(StorageError::PageOutOfBounds {
+                page: id.0,
+                pages: self.num_pages,
+            });
         }
         // Stream-aware classification: the read extends a tracked stream
         // (same page or the next one) => sequential; otherwise it costs a
@@ -135,7 +152,8 @@ impl BlockFile {
                 buf.copy_from_slice(&v[start..start + self.page_size]);
             }
         }
-        self.stats.record_disk_read(self.page_size as u64, sequential);
+        self.stats
+            .record_disk_read(self.page_size as u64, sequential);
         Ok(())
     }
 
@@ -143,7 +161,10 @@ impl BlockFile {
     pub fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.page_size);
         if id.0 >= self.num_pages {
-            return Err(StorageError::PageOutOfBounds { page: id.0, pages: self.num_pages });
+            return Err(StorageError::PageOutOfBounds {
+                page: id.0,
+                pages: self.num_pages,
+            });
         }
         match &mut self.backing {
             Backing::Disk(f) => {

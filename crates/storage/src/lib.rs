@@ -34,8 +34,7 @@ pub use disk_model::DiskModel;
 pub use error::{Result, StorageError};
 pub use file::BlockFile;
 pub use listfile::{
-    overwrite_in_list, write_contiguous_list, ListHandle, ListReader, ListWriter,
-    LIST_PAGE_HEADER,
+    overwrite_in_list, write_contiguous_list, ListHandle, ListReader, ListWriter, LIST_PAGE_HEADER,
 };
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use pager::{Pager, PagerOptions};

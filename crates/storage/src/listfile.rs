@@ -48,7 +48,11 @@ impl ListHandle {
             return Err(StorageError::Corrupt("short list handle".into()));
         }
         let u = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().unwrap());
-        Ok(Self { head: PageId(u(0)), tail: PageId(u(8)), len: u(16) })
+        Ok(Self {
+            head: PageId(u(0)),
+            tail: PageId(u(8)),
+            len: u(16),
+        })
     }
 }
 
@@ -90,7 +94,14 @@ impl ListWriter {
         let head = pager.allocate_page()?;
         let mut buf = vec![0u8; page_size];
         set_page_next(&mut buf, PageId::NULL);
-        Ok(Self { pager, head, tail: head, tail_buf: buf, tail_used: 0, len: 0 })
+        Ok(Self {
+            pager,
+            head,
+            tail: head,
+            tail_buf: buf,
+            tail_used: 0,
+            len: 0,
+        })
     }
 
     /// Resume appending to an existing list.
@@ -150,10 +161,10 @@ impl ListWriter {
         let new_id = self.pager.allocate_page()?;
         set_page_next(&mut self.tail_buf, new_id);
         set_page_used(&mut self.tail_buf, self.tail_used);
-        self.pager.write_page(self.tail, std::mem::replace(
-            &mut self.tail_buf,
-            vec![0u8; self.pager.page_size()],
-        ))?;
+        self.pager.write_page(
+            self.tail,
+            std::mem::replace(&mut self.tail_buf, vec![0u8; self.pager.page_size()]),
+        )?;
         set_page_next(&mut self.tail_buf, PageId::NULL);
         self.tail = new_id;
         self.tail_used = 0;
@@ -175,7 +186,11 @@ impl ListWriter {
         set_page_used(&mut self.tail_buf, self.tail_used);
         let tail_buf = std::mem::take(&mut self.tail_buf);
         self.pager.write_page(self.tail, tail_buf)?;
-        Ok(ListHandle { head: self.head, tail: self.tail, len: self.len })
+        Ok(ListHandle {
+            head: self.head,
+            tail: self.tail,
+            len: self.len,
+        })
     }
 }
 
@@ -195,7 +210,14 @@ impl ListReader {
     pub fn open(pager: Arc<Pager>, handle: ListHandle) -> Result<Self> {
         let page = pager.read_page(handle.head)?;
         let page_used = page_used(&page);
-        Ok(Self { pager, page, page_used, offset_in_page: 0, pos: 0, len: handle.len })
+        Ok(Self {
+            pager,
+            page,
+            page_used,
+            offset_in_page: 0,
+            pos: 0,
+            len: handle.len,
+        })
     }
 
     /// Logical read position (bytes from list start).
@@ -325,7 +347,9 @@ pub fn overwrite_in_list(
     let mut written = 0usize;
     while written < data.len() {
         if page_id.is_null() {
-            return Err(StorageError::Corrupt("list chain ended during overwrite".into()));
+            return Err(StorageError::Corrupt(
+                "list chain ended during overwrite".into(),
+            ));
         }
         let page = pager.read_page(page_id)?;
         let used = page_used(&page) as u64;
@@ -381,7 +405,11 @@ pub fn write_contiguous_list(pager: &Arc<Pager>, data: &[u8]) -> Result<ListHand
     if let Some((pid, pbuf)) = prev {
         pager.write_page(pid, pbuf)?;
     }
-    Ok(ListHandle { head, tail, len: data.len() as u64 })
+    Ok(ListHandle {
+        head,
+        tail,
+        len: data.len() as u64,
+    })
 }
 
 #[cfg(test)]
@@ -391,13 +419,20 @@ mod tests {
     use crate::stats::IoStats;
 
     fn mem_pager() -> Arc<Pager> {
-        let opts = PagerOptions { page_size: 64, cache_bytes: 64 * 16 };
+        let opts = PagerOptions {
+            page_size: 64,
+            cache_bytes: 64 * 16,
+        };
         Pager::create_mem(&opts, IoStats::new())
     }
 
     #[test]
     fn handle_roundtrip() {
-        let h = ListHandle { head: PageId(3), tail: PageId(9), len: 12345 };
+        let h = ListHandle {
+            head: PageId(3),
+            tail: PageId(9),
+            len: 12345,
+        };
         let mut buf = Vec::new();
         h.encode(&mut buf);
         assert_eq!(buf.len(), ListHandle::ENCODED_LEN);
@@ -497,7 +532,10 @@ mod tests {
 
     #[test]
     fn contiguous_bulk_write_is_sequential() {
-        let opts = PagerOptions { page_size: 64, cache_bytes: 0 }; // no cache
+        let opts = PagerOptions {
+            page_size: 64,
+            cache_bytes: 0,
+        }; // no cache
         let p = Pager::create_mem(&opts, IoStats::new());
         let data: Vec<u8> = (0..500u16).map(|i| (i % 256) as u8).collect();
         let h = write_contiguous_list(&p, &data).unwrap();
@@ -510,7 +548,10 @@ mod tests {
         assert_eq!(out, data);
         let d = p.stats().snapshot().since(&before);
         // Only the first page read may seek; the rest of the scan is sequential.
-        assert!(d.random_seeks <= 1, "scan of contiguous list should not seek: {d:?}");
+        assert!(
+            d.random_seeks <= 1,
+            "scan of contiguous list should not seek: {d:?}"
+        );
     }
 
     #[test]
@@ -554,7 +595,8 @@ mod tests {
         let mut w = ListWriter::create(Arc::clone(&p)).unwrap();
         w.append_u16(65535).unwrap();
         w.append_u64(u64::MAX - 1).unwrap();
-        w.append(&std::f64::consts::PI.to_bits().to_le_bytes()).unwrap();
+        w.append(&std::f64::consts::PI.to_bits().to_le_bytes())
+            .unwrap();
         let h = w.finish().unwrap();
         let mut r = ListReader::open(p, h).unwrap();
         assert_eq!(r.read_u16().unwrap(), 65535);

@@ -5,17 +5,33 @@
 //! possible; writes are write-through (the cache is updated and the page is
 //! immediately written to the backing file), which keeps crash behaviour
 //! trivial for this reproduction.
+//!
+//! # Concurrency
+//!
+//! The buffer pool is split into shards, each behind its own mutex, with the
+//! backing file behind a separate mutex. Cache hits on different shards
+//! proceed fully in parallel, which is what the intra-query parallel filter
+//! scan needs: worker threads streaming disjoint segments of the same lists
+//! touch different pages, and page ids map round-robin onto shards. Lock
+//! order is always shard → file; [`Pager::append_page`] takes them
+//! sequentially (file released before the shard is locked), never nested in
+//! the other direction.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cache::{LruCache, PageRef};
 use crate::error::Result;
 use crate::file::BlockFile;
 use crate::page::{PageId, DEFAULT_PAGE_SIZE};
 use crate::stats::IoStats;
+
+/// Upper bound on buffer-pool shards. Eight matches the widest intra-query
+/// fan-out the engine defaults to; more shards than cached pages would leave
+/// some shards permanently empty.
+const MAX_CACHE_SHARDS: usize = 8;
 
 /// Configuration for opening or creating a paged file.
 #[derive(Debug, Clone)]
@@ -29,7 +45,10 @@ pub struct PagerOptions {
 
 impl Default for PagerOptions {
     fn default() -> Self {
-        Self { page_size: DEFAULT_PAGE_SIZE, cache_bytes: 10 * 1024 * 1024 }
+        Self {
+            page_size: DEFAULT_PAGE_SIZE,
+            cache_bytes: 10 * 1024 * 1024,
+        }
     }
 }
 
@@ -40,15 +59,37 @@ impl PagerOptions {
     }
 }
 
-struct Inner {
-    file: BlockFile,
-    cache: LruCache,
+/// The sharded buffer pool. Swapped wholesale on [`Pager::resize_cache`],
+/// hence the outer `RwLock` (readers only pin the current shard vector; the
+/// per-shard mutex is what serializes cache state).
+struct ShardedCache {
+    shards: Vec<Mutex<LruCache>>,
+}
+
+impl ShardedCache {
+    fn new(total_pages: usize) -> Self {
+        // Never more shards than pages, so small caches keep their full
+        // capacity in one shard instead of rounding every shard down to zero.
+        let n = total_pages.clamp(1, MAX_CACHE_SHARDS);
+        let shards = (0..n)
+            .map(|i| {
+                let cap = total_pages / n + usize::from(i < total_pages % n);
+                Mutex::new(LruCache::new(cap))
+            })
+            .collect();
+        Self { shards }
+    }
+
+    fn shard(&self, id: PageId) -> &Mutex<LruCache> {
+        &self.shards[(id.0 % self.shards.len() as u64) as usize]
+    }
 }
 
 /// Cached page-granular file. Cheap to share via [`Arc`]; all methods take
-/// `&self`.
+/// `&self` and are safe to call from multiple threads.
 pub struct Pager {
-    inner: Mutex<Inner>,
+    file: Mutex<BlockFile>,
+    cache: RwLock<ShardedCache>,
     page_size: usize,
     stats: IoStats,
 }
@@ -75,7 +116,8 @@ impl Pager {
     fn from_file(file: BlockFile, opts: &PagerOptions, stats: IoStats) -> Arc<Self> {
         Arc::new(Self {
             page_size: opts.page_size,
-            inner: Mutex::new(Inner { file, cache: LruCache::new(opts.cache_pages()) }),
+            file: Mutex::new(file),
+            cache: RwLock::new(ShardedCache::new(opts.cache_pages())),
             stats,
         })
     }
@@ -87,7 +129,7 @@ impl Pager {
 
     /// Number of pages in the file.
     pub fn num_pages(&self) -> u64 {
-        self.inner.lock().file.num_pages()
+        self.file.lock().num_pages()
     }
 
     /// Total file size in bytes.
@@ -102,64 +144,77 @@ impl Pager {
 
     /// Append a zeroed page and return its id.
     pub fn allocate_page(&self) -> Result<PageId> {
-        self.inner.lock().file.grow()
+        self.file.lock().grow()
     }
 
     /// Read a page through the cache.
     pub fn read_page(&self, id: PageId) -> Result<PageRef> {
-        let mut inner = self.inner.lock();
-        if let Some(p) = inner.cache.get(id) {
+        let cache = self.cache.read();
+        let mut shard = cache.shard(id).lock();
+        if let Some(p) = shard.get(id) {
             self.stats.record_cache_hit();
             return Ok(p);
         }
         self.stats.record_cache_miss();
         let mut buf = vec![0u8; self.page_size];
-        inner.file.read_page(id, &mut buf)?;
+        self.file.lock().read_page(id, &mut buf)?;
         let page: PageRef = Arc::new(buf);
-        inner.cache.put(id, Arc::clone(&page));
+        shard.put(id, Arc::clone(&page));
         Ok(page)
     }
 
     /// Overwrite a whole page (write-through).
     pub fn write_page(&self, id: PageId, data: Vec<u8>) -> Result<()> {
         debug_assert_eq!(data.len(), self.page_size);
-        let mut inner = self.inner.lock();
-        inner.file.write_page(id, &data)?;
-        inner.cache.put(id, Arc::new(data));
+        let cache = self.cache.read();
+        let mut shard = cache.shard(id).lock();
+        self.file.lock().write_page(id, &data)?;
+        shard.put(id, Arc::new(data));
         Ok(())
     }
 
     /// Read-modify-write a page in place.
     pub fn update_page(&self, id: PageId, f: impl FnOnce(&mut [u8])) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let mut buf = if let Some(p) = inner.cache.get(id) {
+        let cache = self.cache.read();
+        let mut shard = cache.shard(id).lock();
+        let mut buf = if let Some(p) = shard.get(id) {
             self.stats.record_cache_hit();
             p.as_ref().clone()
         } else {
             self.stats.record_cache_miss();
             let mut b = vec![0u8; self.page_size];
-            inner.file.read_page(id, &mut b)?;
+            self.file.lock().read_page(id, &mut b)?;
             b
         };
         f(&mut buf);
-        inner.file.write_page(id, &buf)?;
-        inner.cache.put(id, Arc::new(buf));
+        self.file.lock().write_page(id, &buf)?;
+        shard.put(id, Arc::new(buf));
         Ok(())
     }
 
     /// Allocate a page and write its initial contents in one step.
     pub fn append_page(&self, data: Vec<u8>) -> Result<PageId> {
         debug_assert_eq!(data.len(), self.page_size);
-        let mut inner = self.inner.lock();
-        let id = inner.file.grow()?;
-        inner.file.write_page(id, &data)?;
-        inner.cache.put(id, Arc::new(data));
+        // Grow and write under the file lock alone, then publish to the
+        // cache. A reader racing between the two steps misses and re-reads
+        // the freshly written page — same bytes, no lock-order inversion.
+        let id = {
+            let mut file = self.file.lock();
+            let id = file.grow()?;
+            file.write_page(id, &data)?;
+            id
+        };
+        let cache = self.cache.read();
+        cache.shard(id).lock().put(id, Arc::new(data));
         Ok(id)
     }
 
     /// Drop all cached pages (used by experiments to cold-start a run).
     pub fn clear_cache(&self) {
-        self.inner.lock().cache.clear();
+        let cache = self.cache.read();
+        for shard in &cache.shards {
+            shard.lock().clear();
+        }
     }
 
     /// Replace the buffer pool with one of a new capacity (dropping the
@@ -168,12 +223,12 @@ impl Pager {
     /// cache is ~3 % of its 355.7 MB table file.
     pub fn resize_cache(&self, cache_bytes: usize) {
         let pages = cache_bytes / self.page_size;
-        self.inner.lock().cache = LruCache::new(pages);
+        *self.cache.write() = ShardedCache::new(pages);
     }
 
     /// Flush the backing file.
     pub fn sync(&self) -> Result<()> {
-        self.inner.lock().file.sync()
+        self.file.lock().sync()
     }
 }
 
@@ -182,7 +237,10 @@ mod tests {
     use super::*;
 
     fn mem_pager(cache_bytes: usize) -> Arc<Pager> {
-        let opts = PagerOptions { page_size: 256, cache_bytes };
+        let opts = PagerOptions {
+            page_size: 256,
+            cache_bytes,
+        };
         Pager::create_mem(&opts, IoStats::new())
     }
 
@@ -235,11 +293,60 @@ mod tests {
     }
 
     #[test]
+    fn tiny_cache_keeps_full_capacity_in_one_shard() {
+        // 2 pages of capacity must not round down to zero across shards.
+        let p = mem_pager(512);
+        let a = p.allocate_page().unwrap();
+        let b = p.allocate_page().unwrap();
+        p.clear_cache();
+        p.read_page(a).unwrap();
+        p.read_page(b).unwrap();
+        let before = p.stats().snapshot();
+        p.read_page(a).unwrap();
+        p.read_page(b).unwrap();
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!(d.cache_hits, 2, "both pages should be resident: {d:?}");
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_pages() {
+        let p = mem_pager(16 * 1024);
+        let mut ids = Vec::new();
+        for i in 0..64u8 {
+            let mut data = vec![0u8; 256];
+            data[0] = i;
+            data[255] = i;
+            ids.push(p.append_page(data).unwrap());
+        }
+        p.clear_cache();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let (p, ids) = (&p, &ids);
+                s.spawn(move || {
+                    // Each thread walks the pages from a different offset so
+                    // hits and misses interleave across shards.
+                    for k in 0..256 {
+                        let i = (t * 8 + k) % ids.len();
+                        let page = p.read_page(ids[i]).unwrap();
+                        assert_eq!(page[0], i as u8);
+                        assert_eq!(page[255], i as u8);
+                    }
+                });
+            }
+        });
+        let s = p.stats().snapshot();
+        assert_eq!(s.cache_hits + s.cache_misses, 8 * 256);
+    }
+
+    #[test]
     fn disk_pager_reopen() {
         let dir = std::env::temp_dir().join(format!("iva-pg-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("p.db");
-        let opts = PagerOptions { page_size: 512, cache_bytes: 2048 };
+        let opts = PagerOptions {
+            page_size: 512,
+            cache_bytes: 2048,
+        };
         {
             let p = Pager::create(&path, &opts, IoStats::new()).unwrap();
             let id = p.allocate_page().unwrap();

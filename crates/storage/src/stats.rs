@@ -74,10 +74,14 @@ impl IoStats {
     pub(crate) fn record_disk_read(&self, bytes: u64, sequential: bool) {
         self.inner.disk_page_reads.fetch_add(1, Ordering::Relaxed);
         if sequential {
-            self.inner.seq_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            self.inner
+                .seq_bytes_read
+                .fetch_add(bytes, Ordering::Relaxed);
         } else {
             self.inner.random_seeks.fetch_add(1, Ordering::Relaxed);
-            self.inner.random_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            self.inner
+                .random_bytes_read
+                .fetch_add(bytes, Ordering::Relaxed);
         }
     }
 
@@ -107,12 +111,16 @@ impl IoSnapshot {
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
             disk_page_reads: self.disk_page_reads.saturating_sub(earlier.disk_page_reads),
-            disk_page_writes: self.disk_page_writes.saturating_sub(earlier.disk_page_writes),
+            disk_page_writes: self
+                .disk_page_writes
+                .saturating_sub(earlier.disk_page_writes),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             random_seeks: self.random_seeks.saturating_sub(earlier.random_seeks),
             seq_bytes_read: self.seq_bytes_read.saturating_sub(earlier.seq_bytes_read),
-            random_bytes_read: self.random_bytes_read.saturating_sub(earlier.random_bytes_read),
+            random_bytes_read: self
+                .random_bytes_read
+                .saturating_sub(earlier.random_bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
         }
     }

@@ -12,7 +12,13 @@ use iva_storage::{
 };
 
 fn small_pager() -> Arc<Pager> {
-    Pager::create_mem(&PagerOptions { page_size: 96, cache_bytes: 96 * 4 }, IoStats::new())
+    Pager::create_mem(
+        &PagerOptions {
+            page_size: 96,
+            cache_bytes: 96 * 4,
+        },
+        IoStats::new(),
+    )
 }
 
 proptest! {

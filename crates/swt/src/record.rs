@@ -27,7 +27,9 @@ const TAG_TEXT: u8 = 1;
 pub fn encode_record(tuple: &Tuple, out: &mut Vec<u8>) -> Result<()> {
     tuple.validate()?;
     if tuple.arity() > u16::MAX as usize {
-        return Err(SwtError::InvalidArgument("tuple with more than 65535 fields".into()));
+        return Err(SwtError::InvalidArgument(
+            "tuple with more than 65535 fields".into(),
+        ));
     }
     out.extend_from_slice(&(tuple.arity() as u16).to_le_bytes());
     for (attr, value) in tuple.iter() {
@@ -200,7 +202,7 @@ mod tests {
     fn corrupt_inputs_rejected() {
         assert!(decode_record(&[]).is_err());
         assert!(decode_record(&[1, 0]).is_err()); // one field promised, none present
-        // Valid header, bad tag.
+                                                  // Valid header, bad tag.
         let buf = [1u8, 0, 0, 0, 0, 0, 99];
         assert!(decode_record(&buf).is_err());
         // Non-utf8 string bytes.

@@ -76,7 +76,10 @@ impl Catalog {
             return Ok(id);
         }
         let id = AttrId(self.attrs.len() as u32);
-        self.attrs.push(AttrDef { name: name.to_string(), ty });
+        self.attrs.push(AttrDef {
+            name: name.to_string(),
+            ty,
+        });
         self.by_name.insert(name.to_string(), id);
         Ok(id)
     }
@@ -108,7 +111,10 @@ impl Catalog {
 
     /// Iterate `(id, def)` in id order.
     pub fn iter(&self) -> impl Iterator<Item = (AttrId, &AttrDef)> {
-        self.attrs.iter().enumerate().map(|(i, d)| (AttrId(i as u32), d))
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (AttrId(i as u32), d))
     }
 
     /// Serialize to bytes (manual codec: no external format dependency).
@@ -150,8 +156,8 @@ impl Catalog {
             if pos + nlen > buf.len() {
                 return Err(corrupt("truncated name"));
             }
-            let name = std::str::from_utf8(&buf[pos..pos + nlen])
-                .map_err(|_| corrupt("non-utf8 name"))?;
+            let name =
+                std::str::from_utf8(&buf[pos..pos + nlen]).map_err(|_| corrupt("non-utf8 name"))?;
             pos += nlen;
             cat.define(name, ty)?;
         }

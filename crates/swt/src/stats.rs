@@ -27,7 +27,12 @@ pub struct AttrStats {
 
 impl Default for AttrStats {
     fn default() -> Self {
-        Self { df: 0, str_count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            df: 0,
+            str_count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -123,7 +128,10 @@ impl TableStats {
                 max: f64::from_bits(u(24)),
             });
         }
-        Some(Self { per_attr, tuple_count })
+        Some(Self {
+            per_attr,
+            tuple_count,
+        })
     }
 }
 

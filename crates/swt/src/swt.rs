@@ -51,7 +51,12 @@ impl SwtTable {
         let meta_path = base.with_extension("meta");
         let bytes = std::fs::read(&meta_path)?;
         let (catalog, table_stats) = decode_meta(&bytes)?;
-        Ok(Self { catalog, stats: table_stats, file, meta_path: Some(meta_path) })
+        Ok(Self {
+            catalog,
+            stats: table_stats,
+            file,
+            meta_path: Some(meta_path),
+        })
     }
 
     /// Define (or look up) a text attribute.
@@ -208,7 +213,10 @@ mod tests {
     use super::*;
 
     fn opts() -> PagerOptions {
-        PagerOptions { page_size: 256, cache_bytes: 4096 }
+        PagerOptions {
+            page_size: 256,
+            cache_bytes: 4096,
+        }
     }
 
     fn camera_table() -> (SwtTable, AttrId, AttrId, AttrId) {
@@ -237,11 +245,20 @@ mod tests {
     fn insert_rejects_type_mismatch_and_unknown_attr() {
         let (mut t, ty, price, _) = camera_table();
         let bad_type = Tuple::new().with(ty, Value::num(1.0));
-        assert!(matches!(t.insert(&bad_type), Err(SwtError::TypeMismatch { .. })));
+        assert!(matches!(
+            t.insert(&bad_type),
+            Err(SwtError::TypeMismatch { .. })
+        ));
         let bad_type2 = Tuple::new().with(price, Value::text("x"));
-        assert!(matches!(t.insert(&bad_type2), Err(SwtError::TypeMismatch { .. })));
+        assert!(matches!(
+            t.insert(&bad_type2),
+            Err(SwtError::TypeMismatch { .. })
+        ));
         let unknown = Tuple::new().with(AttrId(99), Value::num(1.0));
-        assert!(matches!(t.insert(&unknown), Err(SwtError::UnknownAttribute(_))));
+        assert!(matches!(
+            t.insert(&unknown),
+            Err(SwtError::UnknownAttribute(_))
+        ));
     }
 
     #[test]

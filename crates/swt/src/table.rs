@@ -59,7 +59,12 @@ impl TableFile {
     }
 
     fn from_log(log: ByteLog) -> Self {
-        Self { log, next_tid: 0, total_records: 0, deleted_records: 0 }
+        Self {
+            log,
+            next_tid: 0,
+            total_records: 0,
+            deleted_records: 0,
+        }
     }
 
     /// Open an existing table file.
@@ -69,7 +74,12 @@ impl TableFile {
         let next_tid = u64::from_le_bytes(h[0..8].try_into().unwrap());
         let total_records = u64::from_le_bytes(h[8..16].try_into().unwrap());
         let deleted_records = u64::from_le_bytes(h[16..24].try_into().unwrap());
-        Ok(Self { log, next_tid, total_records, deleted_records })
+        Ok(Self {
+            log,
+            next_tid,
+            total_records,
+            deleted_records,
+        })
     }
 
     /// Append a tuple, returning its assigned tuple id and record pointer.
@@ -104,7 +114,8 @@ impl TableFile {
         let tid = u64::from_le_bytes(header[4..12].try_into().unwrap());
         let flags = header[12];
         let mut payload = vec![0u8; rec_len];
-        self.log.read_at(ptr.0 + RECORD_HEADER as u64, &mut payload)?;
+        self.log
+            .read_at(ptr.0 + RECORD_HEADER as u64, &mut payload)?;
         let (tuple, used) = decode_record(&payload)?;
         if used != rec_len {
             return Err(SwtError::Corrupt(format!(
@@ -112,7 +123,11 @@ impl TableFile {
                 ptr.0
             )));
         }
-        Ok(StoredRecord { tid, deleted: flags & FLAG_DELETED != 0, tuple })
+        Ok(StoredRecord {
+            tid,
+            deleted: flags & FLAG_DELETED != 0,
+            tuple,
+        })
     }
 
     /// Tombstone the record at `ptr` (idempotent).
@@ -129,7 +144,10 @@ impl TableFile {
 
     /// Sequential scan over all records (including tombstones).
     pub fn scan(&self) -> TableScan<'_> {
-        TableScan { table: self, pos: 0 }
+        TableScan {
+            table: self,
+            pos: 0,
+        }
     }
 
     /// Next tuple id to be assigned.
@@ -233,7 +251,10 @@ mod tests {
     use crate::value::Value;
 
     fn opts() -> PagerOptions {
-        PagerOptions { page_size: 256, cache_bytes: 256 * 8 }
+        PagerOptions {
+            page_size: 256,
+            cache_bytes: 256 * 8,
+        }
     }
 
     fn tuple(i: u64) -> Tuple {

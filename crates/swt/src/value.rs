@@ -43,7 +43,9 @@ impl Value {
         match self {
             Value::Num(v) => {
                 if !v.is_finite() {
-                    return Err(SwtError::InvalidArgument("non-finite numerical value".into()));
+                    return Err(SwtError::InvalidArgument(
+                        "non-finite numerical value".into(),
+                    ));
                 }
             }
             Value::Text(strings) => {
@@ -57,10 +59,14 @@ impl Value {
                 }
                 for s in strings {
                     if s.is_empty() {
-                        return Err(SwtError::InvalidArgument("empty string in text value".into()));
+                        return Err(SwtError::InvalidArgument(
+                            "empty string in text value".into(),
+                        ));
                     }
                     if s.len() > u16::MAX as usize {
-                        return Err(SwtError::InvalidArgument("string longer than 65535 bytes".into()));
+                        return Err(SwtError::InvalidArgument(
+                            "string longer than 65535 bytes".into(),
+                        ));
                     }
                 }
             }

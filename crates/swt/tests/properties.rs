@@ -25,7 +25,10 @@ fn arb_tuple() -> impl Strategy<Value = Tuple> {
 }
 
 fn opts() -> PagerOptions {
-    PagerOptions { page_size: 256, cache_bytes: 4096 }
+    PagerOptions {
+        page_size: 256,
+        cache_bytes: 4096,
+    }
 }
 
 proptest! {

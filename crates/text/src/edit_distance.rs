@@ -43,7 +43,9 @@ pub fn edit_distance_within(a: &[u8], b: &[u8], bound: usize) -> Option<usize> {
         return None;
     }
     let inf = bound + 1;
-    let mut prev: Vec<usize> = (0..=b.len()).map(|j| if j <= bound { j } else { inf }).collect();
+    let mut prev: Vec<usize> = (0..=b.len())
+        .map(|j| if j <= bound { j } else { inf })
+        .collect();
     let mut cur = vec![inf; b.len() + 1];
     for (i, &ca) in a.iter().enumerate() {
         let lo = (i + 1).saturating_sub(bound);
@@ -56,7 +58,11 @@ pub fn edit_distance_within(a: &[u8], b: &[u8], bound: usize) -> Option<usize> {
             let (ca, cb) = (ca, b[j - 1]);
             let sub = prev[j - 1] + usize::from(ca != cb);
             let del = if prev[j] < inf { prev[j] + 1 } else { inf };
-            let ins = if cur[j - 1] < inf { cur[j - 1] + 1 } else { inf };
+            let ins = if cur[j - 1] < inf {
+                cur[j - 1] + 1
+            } else {
+                inf
+            };
             cur[j] = sub.min(del).min(ins).min(inf);
         }
         if hi < b.len() {

@@ -52,7 +52,9 @@ pub fn or_gram_into(gram: &[u8], l_bits: u32, t: u32, buf: &mut [u8], scratch: &
 /// True iff every bit of `h[l,t](ω)` (given as positions) is set in `sig` —
 /// the paper's *hit* test `h[l,t](ω) AND cH = h[l,t](ω)` (Definition 3.1).
 pub fn positions_hit(positions: &[u32], sig: &[u8]) -> bool {
-    positions.iter().all(|&p| sig[(p / 8) as usize] & (1 << (p % 8)) != 0)
+    positions
+        .iter()
+        .all(|&p| sig[(p / 8) as usize] & (1 << (p % 8)) != 0)
 }
 
 #[cfg(test)]

@@ -139,7 +139,13 @@ impl QueryStringMatcher {
         let ms = GramMultiset::new(sq, codec.n);
         let grams: Vec<Vec<u8>> = ms.iter().map(|(g, _)| g.to_vec()).collect();
         let counts: Vec<u32> = ms.iter().map(|(_, c)| c).collect();
-        Self { q_len: sq.len(), n: codec.n, grams, counts, cache: vec![None; 256] }
+        Self {
+            q_len: sq.len(),
+            n: codec.n,
+            grams,
+            counts,
+            cache: vec![None; 256],
+        }
     }
 
     /// Query string length in bytes.
@@ -212,7 +218,12 @@ mod tests {
     #[test]
     fn identical_strings_estimate_zero() {
         let c = codec();
-        for s in [&b"ok"[..], b"digital camera", b"a", b"some longer value here"] {
+        for s in [
+            &b"ok"[..],
+            b"digital camera",
+            b"a",
+            b"some longer value here",
+        ] {
             let sig = c.encode_to_vec(s);
             let mut m = QueryStringMatcher::new(&c, s);
             assert_eq!(m.estimate(&c, &sig), 0.0, "{s:?}");

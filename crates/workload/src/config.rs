@@ -63,7 +63,11 @@ impl WorkloadConfig {
     pub fn scaled(n_tuples: usize) -> Self {
         let full = Self::paper_full();
         let vocab = (n_tuples / 50).clamp(20, 1_000);
-        Self { n_tuples, vocab_per_attr: vocab, ..full }
+        Self {
+            n_tuples,
+            vocab_per_attr: vocab,
+            ..full
+        }
     }
 
     /// Number of text attributes.
@@ -122,11 +126,20 @@ mod tests {
 
     #[test]
     fn validation_catches_nonsense() {
-        let c = WorkloadConfig { n_tuples: 0, ..Default::default() };
+        let c = WorkloadConfig {
+            n_tuples: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = WorkloadConfig { text_fraction: 1.5, ..Default::default() };
+        let c = WorkloadConfig {
+            text_fraction: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = WorkloadConfig { mean_defined: 0.0, ..Default::default() };
+        let c = WorkloadConfig {
+            mean_defined: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -50,8 +50,7 @@ impl Dataset {
     /// Generate deterministically from `cfg`.
     pub fn generate(cfg: &WorkloadConfig) -> Self {
         cfg.validate().expect("invalid workload config");
-        let attr_types: Vec<AttrType> =
-            (0..cfg.n_attrs).map(|a| attr_type_of(cfg, a)).collect();
+        let attr_types: Vec<AttrType> = (0..cfg.n_attrs).map(|a| attr_type_of(cfg, a)).collect();
 
         // Popularity: a random permutation of attributes gets Zipf ranks so
         // text and numeric attributes are interleaved in popularity.
@@ -86,7 +85,12 @@ impl Dataset {
         let vocabs: Vec<Vec<String>> = (0..cfg.n_attrs)
             .map(|a| {
                 if attr_types[a] == AttrType::Text {
-                    attribute_vocabulary(cfg.seed, a as u32, cfg.vocab_per_attr, cfg.mean_string_len)
+                    attribute_vocabulary(
+                        cfg.seed,
+                        a as u32,
+                        cfg.vocab_per_attr,
+                        cfg.mean_string_len,
+                    )
                 } else {
                     Vec::new()
                 }
@@ -107,20 +111,39 @@ impl Dataset {
                     s.spawn(move |_| {
                         let lo = ci * chunk;
                         let hi = ((ci + 1) * chunk).min(cfg.n_tuples);
-                        *slot =
-                            generate_chunk(cfg, ci as u64, hi - lo, zipf, pools, vocabs, attr_types);
+                        *slot = generate_chunk(
+                            cfg,
+                            ci as u64,
+                            hi - lo,
+                            zipf,
+                            pools,
+                            vocabs,
+                            attr_types,
+                        );
                     });
                 }
             })
             .expect("generation threads panicked");
             results
         } else {
-            vec![generate_chunk(cfg, 0, cfg.n_tuples, &zipf, &pools, &vocabs, &attr_types)]
+            vec![generate_chunk(
+                cfg,
+                0,
+                cfg.n_tuples,
+                &zipf,
+                &pools,
+                &vocabs,
+                &attr_types,
+            )]
         };
         for c in chunks {
             tuples.extend(c);
         }
-        Self { config: cfg.clone(), attr_types, tuples }
+        Self {
+            config: cfg.clone(),
+            attr_types,
+            tuples,
+        }
     }
 
     /// Materialize as a memory-backed [`SwtTable`].

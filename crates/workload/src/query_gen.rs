@@ -58,11 +58,7 @@ pub fn generate_query_set(
 /// attributes co-occur — the hidden-schema structure of real CWMS data).
 /// Values are copied verbatim from the tuple, so "the distribution of
 /// queries follows the data distribution of the dataset" (Sec. V-A).
-pub fn sample_query(
-    dataset: &Dataset,
-    values_per_query: usize,
-    rng: &mut StdRng,
-) -> Option<Query> {
+pub fn sample_query(dataset: &Dataset, values_per_query: usize, rng: &mut StdRng) -> Option<Query> {
     for _ in 0..2_000 {
         let t = &dataset.tuples[rng.random_range(0..dataset.tuples.len())];
         if t.arity() < values_per_query {

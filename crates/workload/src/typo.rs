@@ -65,7 +65,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed > 400, "typos almost always change the string: {changed}/500");
+        assert!(
+            changed > 400,
+            "typos almost always change the string: {changed}/500"
+        );
     }
 
     // Local Levenshtein to avoid a test-only dependency cycle.

@@ -46,7 +46,11 @@ pub fn phrase<R: Rng>(rng: &mut R, mean_len: f64) -> String {
     // Model-number token ("450d", "mk2") on a fifth of phrases.
     if rng.random::<f64>() < 0.2 {
         p.push(' ');
-        p.push_str(&format!("{}{}", rng.random_range(1..1000), (b'a' + rng.random_range(0..26u8)) as char));
+        p.push_str(&format!(
+            "{}{}",
+            rng.random_range(1..1000),
+            (b'a' + rng.random_range(0..26u8)) as char
+        ));
     }
     p
 }
@@ -83,8 +87,10 @@ mod tests {
     #[test]
     fn phrases_near_target_length() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mean: f64 =
-            (0..2000).map(|_| phrase(&mut rng, 16.8).len() as f64).sum::<f64>() / 2000.0;
+        let mean: f64 = (0..2000)
+            .map(|_| phrase(&mut rng, 16.8).len() as f64)
+            .sum::<f64>()
+            / 2000.0;
         assert!((10.0..24.0).contains(&mean), "mean phrase length {mean}");
     }
 

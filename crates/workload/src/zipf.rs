@@ -83,10 +83,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let z = Zipf::new(50, 1.2);
-        let a: Vec<usize> =
-            (0..20).map(|_| z.sample(&mut StdRng::seed_from_u64(9))).collect();
-        let b: Vec<usize> =
-            (0..20).map(|_| z.sample(&mut StdRng::seed_from_u64(9))).collect();
+        let a: Vec<usize> = (0..20)
+            .map(|_| z.sample(&mut StdRng::seed_from_u64(9)))
+            .collect();
+        let b: Vec<usize> = (0..20)
+            .map(|_| z.sample(&mut StdRng::seed_from_u64(9)))
+            .collect();
         assert_eq!(a, b);
     }
 

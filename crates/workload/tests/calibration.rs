@@ -34,7 +34,11 @@ fn string_length_matches_target() {
 fn text_numeric_split_matches() {
     let cfg = WorkloadConfig::scaled(2_000);
     let ds = Dataset::generate(&cfg);
-    let text = ds.attr_types.iter().filter(|t| **t == AttrType::Text).count();
+    let text = ds
+        .attr_types
+        .iter()
+        .filter(|t| **t == AttrType::Text)
+        .count();
     let expect = cfg.n_text_attrs();
     assert_eq!(text, expect);
     // 94% of attributes are text, as in Google Base.
@@ -47,7 +51,10 @@ fn attribute_popularity_is_skewed() {
     // Use a wide catalog: with few attributes, per-tuple distinctness
     // saturates the popular attributes and flattens the skew (which is
     // also what happens in reality on narrow schemas).
-    let cfg = WorkloadConfig { n_attrs: 400, ..WorkloadConfig::scaled(10_000) };
+    let cfg = WorkloadConfig {
+        n_attrs: 400,
+        ..WorkloadConfig::scaled(10_000)
+    };
     let ds = Dataset::generate(&cfg);
     let mut counts = vec![0u64; ds.attr_types.len()];
     for t in &ds.tuples {

@@ -37,13 +37,19 @@ fn main() -> iva_file::Result<()> {
     for t in &dataset.tuples {
         live.push(db.insert(t)?);
     }
-    println!("inserted {} items; index {} KB", db.len(), db.index().size_bytes() / 1024);
+    println!(
+        "inserted {} items; index {} KB",
+        db.len(),
+        db.index().size_bytes() / 1024
+    );
 
     // A day in the life: members retract some listings, revise others, and
     // add new ones. Deterministic little LCG for the choreography.
     let mut state = 0xC0FFEEu64;
     let mut rnd = move |m: u64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) % m
     };
     let mut deleted = 0u64;
@@ -95,6 +101,9 @@ fn main() -> iva_file::Result<()> {
         let hits = db.search(q, 10)?;
         answered += usize::from(!hits.is_empty());
     }
-    println!("ran {} post-churn queries, {answered} returned results", qs.measured().len());
+    println!(
+        "ran {} post-churn queries, {answered} returned results",
+        qs.measured().len()
+    );
     Ok(())
 }

@@ -8,10 +8,8 @@
 //!
 //! Run with: `cargo run --release --example ecommerce_search`
 
-use iva_file::{
-    IvaDb, IvaDbOptions, MetricKind, Query, Tuple, Value, WeightScheme,
-};
 use iva_file::workload::{Dataset, WorkloadConfig};
+use iva_file::{IvaDb, IvaDbOptions, MetricKind, Query, Tuple, Value, WeightScheme};
 
 fn main() -> iva_file::Result<()> {
     let dir = std::env::temp_dir().join("iva-ecommerce-example");
@@ -24,7 +22,10 @@ fn main() -> iva_file::Result<()> {
         mean_defined: 11.0,
         ..WorkloadConfig::scaled(8_000)
     };
-    println!("generating {} products over {} attributes...", cfg.n_tuples, cfg.n_attrs);
+    println!(
+        "generating {} products over {} attributes...",
+        cfg.n_tuples, cfg.n_attrs
+    );
     let dataset = Dataset::generate(&cfg);
 
     let mut db = IvaDb::create(&dir, IvaDbOptions::default())?;
@@ -70,16 +71,20 @@ fn main() -> iva_file::Result<()> {
         .text(brand, "Canon")
         .num(price, 250.0);
 
-    for (metric_name, weights) in
-        [("L2 + equal weights", WeightScheme::Equal), ("L2 + ITF weights", WeightScheme::Itf)]
-    {
+    for (metric_name, weights) in [
+        ("L2 + equal weights", WeightScheme::Equal),
+        ("L2 + ITF weights", WeightScheme::Itf),
+    ] {
         let (hits, stats) = db.search_measured(&query, 5, &MetricKind::L2, weights)?;
         println!("top-5 under {metric_name}:");
         for hit in &hits {
             let b = text_of(&hit.tuple, brand);
             let c = text_of(&hit.tuple, category);
             let p = num_of(&hit.tuple, price);
-            println!("    tid {:>5}  dist {:>7.2}  {b} / {c} / ${p:.0}", hit.tid, hit.dist);
+            println!(
+                "    tid {:>5}  dist {:>7.2}  {b} / {c} / ${p:.0}",
+                hit.tid, hit.dist
+            );
         }
         println!(
             "    scanned {} tuples, fetched only {} from the table file ({:.1} %)\n",

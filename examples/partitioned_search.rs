@@ -17,7 +17,10 @@ use iva_file::{IvaDb, IvaDbOptions, ShardedIvaDb};
 fn main() -> iva_file::Result<()> {
     let cfg = WorkloadConfig::scaled(48_000);
     let dataset = Dataset::generate(&cfg);
-    println!("dataset: {} listings over {} attributes", cfg.n_tuples, cfg.n_attrs);
+    println!(
+        "dataset: {} listings over {} attributes",
+        cfg.n_tuples, cfg.n_attrs
+    );
 
     let mut single = IvaDb::create_mem(IvaDbOptions::default())?;
     let mut sharded = ShardedIvaDb::create_mem(4, IvaDbOptions::default())?;
@@ -38,7 +41,10 @@ fn main() -> iva_file::Result<()> {
         single.insert(t)?;
         sharded.insert(t)?;
     }
-    println!("loaded into 1 node and into {} shards\n", sharded.n_shards());
+    println!(
+        "loaded into 1 node and into {} shards\n",
+        sharded.n_shards()
+    );
 
     let qs = generate_query_set(&dataset, 3, 25, 5, 4242);
     let (mut t_single, mut t_sharded) = (0.0f64, 0.0f64);
@@ -53,12 +59,16 @@ fn main() -> iva_file::Result<()> {
         t_sharded += s1.elapsed().as_secs_f64();
 
         let same = a.len() == b.len()
-            && a.iter().zip(&b).all(|(x, y)| (x.dist - y.dist).abs() < 1e-9);
+            && a.iter()
+                .zip(&b)
+                .all(|(x, y)| (x.dist - y.dist).abs() < 1e-9);
         agree += usize::from(same);
     }
     let n = qs.measured().len();
     println!("answers identical on {agree}/{n} queries");
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!(
         "mean latency: single node {:.1} ms, {} shards {:.1} ms (this host has {cores} core(s))",
         t_single / n as f64 * 1e3,

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use iva_file::{IvaDb, IvaDbOptions, Query, Tuple, Value};
+use iva_file::{IvaDb, IvaDbOptions, SearchRequest, Tuple, Value};
 
 fn main() -> iva_file::Result<()> {
     let mut db = IvaDb::create_mem(IvaDbOptions::default())?;
@@ -53,14 +53,18 @@ fn main() -> iva_file::Result<()> {
             .with(company, Value::text("Cannon")),
     )?;
 
-    // Fig. 2's query: a digital camera from Canon around 230 USD.
-    let query = Query::new()
-        .text(ty, "Digital Camera")
-        .text(company, "Canon")
-        .num(price, 230.0);
+    // Fig. 2's query: a digital camera from Canon around 230 USD —
+    // attributes addressed by name, resolved through the catalog.
+    let query = db
+        .query_builder()
+        .text("Type", "Digital Camera")
+        .text("Company", "Canon")
+        .num("Price", 230.0)
+        .build()?;
 
     println!("query: Type=\"Digital Camera\", Company=\"Canon\", Price=230\n");
-    for (rank, hit) in db.search(&query, 3)?.iter().enumerate() {
+    let outcome = db.execute(&query, &SearchRequest::new(3))?;
+    for (rank, hit) in outcome.hits.iter().enumerate() {
         println!("#{rank}: tuple {} at distance {:.2}", hit.tid, hit.dist);
         for (attr, value) in hit.tuple.iter() {
             let name = &db.table().catalog().def(attr).unwrap().name;
@@ -70,13 +74,25 @@ fn main() -> iva_file::Result<()> {
             }
         }
     }
+    println!(
+        "\nscanned {} tuples, fetched {} from the table file",
+        outcome.stats.tuples_scanned, outcome.stats.table_accesses
+    );
 
     // The exact-match camera ranks first; the "Cannon" typo listing is
     // still found, one edit behind — that is the typo tolerance the edit
     // distance metric buys.
-    let hits = db.search(&query, 3)?;
-    assert_eq!(hits[0].tid, 1);
-    assert_eq!(hits[1].tid, 3);
+    assert_eq!(outcome.hits[0].tid, 1);
+    assert_eq!(outcome.hits[1].tid, 3);
+
+    // Misspell an *attribute name* and the builder says so, by name:
+    let err = db
+        .query_builder()
+        .text("Compny", "Canon")
+        .build()
+        .unwrap_err();
+    println!("misspelled attribute: {err}");
+
     println!("\ntyped \"Canon\", still found \"Cannon\" — working as intended.");
     Ok(())
 }

@@ -10,7 +10,7 @@
 
 use iva_file::text::{edit_distance, QueryStringMatcher, SigCodec};
 use iva_file::workload::{Dataset, WorkloadConfig};
-use iva_file::{IvaDb, IvaDbOptions, Query};
+use iva_file::{IvaDb, IvaDbOptions, SearchRequest};
 
 fn main() -> iva_file::Result<()> {
     // --- Part 1: signatures up close (the paper's Examples 3.2/3.4). ---
@@ -53,7 +53,10 @@ fn main() -> iva_file::Result<()> {
 
     // --- Part 2: end-to-end on a noisy dataset. ---
     println!("\n== end-to-end on a 20%-typo community dataset ==");
-    let cfg = WorkloadConfig { typo_rate: 0.2, ..WorkloadConfig::scaled(4_000) };
+    let cfg = WorkloadConfig {
+        typo_rate: 0.2,
+        ..WorkloadConfig::scaled(4_000)
+    };
     let dataset = Dataset::generate(&cfg);
     let mut db = IvaDb::create_mem(IvaDbOptions::default())?;
     for (i, ty) in dataset.attr_types.iter().enumerate() {
@@ -78,14 +81,27 @@ fn main() -> iva_file::Result<()> {
         })
         .expect("dataset has text values");
     let (attr, needle) = some_string;
-    println!("searching attr {attr} for {needle:?}");
-    let hits = db.search(&Query::new().text(attr, needle.clone()), 8)?;
-    for hit in &hits {
+    let attr_name = format!("attr_{}", attr.index());
+    println!("searching {attr_name} for {needle:?}");
+    let query = db
+        .query_builder()
+        .text(&attr_name, needle.clone())
+        .build()?;
+    let outcome = db.execute(&query, &SearchRequest::new(8))?;
+    for hit in &outcome.hits {
         if let Some(iva_file::Value::Text(ss)) = hit.tuple.get(attr) {
             println!("  dist {:4.1}  {:?}", hit.dist, ss);
         }
     }
-    let near: usize = hits.iter().filter(|h| h.dist <= 2.0).count();
-    println!("{near} of {} hits within edit distance 2 — typos tolerated.", hits.len());
+    println!(
+        "filtering pruned {} of {} tuples without touching the table file",
+        outcome.stats.tuples_scanned - outcome.stats.table_accesses,
+        outcome.stats.tuples_scanned
+    );
+    let near: usize = outcome.hits.iter().filter(|h| h.dist <= 2.0).count();
+    println!(
+        "{near} of {} hits within edit distance 2 — typos tolerated.",
+        outcome.hits.len()
+    );
     Ok(())
 }

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use iva_file::workload::{Dataset, WorkloadConfig};
 use iva_file::{
-    AttrType, IvaDb, IvaDbOptions, MetricKind, Query, Tuple, Value, WeightScheme,
+    AttrType, IvaDb, IvaDbOptions, MetricKind, Query, SearchRequest, Tuple, Value, WeightScheme,
 };
 
 fn main() -> ExitCode {
@@ -87,10 +87,14 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             let db = IvaDb::open(dir, opts).map_err(|e| e.to_string())?;
             let query = parse_query(&db, spec)?;
-            let (hits, stats) = db
-                .search_measured(&query, k, &metric, weights)
+            let outcome = db
+                .execute(
+                    &query,
+                    &SearchRequest::new(k).metric(metric).weights(weights),
+                )
                 .map_err(|e| e.to_string())?;
-            for (rank, hit) in hits.iter().enumerate() {
+            let stats = outcome.stats;
+            for (rank, hit) in outcome.hits.iter().enumerate() {
                 println!("#{rank} tid={} dist={:.3}", hit.tid, hit.dist);
                 for (attr, value) in hit.tuple.iter() {
                     let name = db
@@ -118,7 +122,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let db = IvaDb::open(dir, opts).map_err(|e| e.to_string())?;
             println!("tuples (live):     {}", db.len());
             println!("attributes:        {}", db.table().catalog().len());
-            println!("table file:        {} bytes", db.table().file().size_bytes());
+            println!(
+                "table file:        {} bytes",
+                db.table().file().size_bytes()
+            );
             println!("iVA-file:          {} bytes", db.index().size_bytes());
             println!(
                 "deleted fraction:  {:.2} %",
@@ -174,21 +181,27 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn split_spec(spec: &str) -> impl Iterator<Item = Result<(&str, &str), String>> {
-    spec.split(';').filter(|s| !s.trim().is_empty()).map(|pair| {
-        pair.split_once('=')
-            .map(|(a, v)| (a.trim(), v.trim()))
-            .ok_or_else(|| format!("bad field {pair:?}, expected attr=value"))
-    })
+    spec.split(';')
+        .filter(|s| !s.trim().is_empty())
+        .map(|pair| {
+            pair.split_once('=')
+                .map(|(a, v)| (a.trim(), v.trim()))
+                .ok_or_else(|| format!("bad field {pair:?}, expected attr=value"))
+        })
 }
 
 fn parse_tuple(db: &IvaDb, spec: &str) -> Result<Tuple, String> {
     let mut t = Tuple::new();
     for field in split_spec(spec) {
         let (name, raw) = field?;
-        let attr = db.attr(name).ok_or_else(|| format!("unknown attribute {name:?}"))?;
+        let attr = db
+            .attr(name)
+            .ok_or_else(|| format!("unknown attribute {name:?}"))?;
         match db.table().catalog().attr_type(attr) {
             Some(AttrType::Numeric) => {
-                let v: f64 = raw.parse().map_err(|_| format!("{name}: {raw:?} is not a number"))?;
+                let v: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("{name}: {raw:?} is not a number"))?;
                 t.set(attr, Value::num(v));
             }
             _ => {
@@ -204,10 +217,14 @@ fn parse_query(db: &IvaDb, spec: &str) -> Result<Query, String> {
     let mut q = Query::new();
     for field in split_spec(spec) {
         let (name, raw) = field?;
-        let attr = db.attr(name).ok_or_else(|| format!("unknown attribute {name:?}"))?;
+        let attr = db
+            .attr(name)
+            .ok_or_else(|| format!("unknown attribute {name:?}"))?;
         match db.table().catalog().attr_type(attr) {
             Some(AttrType::Numeric) => {
-                let v: f64 = raw.parse().map_err(|_| format!("{name}: {raw:?} is not a number"))?;
+                let v: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("{name}: {raw:?} is not a number"))?;
                 q = q.num(attr, v);
             }
             _ => q = q.text(attr, raw),

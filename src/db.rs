@@ -5,10 +5,12 @@ use std::path::{Path, PathBuf};
 
 use iva_core::{
     build_index, IndexTarget, IvaConfig, IvaError, IvaIndex, Metric, MetricKind, Query,
-    QueryStats, Result, WeightScheme,
+    QueryOptions, QueryStats, Result, WeightScheme,
 };
 use iva_storage::{IoStats, PagerOptions};
 use iva_swt::{AttrId, SwtTable, Tid, Tuple};
+
+use crate::search::{QueryBuilder, SearchRequest};
 
 /// Options for creating an [`IvaDb`].
 #[derive(Debug, Clone)]
@@ -50,6 +52,16 @@ pub struct SearchHit {
     pub tuple: Tuple,
 }
 
+/// Everything one search run produces: the ranked hits and the
+/// measurement counters.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The top-k answers in ascending distance order.
+    pub hits: Vec<SearchHit>,
+    /// Measurement counters (timings zeroed for unmeasured requests).
+    pub stats: QueryStats,
+}
+
 /// A complete community-data store: table + iVA-file + cleanup policy.
 pub struct IvaDb {
     table: SwtTable,
@@ -66,9 +78,21 @@ impl IvaDb {
         let table_io = IoStats::new();
         let index_io = IoStats::new();
         let table = SwtTable::create_mem(&opts.pager, table_io.clone())?;
-        let index =
-            build_index(&table, IndexTarget::Mem, &opts.pager, index_io.clone(), opts.config)?;
-        Ok(Self { table, index, dir: None, opts, table_io, index_io })
+        let index = build_index(
+            &table,
+            IndexTarget::Mem,
+            &opts.pager,
+            index_io.clone(),
+            opts.config,
+        )?;
+        Ok(Self {
+            table,
+            index,
+            dir: None,
+            opts,
+            table_io,
+            index_io,
+        })
     }
 
     /// Create a disk-backed database inside directory `dir` (created if
@@ -85,7 +109,14 @@ impl IvaDb {
             index_io.clone(),
             opts.config,
         )?;
-        let mut db = Self { table, index, dir: Some(dir.to_path_buf()), opts, table_io, index_io };
+        let mut db = Self {
+            table,
+            index,
+            dir: Some(dir.to_path_buf()),
+            opts,
+            table_io,
+            index_io,
+        };
         db.flush()?; // make the directory openable immediately
         Ok(db)
     }
@@ -96,7 +127,14 @@ impl IvaDb {
         let index_io = IoStats::new();
         let table = SwtTable::open(&dir.join("data"), &opts.pager, table_io.clone())?;
         let index = IvaIndex::open(&dir.join("index.iva"), &opts.pager, index_io.clone())?;
-        Ok(Self { table, index, dir: Some(dir.to_path_buf()), opts, table_io, index_io })
+        Ok(Self {
+            table,
+            index,
+            dir: Some(dir.to_path_buf()),
+            opts,
+            table_io,
+            index_io,
+        })
     }
 
     /// Define (or look up) a text attribute.
@@ -135,11 +173,29 @@ impl IvaDb {
 
     /// Update = delete + insert under a fresh tuple id (Sec. IV-B).
     /// Returns the new tuple id.
+    ///
+    /// If inserting `new_tuple` fails (say, it references an undefined
+    /// attribute), the old tuple is reinserted — under a fresh id, like
+    /// any update — so the data survives the failed attempt.
     pub fn update(&mut self, tid: Tid, new_tuple: &Tuple) -> Result<Tid> {
+        let Some(ptr) = self.index.lookup_ptr(tid)? else {
+            return Err(IvaError::InvalidArgument(format!(
+                "update of unknown tuple {tid}"
+            )));
+        };
+        let old = self.table.get(ptr)?.tuple;
         if !self.delete(tid)? {
-            return Err(IvaError::InvalidArgument(format!("update of unknown tuple {tid}")));
+            return Err(IvaError::InvalidArgument(format!(
+                "update of unknown tuple {tid}"
+            )));
         }
-        self.insert(new_tuple)
+        match self.insert(new_tuple) {
+            Ok(new_tid) => Ok(new_tid),
+            Err(e) => {
+                self.insert(&old)?;
+                Err(e)
+            }
+        }
     }
 
     /// Fetch a live tuple by id.
@@ -150,47 +206,103 @@ impl IvaDb {
         }
     }
 
+    /// Build a [`Query`] from attribute names resolved through this
+    /// database's catalog:
+    ///
+    /// ```
+    /// # use iva_file::{IvaDb, IvaDbOptions, SearchRequest};
+    /// # let mut db = IvaDb::create_mem(IvaDbOptions::default()).unwrap();
+    /// # db.define_text("Company").unwrap();
+    /// # db.define_numeric("Price").unwrap();
+    /// let query = db.query_builder().text("Company", "Canon").num("Price", 230.0).build()?;
+    /// let outcome = db.execute(&query, &SearchRequest::new(5))?;
+    /// # Ok::<(), iva_file::IvaError>(())
+    /// ```
+    ///
+    /// Unknown or mistyped names surface as
+    /// [`IvaError::InvalidArgument`] from `build()`.
+    pub fn query_builder(&self) -> QueryBuilder<'_> {
+        QueryBuilder::new(self.table.catalog())
+    }
+
+    /// Run one top-k search as described by `request` — the single entry
+    /// point every other search method wraps.
+    pub fn execute(&self, query: &Query, request: &SearchRequest) -> Result<SearchOutcome> {
+        let metric = request.metric_override().unwrap_or(self.opts.metric);
+        self.execute_metric(query, &metric, request)
+    }
+
+    /// [`IvaDb::execute`] under a caller-supplied [`Metric`]
+    /// implementation (for metrics beyond [`MetricKind`]).
+    pub fn execute_metric<M: Metric + Sync>(
+        &self,
+        query: &Query,
+        metric: &M,
+        request: &SearchRequest,
+    ) -> Result<SearchOutcome> {
+        let weights = request.weights_override().unwrap_or(self.opts.weights);
+        let qopts = QueryOptions {
+            threads: request.threads_override(),
+            measured: request.is_measured(),
+        };
+        let out =
+            self.index
+                .query_opts(&self.table, query, request.k(), metric, weights, &qopts)?;
+        let hits = out
+            .results
+            .into_iter()
+            .map(|e| {
+                Ok(SearchHit {
+                    tid: e.tid,
+                    dist: e.dist,
+                    tuple: self.table.get(e.ptr)?.tuple,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SearchOutcome {
+            hits,
+            stats: out.stats,
+        })
+    }
+
     /// Top-k search with the default metric and weights.
+    ///
+    /// Thin wrapper kept for convenience; prefer [`IvaDb::execute`] with a
+    /// [`SearchRequest`].
     pub fn search(&self, query: &Query, k: usize) -> Result<Vec<SearchHit>> {
-        let metric = self.opts.metric;
-        self.search_with(query, k, &metric, self.opts.weights)
+        Ok(self.execute(query, &SearchRequest::new(k))?.hits)
     }
 
     /// Top-k search under an explicit metric and weight scheme.
-    pub fn search_with<M: Metric>(
+    ///
+    /// Thin wrapper kept for convenience; prefer [`IvaDb::execute`] (or
+    /// [`IvaDb::execute_metric`] for custom metrics) with a
+    /// [`SearchRequest`].
+    pub fn search_with<M: Metric + Sync>(
         &self,
         query: &Query,
         k: usize,
         metric: &M,
         weights: WeightScheme,
     ) -> Result<Vec<SearchHit>> {
-        let out = self.index.query(&self.table, query, k, metric, weights)?;
-        out.results
-            .into_iter()
-            .map(|e| {
-                Ok(SearchHit { tid: e.tid, dist: e.dist, tuple: self.table.get(e.ptr)?.tuple })
-            })
-            .collect()
+        let request = SearchRequest::new(k).weights(weights);
+        Ok(self.execute_metric(query, metric, &request)?.hits)
     }
 
     /// Top-k search returning measurement counters (for experiments).
-    pub fn search_measured<M: Metric>(
+    ///
+    /// Thin wrapper kept for convenience; prefer [`IvaDb::execute`], whose
+    /// [`SearchOutcome`] always carries the stats.
+    pub fn search_measured<M: Metric + Sync>(
         &self,
         query: &Query,
         k: usize,
         metric: &M,
         weights: WeightScheme,
     ) -> Result<(Vec<SearchHit>, QueryStats)> {
-        let out = self.index.query(&self.table, query, k, metric, weights)?;
-        let stats = out.stats;
-        let hits = out
-            .results
-            .into_iter()
-            .map(|e| {
-                Ok(SearchHit { tid: e.tid, dist: e.dist, tuple: self.table.get(e.ptr)?.tuple })
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok((hits, stats))
+        let request = SearchRequest::new(k).weights(weights);
+        let out = self.execute_metric(query, metric, &request)?;
+        Ok((out.hits, out.stats))
     }
 
     /// Rebuild if the deleted fraction reached β.
@@ -211,7 +323,9 @@ impl IvaDb {
         let index_io = IoStats::new();
         match &self.dir {
             None => {
-                let (fresh, _) = self.table.compact_into(None, &self.opts.pager, table_io.clone())?;
+                let (fresh, _) =
+                    self.table
+                        .compact_into(None, &self.opts.pager, table_io.clone())?;
                 let index = build_index(
                     &fresh,
                     IndexTarget::Mem,
@@ -226,8 +340,11 @@ impl IvaDb {
                 let tmp_base = dir.join("data.rebuild");
                 let tmp_index = dir.join("index.rebuild.iva");
                 {
-                    let (mut fresh, _) =
-                        self.table.compact_into(Some(&tmp_base), &self.opts.pager, table_io.clone())?;
+                    let (mut fresh, _) = self.table.compact_into(
+                        Some(&tmp_base),
+                        &self.opts.pager,
+                        table_io.clone(),
+                    )?;
                     fresh.flush()?;
                     let mut index = build_index(
                         &fresh,

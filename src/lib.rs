@@ -13,7 +13,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use iva_file::{IvaDb, IvaDbOptions, Query, Tuple, Value};
+//! use iva_file::{IvaDb, IvaDbOptions, SearchRequest, Tuple, Value};
 //!
 //! let mut db = IvaDb::create_mem(IvaDbOptions::default()).unwrap();
 //! let ty = db.define_text("Type").unwrap();
@@ -28,10 +28,18 @@
 //! )
 //! .unwrap();
 //!
-//! let hits = db
-//!     .search(&Query::new().text(ty, "Digital Camera").text(company, "Cannon"), 5)
+//! // Queries address attributes by name, resolved through the catalog;
+//! // a SearchRequest carries the execution knobs (k, metric, weights,
+//! // measurement, filter-scan threads).
+//! let query = db
+//!     .query_builder()
+//!     .text("Type", "Digital Camera")
+//!     .text("Company", "Cannon")
+//!     .build()
 //!     .unwrap();
-//! assert_eq!(hits[0].dist, 1.0); // one typo away
+//! let outcome = db.execute(&query, &SearchRequest::new(5)).unwrap();
+//! assert_eq!(outcome.hits[0].dist, 1.0); // one typo away
+//! assert_eq!(outcome.stats.tuples_scanned, 1);
 //! ```
 //!
 //! ## Crate map
@@ -49,15 +57,17 @@
 #![warn(missing_docs)]
 
 mod db;
+mod search;
 mod sharded;
 
-pub use db::{IvaDb, IvaDbOptions, SearchHit};
-pub use sharded::{ShardedHit, ShardedIvaDb, ShardedTid};
+pub use db::{IvaDb, IvaDbOptions, SearchHit, SearchOutcome};
+pub use search::{QueryBuilder, SearchRequest};
+pub use sharded::{ShardedHit, ShardedIvaDb, ShardedSearchOutcome, ShardedTid};
 
 // Re-export the pieces users compose.
 pub use iva_core::{
     build_index, IndexTarget, IvaConfig, IvaError, IvaIndex, Metric, MetricKind, Query,
-    QueryStats, QueryValue, Result, WeightScheme,
+    QueryOptions, QueryStats, QueryValue, Result, WeightScheme,
 };
 pub use iva_storage::{DiskModel, IoSnapshot, IoStats, PagerOptions};
 pub use iva_swt::{AttrId, AttrType, Catalog, SwtTable, Tid, Tuple, Value};

@@ -1,0 +1,176 @@
+//! The unified search surface: [`SearchRequest`] describes *how* to run a
+//! top-k search (k, metric, weights, measurement, parallelism) while
+//! [`crate::Query`] describes *what* to search for. Every search entry
+//! point on [`crate::IvaDb`] and [`crate::ShardedIvaDb`] funnels into one
+//! `execute` implementation taking a request.
+//!
+//! [`QueryBuilder`] complements it on the *what* side: it builds a
+//! [`crate::Query`] from attribute **names**, resolving them through the
+//! catalog and reporting unknown or mistyped names as errors instead of
+//! panicking or silently matching nothing.
+
+use iva_core::{IvaError, MetricKind, Query, Result, WeightScheme};
+use iva_swt::{AttrType, Catalog};
+
+/// Execution options for one top-k search, builder style.
+///
+/// ```
+/// use iva_file::{MetricKind, SearchRequest, WeightScheme};
+///
+/// let req = SearchRequest::new(10)
+///     .metric(MetricKind::L1)
+///     .weights(WeightScheme::Itf)
+///     .threads(4)
+///     .measured(true);
+/// assert_eq!(req.k(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    k: usize,
+    metric: Option<MetricKind>,
+    weights: Option<WeightScheme>,
+    threads: Option<usize>,
+    measured: bool,
+}
+
+impl SearchRequest {
+    /// A request for the `k` nearest tuples under the database's default
+    /// metric and weight scheme, measured, with the configured parallelism.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            metric: None,
+            weights: None,
+            threads: None,
+            measured: true,
+        }
+    }
+
+    /// Override the database's default metric.
+    pub fn metric(mut self, metric: MetricKind) -> Self {
+        self.metric = Some(metric);
+        self
+    }
+
+    /// Override the database's default weight scheme.
+    pub fn weights(mut self, weights: WeightScheme) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Override the configured filter-scan thread count
+    /// ([`crate::IvaConfig::search_threads`]) for this request. Any count
+    /// returns bit-identical results; `1` forces the single-threaded path.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Collect wall-clock phase timings (on by default). When off, no
+    /// clock is read on the hot path and the timing stats stay 0; the
+    /// counter stats are always collected.
+    pub fn measured(mut self, measured: bool) -> Self {
+        self.measured = measured;
+        self
+    }
+
+    /// Requested result count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Metric override, if any.
+    pub fn metric_override(&self) -> Option<MetricKind> {
+        self.metric
+    }
+
+    /// Weight-scheme override, if any.
+    pub fn weights_override(&self) -> Option<WeightScheme> {
+        self.weights
+    }
+
+    /// Thread-count override, if any.
+    pub fn threads_override(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Whether phase timings are collected.
+    pub fn is_measured(&self) -> bool {
+        self.measured
+    }
+}
+
+/// Builds a [`Query`] from attribute *names*, resolved through a catalog.
+///
+/// Created by [`crate::IvaDb::query_builder`] /
+/// [`crate::ShardedIvaDb::query_builder`]. Name resolution errors (unknown
+/// attribute, string value on a numerical attribute, number on a text
+/// attribute) are reported by [`QueryBuilder::build`]; the first error
+/// wins.
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    query: Query,
+    err: Option<IvaError>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    pub(crate) fn new(catalog: &'a Catalog) -> Self {
+        Self {
+            catalog,
+            query: Query::new(),
+            err: None,
+        }
+    }
+
+    fn resolve(&mut self, name: &str, want: AttrType) -> Option<iva_swt::AttrId> {
+        let Some(id) = self.catalog.id_of(name) else {
+            if self.err.is_none() {
+                self.err = Some(IvaError::InvalidArgument(format!(
+                    "unknown attribute \"{name}\""
+                )));
+            }
+            return None;
+        };
+        let ty = self
+            .catalog
+            .attr_type(id)
+            .expect("catalog id without a definition");
+        if ty != want {
+            if self.err.is_none() {
+                let (is, use_) = match ty {
+                    AttrType::Text => ("a text", ".text()"),
+                    AttrType::Numeric => ("a numerical", ".num()"),
+                };
+                self.err = Some(IvaError::InvalidArgument(format!(
+                    "attribute \"{name}\" is {is} attribute; use {use_}"
+                )));
+            }
+            return None;
+        }
+        Some(id)
+    }
+
+    /// Define a string value on the text attribute called `name`.
+    pub fn text(mut self, name: &str, value: impl Into<String>) -> Self {
+        if let Some(id) = self.resolve(name, AttrType::Text) {
+            self.query = self.query.text(id, value);
+        }
+        self
+    }
+
+    /// Define a numerical value on the numerical attribute called `name`.
+    pub fn num(mut self, name: &str, value: f64) -> Self {
+        if let Some(id) = self.resolve(name, AttrType::Numeric) {
+            self.query = self.query.num(id, value);
+        }
+        self
+    }
+
+    /// Finish, returning the query or the first name-resolution error.
+    pub fn build(self) -> Result<Query> {
+        match self.err {
+            Some(e) => Err(e),
+            None => Ok(self.query),
+        }
+    }
+}

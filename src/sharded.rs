@@ -12,10 +12,14 @@
 //! Exactness is preserved: each shard's result is its exact local top-k,
 //! and the global top-k is contained in the union of local top-ks.
 
-use iva_core::{IvaError, Metric, MetricKind, PoolEntry, Query, Result, WeightScheme};
+use iva_core::{
+    IvaError, Metric, MetricKind, PoolEntry, Query, QueryOptions, QueryOutcome, QueryStats, Result,
+    WeightScheme,
+};
 use iva_swt::{Tid, Tuple};
 
 use crate::db::{IvaDb, IvaDbOptions};
+use crate::search::{QueryBuilder, SearchRequest};
 
 /// A horizontally partitioned collection of [`IvaDb`] shards.
 pub struct ShardedIvaDb {
@@ -45,6 +49,17 @@ pub struct ShardedHit {
     pub tuple: Tuple,
 }
 
+/// Everything one sharded search run produces.
+#[derive(Debug, Clone)]
+pub struct ShardedSearchOutcome {
+    /// The global top-k in ascending distance order (ties broken by tid,
+    /// then shard — deterministic regardless of shard completion order).
+    pub hits: Vec<ShardedHit>,
+    /// Counters summed across shards; phase timings take the slowest
+    /// shard (the shards run concurrently).
+    pub stats: QueryStats,
+}
+
 impl ShardedIvaDb {
     /// Create `n_shards` in-memory shards.
     pub fn create_mem(n_shards: usize, opts: IvaDbOptions) -> Result<Self> {
@@ -54,7 +69,11 @@ impl ShardedIvaDb {
         let shards = (0..n_shards)
             .map(|_| IvaDb::create_mem(opts.clone()))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self { shards, inserted: 0, opts })
+        Ok(Self {
+            shards,
+            inserted: 0,
+            opts,
+        })
     }
 
     /// Number of shards.
@@ -121,48 +140,88 @@ impl ShardedIvaDb {
         }
     }
 
-    /// Parallel top-k search: every shard runs Algorithm 1 concurrently on
-    /// its own scoped thread; the per-shard top-k pools merge into the
-    /// global top-k.
-    pub fn search(&self, query: &Query, k: usize) -> Result<Vec<ShardedHit>> {
-        let metric = self.opts.metric;
-        self.search_with(query, k, &metric, self.opts.weights)
+    /// Build a [`Query`] from attribute names resolved through the shared
+    /// catalog (see [`IvaDb::query_builder`]).
+    pub fn query_builder(&self) -> QueryBuilder<'_> {
+        QueryBuilder::new(self.shards[0].table().catalog())
     }
 
-    /// Parallel top-k search under an explicit metric and weights.
-    pub fn search_with<M: Metric + Sync>(
+    /// Run one top-k search as described by `request` — the single entry
+    /// point every other sharded search method wraps.
+    ///
+    /// Shard- and segment-level parallelism compose: each shard runs on
+    /// its own scoped thread, and the request's thread budget (or the
+    /// configured [`crate::IvaConfig::search_threads`]) is split evenly
+    /// across shards to bound the total filter-worker count.
+    pub fn execute(&self, query: &Query, request: &SearchRequest) -> Result<ShardedSearchOutcome> {
+        let metric = request.metric_override().unwrap_or(self.opts.metric);
+        self.execute_metric(query, &metric, request)
+    }
+
+    /// [`ShardedIvaDb::execute`] under a caller-supplied [`Metric`]
+    /// implementation.
+    pub fn execute_metric<M: Metric + Sync>(
         &self,
         query: &Query,
-        k: usize,
         metric: &M,
-        weights: WeightScheme,
-    ) -> Result<Vec<ShardedHit>> {
-        let locals: Vec<Result<Vec<PoolEntry>>> = if self.shards.len() == 1 {
-            vec![self.shards[0]
-                .index()
-                .query(self.shards[0].table(), query, k, metric, weights)
-                .map(|o| o.results)]
+        request: &SearchRequest,
+    ) -> Result<ShardedSearchOutcome> {
+        let k = request.k();
+        let weights = request.weights_override().unwrap_or(self.opts.weights);
+        let budget = request
+            .threads_override()
+            .unwrap_or_else(|| self.opts.config.resolved_search_threads());
+        let qopts = QueryOptions {
+            threads: Some((budget / self.shards.len()).max(1)),
+            measured: request.is_measured(),
+        };
+
+        let locals: Vec<Result<QueryOutcome>> = if self.shards.len() == 1 {
+            vec![self.shards[0].index().query_opts(
+                self.shards[0].table(),
+                query,
+                k,
+                metric,
+                weights,
+                &qopts,
+            )]
         } else {
-            let mut slots: Vec<Result<Vec<PoolEntry>>> =
-                (0..self.shards.len()).map(|_| Ok(Vec::new())).collect();
+            let mut slots: Vec<Option<Result<QueryOutcome>>> = Vec::new();
+            slots.resize_with(self.shards.len(), || None);
             crossbeam::thread::scope(|scope| {
                 for (shard, slot) in self.shards.iter().zip(slots.iter_mut()) {
+                    let qopts = &qopts;
                     scope.spawn(move |_| {
-                        *slot = shard
-                            .index()
-                            .query(shard.table(), query, k, metric, weights)
-                            .map(|o| o.results);
+                        *slot = Some(shard.index().query_opts(
+                            shard.table(),
+                            query,
+                            k,
+                            metric,
+                            weights,
+                            qopts,
+                        ));
                     });
                 }
             })
             .expect("shard query thread panicked");
             slots
+                .into_iter()
+                .map(|s| s.expect("shard slot unfilled"))
+                .collect()
         };
 
-        // Merge: take the k smallest across shards, then materialize.
+        // Merge: take the k smallest across shards (deterministic
+        // ordering: distance, then tid, then shard), then materialize.
+        let mut stats = QueryStats::default();
         let mut merged: Vec<(u32, PoolEntry)> = Vec::new();
         for (i, local) in locals.into_iter().enumerate() {
-            for e in local? {
+            let out = local?;
+            stats.tuples_scanned += out.stats.tuples_scanned;
+            stats.table_accesses += out.stats.table_accesses;
+            stats.speculative_accesses += out.stats.speculative_accesses;
+            stats.filter_nanos = stats.filter_nanos.max(out.stats.filter_nanos);
+            stats.refine_nanos = stats.refine_nanos.max(out.stats.refine_nanos);
+            for e in out.results {
                 merged.push((i as u32, e));
             }
         }
@@ -174,14 +233,44 @@ impl ShardedIvaDb {
                 .then(a.0.cmp(&b.0))
         });
         merged.truncate(k);
-        merged
+        let hits = merged
             .into_iter()
             .map(|(shard, e)| {
                 let id = ShardedTid { shard, tid: e.tid };
                 let tuple = self.shards[shard as usize].table().get(e.ptr)?.tuple;
-                Ok(ShardedHit { id, dist: e.dist, tuple })
+                Ok(ShardedHit {
+                    id,
+                    dist: e.dist,
+                    tuple,
+                })
             })
-            .collect()
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedSearchOutcome { hits, stats })
+    }
+
+    /// Parallel top-k search: every shard runs Algorithm 1 concurrently on
+    /// its own scoped thread; the per-shard top-k pools merge into the
+    /// global top-k.
+    ///
+    /// Thin wrapper kept for convenience; prefer [`ShardedIvaDb::execute`]
+    /// with a [`SearchRequest`].
+    pub fn search(&self, query: &Query, k: usize) -> Result<Vec<ShardedHit>> {
+        Ok(self.execute(query, &SearchRequest::new(k))?.hits)
+    }
+
+    /// Parallel top-k search under an explicit metric and weights.
+    ///
+    /// Thin wrapper kept for convenience; prefer
+    /// [`ShardedIvaDb::execute_metric`] with a [`SearchRequest`].
+    pub fn search_with<M: Metric + Sync>(
+        &self,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        weights: WeightScheme,
+    ) -> Result<Vec<ShardedHit>> {
+        let request = SearchRequest::new(k).weights(weights);
+        Ok(self.execute_metric(query, metric, &request)?.hits)
     }
 
     /// Run the β-cleanup check on every shard.

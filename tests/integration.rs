@@ -4,9 +4,7 @@
 
 use iva_file::baselines::{DirectScan, SiiIndex};
 use iva_file::workload::{generate_query_set, Dataset, WorkloadConfig};
-use iva_file::{
-    IvaDb, IvaDbOptions, MetricKind, PagerOptions, Query, Tuple, Value, WeightScheme,
-};
+use iva_file::{IvaDb, IvaDbOptions, MetricKind, PagerOptions, Query, Tuple, Value, WeightScheme};
 
 fn mem_db() -> IvaDb {
     IvaDb::create_mem(IvaDbOptions::default()).unwrap()
@@ -19,10 +17,18 @@ fn crud_lifecycle() {
     let price = db.define_numeric("price").unwrap();
 
     let t1 = db
-        .insert(&Tuple::new().with(name, Value::text("alpha")).with(price, Value::num(10.0)))
+        .insert(
+            &Tuple::new()
+                .with(name, Value::text("alpha"))
+                .with(price, Value::num(10.0)),
+        )
         .unwrap();
     let t2 = db
-        .insert(&Tuple::new().with(name, Value::text("beta")).with(price, Value::num(20.0)))
+        .insert(
+            &Tuple::new()
+                .with(name, Value::text("beta"))
+                .with(price, Value::num(20.0)),
+        )
         .unwrap();
     assert_eq!(db.len(), 2);
 
@@ -32,7 +38,12 @@ fn crud_lifecycle() {
 
     // Update gives a fresh id (paper Sec. IV-B).
     let t3 = db
-        .update(t2, &Tuple::new().with(name, Value::text("beta v2")).with(price, Value::num(21.0)))
+        .update(
+            t2,
+            &Tuple::new()
+                .with(name, Value::text("beta v2"))
+                .with(price, Value::num(21.0)),
+        )
         .unwrap();
     assert_ne!(t2, t3);
     assert!(db.get(t2).unwrap().is_none());
@@ -53,7 +64,9 @@ fn crud_lifecycle() {
 fn update_of_unknown_tuple_fails() {
     let mut db = mem_db();
     let name = db.define_text("name").unwrap();
-    assert!(db.update(42, &Tuple::new().with(name, Value::text("x"))).is_err());
+    assert!(db
+        .update(42, &Tuple::new().with(name, Value::text("x")))
+        .is_err());
 }
 
 #[test]
@@ -66,7 +79,10 @@ fn auto_cleanup_triggers_at_beta() {
     let name = db.define_text("name").unwrap();
     let mut tids = Vec::new();
     for i in 0..50 {
-        tids.push(db.insert(&Tuple::new().with(name, Value::text(format!("item {i}")))).unwrap());
+        tids.push(
+            db.insert(&Tuple::new().with(name, Value::text(format!("item {i}"))))
+                .unwrap(),
+        );
     }
     // Delete 4 tuples: fraction 8% < β, no cleanup.
     for &t in &tids[..4] {
@@ -105,18 +121,23 @@ fn disk_persistence_full_cycle() {
     {
         let mut db = IvaDb::open(&dir, IvaDbOptions::default()).unwrap();
         assert_eq!(db.len(), 99);
-        let hits = db.search(&Query::new().text(name_attr, "record number 42"), 1).unwrap();
+        let hits = db
+            .search(&Query::new().text(name_attr, "record number 42"), 1)
+            .unwrap();
         assert_eq!(hits[0].dist, 0.0);
         assert!(db.get(7).unwrap().is_none());
         // Mutate after reopen; rebuild on disk; reopen again.
-        db.insert(&Tuple::new().with(name_attr, Value::text("post-reopen insert"))).unwrap();
+        db.insert(&Tuple::new().with(name_attr, Value::text("post-reopen insert")))
+            .unwrap();
         db.rebuild().unwrap();
         db.flush().unwrap();
         assert_eq!(db.len(), 100);
     }
     let db = IvaDb::open(&dir, IvaDbOptions::default()).unwrap();
     assert_eq!(db.len(), 100);
-    let hits = db.search(&Query::new().text(name_attr, "post-reopen insert"), 1).unwrap();
+    let hits = db
+        .search(&Query::new().text(name_attr, "post-reopen insert"), 1)
+        .unwrap();
     assert_eq!(hits[0].dist, 0.0);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -126,7 +147,9 @@ fn generated_workload_agreement_with_baselines() {
     let cfg = WorkloadConfig::scaled(3_000);
     let dataset = Dataset::generate(&cfg);
     let opts = PagerOptions::default();
-    let table = dataset.build_table(&opts, iva_file::IoStats::new()).unwrap();
+    let table = dataset
+        .build_table(&opts, iva_file::IoStats::new())
+        .unwrap();
     let index = iva_file::build_index(
         &table,
         iva_file::IndexTarget::Mem,
@@ -140,14 +163,23 @@ fn generated_workload_agreement_with_baselines() {
 
     let qs = generate_query_set(&dataset, 3, 15, 5, 1234);
     for q in qs.measured() {
-        let a = index.query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
-        let b = sii.query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
-        let c = dst.query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal).unwrap();
+        let a = index
+            .query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
+        let b = sii
+            .query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
+        let c = dst
+            .query(&table, q, 10, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
         let da: Vec<f64> = a.results.iter().map(|e| e.dist).collect();
         let db_: Vec<f64> = b.results.iter().map(|e| e.dist).collect();
         let dc: Vec<f64> = c.results.iter().map(|e| e.dist).collect();
         for ((x, y), z) in da.iter().zip(&db_).zip(&dc) {
-            assert!((x - y).abs() < 1e-9 && (x - z).abs() < 1e-9, "{da:?} {db_:?} {dc:?}");
+            assert!(
+                (x - y).abs() < 1e-9 && (x - z).abs() < 1e-9,
+                "{da:?} {db_:?} {dc:?}"
+            );
         }
         // And the sampled query must have a strong match somewhere (its
         // values came from the data).
@@ -160,7 +192,8 @@ fn search_hits_materialize_matching_tuples() {
     let mut db = mem_db();
     let brand = db.define_text("brand").unwrap();
     for b in ["Canon", "Sony", "Nikon", "Cannon"] {
-        db.insert(&Tuple::new().with(brand, Value::text(b))).unwrap();
+        db.insert(&Tuple::new().with(brand, Value::text(b)))
+            .unwrap();
     }
     let hits = db.search(&Query::new().text(brand, "Canon"), 2).unwrap();
     assert_eq!(hits.len(), 2);
@@ -175,4 +208,35 @@ fn empty_database_searches_cleanly() {
     assert!(db.is_empty());
     let hits = db.search(&Query::new().text(a, "nothing"), 5).unwrap();
     assert!(hits.is_empty());
+}
+
+#[test]
+fn failed_update_rolls_back_to_old_tuple() {
+    let mut db = mem_db();
+    let name = db.define_text("name").unwrap();
+    let price = db.define_numeric("price").unwrap();
+    let tid = db
+        .insert(
+            &Tuple::new()
+                .with(name, Value::text("keep me"))
+                .with(price, Value::num(7.0)),
+        )
+        .unwrap();
+    assert_eq!(db.len(), 1);
+
+    // The replacement references an attribute that was never defined, so
+    // the insert half of the delete+insert update fails. The old tuple
+    // must survive (under a fresh id, as any update would assign).
+    let bogus = Tuple::new().with(iva_file::AttrId(999), Value::text("x"));
+    let err = db.update(tid, &bogus).unwrap_err();
+    assert!(
+        err.to_string().contains("unknown attribute"),
+        "unexpected error: {err}"
+    );
+
+    assert_eq!(db.len(), 1, "old tuple lost by failed update");
+    let hits = db.search(&Query::new().text(name, "keep me"), 1).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].dist, 0.0);
+    assert_eq!(hits[0].tuple.get(price), Some(&Value::num(7.0)));
 }

@@ -3,14 +3,9 @@
 //! single-node database over the same data — under parallel execution.
 
 use iva_file::workload::{generate_query_set, Dataset, WorkloadConfig};
-use iva_file::{
-    IvaDb, IvaDbOptions, MetricKind, Query, ShardedIvaDb, Tuple, Value, WeightScheme,
-};
+use iva_file::{IvaDb, IvaDbOptions, MetricKind, Query, ShardedIvaDb, Tuple, Value, WeightScheme};
 
-fn fill_both(
-    n: usize,
-    shards: usize,
-) -> (IvaDb, ShardedIvaDb, Dataset) {
+fn fill_both(n: usize, shards: usize) -> (IvaDb, ShardedIvaDb, Dataset) {
     let cfg = WorkloadConfig::scaled(n);
     let dataset = Dataset::generate(&cfg);
     let mut single = IvaDb::create_mem(IvaDbOptions::default()).unwrap();
@@ -67,7 +62,10 @@ fn sharded_crud() {
     let name = db.define_text("name").unwrap();
     let mut ids = Vec::new();
     for i in 0..30 {
-        ids.push(db.insert(&Tuple::new().with(name, Value::text(format!("item {i}")))).unwrap());
+        ids.push(
+            db.insert(&Tuple::new().with(name, Value::text(format!("item {i}"))))
+                .unwrap(),
+        );
     }
     assert_eq!(db.len(), 30);
     // Round-robin placement touches every shard.
@@ -93,7 +91,8 @@ fn sharded_crud() {
 fn single_shard_degenerates_to_plain_db() {
     let mut db = ShardedIvaDb::create_mem(1, IvaDbOptions::default()).unwrap();
     let a = db.define_text("a").unwrap();
-    db.insert(&Tuple::new().with(a, Value::text("only"))).unwrap();
+    db.insert(&Tuple::new().with(a, Value::text("only")))
+        .unwrap();
     let hits = db.search(&Query::new().text(a, "only"), 3).unwrap();
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].dist, 0.0);
@@ -106,15 +105,21 @@ fn zero_shards_rejected() {
 
 #[test]
 fn sharded_cleanup_runs_per_shard() {
-    let mut db = ShardedIvaDb::create_mem(2, IvaDbOptions {
-        cleaning_threshold: 0.3,
-        ..Default::default()
-    })
+    let mut db = ShardedIvaDb::create_mem(
+        2,
+        IvaDbOptions {
+            cleaning_threshold: 0.3,
+            ..Default::default()
+        },
+    )
     .unwrap();
     let name = db.define_text("name").unwrap();
     let mut ids = Vec::new();
     for i in 0..20 {
-        ids.push(db.insert(&Tuple::new().with(name, Value::text(format!("x{i}")))).unwrap());
+        ids.push(
+            db.insert(&Tuple::new().with(name, Value::text(format!("x{i}"))))
+                .unwrap(),
+        );
     }
     for id in ids.iter().take(10) {
         db.delete(*id).unwrap();
@@ -127,4 +132,55 @@ fn sharded_cleanup_runs_per_shard() {
         assert!(frac < 0.3, "shard {i} above threshold: {frac}");
     }
     assert_eq!(db.len(), 10);
+}
+
+#[test]
+fn sharded_merge_breaks_distance_ties_deterministically() {
+    use iva_file::SearchRequest;
+    // 12 byte-identical tuples round-robined over 3 shards: every hit ties
+    // at distance 0, so the answer order is decided purely by the merge's
+    // tie-break (distance, then local tid, then shard). That order must be
+    // stable across runs and across thread budgets.
+    let mut db = ShardedIvaDb::create_mem(3, IvaDbOptions::default()).unwrap();
+    let name = db.define_text("name").unwrap();
+    for _ in 0..12 {
+        db.insert(&Tuple::new().with(name, Value::text("same")))
+            .unwrap();
+    }
+    let query = db.query_builder().text("name", "same").build().unwrap();
+
+    let reference = db
+        .execute(&query, &SearchRequest::new(12).threads(1))
+        .unwrap();
+    assert_eq!(reference.hits.len(), 12);
+    for hit in &reference.hits {
+        assert_eq!(hit.dist, 0.0);
+    }
+    // (tid, shard) lexicographic: tid 0 of shards 0..3, then tid 1, ...
+    let ids: Vec<(u64, usize)> = reference
+        .hits
+        .iter()
+        .map(|h| (h.id.tid, h.id.shard as usize))
+        .collect();
+    let expected: Vec<(u64, usize)> = (0..4u64)
+        .flat_map(|t| (0..3).map(move |s| (t, s)))
+        .collect();
+    assert_eq!(ids, expected);
+
+    for threads in [1usize, 2, 3, 8] {
+        for _ in 0..3 {
+            let run = db
+                .execute(&query, &SearchRequest::new(12).threads(threads))
+                .unwrap();
+            let got: Vec<(u64, usize)> = run
+                .hits
+                .iter()
+                .map(|h| (h.id.tid, h.id.shard as usize))
+                .collect();
+            assert_eq!(
+                got, expected,
+                "non-deterministic merge at threads={threads}"
+            );
+        }
+    }
 }

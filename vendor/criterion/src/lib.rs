@@ -1,0 +1,132 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benches compile and run under `cargo bench`, printing a median ns/iter per
+//! benchmark. No statistical analysis, HTML reports, or baselines — just
+//! enough to keep microbenchmarks runnable and comparable run-to-run in the
+//! offline build environment.
+
+use std::time::Instant;
+
+/// Bench registry handle passed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// How `iter_batched` amortizes setup; accepted and ignored (every batch is
+/// sized 1, which is the conservative choice for correctness of timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Re-run setup for every single iteration.
+    PerIteration,
+}
+
+/// Timing harness handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<u128>,
+}
+
+const WARMUP_ITERS: u32 = 3;
+const SAMPLES: usize = 15;
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed().as_nanos());
+        }
+    }
+
+    /// Time `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark and print its median time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = if b.samples.is_empty() {
+            0
+        } else {
+            b.samples[b.samples.len() / 2]
+        };
+        println!(
+            "bench {name:<40} {median:>12} ns/iter (median of {})",
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Declare a bench group: expands to a function running each benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point over one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn harness_runs() {
+        sample_bench(&mut Criterion::default());
+    }
+}

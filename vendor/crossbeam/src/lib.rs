@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented over
+//! `std::thread::scope` (stable since Rust 1.63, within the workspace MSRV).
+//! The API mirrors crossbeam's: the scope closure and every spawned closure
+//! receive a `&Scope` so workers could spawn nested siblings, and `scope`
+//! returns a `Result` rather than unwinding directly.
+//!
+//! One deliberate divergence: if a spawned thread panics, `std::thread::scope`
+//! re-raises the panic at the join point instead of returning `Err`. Every
+//! caller in this workspace immediately `unwrap()`s / `expect()`s the result,
+//! so the observable behavior (abort the test / propagate the panic) is the
+//! same.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result type matching `crossbeam::thread::scope`.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A handle to a spawn scope; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread; mirrors `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives the
+        /// scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the caller's
+    /// stack. All threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 2];
+        super::thread::scope(|s| {
+            for (i, slot) in sums.iter_mut().enumerate() {
+                let data = &data;
+                s.spawn(move |_| {
+                    *slot = data[i * 2] + data[i * 2 + 1];
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

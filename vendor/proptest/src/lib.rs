@@ -1,0 +1,578 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface this
+//! workspace's property tests use, over a deterministic per-test RNG. Two
+//! deliberate simplifications relative to upstream:
+//!
+//! - **No shrinking.** A failing case reports the panic from the raw inputs.
+//!   The seed is derived from the test name, so failures reproduce exactly.
+//! - **`&str` strategies** support the pattern subset used in-tree — a single
+//!   character class with ranges followed by a `{m,n}` repeat count, e.g.
+//!   `"[a-d]{1,8}"` or `"[ -~]{1,40}"` — not full regex syntax.
+//!
+//! `prop_assert!`/`prop_assert_eq!` panic (upstream returns an `Err` the
+//! runner catches); the observable effect under `cargo test` is identical.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic generator behind every strategy draw (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction; each `proptest!` test derives its seed from the
+    /// test's name so runs are reproducible and independent.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x5DEE_CE66_D1CE_B00B,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test values. Unlike upstream there is no value tree; a
+/// strategy draws a final value directly.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+// Object-safe core so heterogeneous strategies can share a Vec.
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from at least one alternative.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// String generation from the in-tree pattern subset: `[class]{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_repeat(self);
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+    }
+}
+
+/// Parse `[a-d x]{m,n}` into (expanded alphabet, m, n). Panics on any other
+/// shape with a pointer at what upstream proptest would have accepted.
+fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+    let fail = || -> ! {
+        panic!(
+            "string strategy {pattern:?} not supported by the offline proptest \
+             stand-in (expected \"[class]{{m,n}}\")"
+        )
+    };
+    let bytes = pattern.as_bytes();
+    if bytes.first() != Some(&b'[') {
+        fail();
+    }
+    let close = match pattern.find(']') {
+        Some(i) => i,
+        None => fail(),
+    };
+    let class: Vec<char> = pattern[1..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i] as u32, class[i + 2] as u32);
+            if a > b {
+                fail();
+            }
+            chars.extend((a..=b).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        fail();
+    }
+    let rest = &pattern[close + 1..];
+    let (lo, hi) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| fail());
+        match inner.split_once(',') {
+            Some((m, n)) => (
+                m.parse().unwrap_or_else(|_| fail()),
+                n.parse().unwrap_or_else(|_| fail()),
+            ),
+            None => {
+                let m = inner.parse().unwrap_or_else(|_| fail());
+                (m, m)
+            }
+        }
+    };
+    if lo > hi {
+        fail();
+    }
+    (chars, lo, hi)
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a size given as a fixed count or range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_exclusive - self.size.lo;
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// Uniform choice from a fixed set of values.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Strategy choosing uniformly from `options`.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+
+    /// A length-agnostic index: resolves to a concrete position only once a
+    /// collection length is known.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy over both booleans.
+    pub struct BoolAny;
+
+    /// Uniform true/false.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Failure type carried by `Result`-returning property helpers. Upstream's
+/// runner catches these; here the `proptest!` macro panics on `Err`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Stable seed derivation from the test path (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// `prop` module alias as re-exported by the upstream prelude.
+pub mod prop {
+    pub use crate::{bool, collection, sample};
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Assert inside a property; panics with the case's inputs left to the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }` becomes
+/// a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::TestRng::new(seed);
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                // Closure so `?` on Result<_, TestCaseError> works in bodies.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property {} failed: {e}", stringify!($name));
+                }
+            }
+        }
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)) => {};
+    ($($rest:tt)+) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_parser_handles_in_tree_shapes() {
+        let mut rng = crate::TestRng::new(3);
+        for pat in ["[a-d]{1,8}", "[ -~]{1,40}", "[a-e]{2,10}"] {
+            for _ in 0..50 {
+                let s = Strategy::generate(&pat, &mut rng);
+                assert!(!s.is_empty() || pat.contains("{0"));
+            }
+        }
+        let s = Strategy::generate(&"[a-d]{1,8}", &mut rng);
+        assert!(s.len() <= 8 && s.chars().all(|c| ('a'..='d').contains(&c)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Composite strategies produce in-bound values.
+        fn composite_strategies(
+            v in prop::collection::vec((0u32..7, -1.0f64..1.0), 0..5),
+            w in prop_oneof![(0usize..3).prop_map(|x| x * 2), Just(9usize)],
+            s in "[a-c]{1,4}",
+            flag in prop::bool::ANY,
+            idx in any::<prop::sample::Index>(),
+            b in any::<u8>(),
+        ) {
+            prop_assert!(v.len() < 5);
+            for (a, f) in &v {
+                prop_assert!(*a < 7);
+                prop_assert!((-1.0..1.0).contains(f));
+            }
+            prop_assert!(w == 9 || w % 2 == 0);
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert!(idx.index(10) < 10);
+            prop_assert_eq!(u16::from(b) & 0xff, u16::from(b));
+        }
+    }
+
+    proptest! {
+        /// Default config path compiles too.
+        fn default_config(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}
