@@ -13,7 +13,7 @@ use iva_bench::{report, scale_config};
 use iva_core::IvaConfig;
 use iva_text::{
     edit_distance_bytes, est_prime, expected_relative_error, gram_count, optimal_t,
-    QueryStringMatcher, SigCodec,
+    PreparedMatcher, SigCodec,
 };
 use iva_workload::attribute_vocabulary;
 
@@ -39,10 +39,10 @@ fn main() {
         let (mut s_est, mut s_estp, mut s_ed, mut n) = (0.0, 0.0, 0.0, 0u64);
         for qi in 0..40 {
             let q = vocab[qi].as_bytes();
-            let mut m = QueryStringMatcher::new(&codec, q);
+            let m = PreparedMatcher::new(&codec, q);
             for dv in &vocab[40..240] {
                 let d = dv.as_bytes();
-                s_est += m.estimate(&codec, &codec.encode_to_vec(d));
+                s_est += m.estimate(&codec.encode_to_vec(d)).unwrap();
                 s_estp += est_prime(q, d, 2);
                 s_ed += edit_distance_bytes(q, d) as f64;
                 n += 1;

@@ -1,0 +1,254 @@
+//! Filter-phase estimation kernel: packed-mask word kernel vs the scalar
+//! reference, on the signatures of a 100,000-tuple workload.
+//!
+//! Three variants evaluate the same query against the same signature set:
+//!
+//!   1. `scalar`       — [`QueryStringMatcher::estimate_scalar`], the
+//!      retained per-bit reference implementation;
+//!   2. `kernel`       — [`PreparedMatcher::estimate`], the branch-free
+//!      `(sig & mask) == mask` word kernel on per-signature views;
+//!   3. `kernel_block` — [`PreparedMatcher::estimate_block`], the batch
+//!      entry point over stride-packed signature cells.
+//!
+//! Every variant runs on 1, 2 and 4 threads (the signature set is split
+//! into contiguous chunks; the prepared matcher is shared by reference,
+//! exactly as the segmented scan shares it across workers). Results are
+//! spot-checked bit-identical across variants, then ns/signature and
+//! signatures/sec are recorded in `BENCH_filter_kernel.json` at the repo
+//! root.
+//!
+//! Run with: `cargo bench -p iva-bench --bench filter_kernel`
+//! (the dataset is floored at 100,000 tuples regardless of `IVA_SCALE`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use iva_bench::{report, scale_config};
+use iva_core::IvaConfig;
+use iva_text::{QueryStringMatcher, SigCodec};
+use iva_workload::{Dataset, WorkloadConfig};
+
+const MIN_TUPLES: usize = 100_000;
+const QUERY: &[u8] = b"product listing number 42";
+const THREADS: &[usize] = &[1, 2, 4];
+const REPS: usize = 3;
+
+/// One named timing pass over the whole signature set.
+type Variant<'a> = (&'static str, Box<dyn FnMut() -> f64 + 'a>);
+
+struct Point {
+    variant: &'static str,
+    threads: usize,
+    ns_per_sig: f64,
+    sigs_per_sec: f64,
+}
+
+/// Chunk `n` items into `t` contiguous ranges (same split as the
+/// segmented tuple-list scan).
+fn bounds(n: usize, t: usize) -> Vec<(usize, usize)> {
+    (0..t).map(|i| (i * n / t, (i + 1) * n / t)).collect()
+}
+
+/// Time `reps` full passes of `pass` over the signature set, keeping the
+/// fastest (the steady-state figure); returns ns/signature.
+fn time_ns_per_sig(n_sigs: usize, reps: usize, mut pass: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(pass());
+        best = best.min(start.elapsed().as_nanos() as f64 / n_sigs as f64);
+    }
+    best
+}
+
+fn main() {
+    let mut workload = scale_config();
+    if workload.n_tuples < MIN_TUPLES {
+        workload = WorkloadConfig::scaled(MIN_TUPLES);
+    }
+    let config = IvaConfig::default();
+    report::banner(
+        "filter_kernel",
+        "packed-mask estimation kernel vs scalar reference (ns/signature)",
+        &workload,
+        &config,
+    );
+
+    // Every text value of the workload, encoded once. This is exactly the
+    // signature stream the filter phase decodes during a full scan.
+    let codec = SigCodec::new(config.alpha, config.n);
+    let dataset = Dataset::generate(&workload);
+    let mut sigs: Vec<Vec<u8>> = Vec::new();
+    'outer: for t in &dataset.tuples {
+        for (_, v) in t.iter() {
+            if let iva_swt::Value::Text(ss) = v {
+                for s in ss {
+                    sigs.push(codec.encode_to_vec(s.as_bytes()));
+                    if sigs.len() >= MIN_TUPLES {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    let n_sigs = sigs.len();
+
+    let builder = QueryStringMatcher::new(&codec, QUERY);
+    let prepared = builder.prepare(&codec);
+
+    // Stride-packed copy for the block entry point.
+    let stride = codec.max_encoded_len();
+    let mut block = vec![0u8; n_sigs * stride];
+    for (i, sig) in sigs.iter().enumerate() {
+        block[i * stride..i * stride + sig.len()].copy_from_slice(sig);
+    }
+
+    // The kernel must be invisible in the numbers it produces.
+    let mut out = vec![0.0f64; n_sigs];
+    prepared
+        .estimate_block(&block, stride, &mut out)
+        .expect("block estimate");
+    for (i, sig) in sigs.iter().enumerate() {
+        let scalar = builder.estimate_scalar(&codec, sig).expect("scalar");
+        let kernel = prepared.estimate(sig).expect("kernel");
+        assert_eq!(scalar.to_bits(), kernel.to_bits(), "sig {i}");
+        assert_eq!(scalar.to_bits(), out[i].to_bits(), "sig {i} (block)");
+    }
+
+    let scalar_pass = |lo: usize, hi: usize| -> f64 {
+        let mut acc = 0.0;
+        for sig in &sigs[lo..hi] {
+            acc += builder.estimate_scalar(&codec, sig).expect("scalar");
+        }
+        acc
+    };
+    let kernel_pass = |lo: usize, hi: usize| -> f64 {
+        let mut acc = 0.0;
+        for sig in &sigs[lo..hi] {
+            acc += prepared.estimate(sig).expect("kernel");
+        }
+        acc
+    };
+
+    let mut points: Vec<Point> = Vec::new();
+    for &threads in THREADS {
+        let chunks = bounds(n_sigs, threads);
+        let run_chunked = |pass: &(dyn Fn(usize, usize) -> f64 + Sync)| -> f64 {
+            if threads == 1 {
+                return pass(0, n_sigs);
+            }
+            let mut acc = 0.0;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(lo, hi)| s.spawn(move || pass(lo, hi)))
+                    .collect();
+                for h in handles {
+                    acc += h.join().expect("worker");
+                }
+            });
+            acc
+        };
+
+        let variants: [Variant; 3] = [
+            ("scalar", Box::new(|| run_chunked(&scalar_pass))),
+            ("kernel", Box::new(|| run_chunked(&kernel_pass))),
+            (
+                "kernel_block",
+                Box::new(|| {
+                    // One scratch per worker chunk, reused across its cells.
+                    let mut acc = 0.0;
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = chunks
+                            .iter()
+                            .map(|&(lo, hi)| {
+                                let prepared = &prepared;
+                                let block = &block[lo * stride..hi * stride];
+                                s.spawn(move || {
+                                    let mut out = vec![0.0f64; hi - lo];
+                                    prepared
+                                        .estimate_block(block, stride, &mut out)
+                                        .expect("block");
+                                    out.iter().sum::<f64>()
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            acc += h.join().expect("worker");
+                        }
+                    });
+                    acc
+                }),
+            ),
+        ];
+        for (variant, mut pass) in variants {
+            pass(); // warm-up
+            let ns = time_ns_per_sig(n_sigs, REPS, &mut pass);
+            points.push(Point {
+                variant,
+                threads,
+                ns_per_sig: ns,
+                // `ns` is wall time over the whole set, so this is the
+                // aggregate throughput across all workers.
+                sigs_per_sec: 1e9 / ns,
+            });
+        }
+    }
+
+    let ns_of = |variant: &str, threads: usize| {
+        points
+            .iter()
+            .find(|p| p.variant == variant && p.threads == threads)
+            .map(|p| p.ns_per_sig)
+            .expect("point")
+    };
+    let speedup1 = ns_of("scalar", 1) / ns_of("kernel", 1);
+    let speedup1_block = ns_of("scalar", 1) / ns_of("kernel_block", 1);
+
+    report::header(&["variant", "threads", "ns/sig", "Msig/s", "vs scalar"]);
+    for p in &points {
+        report::row(&[
+            p.variant.to_string(),
+            p.threads.to_string(),
+            format!("{:.1}", p.ns_per_sig),
+            format!("{:.2}", p.sigs_per_sec / 1e6),
+            format!("{:.2}x", ns_of("scalar", p.threads) / p.ns_per_sig),
+        ]);
+    }
+    println!(
+        "\nsingle-thread kernel speedup: {speedup1:.2}x \
+         (block entry point: {speedup1_block:.2}x) over {n_sigs} signatures"
+    );
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"variant\": \"{}\", \"threads\": {}, \"ns_per_sig\": {:.2}, \
+                 \"sigs_per_sec\": {:.0}}}",
+                p.variant, p.threads, p.ns_per_sig, p.sigs_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"filter_kernel\",\n  \"n_signatures\": {},\n  \
+         \"query_bytes\": {},\n  \"alpha\": {},\n  \"n\": {},\n  \
+         \"single_thread_speedup\": {:.3},\n  \
+         \"single_thread_speedup_block\": {:.3},\n  \"threshold\": 2.0,\n  \
+         \"passes_threshold\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        n_sigs,
+        QUERY.len(),
+        config.alpha,
+        config.n,
+        speedup1,
+        speedup1_block,
+        speedup1 >= 2.0,
+        rows.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_filter_kernel.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_filter_kernel.json");
+    println!("recorded {path}");
+}

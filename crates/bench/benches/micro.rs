@@ -10,7 +10,7 @@ use iva_core::{
 };
 use iva_storage::{IoStats, PagerOptions};
 use iva_swt::{decode_record, encode_record, AttrId, SwtTable, Tuple, Value};
-use iva_text::{edit_distance_bytes, QueryStringMatcher, SigCodec};
+use iva_text::{edit_distance_bytes, PreparedMatcher, SigCodec};
 
 fn bench_signatures(c: &mut Criterion) {
     let codec = SigCodec::new(0.2, 2);
@@ -29,11 +29,11 @@ fn bench_signatures(c: &mut Criterion) {
         .collect();
     c.bench_function("sig/estimate_256_signatures", |b| {
         b.iter_batched(
-            || QueryStringMatcher::new(&codec, b"product listing number 42"),
-            |mut m| {
+            || PreparedMatcher::new(&codec, b"product listing number 42"),
+            |m| {
                 let mut acc = 0.0;
                 for sig in &sigs {
-                    acc += m.estimate(&codec, sig);
+                    acc += m.estimate(sig).unwrap();
                 }
                 black_box(acc)
             },

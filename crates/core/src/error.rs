@@ -4,6 +4,7 @@ use std::fmt;
 
 use iva_storage::StorageError;
 use iva_swt::SwtError;
+use iva_text::SigError;
 
 /// Errors produced by index build, query and update operations.
 #[derive(Debug)]
@@ -51,6 +52,13 @@ impl From<StorageError> for IvaError {
 impl From<SwtError> for IvaError {
     fn from(e: SwtError) -> Self {
         IvaError::Swt(e)
+    }
+}
+
+impl From<SigError> for IvaError {
+    fn from(e: SigError) -> Self {
+        // Malformed signature bytes mean the vector list is damaged.
+        IvaError::Corrupt(format!("signature: {e}"))
     }
 }
 

@@ -6,10 +6,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use iva_storage::{
-    overwrite_in_list, IoStats, ListReader, ListWriter, PageId, Pager, PagerOptions,
+    overwrite_in_list, IoStats, ListHandle, ListReader, ListWriter, PageId, Pager, PagerOptions,
 };
 use iva_swt::{AttrId, AttrType, Catalog, RecordPtr, SwtTable, Tid, Tuple, Value};
-use iva_text::{QueryStringMatcher, SigCodec};
+use iva_text::{PreparedMatcher, SigCodec};
 
 use crate::config::IvaConfig;
 use crate::error::{IvaError, Result};
@@ -37,18 +37,32 @@ pub struct IvaIndex {
     sig_codec: SigCodec,
 }
 
-pub(crate) enum PreparedAttr {
+/// Immutable per-query attribute state, built once per query and shared by
+/// every scan worker by reference: the packed-mask estimation kernel for
+/// text attributes, the quantization codec for numeric ones. Only the list
+/// cursors ([`AttrCursor`]) are per-worker.
+pub(crate) enum SharedAttr {
     Text {
-        matcher: QueryStringMatcher,
-        cursor: TextListCursor,
+        matcher: PreparedMatcher,
+        vlist: ListHandle,
+        ty: ListType,
     },
     Num {
         q: f64,
         codec: NumericCodec,
-        cursor: NumListCursor,
+        vlist: ListHandle,
+        ty: ListType,
     },
     /// The attribute was added to the catalog after the last (re)build and
     /// no tuple defines it in the index: every tuple reads as *ndf*.
+    AlwaysNdf,
+}
+
+/// Per-worker scan position over one attribute's vector list. Paired
+/// index-for-index with the query's `[SharedAttr]` slice.
+pub(crate) enum AttrCursor {
+    Text(TextListCursor),
+    Num(NumListCursor),
     AlwaysNdf,
 }
 
@@ -193,26 +207,40 @@ impl IvaIndex {
         self.header.tuple_list
     }
 
-    /// Position freshly prepared cursors past the first `n` tuple-list
+    /// Position freshly opened cursors past the first `n` tuple-list
     /// elements (segmented scans start mid-list).
-    pub(crate) fn seek_cursors(&self, prepared: &mut [PreparedAttr], n: u64) -> Result<()> {
-        for pa in prepared.iter_mut() {
-            match pa {
-                PreparedAttr::Text { cursor, .. } => cursor.seek_elements(n, &self.sig_codec)?,
-                PreparedAttr::Num { codec, cursor, .. } => cursor.seek_elements(n, codec)?,
-                PreparedAttr::AlwaysNdf => {}
+    pub(crate) fn seek_cursors(
+        &self,
+        shared: &[SharedAttr],
+        cursors: &mut [AttrCursor],
+        n: u64,
+    ) -> Result<()> {
+        for (sa, cur) in shared.iter().zip(cursors.iter_mut()) {
+            match (sa, cur) {
+                (SharedAttr::Text { .. }, AttrCursor::Text(c)) => {
+                    c.seek_elements(n, &self.sig_codec)?
+                }
+                (SharedAttr::Num { codec, .. }, AttrCursor::Num(c)) => c.seek_elements(n, codec)?,
+                (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => {}
+                _ => unreachable!("shared/cursor slices out of step"),
             }
         }
         Ok(())
     }
 
     /// Advance every cursor past a tombstoned tuple.
-    pub(crate) fn skip_cursors(&self, prepared: &mut [PreparedAttr], tid: u32) -> Result<()> {
-        for pa in prepared.iter_mut() {
-            match pa {
-                PreparedAttr::Text { cursor, .. } => cursor.skip(tid, &self.sig_codec)?,
-                PreparedAttr::Num { codec, cursor, .. } => cursor.skip(tid, codec)?,
-                PreparedAttr::AlwaysNdf => {}
+    pub(crate) fn skip_cursors(
+        &self,
+        shared: &[SharedAttr],
+        cursors: &mut [AttrCursor],
+        tid: u32,
+    ) -> Result<()> {
+        for (sa, cur) in shared.iter().zip(cursors.iter_mut()) {
+            match (sa, cur) {
+                (SharedAttr::Text { .. }, AttrCursor::Text(c)) => c.skip(tid, &self.sig_codec)?,
+                (SharedAttr::Num { codec, .. }, AttrCursor::Num(c)) => c.skip(tid, codec)?,
+                (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => {}
+                _ => unreachable!("shared/cursor slices out of step"),
             }
         }
         Ok(())
@@ -222,22 +250,24 @@ impl IvaIndex {
     /// `tid`; returns true if any query attribute is defined on the tuple.
     pub(crate) fn lower_bounds_into(
         &self,
-        prepared: &mut [PreparedAttr],
+        shared: &[SharedAttr],
+        cursors: &mut [AttrCursor],
         tid: u32,
         lambda: &[f64],
         ndf_penalty: f64,
         diffs: &mut [f64],
     ) -> Result<bool> {
         let mut any_defined = false;
-        for (i, pa) in prepared.iter_mut().enumerate() {
-            let lb = match pa {
-                PreparedAttr::Text { matcher, cursor } => {
-                    cursor.advance(tid, &self.sig_codec, matcher)?
+        for (i, (sa, cur)) in shared.iter().zip(cursors.iter_mut()).enumerate() {
+            let lb = match (sa, cur) {
+                (SharedAttr::Text { matcher, .. }, AttrCursor::Text(c)) => {
+                    c.advance(tid, &self.sig_codec, matcher)?
                 }
-                PreparedAttr::Num { q, codec, cursor } => cursor
+                (SharedAttr::Num { q, codec, .. }, AttrCursor::Num(c)) => c
                     .advance(tid, codec)?
                     .map(|code| codec.lower_bound_dist(code, *q)),
-                PreparedAttr::AlwaysNdf => None,
+                (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => None,
+                _ => unreachable!("shared/cursor slices out of step"),
             };
             any_defined |= lb.is_some();
             diffs[i] = lambda[i] * lb.unwrap_or(ndf_penalty);
@@ -245,14 +275,18 @@ impl IvaIndex {
         Ok(any_defined)
     }
 
-    pub(crate) fn prepare_cursors(&self, query: &Query) -> Result<Vec<PreparedAttr>> {
-        let mut prepared = Vec::with_capacity(query.len());
+    /// Build the shared immutable per-query state: prepare the packed-mask
+    /// estimation kernel for each text attribute (hashing the query's
+    /// grams once per distinct signature geometry) and the quantization
+    /// codec for each numeric one. Workers then open cheap per-worker
+    /// cursors with [`IvaIndex::open_cursors`] and share this by reference.
+    pub(crate) fn prepare_query(&self, query: &Query) -> Result<Vec<SharedAttr>> {
+        let mut shared = Vec::with_capacity(query.len());
         for (attr, qv) in query.iter() {
             let Some(entry) = self.attr_entry(attr) else {
-                prepared.push(PreparedAttr::AlwaysNdf);
+                shared.push(SharedAttr::AlwaysNdf);
                 continue;
             };
-            let reader = ListReader::open(Arc::clone(&self.pager), entry.vlist)?;
             match qv {
                 QueryValue::Text(s) => {
                     if !entry.is_text {
@@ -260,9 +294,10 @@ impl IvaIndex {
                             "query gives a string on numerical attribute {attr}"
                         )));
                     }
-                    prepared.push(PreparedAttr::Text {
-                        matcher: QueryStringMatcher::new(&self.sig_codec, s.as_bytes()),
-                        cursor: TextListCursor::new(reader, entry.list_type),
+                    shared.push(SharedAttr::Text {
+                        matcher: PreparedMatcher::new(&self.sig_codec, s.as_bytes()),
+                        vlist: entry.vlist,
+                        ty: entry.list_type,
                     });
                 }
                 QueryValue::Num(v) => {
@@ -271,15 +306,38 @@ impl IvaIndex {
                             "query gives a number on text attribute {attr}"
                         )));
                     }
-                    prepared.push(PreparedAttr::Num {
+                    shared.push(SharedAttr::Num {
                         q: *v,
                         codec: self.numeric_codec(entry),
-                        cursor: NumListCursor::new(reader, entry.list_type),
+                        vlist: entry.vlist,
+                        ty: entry.list_type,
                     });
                 }
             }
         }
-        Ok(prepared)
+        Ok(shared)
+    }
+
+    /// Open one scan cursor per query attribute, positioned at the head of
+    /// each vector list. Cheap relative to [`IvaIndex::prepare_query`]:
+    /// each worker of a segmented scan opens its own set.
+    pub(crate) fn open_cursors(&self, shared: &[SharedAttr]) -> Result<Vec<AttrCursor>> {
+        shared
+            .iter()
+            .map(|sa| {
+                Ok(match sa {
+                    SharedAttr::Text { vlist, ty, .. } => AttrCursor::Text(TextListCursor::new(
+                        ListReader::open(Arc::clone(&self.pager), *vlist)?,
+                        *ty,
+                    )),
+                    SharedAttr::Num { vlist, ty, .. } => AttrCursor::Num(NumListCursor::new(
+                        ListReader::open(Arc::clone(&self.pager), *vlist)?,
+                        *ty,
+                    )),
+                    SharedAttr::AlwaysNdf => AttrCursor::AlwaysNdf,
+                })
+            })
+            .collect()
     }
 
     /// Algorithm 1: top-k query with the parallel filter-and-refine plan.
@@ -311,7 +369,8 @@ impl IvaIndex {
         measured: bool,
     ) -> Result<QueryOutcome> {
         let lambda = self.resolve_weights(query, weights);
-        let mut prepared = self.prepare_cursors(query)?;
+        let shared = self.prepare_query(query)?;
+        let mut cursors = self.open_cursors(&shared)?;
         let mut treader = ListReader::open(Arc::clone(&self.pager), self.header.tuple_list)?;
         let mut pool = ResultPool::new(k);
         let mut stats = QueryStats::default();
@@ -325,10 +384,10 @@ impl IvaIndex {
             let ptr = treader.read_u64()?;
             stats.tuples_scanned += 1;
             if ptr == TOMBSTONE_PTR {
-                self.skip_cursors(&mut prepared, tid)?;
+                self.skip_cursors(&shared, &mut cursors, tid)?;
                 continue;
             }
-            self.lower_bounds_into(&mut prepared, tid, &lambda, ndf, &mut diffs)?;
+            self.lower_bounds_into(&shared, &mut cursors, tid, &lambda, ndf, &mut diffs)?;
             let est = metric.combine(&diffs);
             if pool.admits(est) {
                 let refine_start = measured.then(Instant::now);

@@ -29,7 +29,7 @@ use iva_storage::ListReader;
 use iva_swt::{RecordPtr, SwtTable};
 
 use crate::error::Result;
-use crate::index::{IvaIndex, QueryOutcome};
+use crate::index::{IvaIndex, QueryOutcome, SharedAttr};
 use crate::layout::{TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
 use crate::metric::{Metric, WeightScheme};
 use crate::pool::ResultPool;
@@ -144,6 +144,10 @@ impl IvaIndex {
         }
 
         let lambda = self.resolve_weights(query, weights);
+        // One prepared table per query — the packed-mask kernels and
+        // numeric codecs are immutable and shared by every worker below;
+        // workers only open private cursors.
+        let shared = self.prepare_query(query)?;
         let ndf = self.config().ndf_penalty;
         let measured = opts.measured;
         let t = threads as u64;
@@ -154,10 +158,11 @@ impl IvaIndex {
         crossbeam::thread::scope(|s| {
             for (&(lo, hi), slot) in bounds.iter().zip(slots.iter_mut()) {
                 let lambda = &lambda;
+                let shared = &shared;
                 s.spawn(move |_| {
-                    *slot = Some(
-                        self.scan_segment(table, query, k, metric, lambda, ndf, lo, hi, measured),
-                    );
+                    *slot = Some(self.scan_segment(
+                        table, query, shared, k, metric, lambda, ndf, lo, hi, measured,
+                    ));
                 });
             }
         })
@@ -203,6 +208,7 @@ impl IvaIndex {
         &self,
         table: &SwtTable,
         query: &Query,
+        shared: &[SharedAttr],
         k: usize,
         metric: &M,
         lambda: &[f64],
@@ -211,8 +217,8 @@ impl IvaIndex {
         hi: u64,
         measured: bool,
     ) -> Result<SegmentScan> {
-        let mut prepared = self.prepare_cursors(query)?;
-        self.seek_cursors(&mut prepared, lo)?;
+        let mut cursors = self.open_cursors(shared)?;
+        self.seek_cursors(shared, &mut cursors, lo)?;
         let mut treader = ListReader::open(Arc::clone(self.pager_ref()), self.tuple_list_handle())?;
         treader.skip(lo * TUPLE_ENTRY_LEN as u64)?;
         let mut pool = ResultPool::new(k);
@@ -229,10 +235,10 @@ impl IvaIndex {
             let ptr = treader.read_u64()?;
             out.tuples_scanned += 1;
             if ptr == TOMBSTONE_PTR {
-                self.skip_cursors(&mut prepared, tid)?;
+                self.skip_cursors(shared, &mut cursors, tid)?;
                 continue;
             }
-            self.lower_bounds_into(&mut prepared, tid, lambda, ndf, &mut diffs)?;
+            self.lower_bounds_into(shared, &mut cursors, tid, lambda, ndf, &mut diffs)?;
             let est = metric.combine(&diffs);
             if pool.admits(est) {
                 let refine_start = measured.then(thread_clock_nanos);

@@ -70,7 +70,8 @@ impl IvaIndex {
         // (tid, ptr, lb, any_defined)
         let mut scanned: Vec<(u64, u64, f64, bool)> = Vec::new();
         {
-            let mut prepared = self.prepare_cursors(query)?;
+            let shared = self.prepare_query(query)?;
+            let mut cursors = self.open_cursors(&shared)?;
             let mut treader =
                 ListReader::open(Arc::clone(self.pager_ref()), self.tuple_list_handle())?;
             let mut diffs = vec![0.0f64; query.len()];
@@ -78,11 +79,11 @@ impl IvaIndex {
                 let tid = treader.read_u32()?;
                 let ptr = treader.read_u64()?;
                 if ptr == TOMBSTONE_PTR {
-                    self.skip_cursors(&mut prepared, tid)?;
+                    self.skip_cursors(&shared, &mut cursors, tid)?;
                     continue;
                 }
                 let any_defined =
-                    self.lower_bounds_into(&mut prepared, tid, &lambda, ndf, &mut diffs)?;
+                    self.lower_bounds_into(&shared, &mut cursors, tid, &lambda, ndf, &mut diffs)?;
                 scanned.push((u64::from(tid), ptr, metric.combine(&diffs), any_defined));
             }
         }

@@ -18,8 +18,8 @@
 //! by counting, so they store elements for every tuple. Types I/II are
 //! *keyed* by tid and skip ndf tuples entirely.
 
-use iva_storage::ListReader;
-use iva_text::{QueryStringMatcher, SigCodec};
+use iva_storage::{ListReader, PageRef};
+use iva_text::{PreparedMatcher, SigCodec};
 
 use crate::error::{IvaError, Result};
 use crate::numeric::NumericCodec;
@@ -199,13 +199,17 @@ pub fn encode_num_list(
 
 /// Scanning cursor over a text vector list, implementing the synchronized
 /// `MoveTo(currentTuple)` / freeze semantics of Sec. IV-A.
+///
+/// Signature payloads are consumed as borrowed views straight from the
+/// buffer-pool page ([`ListReader::read_bytes`]), so the hot estimation
+/// path copies no element bytes; the shared immutable [`PreparedMatcher`]
+/// kernel evaluates each view in place.
 pub struct TextListCursor {
     reader: ListReader,
     ty: ListType,
     /// For keyed types: tid of the element whose header has been read but
     /// whose payload has not yet been consumed ("frozen" pointer).
     peek_tid: Option<u32>,
-    sig_buf: Vec<u8>,
 }
 
 impl TextListCursor {
@@ -216,18 +220,14 @@ impl TextListCursor {
             reader,
             ty,
             peek_tid: None,
-            sig_buf: Vec::new(),
         }
     }
 
-    fn read_sig(&mut self, codec: &SigCodec) -> Result<()> {
+    /// Read the next signature as a zero-copy view and estimate it.
+    fn estimate_sig(&mut self, codec: &SigCodec, matcher: &PreparedMatcher) -> Result<f64> {
         let len_byte = self.reader.read_u8()?;
-        let ch = codec.ch_bytes(len_byte);
-        self.sig_buf.clear();
-        self.sig_buf.push(len_byte);
-        self.sig_buf.resize(1 + ch, 0);
-        self.reader.read_exact(&mut self.sig_buf[1..])?;
-        Ok(())
+        let ch = self.reader.read_bytes(codec.ch_bytes(len_byte))?;
+        matcher.estimate_parts(len_byte, ch).map_err(IvaError::from)
     }
 
     fn skip_sig(&mut self, codec: &SigCodec) -> Result<()> {
@@ -244,7 +244,7 @@ impl TextListCursor {
         &mut self,
         tid: u32,
         codec: &SigCodec,
-        matcher: &mut QueryStringMatcher,
+        matcher: &PreparedMatcher,
     ) -> Result<Option<f64>> {
         match self.ty {
             ListType::I => {
@@ -261,8 +261,7 @@ impl TextListCursor {
                         self.skip_sig(codec)?;
                         self.peek_tid = None;
                     } else if t == tid {
-                        self.read_sig(codec)?;
-                        let est = matcher.estimate(codec, &self.sig_buf);
+                        let est = self.estimate_sig(codec, matcher)?;
                         best = Some(best.map_or(est, |b: f64| b.min(est)));
                         self.peek_tid = None;
                     } else {
@@ -290,8 +289,7 @@ impl TextListCursor {
                         let num = self.reader.read_u8()?;
                         let mut best = f64::INFINITY;
                         for _ in 0..num {
-                            self.read_sig(codec)?;
-                            best = best.min(matcher.estimate(codec, &self.sig_buf));
+                            best = best.min(self.estimate_sig(codec, matcher)?);
                         }
                         self.peek_tid = None;
                         return Ok(if best.is_finite() { Some(best) } else { None });
@@ -312,8 +310,7 @@ impl TextListCursor {
                 }
                 let mut best = f64::INFINITY;
                 for _ in 0..num {
-                    self.read_sig(codec)?;
-                    best = best.min(matcher.estimate(codec, &self.sig_buf));
+                    best = best.min(self.estimate_sig(codec, matcher)?);
                 }
                 Ok(Some(best))
             }
@@ -397,11 +394,23 @@ impl TextListCursor {
 }
 
 /// Scanning cursor over a numeric vector list.
+///
+/// Codes are decoded from borrowed page views ([`ListReader::read_bytes`]);
+/// the dense positional Type IV additionally pins whole-page runs of codes
+/// ([`ListReader::read_run_page`]) so consecutive `advance` calls decode
+/// straight out of one pinned buffer-pool page with no per-element reader
+/// bookkeeping. I/O accounting is unchanged: runs borrow pages the reader
+/// already charged to the stats when it loaded them.
 pub struct NumListCursor {
     reader: ListReader,
     ty: ListType,
     peek_tid: Option<u32>,
-    code_buf: [u8; 8],
+    /// Type IV block path: pinned page holding a run of whole codes.
+    run_page: Option<PageRef>,
+    /// Byte offset of the next unconsumed code within `run_page`.
+    run_pos: usize,
+    /// One past the last run byte within `run_page`.
+    run_end: usize,
 }
 
 impl NumListCursor {
@@ -412,14 +421,43 @@ impl NumListCursor {
             reader,
             ty,
             peek_tid: None,
-            code_buf: [0; 8],
+            run_page: None,
+            run_pos: 0,
+            run_end: 0,
         }
     }
 
     fn read_code(&mut self, codec: &NumericCodec) -> Result<u64> {
-        let n = codec.code_bytes();
-        self.reader.read_exact(&mut self.code_buf[..n])?;
-        codec.read_code(&self.code_buf[..n])
+        let buf = self.reader.read_bytes(codec.code_bytes())?;
+        codec.read_code(buf)
+    }
+
+    /// Next Type IV code, refilling the page run when it drains. Codes that
+    /// straddle a page boundary fall back to the reader's copy path.
+    fn iv_next_code(&mut self, codec: &NumericCodec) -> Result<Option<u64>> {
+        let cb = codec.code_bytes();
+        if self.run_pos >= self.run_end {
+            self.run_page = None;
+            if self.reader.at_end() {
+                return Ok(None);
+            }
+            let whole = (self.reader.in_page_remaining()? / cb) * cb;
+            if whole >= cb {
+                let (page, range) = self.reader.read_run_page(whole)?;
+                self.run_pos = range.start;
+                self.run_end = range.end;
+                self.run_page = Some(page);
+            } else {
+                // The next code crosses the page boundary: copy fallback.
+                return self.read_code(codec).map(Some);
+            }
+        }
+        let code = {
+            let page = self.run_page.as_ref().expect("run refilled above");
+            codec.read_code(&page[self.run_pos..self.run_pos + cb])?
+        };
+        self.run_pos += cb;
+        Ok(Some(code))
     }
 
     /// Move to `tid` and return the stored code, or `None` for *ndf*.
@@ -444,17 +482,13 @@ impl NumListCursor {
                     return Ok(None); // freeze
                 }
             },
-            ListType::IV => {
-                if self.reader.at_end() {
-                    return Ok(None);
-                }
-                let code = self.read_code(codec)?;
-                Ok(if code == codec.ndf_code() {
+            ListType::IV => Ok(self.iv_next_code(codec)?.and_then(|code| {
+                if code == codec.ndf_code() {
                     None
                 } else {
                     Some(code)
-                })
-            }
+                }
+            })),
             _ => unreachable!(),
         }
     }
@@ -462,6 +496,7 @@ impl NumListCursor {
     /// Position a fresh cursor past the first `n` positional elements (see
     /// [`TextListCursor::seek_elements`]). No-op for the keyed Type I.
     pub fn seek_elements(&mut self, n: u64, codec: &NumericCodec) -> Result<()> {
+        debug_assert!(self.run_page.is_none(), "seek on a started cursor");
         match self.ty {
             ListType::I => Ok(()),
             ListType::IV => {
@@ -492,7 +527,10 @@ impl NumListCursor {
                 }
             },
             ListType::IV => {
-                if !self.reader.at_end() {
+                if self.run_pos < self.run_end {
+                    // Consume one buffered code without decoding it.
+                    self.run_pos += codec.code_bytes();
+                } else if !self.reader.at_end() {
                     self.reader.skip(codec.code_bytes() as u64)?;
                 }
                 Ok(())
@@ -622,9 +660,9 @@ mod tests {
         let data = encode_text_list(ty, &items, &all_tids);
         let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
 
-        let mut matcher = QueryStringMatcher::new(&codec, b"white");
+        let matcher = PreparedMatcher::new(&codec, b"white");
         for tid in 0..10u32 {
-            let got = cur.advance(tid, &codec, &mut matcher).unwrap();
+            let got = cur.advance(tid, &codec, &matcher).unwrap();
             let expect_defined = strings.iter().any(|(t, _)| *t == tid);
             assert_eq!(got.is_some(), expect_defined, "type {ty} tid {tid}");
             if tid == 3 {
@@ -664,8 +702,8 @@ mod tests {
         for ty in [ListType::I, ListType::II, ListType::III] {
             let data = encode_text_list(ty, &items, &all_tids);
             let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
-            let mut matcher = QueryStringMatcher::new(&codec, b"white");
-            let got = cur.advance(0, &codec, &mut matcher).unwrap().unwrap();
+            let matcher = PreparedMatcher::new(&codec, b"white");
+            let got = cur.advance(0, &codec, &matcher).unwrap().unwrap();
             assert_eq!(got, 0.0, "type {ty}");
         }
     }
@@ -709,12 +747,12 @@ mod tests {
         for ty in [ListType::I, ListType::II, ListType::III] {
             let data = encode_text_list(ty, &items, &all_tids);
             let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
-            let mut matcher = QueryStringMatcher::new(&codec, b"val3");
+            let matcher = PreparedMatcher::new(&codec, b"val3");
             // Skip tuples 0-2 (as if tombstoned), then evaluate 3.
             for tid in 0..3u32 {
                 cur.skip(tid, &codec).unwrap();
             }
-            let got = cur.advance(3, &codec, &mut matcher).unwrap();
+            let got = cur.advance(3, &codec, &matcher).unwrap();
             assert_eq!(got, Some(0.0), "type {ty}");
         }
     }
@@ -731,10 +769,10 @@ mod tests {
             let data = encode_text_list(ty, &items, &all_tids);
             let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
             cur.seek_elements(4, &codec).unwrap();
-            let mut matcher = QueryStringMatcher::new(&codec, b"val4");
+            let matcher = PreparedMatcher::new(&codec, b"val4");
             // Keyed types seek lazily inside advance; positional types
             // must land exactly on element 4.
-            let got = cur.advance(4, &codec, &mut matcher).unwrap();
+            let got = cur.advance(4, &codec, &matcher).unwrap();
             assert_eq!(got, Some(0.0), "type {ty}");
         }
 
@@ -762,8 +800,8 @@ mod tests {
         let data = encode_text_list(ListType::III, &items, &[0u32]);
         let mut cur = TextListCursor::new(reader_for(&p, &data), ListType::III);
         cur.seek_elements(5, &codec).unwrap();
-        let mut matcher = QueryStringMatcher::new(&codec, b"x");
-        assert!(cur.advance(5, &codec, &mut matcher).unwrap().is_none());
+        let matcher = PreparedMatcher::new(&codec, b"x");
+        assert!(cur.advance(5, &codec, &matcher).unwrap().is_none());
 
         let ncodec = NumericCodec::new(0.0, 10.0, 1);
         let nitems: Vec<(u32, u64)> = vec![(0, ncodec.encode(1.0))];
@@ -782,10 +820,10 @@ mod tests {
         let items: Vec<(u32, Vec<Vec<u8>>)> = vec![(0, vec![codec.encode_to_vec(b"x")])];
         let data = encode_text_list(ListType::III, &items, &[0u32]);
         let mut cur = TextListCursor::new(reader_for(&p, &data), ListType::III);
-        let mut matcher = QueryStringMatcher::new(&codec, b"x");
-        assert!(cur.advance(0, &codec, &mut matcher).unwrap().is_some());
-        assert!(cur.advance(1, &codec, &mut matcher).unwrap().is_none());
-        assert!(cur.advance(2, &codec, &mut matcher).unwrap().is_none());
+        let matcher = PreparedMatcher::new(&codec, b"x");
+        assert!(cur.advance(0, &codec, &matcher).unwrap().is_some());
+        assert!(cur.advance(1, &codec, &matcher).unwrap().is_none());
+        assert!(cur.advance(2, &codec, &matcher).unwrap().is_none());
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use iva_core::{
-    build_index, exact_distance, IndexTarget, IvaConfig, IvaIndex, Metric, MetricKind, Query,
-    WeightScheme,
+    build_index, exact_distance, IndexTarget, IvaConfig, IvaIndex, ListType, Metric, MetricKind,
+    Query, QueryOptions, WeightScheme,
 };
 use iva_storage::{IoStats, PagerOptions};
 use iva_swt::{AttrId, SwtTable, Tuple, Value};
@@ -191,5 +191,89 @@ proptest! {
         }
         let query = build_query(&qfields);
         check_equivalence(&table, &index, &query, 5, &MetricKind::L2, WeightScheme::Equal)?;
+    }
+}
+
+/// A table whose attribute densities force every vector-list organization:
+/// a dense text attribute (Type III), a sparse multi-string one (I or II),
+/// a dense numeric (Type IV) and a sparse numeric (Type I).
+fn all_list_types_table(n: u32) -> SwtTable {
+    let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
+    let dense_txt = t.define_text("dense_txt").unwrap();
+    let sparse_txt = t.define_text("sparse_txt").unwrap();
+    let dense_num = t.define_numeric("dense_num").unwrap();
+    let sparse_num = t.define_numeric("sparse_num").unwrap();
+    for i in 0..n {
+        let mut tup = Tuple::new();
+        if i % 7 != 0 {
+            tup.set(dense_txt, Value::text(format!("product listing {i:04}")));
+        }
+        if i % 11 == 0 {
+            tup.set(
+                sparse_txt,
+                Value::texts([format!("note {i}"), "extra".to_string()]),
+            );
+        }
+        // 90 % density keeps Type IV the winner even at the widest code
+        // the α range below produces (4 B at α = 0.5).
+        if i % 10 != 9 {
+            tup.set(dense_num, Value::num(f64::from(i % 89)));
+        }
+        if i % 13 == 0 {
+            tup.set(sparse_num, Value::num(f64::from(i)));
+        }
+        t.insert(&tup).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The packed-mask kernel and the block list readers must leave the
+    /// scan bit-identical between the serial path and every segmented
+    /// parallel split, for every list organization and randomized
+    /// (α, n) signature geometry.
+    #[test]
+    fn parallel_bit_identical_on_all_list_types(
+        rows in 150u32..400,
+        alpha in 0.1f64..0.5,
+        gram_n in 2usize..5,
+        k in 1usize..12,
+    ) {
+        let table = all_list_types_table(rows);
+        let cfg = IvaConfig { alpha, n: gram_n, ..Default::default() };
+        let index = build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), cfg).unwrap();
+        // The density split above must actually materialize all four
+        // organizations, or this test silently weakens.
+        let types: Vec<ListType> = (0..4u32)
+            .map(|a| index.attr_entry(AttrId(a)).unwrap().list_type)
+            .collect();
+        prop_assert_eq!(types[0], ListType::III);
+        prop_assert!(matches!(types[1], ListType::I | ListType::II));
+        prop_assert_eq!(types[2], ListType::IV);
+        prop_assert_eq!(types[3], ListType::I);
+
+        let q = Query::new()
+            .text(AttrId(0), "product listing 0042")
+            .text(AttrId(1), "note 33")
+            .num(AttrId(2), 42.0)
+            .num(AttrId(3), 26.0);
+        let serial = index
+            .query(&table, &q, k, &MetricKind::L2, WeightScheme::Equal)
+            .unwrap();
+        for threads in [2usize, 3, 8] {
+            let o = QueryOptions { threads: Some(threads), measured: false };
+            let par = index
+                .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
+                .unwrap();
+            prop_assert_eq!(serial.results.len(), par.results.len());
+            for (a, b) in serial.results.iter().zip(&par.results) {
+                prop_assert_eq!(a.tid, b.tid, "threads={}", threads);
+                prop_assert_eq!(a.dist.to_bits(), b.dist.to_bits(), "threads={}", threads);
+            }
+            prop_assert_eq!(serial.stats.table_accesses, par.stats.table_accesses);
+            prop_assert_eq!(serial.stats.tuples_scanned, par.stats.tuples_scanned);
+        }
     }
 }

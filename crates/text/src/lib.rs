@@ -23,4 +23,4 @@ pub use edit_distance::{edit_distance, edit_distance_bytes, edit_distance_within
 pub use hash::{fnv1a64, gram_bit_positions, or_gram_into, positions_hit, splitmix64};
 pub use ngram::{est_prime, gram_count, grams_of, padded, GramMultiset, PAD_END, PAD_START};
 pub use params::{expected_relative_error, false_hit_probability, optimal_t};
-pub use signature::{QueryStringMatcher, SigCodec};
+pub use signature::{PreparedMatcher, QueryStringMatcher, SigCodec, SigError};

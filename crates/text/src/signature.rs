@@ -11,27 +11,71 @@
 //! (Sec. III-D): `cH` occupies `⌈α·(|s|+n−1)⌉` bytes, so `l = 8·⌈α·(|s|+n−1)⌉`
 //! bits, and `t = argmin ē` per the appendix analysis, both precomputed per
 //! possible length byte in [`SigCodec`].
+//!
+//! Estimation runs through two implementations:
+//!
+//! * [`PreparedMatcher`] — the production kernel. All query-gram hashes are
+//!   packed at build time into `u64`-word bitmasks, one mask per distinct
+//!   gram per signature geometry, so the per-signature hit test is
+//!   branch-free word arithmetic (`mask & !sig == 0`). The matcher is
+//!   immutable after construction and can be shared by reference across
+//!   scan worker threads.
+//! * [`QueryStringMatcher::estimate_scalar`] — the retained scalar
+//!   reference implementation, which recomputes gram bit positions per call
+//!   and tests them byte by byte. Property tests pin the kernel to this
+//!   reference bit for bit.
 
 use crate::hash::{gram_bit_positions, or_gram_into, positions_hit};
 use crate::ngram::{gram_count, grams_of, GramMultiset};
 use crate::params::optimal_t;
 
+/// Signature bytes failed validation during estimation.
+///
+/// The estimator is fed raw bytes scanned from on-disk vector lists, so a
+/// truncated or mangled element must surface as a recoverable error, never
+/// a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigError {
+    /// The signature slice was empty (no length byte).
+    Empty,
+    /// The signature is shorter than its length byte declares.
+    Truncated {
+        /// Bytes the declared geometry requires (including the length byte).
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SigError::Empty => write!(f, "empty signature"),
+            SigError::Truncated { need, got } => {
+                write!(f, "truncated signature: need {need} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SigError {}
+
 /// Precomputed signature geometry for one `(α, n)` configuration.
 ///
 /// ```
-/// use iva_text::{edit_distance, QueryStringMatcher, SigCodec};
+/// use iva_text::{edit_distance, PreparedMatcher, SigCodec};
 ///
 /// let codec = SigCodec::new(0.2, 2); // the paper's defaults
 /// let sig = codec.encode_to_vec(b"canon");
 ///
 /// // The estimator never exceeds the true edit distance:
-/// let mut matcher = QueryStringMatcher::new(&codec, b"cannon");
-/// let est = matcher.estimate(&codec, &sig);
+/// let matcher = PreparedMatcher::new(&codec, b"cannon");
+/// let est = matcher.estimate(&sig).unwrap();
 /// assert!(est <= edit_distance("cannon", "canon") as f64);
 ///
 /// // Identical strings always estimate zero:
-/// let mut same = QueryStringMatcher::new(&codec, b"canon");
-/// assert_eq!(same.estimate(&codec, &sig), 0.0);
+/// let same = PreparedMatcher::new(&codec, b"canon");
+/// assert_eq!(same.estimate(&sig).unwrap(), 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SigCodec {
@@ -84,6 +128,11 @@ impl SigCodec {
         1 + self.ch_bytes(len_byte)
     }
 
+    /// The largest encoded signature size any length byte can produce.
+    pub fn max_encoded_len(&self) -> usize {
+        self.encoded_len(255)
+    }
+
     /// `(l bits, t)` for a given length byte.
     pub fn geometry(&self, len_byte: u8) -> (u32, u32) {
         let (_, l, t) = self.table[usize::from(len_byte)];
@@ -114,14 +163,13 @@ impl SigCodec {
     }
 }
 
-/// Query-side matcher for one query string: hashes the query's grams lazily
-/// per data-string geometry and evaluates `est(sq, c(sd))`.
-///
-/// Built once per (query, attribute); [`QueryStringMatcher::estimate`] is
-/// then called for every signature scanned from the vector list, so the
-/// per-length hashed gram positions are memoized (the paper's "in-memory
-/// table" advice).
-#[derive(Debug)]
+/// Query-side gram extraction for one query string: the *build step* of
+/// estimation. Holds the distinct grams and their multiset counts; call
+/// [`QueryStringMatcher::prepare`] to bake them into the immutable
+/// word-level kernel used on the scan hot path, or
+/// [`QueryStringMatcher::estimate_scalar`] for the slow reference
+/// evaluation.
+#[derive(Debug, Clone)]
 pub struct QueryStringMatcher {
     q_len: usize,
     n: usize,
@@ -129,12 +177,10 @@ pub struct QueryStringMatcher {
     grams: Vec<Vec<u8>>,
     /// Multiset count of each distinct gram (parallel to `grams`).
     counts: Vec<u32>,
-    /// Per length byte: the hashed bit positions of each distinct gram.
-    cache: Vec<Option<Box<[Vec<u32>]>>>,
 }
 
 impl QueryStringMatcher {
-    /// Prepare a matcher for query string `sq`.
+    /// Extract the gram multiset of query string `sq`.
     pub fn new(codec: &SigCodec, sq: &[u8]) -> Self {
         let ms = GramMultiset::new(sq, codec.n);
         let grams: Vec<Vec<u8>> = ms.iter().map(|(g, _)| g.to_vec()).collect();
@@ -144,7 +190,150 @@ impl QueryStringMatcher {
             n: codec.n,
             grams,
             counts,
-            cache: vec![None; 256],
+        }
+    }
+
+    /// Query string length in bytes.
+    pub fn query_len(&self) -> usize {
+        self.q_len
+    }
+
+    /// Bake the packed-mask tables for every possible length byte and
+    /// return the immutable estimation kernel.
+    pub fn prepare(&self, codec: &SigCodec) -> PreparedMatcher {
+        PreparedMatcher::build(codec, self)
+    }
+
+    /// Reference implementation of `est(sq, c(sd))` (Eq. 3): per-call gram
+    /// hashing, byte-level hit tests. Bit-identical to
+    /// [`PreparedMatcher::estimate`]; kept as the property-test oracle and
+    /// for one-off evaluations that do not amortize a `prepare` call.
+    pub fn estimate_scalar(&self, codec: &SigCodec, sig: &[u8]) -> Result<f64, SigError> {
+        let Some((&len_byte, rest)) = sig.split_first() else {
+            return Err(SigError::Empty);
+        };
+        let ch_bytes = codec.ch_bytes(len_byte);
+        if rest.len() < ch_bytes {
+            return Err(SigError::Truncated {
+                need: 1 + ch_bytes,
+                got: sig.len(),
+            });
+        }
+        let ch = &rest[..ch_bytes];
+        let (l, t) = codec.geometry(len_byte);
+        let mut pos = Vec::with_capacity(t as usize);
+        let mut hg = 0u64;
+        for (g, &c) in self.grams.iter().zip(&self.counts) {
+            gram_bit_positions(g, l, t, &mut pos);
+            if positions_hit(&pos, ch) {
+                hg += u64::from(c);
+            }
+        }
+        Ok(finish_estimate(self.q_len, len_byte, hg, self.n))
+    }
+}
+
+/// The final Eq. 3 arithmetic, shared verbatim by the scalar reference and
+/// the word-level kernel so their results are bit-identical.
+#[inline]
+fn finish_estimate(q_len: usize, len_byte: u8, hg: u64, n: usize) -> f64 {
+    let m = q_len.max(usize::from(len_byte)) as f64;
+    ((m - hg as f64 - 1.0) / n as f64 + 1.0).max(0.0)
+}
+
+/// Signature-word scratch that lives on the stack for every realistic
+/// geometry (64 words = 512 `cH` bytes; α ≤ 1 and |s| ≤ 255 keep `cH` under
+/// this for all n ≤ 258). Larger geometries fall back to a heap buffer.
+const STACK_WORDS: usize = 64;
+
+/// Per-length-byte kernel geometry: where this length's gram masks live.
+#[derive(Debug, Clone, Copy)]
+struct LenPlan {
+    /// `cH` bytes of this geometry.
+    ch_bytes: u32,
+    /// `⌈ch_bytes/8⌉` — `u64` words per gram mask.
+    words: u32,
+    /// Offset of this length's first gram mask in [`PreparedMatcher::masks`].
+    mask_off: u32,
+}
+
+/// Immutable branch-free estimation kernel for one query string.
+///
+/// Construction hashes every distinct query gram once per distinct
+/// signature geometry `(l, t)` and packs the `t` bit positions into
+/// little-endian `u64` words. [`PreparedMatcher::estimate`] then reduces
+/// the paper's hit test `h[l,t](ω) AND cH = h[l,t](ω)` to
+/// `mask & !sig == 0` over `⌈l/64⌉` words per gram — no per-signature
+/// allocation, no data-dependent branches in the gram loop.
+///
+/// The matcher is `Sync`: one instance is shared by reference across all
+/// segmented-scan workers of a query.
+#[derive(Debug, Clone)]
+pub struct PreparedMatcher {
+    q_len: usize,
+    n: usize,
+    /// Multiset count of each distinct gram.
+    counts: Vec<u64>,
+    /// One entry per possible length byte.
+    plans: Vec<LenPlan>,
+    /// Concatenated gram masks; `plans[len].mask_off` indexes the first
+    /// word of the first gram's mask for that length's geometry. Lengths
+    /// sharing a geometry share one table.
+    masks: Vec<u64>,
+    /// Largest `words` over all plans (sizes the block-scan scratch).
+    max_words: usize,
+}
+
+impl PreparedMatcher {
+    /// Build the kernel for query string `sq` — shorthand for
+    /// [`QueryStringMatcher::new`] + [`QueryStringMatcher::prepare`].
+    pub fn new(codec: &SigCodec, sq: &[u8]) -> Self {
+        QueryStringMatcher::new(codec, sq).prepare(codec)
+    }
+
+    fn build(codec: &SigCodec, query: &QueryStringMatcher) -> Self {
+        let mut plans = Vec::with_capacity(256);
+        let mut masks: Vec<u64> = Vec::new();
+        // Consecutive length bytes frequently share (l, t); dedupe so each
+        // distinct geometry hashes the query grams exactly once.
+        let mut seen: Vec<((u32, u32), u32)> = Vec::new();
+        let mut pos = Vec::new();
+        let mut max_words = 0usize;
+        for len in 0u16..=255 {
+            let len_byte = len as u8;
+            let (l, t) = codec.geometry(len_byte);
+            let ch_bytes = codec.ch_bytes(len_byte);
+            let words = ch_bytes.div_ceil(8);
+            max_words = max_words.max(words);
+            let mask_off = match seen.iter().find(|(k, _)| *k == (l, t)) {
+                Some(&(_, off)) => off,
+                None => {
+                    let off = masks.len() as u32;
+                    for g in &query.grams {
+                        gram_bit_positions(g, l, t, &mut pos);
+                        let base = masks.len();
+                        masks.resize(base + words, 0);
+                        for &p in &pos {
+                            masks[base + (p / 64) as usize] |= 1u64 << (p % 64);
+                        }
+                    }
+                    seen.push(((l, t), off));
+                    off
+                }
+            };
+            plans.push(LenPlan {
+                ch_bytes: ch_bytes as u32,
+                words: words as u32,
+                mask_off,
+            });
+        }
+        Self {
+            q_len: query.q_len,
+            n: query.n,
+            counts: query.counts.iter().map(|&c| u64::from(c)).collect(),
+            plans,
+            masks,
+            max_words,
         }
     }
 
@@ -156,32 +345,120 @@ impl QueryStringMatcher {
     /// Evaluate `est(sq, c(sd))` (Eq. 3) against an encoded signature
     /// (`[cL][cH...]`, as produced by [`SigCodec::encode`]). The result is
     /// a lower bound on `ed(sq, sd)` (Proposition 3.3), clamped at 0.
-    pub fn estimate(&mut self, codec: &SigCodec, sig: &[u8]) -> f64 {
-        let len_byte = sig[0];
-        debug_assert_eq!(sig.len(), codec.encoded_len(len_byte));
-        let ch = &sig[1..];
-        if self.cache[usize::from(len_byte)].is_none() {
-            let (l, t) = codec.geometry(len_byte);
-            let hashed: Vec<Vec<u32>> = self
-                .grams
-                .iter()
-                .map(|g| {
-                    let mut pos = Vec::with_capacity(t as usize);
-                    gram_bit_positions(g, l, t, &mut pos);
-                    pos
-                })
-                .collect();
-            self.cache[usize::from(len_byte)] = Some(hashed.into_boxed_slice());
+    ///
+    /// Trailing bytes beyond the declared geometry are ignored (block scans
+    /// hand in stride-sized cells); missing bytes are a corruption error.
+    pub fn estimate(&self, sig: &[u8]) -> Result<f64, SigError> {
+        let Some((&len_byte, rest)) = sig.split_first() else {
+            return Err(SigError::Empty);
+        };
+        self.estimate_parts(len_byte, rest)
+    }
+
+    /// [`PreparedMatcher::estimate`] for callers that already consumed the
+    /// length byte from the element stream (the vector-list cursors, which
+    /// must read `cL` first to learn how many `cH` bytes to view).
+    pub fn estimate_parts(&self, len_byte: u8, ch: &[u8]) -> Result<f64, SigError> {
+        let plan = self.plans[usize::from(len_byte)];
+        let ch_bytes = plan.ch_bytes as usize;
+        if ch.len() < ch_bytes {
+            return Err(SigError::Truncated {
+                need: 1 + ch_bytes,
+                got: 1 + ch.len(),
+            });
         }
-        let hashed = self.cache[usize::from(len_byte)].as_ref().unwrap();
-        let mut hg = 0u64;
-        for (pos, &c) in hashed.iter().zip(&self.counts) {
-            if positions_hit(pos, ch) {
-                hg += u64::from(c);
+        let words = plan.words as usize;
+        let hg = if words <= STACK_WORDS {
+            let mut scratch = [0u64; STACK_WORDS];
+            self.hit_grams(plan, &ch[..ch_bytes], &mut scratch[..words])
+        } else {
+            // Geometry too wide for the stack (needs n > 258): cold path.
+            let mut scratch = vec![0u64; words];
+            self.hit_grams(plan, &ch[..ch_bytes], &mut scratch)
+        };
+        Ok(finish_estimate(self.q_len, len_byte, hg, self.n))
+    }
+
+    /// Estimate a contiguous block of `out.len()` encoded signatures, each
+    /// occupying `stride` bytes starting at `sigs[i * stride]` (trailing
+    /// padding within a cell is ignored). One scratch buffer serves the
+    /// whole block; no per-element allocation.
+    pub fn estimate_block(
+        &self,
+        sigs: &[u8],
+        stride: usize,
+        out: &mut [f64],
+    ) -> Result<(), SigError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        if stride == 0 || sigs.len() < (out.len() - 1) * stride + 1 {
+            return Err(SigError::Truncated {
+                need: if stride == 0 {
+                    1
+                } else {
+                    (out.len() - 1) * stride + 1
+                },
+                got: sigs.len(),
+            });
+        }
+        let mut heap;
+        let mut stack = [0u64; STACK_WORDS];
+        let scratch: &mut [u64] = if self.max_words <= STACK_WORDS {
+            &mut stack
+        } else {
+            heap = vec![0u64; self.max_words];
+            &mut heap
+        };
+        for (i, slot) in out.iter_mut().enumerate() {
+            let cell = &sigs[i * stride..sigs.len().min((i + 1) * stride)];
+            let (&len_byte, rest) = cell.split_first().expect("cell bounds checked above");
+            let plan = self.plans[usize::from(len_byte)];
+            let ch_bytes = plan.ch_bytes as usize;
+            if rest.len() < ch_bytes {
+                return Err(SigError::Truncated {
+                    need: 1 + ch_bytes,
+                    got: 1 + rest.len(),
+                });
             }
+            let words = plan.words as usize;
+            let hg = self.hit_grams(plan, &rest[..ch_bytes], &mut scratch[..words]);
+            *slot = finish_estimate(self.q_len, len_byte, hg, self.n);
         }
-        let m = self.q_len.max(usize::from(len_byte)) as f64;
-        ((m - hg as f64 - 1.0) / self.n as f64 + 1.0).max(0.0)
+        Ok(())
+    }
+
+    /// Load `ch` into `scratch` words and count hit grams branch-free.
+    /// `scratch.len()` must equal `plan.words`.
+    #[inline]
+    fn hit_grams(&self, plan: LenPlan, ch: &[u8], scratch: &mut [u64]) -> u64 {
+        debug_assert_eq!(ch.len(), plan.ch_bytes as usize);
+        debug_assert_eq!(scratch.len(), plan.words as usize);
+        let mut chunks = ch.chunks_exact(8);
+        let mut k = 0;
+        for chunk in &mut chunks {
+            scratch[k] = u64::from_le_bytes(chunk.try_into().unwrap());
+            k += 1;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            scratch[k] = u64::from_le_bytes(last);
+        }
+        let words = scratch.len();
+        let mut hg = 0u64;
+        let mut off = plan.mask_off as usize;
+        for &c in &self.counts {
+            let mask = &self.masks[off..off + words];
+            let mut miss = 0u64;
+            for (&m, &s) in mask.iter().zip(scratch.iter()) {
+                miss |= m & !s;
+            }
+            hg += u64::from(miss == 0) * c;
+            off += words;
+        }
+        hg
     }
 }
 
@@ -204,6 +481,7 @@ mod tests {
         assert_eq!(sig.len(), c.encoded_len(len_byte));
         // cH bytes = ceil(0.2 * (14 + 1)) = 3.
         assert_eq!(c.ch_bytes(len_byte), 3);
+        assert_eq!(c.max_encoded_len(), c.encoded_len(255));
     }
 
     #[test]
@@ -225,8 +503,8 @@ mod tests {
             b"some longer value here",
         ] {
             let sig = c.encode_to_vec(s);
-            let mut m = QueryStringMatcher::new(&c, s);
-            assert_eq!(m.estimate(&c, &sig), 0.0, "{s:?}");
+            let m = PreparedMatcher::new(&c, s);
+            assert_eq!(m.estimate(&sig).unwrap(), 0.0, "{s:?}");
         }
     }
 
@@ -239,12 +517,117 @@ mod tests {
         for &d in data {
             let sig = c.encode_to_vec(d);
             for &q in queries {
-                let mut m = QueryStringMatcher::new(&c, q);
-                let est = m.estimate(&c, &sig);
+                let m = PreparedMatcher::new(&c, q);
+                let est = m.estimate(&sig).unwrap();
                 let estp = est_prime(q, d, 2);
                 assert!(est <= estp + 1e-9, "est({q:?},{d:?})={est} > est'={estp}");
             }
         }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_reference_bit_for_bit() {
+        for (alpha, n) in [(0.1, 2), (0.2, 2), (0.3, 3), (0.7, 4)] {
+            let c = SigCodec::new(alpha, n);
+            let q = QueryStringMatcher::new(&c, b"digital camera");
+            let prepared = q.prepare(&c);
+            for len in [0usize, 1, 2, 5, 14, 40, 255, 400] {
+                let s: Vec<u8> = (0..len).map(|i| b'a' + (i % 23) as u8).collect();
+                let sig = c.encode_to_vec(&s);
+                let kernel = prepared.estimate(&sig).unwrap();
+                let scalar = q.estimate_scalar(&c, &sig).unwrap();
+                assert_eq!(
+                    kernel.to_bits(),
+                    scalar.to_bits(),
+                    "alpha={alpha} n={n} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mangled_signatures_error_not_panic() {
+        let c = codec();
+        let m = PreparedMatcher::new(&c, b"digital camera");
+        let q = QueryStringMatcher::new(&c, b"digital camera");
+
+        // Empty slice: no length byte at all.
+        assert_eq!(m.estimate(&[]), Err(SigError::Empty));
+        assert_eq!(q.estimate_scalar(&c, &[]), Err(SigError::Empty));
+
+        // A bare length byte with the whole cH missing.
+        let sig = c.encode_to_vec(b"some value");
+        assert!(matches!(
+            m.estimate(&sig[..1]),
+            Err(SigError::Truncated { .. })
+        ));
+
+        // Every proper prefix of a valid signature is truncated.
+        for cut in 1..sig.len() {
+            let err = m.estimate(&sig[..cut]).unwrap_err();
+            assert_eq!(
+                err,
+                SigError::Truncated {
+                    need: sig.len(),
+                    got: cut
+                },
+                "cut={cut}"
+            );
+            assert_eq!(q.estimate_scalar(&c, &sig[..cut]), Err(err));
+        }
+
+        // A length byte mangled upward declares a wider geometry than the
+        // remaining bytes provide.
+        let mut mangled = sig.clone();
+        mangled[0] = 255;
+        assert!(matches!(
+            m.estimate(&mangled),
+            Err(SigError::Truncated { .. })
+        ));
+
+        // estimate_parts mirrors the checks for cursors that pre-read cL.
+        assert!(matches!(
+            m.estimate_parts(sig[0], &sig[1..sig.len() - 1]),
+            Err(SigError::Truncated { .. })
+        ));
+
+        // Extra trailing bytes are fine (stride padding).
+        let mut padded = sig.clone();
+        padded.extend_from_slice(&[0xAB; 7]);
+        assert_eq!(
+            m.estimate(&padded).unwrap().to_bits(),
+            m.estimate(&sig).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn estimate_block_matches_single() {
+        let c = codec();
+        let m = PreparedMatcher::new(&c, b"product listing number 42");
+        let values: Vec<String> = (0..64)
+            .map(|i| format!("product listing number {i}"))
+            .collect();
+        let stride = c.max_encoded_len();
+        let mut block = vec![0u8; values.len() * stride];
+        let mut singles = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let sig = c.encode_to_vec(v.as_bytes());
+            block[i * stride..i * stride + sig.len()].copy_from_slice(&sig);
+            singles.push(m.estimate(&sig).unwrap());
+        }
+        let mut out = vec![0.0f64; values.len()];
+        m.estimate_block(&block, stride, &mut out).unwrap();
+        for (a, b) in out.iter().zip(&singles) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Short blocks are rejected, not sliced out of bounds.
+        assert!(m
+            .estimate_block(&block[..stride], stride, &mut [0.0; 2])
+            .is_err());
+        assert!(m.estimate_block(&block, 0, &mut [0.0; 2]).is_err());
+        // An empty output slice asks for nothing.
+        m.estimate_block(&[], 16, &mut []).unwrap();
     }
 
     #[test]
@@ -277,8 +660,8 @@ mod tests {
         for d in &strings {
             let sig = c.encode_to_vec(d);
             for q in &strings {
-                let mut m = QueryStringMatcher::new(&c, q);
-                let est = m.estimate(&c, &sig);
+                let m = PreparedMatcher::new(&c, q);
+                let est = m.estimate(&sig).unwrap();
                 let ed = edit_distance_bytes(q, d) as f64;
                 assert!(est <= ed + 1e-9, "est({q:?},{d:?})={est} > ed={ed}");
             }
@@ -291,8 +674,8 @@ mod tests {
         // should get a positive estimate nearly always at reasonable α.
         let c = SigCodec::new(0.3, 2);
         let sig = c.encode_to_vec(b"wide-angle lens");
-        let mut m = QueryStringMatcher::new(&c, b"alkaline battery pack");
-        assert!(m.estimate(&c, &sig) > 0.0);
+        let m = PreparedMatcher::new(&c, b"alkaline battery pack");
+        assert!(m.estimate(&sig).unwrap() > 0.0);
     }
 
     #[test]
@@ -304,12 +687,12 @@ mod tests {
         let hi = SigCodec::new(0.4, 2);
         let data: Vec<String> = (0..50).map(|i| format!("data string number {i}")).collect();
         let query = b"completely different query";
+        let mlo = PreparedMatcher::new(&lo, query);
+        let mhi = PreparedMatcher::new(&hi, query);
         let (mut sum_lo, mut sum_hi) = (0.0, 0.0);
         for d in &data {
-            let mut mlo = QueryStringMatcher::new(&lo, query);
-            let mut mhi = QueryStringMatcher::new(&hi, query);
-            sum_lo += mlo.estimate(&lo, &lo.encode_to_vec(d.as_bytes()));
-            sum_hi += mhi.estimate(&hi, &hi.encode_to_vec(d.as_bytes()));
+            sum_lo += mlo.estimate(&lo.encode_to_vec(d.as_bytes())).unwrap();
+            sum_hi += mhi.estimate(&hi.encode_to_vec(d.as_bytes())).unwrap();
         }
         assert!(sum_hi >= sum_lo, "hi={sum_hi} lo={sum_lo}");
     }

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use iva_text::{
-    edit_distance_bytes, edit_distance_within, est_prime, GramMultiset, QueryStringMatcher,
-    SigCodec,
+    edit_distance_bytes, edit_distance_within, est_prime, GramMultiset, PreparedMatcher,
+    QueryStringMatcher, SigCodec,
 };
 
 fn short_string() -> impl Strategy<Value = Vec<u8>> {
@@ -75,8 +75,8 @@ proptest! {
     ) {
         let codec = SigCodec::new(alpha, n);
         let sig = codec.encode_to_vec(&b);
-        let mut m = QueryStringMatcher::new(&codec, &a);
-        let est = m.estimate(&codec, &sig);
+        let m = PreparedMatcher::new(&codec, &a);
+        let est = m.estimate(&sig).unwrap();
         let ed = edit_distance_bytes(&a, &b) as f64;
         prop_assert!(est <= ed + 1e-9, "est={est} ed={ed} alpha={alpha} n={n}");
     }
@@ -89,8 +89,8 @@ proptest! {
         // Length clamping at 255 must preserve the bound.
         let codec = SigCodec::new(0.2, 2);
         let sig = codec.encode_to_vec(&b);
-        let mut m = QueryStringMatcher::new(&codec, &a);
-        let est = m.estimate(&codec, &sig);
+        let m = PreparedMatcher::new(&codec, &a);
+        let est = m.estimate(&sig).unwrap();
         let ed = edit_distance_bytes(&a, &b) as f64;
         prop_assert!(est <= ed + 1e-9, "est={est} ed={ed}");
     }
@@ -99,8 +99,8 @@ proptest! {
     fn signature_self_estimate_zero(a in short_string(), alpha in 0.05f64..0.9, n in 2usize..5) {
         let codec = SigCodec::new(alpha, n);
         let sig = codec.encode_to_vec(&a);
-        let mut m = QueryStringMatcher::new(&codec, &a);
-        prop_assert_eq!(m.estimate(&codec, &sig), 0.0);
+        let m = PreparedMatcher::new(&codec, &a);
+        prop_assert_eq!(m.estimate(&sig).unwrap(), 0.0);
     }
 
     #[test]
@@ -108,10 +108,101 @@ proptest! {
         // |hg| >= |cg| implies est <= est'.
         let codec = SigCodec::new(0.2, 2);
         let sig = codec.encode_to_vec(&b);
-        let mut m = QueryStringMatcher::new(&codec, &a);
-        let est = m.estimate(&codec, &sig);
+        let m = PreparedMatcher::new(&codec, &a);
+        let est = m.estimate(&sig).unwrap();
         let estp = est_prime(&a, &b, 2);
         prop_assert!(est <= estp + 1e-9);
+    }
+
+    #[test]
+    fn kernel_bit_identical_to_scalar_reference(
+        q in short_string(),
+        data in proptest::collection::vec(
+            proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..300),
+            1..24,
+        ),
+        alpha in 0.05f64..1.0,
+        n in 2usize..6,
+    ) {
+        // The packed-mask word kernel must reproduce the retained scalar
+        // reference bit for bit: arbitrary bytes (not just printable),
+        // lengths through the 255 clamp, randomized (α, n) geometry.
+        let codec = SigCodec::new(alpha, n);
+        let builder = QueryStringMatcher::new(&codec, &q);
+        let prepared = builder.prepare(&codec);
+        for d in &data {
+            let sig = codec.encode_to_vec(d);
+            let kernel = prepared.estimate(&sig).unwrap();
+            let scalar = builder.estimate_scalar(&codec, &sig).unwrap();
+            prop_assert_eq!(
+                kernel.to_bits(), scalar.to_bits(),
+                "kernel={} scalar={} |d|={} alpha={} n={}",
+                kernel, scalar, d.len(), alpha, n
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_every_length_byte_matches_scalar(
+        q in short_string(),
+        alpha in 0.05f64..1.0,
+        n in 2usize..5,
+        fill in (0u16..256).prop_map(|b| b as u8),
+    ) {
+        // Sweep every possible length byte 0..=255 so each geometry row of
+        // the prepared table is exercised against the reference.
+        let codec = SigCodec::new(alpha, n);
+        let builder = QueryStringMatcher::new(&codec, &q);
+        let prepared = builder.prepare(&codec);
+        for len in 0usize..=255 {
+            let d = vec![fill; len];
+            let sig = codec.encode_to_vec(&d);
+            let kernel = prepared.estimate(&sig).unwrap();
+            let scalar = builder.estimate_scalar(&codec, &sig).unwrap();
+            prop_assert_eq!(kernel.to_bits(), scalar.to_bits(), "len={}", len);
+        }
+    }
+
+    #[test]
+    fn block_estimates_match_single_calls(
+        q in short_string(),
+        data in proptest::collection::vec(proptest::collection::vec(0x20u8..0x7f, 0..64), 1..40),
+        alpha in 0.05f64..0.9,
+        n in 2usize..5,
+    ) {
+        let codec = SigCodec::new(alpha, n);
+        let m = PreparedMatcher::new(&codec, &q);
+        let stride = codec.max_encoded_len();
+        let mut block = vec![0u8; data.len() * stride];
+        let mut singles = Vec::with_capacity(data.len());
+        for (i, d) in data.iter().enumerate() {
+            let sig = codec.encode_to_vec(d);
+            block[i * stride..i * stride + sig.len()].copy_from_slice(&sig);
+            singles.push(m.estimate(&sig).unwrap());
+        }
+        let mut out = vec![0.0f64; data.len()];
+        m.estimate_block(&block, stride, &mut out).unwrap();
+        for (got, want) in out.iter().zip(&singles) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_signatures_error_not_panic(
+        q in short_string(),
+        d in short_string(),
+        alpha in 0.05f64..0.9,
+        n in 2usize..5,
+    ) {
+        let codec = SigCodec::new(alpha, n);
+        let builder = QueryStringMatcher::new(&codec, &q);
+        let m = builder.prepare(&codec);
+        let sig = codec.encode_to_vec(&d);
+        for cut in 0..sig.len() {
+            prop_assert!(m.estimate(&sig[..cut]).is_err(), "cut={}", cut);
+            prop_assert!(builder.estimate_scalar(&codec, &sig[..cut]).is_err());
+        }
+        prop_assert!(m.estimate(&sig).is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example typo_tolerant`
 
-use iva_file::text::{edit_distance, QueryStringMatcher, SigCodec};
+use iva_file::text::{edit_distance, PreparedMatcher, SigCodec};
 use iva_file::workload::{Dataset, WorkloadConfig};
 use iva_file::{IvaDb, IvaDbOptions, SearchRequest};
 
@@ -18,11 +18,11 @@ fn main() -> iva_file::Result<()> {
     let codec = SigCodec::new(0.2, 2);
     let data_strings = ["canon", "cannon", "sony", "digital camera", "digtal camera"];
     let query = "canon";
-    let mut matcher = QueryStringMatcher::new(&codec, query.as_bytes());
+    let matcher = PreparedMatcher::new(&codec, query.as_bytes());
     println!("query string: {query:?}");
     for d in data_strings {
         let sig = codec.encode_to_vec(d.as_bytes());
-        let est = matcher.estimate(&codec, &sig);
+        let est = matcher.estimate(&sig)?;
         let ed = edit_distance(query, d);
         println!(
             "  data {d:22} sig {:2} B   est {est:4.1} <= ed {ed}",
@@ -37,12 +37,12 @@ fn main() -> iva_file::Result<()> {
         let codec = SigCodec::new(alpha, 2);
         let mut total_est = 0.0;
         let mut bytes = 0usize;
-        let mut m = QueryStringMatcher::new(&codec, b"wide-angle zoom lens");
+        let m = PreparedMatcher::new(&codec, b"wide-angle zoom lens");
         for i in 0..1000 {
             let d = format!("unrelated product {i}");
             let sig = codec.encode_to_vec(d.as_bytes());
             bytes += sig.len();
-            total_est += m.estimate(&codec, &sig);
+            total_est += m.estimate(&sig)?;
         }
         println!(
             "  alpha {alpha:.2}: {:5} sig bytes, mean estimate {:.2} (higher = better pruning)",

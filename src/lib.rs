@@ -86,6 +86,6 @@ pub mod workload {
 pub mod text {
     pub use iva_text::{
         edit_distance, edit_distance_bytes, est_prime, expected_relative_error,
-        false_hit_probability, optimal_t, QueryStringMatcher, SigCodec,
+        false_hit_probability, optimal_t, PreparedMatcher, QueryStringMatcher, SigCodec, SigError,
     };
 }
