@@ -1,5 +1,5 @@
 //! The n-gram inverted index for approximate string search — the related-
-//! work baseline of Li, Lu & Lu [11] (Sec. II-C of the paper).
+//! work baseline of Li, Lu & Lu \[11\] (Sec. II-C of the paper).
 //!
 //! "The inverted index on n-grams is designed for searching strings on a
 //! single attribute that is within an edit distance threshold to a query

@@ -5,14 +5,14 @@
 //! that every comparison isolates the indexing idea, not incidental
 //! engineering differences:
 //!
-//! - [`SiiIndex`] — the sparse inverted index of Yu et al. [7]: per
+//! - [`SiiIndex`] — the sparse inverted index of Yu et al. \[7\]: per
 //!   attribute, a list of tids that define it; content-free filtering.
 //! - [`DirectScan`] — DST: no index, full sequential scan with exact
 //!   distances.
-//! - [`VaFile`] — the classic full-dimensional VA-file [23] with the ndf
-//!   extension [24], included to demonstrate why the paper excludes it
+//! - [`VaFile`] — the classic full-dimensional VA-file \[23\] with the ndf
+//!   extension \[24\], included to demonstrate why the paper excludes it
 //!   (its size exceeds the table file on sparse wide data).
-//! - [`GramIndex`] — the n-gram inverted index of Li et al. [11] from the
+//! - [`GramIndex`] — the n-gram inverted index of Li et al. \[11\] from the
 //!   related work: fast single-attribute threshold string search, but no
 //!   multi-attribute ranking — the gap the iVA-file fills.
 

@@ -1,4 +1,4 @@
-//! SII: the sparse inverted index of Yu et al. [7] — the baseline the
+//! SII: the sparse inverted index of Yu et al. \[7\] — the baseline the
 //! paper compares against (Sec. V).
 //!
 //! "For each attribute, a list of identifiers of the tuples that have
@@ -177,7 +177,7 @@ impl SiiIndex {
             .collect()
     }
 
-    /// Top-k query with the inverted-index plan of [7]: scan the tuple
+    /// Top-k query with the inverted-index plan of \[7\]: scan the tuple
     /// list plus the related inverted lists; every live tuple appearing in
     /// **any** related list is a candidate and is fetched from the table
     /// file (the index "captures no information with regard to the values"

@@ -1,4 +1,4 @@
-//! The classic VA-file of Weber et al. [23], built full-dimensionally over
+//! The classic VA-file of Weber et al. \[23\], built full-dimensionally over
 //! the sparse wide table — included to substantiate the paper's decision to
 //! exclude it: "The VA-file is excluded from our evaluations as its size
 //! far exceeds that of the table file" (Sec. V), because it stores one
@@ -6,7 +6,7 @@
 //! or not, and has no representation for unbounded strings at all.
 //!
 //! We encode numerical attributes with absolute-domain slices (the original
-//! scheme) plus the ndf extension of Canahuate et al. [24]; text attributes
+//! scheme) plus the ndf extension of Canahuate et al. \[24\]; text attributes
 //! get only a defined/ndf bit (the best a VA-file can do for strings),
 //! making it content-blind on text.
 

@@ -68,6 +68,7 @@ fn main() {
         let opts = QueryOptions {
             threads: Some(threads),
             measured: true,
+            refine_batch: None,
         };
         let start = Instant::now();
         let out = iva

@@ -5,7 +5,9 @@
 use std::time::Instant;
 
 use iva_baselines::{DirectScan, SiiIndex};
-use iva_core::{build_index, IndexTarget, IvaConfig, IvaIndex, MetricKind, Query, WeightScheme};
+use iva_core::{
+    build_index, IndexTarget, IvaConfig, IvaIndex, MetricKind, Query, QueryOptions, WeightScheme,
+};
 use iva_storage::{DiskModel, IoSnapshot, IoStats, PagerOptions};
 use iva_swt::SwtTable;
 use iva_workload::{generate_query_set, Dataset, QuerySet, WorkloadConfig};
@@ -172,9 +174,22 @@ pub enum System {
     Dst,
 }
 
+/// Refinement batch override for the experiment drivers: set
+/// `IVA_REFINE_BATCH=B` to run every iVA query with page-coalesced batch
+/// refinement of up to `B` deferred candidates (see
+/// [`QueryOptions::refine_batch`]; results are bit-identical for every
+/// `B`). Unset or unparsable means the configured default — `1`, the
+/// unbatched plan.
+pub fn refine_batch_from_env() -> Option<usize> {
+    std::env::var("IVA_REFINE_BATCH")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+}
+
 /// Run a query set against one system, returning per-measured-query
 /// samples. Warm queries run first and are discarded (they populate the
-/// page caches, as in Sec. V-A).
+/// page caches, as in Sec. V-A). The iVA system honors the
+/// [`refine_batch_from_env`] override.
 pub fn run_queries(
     bed: &TestBed,
     system: System,
@@ -188,6 +203,10 @@ pub fn run_queries(
         System::Sii => Some(&bed.sii_io),
         System::Dst => None,
     };
+    let iva_opts = QueryOptions {
+        refine_batch: refine_batch_from_env(),
+        ..Default::default()
+    };
     let run_one = |q: &Query| -> PerQuery {
         let io_before = combine(index_io, &bed.table_io);
         let start = Instant::now();
@@ -195,7 +214,7 @@ pub fn run_queries(
             System::Iva => {
                 let out = bed
                     .iva
-                    .query(&bed.table, q, k, &metric, weights)
+                    .query_opts(&bed.table, q, k, &metric, weights, &iva_opts)
                     .expect("iva query");
                 (out.stats, out.results.len())
             }

@@ -354,11 +354,27 @@ impl IvaIndex {
         metric: &M,
         weights: WeightScheme,
     ) -> Result<QueryOutcome> {
-        self.query_serial(table, query, k, metric, weights, true)
+        self.query_serial(
+            table,
+            query,
+            k,
+            metric,
+            weights,
+            true,
+            self.config().resolved_refine_batch(),
+        )
     }
 
     /// The single-threaded Algorithm 1 scan. With `measured` false no
     /// clock is read on the hot path and the phase nanos stay 0.
+    ///
+    /// With `refine_batch > 1` admitted candidates are deferred and
+    /// fetched in page-ordered, coalesced batches of up to that size; the
+    /// flush replays the admission test in scan order, so the top-k (and
+    /// `table_accesses`) stays bit-identical to the unbatched plan and
+    /// surplus fetches land in `speculative_accesses` (see
+    /// [`crate::QueryOptions::refine_batch`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn query_serial<M: Metric>(
         &self,
         table: &SwtTable,
@@ -367,6 +383,7 @@ impl IvaIndex {
         metric: &M,
         weights: WeightScheme,
         measured: bool,
+        refine_batch: usize,
     ) -> Result<QueryOutcome> {
         let lambda = self.resolve_weights(query, weights);
         let shared = self.prepare_query(query)?;
@@ -376,6 +393,31 @@ impl IvaIndex {
         let mut stats = QueryStats::default();
         let mut diffs = vec![0.0f64; query.len()];
         let ndf = self.header.config.ndf_penalty;
+
+        // Deferred admitted candidates, `(ptr, est)` in scan order.
+        let mut pending: Vec<(u64, f64)> = Vec::new();
+        let flush = |pending: &mut Vec<(u64, f64)>,
+                     pool: &mut ResultPool,
+                     stats: &mut QueryStats|
+         -> Result<()> {
+            let ptrs: Vec<RecordPtr> = pending.iter().map(|&(p, _)| RecordPtr(p)).collect();
+            let recs = table.get_batch(&ptrs)?;
+            for (&(ptr, est), rec) in pending.iter().zip(&recs) {
+                // Replay the admission test with the now-current pool:
+                // the scan-time test above was at most B−1 inserts stale
+                // (a superset), so re-filtering here reproduces the
+                // unbatched pool evolution exactly.
+                if pool.admits(est) {
+                    stats.table_accesses += 1;
+                    let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                    pool.insert_at(rec.tid, actual, RecordPtr(ptr));
+                } else {
+                    stats.speculative_accesses += 1;
+                }
+            }
+            pending.clear();
+            Ok(())
+        };
 
         let start = measured.then(Instant::now);
         let mut refine_nanos = 0u64;
@@ -390,14 +432,32 @@ impl IvaIndex {
             self.lower_bounds_into(&shared, &mut cursors, tid, &lambda, ndf, &mut diffs)?;
             let est = metric.combine(&diffs);
             if pool.admits(est) {
-                let refine_start = measured.then(Instant::now);
-                let rec = table.get(RecordPtr(ptr))?;
-                stats.table_accesses += 1;
-                let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
-                pool.insert_at(rec.tid, actual, RecordPtr(ptr));
-                if let Some(t) = refine_start {
-                    refine_nanos += t.elapsed().as_nanos() as u64;
+                if refine_batch <= 1 {
+                    let refine_start = measured.then(Instant::now);
+                    let rec = table.get(RecordPtr(ptr))?;
+                    stats.table_accesses += 1;
+                    let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                    pool.insert_at(rec.tid, actual, RecordPtr(ptr));
+                    if let Some(t) = refine_start {
+                        refine_nanos += t.elapsed().as_nanos() as u64;
+                    }
+                } else {
+                    pending.push((ptr, est));
+                    if pending.len() >= refine_batch {
+                        let refine_start = measured.then(Instant::now);
+                        flush(&mut pending, &mut pool, &mut stats)?;
+                        if let Some(t) = refine_start {
+                            refine_nanos += t.elapsed().as_nanos() as u64;
+                        }
+                    }
                 }
+            }
+        }
+        if !pending.is_empty() {
+            let refine_start = measured.then(Instant::now);
+            flush(&mut pending, &mut pool, &mut stats)?;
+            if let Some(t) = refine_start {
+                refine_nanos += t.elapsed().as_nanos() as u64;
             }
         }
         if let Some(t) = start {

@@ -164,8 +164,9 @@ impl IndexHeader {
             n: u32at(16) as usize,
             ndf_penalty: f64::from_bits(u64at(20)),
             numeric_width: u32at(28) as usize,
-            // Runtime knob, not part of the persistent format.
+            // Runtime knobs, not part of the persistent format.
             search_threads: 0,
+            refine_batch: 1,
         };
         let n_attrs = u32at(32);
         let n_tuples = u64at(36);
@@ -252,6 +253,7 @@ mod tests {
         let mut h = IndexHeader {
             config: IvaConfig {
                 search_threads: 7,
+                refine_batch: 64,
                 ..Default::default()
             },
             n_attrs: 1,
@@ -262,7 +264,9 @@ mod tests {
         };
         let back = IndexHeader::decode(&h.encode()).unwrap();
         assert_eq!(back.config.search_threads, 0);
+        assert_eq!(back.config.refine_batch, 1);
         h.config.search_threads = 0;
+        h.config.refine_batch = 1;
         assert_eq!(back, h);
     }
 

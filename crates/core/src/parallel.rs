@@ -88,6 +88,12 @@ pub struct QueryOptions {
     /// Collect wall-clock phase timings. When false no clock is read on
     /// the hot path and the phase nanos stay 0.
     pub measured: bool,
+    /// Refinement batch size `B`. `None` defers to
+    /// [`crate::IvaConfig::refine_batch`]; an effective `B ≤ 1` fetches
+    /// each admitted candidate immediately (the unbatched plan). Larger
+    /// batches defer admitted candidates and fetch them page-ordered and
+    /// coalesced; results stay bit-identical for every `B`.
+    pub refine_batch: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -95,6 +101,7 @@ impl Default for QueryOptions {
         Self {
             threads: None,
             measured: true,
+            refine_batch: None,
         }
     }
 }
@@ -111,6 +118,9 @@ struct Candidate {
 struct SegmentScan {
     candidates: Vec<Candidate>,
     tuples_scanned: u64,
+    /// Batched fetches the worker's own flush replay rejected (stale
+    /// worker threshold); they never reach the merge.
+    speculative: u64,
     filter_nanos: u64,
     refine_nanos: u64,
 }
@@ -139,8 +149,20 @@ impl IvaIndex {
             .unwrap_or_else(|| self.config().resolved_search_threads());
         let max_useful = usize::try_from(n.div_ceil(MIN_SEGMENT)).unwrap_or(usize::MAX);
         let threads = requested.min(max_useful).max(1);
+        let refine_batch = opts
+            .refine_batch
+            .unwrap_or_else(|| self.config().resolved_refine_batch())
+            .max(1);
         if threads == 1 {
-            return self.query_serial(table, query, k, metric, weights, opts.measured);
+            return self.query_serial(
+                table,
+                query,
+                k,
+                metric,
+                weights,
+                opts.measured,
+                refine_batch,
+            );
         }
 
         let lambda = self.resolve_weights(query, weights);
@@ -161,7 +183,17 @@ impl IvaIndex {
                 let shared = &shared;
                 s.spawn(move |_| {
                     *slot = Some(self.scan_segment(
-                        table, query, shared, k, metric, lambda, ndf, lo, hi, measured,
+                        table,
+                        query,
+                        shared,
+                        k,
+                        metric,
+                        lambda,
+                        ndf,
+                        lo,
+                        hi,
+                        measured,
+                        refine_batch,
                     ));
                 });
             }
@@ -179,6 +211,7 @@ impl IvaIndex {
         for slot in slots {
             let seg = slot.expect("worker slot unfilled")?;
             stats.tuples_scanned += seg.tuples_scanned;
+            stats.speculative_accesses += seg.speculative;
             max_filter = max_filter.max(seg.filter_nanos);
             max_refine = max_refine.max(seg.refine_nanos);
             for c in seg.candidates {
@@ -202,7 +235,8 @@ impl IvaIndex {
     }
 
     /// Scan tuple-list positions `[lo, hi)` with private cursors and pool,
-    /// recording every fetched candidate.
+    /// recording every candidate that survives the worker's own batch
+    /// replay (with `refine_batch ≤ 1`, every fetched candidate).
     #[allow(clippy::too_many_arguments)]
     fn scan_segment<M: Metric>(
         &self,
@@ -216,6 +250,7 @@ impl IvaIndex {
         lo: u64,
         hi: u64,
         measured: bool,
+        refine_batch: usize,
     ) -> Result<SegmentScan> {
         let mut cursors = self.open_cursors(shared)?;
         self.seek_cursors(shared, &mut cursors, lo)?;
@@ -225,10 +260,14 @@ impl IvaIndex {
         let mut out = SegmentScan {
             candidates: Vec::new(),
             tuples_scanned: 0,
+            speculative: 0,
             filter_nanos: 0,
             refine_nanos: 0,
         };
         let mut diffs = vec![0.0f64; query.len()];
+        // Admitted-but-not-yet-fetched candidates, `(ptr, est)` in scan
+        // order; flushed as one page-coalesced batch read.
+        let mut pending: Vec<(u64, f64)> = Vec::new();
         let start = measured.then(thread_clock_nanos);
         for _ in lo..hi {
             let tid = treader.read_u32()?;
@@ -241,19 +280,55 @@ impl IvaIndex {
             self.lower_bounds_into(shared, &mut cursors, tid, lambda, ndf, &mut diffs)?;
             let est = metric.combine(&diffs);
             if pool.admits(est) {
-                let refine_start = measured.then(thread_clock_nanos);
-                let rec = table.get(RecordPtr(ptr))?;
-                let actual = exact_distance(&rec.tuple, query, lambda, metric, ndf);
-                pool.insert_at(rec.tid, actual, RecordPtr(ptr));
-                out.candidates.push(Candidate {
-                    tid: rec.tid,
-                    ptr,
-                    est,
-                    actual,
-                });
-                if let Some(rt) = refine_start {
-                    out.refine_nanos += thread_clock_nanos().saturating_sub(rt);
+                if refine_batch <= 1 {
+                    let refine_start = measured.then(thread_clock_nanos);
+                    let rec = table.get(RecordPtr(ptr))?;
+                    let actual = exact_distance(&rec.tuple, query, lambda, metric, ndf);
+                    pool.insert_at(rec.tid, actual, RecordPtr(ptr));
+                    out.candidates.push(Candidate {
+                        tid: rec.tid,
+                        ptr,
+                        est,
+                        actual,
+                    });
+                    if let Some(rt) = refine_start {
+                        out.refine_nanos += thread_clock_nanos().saturating_sub(rt);
+                    }
+                } else {
+                    pending.push((ptr, est));
+                    if pending.len() >= refine_batch {
+                        let refine_start = measured.then(thread_clock_nanos);
+                        flush_pending(
+                            table,
+                            query,
+                            lambda,
+                            metric,
+                            ndf,
+                            &mut pending,
+                            &mut pool,
+                            &mut out,
+                        )?;
+                        if let Some(rt) = refine_start {
+                            out.refine_nanos += thread_clock_nanos().saturating_sub(rt);
+                        }
+                    }
                 }
+            }
+        }
+        if !pending.is_empty() {
+            let refine_start = measured.then(thread_clock_nanos);
+            flush_pending(
+                table,
+                query,
+                lambda,
+                metric,
+                ndf,
+                &mut pending,
+                &mut pool,
+                &mut out,
+            )?;
+            if let Some(rt) = refine_start {
+                out.refine_nanos += thread_clock_nanos().saturating_sub(rt);
             }
         }
         if let Some(st) = start {
@@ -263,6 +338,47 @@ impl IvaIndex {
         }
         Ok(out)
     }
+}
+
+/// Flush a worker's deferred candidates: fetch them as one page-ordered,
+/// coalesced batch, then replay the admission test in scan order against
+/// the worker pool. The scan-time test used a threshold at most `B − 1`
+/// inserts stale, so the pending set is a superset of what the unbatched
+/// worker fetches; the replay filters it back down to exactly that set
+/// (rejects are counted speculative), keeping the merge input — and the
+/// final top-k — bit-identical for every batch size.
+#[allow(clippy::too_many_arguments)]
+fn flush_pending<M: Metric>(
+    table: &SwtTable,
+    query: &Query,
+    lambda: &[f64],
+    metric: &M,
+    ndf: f64,
+    pending: &mut Vec<(u64, f64)>,
+    pool: &mut ResultPool,
+    out: &mut SegmentScan,
+) -> Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let ptrs: Vec<RecordPtr> = pending.iter().map(|&(p, _)| RecordPtr(p)).collect();
+    let recs = table.get_batch(&ptrs)?;
+    for (&(ptr, est), rec) in pending.iter().zip(&recs) {
+        if pool.admits(est) {
+            let actual = exact_distance(&rec.tuple, query, lambda, metric, ndf);
+            pool.insert_at(rec.tid, actual, RecordPtr(ptr));
+            out.candidates.push(Candidate {
+                tid: rec.tid,
+                ptr,
+                est,
+                actual,
+            });
+        } else {
+            out.speculative += 1;
+        }
+    }
+    pending.clear();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -348,6 +464,7 @@ mod tests {
                 let o = QueryOptions {
                     threads: Some(threads),
                     measured: true,
+                    refine_batch: None,
                 };
                 let par = index
                     .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
@@ -380,6 +497,7 @@ mod tests {
             let o = QueryOptions {
                 threads: Some(threads),
                 measured: false,
+                refine_batch: None,
             };
             let par = index
                 .query_opts(&table, &q, 10, &MetricKind::L1, WeightScheme::Equal, &o)
@@ -408,6 +526,7 @@ mod tests {
         let o = QueryOptions {
             threads: Some(64),
             measured: true,
+            refine_batch: None,
         };
         let par = index
             .query_opts(&table, &q, 5, &MetricKind::L2, WeightScheme::Equal, &o)
@@ -434,6 +553,7 @@ mod tests {
         let o = QueryOptions {
             threads: Some(4),
             measured: true,
+            refine_batch: None,
         };
         let par = index
             .query_opts(&table, &q, 3, &MetricKind::L2, WeightScheme::Equal, &o)

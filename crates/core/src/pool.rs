@@ -76,6 +76,22 @@ impl ResultPool {
         self.heap.len() < self.k || d < self.max_dist()
     }
 
+    /// The pool's current admission boundary as a single number: a finite
+    /// candidate distance `d` is admitted iff `d < threshold()`. `+∞` while
+    /// the pool is not yet full (everything admitted), the current maximum
+    /// once it is, and `-∞` for `k = 0` (nothing ever admitted). Lets
+    /// batch refiners early-exit over distance-sorted candidate tails
+    /// without consulting the pool per candidate.
+    pub fn threshold(&self) -> f64 {
+        if self.k == 0 {
+            f64::NEG_INFINITY
+        } else if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.max_dist()
+        }
+    }
+
     /// `pool.Insert(tid, dist)`: insert, evicting the current maximum when
     /// over capacity. Returns false if the entry was rejected outright.
     pub fn insert(&mut self, tid: Tid, dist: f64) -> bool {
@@ -159,6 +175,23 @@ mod tests {
         // Once full, equal-distance candidates are rejected (strict `<`),
         // so the first two arrivals survive, sorted by the tid tie-break.
         assert_eq!(tids, vec![1, 5]);
+    }
+
+    #[test]
+    fn threshold_is_the_admission_boundary() {
+        let mut p = ResultPool::new(2);
+        assert_eq!(p.threshold(), f64::INFINITY);
+        p.insert(0, 10.0);
+        assert_eq!(p.threshold(), f64::INFINITY); // not full yet
+        p.insert(1, 20.0);
+        assert_eq!(p.threshold(), 20.0);
+        // admits(d) ⟺ d < threshold() for finite d.
+        for d in [0.0, 19.999, 20.0, 25.0] {
+            assert_eq!(p.admits(d), d < p.threshold(), "d={d}");
+        }
+        p.insert(2, 5.0); // evicts 20.0
+        assert_eq!(p.threshold(), 10.0);
+        assert_eq!(ResultPool::new(0).threshold(), f64::NEG_INFINITY);
     }
 
     #[test]

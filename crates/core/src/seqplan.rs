@@ -88,41 +88,85 @@ impl IvaIndex {
             }
         }
 
-        // ---- Phase 2: refine the candidate set. ----
+        // ---- Phase 2: refine the candidate set, batched. ----
         // Candidates: every tuple whose lower bound does not exceed the
         // best threshold phase 1 could establish (the all-ndf distance).
         // All-ndf tuples themselves have exactly that distance and need no
-        // fetch. To stay exact when fewer than k candidates exist, the
-        // leftovers are refined afterwards in lower-bound order.
+        // fetch. The whole candidate set is known up front, so it is
+        // fetched outright in **page-sorted, coalesced batches** (chunked
+        // to bound pinned memory) and the exact distances are then
+        // replayed through the pool in scan order — the identical insert
+        // sequence the one-at-a-time plan performed, so results and
+        // `table_accesses` are unchanged.
+        const REFINE_CHUNK: usize = 1024;
         let mut pool = ResultPool::new(k);
         let mut stats = QueryStats {
             tuples_scanned: scanned.len() as u64,
             ..Default::default()
         };
         let refine_start = Instant::now();
+        let mut cands: Vec<(usize, u64)> = Vec::new(); // (index into `scanned`, ptr)
+        for (i, &(_, ptr, lb, any_defined)) in scanned.iter().enumerate() {
+            if any_defined && lb < all_ndf_dist {
+                cands.push((i, ptr));
+            }
+        }
+        cands.sort_unstable_by_key(|&(_, ptr)| ptr);
+        let mut actuals: Vec<f64> = vec![0.0; scanned.len()];
+        for chunk in cands.chunks(REFINE_CHUNK) {
+            let ptrs: Vec<RecordPtr> = chunk.iter().map(|&(_, p)| RecordPtr(p)).collect();
+            let recs = table.get_batch(&ptrs)?;
+            stats.table_accesses += recs.len() as u64;
+            for (&(i, _), rec) in chunk.iter().zip(&recs) {
+                actuals[i] = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+            }
+        }
         let mut leftovers: Vec<(u64, u64, f64)> = Vec::new();
-        for &(tid, ptr, lb, any_defined) in &scanned {
+        for (i, &(tid, ptr, lb, any_defined)) in scanned.iter().enumerate() {
             if !any_defined {
                 pool.insert_at(tid, all_ndf_dist, RecordPtr(ptr));
             } else if lb < all_ndf_dist {
-                let rec = table.get(RecordPtr(ptr))?;
-                stats.table_accesses += 1;
-                let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
-                pool.insert_at(tid, actual, RecordPtr(ptr));
+                pool.insert_at(tid, actuals[i], RecordPtr(ptr));
             } else {
                 leftovers.push((tid, ptr, lb));
             }
         }
+        // To stay exact when fewer than k candidates exist, the leftovers
+        // are refined afterwards in lower-bound order, in rounds: select
+        // the longest prefix still admitted under the pool's *current*
+        // [`ResultPool::threshold`], batch-fetch it page-coalesced, and
+        // replay per candidate. Lower bounds ascend and the threshold only
+        // tightens, so the first non-admitted candidate ends refinement
+        // for good — replay-rejected fetches within a round are the stale-
+        // threshold surplus and count as speculative.
         if pool.size() < k || leftovers.iter().any(|&(_, _, lb)| pool.admits(lb)) {
             leftovers.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
-            for &(tid, ptr, lb) in &leftovers {
-                if !pool.admits(lb) {
+            let mut i = 0;
+            while i < leftovers.len() {
+                let threshold = pool.threshold();
+                let mut j = i;
+                while j < leftovers.len()
+                    && j - i < REFINE_CHUNK
+                    && (pool.size() + (j - i) < k || leftovers[j].2 < threshold)
+                {
+                    j += 1;
+                }
+                if j == i {
                     break;
                 }
-                let rec = table.get(RecordPtr(ptr))?;
-                stats.table_accesses += 1;
-                let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
-                pool.insert_at(tid, actual, RecordPtr(ptr));
+                let round = &leftovers[i..j];
+                let ptrs: Vec<RecordPtr> = round.iter().map(|&(_, p, _)| RecordPtr(p)).collect();
+                let recs = table.get_batch(&ptrs)?;
+                for (&(tid, ptr, lb), rec) in round.iter().zip(&recs) {
+                    if pool.admits(lb) {
+                        stats.table_accesses += 1;
+                        let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                        pool.insert_at(tid, actual, RecordPtr(ptr));
+                    } else {
+                        stats.speculative_accesses += 1;
+                    }
+                }
+                i = j;
             }
         }
         let refine_nanos = refine_start.elapsed().as_nanos() as u64;
@@ -205,6 +249,123 @@ mod tests {
                 seq.stats.table_accesses,
                 par.stats.table_accesses
             );
+        }
+    }
+
+    /// The pre-batching sequential plan, reimplemented verbatim as a test
+    /// reference: fetch each main candidate one at a time in scan order,
+    /// then leftovers in lower-bound order with the per-candidate
+    /// early-exit. The batched production code must match it bit for bit.
+    fn reference_sequential_plan<M: crate::metric::Metric>(
+        index: &IvaIndex,
+        table: &SwtTable,
+        query: &Query,
+        k: usize,
+        metric: &M,
+        weights: WeightScheme,
+    ) -> (Vec<(u64, u64, u64)>, u64) {
+        let lambda = index.resolve_weights(query, weights);
+        let ndf = index.config().ndf_penalty;
+        let all_ndf_dist = {
+            let v: Vec<f64> = lambda.iter().map(|l| l * ndf).collect();
+            metric.combine(&v)
+        };
+        let mut scanned: Vec<(u64, u64, f64, bool)> = Vec::new();
+        {
+            let shared = index.prepare_query(query).unwrap();
+            let mut cursors = index.open_cursors(&shared).unwrap();
+            let mut treader =
+                ListReader::open(Arc::clone(index.pager_ref()), index.tuple_list_handle()).unwrap();
+            let mut diffs = vec![0.0f64; query.len()];
+            for _ in 0..index.n_tuples() {
+                let tid = treader.read_u32().unwrap();
+                let ptr = treader.read_u64().unwrap();
+                if ptr == TOMBSTONE_PTR {
+                    index.skip_cursors(&shared, &mut cursors, tid).unwrap();
+                    continue;
+                }
+                let any = index
+                    .lower_bounds_into(&shared, &mut cursors, tid, &lambda, ndf, &mut diffs)
+                    .unwrap();
+                scanned.push((u64::from(tid), ptr, metric.combine(&diffs), any));
+            }
+        }
+        let mut pool = ResultPool::new(k);
+        let mut accesses = 0u64;
+        let mut leftovers: Vec<(u64, u64, f64)> = Vec::new();
+        for &(tid, ptr, lb, any_defined) in &scanned {
+            if !any_defined {
+                pool.insert_at(tid, all_ndf_dist, RecordPtr(ptr));
+            } else if lb < all_ndf_dist {
+                let rec = table.get(RecordPtr(ptr)).unwrap();
+                accesses += 1;
+                let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                pool.insert_at(tid, actual, RecordPtr(ptr));
+            } else {
+                leftovers.push((tid, ptr, lb));
+            }
+        }
+        if pool.size() < k || leftovers.iter().any(|&(_, _, lb)| pool.admits(lb)) {
+            leftovers.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+            for &(tid, ptr, lb) in &leftovers {
+                if !pool.admits(lb) {
+                    break;
+                }
+                let rec = table.get(RecordPtr(ptr)).unwrap();
+                accesses += 1;
+                let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                pool.insert_at(tid, actual, RecordPtr(ptr));
+            }
+        }
+        let entries = pool
+            .into_sorted()
+            .iter()
+            .map(|e| (e.tid, e.dist.to_bits(), e.ptr.0))
+            .collect();
+        (entries, accesses)
+    }
+
+    #[test]
+    fn batched_phase_two_matches_one_at_a_time_reference() {
+        let table = table();
+        let index = build_index(
+            &table,
+            IndexTarget::Mem,
+            &opts(),
+            IoStats::new(),
+            IvaConfig::default(),
+        )
+        .unwrap();
+        // A mixed query (main candidates + leftovers rounds) and a
+        // numeric-only one (tight bounds, early exit matters).
+        let queries = [
+            Query::new()
+                .text(AttrId(0), "product listing 042")
+                .num(AttrId(1), 42.0),
+            Query::new().num(AttrId(1), 88.0),
+            Query::new().text(AttrId(0), "digital camera"),
+        ];
+        for q in &queries {
+            for k in [1usize, 5, 20, 100] {
+                let (expect, ref_accesses) = reference_sequential_plan(
+                    &index,
+                    &table,
+                    q,
+                    k,
+                    &MetricKind::L2,
+                    WeightScheme::Equal,
+                );
+                let got = index
+                    .query_sequential_plan(&table, q, k, &MetricKind::L2, WeightScheme::Equal)
+                    .unwrap();
+                let got_entries: Vec<(u64, u64, u64)> = got
+                    .results
+                    .iter()
+                    .map(|e| (e.tid, e.dist.to_bits(), e.ptr.0))
+                    .collect();
+                assert_eq!(got_entries, expect, "k={k}");
+                assert_eq!(got.stats.table_accesses, ref_accesses, "k={k}");
+            }
         }
     }
 

@@ -263,7 +263,7 @@ proptest! {
             .query(&table, &q, k, &MetricKind::L2, WeightScheme::Equal)
             .unwrap();
         for threads in [2usize, 3, 8] {
-            let o = QueryOptions { threads: Some(threads), measured: false };
+            let o = QueryOptions { threads: Some(threads), measured: false, refine_batch: None };
             let par = index
                 .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
                 .unwrap();
@@ -274,6 +274,72 @@ proptest! {
             }
             prop_assert_eq!(serial.stats.table_accesses, par.stats.table_accesses);
             prop_assert_eq!(serial.stats.tuples_scanned, par.stats.tuples_scanned);
+        }
+    }
+
+    /// Deferring admitted candidates into page-coalesced batches must be
+    /// invisible in the answer: for every batch size, list organization,
+    /// and thread count, the top-k (ids, distance bits, tie-breaks) and
+    /// `table_accesses` match the unbatched scan exactly; only
+    /// `speculative_accesses` may differ from zero.
+    #[test]
+    fn refine_batch_bit_identical_on_all_list_types(
+        rows in 150u32..400,
+        alpha in 0.1f64..0.5,
+        gram_n in 2usize..5,
+        k in 1usize..12,
+    ) {
+        let table = all_list_types_table(rows);
+        let cfg = IvaConfig { alpha, n: gram_n, ..Default::default() };
+        let index = build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), cfg).unwrap();
+        let q = Query::new()
+            .text(AttrId(0), "product listing 0042")
+            .text(AttrId(1), "note 33")
+            .num(AttrId(2), 42.0)
+            .num(AttrId(3), 26.0);
+        let base_opts = QueryOptions {
+            threads: Some(1),
+            measured: false,
+            refine_batch: Some(1),
+        };
+        let base = index
+            .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &base_opts)
+            .unwrap();
+        prop_assert_eq!(base.stats.speculative_accesses, 0);
+        for threads in [1usize, 2, 3, 8] {
+            for batch in [1usize, 2, 7, 64] {
+                let o = QueryOptions {
+                    threads: Some(threads),
+                    measured: false,
+                    refine_batch: Some(batch),
+                };
+                let got = index
+                    .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
+                    .unwrap();
+                prop_assert_eq!(base.results.len(), got.results.len());
+                for (a, b) in base.results.iter().zip(&got.results) {
+                    prop_assert_eq!(a.tid, b.tid, "threads={} batch={}", threads, batch);
+                    prop_assert_eq!(
+                        a.dist.to_bits(),
+                        b.dist.to_bits(),
+                        "threads={} batch={}",
+                        threads,
+                        batch
+                    );
+                }
+                prop_assert_eq!(
+                    base.stats.table_accesses,
+                    got.stats.table_accesses,
+                    "threads={} batch={}",
+                    threads,
+                    batch
+                );
+                // Only the serial unbatched run is speculation-free;
+                // parallel merges and batch replays both over-fetch.
+                if threads == 1 && batch == 1 {
+                    prop_assert_eq!(got.stats.speculative_accesses, 0);
+                }
+            }
         }
     }
 }

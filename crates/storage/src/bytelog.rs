@@ -13,6 +13,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use crate::batch::PinnedPages;
 use crate::error::{Result, StorageError};
 use crate::page::PageId;
 use crate::pager::{Pager, PagerOptions};
@@ -176,6 +177,67 @@ impl ByteLog {
             let n = (buf.len() - filled).min(page_size as usize - in_page);
             if page == self.tail_page {
                 buf[filled..filled + n].copy_from_slice(&self.tail_buf[in_page..in_page + n]);
+            } else {
+                let p = self.pager.read_page(page)?;
+                buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
+            }
+            filled += n;
+            pos += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Append to `out` the ids of every disk page the logical byte range
+    /// `[pos, pos + len)` touches, **excluding** the tail page (whose
+    /// authoritative copy lives in the in-memory tail buffer and must never
+    /// be fetched from disk). The range is not bounds-checked here; the
+    /// eventual read is.
+    pub fn pages_spanning(&self, pos: u64, len: usize, out: &mut Vec<PageId>) {
+        if len == 0 {
+            return;
+        }
+        let page_size = self.pager.page_size() as u64;
+        let first = 1 + pos / page_size;
+        let last = 1 + (pos + len as u64 - 1) / page_size;
+        for p in first..=last {
+            if p != self.tail_page.0 {
+                out.push(PageId(p));
+            }
+        }
+    }
+
+    /// Batch-read the given pages (sorted, deduplicated, adjacent pages
+    /// coalesced into sequential runs) and return them pinned for use with
+    /// [`ByteLog::read_at_pinned`]. Collect the ids with
+    /// [`ByteLog::pages_spanning`].
+    pub fn pin_pages(&self, ids: &[PageId]) -> Result<PinnedPages> {
+        self.pager.read_batch(ids)
+    }
+
+    /// Like [`ByteLog::read_at`], but pages present in `pinned` are served
+    /// from the pins without touching the pager. The tail page is still
+    /// served from the in-memory tail buffer, and pages missing from
+    /// `pinned` fall back to ordinary cached reads, so the call is correct
+    /// for any pin set.
+    pub fn read_at_pinned(&self, pos: u64, buf: &mut [u8], pinned: &PinnedPages) -> Result<()> {
+        if pos + buf.len() as u64 > self.len {
+            return Err(StorageError::Corrupt(format!(
+                "byte-log read [{pos}, +{}) beyond length {}",
+                buf.len(),
+                self.len
+            )));
+        }
+        let page_size = self.pager.page_size() as u64;
+        let mut filled = 0usize;
+        let mut pos = pos;
+        while filled < buf.len() {
+            let page = PageId(1 + pos / page_size);
+            let in_page = (pos % page_size) as usize;
+            let n = (buf.len() - filled).min(page_size as usize - in_page);
+            if page == self.tail_page {
+                buf[filled..filled + n].copy_from_slice(&self.tail_buf[in_page..in_page + n]);
+            } else if let Some(p) = pinned.get(page) {
+                buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
             } else {
                 let p = self.pager.read_page(page)?;
                 buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
@@ -369,6 +431,56 @@ mod tests {
         let mut b = [0u8; 1];
         log.read_at(299, &mut b).unwrap();
         assert_eq!(&b, b"T");
+    }
+
+    #[test]
+    fn pinned_reads_match_plain_reads() {
+        let mut log = mem_log();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        log.append(&data).unwrap();
+        // Pin the pages of a few scattered ranges, then read through them.
+        let ranges = [(0u64, 64usize), (120, 200), (500, 13), (900, 100)];
+        let mut ids = Vec::new();
+        for &(pos, len) in &ranges {
+            log.pages_spanning(pos, len, &mut ids);
+        }
+        let pins = log.pin_pages(&ids).unwrap();
+        for &(pos, len) in &ranges {
+            let mut a = vec![0u8; len];
+            let mut b = vec![0u8; len];
+            log.read_at(pos, &mut a).unwrap();
+            log.read_at_pinned(pos, &mut b, &pins).unwrap();
+            assert_eq!(a, b, "range ({pos}, {len})");
+        }
+        // Bounds errors are identical to read_at's.
+        assert!(log.read_at_pinned(999, &mut [0u8; 2], &pins).is_err());
+    }
+
+    #[test]
+    fn pages_spanning_excludes_tail() {
+        let mut log = mem_log(); // page size 128
+        log.append(&vec![1u8; 300]).unwrap(); // pages 1, 2, tail = 3
+        let mut ids = Vec::new();
+        log.pages_spanning(100, 150, &mut ids); // bytes 100..250 => pages 1, 2
+        assert_eq!(ids, vec![PageId(1), PageId(2)]);
+        ids.clear();
+        log.pages_spanning(250, 50, &mut ids); // bytes 250..300: page 2 + tail
+        assert_eq!(ids, vec![PageId(2)], "tail page must be excluded");
+        ids.clear();
+        log.pages_spanning(0, 0, &mut ids);
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn pinned_read_sees_unflushed_tail() {
+        let mut log = mem_log();
+        log.append(&[7u8; 200]).unwrap(); // tail page holds bytes 128..200
+        let mut ids = Vec::new();
+        log.pages_spanning(0, 200, &mut ids);
+        let pins = log.pin_pages(&ids).unwrap();
+        let mut buf = vec![0u8; 200];
+        log.read_at_pinned(0, &mut buf, &pins).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
     }
 
     #[test]

@@ -83,6 +83,29 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_run_cheaper_than_scattered_pages() {
+        // What batched refinement buys under the model: a 3-page adjacent
+        // run (1 seek + 3 pages of transfer) vs. three independent random
+        // page reads (3 seeks + 3 pages of transfer).
+        let m = DiskModel::hdd_2009();
+        let run = IoSnapshot {
+            disk_page_reads: 3,
+            random_seeks: 1,
+            random_bytes_read: 4096,
+            seq_bytes_read: 2 * 4096,
+            ..Default::default()
+        };
+        let scattered = IoSnapshot {
+            disk_page_reads: 3,
+            random_seeks: 3,
+            random_bytes_read: 3 * 4096,
+            ..Default::default()
+        };
+        let (run_ms, scat_ms) = (m.modeled_ms(&run), m.modeled_ms(&scattered));
+        assert!((scat_ms - run_ms - 2.0 * m.seek_ms).abs() < 1e-9);
+    }
+
+    #[test]
     fn ssd_much_cheaper_seeks() {
         let io = IoSnapshot {
             random_seeks: 1000,

@@ -115,6 +115,28 @@ impl BlockFile {
         Ok(PageId(id))
     }
 
+    /// Stream-aware classification: the read extends a tracked stream
+    /// (same page or the next one) => sequential; otherwise it costs a
+    /// seek and starts/steals a stream slot. The stream slot is left at
+    /// `last`, so a run `[first, last]` continues the stream past its end.
+    fn classify(&mut self, first: u64, last: u64) -> bool {
+        let hit = self
+            .streams
+            .iter()
+            .position(|&s| s != u64::MAX && (s == first || s + 1 == first));
+        match hit {
+            Some(slot) => {
+                self.streams[slot] = last;
+                true
+            }
+            None => {
+                self.streams[self.stream_clock] = last;
+                self.stream_clock = (self.stream_clock + 1) % READ_STREAMS;
+                false
+            }
+        }
+    }
+
     /// Physically read a page into `buf` (which must be exactly one page).
     pub fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.page_size);
@@ -124,24 +146,7 @@ impl BlockFile {
                 pages: self.num_pages,
             });
         }
-        // Stream-aware classification: the read extends a tracked stream
-        // (same page or the next one) => sequential; otherwise it costs a
-        // seek and starts/steals a stream slot.
-        let hit = self
-            .streams
-            .iter()
-            .position(|&s| s != u64::MAX && (s == id.0 || s + 1 == id.0));
-        let sequential = match hit {
-            Some(slot) => {
-                self.streams[slot] = id.0;
-                true
-            }
-            None => {
-                self.streams[self.stream_clock] = id.0;
-                self.stream_clock = (self.stream_clock + 1) % READ_STREAMS;
-                false
-            }
-        };
+        let sequential = self.classify(id.0, id.0);
         match &mut self.backing {
             Backing::Disk(f) => {
                 f.seek(SeekFrom::Start(id.offset(self.page_size)))?;
@@ -154,6 +159,45 @@ impl BlockFile {
         }
         self.stats
             .record_disk_read(self.page_size as u64, sequential);
+        Ok(())
+    }
+
+    /// Physically read a run of consecutive pages starting at `start` into
+    /// `buf` (whose length must be a whole number of pages) with **one**
+    /// seek: only the run's first page can be charged as random; every
+    /// following page is sequential by construction, and the disk backing
+    /// issues a single positioned `read_exact` for the whole run. The
+    /// stream slot advances to the run's last page so a later read of the
+    /// next page continues sequentially.
+    pub fn read_run(&mut self, start: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert!(buf.len().is_multiple_of(self.page_size));
+        let pages = (buf.len() / self.page_size) as u64;
+        if pages == 0 {
+            return Ok(());
+        }
+        let last = start.0 + pages - 1;
+        if last >= self.num_pages {
+            return Err(StorageError::PageOutOfBounds {
+                page: last,
+                pages: self.num_pages,
+            });
+        }
+        let sequential = self.classify(start.0, last);
+        match &mut self.backing {
+            Backing::Disk(f) => {
+                f.seek(SeekFrom::Start(start.offset(self.page_size)))?;
+                f.read_exact(buf)?;
+            }
+            Backing::Mem(v) => {
+                let off = start.offset(self.page_size) as usize;
+                buf.copy_from_slice(&v[off..off + buf.len()]);
+            }
+        }
+        self.stats
+            .record_disk_read(self.page_size as u64, sequential);
+        for _ in 1..pages {
+            self.stats.record_disk_read(self.page_size as u64, true);
+        }
         Ok(())
     }
 
@@ -274,6 +318,51 @@ mod tests {
         let s = stats.snapshot();
         assert_eq!(s.disk_page_reads, 16);
         assert_eq!(s.random_seeks, 2, "only the two stream starts seek: {s:?}");
+    }
+
+    #[test]
+    fn three_page_run_charges_one_seek() {
+        // The batched-refinement contract: a coalesced run of adjacent
+        // pages costs ONE random seek plus sequential transfer for the
+        // rest — not three independent seeks.
+        let stats = IoStats::new();
+        let mut f = BlockFile::create_mem(4096, stats.clone());
+        for _ in 0..8 {
+            f.grow().unwrap();
+        }
+        let mut buf = vec![0u8; 3 * 4096];
+        f.read_run(PageId(2), &mut buf).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.disk_page_reads, 3);
+        assert_eq!(s.random_seeks, 1);
+        assert_eq!(s.random_bytes_read, 4096);
+        assert_eq!(s.seq_bytes_read, 2 * 4096);
+        // The stream now sits at the run's last page: reading the next
+        // page continues sequentially.
+        let mut one = vec![0u8; 4096];
+        f.read_page(PageId(5), &mut one).unwrap();
+        assert_eq!(stats.snapshot().random_seeks, 1);
+    }
+
+    #[test]
+    fn run_contents_match_page_reads() {
+        let stats = IoStats::new();
+        let mut f = BlockFile::create_mem(256, stats.clone());
+        for i in 0..6u8 {
+            f.grow().unwrap();
+            f.write_page(PageId(u64::from(i)), &vec![i; 256]).unwrap();
+        }
+        let mut buf = vec![0u8; 4 * 256];
+        f.read_run(PageId(1), &mut buf).unwrap();
+        for (i, chunk) in buf.chunks(256).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8 + 1));
+        }
+        // A run that would end past the file is rejected whole.
+        let mut big = vec![0u8; 3 * 256];
+        assert!(matches!(
+            f.read_run(PageId(4), &mut big),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
     }
 
     #[test]

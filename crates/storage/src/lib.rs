@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod bytelog;
 mod cache;
 mod disk_model;
@@ -28,6 +29,7 @@ mod page;
 mod pager;
 mod stats;
 
+pub use batch::PinnedPages;
 pub use bytelog::{ByteLog, USER_HEADER_LEN};
 pub use cache::{LruCache, PageRef};
 pub use disk_model::DiskModel;

@@ -128,6 +128,12 @@ impl SwtTable {
         self.file.get(ptr)
     }
 
+    /// Batched fetch: results in input order, disk I/O page-ordered and
+    /// coalesced (see [`TableFile::get_batch`]).
+    pub fn get_batch(&self, ptrs: &[RecordPtr]) -> Result<Vec<StoredRecord>> {
+        self.file.get_batch(ptrs)
+    }
+
     /// Sequential scan of all records.
     pub fn scan(&self) -> TableScan<'_> {
         self.file.scan()

@@ -244,6 +244,7 @@ impl IvaDb {
         let qopts = QueryOptions {
             threads: request.threads_override(),
             measured: request.is_measured(),
+            refine_batch: request.refine_batch_override(),
         };
         let out =
             self.index

@@ -31,6 +31,7 @@ pub struct SearchRequest {
     weights: Option<WeightScheme>,
     threads: Option<usize>,
     measured: bool,
+    refine_batch: Option<usize>,
 }
 
 impl SearchRequest {
@@ -43,6 +44,7 @@ impl SearchRequest {
             weights: None,
             threads: None,
             measured: true,
+            refine_batch: None,
         }
     }
 
@@ -74,6 +76,16 @@ impl SearchRequest {
         self
     }
 
+    /// Override the configured refinement batch size
+    /// ([`crate::IvaConfig::refine_batch`]) for this request. Admitted
+    /// candidates are fetched from the table file in page-ordered,
+    /// coalesced batches of up to `batch`; any size returns bit-identical
+    /// results, and `1` (or `0`) fetches one candidate at a time.
+    pub fn refine_batch(mut self, batch: usize) -> Self {
+        self.refine_batch = Some(batch);
+        self
+    }
+
     /// Requested result count.
     pub fn k(&self) -> usize {
         self.k
@@ -97,6 +109,11 @@ impl SearchRequest {
     /// Whether phase timings are collected.
     pub fn is_measured(&self) -> bool {
         self.measured
+    }
+
+    /// Refinement-batch override, if any.
+    pub fn refine_batch_override(&self) -> Option<usize> {
+        self.refine_batch
     }
 }
 

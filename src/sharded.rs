@@ -174,6 +174,7 @@ impl ShardedIvaDb {
         let qopts = QueryOptions {
             threads: Some((budget / self.shards.len()).max(1)),
             measured: request.is_measured(),
+            refine_batch: request.refine_batch_override(),
         };
 
         let locals: Vec<Result<QueryOutcome>> = if self.shards.len() == 1 {

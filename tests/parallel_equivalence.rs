@@ -70,6 +70,36 @@ proptest! {
 }
 
 #[test]
+fn refine_batch_request_override_is_bit_identical() {
+    let (db, dataset) = db_from_workload(600);
+    let qs = generate_query_set(&dataset, 3, 10, 2, 42);
+    for q in qs.measured() {
+        let base = db
+            .execute(q, &SearchRequest::new(15).threads(1).refine_batch(1))
+            .unwrap();
+        assert_eq!(base.stats.speculative_accesses, 0);
+        for batch in [2usize, 16, 128] {
+            for threads in [1usize, 4] {
+                let got = db
+                    .execute(
+                        q,
+                        &SearchRequest::new(15).threads(threads).refine_batch(batch),
+                    )
+                    .unwrap();
+                assert_eq!(base.hits.len(), got.hits.len());
+                for (a, b) in base.hits.iter().zip(&got.hits) {
+                    assert_eq!((a.tid, a.dist.to_bits()), (b.tid, b.dist.to_bits()));
+                }
+                assert_eq!(
+                    base.stats.table_accesses, got.stats.table_accesses,
+                    "batch={batch} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn parallel_equivalence_survives_deletes() {
     let (mut db, dataset) = db_from_workload(500);
     // Tombstone a band of tuples without triggering the β rebuild.
