@@ -1,0 +1,199 @@
+//! End-to-end cost of per-page CRC32C verification.
+//!
+//! A disk-backed table + iVA-file answers a generated query workload
+//! twice — once with page-checksum verification enabled (the default)
+//! and once disabled via the `set_verify_checksums` hooks — with cold
+//! page caches before every pass, so each page consumed by the filter
+//! and refinement phases travels the full verify path. The delta is the
+//! end-to-end price of the integrity machinery on queries; the budget
+//! is < 3 %. The raw slicing-by-8 CRC32C throughput and the worst-case
+//! pager scan numbers are reported alongside for context.
+//!
+//! Results land in `BENCH_checksum_overhead.json` at the repo root.
+//!
+//! Run with: `cargo bench -p iva-bench --bench checksum_overhead`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use iva_core::{build_index, IndexTarget, IvaConfig, IvaIndex, MetricKind, WeightScheme};
+use iva_storage::{crc32c, IoStats, PageId, Pager, PagerOptions};
+use iva_swt::SwtTable;
+use iva_workload::{generate_query_set, Dataset, WorkloadConfig};
+
+const MIN_TUPLES: usize = 10_000;
+const K: usize = 10;
+const REPS: usize = 5;
+
+/// One full pass over the query set with cold caches; returns the hit
+/// count so the work cannot be optimized away.
+fn query_pass(table: &SwtTable, index: &IvaIndex, queries: &[&iva_core::Query]) -> usize {
+    table.file().clear_cache();
+    index.clear_cache();
+    let mut hits = 0;
+    for q in queries {
+        let out = index
+            .query(table, q, K, &MetricKind::L2, WeightScheme::Equal)
+            .expect("query");
+        hits += out.results.len();
+    }
+    hits
+}
+
+fn best_secs(mut pass: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        black_box(pass());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Worst-case context figure: pure page reads through the pager with a
+/// too-small cache, verify on vs off. No query work amortizes the CRC
+/// here — this bounds the overhead from above.
+fn raw_scan_overhead(dir: &std::path::Path) -> (f64, f64) {
+    const PAGE: usize = 4096;
+    const PAGES: u64 = 2048;
+    let opts = PagerOptions {
+        page_size: PAGE,
+        cache_bytes: PAGE * 32,
+    };
+    let pager = Pager::create(&dir.join("raw.iva"), &opts, IoStats::new()).expect("create");
+    for i in 0..PAGES {
+        pager
+            .append_page((0..PAGE).map(|j| (i as usize * 31 + j * 7) as u8).collect())
+            .expect("append");
+    }
+    pager.sync().expect("sync");
+    let scan = || {
+        let mut acc = 0u64;
+        for id in 0..PAGES {
+            acc = acc.wrapping_add(u64::from(pager.read_page(PageId(id)).expect("read")[0]));
+        }
+        acc as usize
+    };
+    pager.set_verify_checksums(false);
+    black_box(scan()); // warm the OS cache
+    let off = best_secs(|| {
+        pager.clear_cache();
+        scan()
+    });
+    pager.set_verify_checksums(true);
+    let on = best_secs(|| {
+        pager.clear_cache();
+        scan()
+    });
+    let mb = (PAGES as usize * PAGE) as f64 / (1024.0 * 1024.0);
+    (mb / off, mb / on)
+}
+
+fn main() {
+    let mut workload = WorkloadConfig::scaled(MIN_TUPLES);
+    workload.n_tuples = workload.n_tuples.max(MIN_TUPLES);
+    let config = IvaConfig::default();
+
+    let dir = std::env::temp_dir().join(format!("iva-bench-crc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Disk-backed table + index over the generated workload.
+    let dataset = Dataset::generate(&workload);
+    let opts = PagerOptions::default();
+    let mut table = SwtTable::create(&dir.join("data"), &opts, IoStats::new()).expect("table");
+    // Mirror the generated schema and rows onto the disk table.
+    let mem = dataset
+        .build_table(&opts, IoStats::new())
+        .expect("mem table");
+    for (_, def) in mem.catalog().iter() {
+        match def.ty {
+            iva_swt::AttrType::Text => table.define_text(&def.name).expect("attr"),
+            iva_swt::AttrType::Numeric => table.define_numeric(&def.name).expect("attr"),
+        };
+    }
+    for tup in &dataset.tuples {
+        table.insert(tup).expect("insert");
+    }
+    table.flush().expect("flush");
+    let mut index = build_index(
+        &table,
+        IndexTarget::Disk(&dir.join("index.iva")),
+        &opts,
+        IoStats::new(),
+        config,
+    )
+    .expect("index");
+    index.flush().expect("flush");
+
+    let qs = generate_query_set(&dataset, 3, 30, 5, 4242);
+    let queries: Vec<&iva_core::Query> = qs.measured().iter().collect();
+    let n_queries = queries.len();
+
+    table.file().set_verify_checksums(false);
+    index.set_verify_checksums(false);
+    black_box(query_pass(&table, &index, &queries)); // warm-up
+    let secs_off = best_secs(|| query_pass(&table, &index, &queries));
+
+    table.file().set_verify_checksums(true);
+    index.set_verify_checksums(true);
+    let secs_on = best_secs(|| query_pass(&table, &index, &queries));
+
+    let overhead_pct = (secs_on / secs_off - 1.0) * 100.0;
+    let (raw_off, raw_on) = raw_scan_overhead(&dir);
+
+    // Raw kernel throughput for context.
+    let buf: Vec<u8> = (0..1 << 20).map(|i| (i * 13) as u8).collect();
+    let mut crc_best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..16 {
+            black_box(crc32c(&buf));
+        }
+        crc_best = crc_best.min(start.elapsed().as_secs_f64());
+    }
+    let crc_gb_s = (buf.len() * 16) as f64 / crc_best / 1e9;
+
+    println!(
+        "checksum_overhead: {n_queries} queries, {} tuples, cold caches each pass",
+        workload.n_tuples
+    );
+    println!(
+        "  verify off: {:>9.3} ms/query",
+        secs_off * 1e3 / n_queries as f64
+    );
+    println!(
+        "  verify on:  {:>9.3} ms/query",
+        secs_on * 1e3 / n_queries as f64
+    );
+    println!("  overhead:   {overhead_pct:>9.2} %   (budget 3 %)");
+    println!("  raw pager scan: {raw_off:.0} -> {raw_on:.0} MiB/s (worst case, no query work)");
+    println!("  raw crc32c: {crc_gb_s:.2} GB/s");
+
+    let json = format!(
+        "{{\n  \"bench\": \"checksum_overhead\",\n  \"n_tuples\": {},\n  \
+         \"n_queries\": {},\n  \"ms_per_query_verify_off\": {:.4},\n  \
+         \"ms_per_query_verify_on\": {:.4},\n  \"overhead_pct\": {:.3},\n  \
+         \"raw_scan_mb_s_verify_off\": {:.1},\n  \"raw_scan_mb_s_verify_on\": {:.1},\n  \
+         \"crc32c_gb_per_sec\": {:.2},\n  \"threshold_pct\": 3.0,\n  \
+         \"passes_threshold\": {}\n}}\n",
+        workload.n_tuples,
+        n_queries,
+        secs_off * 1e3 / n_queries as f64,
+        secs_on * 1e3 / n_queries as f64,
+        overhead_pct,
+        raw_off,
+        raw_on,
+        crc_gb_s,
+        overhead_pct < 3.0
+    );
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_checksum_overhead.json"
+    );
+    std::fs::write(out, json).expect("write BENCH_checksum_overhead.json");
+    println!("recorded {out}");
+
+    drop(index);
+    drop(table);
+    let _ = std::fs::remove_dir_all(&dir);
+}

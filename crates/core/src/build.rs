@@ -8,7 +8,9 @@
 //! renewal).
 
 use std::path::Path;
+use std::sync::Arc;
 
+use iva_storage::vfs::Vfs;
 use iva_storage::{write_contiguous_list, IoStats, Pager, PagerOptions};
 use iva_swt::{SwtTable, Value};
 
@@ -27,6 +29,9 @@ pub enum IndexTarget<'a> {
     Disk(&'a Path),
     /// In memory (tests, property checks).
     Mem,
+    /// At the given path on an explicit [`Vfs`] (fault injection, crash
+    /// replay).
+    Vfs(Arc<dyn Vfs>, &'a Path),
 }
 
 /// Build an iVA-file over all live tuples of `table`.
@@ -82,6 +87,7 @@ pub fn build_index(
     let pager = match target {
         IndexTarget::Disk(path) => Pager::create(path, opts, io)?,
         IndexTarget::Mem => Pager::create_mem(opts, io),
+        IndexTarget::Vfs(vfs, path) => Pager::create_with_vfs(vfs.as_ref(), path, opts, io)?,
     };
     let header_page = pager.allocate_page()?;
     debug_assert_eq!(header_page.0, 0);
@@ -169,6 +175,9 @@ pub fn build_index(
         n_deleted: 0,
         attr_list,
         tuple_list,
+        // A fresh build covers exactly the table contents just scanned.
+        table_watermark: table.file().data_len(),
+        dirty: false,
     };
     IvaIndex::assemble(pager, header, entries)
 }

@@ -21,6 +21,20 @@ pub enum IvaError {
     TidOverflow(u64),
 }
 
+impl IvaError {
+    /// True when the error means damaged, unreadable or stale on-disk
+    /// index data — the failure class a rebuild from the table repairs.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            IvaError::Corrupt(_) => true,
+            IvaError::Storage(e) => e.is_corruption(),
+            IvaError::Swt(SwtError::Corrupt(_)) => true,
+            IvaError::Swt(SwtError::Storage(e)) => e.is_corruption(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for IvaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -5,6 +5,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
+use iva_storage::vfs::Vfs;
 use iva_storage::{
     overwrite_in_list, IoStats, ListHandle, ListReader, ListWriter, PageId, Pager, PagerOptions,
 };
@@ -90,6 +91,17 @@ impl IvaIndex {
         Self::load(pager)
     }
 
+    /// Open an existing index file on an explicit [`Vfs`].
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        opts: &PagerOptions,
+        io: IoStats,
+    ) -> Result<Self> {
+        let pager = Pager::open_with_vfs(vfs.as_ref(), path, opts, io)?;
+        Self::load(pager)
+    }
+
     fn load(pager: Arc<Pager>) -> Result<Self> {
         let page0 = pager.read_page(PageId(0))?;
         let header = IndexHeader::decode(&page0)?;
@@ -161,11 +173,54 @@ impl IvaIndex {
         self.pager.resize_cache(cache_bytes)
     }
 
+    /// Toggle per-page checksum verification on reads (benchmarking hook;
+    /// on by default).
+    pub fn set_verify_checksums(&self, verify: bool) {
+        self.pager.set_verify_checksums(verify)
+    }
+
     fn write_header(&mut self) -> Result<()> {
         let bytes = self.header.encode();
         self.pager.update_page(PageId(0), |p| {
             p[..bytes.len()].copy_from_slice(&bytes);
         })?;
+        Ok(())
+    }
+
+    /// Table-file length this index was last committed against.
+    pub fn table_watermark(&self) -> u64 {
+        self.header.table_watermark
+    }
+
+    /// True if an update epoch is open (mutations since the last commit).
+    pub fn is_dirty(&self) -> bool {
+        self.header.dirty
+    }
+
+    /// Mark the start of an update epoch *durably* before the first
+    /// in-place mutation: a crash mid-update then leaves a dirty flag on
+    /// disk, and open-time recovery knows the index may hold partially
+    /// applied updates and must be rebuilt from the table. One sync per
+    /// epoch — subsequent mutations see the flag already set.
+    fn ensure_dirty(&mut self) -> Result<()> {
+        if self.header.dirty {
+            return Ok(());
+        }
+        self.header.dirty = true;
+        self.write_header()?;
+        self.pager.sync()?;
+        Ok(())
+    }
+
+    /// Close the update epoch: record the table length this index now
+    /// matches, clear the dirty flag and sync. Call only after the table's
+    /// own flush succeeded — the watermark asserts "index covers exactly
+    /// the first `table_watermark` table bytes".
+    pub fn commit(&mut self, table_watermark: u64) -> Result<()> {
+        self.header.table_watermark = table_watermark;
+        self.header.dirty = false;
+        self.write_header()?;
+        self.pager.sync()?;
         Ok(())
     }
 
@@ -485,6 +540,7 @@ impl IvaIndex {
             return Err(IvaError::TidOverflow(tid));
         }
         let tid32 = tid as u32;
+        self.ensure_dirty()?;
         self.sync_catalog(catalog)?;
 
         let tuple_index = self.header.n_tuples;
@@ -622,6 +678,7 @@ impl IvaIndex {
                 if ptr == TOMBSTONE_PTR {
                     return Ok(false);
                 }
+                self.ensure_dirty()?;
                 overwrite_in_list(
                     &self.pager,
                     self.header.tuple_list,

@@ -105,7 +105,7 @@ impl AttrEntry {
 }
 
 const MAGIC: u32 = 0x6956_4146; // "iVAF"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// The index header stored in page 0.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +122,15 @@ pub struct IndexHeader {
     pub attr_list: ListHandle,
     /// Location of the tuple list.
     pub tuple_list: ListHandle,
+    /// Table-file logical length this index was last committed against.
+    /// An index whose watermark disagrees with the table it is opened
+    /// with was not committed after the table's last flush and must be
+    /// rebuilt.
+    pub table_watermark: u64,
+    /// Set (and synced) before the first in-place mutation of an update
+    /// epoch, cleared by a commit. A dirty flag found at open time means
+    /// the index may hold partially applied updates.
+    pub dirty: bool,
 }
 
 impl IndexHeader {
@@ -139,12 +148,14 @@ impl IndexHeader {
         out.extend_from_slice(&self.n_deleted.to_le_bytes());
         self.attr_list.encode(&mut out);
         self.tuple_list.encode(&mut out);
+        out.extend_from_slice(&self.table_watermark.to_le_bytes());
+        out.push(u8::from(self.dirty));
         out
     }
 
     /// Deserialize from a page-0 prefix.
     pub fn decode(buf: &[u8]) -> Result<Self> {
-        if buf.len() < 100 {
+        if buf.len() < 109 {
             return Err(IvaError::Corrupt("short index header".into()));
         }
         let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
@@ -173,6 +184,8 @@ impl IndexHeader {
         let n_deleted = u64at(44);
         let attr_list = ListHandle::decode(&buf[52..76])?;
         let tuple_list = ListHandle::decode(&buf[76..100])?;
+        let table_watermark = u64at(100);
+        let dirty = buf[108] != 0;
         Ok(Self {
             config,
             n_attrs,
@@ -180,6 +193,8 @@ impl IndexHeader {
             n_deleted,
             attr_list,
             tuple_list,
+            table_watermark,
+            dirty,
         })
     }
 }
@@ -243,6 +258,8 @@ mod tests {
             n_deleted: 3,
             attr_list: handle(1, 2, 100),
             tuple_list: handle(3, 4, 200),
+            table_watermark: 0xDEAD_BEEF_u64,
+            dirty: true,
         };
         let buf = h.encode();
         assert_eq!(IndexHeader::decode(&buf).unwrap(), h);
@@ -261,6 +278,8 @@ mod tests {
             n_deleted: 0,
             attr_list: handle(1, 2, 100),
             tuple_list: handle(3, 4, 200),
+            table_watermark: 77,
+            dirty: false,
         };
         let back = IndexHeader::decode(&h.encode()).unwrap();
         assert_eq!(back.config.search_threads, 0);
@@ -279,10 +298,16 @@ mod tests {
             n_deleted: 0,
             attr_list: handle(1, 1, 0),
             tuple_list: handle(2, 2, 0),
+            table_watermark: 0,
+            dirty: false,
         };
         let mut buf = h.encode();
         buf[0] ^= 0xFF;
         assert!(IndexHeader::decode(&buf).is_err());
         assert!(IndexHeader::decode(&buf[..20]).is_err());
+        // Old-format (v1) headers are rejected, prompting a rebuild.
+        let mut v1 = h.encode();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(IndexHeader::decode(&v1).is_err());
     }
 }

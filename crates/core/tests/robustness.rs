@@ -168,3 +168,88 @@ fn zero_length_query_is_benign() {
     assert_eq!(out.results.len(), 3);
     assert!(out.results.iter().all(|e| e.dist == 0.0));
 }
+
+mod fuzz_decode {
+    //! Fuzz-style hardening of the index-layout decoders: arbitrary and
+    //! mutated header/entry bytes must produce typed errors, never panics.
+
+    use iva_core::{AttrEntry, IndexHeader, IvaConfig, ListType};
+    use iva_storage::{ListHandle, PageId};
+    use proptest::prelude::*;
+
+    fn sample_header() -> IndexHeader {
+        IndexHeader {
+            config: IvaConfig::default(),
+            n_attrs: 4,
+            n_tuples: 1_000,
+            n_deleted: 3,
+            attr_list: ListHandle {
+                head: PageId(1),
+                tail: PageId(2),
+                len: 400,
+            },
+            tuple_list: ListHandle {
+                head: PageId(3),
+                tail: PageId(9),
+                len: 12_000,
+            },
+            table_watermark: 77_777,
+            dirty: false,
+        }
+    }
+
+    fn sample_entry_bytes() -> Vec<u8> {
+        let entry = AttrEntry {
+            vlist: ListHandle {
+                head: PageId(4),
+                tail: PageId(7),
+                len: 900,
+            },
+            df: 120,
+            str_count: 140,
+            elem_count: 140,
+            list_type: ListType::I,
+            is_text: true,
+            alpha: 0.25,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        let mut out = Vec::new();
+        entry.encode(&mut out);
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn arbitrary_bytes_never_panic(
+            bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let _ = IndexHeader::decode(&bytes);
+            let _ = AttrEntry::decode(&bytes);
+            let _ = ListHandle::decode(&bytes);
+        }
+
+        #[test]
+        fn mutated_layout_bytes_never_panic(
+            at in any::<prop::sample::Index>(),
+            xor in 1u8..255,
+            cut in any::<prop::sample::Index>(),
+        ) {
+            let header = sample_header().encode();
+            let mut mutated = header.clone();
+            let h_at = at.index(mutated.len());
+            mutated[h_at] ^= xor;
+            let _ = IndexHeader::decode(&mutated);
+            let _ = IndexHeader::decode(&header[..cut.index(header.len())]);
+
+            let entry = sample_entry_bytes();
+            let mut mutated = entry.clone();
+            let e_at = at.index(mutated.len());
+            mutated[e_at] ^= xor;
+            let _ = AttrEntry::decode(&mutated);
+            let _ = AttrEntry::decode(&entry[..cut.index(entry.len())]);
+        }
+    }
+}

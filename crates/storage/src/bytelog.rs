@@ -1,4 +1,4 @@
-//! Append-only byte log over a paged file.
+//! Append-only byte log over a paged file, with crash-consistent commits.
 //!
 //! The table file of the paper "adopts the row-wise storage structure" with
 //! tuples located by a byte pointer (`ptr` in the tuple list) and new tuples
@@ -6,106 +6,195 @@
 //! exactly that: logical byte addresses over physically contiguous pages,
 //! supporting fast sequential append/scan and random `read_at`.
 //!
-//! Page 0 is the header (`magic`, `version`, `len`, plus 32 user bytes for
-//! the owning layer); data pages follow contiguously, full-width (no
-//! per-page header, so address math is trivial).
+//! # Crash consistency
+//!
+//! The log's durable state lives in two files: the data file (page frames,
+//! see [`BlockFile`](crate::BlockFile)) and a sidecar **commit record**
+//! (`<path>.meta`, see [`commit`](crate::commit)) holding the committed
+//! length, the 32 user-header bytes, a byte-exact shadow of the committed
+//! tail page, and a redo journal of in-place page rewrites. [`ByteLog::flush`]
+//! is the commit:
+//!
+//! 1. write the tail page, fsync the data file — everything the new record
+//!    will point at is durable *first*;
+//! 2. atomically replace the commit record (write-new → fsync → rename) —
+//!    **this rename is the commit point**;
+//! 3. apply buffered in-place overwrites ([`ByteLog::write_at`] buffers
+//!    them rather than touching committed pages) and fsync again — safe,
+//!    because step 2 journaled their full post-images.
+//!
+//! [`ByteLog::open`] replays that contract: it reads the committed record,
+//! truncates the data file to the committed page count (dropping torn or
+//! uncommitted appends), re-applies the journal, and restores the tail
+//! page from its shadow. A crash before step 2 recovers the previous
+//! commit; after it, the new one — never a mix, and every recovered page
+//! has a valid checksum.
 
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::batch::PinnedPages;
+use crate::commit::{read_commit_record, write_commit_record};
 use crate::error::{Result, StorageError};
+use crate::fault::FaultVfs;
 use crate::page::PageId;
 use crate::pager::{Pager, PagerOptions};
 use crate::stats::IoStats;
+use crate::vfs::{MemVfs, RealVfs, Vfs};
 
-const MAGIC: u32 = 0x4956_414C; // "IVAL"
-const VERSION: u32 = 1;
 /// Bytes of header space reserved for the owning layer.
 pub const USER_HEADER_LEN: usize = 32;
 
-/// Append-only byte log with random read access.
+/// Fixed prefix of the commit-record payload:
+/// `len (8) | user header (32) | tail_len (4) | journal_count (4)`.
+const PAYLOAD_FIXED: usize = 8 + USER_HEADER_LEN + 4 + 4;
+
+/// The sidecar commit-record path for a byte log at `path`.
+pub fn sidecar_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".meta");
+    PathBuf::from(name)
+}
+
+/// Append-only byte log with random read access and atomic commits.
 pub struct ByteLog {
+    vfs: Arc<dyn Vfs>,
+    meta_path: PathBuf,
     pager: Arc<Pager>,
     len: u64,
+    /// Length as of the last successful [`ByteLog::flush`].
+    committed_len: u64,
     tail_page: PageId,
     tail_buf: Vec<u8>,
     tail_dirty: bool,
     user_header: [u8; USER_HEADER_LEN],
     header_dirty: bool,
+    /// Post-images of committed pages mutated by [`ByteLog::write_at`]
+    /// since the last flush. Readers consult this first; the pages on disk
+    /// are only rewritten *after* the images are journaled in the commit
+    /// record, so a torn rewrite is always repairable.
+    overlay: BTreeMap<u64, Vec<u8>>,
 }
 
 impl ByteLog {
     /// Create a new log backed by a fresh disk file.
     pub fn create(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
-        let pager = Pager::create(path, opts, stats)?;
-        Self::init(pager)
+        Self::create_with_vfs(Arc::new(RealVfs), path, opts, stats)
     }
 
-    /// Create a new log in memory.
+    /// Open an existing disk-backed log, running crash recovery.
+    pub fn open(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        Self::open_with_vfs(Arc::new(RealVfs), path, opts, stats)
+    }
+
+    /// Create a new log in memory. With `IVA_VFS=fault` the backing is a
+    /// pass-through [`FaultVfs`] (see [`crate::BlockFile::create_mem`]).
     pub fn create_mem(opts: &PagerOptions, stats: IoStats) -> Result<Self> {
-        Self::init(Pager::create_mem(opts, stats))
+        let vfs: Arc<dyn Vfs> = if std::env::var_os("IVA_VFS").is_some_and(|v| v == "fault") {
+            Arc::new(FaultVfs::passthrough(0x1FA5_7FA5))
+        } else {
+            Arc::new(MemVfs::new())
+        };
+        Self::create_with_vfs(vfs, Path::new("mem.log"), opts, stats)
     }
 
-    fn init(pager: Arc<Pager>) -> Result<Self> {
-        let header = pager.allocate_page()?; // page 0
-        debug_assert_eq!(header, PageId(0));
+    /// Create a new log through an explicit [`Vfs`].
+    pub fn create_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<Self> {
+        let pager = Pager::create_with_vfs(vfs.as_ref(), path, opts, stats)?;
         let tail_page = pager.allocate_page()?; // first data page
+        debug_assert_eq!(tail_page, PageId(0));
         let tail_buf = vec![0u8; pager.page_size()];
         let mut log = Self {
+            vfs,
+            meta_path: sidecar_path(path),
             pager,
             len: 0,
+            committed_len: 0,
             tail_page,
             tail_buf,
             tail_dirty: false,
             user_header: [0; USER_HEADER_LEN],
             header_dirty: true,
+            overlay: BTreeMap::new(),
         };
         log.flush()?;
         Ok(log)
     }
 
-    /// Open an existing log.
-    pub fn open(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
-        let pager = Pager::open(path, opts, stats)?;
-        if pager.num_pages() < 2 {
-            return Err(StorageError::Corrupt("byte log too short".into()));
-        }
-        let header = pager.read_page(PageId(0))?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        if magic != MAGIC {
-            return Err(StorageError::Corrupt("bad byte-log magic".into()));
-        }
-        if version != VERSION {
+    /// Open an existing log through an explicit [`Vfs`], running crash
+    /// recovery: truncate uncommitted/torn appends, re-apply the redo
+    /// journal, restore the tail page from its committed shadow.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<Self> {
+        let meta_path = sidecar_path(path);
+        let payload = read_commit_record(vfs.as_ref(), &meta_path)?;
+        let (len, user_header, tail_image, journal) = parse_payload(&payload, opts.page_size)?;
+
+        let (pager, _torn) = Pager::open_recovering(vfs.as_ref(), path, opts, stats)?;
+        let page_size = pager.page_size() as u64;
+        let tail_page = PageId(len / page_size);
+        let needed = tail_page.0 + 1;
+        if pager.num_pages() < needed {
             return Err(StorageError::Corrupt(format!(
-                "unsupported byte-log version {version}"
+                "byte log committed length {len} needs {needed} pages, data file has {}",
+                pager.num_pages()
             )));
         }
-        let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
-        let mut user_header = [0u8; USER_HEADER_LEN];
-        user_header.copy_from_slice(&header[16..16 + USER_HEADER_LEN]);
-
-        let page_size = pager.page_size() as u64;
-        let tail_page = PageId(1 + len / page_size);
-        if tail_page.0 >= pager.num_pages() {
-            return Err(StorageError::Corrupt("byte-log length beyond file".into()));
+        // Drop torn and uncommitted appended pages.
+        pager.truncate_pages(needed)?;
+        // Redo journaled in-place rewrites (idempotent: these are full
+        // post-images of pages within the committed region).
+        for (id, image) in journal {
+            if id >= needed {
+                return Err(StorageError::Corrupt(format!(
+                    "commit-record journal references page {id} beyond committed {needed} pages"
+                )));
+            }
+            if id != tail_page.0 {
+                pager.write_page(PageId(id), image)?;
+            }
         }
-        let tail_buf = pager.read_page(tail_page)?.as_ref().clone();
+        // Restore the committed tail page byte-for-byte from its shadow;
+        // this also repairs a tail frame torn by a post-commit append.
+        let mut tail_buf = vec![0u8; page_size as usize];
+        tail_buf[..tail_image.len()].copy_from_slice(&tail_image);
+        pager.write_page(tail_page, tail_buf.clone())?;
+        pager.sync()?;
+
         Ok(Self {
+            vfs,
+            meta_path,
             pager,
             len,
+            committed_len: len,
             tail_page,
             tail_buf,
             tail_dirty: false,
             user_header,
             header_dirty: false,
+            overlay: BTreeMap::new(),
         })
     }
 
     /// Logical length in bytes.
     pub fn len(&self) -> u64 {
         self.len
+    }
+
+    /// Length as of the last successful flush — what a crash right now
+    /// would recover to.
+    pub fn committed_len(&self) -> u64 {
+        self.committed_len
     }
 
     /// True if nothing has been appended.
@@ -134,7 +223,8 @@ impl ByteLog {
         self.header_dirty = true;
     }
 
-    /// Append bytes, returning the logical start offset.
+    /// Append bytes, returning the logical start offset. The bytes are
+    /// durable (and survive a crash) only once [`ByteLog::flush`] returns.
     pub fn append(&mut self, mut data: &[u8]) -> Result<u64> {
         let start = self.len;
         let page_size = self.pager.page_size();
@@ -146,7 +236,10 @@ impl ByteLog {
             self.len += n as u64;
             data = &data[n..];
             if self.len.is_multiple_of(page_size as u64) {
-                // Page filled: flush it and move to a fresh page.
+                // Page filled: write it out and move to a fresh page. If
+                // this page holds committed bytes, a torn write here is
+                // repaired at recovery from the commit record's tail
+                // shadow.
                 self.pager.write_page(
                     self.tail_page,
                     std::mem::replace(&mut self.tail_buf, vec![0u8; page_size]),
@@ -161,6 +254,19 @@ impl ByteLog {
 
     /// Random read of `buf.len()` bytes at logical offset `pos`.
     pub fn read_at(&self, pos: u64, buf: &mut [u8]) -> Result<()> {
+        self.read_at_impl(pos, buf, None)
+    }
+
+    /// Like [`ByteLog::read_at`], but pages present in `pinned` are served
+    /// from the pins without touching the pager. The tail page is still
+    /// served from the in-memory tail buffer, buffered overwrites from the
+    /// overlay, and pages missing from `pinned` fall back to ordinary
+    /// cached reads, so the call is correct for any pin set.
+    pub fn read_at_pinned(&self, pos: u64, buf: &mut [u8], pinned: &PinnedPages) -> Result<()> {
+        self.read_at_impl(pos, buf, Some(pinned))
+    }
+
+    fn read_at_impl(&self, pos: u64, buf: &mut [u8], pinned: Option<&PinnedPages>) -> Result<()> {
         if pos + buf.len() as u64 > self.len {
             return Err(StorageError::Corrupt(format!(
                 "byte-log read [{pos}, +{}) beyond length {}",
@@ -172,11 +278,15 @@ impl ByteLog {
         let mut filled = 0usize;
         let mut pos = pos;
         while filled < buf.len() {
-            let page = PageId(1 + pos / page_size);
+            let page = PageId(pos / page_size);
             let in_page = (pos % page_size) as usize;
             let n = (buf.len() - filled).min(page_size as usize - in_page);
             if page == self.tail_page {
                 buf[filled..filled + n].copy_from_slice(&self.tail_buf[in_page..in_page + n]);
+            } else if let Some(img) = self.overlay.get(&page.0) {
+                buf[filled..filled + n].copy_from_slice(&img[in_page..in_page + n]);
+            } else if let Some(p) = pinned.and_then(|pins| pins.get(page)) {
+                buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
             } else {
                 let p = self.pager.read_page(page)?;
                 buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
@@ -188,19 +298,19 @@ impl ByteLog {
     }
 
     /// Append to `out` the ids of every disk page the logical byte range
-    /// `[pos, pos + len)` touches, **excluding** the tail page (whose
-    /// authoritative copy lives in the in-memory tail buffer and must never
-    /// be fetched from disk). The range is not bounds-checked here; the
-    /// eventual read is.
+    /// `[pos, pos + len)` touches, **excluding** the tail page and pages
+    /// with buffered overwrites (whose authoritative copies live in memory
+    /// and must never be fetched from disk). The range is not
+    /// bounds-checked here; the eventual read is.
     pub fn pages_spanning(&self, pos: u64, len: usize, out: &mut Vec<PageId>) {
         if len == 0 {
             return;
         }
         let page_size = self.pager.page_size() as u64;
-        let first = 1 + pos / page_size;
-        let last = 1 + (pos + len as u64 - 1) / page_size;
+        let first = pos / page_size;
+        let last = (pos + len as u64 - 1) / page_size;
         for p in first..=last {
-            if p != self.tail_page.0 {
+            if p != self.tail_page.0 && !self.overlay.contains_key(&p) {
                 out.push(PageId(p));
             }
         }
@@ -214,42 +324,10 @@ impl ByteLog {
         self.pager.read_batch(ids)
     }
 
-    /// Like [`ByteLog::read_at`], but pages present in `pinned` are served
-    /// from the pins without touching the pager. The tail page is still
-    /// served from the in-memory tail buffer, and pages missing from
-    /// `pinned` fall back to ordinary cached reads, so the call is correct
-    /// for any pin set.
-    pub fn read_at_pinned(&self, pos: u64, buf: &mut [u8], pinned: &PinnedPages) -> Result<()> {
-        if pos + buf.len() as u64 > self.len {
-            return Err(StorageError::Corrupt(format!(
-                "byte-log read [{pos}, +{}) beyond length {}",
-                buf.len(),
-                self.len
-            )));
-        }
-        let page_size = self.pager.page_size() as u64;
-        let mut filled = 0usize;
-        let mut pos = pos;
-        while filled < buf.len() {
-            let page = PageId(1 + pos / page_size);
-            let in_page = (pos % page_size) as usize;
-            let n = (buf.len() - filled).min(page_size as usize - in_page);
-            if page == self.tail_page {
-                buf[filled..filled + n].copy_from_slice(&self.tail_buf[in_page..in_page + n]);
-            } else if let Some(p) = pinned.get(page) {
-                buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
-            } else {
-                let p = self.pager.read_page(page)?;
-                buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
-            }
-            filled += n;
-            pos += n as u64;
-        }
-        Ok(())
-    }
-
     /// Random overwrite of already-appended bytes (used for in-place flag
-    /// updates such as tombstones; cannot extend the log).
+    /// updates such as tombstones; cannot extend the log). Buffered in
+    /// memory and committed — journaled, then applied — by the next
+    /// [`ByteLog::flush`].
     pub fn write_at(&mut self, pos: u64, data: &[u8]) -> Result<()> {
         if pos + data.len() as u64 > self.len {
             return Err(StorageError::Corrupt(format!(
@@ -262,16 +340,21 @@ impl ByteLog {
         let mut written = 0usize;
         let mut pos = pos;
         while written < data.len() {
-            let page = PageId(1 + pos / page_size);
+            let page = PageId(pos / page_size);
             let in_page = (pos % page_size) as usize;
             let n = (data.len() - written).min(page_size as usize - in_page);
             if page == self.tail_page {
                 self.tail_buf[in_page..in_page + n].copy_from_slice(&data[written..written + n]);
                 self.tail_dirty = true;
             } else {
-                self.pager.update_page(page, |p| {
-                    p[in_page..in_page + n].copy_from_slice(&data[written..written + n]);
-                })?;
+                let img = match self.overlay.entry(page.0) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(self.pager.read_page(page)?.as_ref().clone())
+                    }
+                };
+                img[in_page..in_page + n].copy_from_slice(&data[written..written + n]);
+                self.header_dirty = true;
             }
             written += n;
             pos += n as u64;
@@ -279,27 +362,101 @@ impl ByteLog {
         Ok(())
     }
 
-    /// Persist the tail page and header.
+    /// Commit: make everything appended or overwritten so far durable and
+    /// recoverable. See the module docs for the three-step protocol. On
+    /// `Ok`, the current state survives any crash; on `Err`, the previous
+    /// commit does.
     pub fn flush(&mut self) -> Result<()> {
+        if !self.tail_dirty
+            && !self.header_dirty
+            && self.overlay.is_empty()
+            && self.len == self.committed_len
+        {
+            return Ok(());
+        }
+        // Step 1: data first. Appended full pages were written when they
+        // filled; add the tail page and make it all durable.
         if self.tail_dirty {
             self.pager
                 .write_page(self.tail_page, self.tail_buf.clone())?;
             self.tail_dirty = false;
         }
-        if self.header_dirty {
-            let user = self.user_header;
-            let len = self.len;
-            self.pager.update_page(PageId(0), |h| {
-                h[0..4].copy_from_slice(&MAGIC.to_le_bytes());
-                h[4..8].copy_from_slice(&VERSION.to_le_bytes());
-                h[8..16].copy_from_slice(&len.to_le_bytes());
-                h[16..16 + USER_HEADER_LEN].copy_from_slice(&user);
-            })?;
-            self.header_dirty = false;
-        }
         self.pager.sync()?;
+
+        // Step 2: the commit point — atomically replace the commit record.
+        let tail_len = (self.len % self.pager.page_size() as u64) as usize;
+        let mut payload =
+            Vec::with_capacity(PAYLOAD_FIXED + tail_len + self.overlay.len() * (8 + 16));
+        payload.extend_from_slice(&self.len.to_le_bytes());
+        payload.extend_from_slice(&self.user_header);
+        payload.extend_from_slice(&(tail_len as u32).to_le_bytes());
+        payload.extend_from_slice(&(self.overlay.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&self.tail_buf[..tail_len]);
+        for (&id, image) in &self.overlay {
+            payload.extend_from_slice(&id.to_le_bytes());
+            payload.extend_from_slice(image);
+        }
+        write_commit_record(self.vfs.as_ref(), &self.meta_path, &payload)?;
+        self.committed_len = self.len;
+        self.header_dirty = false;
+
+        // Step 3: apply the journaled in-place rewrites. A crash from here
+        // on is repaired by replaying the journal committed in step 2.
+        if !self.overlay.is_empty() {
+            for (&id, image) in &self.overlay {
+                self.pager.write_page(PageId(id), image.clone())?;
+            }
+            self.overlay.clear();
+            self.pager.sync()?;
+        }
         Ok(())
     }
+}
+
+/// Parse a commit-record payload into
+/// `(len, user_header, tail_image, journal)`.
+#[allow(clippy::type_complexity)]
+fn parse_payload(
+    payload: &[u8],
+    page_size: usize,
+) -> Result<(u64, [u8; USER_HEADER_LEN], Vec<u8>, Vec<(u64, Vec<u8>)>)> {
+    let corrupt = |msg: &str| StorageError::Corrupt(format!("byte-log commit record: {msg}"));
+    if payload.len() < PAYLOAD_FIXED {
+        return Err(corrupt("shorter than fixed header"));
+    }
+    let len = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let mut user_header = [0u8; USER_HEADER_LEN];
+    user_header.copy_from_slice(&payload[8..8 + USER_HEADER_LEN]);
+    let tail_len = u32::from_le_bytes(payload[40..44].try_into().expect("4 bytes")) as usize;
+    let journal_count = u32::from_le_bytes(payload[44..48].try_into().expect("4 bytes")) as usize;
+    if tail_len >= page_size {
+        return Err(corrupt("tail image longer than a page"));
+    }
+    if tail_len != (len % page_size as u64) as usize {
+        return Err(corrupt(
+            "tail image length inconsistent with committed length",
+        ));
+    }
+    let mut off = PAYLOAD_FIXED;
+    if payload.len() < off + tail_len {
+        return Err(corrupt("truncated tail image"));
+    }
+    let tail_image = payload[off..off + tail_len].to_vec();
+    off += tail_len;
+    let mut journal = Vec::with_capacity(journal_count);
+    for _ in 0..journal_count {
+        if payload.len() < off + 8 + page_size {
+            return Err(corrupt("truncated journal entry"));
+        }
+        let id = u64::from_le_bytes(payload[off..off + 8].try_into().expect("8 bytes"));
+        off += 8;
+        journal.push((id, payload[off..off + page_size].to_vec()));
+        off += page_size;
+    }
+    if off != payload.len() {
+        return Err(corrupt("trailing bytes after journal"));
+    }
+    Ok((len, user_header, tail_image, journal))
 }
 
 #[cfg(test)]
@@ -434,6 +591,29 @@ mod tests {
     }
 
     #[test]
+    fn write_at_survives_flush_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("iva-log3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.db");
+        let opts = PagerOptions {
+            page_size: 128,
+            cache_bytes: 1024,
+        };
+        {
+            let mut log = ByteLog::create(&path, &opts, IoStats::new()).unwrap();
+            log.append(&vec![1u8; 400]).unwrap();
+            log.flush().unwrap();
+            log.write_at(130, b"PATCH").unwrap(); // a committed interior page
+            log.flush().unwrap();
+        }
+        let log = ByteLog::open(&path, &opts, IoStats::new()).unwrap();
+        let mut buf = vec![0u8; 5];
+        log.read_at(130, &mut buf).unwrap();
+        assert_eq!(&buf, b"PATCH");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn pinned_reads_match_plain_reads() {
         let mut log = mem_log();
         let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
@@ -459,16 +639,32 @@ mod tests {
     #[test]
     fn pages_spanning_excludes_tail() {
         let mut log = mem_log(); // page size 128
-        log.append(&vec![1u8; 300]).unwrap(); // pages 1, 2, tail = 3
+        log.append(&vec![1u8; 300]).unwrap(); // pages 0, 1, tail = 2
         let mut ids = Vec::new();
-        log.pages_spanning(100, 150, &mut ids); // bytes 100..250 => pages 1, 2
-        assert_eq!(ids, vec![PageId(1), PageId(2)]);
+        log.pages_spanning(100, 150, &mut ids); // bytes 100..250 => pages 0, 1
+        assert_eq!(ids, vec![PageId(0), PageId(1)]);
         ids.clear();
-        log.pages_spanning(250, 50, &mut ids); // bytes 250..300: page 2 + tail
-        assert_eq!(ids, vec![PageId(2)], "tail page must be excluded");
+        log.pages_spanning(250, 50, &mut ids); // bytes 250..300: page 1 + tail
+        assert_eq!(ids, vec![PageId(1)], "tail page must be excluded");
         ids.clear();
         log.pages_spanning(0, 0, &mut ids);
         assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn pages_spanning_excludes_overlay() {
+        let mut log = mem_log();
+        log.append(&vec![3u8; 400]).unwrap(); // pages 0..2 full, tail = 3
+        log.flush().unwrap();
+        log.write_at(129, b"!").unwrap(); // overlay on page 1
+        let mut ids = Vec::new();
+        log.pages_spanning(0, 390, &mut ids);
+        assert_eq!(ids, vec![PageId(0), PageId(2)], "overlay page excluded");
+        // Reads still see the overlay, pinned or not.
+        let pins = log.pin_pages(&ids).unwrap();
+        let mut b = [0u8; 1];
+        log.read_at_pinned(129, &mut b, &pins).unwrap();
+        assert_eq!(&b, b"!");
     }
 
     #[test]
@@ -489,11 +685,56 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.db");
         std::fs::write(&path, vec![0u8; 256]).unwrap();
+        std::fs::write(sidecar_path(&path), vec![0u8; 64]).unwrap();
         let opts = PagerOptions {
             page_size: 128,
             cache_bytes: 1024,
         };
         assert!(ByteLog::open(&path, &opts, IoStats::new()).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_without_commit_record_is_format_error() {
+        let dir = std::env::temp_dir().join(format!("iva-log4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("orphan.db");
+        let opts = PagerOptions {
+            page_size: 128,
+            cache_bytes: 1024,
+        };
+        {
+            ByteLog::create(&path, &opts, IoStats::new()).unwrap();
+        }
+        std::fs::remove_file(sidecar_path(&path)).unwrap();
+        assert!(matches!(
+            ByteLog::open(&path, &opts, IoStats::new()),
+            Err(StorageError::Format { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_appends_roll_back_on_reopen() {
+        let vfs_shared: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let path = Path::new("roll.log");
+        let opts = PagerOptions {
+            page_size: 128,
+            cache_bytes: 1024,
+        };
+        {
+            let mut log =
+                ByteLog::create_with_vfs(Arc::clone(&vfs_shared), path, &opts, IoStats::new())
+                    .unwrap();
+            log.append(&[1u8; 200]).unwrap();
+            log.flush().unwrap();
+            log.append(&vec![2u8; 500]).unwrap(); // acked? no — never flushed
+        }
+        let log =
+            ByteLog::open_with_vfs(Arc::clone(&vfs_shared), path, &opts, IoStats::new()).unwrap();
+        assert_eq!(log.len(), 200, "unflushed appends must roll back");
+        let mut buf = vec![0u8; 200];
+        log.read_at(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
     }
 }

@@ -1,0 +1,98 @@
+//! CRC32C (Castagnoli) — the page-checksum algorithm of the on-disk format.
+//!
+//! Hand-rolled (the build environment is offline, so no `crc32c` crate):
+//! a slicing-by-8 table implementation, ~1 GB/s in software, which keeps
+//! checksum cost well under the modeled disk transfer time of a page.
+//! Polynomial 0x1EDC6F41 (reflected 0x82F63B78), the same checksum used by
+//! iSCSI, ext4 metadata and RocksDB block trailers.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0x82F6_3B78;
+
+static TABLES: OnceLock<Box<[[u32; 256]; 8]>> = OnceLock::new();
+
+fn make_tables() -> Box<[[u32; 256]; 8]> {
+    let mut t = Box::new([[0u32; 256]; 8]);
+    for i in 0..256usize {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+        }
+        t[0][i] = c;
+    }
+    for i in 0..256usize {
+        let mut c = t[0][i];
+        for k in 1..8 {
+            c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+            t[k][i] = c;
+        }
+    }
+    t
+}
+
+/// CRC32C of `data` (starting from the empty-message state).
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Continue a CRC32C over more data; `crc` is the value returned by a
+/// previous [`crc32c`]/[`crc32c_append`] call over the preceding bytes.
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let t = TABLES.get_or_init(make_tables);
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ crc;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / iSCSI test vectors.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn append_equals_whole() {
+        let data: Vec<u8> = (0..255u8).collect();
+        let whole = crc32c(&data);
+        for split in [0, 1, 7, 8, 9, 100, 255] {
+            let c = crc32c_append(crc32c(&data[..split]), &data[split..]);
+            assert_eq!(c, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0xA5u8; 64];
+        let base = crc32c(&data);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&data), base, "flip {byte}.{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

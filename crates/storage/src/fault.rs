@@ -1,0 +1,488 @@
+//! Deterministic fault-injecting filesystem for torture tests.
+//!
+//! [`FaultVfs`] is an in-memory filesystem that models the failure modes a
+//! real disk exposes: short reads and writes, transient `EIO`, failed
+//! fsyncs, and — most importantly — *power cuts*. Every file keeps two
+//! images: the **volatile** one (what the OS page cache would show) and the
+//! **durable** one (what survives a crash). `sync` promotes volatile to
+//! durable; a power cut replays the unsynced write extents against the
+//! durable image with a seeded RNG deciding, per extent, whether it
+//! survives in full, as a torn prefix, or not at all — exactly the
+//! reordering/tearing freedom POSIX grants between fsyncs. `rename` is
+//! modeled as atomic and immediately durable (the commit-point assumption
+//! documented in [`vfs`](crate::vfs)).
+//!
+//! Every operation is numbered by a global counter, so a whole workload is
+//! reproducible from `(seed, crash_at)` alone — that pair is what the
+//! torture harness prints on failure.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::vfs::{MemVfs, Vfs, VfsFile};
+
+/// The kinds of fault [`FaultVfs`] can inject at a chosen operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The read returns fewer bytes than requested (possibly zero).
+    ShortRead,
+    /// The write persists only a prefix of the buffer.
+    ShortWrite,
+    /// The operation fails with `EIO` (state unchanged).
+    Eio,
+    /// `sync` fails; nothing is promoted to durable.
+    SyncFail,
+    /// Power cut: unsynced writes survive randomly (torn/dropped/whole),
+    /// and every later operation fails until the harness reopens from the
+    /// durable image.
+    PowerCut,
+}
+
+/// A single planned fault: inject `kind` when the operation counter
+/// reaches `at`.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedFault {
+    /// Operation index (see [`FaultVfs::op_count`]) at which to fire.
+    pub at: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// One pending (unsynced) mutation on a file.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// `write_at(off, data)` — data already visible in the volatile image.
+    Write { off: u64, data: Vec<u8> },
+    /// `set_len(len)`.
+    Truncate { len: u64 },
+}
+
+#[derive(Default)]
+struct FileImages {
+    durable: Vec<u8>,
+    volatile: Vec<u8>,
+    pending: Vec<Pending>,
+}
+
+struct FaultState {
+    files: HashMap<PathBuf, FileImages>,
+    rng: u64,
+    op: u64,
+    faults: Vec<PlannedFault>,
+    crashed: bool,
+}
+
+impl FaultState {
+    /// splitmix64 — small, seedable, and good enough for tearing decisions.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Advance the op counter and return the fault planned for this op.
+    fn tick(&mut self) -> io::Result<Option<FaultKind>> {
+        if self.crashed {
+            return Err(io::Error::other("power already cut: filesystem is down"));
+        }
+        let op = self.op;
+        self.op += 1;
+        Ok(self.faults.iter().find(|f| f.at == op).map(|f| f.kind))
+    }
+
+    /// Apply the power-cut model: each pending mutation, in order,
+    /// survives whole, as a torn prefix, or not at all.
+    fn power_cut(&mut self) {
+        self.crashed = true;
+        let mut files = std::mem::take(&mut self.files);
+        for images in files.values_mut() {
+            let pending = std::mem::take(&mut images.pending);
+            for p in pending {
+                match self.next_u64() % 3 {
+                    0 => { /* dropped */ }
+                    1 => apply_write(&mut images.durable, &p, None),
+                    _ => {
+                        let torn = match &p {
+                            Pending::Write { data, .. } if !data.is_empty() => {
+                                Some((self.next_u64() % data.len() as u64) as usize)
+                            }
+                            _ => None,
+                        };
+                        apply_write(&mut images.durable, &p, torn);
+                    }
+                }
+            }
+        }
+        self.files = files;
+    }
+}
+
+fn apply_write(durable: &mut Vec<u8>, p: &Pending, torn_prefix: Option<usize>) {
+    match p {
+        Pending::Write { off, data } => {
+            let n = torn_prefix.unwrap_or(data.len());
+            let end = *off as usize + n;
+            if durable.len() < end {
+                durable.resize(end, 0);
+            }
+            durable[*off as usize..end].copy_from_slice(&data[..n]);
+        }
+        Pending::Truncate { len } => durable.resize(*len as usize, 0),
+    }
+}
+
+/// Deterministic fault-injecting in-memory filesystem.
+///
+/// With an empty fault plan it is a pure pass-through (still counting
+/// operations), which is how CI proves the abstraction is functionally
+/// free. `Clone` shares the filesystem.
+#[derive(Clone)]
+pub struct FaultVfs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// A pass-through instance: no faults, operations counted.
+    pub fn passthrough(seed: u64) -> Self {
+        Self::with_faults(seed, Vec::new())
+    }
+
+    /// An instance that cuts power at operation index `crash_at`.
+    pub fn power_cut_at(seed: u64, crash_at: u64) -> Self {
+        Self::with_faults(
+            seed,
+            vec![PlannedFault {
+                at: crash_at,
+                kind: FaultKind::PowerCut,
+            }],
+        )
+    }
+
+    /// An instance with an arbitrary fault plan.
+    pub fn with_faults(seed: u64, faults: Vec<PlannedFault>) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(FaultState {
+                files: HashMap::new(),
+                rng: seed,
+                op: 0,
+                faults,
+                crashed: false,
+            })),
+        }
+    }
+
+    /// Number of filesystem operations performed so far. A dry run records
+    /// the workload length; the torture harness then sweeps `crash_at`
+    /// over `0..op_count()`.
+    pub fn op_count(&self) -> u64 {
+        self.state.lock().unwrap().op
+    }
+
+    /// Whether the planned power cut has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Snapshot the **durable** image of every file into a fresh
+    /// [`MemVfs`] — what a machine would find on disk after the crash.
+    /// Reopen from this to exercise recovery.
+    pub fn durable_snapshot(&self) -> MemVfs {
+        let state = self.state.lock().unwrap();
+        let out = MemVfs::new();
+        for (path, images) in &state.files {
+            out.set_contents(path, images.durable.clone());
+        }
+        out
+    }
+
+    /// Snapshot the **volatile** image (what the process saw just before
+    /// the crash) — useful for debugging torture failures.
+    pub fn volatile_snapshot(&self) -> MemVfs {
+        let state = self.state.lock().unwrap();
+        let out = MemVfs::new();
+        for (path, images) in &state.files {
+            out.set_contents(path, images.volatile.clone());
+        }
+        out
+    }
+
+    fn tick(&self, during_sync: bool) -> io::Result<Option<FaultKind>> {
+        let mut state = self.state.lock().unwrap();
+        match state.tick()? {
+            Some(FaultKind::PowerCut) => {
+                state.power_cut();
+                Err(io::Error::other("injected power cut"))
+            }
+            Some(FaultKind::Eio) => Err(io::Error::other("injected EIO")),
+            Some(FaultKind::SyncFail) if during_sync => {
+                Err(io::Error::other("injected fsync failure"))
+            }
+            other => Ok(other),
+        }
+    }
+
+    fn with_file<R>(
+        &self,
+        path: &Path,
+        f: impl FnOnce(&mut FaultState, &PathBuf) -> io::Result<R>,
+    ) -> io::Result<R> {
+        let mut state = self.state.lock().unwrap();
+        if state.crashed {
+            return Err(io::Error::other("power already cut: filesystem is down"));
+        }
+        f(&mut state, &path.to_path_buf())
+    }
+}
+
+struct FaultFile {
+    vfs: FaultVfs,
+    path: PathBuf,
+}
+
+impl FaultFile {
+    fn with_images<R>(
+        &self,
+        f: impl FnOnce(&mut FaultState, &mut FileImages) -> R,
+    ) -> io::Result<R> {
+        let mut state = self.vfs.state.lock().unwrap();
+        let mut images = state.files.remove(&self.path).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "file removed under open handle")
+        })?;
+        let r = f(&mut state, &mut images);
+        state.files.insert(self.path.clone(), images);
+        Ok(r)
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<usize> {
+        let fault = self.vfs.tick(false)?;
+        self.with_images(|state, images| {
+            let data = &images.volatile;
+            let off = off as usize;
+            if off >= data.len() {
+                return 0;
+            }
+            let mut n = buf.len().min(data.len() - off);
+            if fault == Some(FaultKind::ShortRead) && n > 0 {
+                n = (state.next_u64() % n as u64) as usize;
+            }
+            buf[..n].copy_from_slice(&data[off..off + n]);
+            n
+        })
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> io::Result<usize> {
+        let fault = self.vfs.tick(false)?;
+        self.with_images(|state, images| {
+            let mut n = buf.len();
+            if fault == Some(FaultKind::ShortWrite) && n > 1 {
+                n = 1 + (state.next_u64() % (n as u64 - 1)) as usize;
+            }
+            let p = Pending::Write {
+                off,
+                data: buf[..n].to_vec(),
+            };
+            apply_write(&mut images.volatile, &p, None);
+            images.pending.push(p);
+            n
+        })
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.with_images(|_, images| images.volatile.len() as u64)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.vfs.tick(false)?;
+        self.with_images(|_, images| {
+            let p = Pending::Truncate { len };
+            apply_write(&mut images.volatile, &p, None);
+            images.pending.push(p);
+        })
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.vfs.tick(true)?;
+        self.with_images(|_, images| {
+            images.durable = images.volatile.clone();
+            images.pending.clear();
+        })
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.tick(false)?;
+        self.with_file(path, |state, path| {
+            let images = state.files.entry(path.clone()).or_default();
+            // Truncation is a pending mutation like any other: the durable
+            // image keeps the old contents until a sync or rename.
+            let p = Pending::Truncate { len: 0 };
+            apply_write(&mut images.volatile, &p, None);
+            images.pending.push(p);
+            Ok(())
+        })?;
+        Ok(Box::new(FaultFile {
+            vfs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.tick(false)?;
+        self.with_file(path, |state, path| {
+            if state.files.contains_key(path) {
+                Ok(())
+            } else {
+                Err(io::Error::new(io::ErrorKind::NotFound, "no such file"))
+            }
+        })?;
+        Ok(Box::new(FaultFile {
+            vfs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let state = self.state.lock().unwrap();
+        !state.crashed && state.files.contains_key(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.tick(false)?;
+        self.with_file(from, |state, from| {
+            let mut images = state
+                .files
+                .remove(from)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "rename source missing"))?;
+            // Atomic-and-durable commit point: the renamed file's current
+            // volatile contents become its durable contents.
+            images.durable = images.volatile.clone();
+            images.pending.clear();
+            state.files.insert(to.to_path_buf(), images);
+            Ok(())
+        })
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.tick(false)?;
+        self.with_file(path, |state, path| {
+            state
+                .files
+                .remove(path)
+                .map(|_| ())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{read_to_vec, write_full_at};
+
+    #[test]
+    fn passthrough_behaves_like_memvfs() {
+        let vfs = FaultVfs::passthrough(1);
+        let f = vfs.create(Path::new("a")).unwrap();
+        write_full_at(f.as_ref(), b"abcdef", 0).unwrap();
+        f.sync().unwrap();
+        assert_eq!(read_to_vec(&vfs, Path::new("a")).unwrap(), b"abcdef");
+        assert!(vfs.op_count() > 0);
+        assert!(!vfs.crashed());
+    }
+
+    #[test]
+    fn unsynced_writes_may_not_survive_power_cut() {
+        // Write two extents, sync only the first, cut power on the next op.
+        // The durable image must contain the synced extent exactly; the
+        // unsynced one in any torn/dropped/whole state.
+        for seed in 0..32u64 {
+            let vfs = FaultVfs::with_faults(seed, vec![]);
+            let f = vfs.create(Path::new("a")).unwrap();
+            write_full_at(f.as_ref(), &[1u8; 8], 0).unwrap();
+            f.sync().unwrap();
+            write_full_at(f.as_ref(), &[2u8; 8], 8).unwrap();
+            let crash_now = vfs.op_count();
+            drop(f);
+            let vfs2 = FaultVfs::power_cut_at(seed, crash_now);
+            let f = vfs2.create(Path::new("a")).unwrap();
+            write_full_at(f.as_ref(), &[1u8; 8], 0).unwrap();
+            f.sync().unwrap();
+            write_full_at(f.as_ref(), &[2u8; 8], 8).unwrap();
+            assert!(f.sync().is_err(), "power cut must fail the op");
+            assert!(vfs2.crashed());
+            let durable = vfs2.durable_snapshot();
+            let got = durable.contents(Path::new("a")).unwrap();
+            assert_eq!(&got[..8], &[1u8; 8], "synced prefix must survive");
+            for &b in &got[8..] {
+                assert!(b == 0 || b == 2, "torn bytes must be old or new");
+            }
+        }
+    }
+
+    #[test]
+    fn rename_is_durable_commit_point() {
+        let vfs = FaultVfs::passthrough(7);
+        let f = vfs.create(Path::new("m.new")).unwrap();
+        write_full_at(f.as_ref(), b"meta", 0).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        vfs.rename(Path::new("m.new"), Path::new("m")).unwrap();
+        let durable = vfs.durable_snapshot();
+        assert_eq!(durable.contents(Path::new("m")).unwrap(), b"meta");
+        assert!(durable.contents(Path::new("m.new")).is_none());
+    }
+
+    #[test]
+    fn post_crash_operations_fail_not_panic() {
+        let vfs = FaultVfs::power_cut_at(3, 2);
+        let f = vfs.create(Path::new("x")).unwrap();
+        let _ = f.write_at(&[0; 4], 0); // op 1
+        let err = f.sync(); // op 2 => power cut
+        assert!(err.is_err());
+        assert!(f.write_at(&[0; 4], 0).is_err());
+        assert!(f.read_at(&mut [0; 4], 0).is_err());
+        assert!(vfs.create(Path::new("y")).is_err());
+        assert!(vfs.open(Path::new("x")).is_err());
+    }
+
+    #[test]
+    fn injected_faults_fire_once_at_index() {
+        // EIO on op 3 (a read), everything else clean.
+        let vfs = FaultVfs::with_faults(
+            9,
+            vec![PlannedFault {
+                at: 3,
+                kind: FaultKind::Eio,
+            }],
+        );
+        let f = vfs.create(Path::new("a")).unwrap(); // op 0
+        write_full_at(f.as_ref(), &[5u8; 4], 0).unwrap(); // op 1
+        f.sync().unwrap(); // op 2
+        let mut buf = [0u8; 4];
+        assert!(f.read_at(&mut buf, 0).is_err()); // op 3: EIO
+        f.read_at(&mut buf, 0).unwrap(); // op 4: fine again
+        assert_eq!(buf, [5u8; 4]);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed: u64| {
+            let vfs = FaultVfs::power_cut_at(seed, 6);
+            let f = vfs.create(Path::new("a")).unwrap();
+            for i in 0..8u64 {
+                if write_full_at(f.as_ref(), &[i as u8; 16], i * 16).is_err() {
+                    break;
+                }
+            }
+            vfs.durable_snapshot().contents(Path::new("a"))
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,22 +1,42 @@
-//! Counting block file: the lowest layer, either disk- or memory-backed.
+//! Counting block file: the lowest layer, superblock + checksummed frames.
 //!
 //! Every physical read is classified as *sequential* (the page directly
 //! following the previously read page) or *random* (anything else, costing a
 //! seek on spinning media). The classification feeds
 //! [`IoStats`](crate::stats::IoStats) and ultimately the disk cost model.
+//!
+//! # On-disk layout
+//!
+//! All I/O goes through a [`Vfs`], and the format is self-validating:
+//!
+//! ```text
+//! [ superblock: 64 bytes ][ frame 0 ][ frame 1 ] ...
+//! superblock = magic "IVFB" | version | page_size | zeros | crc32c
+//! frame      = page data (page_size bytes) | crc32c (4) | reserved (4)
+//! ```
+//!
+//! Upper layers see only *logical* pages of `page_size` bytes — the frame
+//! trailer and superblock are invisible to them, and I/O accounting stays
+//! in logical page units so the disk cost model is unchanged. Every read
+//! verifies the frame's CRC32C before a byte is interpreted; a mismatch is
+//! [`StorageError::ChecksumMismatch`], never a wrong answer.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use crate::crc::crc32c;
 use crate::error::{Result, StorageError};
 use crate::page::PageId;
 use crate::stats::IoStats;
+use crate::vfs::{read_full_at, write_full_at, MemVfs, RealVfs, Vfs, VfsFile};
 
-enum Backing {
-    Disk(File),
-    Mem(Vec<u8>),
-}
+/// Magic at byte 0 of every block file.
+pub const SUPERBLOCK_MAGIC: [u8; 4] = *b"IVFB";
+/// Current block-file format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Size of the superblock preceding the first page frame.
+pub const SUPERBLOCK_LEN: u64 = 64;
+/// Per-page frame trailer: 4 bytes CRC32C + 4 reserved.
+pub const FRAME_TRAILER: usize = 8;
 
 /// Number of concurrent sequential streams the read classifier tracks —
 /// models OS readahead, which recognizes several interleaved sequential
@@ -25,68 +45,172 @@ enum Backing {
 /// charging those as random accesses).
 const READ_STREAMS: usize = 8;
 
-/// A file of fixed-size pages with I/O accounting.
+/// A file of fixed-size pages with checksummed frames and I/O accounting.
 pub struct BlockFile {
-    backing: Backing,
+    file: Box<dyn VfsFile>,
     page_size: usize,
     num_pages: u64,
+    /// Verify frame CRCs on read (on by default; the checksum-overhead
+    /// bench toggles this to measure the cost).
+    verify: bool,
     /// Last-read page per detected stream, for sequential classification.
     streams: [u64; READ_STREAMS],
     /// Round-robin replacement cursor for `streams`.
     stream_clock: usize,
     stats: IoStats,
+    /// Reusable frame-sized scratch buffer for reads and writes.
+    scratch: Vec<u8>,
 }
 
 impl BlockFile {
-    /// Create (truncate) a disk-backed file.
-    pub fn create(path: &Path, page_size: usize, stats: IoStats) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        Ok(Self {
-            backing: Backing::Disk(file),
-            page_size,
-            num_pages: 0,
-            streams: [u64::MAX; READ_STREAMS],
-            stream_clock: 0,
-            stats,
-        })
+    fn frame_size(&self) -> usize {
+        self.page_size + FRAME_TRAILER
     }
 
-    /// Open an existing disk-backed file. Its length must be a whole number
-    /// of pages.
-    pub fn open(path: &Path, page_size: usize, stats: IoStats) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let len = file.metadata()?.len();
-        if len % page_size as u64 != 0 {
-            return Err(StorageError::Corrupt(format!(
-                "file length {len} is not a multiple of page size {page_size}"
-            )));
-        }
-        Ok(Self {
-            backing: Backing::Disk(file),
+    fn frame_offset(&self, id: u64) -> u64 {
+        SUPERBLOCK_LEN + id * self.frame_size() as u64
+    }
+
+    fn new(file: Box<dyn VfsFile>, page_size: usize, num_pages: u64, stats: IoStats) -> Self {
+        Self {
+            file,
             page_size,
-            num_pages: len / page_size as u64,
+            num_pages,
+            verify: true,
             streams: [u64::MAX; READ_STREAMS],
             stream_clock: 0,
             stats,
-        })
+            scratch: vec![0u8; page_size + FRAME_TRAILER],
+        }
+    }
+
+    fn superblock(page_size: usize) -> [u8; SUPERBLOCK_LEN as usize] {
+        let mut sb = [0u8; SUPERBLOCK_LEN as usize];
+        sb[0..4].copy_from_slice(&SUPERBLOCK_MAGIC);
+        sb[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        sb[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+        let crc = crc32c(&sb[0..60]);
+        sb[60..64].copy_from_slice(&crc.to_le_bytes());
+        sb
+    }
+
+    /// Create (truncate) a file through `vfs`, writing the superblock.
+    pub fn create_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        page_size: usize,
+        stats: IoStats,
+    ) -> Result<Self> {
+        check_page_size(page_size)?;
+        let file = vfs.create(path)?;
+        write_full_at(file.as_ref(), &Self::superblock(page_size), 0)?;
+        Ok(Self::new(file, page_size, 0, stats))
+    }
+
+    /// Open an existing file through `vfs`, validating the superblock. The
+    /// file body must be a whole number of frames.
+    pub fn open_with(vfs: &dyn Vfs, path: &Path, page_size: usize, stats: IoStats) -> Result<Self> {
+        let (file, torn) = Self::open_impl(vfs, path, page_size, stats)?;
+        if torn {
+            return Err(StorageError::Corrupt(
+                "file body is not a whole number of page frames (torn tail)".into(),
+            ));
+        }
+        Ok(file)
+    }
+
+    /// Crash-tolerant open: a trailing partial frame (a torn append) is
+    /// *excluded* from the page count instead of rejected, and reported in
+    /// the returned flag so the caller's recovery can truncate it away.
+    pub fn open_recovering(
+        vfs: &dyn Vfs,
+        path: &Path,
+        page_size: usize,
+        stats: IoStats,
+    ) -> Result<(Self, bool)> {
+        Self::open_impl(vfs, path, page_size, stats)
+    }
+
+    fn open_impl(
+        vfs: &dyn Vfs,
+        path: &Path,
+        page_size: usize,
+        stats: IoStats,
+    ) -> Result<(Self, bool)> {
+        check_page_size(page_size)?;
+        let file = vfs.open(path)?;
+        let len = file.len()?;
+        let expected =
+            format!("iVA block file (magic \"IVFB\" v{FORMAT_VERSION}, page size {page_size})");
+        if len < SUPERBLOCK_LEN {
+            return Err(StorageError::Format {
+                expected,
+                found: format!("{len}-byte file, too short for a superblock"),
+            });
+        }
+        let mut sb = [0u8; SUPERBLOCK_LEN as usize];
+        read_full_at(file.as_ref(), &mut sb, 0)?;
+        if sb[0..4] != SUPERBLOCK_MAGIC {
+            return Err(StorageError::Format {
+                expected,
+                found: format!("magic {:02x?}", &sb[0..4]),
+            });
+        }
+        let version = u32::from_le_bytes([sb[4], sb[5], sb[6], sb[7]]);
+        if version != FORMAT_VERSION {
+            return Err(StorageError::Format {
+                expected,
+                found: format!("format version {version}"),
+            });
+        }
+        let file_ps = u32::from_le_bytes([sb[8], sb[9], sb[10], sb[11]]);
+        if file_ps as usize != page_size {
+            return Err(StorageError::Format {
+                expected,
+                found: format!("page size {file_ps}"),
+            });
+        }
+        let crc = u32::from_le_bytes([sb[60], sb[61], sb[62], sb[63]]);
+        let computed = crc32c(&sb[0..60]);
+        if crc != computed {
+            return Err(StorageError::Corrupt(format!(
+                "superblock checksum mismatch: stored {crc:#010x}, computed {computed:#010x}"
+            )));
+        }
+        let body = len - SUPERBLOCK_LEN;
+        let frame = (page_size + FRAME_TRAILER) as u64;
+        let torn = !body.is_multiple_of(frame);
+        let num_pages = body / frame;
+        Ok((Self::new(file, page_size, num_pages, stats), torn))
+    }
+
+    /// Create (truncate) a disk-backed file.
+    pub fn create(path: &Path, page_size: usize, stats: IoStats) -> Result<Self> {
+        Self::create_with(&RealVfs, path, page_size, stats)
+    }
+
+    /// Open an existing disk-backed file.
+    pub fn open(path: &Path, page_size: usize, stats: IoStats) -> Result<Self> {
+        Self::open_with(&RealVfs, path, page_size, stats)
     }
 
     /// Create a memory-backed file (used in tests and property checks;
-    /// accounting behaves identically to the disk backing).
+    /// accounting behaves identically to the disk backing). With
+    /// `IVA_VFS=fault` in the environment the backing is a pass-through
+    /// [`FaultVfs`](crate::FaultVfs) instead, proving the fault-injection
+    /// seam is functionally free.
     pub fn create_mem(page_size: usize, stats: IoStats) -> Self {
-        Self {
-            backing: Backing::Mem(Vec::new()),
-            page_size,
-            num_pages: 0,
-            streams: [u64::MAX; READ_STREAMS],
-            stream_clock: 0,
-            stats,
+        let path = Path::new("mem.blk");
+        let file = if std::env::var_os("IVA_VFS").is_some_and(|v| v == "fault") {
+            crate::fault::FaultVfs::passthrough(0x1FA5_7FA5).create(path)
+        } else {
+            MemVfs::new().create(path)
         }
+        .expect("in-memory vfs create cannot fail");
+        let f = file;
+        write_full_at(f.as_ref(), &Self::superblock(page_size), 0)
+            .expect("in-memory superblock write cannot fail");
+        Self::new(f, page_size, 0, stats)
     }
 
     /// Page size in bytes.
@@ -99,20 +223,60 @@ impl BlockFile {
         self.num_pages
     }
 
+    /// Enable or disable CRC verification on reads (writes always stamp
+    /// checksums). Used by the checksum-overhead bench.
+    pub fn set_verify(&mut self, verify: bool) {
+        self.verify = verify;
+    }
+
+    /// Drop pages `n..` from the file (crash recovery truncating torn or
+    /// uncommitted appends). `n` past the current end is a no-op.
+    pub fn truncate_pages(&mut self, n: u64) -> Result<()> {
+        if n >= self.num_pages {
+            return Ok(());
+        }
+        self.file.set_len(self.frame_offset(n))?;
+        self.num_pages = n;
+        Ok(())
+    }
+
     /// Append a zeroed page, returning its id.
     pub fn grow(&mut self) -> Result<PageId> {
         let id = self.num_pages;
-        let zeros = vec![0u8; self.page_size];
-        match &mut self.backing {
-            Backing::Disk(f) => {
-                f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-                f.write_all(&zeros)?;
-            }
-            Backing::Mem(v) => v.extend_from_slice(&zeros),
-        }
+        self.scratch[..self.page_size].fill(0);
+        self.seal_scratch();
+        write_full_at(self.file.as_ref(), &self.scratch, self.frame_offset(id))?;
         self.stats.record_disk_write(self.page_size as u64);
         self.num_pages += 1;
         Ok(PageId(id))
+    }
+
+    /// Stamp the CRC trailer over the page data currently in `scratch`.
+    fn seal_scratch(&mut self) {
+        let crc = crc32c(&self.scratch[..self.page_size]);
+        self.scratch[self.page_size..self.page_size + 4].copy_from_slice(&crc.to_le_bytes());
+        self.scratch[self.page_size + 4..].fill(0);
+    }
+
+    /// Verify one frame (`data ‖ crc ‖ reserved`) against its trailer.
+    fn check_frame(&self, id: u64, frame: &[u8]) -> Result<()> {
+        if !self.verify {
+            return Ok(());
+        }
+        let stored = u32::from_le_bytes(
+            frame[self.page_size..self.page_size + 4]
+                .try_into()
+                .expect("frame trailer is 8 bytes"),
+        );
+        let computed = crc32c(&frame[..self.page_size]);
+        if stored != computed {
+            return Err(StorageError::ChecksumMismatch {
+                page: id,
+                expected: stored,
+                found: computed,
+            });
+        }
+        Ok(())
     }
 
     /// Stream-aware classification: the read extends a tracked stream
@@ -137,7 +301,8 @@ impl BlockFile {
         }
     }
 
-    /// Physically read a page into `buf` (which must be exactly one page).
+    /// Physically read a page into `buf` (which must be exactly one page),
+    /// verifying its checksum.
     pub fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.page_size);
         if id.0 >= self.num_pages {
@@ -147,16 +312,13 @@ impl BlockFile {
             });
         }
         let sequential = self.classify(id.0, id.0);
-        match &mut self.backing {
-            Backing::Disk(f) => {
-                f.seek(SeekFrom::Start(id.offset(self.page_size)))?;
-                f.read_exact(buf)?;
-            }
-            Backing::Mem(v) => {
-                let start = id.offset(self.page_size) as usize;
-                buf.copy_from_slice(&v[start..start + self.page_size]);
-            }
-        }
+        let off = self.frame_offset(id.0);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let res = read_full_at(self.file.as_ref(), &mut scratch, off);
+        self.scratch = scratch;
+        res.map_err(truncated)?;
+        self.check_frame(id.0, &self.scratch[..])?;
+        buf.copy_from_slice(&self.scratch[..self.page_size]);
         self.stats
             .record_disk_read(self.page_size as u64, sequential);
         Ok(())
@@ -165,10 +327,11 @@ impl BlockFile {
     /// Physically read a run of consecutive pages starting at `start` into
     /// `buf` (whose length must be a whole number of pages) with **one**
     /// seek: only the run's first page can be charged as random; every
-    /// following page is sequential by construction, and the disk backing
-    /// issues a single positioned `read_exact` for the whole run. The
-    /// stream slot advances to the run's last page so a later read of the
-    /// next page continues sequentially.
+    /// following page is sequential by construction, and the backing file
+    /// is issued a single positioned read for the whole run. The stream
+    /// slot advances to the run's last page so a later read of the next
+    /// page continues sequentially. Every frame in the run is
+    /// checksum-verified.
     pub fn read_run(&mut self, start: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert!(buf.len().is_multiple_of(self.page_size));
         let pages = (buf.len() / self.page_size) as u64;
@@ -183,16 +346,25 @@ impl BlockFile {
             });
         }
         let sequential = self.classify(start.0, last);
-        match &mut self.backing {
-            Backing::Disk(f) => {
-                f.seek(SeekFrom::Start(start.offset(self.page_size)))?;
-                f.read_exact(buf)?;
-            }
-            Backing::Mem(v) => {
-                let off = start.offset(self.page_size) as usize;
-                buf.copy_from_slice(&v[off..off + buf.len()]);
-            }
+        let frame = self.frame_size();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize(pages as usize * frame, 0);
+        let res = read_full_at(self.file.as_ref(), &mut scratch, self.frame_offset(start.0));
+        self.scratch = scratch;
+        if let Err(e) = res {
+            self.scratch.truncate(frame);
+            return Err(truncated(e));
         }
+        for k in 0..pages as usize {
+            let fr = &self.scratch[k * frame..(k + 1) * frame];
+            if let Err(e) = self.check_frame(start.0 + k as u64, fr) {
+                self.scratch.truncate(frame);
+                return Err(e);
+            }
+            buf[k * self.page_size..(k + 1) * self.page_size]
+                .copy_from_slice(&fr[..self.page_size]);
+        }
+        self.scratch.truncate(frame);
         self.stats
             .record_disk_read(self.page_size as u64, sequential);
         for _ in 1..pages {
@@ -201,7 +373,7 @@ impl BlockFile {
         Ok(())
     }
 
-    /// Physically write a full page.
+    /// Physically write a full page, stamping its checksum.
     pub fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.page_size);
         if id.0 >= self.num_pages {
@@ -210,26 +382,41 @@ impl BlockFile {
                 pages: self.num_pages,
             });
         }
-        match &mut self.backing {
-            Backing::Disk(f) => {
-                f.seek(SeekFrom::Start(id.offset(self.page_size)))?;
-                f.write_all(buf)?;
-            }
-            Backing::Mem(v) => {
-                let start = id.offset(self.page_size) as usize;
-                v[start..start + self.page_size].copy_from_slice(buf);
-            }
-        }
+        self.scratch[..self.page_size].copy_from_slice(buf);
+        self.seal_scratch();
+        write_full_at(self.file.as_ref(), &self.scratch, self.frame_offset(id.0))?;
         self.stats.record_disk_write(self.page_size as u64);
         Ok(())
     }
 
-    /// Flush buffered writes to stable storage (no-op for memory backing).
+    /// Flush buffered writes to stable storage.
     pub fn sync(&mut self) -> Result<()> {
-        if let Backing::Disk(f) = &mut self.backing {
-            f.sync_data()?;
-        }
+        self.file.sync()?;
         Ok(())
+    }
+}
+
+/// Page sizes below this are rejected: the list-page header, record
+/// headers and the commit record's tail image all assume a minimally
+/// useful page.
+pub const MIN_PAGE_SIZE: usize = 64;
+
+fn check_page_size(page_size: usize) -> Result<()> {
+    if page_size < MIN_PAGE_SIZE || page_size > u32::MAX as usize {
+        return Err(StorageError::InvalidArgument(format!(
+            "page size {page_size} outside supported range [{MIN_PAGE_SIZE}, 2^32)"
+        )));
+    }
+    Ok(())
+}
+
+/// Map an `UnexpectedEof` from a positioned read (the file ends inside a
+/// frame that the page count says exists) to a corruption error.
+fn truncated(e: std::io::Error) -> StorageError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        StorageError::Corrupt("file truncated inside a page frame".into())
+    } else {
+        StorageError::Io(e)
     }
 }
 
@@ -376,15 +563,124 @@ mod tests {
     }
 
     #[test]
-    fn open_rejects_partial_page() {
+    fn open_rejects_garbage_files() {
         let dir = std::env::temp_dir().join(format!("iva-bf2-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("t.blk");
-        std::fs::write(&path, vec![0u8; 100]).unwrap();
+
+        // Zero-length file: no superblock at all.
+        let empty = dir.join("empty.blk");
+        std::fs::write(&empty, b"").unwrap();
         assert!(matches!(
-            BlockFile::open(&path, 4096, IoStats::new()),
-            Err(StorageError::Corrupt(_))
+            BlockFile::open(&empty, 4096, IoStats::new()),
+            Err(StorageError::Format { .. })
+        ));
+
+        // Truncated superblock.
+        let trunc = dir.join("trunc.blk");
+        std::fs::write(&trunc, vec![0u8; 40]).unwrap();
+        assert!(matches!(
+            BlockFile::open(&trunc, 4096, IoStats::new()),
+            Err(StorageError::Format { .. })
+        ));
+
+        // Full-length garbage: wrong magic.
+        let garbage = dir.join("garbage.blk");
+        std::fs::write(&garbage, vec![0x5Au8; 4096]).unwrap();
+        let err = match BlockFile::open(&garbage, 4096, IoStats::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage file must not open"),
+        };
+        match err {
+            StorageError::Format { expected, found } => {
+                assert!(expected.contains("IVFB"), "{expected}");
+                assert!(found.contains("magic"), "{found}");
+            }
+            other => panic!("expected Format error, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_wrong_version_and_page_size() {
+        let dir = std::env::temp_dir().join(format!("iva-bf3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v.blk");
+        {
+            BlockFile::create(&path, 256, IoStats::new()).unwrap();
+        }
+        // Mismatched page size at open.
+        assert!(matches!(
+            BlockFile::open(&path, 512, IoStats::new()),
+            Err(StorageError::Format { .. })
+        ));
+        // Bump the version field (and recompute the superblock CRC so only
+        // the version is wrong).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99;
+        let crc = crate::crc::crc32c(&bytes[0..60]);
+        bytes[60..64].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            BlockFile::open(&path, 256, IoStats::new()),
+            Err(StorageError::Format { .. })
         ));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_detected_at_read_time() {
+        let dir = std::env::temp_dir().join(format!("iva-bf4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flip.blk");
+        {
+            let mut f = BlockFile::create(&path, 256, IoStats::new()).unwrap();
+            f.grow().unwrap();
+            f.write_page(PageId(0), &[0xA5u8; 256]).unwrap();
+            f.sync().unwrap();
+        }
+        // Flip one bit in the middle of page 0's data.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = SUPERBLOCK_LEN as usize + 100;
+        bytes[victim] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut f = BlockFile::open(&path, 256, IoStats::new()).unwrap();
+        let mut buf = vec![0u8; 256];
+        assert!(matches!(
+            f.read_page(PageId(0), &mut buf),
+            Err(StorageError::ChecksumMismatch { page: 0, .. })
+        ));
+        // With verification off the flip goes unnoticed (bench mode only).
+        f.set_verify(false);
+        f.read_page(PageId(0), &mut buf).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_pages_drops_tail() {
+        let mut f = BlockFile::create_mem(256, IoStats::new());
+        for i in 0..5u8 {
+            f.grow().unwrap();
+            f.write_page(PageId(u64::from(i)), &[i; 256]).unwrap();
+        }
+        f.truncate_pages(2).unwrap();
+        assert_eq!(f.num_pages(), 2);
+        let mut buf = vec![0u8; 256];
+        f.read_page(PageId(1), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
+        assert!(f.read_page(PageId(2), &mut buf).is_err());
+        // Growing again reuses the dropped range cleanly.
+        let id = f.grow().unwrap();
+        assert_eq!(id, PageId(2));
+        f.read_page(PageId(2), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn tiny_page_size_rejected() {
+        assert!(matches!(
+            BlockFile::create_with(&MemVfs::new(), Path::new("t"), 16, IoStats::new()),
+            Err(StorageError::InvalidArgument(_))
+        ));
     }
 }

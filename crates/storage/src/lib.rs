@@ -21,23 +21,30 @@
 mod batch;
 mod bytelog;
 mod cache;
+pub mod commit;
+mod crc;
 mod disk_model;
 mod error;
+mod fault;
 mod file;
 mod listfile;
 mod page;
 mod pager;
 mod stats;
+pub mod vfs;
 
 pub use batch::PinnedPages;
-pub use bytelog::{ByteLog, USER_HEADER_LEN};
+pub use bytelog::{sidecar_path, ByteLog, USER_HEADER_LEN};
 pub use cache::{LruCache, PageRef};
+pub use crc::{crc32c, crc32c_append};
 pub use disk_model::DiskModel;
 pub use error::{Result, StorageError};
-pub use file::BlockFile;
+pub use fault::{FaultKind, FaultVfs, PlannedFault};
+pub use file::{BlockFile, FORMAT_VERSION, FRAME_TRAILER, MIN_PAGE_SIZE, SUPERBLOCK_LEN};
 pub use listfile::{
     overwrite_in_list, write_contiguous_list, ListHandle, ListReader, ListWriter, LIST_PAGE_HEADER,
 };
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use pager::{Pager, PagerOptions};
 pub use stats::{IoSnapshot, IoStats};
+pub use vfs::{MemVfs, RealVfs, Vfs, VfsFile};

@@ -68,6 +68,20 @@ fn page_used(page: &[u8]) -> usize {
     u16::from_le_bytes(page[8..10].try_into().unwrap()) as usize
 }
 
+/// Read and validate the disk-sourced `used` field: a corrupt page may
+/// claim more data bytes than a page can hold, which would overrun every
+/// slice computed from it. Surface that as `Corrupt` instead of a panic.
+fn checked_page_used(page: &[u8], page_size: usize) -> Result<usize> {
+    let used = page_used(page);
+    if used > data_capacity(page_size) {
+        return Err(StorageError::Corrupt(format!(
+            "list page claims {used} used bytes, capacity is {}",
+            data_capacity(page_size)
+        )));
+    }
+    Ok(used)
+}
+
 fn set_page_next(page: &mut [u8], next: PageId) {
     page[0..8].copy_from_slice(&next.0.to_le_bytes());
 }
@@ -108,7 +122,7 @@ impl ListWriter {
     pub fn append_to(pager: Arc<Pager>, handle: ListHandle) -> Result<Self> {
         let page = pager.read_page(handle.tail)?;
         let tail_buf = page.as_ref().clone();
-        let tail_used = page_used(&tail_buf);
+        let tail_used = checked_page_used(&tail_buf, pager.page_size())?;
         Ok(Self {
             pager,
             head: handle.head,
@@ -220,7 +234,7 @@ impl ListReader {
     /// Open a cursor at the start of the list.
     pub fn open(pager: Arc<Pager>, handle: ListHandle) -> Result<Self> {
         let page = pager.read_page(handle.head)?;
-        let page_used = page_used(&page);
+        let page_used = checked_page_used(&page, pager.page_size())?;
         Ok(Self {
             pager,
             page,
@@ -255,7 +269,7 @@ impl ListReader {
             ));
         }
         self.page = self.pager.read_page(next)?;
-        self.page_used = page_used(&self.page);
+        self.page_used = checked_page_used(&self.page, self.pager.page_size())?;
         self.offset_in_page = 0;
         Ok(())
     }
@@ -444,7 +458,7 @@ pub fn overwrite_in_list(
             ));
         }
         let page = pager.read_page(page_id)?;
-        let used = page_used(&page) as u64;
+        let used = checked_page_used(&page, pager.page_size())? as u64;
         let next = page_next(&page);
         drop(page);
         if skip >= used {
@@ -759,6 +773,40 @@ mod tests {
         assert!(overwrite_in_list(&p, h, 199, &[0, 0]).is_err());
         // Zero-length overwrite is a no-op.
         overwrite_in_list(&p, h, 0, &[]).unwrap();
+    }
+
+    #[test]
+    fn corrupt_used_field_is_error_not_panic() {
+        let p = mem_pager(); // 64 B pages, 54 B data capacity
+        let data: Vec<u8> = (0..200u8).collect();
+        let h = write_contiguous_list(&p, &data).unwrap();
+        // Second page claims more used bytes than a page can hold — every
+        // path that trusts it must error, not slice out of bounds.
+        let second = PageId(h.head.0 + 1);
+        p.update_page(second, |pg| set_page_used(pg, 60_000))
+            .unwrap();
+        let mut r = ListReader::open(Arc::clone(&p), h).unwrap();
+        let mut out = vec![0u8; 200];
+        assert!(matches!(
+            r.read_exact(&mut out),
+            Err(StorageError::Corrupt(_))
+        ));
+        assert!(matches!(
+            overwrite_in_list(&p, h, 100, &[0xAA; 4]),
+            Err(StorageError::Corrupt(_))
+        ));
+        // Head/tail corruption hits open and append_to.
+        p.update_page(h.head, |pg| set_page_used(pg, u16::MAX as usize))
+            .unwrap();
+        assert!(matches!(
+            ListReader::open(Arc::clone(&p), h),
+            Err(StorageError::Corrupt(_))
+        ));
+        p.update_page(h.tail, |pg| set_page_used(pg, 55)).unwrap();
+        assert!(matches!(
+            ListWriter::append_to(Arc::clone(&p), h),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

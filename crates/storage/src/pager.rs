@@ -28,6 +28,7 @@ use crate::error::Result;
 use crate::file::BlockFile;
 use crate::page::{PageId, DEFAULT_PAGE_SIZE};
 use crate::stats::IoStats;
+use crate::vfs::Vfs;
 
 /// Upper bound on buffer-pool shards. Eight matches the widest intra-query
 /// fan-out the engine defaults to; more shards than cached pages would leave
@@ -106,6 +107,41 @@ impl Pager {
     pub fn open(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Arc<Self>> {
         let file = BlockFile::open(path, opts.page_size, stats.clone())?;
         Ok(Self::from_file(file, opts, stats))
+    }
+
+    /// Create (truncate) a paged file through an explicit [`Vfs`].
+    pub fn create_with_vfs(
+        vfs: &dyn Vfs,
+        path: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<Arc<Self>> {
+        let file = BlockFile::create_with(vfs, path, opts.page_size, stats.clone())?;
+        Ok(Self::from_file(file, opts, stats))
+    }
+
+    /// Open an existing paged file through an explicit [`Vfs`].
+    pub fn open_with_vfs(
+        vfs: &dyn Vfs,
+        path: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<Arc<Self>> {
+        let file = BlockFile::open_with(vfs, path, opts.page_size, stats.clone())?;
+        Ok(Self::from_file(file, opts, stats))
+    }
+
+    /// Crash-tolerant open: a torn trailing frame is excluded from the
+    /// page count (and flagged) instead of rejected, so a recovery path
+    /// can truncate it away. See [`BlockFile::open_recovering`].
+    pub fn open_recovering(
+        vfs: &dyn Vfs,
+        path: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<(Arc<Self>, bool)> {
+        let (file, torn) = BlockFile::open_recovering(vfs, path, opts.page_size, stats.clone())?;
+        Ok((Self::from_file(file, opts, stats), torn))
     }
 
     /// Create a memory-backed paged file (tests, property checks).
@@ -349,6 +385,26 @@ impl Pager {
     pub fn resize_cache(&self, cache_bytes: usize) {
         let pages = cache_bytes / self.page_size;
         *self.cache.write() = ShardedCache::new(pages);
+    }
+
+    /// Drop pages `n..` from the file (crash recovery truncating torn or
+    /// uncommitted appends), discarding the whole buffer pool so no stale
+    /// copy of a dropped page survives.
+    pub fn truncate_pages(&self, n: u64) -> Result<()> {
+        let cache = self.cache.read();
+        let mut file = self.file.lock();
+        file.truncate_pages(n)?;
+        for shard in &cache.shards {
+            shard.lock().clear();
+        }
+        Ok(())
+    }
+
+    /// Enable or disable CRC verification on physical reads (writes always
+    /// stamp checksums). On by default; the checksum-overhead bench
+    /// toggles this to measure the cost.
+    pub fn set_verify_checksums(&self, verify: bool) {
+        self.file.lock().set_verify(verify);
     }
 
     /// Flush the backing file.

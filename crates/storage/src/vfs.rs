@@ -1,0 +1,344 @@
+//! Virtual filesystem: the seam every byte of file I/O goes through.
+//!
+//! [`BlockFile`](crate::BlockFile) (and therefore `Pager`, `ByteLog` and the
+//! list file) performs all reads, writes, syncs and renames against a
+//! [`Vfs`], in the style of SQLite's VFS layer. Three implementations exist:
+//!
+//! * [`RealVfs`] — the actual filesystem, via positioned `pread`/`pwrite`.
+//! * [`MemVfs`] — an in-memory filesystem shared by every handle cloned
+//!   from it (tests, property checks).
+//! * [`FaultVfs`](crate::FaultVfs) — a deterministic fault injector with a
+//!   power-cut crash model, built on the same interface.
+//!
+//! The contract mirrors POSIX: `read_at`/`write_at` may be *short* (callers
+//! use [`read_full_at`]/[`write_full_at`] to loop), `sync` makes previous
+//! writes durable, and `rename` is atomic and assumed durable once it
+//! returns — the standard journaling assumption the commit protocol in
+//! [`commit`](crate::commit) relies on.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open file handle produced by a [`Vfs`].
+pub trait VfsFile: Send {
+    /// Read up to `buf.len()` bytes at absolute offset `off`. Returns the
+    /// number of bytes read; fewer than requested (including zero at EOF)
+    /// is a *short read*, not an error.
+    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<usize>;
+    /// Write up to `buf.len()` bytes at absolute offset `off`, extending
+    /// the file if needed. Returns the number of bytes written.
+    fn write_at(&self, buf: &[u8], off: u64) -> io::Result<usize>;
+    /// Current file length in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// Whether the file is currently zero bytes long.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Truncate (or zero-extend) the file to exactly `len` bytes.
+    fn set_len(&self, len: u64) -> io::Result<()>;
+    /// Make all previous writes to this file durable.
+    fn sync(&self) -> io::Result<()>;
+}
+
+/// A filesystem namespace: opens, creates, renames and removes files.
+pub trait Vfs: Send + Sync {
+    /// Create (truncate) a file for read/write.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open an existing file for read/write.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+    /// Atomically rename `from` onto `to` (replacing `to`). Treated as
+    /// durable once it returns.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and its parents (no-op for flat namespaces).
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Read exactly `buf.len()` bytes at `off`, looping over short reads.
+/// Hitting EOF first yields [`io::ErrorKind::UnexpectedEof`].
+pub fn read_full_at(file: &dyn VfsFile, mut buf: &mut [u8], mut off: u64) -> io::Result<()> {
+    while !buf.is_empty() {
+        let n = file.read_at(buf, off)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short read: file ends before requested range",
+            ));
+        }
+        buf = &mut buf[n..];
+        off += n as u64;
+    }
+    Ok(())
+}
+
+/// Write all of `buf` at `off`, looping over short writes.
+pub fn write_full_at(file: &dyn VfsFile, mut buf: &[u8], mut off: u64) -> io::Result<()> {
+    while !buf.is_empty() {
+        let n = file.write_at(buf, off)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "short write: no progress",
+            ));
+        }
+        buf = &buf[n..];
+        off += n as u64;
+    }
+    Ok(())
+}
+
+/// Read a whole file into memory.
+pub fn read_to_vec(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<u8>> {
+    let f = vfs.open(path)?;
+    let len = f.len()? as usize;
+    let mut buf = vec![0u8; len];
+    read_full_at(f.as_ref(), &mut buf, 0)?;
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem
+// ---------------------------------------------------------------------------
+
+/// The real filesystem, via positioned reads and writes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+struct RealFile(std::fs::File);
+
+impl VfsFile for RealFile {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<usize> {
+        std::os::unix::fs::FileExt::read_at(&self.0, buf, off)
+    }
+    fn write_at(&self, buf: &[u8], off: u64) -> io::Result<usize> {
+        std::os::unix::fs::FileExt::write_at(&self.0, buf, off)
+    }
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+    fn sync(&self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        // Make the rename itself durable: fsync the parent directory, as
+        // the commit protocol treats a returned rename as the commit point.
+        if let Some(dir) = to.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        Ok(())
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory filesystem
+// ---------------------------------------------------------------------------
+
+type MemMap = Arc<Mutex<HashMap<PathBuf, Arc<Mutex<Vec<u8>>>>>>;
+
+/// An in-memory filesystem. `Clone` shares the namespace, so a pager and
+/// its sidecar commit record can live on the same instance.
+#[derive(Default, Clone)]
+pub struct MemVfs {
+    files: MemMap,
+}
+
+impl MemVfs {
+    /// A fresh, empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot a file's current contents (test hook; `None` if absent).
+    pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
+        let files = self.files.lock().unwrap();
+        files.get(path).map(|d| d.lock().unwrap().clone())
+    }
+
+    /// Replace a file's contents wholesale (test hook for corrupting
+    /// on-disk state, e.g. flipping a bit inside a page frame).
+    pub fn set_contents(&self, path: &Path, data: Vec<u8>) {
+        let mut files = self.files.lock().unwrap();
+        files.insert(path.to_path_buf(), Arc::new(Mutex::new(data)));
+    }
+
+    /// All file paths currently present.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.files.lock().unwrap().keys().cloned().collect()
+    }
+}
+
+struct MemFile(Arc<Mutex<Vec<u8>>>);
+
+impl VfsFile for MemFile {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<usize> {
+        let data = self.0.lock().unwrap();
+        let off = off as usize;
+        if off >= data.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - off);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        Ok(n)
+    }
+    fn write_at(&self, buf: &[u8], off: u64) -> io::Result<usize> {
+        let mut data = self.0.lock().unwrap();
+        let end = off as usize + buf.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[off as usize..end].copy_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.0.lock().unwrap().len() as u64)
+    }
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.0.lock().unwrap().resize(len as usize, 0);
+        Ok(())
+    }
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Vfs for MemVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let data = Arc::new(Mutex::new(Vec::new()));
+        self.files
+            .lock()
+            .unwrap()
+            .insert(path.to_path_buf(), Arc::clone(&data));
+        Ok(Box::new(MemFile(data)))
+    }
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let files = self.files.lock().unwrap();
+        match files.get(path) {
+            Some(data) => Ok(Box::new(MemFile(Arc::clone(data)))),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such in-memory file: {}", path.display()),
+            )),
+        }
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.files.lock().unwrap().contains_key(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        match files.remove(from) {
+            Some(data) => {
+                files.insert(to.to_path_buf(), data);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("rename source missing: {}", from.display()),
+            )),
+        }
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        match files.remove(path) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_roundtrip_and_rename() {
+        let vfs = MemVfs::new();
+        let p = Path::new("a.bin");
+        let f = vfs.create(p).unwrap();
+        write_full_at(f.as_ref(), b"hello world", 0).unwrap();
+        assert_eq!(f.len().unwrap(), 11);
+        let mut buf = [0u8; 5];
+        read_full_at(f.as_ref(), &mut buf, 6).unwrap();
+        assert_eq!(&buf, b"world");
+        // Short read at EOF.
+        assert_eq!(f.read_at(&mut buf, 9).unwrap(), 2);
+        assert_eq!(f.read_at(&mut buf, 11).unwrap(), 0);
+
+        vfs.rename(p, Path::new("b.bin")).unwrap();
+        assert!(!vfs.exists(p));
+        assert_eq!(
+            read_to_vec(&vfs, Path::new("b.bin")).unwrap(),
+            b"hello world"
+        );
+    }
+
+    #[test]
+    fn mem_vfs_clone_shares_namespace() {
+        let a = MemVfs::new();
+        let b = a.clone();
+        let f = a.create(Path::new("x")).unwrap();
+        write_full_at(f.as_ref(), &[7; 3], 0).unwrap();
+        assert_eq!(b.contents(Path::new("x")).unwrap(), vec![7; 3]);
+    }
+
+    #[test]
+    fn real_vfs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("iva-vfs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.bin");
+        let vfs = RealVfs;
+        let f = vfs.create(&path).unwrap();
+        write_full_at(f.as_ref(), &[1, 2, 3, 4], 0).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let f = vfs.open(&path).unwrap();
+        let mut buf = [0u8; 4];
+        read_full_at(f.as_ref(), &mut buf, 0).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        f.set_len(2).unwrap();
+        assert_eq!(f.len().unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

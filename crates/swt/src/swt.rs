@@ -2,8 +2,10 @@
 //! inserts and compaction.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use iva_storage::{IoStats, PagerOptions};
+use iva_storage::vfs::{RealVfs, Vfs};
+use iva_storage::{commit, IoStats, PagerOptions};
 
 use crate::error::{Result, SwtError};
 use crate::schema::{AttrId, AttrType, Catalog};
@@ -19,6 +21,7 @@ pub struct SwtTable {
     catalog: Catalog,
     stats: TableStats,
     file: TableFile,
+    vfs: Arc<dyn Vfs>,
     meta_path: Option<PathBuf>,
 }
 
@@ -26,11 +29,23 @@ impl SwtTable {
     /// Create a fresh disk-backed table. `base` is a path prefix: the table
     /// file lands at `<base>.tbl` and catalog/statistics at `<base>.meta`.
     pub fn create(base: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
-        let file = TableFile::create(&base.with_extension("tbl"), opts, stats)?;
+        Self::create_with_vfs(Arc::new(RealVfs), base, opts, stats)
+    }
+
+    /// Create a fresh table on an explicit [`Vfs`].
+    pub fn create_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        base: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<Self> {
+        let file =
+            TableFile::create_with_vfs(Arc::clone(&vfs), &base.with_extension("tbl"), opts, stats)?;
         Ok(Self {
             catalog: Catalog::new(),
             stats: TableStats::new(),
             file,
+            vfs,
             meta_path: Some(base.with_extension("meta")),
         })
     }
@@ -41,20 +56,34 @@ impl SwtTable {
             catalog: Catalog::new(),
             stats: TableStats::new(),
             file: TableFile::create_mem(opts, stats)?,
+            vfs: Arc::new(RealVfs),
             meta_path: None,
         })
     }
 
     /// Open an existing disk-backed table created with [`SwtTable::create`].
     pub fn open(base: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
-        let file = TableFile::open(&base.with_extension("tbl"), opts, stats)?;
+        Self::open_with_vfs(Arc::new(RealVfs), base, opts, stats)
+    }
+
+    /// Open an existing table on an explicit [`Vfs`]. The catalog sidecar
+    /// is a checksummed commit record; the data file runs crash recovery.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        base: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<Self> {
+        let file =
+            TableFile::open_with_vfs(Arc::clone(&vfs), &base.with_extension("tbl"), opts, stats)?;
         let meta_path = base.with_extension("meta");
-        let bytes = std::fs::read(&meta_path)?;
+        let bytes = commit::read_commit_record(vfs.as_ref(), &meta_path)?;
         let (catalog, table_stats) = decode_meta(&bytes)?;
         Ok(Self {
             catalog,
             stats: table_stats,
             file,
+            vfs,
             meta_path: Some(meta_path),
         })
     }
@@ -150,7 +179,7 @@ impl SwtTable {
         io: IoStats,
     ) -> Result<(SwtTable, Vec<(Tid, RecordPtr)>)> {
         let mut fresh = match base {
-            Some(b) => SwtTable::create(b, opts, io)?,
+            Some(b) => SwtTable::create_with_vfs(Arc::clone(&self.vfs), b, opts, io)?,
             None => SwtTable::create_mem(opts, io)?,
         };
         fresh.catalog = self.catalog.clone();
@@ -172,11 +201,17 @@ impl SwtTable {
         Ok((fresh, mapping))
     }
 
-    /// Persist data file and catalog/statistics sidecar.
+    /// Persist data file and catalog/statistics sidecar. The sidecar is
+    /// replaced atomically (write-new → fsync → rename), so a crash during
+    /// flush leaves either the old or the new catalog, never a torn one.
     pub fn flush(&mut self) -> Result<()> {
         self.file.flush()?;
         if let Some(path) = &self.meta_path {
-            std::fs::write(path, encode_meta(&self.catalog, &self.stats))?;
+            commit::write_commit_record(
+                self.vfs.as_ref(),
+                path,
+                &encode_meta(&self.catalog, &self.stats),
+            )?;
         }
         Ok(())
     }

@@ -9,7 +9,9 @@
 //! Stored record layout: `[rec_len: u32][tid: u64][flags: u8][record bytes]`.
 
 use std::path::Path;
+use std::sync::Arc;
 
+use iva_storage::vfs::Vfs;
 use iva_storage::{ByteLog, IoStats, PagerOptions, USER_HEADER_LEN};
 
 use crate::error::{Result, SwtError};
@@ -58,6 +60,30 @@ impl TableFile {
         Ok(Self::from_log(ByteLog::create_mem(opts, stats)?))
     }
 
+    /// Create a fresh table file on an explicit [`Vfs`] (fault injection,
+    /// in-memory crash replay).
+    pub fn create_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<Self> {
+        Ok(Self::from_log(ByteLog::create_with_vfs(
+            vfs, path, opts, stats,
+        )?))
+    }
+
+    /// Open an existing table file on an explicit [`Vfs`], running the
+    /// byte log's crash recovery (uncommitted tail pages are discarded).
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        opts: &PagerOptions,
+        stats: IoStats,
+    ) -> Result<Self> {
+        Self::from_opened(ByteLog::open_with_vfs(vfs, path, opts, stats)?)
+    }
+
     fn from_log(log: ByteLog) -> Self {
         Self {
             log,
@@ -69,11 +95,21 @@ impl TableFile {
 
     /// Open an existing table file.
     pub fn open(path: &Path, opts: &PagerOptions, stats: IoStats) -> Result<Self> {
-        let log = ByteLog::open(path, opts, stats)?;
+        Self::from_opened(ByteLog::open(path, opts, stats)?)
+    }
+
+    fn from_opened(log: ByteLog) -> Result<Self> {
         let h = log.user_header();
         let next_tid = u64::from_le_bytes(h[0..8].try_into().unwrap());
         let total_records = u64::from_le_bytes(h[8..16].try_into().unwrap());
         let deleted_records = u64::from_le_bytes(h[16..24].try_into().unwrap());
+        if deleted_records > total_records || total_records > log.len() {
+            return Err(SwtError::Corrupt(format!(
+                "table header counters inconsistent: {total_records} records \
+                 ({deleted_records} deleted) in a {}-byte file",
+                log.len()
+            )));
+        }
         Ok(Self {
             log,
             next_tid,
@@ -254,6 +290,12 @@ impl TableFile {
     /// constant across scales).
     pub fn resize_cache(&self, cache_bytes: usize) {
         self.log.pager().resize_cache(cache_bytes);
+    }
+
+    /// Toggle per-page checksum verification on reads (benchmarking hook;
+    /// on by default).
+    pub fn set_verify_checksums(&self, verify: bool) {
+        self.log.pager().set_verify_checksums(verify);
     }
 
     /// Persist header and tail page.

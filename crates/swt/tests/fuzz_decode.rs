@@ -1,0 +1,90 @@
+//! Fuzz-style decoder hardening: every deserializer of the table layer
+//! must reject arbitrary and mutated bytes with a typed error — never a
+//! panic, never an out-of-bounds slice.
+
+use proptest::prelude::*;
+
+use iva_swt::{decode_record, encode_record, AttrId, AttrType, Catalog, TableStats, Tuple, Value};
+
+fn sample_tuple() -> Tuple {
+    Tuple::new()
+        .with(AttrId(0), Value::text("Digital Camera"))
+        .with(AttrId(3), Value::num(230.0))
+        .with(AttrId(9), Value::texts(["Computer", "Software"]))
+}
+
+fn sample_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.define("name", AttrType::Text).unwrap();
+    c.define("price", AttrType::Numeric).unwrap();
+    c.define("company", AttrType::Text).unwrap();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes through every decoder: a `Result`/`Option`, never
+    /// a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_record(&bytes);
+        let _ = Catalog::decode(&bytes);
+        let _ = TableStats::decode(&bytes);
+    }
+
+    /// A valid record with one mutated byte either still decodes to *a*
+    /// tuple or errors — it must never panic. Mutations penetrate much
+    /// deeper into the field loop than random bytes do.
+    #[test]
+    fn mutated_record_never_panics(
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..255,
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut buf = Vec::new();
+        encode_record(&sample_tuple(), &mut buf).unwrap();
+        let mut mutated = buf.clone();
+        let at = at.index(mutated.len());
+        mutated[at] ^= xor;
+        let _ = decode_record(&mutated);
+        // And every truncation of the valid encoding.
+        let cut = cut.index(buf.len());
+        let _ = decode_record(&buf[..cut]);
+    }
+
+    /// Same for the catalog sidecar payload.
+    #[test]
+    fn mutated_catalog_never_panics(
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..255,
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let buf = sample_catalog().encode();
+        let mut mutated = buf.clone();
+        let at = at.index(mutated.len());
+        mutated[at] ^= xor;
+        let _ = Catalog::decode(&mutated);
+        let cut = cut.index(buf.len());
+        let _ = Catalog::decode(&buf[..cut]);
+    }
+
+    /// Same for the table statistics payload.
+    #[test]
+    fn mutated_stats_never_panic(
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..255,
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut stats = TableStats::new();
+        stats.ensure_attrs(3);
+        stats.observe_insert(&sample_tuple());
+        let buf = stats.encode();
+        let mut mutated = buf.clone();
+        let at = at.index(mutated.len());
+        mutated[at] ^= xor;
+        let _ = TableStats::decode(&mutated);
+        let cut = cut.index(buf.len());
+        let _ = TableStats::decode(&buf[..cut]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Fuzz-style hardening of the signature estimators: arbitrary signature
+//! bytes (as a damaged vector list would produce) must yield a typed
+//! `SigError` or a finite estimate — never a panic or an out-of-bounds
+//! slice.
+
+use proptest::prelude::*;
+
+use iva_text::{QueryStringMatcher, SigCodec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes through both the scalar and the prepared
+    /// estimator, across randomized signature geometries.
+    #[test]
+    fn arbitrary_signature_bytes_never_panic(
+        alpha in 0.1f64..0.5,
+        n in 2usize..5,
+        query in "[a-z]{1,24}",
+        sig in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        let codec = SigCodec::new(alpha, n);
+        let matcher = QueryStringMatcher::new(&codec, query.as_bytes());
+        if let Ok(est) = matcher.estimate_scalar(&codec, &sig) {
+            prop_assert!(est.is_finite() && est >= 0.0);
+        }
+        let prepared = matcher.prepare(&codec);
+        if let Ok(est) = prepared.estimate(&sig) {
+            prop_assert!(est.is_finite() && est >= 0.0);
+        }
+    }
+
+    /// A valid signature with one flipped byte (silent single-byte
+    /// corruption) must still produce an error or a finite estimate.
+    #[test]
+    fn mutated_signature_never_panics(
+        alpha in 0.1f64..0.5,
+        n in 2usize..5,
+        query in "[a-z]{1,24}",
+        value in "[a-z ]{1,40}",
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..255,
+    ) {
+        let codec = SigCodec::new(alpha, n);
+        let mut sig = codec.encode_to_vec(value.as_bytes());
+        let at = at.index(sig.len());
+        sig[at] ^= xor;
+        let matcher = QueryStringMatcher::new(&codec, query.as_bytes());
+        let prepared = matcher.prepare(&codec);
+        if let Ok(est) = prepared.estimate(&sig) {
+            prop_assert!(est.is_finite() && est >= 0.0);
+        }
+        if let Ok(est) = matcher.estimate_scalar(&codec, &sig) {
+            prop_assert!(est.is_finite() && est >= 0.0);
+        }
+    }
+}

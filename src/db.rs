@@ -2,12 +2,14 @@
 //! the paper's periodic-cleanup policy (Sec. IV-B / V-C) wired in.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use iva_core::{
     build_index, IndexTarget, IvaConfig, IvaError, IvaIndex, Metric, MetricKind, Query,
     QueryOptions, QueryStats, Result, WeightScheme,
 };
-use iva_storage::{IoStats, PagerOptions};
+use iva_storage::vfs::{RealVfs, Vfs};
+use iva_storage::{sidecar_path, IoStats, PagerOptions, StorageError};
 use iva_swt::{AttrId, SwtTable, Tid, Tuple};
 
 use crate::search::{QueryBuilder, SearchRequest};
@@ -66,6 +68,7 @@ pub struct SearchOutcome {
 pub struct IvaDb {
     table: SwtTable,
     index: IvaIndex,
+    vfs: Arc<dyn Vfs>,
     dir: Option<PathBuf>,
     opts: IvaDbOptions,
     table_io: IoStats,
@@ -88,6 +91,7 @@ impl IvaDb {
         Ok(Self {
             table,
             index,
+            vfs: Arc::new(RealVfs),
             dir: None,
             opts,
             table_io,
@@ -98,13 +102,25 @@ impl IvaDb {
     /// Create a disk-backed database inside directory `dir` (created if
     /// missing): `data.tbl` + `data.meta` + `index.iva`.
     pub fn create(dir: &Path, opts: IvaDbOptions) -> Result<Self> {
-        std::fs::create_dir_all(dir).map_err(|e| IvaError::Swt(e.into()))?;
+        Self::create_with_vfs(Arc::new(RealVfs), dir, opts)
+    }
+
+    /// [`IvaDb::create`] on an explicit [`Vfs`] (fault injection, crash
+    /// replay).
+    pub fn create_with_vfs(vfs: Arc<dyn Vfs>, dir: &Path, opts: IvaDbOptions) -> Result<Self> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| IvaError::Storage(e.into()))?;
         let table_io = IoStats::new();
         let index_io = IoStats::new();
-        let table = SwtTable::create(&dir.join("data"), &opts.pager, table_io.clone())?;
+        let table = SwtTable::create_with_vfs(
+            Arc::clone(&vfs),
+            &dir.join("data"),
+            &opts.pager,
+            table_io.clone(),
+        )?;
         let index = build_index(
             &table,
-            IndexTarget::Disk(&dir.join("index.iva")),
+            IndexTarget::Vfs(Arc::clone(&vfs), &dir.join("index.iva")),
             &opts.pager,
             index_io.clone(),
             opts.config,
@@ -112,6 +128,7 @@ impl IvaDb {
         let mut db = Self {
             table,
             index,
+            vfs,
             dir: Some(dir.to_path_buf()),
             opts,
             table_io,
@@ -123,18 +140,74 @@ impl IvaDb {
 
     /// Open an existing disk-backed database.
     pub fn open(dir: &Path, opts: IvaDbOptions) -> Result<Self> {
+        Self::open_with_vfs(Arc::new(RealVfs), dir, opts)
+    }
+
+    /// [`IvaDb::open`] on an explicit [`Vfs`], with crash recovery.
+    ///
+    /// The table file recovers itself (its commit record rolls back any
+    /// unflushed tail). The index is then validated against it: a dirty
+    /// epoch flag (crash mid-update), a watermark that disagrees with the
+    /// table's committed length (index and table flushed out of step), a
+    /// corrupt page or a missing file all trigger a rebuild of the index
+    /// from the recovered table — the iVA-file is derived data and can
+    /// always be regenerated (Sec. IV-B's rebuild path).
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, dir: &Path, opts: IvaDbOptions) -> Result<Self> {
         let table_io = IoStats::new();
         let index_io = IoStats::new();
-        let table = SwtTable::open(&dir.join("data"), &opts.pager, table_io.clone())?;
-        let index = IvaIndex::open(&dir.join("index.iva"), &opts.pager, index_io.clone())?;
+        let table = SwtTable::open_with_vfs(
+            Arc::clone(&vfs),
+            &dir.join("data"),
+            &opts.pager,
+            table_io.clone(),
+        )?;
+        let index = Self::open_or_rebuild_index(&vfs, dir, &table, &opts, index_io.clone())?;
         Ok(Self {
             table,
             index,
+            vfs,
             dir: Some(dir.to_path_buf()),
             opts,
             table_io,
             index_io,
         })
+    }
+
+    fn open_or_rebuild_index(
+        vfs: &Arc<dyn Vfs>,
+        dir: &Path,
+        table: &SwtTable,
+        opts: &IvaDbOptions,
+        io: IoStats,
+    ) -> Result<IvaIndex> {
+        let path = dir.join("index.iva");
+        match IvaIndex::open_with_vfs(Arc::clone(vfs), &path, &opts.pager, io.clone()) {
+            Ok(index)
+                if !index.is_dirty() && index.table_watermark() == table.file().data_len() =>
+            {
+                return Ok(index)
+            }
+            Ok(_) => {} // dirty or stale: fall through to the rebuild
+            Err(e) if e.is_corruption() => {}
+            Err(IvaError::Storage(StorageError::Io(e)))
+                if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        // Rebuild to a temporary file, then swap it in atomically so a
+        // crash mid-rebuild leaves the (still rebuildable) old state.
+        let tmp = dir.join("index.rebuild.iva");
+        let mut index = build_index(
+            table,
+            IndexTarget::Vfs(Arc::clone(vfs), &tmp),
+            &opts.pager,
+            io.clone(),
+            opts.config,
+        )?;
+        index.flush()?;
+        drop(index);
+        vfs.rename(&tmp, &path)
+            .map_err(|e| IvaError::Storage(e.into()))?;
+        IvaIndex::open_with_vfs(Arc::clone(vfs), &path, &opts.pager, io)
     }
 
     /// Define (or look up) a text attribute.
@@ -349,23 +422,40 @@ impl IvaDb {
                     fresh.flush()?;
                     let mut index = build_index(
                         &fresh,
-                        IndexTarget::Disk(&tmp_index),
+                        IndexTarget::Vfs(Arc::clone(&self.vfs), &tmp_index),
                         &self.opts.pager,
                         index_io.clone(),
                         self.opts.config,
                     )?;
                     index.flush()?;
                 }
-                // Swap files into place, then reopen.
+                // Swap files into place, then reopen. The byte log's
+                // commit-record sidecar (`data.tbl.meta`) must move with
+                // its data file, or the old sidecar would describe the new
+                // file.
                 let rn = |a: PathBuf, b: PathBuf| {
-                    std::fs::rename(a, b).map_err(|e| IvaError::Swt(e.into()))
+                    self.vfs
+                        .rename(&a, &b)
+                        .map_err(|e| IvaError::Storage(e.into()))
                 };
-                rn(tmp_base.with_extension("tbl"), dir.join("data.tbl"))?;
+                let tmp_tbl = tmp_base.with_extension("tbl");
+                let dst_tbl = dir.join("data.tbl");
+                rn(sidecar_path(&tmp_tbl), sidecar_path(&dst_tbl))?;
+                rn(tmp_tbl, dst_tbl)?;
                 rn(tmp_base.with_extension("meta"), dir.join("data.meta"))?;
                 rn(tmp_index, dir.join("index.iva"))?;
-                self.table = SwtTable::open(&dir.join("data"), &self.opts.pager, table_io.clone())?;
-                self.index =
-                    IvaIndex::open(&dir.join("index.iva"), &self.opts.pager, index_io.clone())?;
+                self.table = SwtTable::open_with_vfs(
+                    Arc::clone(&self.vfs),
+                    &dir.join("data"),
+                    &self.opts.pager,
+                    table_io.clone(),
+                )?;
+                self.index = IvaIndex::open_with_vfs(
+                    Arc::clone(&self.vfs),
+                    &dir.join("index.iva"),
+                    &self.opts.pager,
+                    index_io.clone(),
+                )?;
             }
         }
         self.table_io = table_io;
@@ -403,10 +493,13 @@ impl IvaDb {
         &self.index_io
     }
 
-    /// Persist both files.
+    /// Persist both files: the table commits first, then the index commits
+    /// stamped with the table's data length. A crash between the two
+    /// leaves the index watermark behind the table, which open-time
+    /// recovery detects and repairs by rebuilding the index.
     pub fn flush(&mut self) -> Result<()> {
         self.table.flush()?;
-        self.index.flush()?;
+        self.index.commit(self.table.file().data_len())?;
         Ok(())
     }
 }

@@ -72,6 +72,12 @@ pub use iva_core::{
 pub use iva_storage::{DiskModel, IoSnapshot, IoStats, PagerOptions};
 pub use iva_swt::{AttrId, AttrType, Catalog, SwtTable, Tid, Tuple, Value};
 
+/// The virtual-filesystem seam and its fault-injecting implementation
+/// (crash testing, deterministic torture harnesses).
+pub mod vfs {
+    pub use iva_storage::{FaultKind, FaultVfs, MemVfs, PlannedFault, RealVfs, Vfs, VfsFile};
+}
+
 /// Baseline methods from the paper's evaluation.
 pub mod baselines {
     pub use iva_baselines::{DirectScan, SiiIndex, VaFile};
