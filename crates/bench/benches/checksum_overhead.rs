@@ -13,6 +13,7 @@
 //!
 //! Run with: `cargo bench -p iva-bench --bench checksum_overhead`
 
+use iva_storage::{write_vec, RealVfs, Vfs};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -95,7 +96,7 @@ fn main() {
     let config = IvaConfig::default();
 
     let dir = std::env::temp_dir().join(format!("iva-bench-crc-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("temp dir");
+    RealVfs.create_dir_all(&dir).expect("temp dir");
 
     // Disk-backed table + index over the generated workload.
     let dataset = Dataset::generate(&workload);
@@ -190,10 +191,11 @@ fn main() {
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_checksum_overhead.json"
     );
-    std::fs::write(out, json).expect("write BENCH_checksum_overhead.json");
+    write_vec(&RealVfs, std::path::Path::new(out), json)
+        .expect("write BENCH_checksum_overhead.json");
     println!("recorded {out}");
 
     drop(index);
     drop(table);
-    let _ = std::fs::remove_dir_all(&dir);
+    let _ = RealVfs.remove_dir_all(&dir);
 }

@@ -20,6 +20,7 @@
 //! Run with: `cargo bench -p iva-bench --bench filter_kernel`
 //! (the dataset is floored at 100,000 tuples regardless of `IVA_SCALE`).
 
+use iva_storage::{write_vec, RealVfs};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -249,6 +250,6 @@ fn main() {
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_filter_kernel.json"
     );
-    std::fs::write(path, json).expect("write BENCH_filter_kernel.json");
+    write_vec(&RealVfs, std::path::Path::new(path), json).expect("write BENCH_filter_kernel.json");
     println!("recorded {path}");
 }

@@ -15,6 +15,7 @@
 //! Run with: `cargo bench -p iva-bench --bench parallel_scan`
 //! (the dataset is floored at 100,000 tuples regardless of `IVA_SCALE`).
 
+use iva_storage::{write_vec, RealVfs};
 use std::time::Instant;
 
 use iva_bench::{bench_pager_options, report, scale_config};
@@ -168,6 +169,6 @@ fn main() {
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_parallel_scan.json"
     );
-    std::fs::write(path, json).expect("write BENCH_parallel_scan.json");
+    write_vec(&RealVfs, std::path::Path::new(path), json).expect("write BENCH_parallel_scan.json");
     println!("recorded {path}");
 }

@@ -21,6 +21,7 @@
 //! Run with: `cargo bench -p iva-bench --bench refine_batch`
 //! (the dataset is floored at 100,000 tuples regardless of `IVA_SCALE`).
 
+use iva_storage::{write_vec, RealVfs};
 use std::time::Instant;
 
 use iva_bench::{bench_pager_options, report, scale_config, CACHE_FRACTION};
@@ -206,6 +207,6 @@ fn main() {
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_refine_batch.json");
-    std::fs::write(path, json).expect("write BENCH_refine_batch.json");
+    write_vec(&RealVfs, std::path::Path::new(path), json).expect("write BENCH_refine_batch.json");
     println!("recorded {path}");
 }

@@ -3,7 +3,6 @@
 
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
 
 use iva_storage::vfs::Vfs;
 use iva_storage::{
@@ -19,6 +18,7 @@ use crate::metric::{Metric, WeightScheme};
 use crate::numeric::NumericCodec;
 use crate::pool::{PoolEntry, ResultPool};
 use crate::query::{exact_distance, Query, QueryStats, QueryValue};
+use crate::timing::thread_cpu_time;
 use crate::veclist::{ListType, NumListCursor, TextListCursor};
 
 /// Result of one top-k query.
@@ -182,7 +182,9 @@ impl IvaIndex {
     fn write_header(&mut self) -> Result<()> {
         let bytes = self.header.encode();
         self.pager.update_page(PageId(0), |p| {
-            p[..bytes.len()].copy_from_slice(&bytes);
+            if let Some(d) = p.get_mut(..bytes.len()) {
+                d.copy_from_slice(&bytes);
+            }
         })?;
         Ok(())
     }
@@ -226,7 +228,10 @@ impl IvaIndex {
 
     fn write_entry(&mut self, idx: usize) -> Result<()> {
         let mut buf = Vec::with_capacity(AttrEntry::ENCODED_LEN);
-        self.entries[idx].encode(&mut buf);
+        self.entries
+            .get(idx)
+            .ok_or_else(|| IvaError::Corrupt("attribute entry missing".into()))?
+            .encode(&mut buf);
         overwrite_in_list(
             &self.pager,
             self.header.attr_list,
@@ -277,7 +282,7 @@ impl IvaIndex {
                 }
                 (SharedAttr::Num { codec, .. }, AttrCursor::Num(c)) => c.seek_elements(n, codec)?,
                 (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => {}
-                _ => unreachable!("shared/cursor slices out of step"),
+                _ => return Err(IvaError::Corrupt("shared/cursor slices out of step".into())),
             }
         }
         Ok(())
@@ -295,7 +300,7 @@ impl IvaIndex {
                 (SharedAttr::Text { .. }, AttrCursor::Text(c)) => c.skip(tid, &self.sig_codec)?,
                 (SharedAttr::Num { codec, .. }, AttrCursor::Num(c)) => c.skip(tid, codec)?,
                 (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => {}
-                _ => unreachable!("shared/cursor slices out of step"),
+                _ => return Err(IvaError::Corrupt("shared/cursor slices out of step".into())),
             }
         }
         Ok(())
@@ -313,7 +318,8 @@ impl IvaIndex {
         diffs: &mut [f64],
     ) -> Result<bool> {
         let mut any_defined = false;
-        for (i, (sa, cur)) in shared.iter().zip(cursors.iter_mut()).enumerate() {
+        let attrs = shared.iter().zip(cursors.iter_mut());
+        for ((sa, cur), (d, &lam)) in attrs.zip(diffs.iter_mut().zip(lambda)) {
             let lb = match (sa, cur) {
                 (SharedAttr::Text { matcher, .. }, AttrCursor::Text(c)) => {
                     c.advance(tid, &self.sig_codec, matcher)?
@@ -322,10 +328,10 @@ impl IvaIndex {
                     .advance(tid, codec)?
                     .map(|code| codec.lower_bound_dist(code, *q)),
                 (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => None,
-                _ => unreachable!("shared/cursor slices out of step"),
+                _ => return Err(IvaError::Corrupt("shared/cursor slices out of step".into())),
             };
             any_defined |= lb.is_some();
-            diffs[i] = lambda[i] * lb.unwrap_or(ndf_penalty);
+            *d = lam * lb.unwrap_or(ndf_penalty);
         }
         Ok(any_defined)
     }
@@ -474,7 +480,7 @@ impl IvaIndex {
             Ok(())
         };
 
-        let start = measured.then(Instant::now);
+        let start = measured.then(thread_cpu_time);
         let mut refine_nanos = 0u64;
         for _ in 0..self.header.n_tuples {
             let tid = treader.read_u32()?;
@@ -488,35 +494,35 @@ impl IvaIndex {
             let est = metric.combine(&diffs);
             if pool.admits(est) {
                 if refine_batch <= 1 {
-                    let refine_start = measured.then(Instant::now);
+                    let refine_start = measured.then(thread_cpu_time);
                     let rec = table.get(RecordPtr(ptr))?;
                     stats.table_accesses += 1;
                     let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
                     pool.insert_at(rec.tid, actual, RecordPtr(ptr));
                     if let Some(t) = refine_start {
-                        refine_nanos += t.elapsed().as_nanos() as u64;
+                        refine_nanos += thread_cpu_time().saturating_sub(t);
                     }
                 } else {
                     pending.push((ptr, est));
                     if pending.len() >= refine_batch {
-                        let refine_start = measured.then(Instant::now);
+                        let refine_start = measured.then(thread_cpu_time);
                         flush(&mut pending, &mut pool, &mut stats)?;
                         if let Some(t) = refine_start {
-                            refine_nanos += t.elapsed().as_nanos() as u64;
+                            refine_nanos += thread_cpu_time().saturating_sub(t);
                         }
                     }
                 }
             }
         }
         if !pending.is_empty() {
-            let refine_start = measured.then(Instant::now);
+            let refine_start = measured.then(thread_cpu_time);
             flush(&mut pending, &mut pool, &mut stats)?;
             if let Some(t) = refine_start {
-                refine_nanos += t.elapsed().as_nanos() as u64;
+                refine_nanos += thread_cpu_time().saturating_sub(t);
             }
         }
         if let Some(t) = start {
-            let total_nanos = t.elapsed().as_nanos() as u64;
+            let total_nanos = thread_cpu_time().saturating_sub(t);
             stats.refine_nanos = refine_nanos;
             stats.filter_nanos = total_nanos.saturating_sub(refine_nanos);
         }
@@ -553,7 +559,11 @@ impl IvaIndex {
                     "attribute {attr} not in catalog"
                 )));
             }
-            let entry = self.entries[i].clone();
+            let entry = self
+                .entries
+                .get(i)
+                .ok_or_else(|| IvaError::Corrupt("attribute entry missing".into()))?
+                .clone();
             let mut w = ListWriter::append_to(Arc::clone(&self.pager), entry.vlist)?;
             let mut new_entry = entry;
             match value {
@@ -590,7 +600,11 @@ impl IvaIndex {
                             }
                             new_entry.elem_count = tuple_index + 1;
                         }
-                        ListType::IV => unreachable!("text attribute with Type IV list"),
+                        ListType::IV => {
+                            return Err(IvaError::Corrupt(
+                                "text attribute with Type IV list".into(),
+                            ))
+                        }
                     }
                     new_entry.str_count += sigs.len() as u64;
                 }
@@ -621,13 +635,20 @@ impl IvaIndex {
                             w.append(&code_buf)?;
                             new_entry.elem_count = tuple_index + 1;
                         }
-                        _ => unreachable!("numeric attribute with text list type"),
+                        _ => {
+                            return Err(IvaError::Corrupt(
+                                "numeric attribute with text list type".into(),
+                            ))
+                        }
                     }
                 }
             }
             new_entry.df += 1;
             new_entry.vlist = w.finish()?;
-            self.entries[i] = new_entry;
+            *self
+                .entries
+                .get_mut(i)
+                .ok_or_else(|| IvaError::Corrupt("attribute entry missing".into()))? = new_entry;
             self.write_entry(i)?;
         }
 
@@ -648,7 +669,9 @@ impl IvaIndex {
         }
         let mut appended = Vec::new();
         for i in self.entries.len()..catalog.len() {
-            let def = catalog.def(AttrId(i as u32)).unwrap();
+            let def = catalog
+                .def(AttrId(i as u32))
+                .ok_or_else(|| IvaError::Corrupt("catalog entry missing during sync".into()))?;
             let vlist = ListWriter::create(Arc::clone(&self.pager))?.finish()?;
             let entry = AttrEntry::empty(vlist, def.ty == AttrType::Text, self.header.config.alpha);
             entry.encode(&mut appended);

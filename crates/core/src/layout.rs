@@ -11,6 +11,7 @@
 //! live), the chosen list type, an element count (drives lazy positional
 //! padding on inserts), and the text/numeric kind.
 
+use iva_storage::codec::{le_u32, le_u64};
 use iva_storage::ListHandle;
 
 use crate::config::IvaConfig;
@@ -85,21 +86,19 @@ impl AttrEntry {
 
     /// Deserialize from [`AttrEntry::ENCODED_LEN`] bytes.
     pub fn decode(buf: &[u8]) -> Result<Self> {
-        if buf.len() < Self::ENCODED_LEN {
-            return Err(IvaError::Corrupt("short attribute entry".into()));
-        }
-        let vlist = ListHandle::decode(&buf[0..24])?;
-        let u = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        let short = || IvaError::Corrupt("short attribute entry".into());
+        let vlist = ListHandle::decode(buf.get(0..24).ok_or_else(short)?)?;
+        let u = |o: usize| le_u64(buf, o).ok_or_else(short);
         Ok(Self {
             vlist,
-            df: u(24),
-            str_count: u(32),
-            elem_count: u(40),
-            list_type: ListType::from_code(buf[48])?,
-            is_text: buf[49] != 0,
-            alpha: f64::from_bits(u(50)),
-            min: f64::from_bits(u(58)),
-            max: f64::from_bits(u(66)),
+            df: u(24)?,
+            str_count: u(32)?,
+            elem_count: u(40)?,
+            list_type: ListType::from_code(*buf.get(48).ok_or_else(short)?)?,
+            is_text: *buf.get(49).ok_or_else(short)? != 0,
+            alpha: f64::from_bits(u(50)?),
+            min: f64::from_bits(u(58)?),
+            max: f64::from_bits(u(66)?),
         })
     }
 }
@@ -155,37 +154,34 @@ impl IndexHeader {
 
     /// Deserialize from a page-0 prefix.
     pub fn decode(buf: &[u8]) -> Result<Self> {
-        if buf.len() < 109 {
-            return Err(IvaError::Corrupt("short index header".into()));
-        }
-        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-        if magic != MAGIC {
+        let short = || IvaError::Corrupt("short index header".into());
+        let u64at = |o: usize| le_u64(buf, o).ok_or_else(short);
+        let u32at = |o: usize| le_u32(buf, o).ok_or_else(short);
+        if u32at(0)? != MAGIC {
             return Err(IvaError::Corrupt("bad index magic".into()));
         }
-        let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let version = u32at(4)?;
         if version != VERSION {
             return Err(IvaError::Corrupt(format!(
                 "unsupported index version {version}"
             )));
         }
-        let u64at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
-        let u32at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
         let config = IvaConfig {
-            alpha: f64::from_bits(u64at(8)),
-            n: u32at(16) as usize,
-            ndf_penalty: f64::from_bits(u64at(20)),
-            numeric_width: u32at(28) as usize,
+            alpha: f64::from_bits(u64at(8)?),
+            n: u32at(16)? as usize,
+            ndf_penalty: f64::from_bits(u64at(20)?),
+            numeric_width: u32at(28)? as usize,
             // Runtime knobs, not part of the persistent format.
             search_threads: 0,
             refine_batch: 1,
         };
-        let n_attrs = u32at(32);
-        let n_tuples = u64at(36);
-        let n_deleted = u64at(44);
-        let attr_list = ListHandle::decode(&buf[52..76])?;
-        let tuple_list = ListHandle::decode(&buf[76..100])?;
-        let table_watermark = u64at(100);
-        let dirty = buf[108] != 0;
+        let n_attrs = u32at(32)?;
+        let n_tuples = u64at(36)?;
+        let n_deleted = u64at(44)?;
+        let attr_list = ListHandle::decode(buf.get(52..76).ok_or_else(short)?)?;
+        let tuple_list = ListHandle::decode(buf.get(76..100).ok_or_else(short)?)?;
+        let table_watermark = u64at(100)?;
+        let dirty = *buf.get(108).ok_or_else(short)? != 0;
         Ok(Self {
             config,
             n_attrs,

@@ -32,6 +32,7 @@ mod parallel;
 mod pool;
 mod query;
 mod seqplan;
+mod timing;
 mod veclist;
 
 pub use build::{build_index, IndexTarget};

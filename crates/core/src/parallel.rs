@@ -23,59 +23,21 @@
 //! [`iva_storage::IoStats`] counts each physical access exactly once.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use iva_storage::ListReader;
 use iva_swt::{RecordPtr, SwtTable};
 
-use crate::error::Result;
+use crate::error::{IvaError, Result};
 use crate::index::{IvaIndex, QueryOutcome, SharedAttr};
 use crate::layout::{TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
 use crate::metric::{Metric, WeightScheme};
 use crate::pool::ResultPool;
 use crate::query::{exact_distance, Query, QueryStats};
+use crate::timing::thread_cpu_time;
 
 /// Smallest tuple-list segment worth a worker thread; requests for more
 /// parallelism than `⌈n/64⌉` are clamped.
 const MIN_SEGMENT: u64 = 64;
-
-/// Per-thread CPU time, used for worker phase timings. Wall-clock would
-/// charge a worker for time its siblings spent preempting it whenever
-/// workers outnumber cores, inflating the max-over-workers phase stats;
-/// thread CPU time equals wall time when every worker has a core to
-/// itself and stays meaningful when oversubscribed.
-#[cfg(target_os = "linux")]
-fn thread_clock_nanos() -> u64 {
-    #[repr(C)]
-    struct Timespec {
-        tv_sec: i64,
-        tv_nsec: i64,
-    }
-    extern "C" {
-        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
-    }
-    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
-    let mut ts = Timespec {
-        tv_sec: 0,
-        tv_nsec: 0,
-    };
-    // SAFETY: `ts` is a valid out-pointer and the clock id is a constant
-    // every Linux kernel supports.
-    if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } == 0 {
-        ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
-    } else {
-        0
-    }
-}
-
-/// Fallback where thread clocks are unavailable: a process-wide monotonic
-/// clock (phase timings then include preemption by sibling workers).
-#[cfg(not(target_os = "linux"))]
-fn thread_clock_nanos() -> u64 {
-    use std::sync::OnceLock;
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
-}
 
 /// Execution knobs for [`IvaIndex::query_opts`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -198,18 +160,18 @@ impl IvaIndex {
                 });
             }
         })
-        .expect("filter worker panicked");
+        .map_err(|_| IvaError::Corrupt("filter worker panicked".into()))?;
 
         // Merge barrier: replay recorded candidates in segment order
         // through one fresh pool (see module doc for why this reproduces
         // the serial scan exactly).
-        let merge_start = measured.then(Instant::now);
+        let merge_start = measured.then(thread_cpu_time);
         let mut pool = ResultPool::new(k);
         let mut stats = QueryStats::default();
         let mut max_filter = 0u64;
         let mut max_refine = 0u64;
         for slot in slots {
-            let seg = slot.expect("worker slot unfilled")?;
+            let seg = slot.ok_or_else(|| IvaError::Corrupt("worker slot unfilled".into()))??;
             stats.tuples_scanned += seg.tuples_scanned;
             stats.speculative_accesses += seg.speculative;
             max_filter = max_filter.max(seg.filter_nanos);
@@ -224,7 +186,7 @@ impl IvaIndex {
             }
         }
         if let Some(m) = merge_start {
-            max_filter += m.elapsed().as_nanos() as u64;
+            max_filter += thread_cpu_time().saturating_sub(m);
         }
         stats.filter_nanos = max_filter;
         stats.refine_nanos = max_refine;
@@ -268,7 +230,7 @@ impl IvaIndex {
         // Admitted-but-not-yet-fetched candidates, `(ptr, est)` in scan
         // order; flushed as one page-coalesced batch read.
         let mut pending: Vec<(u64, f64)> = Vec::new();
-        let start = measured.then(thread_clock_nanos);
+        let start = measured.then(thread_cpu_time);
         for _ in lo..hi {
             let tid = treader.read_u32()?;
             let ptr = treader.read_u64()?;
@@ -281,7 +243,7 @@ impl IvaIndex {
             let est = metric.combine(&diffs);
             if pool.admits(est) {
                 if refine_batch <= 1 {
-                    let refine_start = measured.then(thread_clock_nanos);
+                    let refine_start = measured.then(thread_cpu_time);
                     let rec = table.get(RecordPtr(ptr))?;
                     let actual = exact_distance(&rec.tuple, query, lambda, metric, ndf);
                     pool.insert_at(rec.tid, actual, RecordPtr(ptr));
@@ -292,12 +254,12 @@ impl IvaIndex {
                         actual,
                     });
                     if let Some(rt) = refine_start {
-                        out.refine_nanos += thread_clock_nanos().saturating_sub(rt);
+                        out.refine_nanos += thread_cpu_time().saturating_sub(rt);
                     }
                 } else {
                     pending.push((ptr, est));
                     if pending.len() >= refine_batch {
-                        let refine_start = measured.then(thread_clock_nanos);
+                        let refine_start = measured.then(thread_cpu_time);
                         flush_pending(
                             table,
                             query,
@@ -309,14 +271,14 @@ impl IvaIndex {
                             &mut out,
                         )?;
                         if let Some(rt) = refine_start {
-                            out.refine_nanos += thread_clock_nanos().saturating_sub(rt);
+                            out.refine_nanos += thread_cpu_time().saturating_sub(rt);
                         }
                     }
                 }
             }
         }
         if !pending.is_empty() {
-            let refine_start = measured.then(thread_clock_nanos);
+            let refine_start = measured.then(thread_cpu_time);
             flush_pending(
                 table,
                 query,
@@ -328,11 +290,11 @@ impl IvaIndex {
                 &mut out,
             )?;
             if let Some(rt) = refine_start {
-                out.refine_nanos += thread_clock_nanos().saturating_sub(rt);
+                out.refine_nanos += thread_cpu_time().saturating_sub(rt);
             }
         }
         if let Some(st) = start {
-            out.filter_nanos = thread_clock_nanos()
+            out.filter_nanos = thread_cpu_time()
                 .saturating_sub(st)
                 .saturating_sub(out.refine_nanos);
         }

@@ -18,7 +18,6 @@
 //! `ablation_query_plans` bench.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use iva_storage::ListReader;
 use iva_swt::{RecordPtr, SwtTable};
@@ -29,6 +28,7 @@ use crate::layout::TOMBSTONE_PTR;
 use crate::metric::{Metric, WeightScheme};
 use crate::pool::ResultPool;
 use crate::query::{exact_distance, Query, QueryStats};
+use crate::timing::thread_cpu_time;
 
 impl IvaIndex {
     /// Top-k query under the **sequential plan**: phase 1 scans the index
@@ -56,7 +56,7 @@ impl IvaIndex {
     ) -> Result<QueryOutcome> {
         let lambda = self.resolve_weights(query, weights);
         let ndf = self.config().ndf_penalty;
-        let start = Instant::now();
+        let start = thread_cpu_time();
 
         // The only finite upper bound available during the scan: an
         // all-ndf tuple's distance is exactly f(λ·ndf). Everything with a
@@ -104,7 +104,7 @@ impl IvaIndex {
             tuples_scanned: scanned.len() as u64,
             ..Default::default()
         };
-        let refine_start = Instant::now();
+        let refine_start = thread_cpu_time();
         let mut cands: Vec<(usize, u64)> = Vec::new(); // (index into `scanned`, ptr)
         for (i, &(_, ptr, lb, any_defined)) in scanned.iter().enumerate() {
             if any_defined && lb < all_ndf_dist {
@@ -118,15 +118,17 @@ impl IvaIndex {
             let recs = table.get_batch(&ptrs)?;
             stats.table_accesses += recs.len() as u64;
             for (&(i, _), rec) in chunk.iter().zip(&recs) {
-                actuals[i] = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                if let Some(a) = actuals.get_mut(i) {
+                    *a = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                }
             }
         }
         let mut leftovers: Vec<(u64, u64, f64)> = Vec::new();
-        for (i, &(tid, ptr, lb, any_defined)) in scanned.iter().enumerate() {
+        for (&(tid, ptr, lb, any_defined), &actual) in scanned.iter().zip(&actuals) {
             if !any_defined {
                 pool.insert_at(tid, all_ndf_dist, RecordPtr(ptr));
             } else if lb < all_ndf_dist {
-                pool.insert_at(tid, actuals[i], RecordPtr(ptr));
+                pool.insert_at(tid, actual, RecordPtr(ptr));
             } else {
                 leftovers.push((tid, ptr, lb));
             }
@@ -145,16 +147,16 @@ impl IvaIndex {
             while i < leftovers.len() {
                 let threshold = pool.threshold();
                 let mut j = i;
-                while j < leftovers.len()
-                    && j - i < REFINE_CHUNK
-                    && (pool.size() + (j - i) < k || leftovers[j].2 < threshold)
-                {
+                while let Some(l) = leftovers.get(j) {
+                    if j - i >= REFINE_CHUNK || (pool.size() + (j - i) >= k && l.2 >= threshold) {
+                        break;
+                    }
                     j += 1;
                 }
                 if j == i {
                     break;
                 }
-                let round = &leftovers[i..j];
+                let round = leftovers.get(i..j).unwrap_or(&[]);
                 let ptrs: Vec<RecordPtr> = round.iter().map(|&(_, p, _)| RecordPtr(p)).collect();
                 let recs = table.get_batch(&ptrs)?;
                 for (&(tid, ptr, lb), rec) in round.iter().zip(&recs) {
@@ -169,8 +171,8 @@ impl IvaIndex {
                 i = j;
             }
         }
-        let refine_nanos = refine_start.elapsed().as_nanos() as u64;
-        let total = start.elapsed().as_nanos() as u64;
+        let refine_nanos = thread_cpu_time().saturating_sub(refine_start);
+        let total = thread_cpu_time().saturating_sub(start);
         stats.refine_nanos = refine_nanos;
         stats.filter_nanos = total.saturating_sub(refine_nanos);
         Ok(QueryOutcome {

@@ -158,6 +158,7 @@ pub fn encode_text_list(ty: ListType, items: &[(u32, Vec<Vec<u8>>)], all_tids: &
             }
             debug_assert!(it.peek().is_none(), "items not aligned with tuple list");
         }
+        // lint:allow(no-panic-decode, "encoder invariant: callers dispatch on AttrType::Text before choosing a text list type; Type IV never reaches this arm")
         ListType::IV => unreachable!("Type IV is numeric-only"),
     }
     out
@@ -192,6 +193,7 @@ pub fn encode_num_list(
             }
             debug_assert!(it.peek().is_none(), "items not aligned with tuple list");
         }
+        // lint:allow(no-panic-decode, "encoder invariant: callers dispatch on AttrType::Numeric first; text list types never reach this arm")
         _ => unreachable!("text-only list type for numeric attribute"),
     }
     out
@@ -250,13 +252,17 @@ impl TextListCursor {
             ListType::I => {
                 let mut best: Option<f64> = None;
                 loop {
-                    if self.peek_tid.is_none() {
-                        if self.reader.at_end() {
-                            break;
+                    let t = match self.peek_tid {
+                        Some(t) => t,
+                        None => {
+                            if self.reader.at_end() {
+                                break;
+                            }
+                            let t = self.reader.read_u32()?;
+                            self.peek_tid = Some(t);
+                            t
                         }
-                        self.peek_tid = Some(self.reader.read_u32()?);
-                    }
-                    let t = self.peek_tid.unwrap();
+                    };
                     if t < tid {
                         self.skip_sig(codec)?;
                         self.peek_tid = None;
@@ -272,13 +278,17 @@ impl TextListCursor {
             }
             ListType::II => {
                 loop {
-                    if self.peek_tid.is_none() {
-                        if self.reader.at_end() {
-                            return Ok(None);
+                    let t = match self.peek_tid {
+                        Some(t) => t,
+                        None => {
+                            if self.reader.at_end() {
+                                return Ok(None);
+                            }
+                            let t = self.reader.read_u32()?;
+                            self.peek_tid = Some(t);
+                            t
                         }
-                        self.peek_tid = Some(self.reader.read_u32()?);
-                    }
-                    let t = self.peek_tid.unwrap();
+                    };
                     if t < tid {
                         let num = self.reader.read_u8()?;
                         for _ in 0..num {
@@ -314,7 +324,7 @@ impl TextListCursor {
                 }
                 Ok(Some(best))
             }
-            ListType::IV => unreachable!(),
+            ListType::IV => Err(text_on_iv()),
         }
     }
 
@@ -338,7 +348,7 @@ impl TextListCursor {
                 }
                 Ok(())
             }
-            ListType::IV => unreachable!(),
+            ListType::IV => Err(text_on_iv()),
         }
     }
 
@@ -346,13 +356,17 @@ impl TextListCursor {
     pub fn skip(&mut self, tid: u32, codec: &SigCodec) -> Result<()> {
         match self.ty {
             ListType::I => loop {
-                if self.peek_tid.is_none() {
-                    if self.reader.at_end() {
-                        return Ok(());
+                let t = match self.peek_tid {
+                    Some(t) => t,
+                    None => {
+                        if self.reader.at_end() {
+                            return Ok(());
+                        }
+                        let t = self.reader.read_u32()?;
+                        self.peek_tid = Some(t);
+                        t
                     }
-                    self.peek_tid = Some(self.reader.read_u32()?);
-                }
-                let t = self.peek_tid.unwrap();
+                };
                 if t <= tid {
                     self.skip_sig(codec)?;
                     self.peek_tid = None;
@@ -361,13 +375,17 @@ impl TextListCursor {
                 }
             },
             ListType::II => loop {
-                if self.peek_tid.is_none() {
-                    if self.reader.at_end() {
-                        return Ok(());
+                let t = match self.peek_tid {
+                    Some(t) => t,
+                    None => {
+                        if self.reader.at_end() {
+                            return Ok(());
+                        }
+                        let t = self.reader.read_u32()?;
+                        self.peek_tid = Some(t);
+                        t
                     }
-                    self.peek_tid = Some(self.reader.read_u32()?);
-                }
-                let t = self.peek_tid.unwrap();
+                };
                 if t <= tid {
                     let num = self.reader.read_u8()?;
                     for _ in 0..num {
@@ -388,9 +406,21 @@ impl TextListCursor {
                 }
                 Ok(())
             }
-            ListType::IV => unreachable!(),
+            ListType::IV => Err(text_on_iv()),
         }
     }
+}
+
+/// A [`TextListCursor`] can never sit on the numeric-only Type IV — the
+/// constructor debug-asserts the type domain; a release-mode violation is
+/// an argument error, not a panic.
+fn text_on_iv() -> IvaError {
+    IvaError::InvalidArgument("text cursor on numeric-only Type IV list".into())
+}
+
+/// A [`NumListCursor`] domain violation, mirroring [`text_on_iv`].
+fn num_on_text_type() -> IvaError {
+    IvaError::InvalidArgument("numeric cursor on text-only list type".into())
 }
 
 /// Scanning cursor over a numeric vector list.
@@ -452,10 +482,12 @@ impl NumListCursor {
                 return self.read_code(codec).map(Some);
             }
         }
-        let code = {
-            let page = self.run_page.as_ref().expect("run refilled above");
-            codec.read_code(&page[self.run_pos..self.run_pos + cb])?
-        };
+        let bytes = self
+            .run_page
+            .as_ref()
+            .and_then(|page| page.get(self.run_pos..self.run_pos + cb))
+            .ok_or_else(|| IvaError::Corrupt("vector list code run out of bounds".into()))?;
+        let code = codec.read_code(bytes)?;
         self.run_pos += cb;
         Ok(Some(code))
     }
@@ -464,13 +496,17 @@ impl NumListCursor {
     pub fn advance(&mut self, tid: u32, codec: &NumericCodec) -> Result<Option<u64>> {
         match self.ty {
             ListType::I => loop {
-                if self.peek_tid.is_none() {
-                    if self.reader.at_end() {
-                        return Ok(None);
+                let t = match self.peek_tid {
+                    Some(t) => t,
+                    None => {
+                        if self.reader.at_end() {
+                            return Ok(None);
+                        }
+                        let t = self.reader.read_u32()?;
+                        self.peek_tid = Some(t);
+                        t
                     }
-                    self.peek_tid = Some(self.reader.read_u32()?);
-                }
-                let t = self.peek_tid.unwrap();
+                };
                 if t < tid {
                     self.reader.skip(codec.code_bytes() as u64)?;
                     self.peek_tid = None;
@@ -489,7 +525,7 @@ impl NumListCursor {
                     Some(code)
                 }
             })),
-            _ => unreachable!(),
+            _ => Err(num_on_text_type()),
         }
     }
 
@@ -504,7 +540,7 @@ impl NumListCursor {
                 let bytes = (n * codec.code_bytes() as u64).min(self.reader.remaining());
                 Ok(self.reader.skip(bytes)?)
             }
-            _ => unreachable!(),
+            _ => Err(num_on_text_type()),
         }
     }
 
@@ -512,13 +548,17 @@ impl NumListCursor {
     pub fn skip(&mut self, tid: u32, codec: &NumericCodec) -> Result<()> {
         match self.ty {
             ListType::I => loop {
-                if self.peek_tid.is_none() {
-                    if self.reader.at_end() {
-                        return Ok(());
+                let t = match self.peek_tid {
+                    Some(t) => t,
+                    None => {
+                        if self.reader.at_end() {
+                            return Ok(());
+                        }
+                        let t = self.reader.read_u32()?;
+                        self.peek_tid = Some(t);
+                        t
                     }
-                    self.peek_tid = Some(self.reader.read_u32()?);
-                }
-                let t = self.peek_tid.unwrap();
+                };
                 if t <= tid {
                     self.reader.skip(codec.code_bytes() as u64)?;
                     self.peek_tid = None;
@@ -535,7 +575,7 @@ impl NumListCursor {
                 }
                 Ok(())
             }
-            _ => unreachable!(),
+            _ => Err(num_on_text_type()),
         }
     }
 }

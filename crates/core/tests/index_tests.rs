@@ -11,6 +11,7 @@ use iva_core::{
     QueryValue, WeightScheme,
 };
 use iva_storage::{IoStats, PagerOptions};
+use iva_storage::{RealVfs, Vfs};
 use iva_swt::{AttrId, SwtTable, Tid, Tuple, Value};
 
 fn opts() -> PagerOptions {
@@ -439,7 +440,7 @@ fn rebuild_after_deletes_matches() {
 #[test]
 fn persistence_roundtrip_on_disk() {
     let dir = std::env::temp_dir().join(format!("iva-idx-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    RealVfs.create_dir_all(&dir).unwrap();
     let table = sample_table();
     let idx_path = dir.join("test.iva");
     let q = Query::new()
@@ -474,7 +475,7 @@ fn persistence_roundtrip_on_disk() {
         .map(|e| e.dist)
         .collect();
     assert_eq!(got, expect);
-    std::fs::remove_dir_all(&dir).unwrap();
+    RealVfs.remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Robustness and operational-surface tests: the explain API, concurrent
 //! readers, and graceful failure on corrupted index files.
 
+use iva_storage::{read_to_vec, write_vec, RealVfs, Vfs};
 use std::sync::Arc;
 
 use iva_core::{
@@ -125,7 +126,7 @@ fn concurrent_readers_agree() {
 #[test]
 fn corrupted_index_file_fails_cleanly() {
     let dir = std::env::temp_dir().join(format!("iva-corrupt-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    RealVfs.create_dir_all(&dir).unwrap();
     let path = dir.join("x.iva");
     {
         let mut t = SwtTable::create_mem(&opts(), IoStats::new()).unwrap();
@@ -142,19 +143,19 @@ fn corrupted_index_file_fails_cleanly() {
         idx.flush().unwrap();
     }
     // Flip header magic.
-    let mut bytes = std::fs::read(&path).unwrap();
+    let mut bytes = read_to_vec(&RealVfs, &path).unwrap();
     bytes[0] ^= 0xFF;
-    std::fs::write(&path, &bytes).unwrap();
+    write_vec(&RealVfs, &path, &bytes).unwrap();
     assert!(IvaIndex::open(&path, &opts(), IoStats::new()).is_err());
 
     // Truncated file (not a whole number of pages).
-    std::fs::write(&path, &bytes[..100]).unwrap();
+    write_vec(&RealVfs, &path, &bytes[..100]).unwrap();
     assert!(IvaIndex::open(&path, &opts(), IoStats::new()).is_err());
 
     // Empty file.
-    std::fs::write(&path, b"").unwrap();
+    write_vec(&RealVfs, &path, b"").unwrap();
     assert!(IvaIndex::open(&path, &opts(), IoStats::new()).is_err());
-    std::fs::remove_dir_all(&dir).unwrap();
+    RealVfs.remove_dir_all(&dir).unwrap();
 }
 
 #[test]

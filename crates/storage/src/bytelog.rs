@@ -37,11 +37,11 @@ use std::sync::Arc;
 use crate::batch::PinnedPages;
 use crate::commit::{read_commit_record, write_commit_record};
 use crate::error::{Result, StorageError};
-use crate::fault::FaultVfs;
+
 use crate::page::PageId;
 use crate::pager::{Pager, PagerOptions};
 use crate::stats::IoStats;
-use crate::vfs::{MemVfs, RealVfs, Vfs};
+use crate::vfs::{RealVfs, Vfs};
 
 /// Bytes of header space reserved for the owning layer.
 pub const USER_HEADER_LEN: usize = 32;
@@ -91,12 +91,17 @@ impl ByteLog {
     /// Create a new log in memory. With `IVA_VFS=fault` the backing is a
     /// pass-through [`FaultVfs`] (see [`crate::BlockFile::create_mem`]).
     pub fn create_mem(opts: &PagerOptions, stats: IoStats) -> Result<Self> {
-        let vfs: Arc<dyn Vfs> = if std::env::var_os("IVA_VFS").is_some_and(|v| v == "fault") {
-            Arc::new(FaultVfs::passthrough(0x1FA5_7FA5))
-        } else {
-            Arc::new(MemVfs::new())
-        };
-        Self::create_with_vfs(vfs, Path::new("mem.log"), opts, stats)
+        Self::create_with_vfs(
+            crate::vfs::default_mem_vfs(),
+            Path::new("mem.log"),
+            opts,
+            stats,
+        )
+    }
+
+    /// The [`Vfs`] this log lives on (shared with its commit sidecar).
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
     }
 
     /// Create a new log through an explicit [`Vfs`].
@@ -462,6 +467,8 @@ fn parse_payload(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::MemVfs;
+    use crate::vfs::{write_vec, RealVfs, Vfs};
 
     fn mem_log() -> ByteLog {
         let opts = PagerOptions {
@@ -516,7 +523,7 @@ mod tests {
     #[test]
     fn persistence_roundtrip() {
         let dir = std::env::temp_dir().join(format!("iva-log-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("log.db");
         let opts = PagerOptions {
             page_size: 128,
@@ -546,7 +553,7 @@ mod tests {
         let mut buf = vec![0u8; 4];
         log.read_at(500, &mut buf).unwrap();
         assert_eq!(&buf, b"tail");
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -593,7 +600,7 @@ mod tests {
     #[test]
     fn write_at_survives_flush_and_reopen() {
         let dir = std::env::temp_dir().join(format!("iva-log3-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("log.db");
         let opts = PagerOptions {
             page_size: 128,
@@ -610,7 +617,7 @@ mod tests {
         let mut buf = vec![0u8; 5];
         log.read_at(130, &mut buf).unwrap();
         assert_eq!(&buf, b"PATCH");
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -682,22 +689,22 @@ mod tests {
     #[test]
     fn open_rejects_bad_magic() {
         let dir = std::env::temp_dir().join(format!("iva-log2-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("bad.db");
-        std::fs::write(&path, vec![0u8; 256]).unwrap();
-        std::fs::write(sidecar_path(&path), vec![0u8; 64]).unwrap();
+        write_vec(&RealVfs, &path, vec![0u8; 256]).unwrap();
+        write_vec(&RealVfs, &sidecar_path(&path), vec![0u8; 64]).unwrap();
         let opts = PagerOptions {
             page_size: 128,
             cache_bytes: 1024,
         };
         assert!(ByteLog::open(&path, &opts, IoStats::new()).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn open_without_commit_record_is_format_error() {
         let dir = std::env::temp_dir().join(format!("iva-log4-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("orphan.db");
         let opts = PagerOptions {
             page_size: 128,
@@ -706,12 +713,12 @@ mod tests {
         {
             ByteLog::create(&path, &opts, IoStats::new()).unwrap();
         }
-        std::fs::remove_file(sidecar_path(&path)).unwrap();
+        RealVfs.remove(&sidecar_path(&path)).unwrap();
         assert!(matches!(
             ByteLog::open(&path, &opts, IoStats::new()),
             Err(StorageError::Format { .. })
         ));
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]

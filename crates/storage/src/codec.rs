@@ -1,0 +1,64 @@
+//! Checked little-endian field readers for decode paths.
+//!
+//! Decode code must never panic on malformed bytes — a corrupt file is an
+//! [`StorageError::Corrupt`](crate::StorageError)-class error, not a crash
+//! (the `no-panic-decode` lint in `cargo xtask analyze` enforces this).
+//! These helpers replace the `buf[o..o + 8].try_into().unwrap()` idiom:
+//! they return `None` past the end of the buffer and cannot panic, so a
+//! decode function is total by construction instead of by a length check
+//! the next edit might invalidate.
+
+/// Read a little-endian `u16` at `off`; `None` if out of bounds.
+#[inline]
+pub fn le_u16(buf: &[u8], off: usize) -> Option<u16> {
+    let b = buf.get(off..off.checked_add(2)?)?;
+    Some(u16::from_le_bytes(b.try_into().ok()?))
+}
+
+/// Read a little-endian `u32` at `off`; `None` if out of bounds.
+#[inline]
+pub fn le_u32(buf: &[u8], off: usize) -> Option<u32> {
+    let b = buf.get(off..off.checked_add(4)?)?;
+    Some(u32::from_le_bytes(b.try_into().ok()?))
+}
+
+/// Read a little-endian `u64` at `off`; `None` if out of bounds.
+#[inline]
+pub fn le_u64(buf: &[u8], off: usize) -> Option<u64> {
+    let b = buf.get(off..off.checked_add(8)?)?;
+    Some(u64::from_le_bytes(b.try_into().ok()?))
+}
+
+/// Read a little-endian `f64` at `off`; `None` if out of bounds.
+#[inline]
+pub fn le_f64(buf: &[u8], off: usize) -> Option<f64> {
+    Some(f64::from_bits(le_u64(buf, off)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_bounds_reads_match_manual_decode() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0xBEEFu16.to_le_bytes());
+        buf.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        buf.extend_from_slice(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        buf.extend_from_slice(&2.5f64.to_le_bytes());
+        assert_eq!(le_u16(&buf, 0), Some(0xBEEF));
+        assert_eq!(le_u32(&buf, 2), Some(0xDEAD_BEEF));
+        assert_eq!(le_u64(&buf, 6), Some(0x0123_4567_89AB_CDEF));
+        assert_eq!(le_f64(&buf, 14), Some(2.5));
+    }
+
+    #[test]
+    fn out_of_bounds_is_none_not_panic() {
+        let buf = [0u8; 8];
+        assert_eq!(le_u16(&buf, 7), None);
+        assert_eq!(le_u32(&buf, 5), None);
+        assert_eq!(le_u64(&buf, 1), None);
+        assert_eq!(le_u64(&buf, usize::MAX), None); // offset overflow
+        assert_eq!(le_u64(&[], 0), None);
+    }
+}

@@ -15,6 +15,7 @@
 
 use std::path::{Path, PathBuf};
 
+use crate::codec;
 use crate::crc::crc32c;
 use crate::error::{Result, StorageError};
 use crate::vfs::{read_to_vec, write_full_at, Vfs};
@@ -77,20 +78,21 @@ pub fn read_commit_record(vfs: &dyn Vfs, path: &Path) -> Result<Vec<u8>> {
             found: format!("{}-byte record, too short for a header", bytes.len()),
         });
     }
-    if bytes[0..4] != META_MAGIC {
+    if bytes.get(0..4) != Some(META_MAGIC.as_slice()) {
         return Err(StorageError::Format {
             expected,
-            found: format!("magic {:02x?}", &bytes[0..4]),
+            found: format!("magic {:02x?}", bytes.get(0..4).unwrap_or_default()),
         });
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let corrupt = |m: &str| StorageError::Corrupt(format!("commit record: {m}"));
+    let version = codec::le_u32(&bytes, 4).ok_or_else(|| corrupt("short header"))?;
     if version != META_VERSION {
         return Err(StorageError::Format {
             expected,
             found: format!("commit-record version {version}"),
         });
     }
-    let payload_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let payload_len = codec::le_u32(&bytes, 8).ok_or_else(|| corrupt("short header"))? as usize;
     let total = META_HEADER + payload_len + 4;
     if bytes.len() < total {
         return Err(StorageError::Corrupt(format!(
@@ -98,14 +100,17 @@ pub fn read_commit_record(vfs: &dyn Vfs, path: &Path) -> Result<Vec<u8>> {
             bytes.len()
         )));
     }
-    let stored = u32::from_le_bytes(bytes[total - 4..total].try_into().expect("4 bytes"));
-    let computed = crc32c(&bytes[..total - 4]);
+    let stored = codec::le_u32(&bytes, total - 4).ok_or_else(|| corrupt("short trailer"))?;
+    let computed = crc32c(bytes.get(..total - 4).unwrap_or_default());
     if stored != computed {
         return Err(StorageError::Corrupt(format!(
             "commit record checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
         )));
     }
-    Ok(bytes[META_HEADER..META_HEADER + payload_len].to_vec())
+    bytes
+        .get(META_HEADER..META_HEADER + payload_len)
+        .map(<[u8]>::to_vec)
+        .ok_or_else(|| corrupt("payload out of bounds"))
 }
 
 #[cfg(test)]

@@ -162,6 +162,32 @@ impl FaultVfs {
         )
     }
 
+    /// An instance whose filesystem starts as a copy of `mem`'s current
+    /// contents (each file durable *and* volatile, nothing pending) with
+    /// the given fault plan armed. This is how a test injects faults into
+    /// the *open/read* path of files built beforehand under a plain
+    /// [`MemVfs`]: build cleanly, adopt, then reopen through the fault
+    /// injector.
+    pub fn adopt(mem: &MemVfs, seed: u64, faults: Vec<PlannedFault>) -> Self {
+        let vfs = Self::with_faults(seed, faults);
+        {
+            let mut state = vfs.state.lock().unwrap();
+            for path in mem.paths() {
+                if let Some(data) = mem.contents(&path) {
+                    state.files.insert(
+                        path,
+                        FileImages {
+                            durable: data.clone(),
+                            volatile: data,
+                            pending: Vec::new(),
+                        },
+                    );
+                }
+            }
+        }
+        vfs
+    }
+
     /// An instance with an arbitrary fault plan.
     pub fn with_faults(seed: u64, faults: Vec<PlannedFault>) -> Self {
         Self {

@@ -27,7 +27,7 @@ use crate::crc::crc32c;
 use crate::error::{Result, StorageError};
 use crate::page::PageId;
 use crate::stats::IoStats;
-use crate::vfs::{read_full_at, write_full_at, MemVfs, RealVfs, Vfs, VfsFile};
+use crate::vfs::{read_full_at, write_full_at, RealVfs, Vfs, VfsFile};
 
 /// Magic at byte 0 of every block file.
 pub const SUPERBLOCK_MAGIC: [u8; 4] = *b"IVFB";
@@ -201,13 +201,9 @@ impl BlockFile {
     /// seam is functionally free.
     pub fn create_mem(page_size: usize, stats: IoStats) -> Self {
         let path = Path::new("mem.blk");
-        let file = if std::env::var_os("IVA_VFS").is_some_and(|v| v == "fault") {
-            crate::fault::FaultVfs::passthrough(0x1FA5_7FA5).create(path)
-        } else {
-            MemVfs::new().create(path)
-        }
-        .expect("in-memory vfs create cannot fail");
-        let f = file;
+        let f = crate::vfs::default_mem_vfs()
+            .create(path)
+            .expect("in-memory vfs create cannot fail");
         write_full_at(f.as_ref(), &Self::superblock(page_size), 0)
             .expect("in-memory superblock write cannot fail");
         Self::new(f, page_size, 0, stats)
@@ -423,6 +419,8 @@ fn truncated(e: std::io::Error) -> StorageError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::MemVfs;
+    use crate::vfs::{read_to_vec, write_vec, RealVfs, Vfs};
 
     fn roundtrip(mut f: BlockFile) {
         let p0 = f.grow().unwrap();
@@ -451,14 +449,14 @@ mod tests {
     #[test]
     fn disk_roundtrip_and_reopen() {
         let dir = std::env::temp_dir().join(format!("iva-bf-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("t.blk");
         let stats = IoStats::new();
         roundtrip(BlockFile::create(&path, 4096, stats.clone()).unwrap());
 
         let f = BlockFile::open(&path, 4096, stats).unwrap();
         assert_eq!(f.num_pages(), 2);
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -565,11 +563,11 @@ mod tests {
     #[test]
     fn open_rejects_garbage_files() {
         let dir = std::env::temp_dir().join(format!("iva-bf2-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
 
         // Zero-length file: no superblock at all.
         let empty = dir.join("empty.blk");
-        std::fs::write(&empty, b"").unwrap();
+        write_vec(&RealVfs, &empty, b"").unwrap();
         assert!(matches!(
             BlockFile::open(&empty, 4096, IoStats::new()),
             Err(StorageError::Format { .. })
@@ -577,7 +575,7 @@ mod tests {
 
         // Truncated superblock.
         let trunc = dir.join("trunc.blk");
-        std::fs::write(&trunc, vec![0u8; 40]).unwrap();
+        write_vec(&RealVfs, &trunc, vec![0u8; 40]).unwrap();
         assert!(matches!(
             BlockFile::open(&trunc, 4096, IoStats::new()),
             Err(StorageError::Format { .. })
@@ -585,7 +583,7 @@ mod tests {
 
         // Full-length garbage: wrong magic.
         let garbage = dir.join("garbage.blk");
-        std::fs::write(&garbage, vec![0x5Au8; 4096]).unwrap();
+        write_vec(&RealVfs, &garbage, vec![0x5Au8; 4096]).unwrap();
         let err = match BlockFile::open(&garbage, 4096, IoStats::new()) {
             Err(e) => e,
             Ok(_) => panic!("garbage file must not open"),
@@ -597,13 +595,13 @@ mod tests {
             }
             other => panic!("expected Format error, got {other}"),
         }
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn open_rejects_wrong_version_and_page_size() {
         let dir = std::env::temp_dir().join(format!("iva-bf3-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("v.blk");
         {
             BlockFile::create(&path, 256, IoStats::new()).unwrap();
@@ -615,22 +613,22 @@ mod tests {
         ));
         // Bump the version field (and recompute the superblock CRC so only
         // the version is wrong).
-        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bytes = read_to_vec(&RealVfs, &path).unwrap();
         bytes[4] = 99;
         let crc = crate::crc::crc32c(&bytes[0..60]);
         bytes[60..64].copy_from_slice(&crc.to_le_bytes());
-        std::fs::write(&path, &bytes).unwrap();
+        write_vec(&RealVfs, &path, &bytes).unwrap();
         assert!(matches!(
             BlockFile::open(&path, 256, IoStats::new()),
             Err(StorageError::Format { .. })
         ));
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn bit_flip_detected_at_read_time() {
         let dir = std::env::temp_dir().join(format!("iva-bf4-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("flip.blk");
         {
             let mut f = BlockFile::create(&path, 256, IoStats::new()).unwrap();
@@ -639,10 +637,10 @@ mod tests {
             f.sync().unwrap();
         }
         // Flip one bit in the middle of page 0's data.
-        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bytes = read_to_vec(&RealVfs, &path).unwrap();
         let victim = SUPERBLOCK_LEN as usize + 100;
         bytes[victim] ^= 0x08;
-        std::fs::write(&path, &bytes).unwrap();
+        write_vec(&RealVfs, &path, &bytes).unwrap();
 
         let mut f = BlockFile::open(&path, 256, IoStats::new()).unwrap();
         let mut buf = vec![0u8; 256];
@@ -653,7 +651,7 @@ mod tests {
         // With verification off the flip goes unnoticed (bench mode only).
         f.set_verify(false);
         f.read_page(PageId(0), &mut buf).unwrap();
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]

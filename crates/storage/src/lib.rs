@@ -21,6 +21,7 @@
 mod batch;
 mod bytelog;
 mod cache;
+pub mod codec;
 pub mod commit;
 mod crc;
 mod disk_model;
@@ -47,4 +48,4 @@ pub use listfile::{
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use pager::{Pager, PagerOptions};
 pub use stats::{IoSnapshot, IoStats};
-pub use vfs::{MemVfs, RealVfs, Vfs, VfsFile};
+pub use vfs::{read_to_vec, write_vec, MemVfs, RealVfs, Vfs, VfsFile};

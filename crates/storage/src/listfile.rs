@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use crate::cache::PageRef;
+use crate::codec;
 use crate::error::{Result, StorageError};
 use crate::page::PageId;
 use crate::pager::Pager;
@@ -44,14 +45,13 @@ impl ListHandle {
 
     /// Decode from 24 bytes.
     pub fn decode(buf: &[u8]) -> Result<Self> {
-        if buf.len() < Self::ENCODED_LEN {
-            return Err(StorageError::Corrupt("short list handle".into()));
-        }
-        let u = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().unwrap());
+        let u = |i| {
+            codec::le_u64(buf, i).ok_or_else(|| StorageError::Corrupt("short list handle".into()))
+        };
         Ok(Self {
-            head: PageId(u(0)),
-            tail: PageId(u(8)),
-            len: u(16),
+            head: PageId(u(0)?),
+            tail: PageId(u(8)?),
+            len: u(16)?,
         })
     }
 }
@@ -61,11 +61,11 @@ fn data_capacity(page_size: usize) -> usize {
 }
 
 fn page_next(page: &[u8]) -> PageId {
-    PageId(u64::from_le_bytes(page[0..8].try_into().unwrap()))
+    PageId(codec::le_u64(page, 0).unwrap_or(0))
 }
 
 fn page_used(page: &[u8]) -> usize {
-    u16::from_le_bytes(page[8..10].try_into().unwrap()) as usize
+    codec::le_u16(page, 8).unwrap_or(0) as usize
 }
 
 /// Read and validate the disk-sourced `used` field: a corrupt page may
@@ -83,11 +83,15 @@ fn checked_page_used(page: &[u8], page_size: usize) -> Result<usize> {
 }
 
 fn set_page_next(page: &mut [u8], next: PageId) {
-    page[0..8].copy_from_slice(&next.0.to_le_bytes());
+    if let Some(d) = page.get_mut(0..8) {
+        d.copy_from_slice(&next.0.to_le_bytes());
+    }
 }
 
 fn set_page_used(page: &mut [u8], used: usize) {
-    page[8..10].copy_from_slice(&(used as u16).to_le_bytes());
+    if let Some(d) = page.get_mut(8..10) {
+        d.copy_from_slice(&(used as u16).to_le_bytes());
+    }
 }
 
 /// Appends bytes to a list, buffering the tail page in memory. Call
@@ -142,10 +146,13 @@ impl ListWriter {
             }
             let n = data.len().min(cap - self.tail_used);
             let start = LIST_PAGE_HEADER + self.tail_used;
-            self.tail_buf[start..start + n].copy_from_slice(&data[..n]);
+            if let (Some(dst), Some(src)) = (self.tail_buf.get_mut(start..start + n), data.get(..n))
+            {
+                dst.copy_from_slice(src);
+            }
             self.tail_used += n;
             self.len += n as u64;
-            data = &data[n..];
+            data = data.get(n..).unwrap_or(&[]);
         }
         Ok(())
     }
@@ -291,7 +298,12 @@ impl ListReader {
             let avail = self.page_used - self.offset_in_page;
             let n = (buf.len() - filled).min(avail);
             let start = LIST_PAGE_HEADER + self.offset_in_page;
-            buf[filled..filled + n].copy_from_slice(&self.page[start..start + n]);
+            if let (Some(dst), Some(src)) = (
+                buf.get_mut(filled..filled + n),
+                self.page.get(start..start + n),
+            ) {
+                dst.copy_from_slice(src);
+            }
             filled += n;
             self.offset_in_page += n;
             self.pos += n as u64;
@@ -325,7 +337,10 @@ impl ListReader {
             let start = LIST_PAGE_HEADER + self.offset_in_page;
             self.offset_in_page += n;
             self.pos += n as u64;
-            return Ok(&self.page[start..start + n]);
+            return self
+                .page
+                .get(start..start + n)
+                .ok_or_else(|| StorageError::Corrupt("list page view out of bounds".into()));
         }
         // Page-crossing fallback: one copy through the reusable spill.
         let mut spill = std::mem::take(&mut self.spill);
@@ -401,7 +416,7 @@ impl ListReader {
     pub fn read_u8(&mut self) -> Result<u8> {
         let mut b = [0u8; 1];
         self.read_exact(&mut b)?;
-        Ok(b[0])
+        Ok(u8::from_le_bytes(b))
     }
 
     /// Read a little-endian u16.
@@ -469,8 +484,12 @@ pub fn overwrite_in_list(
         let start = skip as usize;
         let n = (data.len() - written).min(used as usize - start);
         pager.update_page(page_id, |p| {
-            p[LIST_PAGE_HEADER + start..LIST_PAGE_HEADER + start + n]
-                .copy_from_slice(&data[written..written + n]);
+            if let (Some(dst), Some(src)) = (
+                p.get_mut(LIST_PAGE_HEADER + start..LIST_PAGE_HEADER + start + n),
+                data.get(written..written + n),
+            ) {
+                dst.copy_from_slice(src);
+            }
         })?;
         written += n;
         skip = 0;
@@ -504,7 +523,9 @@ pub fn write_contiguous_list(pager: &Arc<Pager>, data: &[u8]) -> Result<ListHand
         let mut buf = vec![0u8; page_size];
         set_page_next(&mut buf, PageId::NULL);
         set_page_used(&mut buf, chunk.len());
-        buf[LIST_PAGE_HEADER..LIST_PAGE_HEADER + chunk.len()].copy_from_slice(chunk);
+        if let Some(d) = buf.get_mut(LIST_PAGE_HEADER..LIST_PAGE_HEADER + chunk.len()) {
+            d.copy_from_slice(chunk);
+        }
         tail = id;
         prev = Some((id, buf));
     }

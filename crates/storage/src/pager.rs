@@ -416,6 +416,7 @@ impl Pager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{RealVfs, Vfs};
 
     fn mem_pager(cache_bytes: usize) -> Arc<Pager> {
         let opts = PagerOptions {
@@ -630,7 +631,7 @@ mod tests {
     #[test]
     fn disk_pager_reopen() {
         let dir = std::env::temp_dir().join(format!("iva-pg-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("p.db");
         let opts = PagerOptions {
             page_size: 512,
@@ -647,6 +648,6 @@ mod tests {
         let p = Pager::open(&path, &opts, IoStats::new()).unwrap();
         assert_eq!(p.num_pages(), 1);
         assert_eq!(p.read_page(PageId(0)).unwrap()[511], 9);
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 }

@@ -59,6 +59,23 @@ pub trait Vfs: Send + Sync {
     fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
         Ok(())
     }
+    /// Remove a directory tree (no-op for flat namespaces).
+    fn remove_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The [`Vfs`] memory-backed constructors (`create_mem`) should build on:
+/// a plain [`MemVfs`], or — with `IVA_VFS=fault` in the environment — a
+/// pass-through [`FaultVfs`](crate::FaultVfs), proving the fault-injection
+/// seam is functionally free. Every layer's `create_mem` goes through this
+/// one function so the env switch cannot cover one layer and miss another.
+pub fn default_mem_vfs() -> Arc<dyn Vfs> {
+    if std::env::var_os("IVA_VFS").is_some_and(|v| v == "fault") {
+        Arc::new(crate::fault::FaultVfs::passthrough(0x1FA5_7FA5))
+    } else {
+        Arc::new(MemVfs::new())
+    }
 }
 
 /// Read exactly `buf.len()` bytes at `off`, looping over short reads.
@@ -101,6 +118,15 @@ pub fn read_to_vec(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<u8>> {
     let mut buf = vec![0u8; len];
     read_full_at(f.as_ref(), &mut buf, 0)?;
     Ok(buf)
+}
+
+/// Create `path` holding exactly `data` (the `std::fs::write` of the Vfs
+/// world — tests and tools use it so even their fixture files go through
+/// the seam).
+pub fn write_vec(vfs: &dyn Vfs, path: &Path, data: impl AsRef<[u8]>) -> io::Result<()> {
+    let f = vfs.create(path)?;
+    write_full_at(f.as_ref(), data.as_ref(), 0)?;
+    f.sync()
 }
 
 // ---------------------------------------------------------------------------
@@ -169,6 +195,9 @@ impl Vfs for RealVfs {
     }
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
+    }
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_dir_all(path)
     }
 }
 

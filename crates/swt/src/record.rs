@@ -19,6 +19,7 @@
 use crate::error::{Result, SwtError};
 use crate::schema::AttrId;
 use crate::value::{Tuple, Value};
+use iva_storage::codec::{le_u16, le_u32, le_u64};
 
 const TAG_NUM: u8 = 0;
 const TAG_TEXT: u8 = 1;
@@ -74,49 +75,39 @@ pub fn record_len(tuple: &Tuple) -> usize {
 /// number of bytes consumed.
 pub fn decode_record(buf: &[u8]) -> Result<(Tuple, usize)> {
     let corrupt = |m: &str| SwtError::Corrupt(format!("record: {m}"));
-    if buf.len() < 2 {
-        return Err(corrupt("truncated field count"));
-    }
-    let n_fields = u16::from_le_bytes(buf[0..2].try_into().unwrap()) as usize;
+    let n_fields = le_u16(buf, 0).ok_or_else(|| corrupt("truncated field count"))? as usize;
     let mut pos = 2;
     let mut tuple = Tuple::new();
     for _ in 0..n_fields {
-        if pos + 5 > buf.len() {
-            return Err(corrupt("truncated field header"));
-        }
-        let attr = AttrId(u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()));
-        let tag = buf[pos + 4];
+        let attr = AttrId(le_u32(buf, pos).ok_or_else(|| corrupt("truncated field header"))?);
+        let tag = *buf
+            .get(pos + 4)
+            .ok_or_else(|| corrupt("truncated field header"))?;
         pos += 5;
         match tag {
             TAG_NUM => {
-                if pos + 8 > buf.len() {
-                    return Err(corrupt("truncated numeric payload"));
-                }
-                let bits = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+                let bits = le_u64(buf, pos).ok_or_else(|| corrupt("truncated numeric payload"))?;
                 pos += 8;
                 tuple.set(attr, Value::Num(f64::from_bits(bits)));
             }
             TAG_TEXT => {
-                if pos >= buf.len() {
-                    return Err(corrupt("truncated string count"));
-                }
-                let n_strings = buf[pos] as usize;
+                let n_strings = *buf
+                    .get(pos)
+                    .ok_or_else(|| corrupt("truncated string count"))?
+                    as usize;
                 pos += 1;
                 if n_strings == 0 {
                     return Err(corrupt("empty text value"));
                 }
                 let mut strings = Vec::with_capacity(n_strings);
                 for _ in 0..n_strings {
-                    if pos + 2 > buf.len() {
-                        return Err(corrupt("truncated string length"));
-                    }
-                    let slen = u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
+                    let slen = le_u16(buf, pos).ok_or_else(|| corrupt("truncated string length"))?
+                        as usize;
                     pos += 2;
-                    if pos + slen > buf.len() {
-                        return Err(corrupt("truncated string bytes"));
-                    }
-                    let s = std::str::from_utf8(&buf[pos..pos + slen])
-                        .map_err(|_| corrupt("non-utf8 string"))?;
+                    let bytes = buf
+                        .get(pos..pos + slen)
+                        .ok_or_else(|| corrupt("truncated string bytes"))?;
+                    let s = std::str::from_utf8(bytes).map_err(|_| corrupt("non-utf8 string"))?;
                     strings.push(s.to_string());
                     pos += slen;
                 }

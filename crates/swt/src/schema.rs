@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use crate::error::{Result, SwtError};
+use iva_storage::codec::{le_u16, le_u32};
 
 /// Dense positional attribute identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,7 +64,10 @@ impl Catalog {
     /// type is an error.
     pub fn define(&mut self, name: &str, ty: AttrType) -> Result<AttrId> {
         if let Some(&id) = self.by_name.get(name) {
-            let existing = &self.attrs[id.index()];
+            let existing = self
+                .attrs
+                .get(id.index())
+                .ok_or_else(|| SwtError::Corrupt("catalog name map out of sync".into()))?;
             if existing.ty != ty {
                 return Err(SwtError::TypeMismatch {
                     attr: name.to_string(),
@@ -136,28 +140,22 @@ impl Catalog {
     /// Deserialize from bytes produced by [`Catalog::encode`].
     pub fn decode(buf: &[u8]) -> Result<Self> {
         let corrupt = |m: &str| SwtError::Corrupt(format!("catalog: {m}"));
-        if buf.len() < 4 {
-            return Err(corrupt("truncated header"));
-        }
-        let count = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let count = le_u32(buf, 0).ok_or_else(|| corrupt("truncated header"))? as usize;
         let mut pos = 4;
         let mut cat = Catalog::new();
         for _ in 0..count {
-            if pos + 3 > buf.len() {
-                return Err(corrupt("truncated entry"));
-            }
-            let ty = match buf[pos] {
-                0 => AttrType::Text,
-                1 => AttrType::Numeric,
-                x => return Err(corrupt(&format!("bad type tag {x}"))),
+            let ty = match buf.get(pos) {
+                Some(0) => AttrType::Text,
+                Some(1) => AttrType::Numeric,
+                Some(x) => return Err(corrupt(&format!("bad type tag {x}"))),
+                None => return Err(corrupt("truncated entry")),
             };
-            let nlen = u16::from_le_bytes(buf[pos + 1..pos + 3].try_into().unwrap()) as usize;
+            let nlen = le_u16(buf, pos + 1).ok_or_else(|| corrupt("truncated entry"))? as usize;
             pos += 3;
-            if pos + nlen > buf.len() {
-                return Err(corrupt("truncated name"));
-            }
-            let name =
-                std::str::from_utf8(&buf[pos..pos + nlen]).map_err(|_| corrupt("non-utf8 name"))?;
+            let bytes = buf
+                .get(pos..pos + nlen)
+                .ok_or_else(|| corrupt("truncated name"))?;
+            let name = std::str::from_utf8(bytes).map_err(|_| corrupt("non-utf8 name"))?;
             pos += nlen;
             cat.define(name, ty)?;
         }

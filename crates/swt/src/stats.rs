@@ -10,6 +10,7 @@
 
 use crate::schema::AttrId;
 use crate::value::{Tuple, Value};
+use iva_storage::codec::{le_f64, le_u32, le_u64};
 
 /// Statistics for one attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +70,7 @@ impl TableStats {
         self.tuple_count += 1;
         for (attr, value) in tuple.iter() {
             self.ensure_attrs(attr.index() + 1);
+            // lint:allow(no-panic-decode, "ensure_attrs on the previous line grows per_attr past attr.index(); the index is total by construction")
             let s = &mut self.per_attr[attr.index()];
             s.df += 1;
             match value {
@@ -109,23 +111,19 @@ impl TableStats {
 
     /// Deserialize bytes from [`TableStats::encode`].
     pub fn decode(buf: &[u8]) -> Option<Self> {
-        if buf.len() < 12 {
-            return None;
-        }
-        let tuple_count = u64::from_le_bytes(buf[0..8].try_into().unwrap());
-        let n = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
-        if buf.len() != 12 + n * 32 {
+        let tuple_count = le_u64(buf, 0)?;
+        let n = le_u32(buf, 8)? as usize;
+        if buf.len() != 12 + n.checked_mul(32)? {
             return None;
         }
         let mut per_attr = Vec::with_capacity(n);
         for i in 0..n {
             let base = 12 + i * 32;
-            let u = |o: usize| u64::from_le_bytes(buf[base + o..base + o + 8].try_into().unwrap());
             per_attr.push(AttrStats {
-                df: u(0),
-                str_count: u(8),
-                min: f64::from_bits(u(16)),
-                max: f64::from_bits(u(24)),
+                df: le_u64(buf, base)?,
+                str_count: le_u64(buf, base + 8)?,
+                min: le_f64(buf, base + 16)?,
+                max: le_f64(buf, base + 24)?,
             });
         }
         Some(Self {

@@ -4,6 +4,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use iva_storage::codec::le_u32;
 use iva_storage::vfs::{RealVfs, Vfs};
 use iva_storage::{commit, IoStats, PagerOptions};
 
@@ -50,13 +51,18 @@ impl SwtTable {
         })
     }
 
-    /// Create a fresh memory-backed table (tests, property checks).
+    /// Create a fresh memory-backed table (tests, property checks). The
+    /// table adopts its file's [`Vfs`] — under `IVA_VFS=fault` that is the
+    /// pass-through fault injector, and everything the table ever writes
+    /// (including meta sidecars of compaction targets) stays on it.
     pub fn create_mem(opts: &PagerOptions, stats: IoStats) -> Result<Self> {
+        let file = TableFile::create_mem(opts, stats)?;
+        let vfs = file.vfs();
         Ok(Self {
             catalog: Catalog::new(),
             stats: TableStats::new(),
-            file: TableFile::create_mem(opts, stats)?,
-            vfs: Arc::new(RealVfs),
+            file,
+            vfs,
             meta_path: None,
         })
     }
@@ -121,13 +127,19 @@ impl SwtTable {
                 }
                 (Some(AttrType::Text), Value::Num(_)) => {
                     return Err(SwtError::TypeMismatch {
-                        attr: self.catalog.def(attr).unwrap().name.clone(),
+                        attr: self
+                            .catalog
+                            .def(attr)
+                            .map_or_else(|| format!("{attr}"), |d| d.name.clone()),
                         expected: "text",
                     });
                 }
                 (Some(AttrType::Numeric), Value::Text(_)) => {
                     return Err(SwtError::TypeMismatch {
-                        attr: self.catalog.def(attr).unwrap().name.clone(),
+                        attr: self
+                            .catalog
+                            .def(attr)
+                            .map_or_else(|| format!("{attr}"), |d| d.name.clone()),
                         expected: "numerical",
                     });
                 }
@@ -231,27 +243,27 @@ fn encode_meta(catalog: &Catalog, stats: &TableStats) -> Vec<u8> {
 
 fn decode_meta(buf: &[u8]) -> Result<(Catalog, TableStats)> {
     let corrupt = |m: &str| SwtError::Corrupt(format!("meta: {m}"));
-    if buf.len() < 8 || u32::from_le_bytes(buf[0..4].try_into().unwrap()) != META_MAGIC {
+    if le_u32(buf, 0) != Some(META_MAGIC) {
         return Err(corrupt("bad magic"));
     }
-    let cat_len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
-    if buf.len() < 8 + cat_len + 4 {
-        return Err(corrupt("truncated catalog"));
-    }
-    let catalog = Catalog::decode(&buf[8..8 + cat_len])?;
+    let cat_len = le_u32(buf, 4).ok_or_else(|| corrupt("truncated header"))? as usize;
+    let cat_bytes = buf
+        .get(8..8 + cat_len)
+        .ok_or_else(|| corrupt("truncated catalog"))?;
+    let catalog = Catalog::decode(cat_bytes)?;
     let st_off = 8 + cat_len;
-    let st_len = u32::from_le_bytes(buf[st_off..st_off + 4].try_into().unwrap()) as usize;
-    if buf.len() < st_off + 4 + st_len {
-        return Err(corrupt("truncated stats"));
-    }
-    let stats = TableStats::decode(&buf[st_off + 4..st_off + 4 + st_len])
-        .ok_or_else(|| corrupt("bad stats"))?;
+    let st_len = le_u32(buf, st_off).ok_or_else(|| corrupt("truncated stats header"))? as usize;
+    let st_bytes = buf
+        .get(st_off + 4..st_off + 4 + st_len)
+        .ok_or_else(|| corrupt("truncated stats"))?;
+    let stats = TableStats::decode(st_bytes).ok_or_else(|| corrupt("bad stats"))?;
     Ok((catalog, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iva_storage::{RealVfs, Vfs};
 
     fn opts() -> PagerOptions {
         PagerOptions {
@@ -333,7 +345,7 @@ mod tests {
     #[test]
     fn disk_persistence_with_meta() {
         let dir = std::env::temp_dir().join(format!("iva-swt-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let base = dir.join("data");
         {
             let mut t = SwtTable::create(&base, &opts(), IoStats::new()).unwrap();
@@ -354,6 +366,6 @@ mod tests {
         assert_eq!(t.stats().attr(AttrId(1)).max, 1982.0);
         let recs: Vec<_> = t.scan().collect::<Result<Vec<_>>>().unwrap();
         assert_eq!(recs.len(), 1);
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 }

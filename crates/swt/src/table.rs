@@ -11,6 +11,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use iva_storage::codec::{le_u32, le_u64};
 use iva_storage::vfs::Vfs;
 use iva_storage::{ByteLog, IoStats, PagerOptions, USER_HEADER_LEN};
 
@@ -84,6 +85,14 @@ impl TableFile {
         Self::from_opened(ByteLog::open_with_vfs(vfs, path, opts, stats)?)
     }
 
+    /// The [`Vfs`] the backing log lives on. [`SwtTable`](crate::SwtTable)
+    /// writes its catalog sidecar through this same handle so the whole
+    /// table — data and meta — shares one filesystem (and one fault
+    /// injector, under `IVA_VFS=fault`).
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        self.log.vfs()
+    }
+
     fn from_log(log: ByteLog) -> Self {
         Self {
             log,
@@ -100,9 +109,10 @@ impl TableFile {
 
     fn from_opened(log: ByteLog) -> Result<Self> {
         let h = log.user_header();
-        let next_tid = u64::from_le_bytes(h[0..8].try_into().unwrap());
-        let total_records = u64::from_le_bytes(h[8..16].try_into().unwrap());
-        let deleted_records = u64::from_le_bytes(h[16..24].try_into().unwrap());
+        let header = |o| le_u64(h, o).ok_or_else(|| SwtError::Corrupt("short user header".into()));
+        let next_tid = header(0)?;
+        let total_records = header(8)?;
+        let deleted_records = header(16)?;
         if deleted_records > total_records || total_records > log.len() {
             return Err(SwtError::Corrupt(format!(
                 "table header counters inconsistent: {total_records} records \
@@ -146,9 +156,7 @@ impl TableFile {
     pub fn get(&self, ptr: RecordPtr) -> Result<StoredRecord> {
         let mut header = [0u8; RECORD_HEADER];
         self.log.read_at(ptr.0, &mut header)?;
-        let rec_len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
-        let tid = u64::from_le_bytes(header[4..12].try_into().unwrap());
-        let flags = header[12];
+        let (rec_len, tid, flags) = parse_record_header(ptr.0, &header)?;
         let mut payload = vec![0u8; rec_len];
         self.log
             .read_at(ptr.0 + RECORD_HEADER as u64, &mut payload)?;
@@ -190,9 +198,8 @@ impl TableFile {
         for &p in ptrs {
             let mut header = [0u8; RECORD_HEADER];
             self.log.read_at_pinned(p.0, &mut header, &header_pins)?;
-            let rec_len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
-            let tid = u64::from_le_bytes(header[4..12].try_into().unwrap());
-            metas.push((rec_len, tid, header[12]));
+            let (rec_len, tid, flags) = parse_record_header(p.0, &header)?;
+            metas.push((rec_len, tid, flags));
             self.log
                 .pages_spanning(p.0 + RECORD_HEADER as u64, rec_len, &mut ids);
         }
@@ -224,9 +231,9 @@ impl TableFile {
     pub fn mark_deleted(&mut self, ptr: RecordPtr) -> Result<()> {
         let mut header = [0u8; RECORD_HEADER];
         self.log.read_at(ptr.0, &mut header)?;
-        if header[12] & FLAG_DELETED == 0 {
-            header[12] |= FLAG_DELETED;
-            self.log.write_at(ptr.0 + 12, &[header[12]])?;
+        let flags = header.last().copied().unwrap_or(0);
+        if flags & FLAG_DELETED == 0 {
+            self.log.write_at(ptr.0 + 12, &[flags | FLAG_DELETED])?;
             self.deleted_records += 1;
         }
         Ok(())
@@ -301,13 +308,23 @@ impl TableFile {
     /// Persist header and tail page.
     pub fn flush(&mut self) -> Result<()> {
         let mut h = [0u8; USER_HEADER_LEN];
-        h[0..8].copy_from_slice(&self.next_tid.to_le_bytes());
-        h[8..16].copy_from_slice(&self.total_records.to_le_bytes());
-        h[16..24].copy_from_slice(&self.deleted_records.to_le_bytes());
+        let words = [self.next_tid, self.total_records, self.deleted_records];
+        for (dst, src) in h.chunks_exact_mut(8).zip(words) {
+            dst.copy_from_slice(&src.to_le_bytes());
+        }
         self.log.set_user_header(h);
         self.log.flush()?;
         Ok(())
     }
+}
+
+/// Parse a stored-record header `[rec_len: u32][tid: u64][flags: u8]`.
+fn parse_record_header(at: u64, header: &[u8; RECORD_HEADER]) -> Result<(usize, Tid, u8)> {
+    let corrupt = || SwtError::Corrupt(format!("record header at {at} unreadable"));
+    let rec_len = le_u32(header, 0).ok_or_else(corrupt)? as usize;
+    let tid = le_u64(header, 4).ok_or_else(corrupt)?;
+    let flags = *header.get(12).ok_or_else(corrupt)?;
+    Ok((rec_len, tid, flags))
 }
 
 /// Iterator over `(ptr, record)` pairs in file order.
@@ -345,6 +362,7 @@ mod tests {
     use super::*;
     use crate::schema::AttrId;
     use crate::value::Value;
+    use iva_storage::{RealVfs, Vfs};
 
     fn opts() -> PagerOptions {
         PagerOptions {
@@ -405,7 +423,7 @@ mod tests {
     #[test]
     fn persistence() {
         let dir = std::env::temp_dir().join(format!("iva-tbl-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let path = dir.join("t.tbl");
         let p;
         {
@@ -420,7 +438,7 @@ mod tests {
         assert_eq!(t.total_records(), 2);
         assert_eq!(t.deleted_records(), 1);
         assert!(t.get(p).unwrap().deleted);
-        std::fs::remove_dir_all(&dir).unwrap();
+        RealVfs.remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -45,16 +45,19 @@ pub fn gram_bit_positions(gram: &[u8], l_bits: u32, t: u32, out: &mut Vec<u32>) 
 pub fn or_gram_into(gram: &[u8], l_bits: u32, t: u32, buf: &mut [u8], scratch: &mut Vec<u32>) {
     gram_bit_positions(gram, l_bits, t, scratch);
     for &p in scratch.iter() {
-        buf[(p / 8) as usize] |= 1 << (p % 8);
+        if let Some(b) = buf.get_mut((p / 8) as usize) {
+            *b |= 1 << (p % 8);
+        }
     }
 }
 
 /// True iff every bit of `h[l,t](ω)` (given as positions) is set in `sig` —
 /// the paper's *hit* test `h[l,t](ω) AND cH = h[l,t](ω)` (Definition 3.1).
 pub fn positions_hit(positions: &[u32], sig: &[u8]) -> bool {
-    positions
-        .iter()
-        .all(|&p| sig[(p / 8) as usize] & (1 << (p % 8)) != 0)
+    positions.iter().all(|&p| {
+        sig.get((p / 8) as usize)
+            .is_some_and(|&b| b & (1 << (p % 8)) != 0)
+    })
 }
 
 #[cfg(test)]

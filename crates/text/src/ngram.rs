@@ -78,12 +78,12 @@ impl GramMultiset {
     pub fn common_size(&self, other: &GramMultiset) -> u64 {
         let (mut i, mut j) = (0, 0);
         let mut total = 0u64;
-        while i < self.entries.len() && j < other.entries.len() {
-            match self.entries[i].0.cmp(&other.entries[j].0) {
+        while let (Some(a), Some(b)) = (self.entries.get(i), other.entries.get(j)) {
+            match a.0.cmp(&b.0) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    total += u64::from(self.entries[i].1.min(other.entries[j].1));
+                    total += u64::from(a.1.min(b.1));
                     i += 1;
                     j += 1;
                 }

@@ -120,7 +120,9 @@ impl SigCodec {
 
     /// `cH` size in bytes for a given length byte.
     pub fn ch_bytes(&self, len_byte: u8) -> usize {
-        usize::from(self.table[usize::from(len_byte)].0)
+        self.table
+            .get(usize::from(len_byte))
+            .map_or(0, |e| usize::from(e.0))
     }
 
     /// Total encoded signature size (`cL` + `cH`) for a given length byte.
@@ -135,8 +137,9 @@ impl SigCodec {
 
     /// `(l bits, t)` for a given length byte.
     pub fn geometry(&self, len_byte: u8) -> (u32, u32) {
-        let (_, l, t) = self.table[usize::from(len_byte)];
-        (u32::from(l), u32::from(t))
+        self.table
+            .get(usize::from(len_byte))
+            .map_or((0, 0), |&(_, l, t)| (u32::from(l), u32::from(t)))
     }
 
     /// Encode the nG-signature of `s`, appending `[cL][cH...]` to `out`.
@@ -150,7 +153,8 @@ impl SigCodec {
         out.resize(start + ch, 0);
         let mut scratch = Vec::with_capacity(t as usize);
         for gram in grams_of(s, self.n) {
-            or_gram_into(&gram, l, t, &mut out[start..], &mut scratch);
+            let dst = out.get_mut(start..).unwrap_or(&mut []);
+            or_gram_into(&gram, l, t, dst, &mut scratch);
         }
         1 + ch
     }
@@ -213,13 +217,10 @@ impl QueryStringMatcher {
             return Err(SigError::Empty);
         };
         let ch_bytes = codec.ch_bytes(len_byte);
-        if rest.len() < ch_bytes {
-            return Err(SigError::Truncated {
-                need: 1 + ch_bytes,
-                got: sig.len(),
-            });
-        }
-        let ch = &rest[..ch_bytes];
+        let ch = rest.get(..ch_bytes).ok_or(SigError::Truncated {
+            need: 1 + ch_bytes,
+            got: sig.len(),
+        })?;
         let (l, t) = codec.geometry(len_byte);
         let mut pos = Vec::with_capacity(t as usize);
         let mut hg = 0u64;
@@ -314,7 +315,9 @@ impl PreparedMatcher {
                         let base = masks.len();
                         masks.resize(base + words, 0);
                         for &p in &pos {
-                            masks[base + (p / 64) as usize] |= 1u64 << (p % 64);
+                            if let Some(w) = masks.get_mut(base + (p / 64) as usize) {
+                                *w |= 1u64 << (p % 64);
+                            }
                         }
                     }
                     seen.push(((l, t), off));
@@ -342,6 +345,20 @@ impl PreparedMatcher {
         self.q_len
     }
 
+    /// The baked plan for a length byte. `plans` is built for every `u8`
+    /// value, so the lookup is total.
+    #[inline]
+    fn plan_of(&self, len_byte: u8) -> LenPlan {
+        self.plans
+            .get(usize::from(len_byte))
+            .copied()
+            .unwrap_or(LenPlan {
+                ch_bytes: 0,
+                words: 0,
+                mask_off: 0,
+            })
+    }
+
     /// Evaluate `est(sq, c(sd))` (Eq. 3) against an encoded signature
     /// (`[cL][cH...]`, as produced by [`SigCodec::encode`]). The result is
     /// a lower bound on `ed(sq, sd)` (Proposition 3.3), clamped at 0.
@@ -359,22 +376,20 @@ impl PreparedMatcher {
     /// length byte from the element stream (the vector-list cursors, which
     /// must read `cL` first to learn how many `cH` bytes to view).
     pub fn estimate_parts(&self, len_byte: u8, ch: &[u8]) -> Result<f64, SigError> {
-        let plan = self.plans[usize::from(len_byte)];
+        let plan = self.plan_of(len_byte);
         let ch_bytes = plan.ch_bytes as usize;
-        if ch.len() < ch_bytes {
-            return Err(SigError::Truncated {
-                need: 1 + ch_bytes,
-                got: 1 + ch.len(),
-            });
-        }
+        let ch = ch.get(..ch_bytes).ok_or(SigError::Truncated {
+            need: 1 + ch_bytes,
+            got: 1 + ch.len(),
+        })?;
         let words = plan.words as usize;
         let hg = if words <= STACK_WORDS {
             let mut scratch = [0u64; STACK_WORDS];
-            self.hit_grams(plan, &ch[..ch_bytes], &mut scratch[..words])
+            self.hit_grams(plan, ch, scratch.get_mut(..words).unwrap_or(&mut []))
         } else {
             // Geometry too wide for the stack (needs n > 258): cold path.
             let mut scratch = vec![0u64; words];
-            self.hit_grams(plan, &ch[..ch_bytes], &mut scratch)
+            self.hit_grams(plan, ch, &mut scratch)
         };
         Ok(finish_estimate(self.q_len, len_byte, hg, self.n))
     }
@@ -411,18 +426,20 @@ impl PreparedMatcher {
             &mut heap
         };
         for (i, slot) in out.iter_mut().enumerate() {
-            let cell = &sigs[i * stride..sigs.len().min((i + 1) * stride)];
-            let (&len_byte, rest) = cell.split_first().expect("cell bounds checked above");
-            let plan = self.plans[usize::from(len_byte)];
+            let cell = sigs
+                .get(i * stride..sigs.len().min((i + 1) * stride))
+                .unwrap_or(&[]);
+            let Some((&len_byte, rest)) = cell.split_first() else {
+                return Err(SigError::Empty);
+            };
+            let plan = self.plan_of(len_byte);
             let ch_bytes = plan.ch_bytes as usize;
-            if rest.len() < ch_bytes {
-                return Err(SigError::Truncated {
-                    need: 1 + ch_bytes,
-                    got: 1 + rest.len(),
-                });
-            }
+            let ch = rest.get(..ch_bytes).ok_or(SigError::Truncated {
+                need: 1 + ch_bytes,
+                got: 1 + rest.len(),
+            })?;
             let words = plan.words as usize;
-            let hg = self.hit_grams(plan, &rest[..ch_bytes], &mut scratch[..words]);
+            let hg = self.hit_grams(plan, ch, scratch.get_mut(..words).unwrap_or(&mut []));
             *slot = finish_estimate(self.q_len, len_byte, hg, self.n);
         }
         Ok(())
@@ -435,22 +452,25 @@ impl PreparedMatcher {
         debug_assert_eq!(ch.len(), plan.ch_bytes as usize);
         debug_assert_eq!(scratch.len(), plan.words as usize);
         let mut chunks = ch.chunks_exact(8);
-        let mut k = 0;
-        for chunk in &mut chunks {
-            scratch[k] = u64::from_le_bytes(chunk.try_into().unwrap());
-            k += 1;
+        let mut slots = scratch.iter_mut();
+        for (chunk, slot) in chunks.by_ref().zip(slots.by_ref()) {
+            *slot = u64::from_le_bytes(chunk.try_into().unwrap_or([0u8; 8]));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
             let mut last = [0u8; 8];
-            last[..rem.len()].copy_from_slice(rem);
-            scratch[k] = u64::from_le_bytes(last);
+            for (d, &b) in last.iter_mut().zip(rem) {
+                *d = b;
+            }
+            if let Some(slot) = slots.next() {
+                *slot = u64::from_le_bytes(last);
+            }
         }
         let words = scratch.len();
         let mut hg = 0u64;
         let mut off = plan.mask_off as usize;
         for &c in &self.counts {
-            let mask = &self.masks[off..off + words];
+            let mask = self.masks.get(off..off + words).unwrap_or(&[]);
             let mut miss = 0u64;
             for (&m, &s) in mask.iter().zip(scratch.iter()) {
                 miss |= m & !s;

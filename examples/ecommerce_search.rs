@@ -8,12 +8,13 @@
 //!
 //! Run with: `cargo run --release --example ecommerce_search`
 
+use iva_file::vfs::{RealVfs, Vfs};
 use iva_file::workload::{Dataset, WorkloadConfig};
 use iva_file::{IvaDb, IvaDbOptions, MetricKind, Query, Tuple, Value, WeightScheme};
 
 fn main() -> iva_file::Result<()> {
     let dir = std::env::temp_dir().join("iva-ecommerce-example");
-    let _ = std::fs::remove_dir_all(&dir);
+    let _ = RealVfs.remove_dir_all(&dir);
 
     // A CNET-ish shape: sparse, wide, mostly text.
     let cfg = WorkloadConfig {
@@ -94,7 +95,7 @@ fn main() -> iva_file::Result<()> {
         );
     }
 
-    let _ = std::fs::remove_dir_all(&dir);
+    let _ = RealVfs.remove_dir_all(&dir);
     Ok(())
 }
 

@@ -5,6 +5,7 @@
 use iva_file::baselines::{DirectScan, SiiIndex};
 use iva_file::workload::{generate_query_set, Dataset, WorkloadConfig};
 use iva_file::{IvaDb, IvaDbOptions, MetricKind, PagerOptions, Query, Tuple, Value, WeightScheme};
+use iva_storage::{RealVfs, Vfs};
 
 fn mem_db() -> IvaDb {
     IvaDb::create_mem(IvaDbOptions::default()).unwrap()
@@ -101,7 +102,7 @@ fn auto_cleanup_triggers_at_beta() {
 #[test]
 fn disk_persistence_full_cycle() {
     let dir = std::env::temp_dir().join(format!("iva-db-int-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
+    let _ = RealVfs.remove_dir_all(&dir);
     let name_attr;
     {
         let mut db = IvaDb::create(&dir, IvaDbOptions::default()).unwrap();
@@ -139,7 +140,7 @@ fn disk_persistence_full_cycle() {
         .search(&Query::new().text(name_attr, "post-reopen insert"), 1)
         .unwrap();
     assert_eq!(hits[0].dist, 0.0);
-    std::fs::remove_dir_all(&dir).unwrap();
+    RealVfs.remove_dir_all(&dir).unwrap();
 }
 
 #[test]

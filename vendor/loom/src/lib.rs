@@ -1,0 +1,493 @@
+//! A bounded model checker with `loom`'s API shape.
+//!
+//! The real `loom` crate is unavailable offline, so this stand-in
+//! re-implements the subset the workspace's concurrency models need:
+//! [`model`], [`thread::spawn`]/[`thread::JoinHandle`], and the
+//! [`sync::atomic`] types. Execution is **fully serialized**: exactly one
+//! model thread runs at a time, and every atomic operation, spawn, and
+//! join is a *yield point* where the scheduler picks the next thread to
+//! run. [`model`] then explores the tree of scheduling decisions by
+//! depth-first search, replaying a recorded decision prefix and branching
+//! on the next unexplored choice, until the tree is exhausted (or a
+//! safety cap of [`MAX_ITERATIONS`] schedules is hit).
+//!
+//! Compared to real loom this does not model weak memory orderings (all
+//! atomics are sequentially consistent under serialization) and has no
+//! `UnsafeCell` access tracking — it checks *interleaving* correctness
+//! (lost updates, join visibility, ordering assumptions), not relaxed-
+//! memory subtleties. That is the property the iVA-file merge-handoff
+//! model asserts. See TESTING.md.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+pub mod sync {
+    pub use std::sync::Arc;
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_shim {
+            ($name:ident, $inner:ty, $prim:ty) => {
+                /// Atomic whose every operation is a scheduler yield point.
+                #[derive(Debug, Default)]
+                pub struct $name(<$inner as std::ops::Deref>::Target);
+
+                impl $name {
+                    /// New atomic holding `v`.
+                    pub fn new(v: $prim) -> Self {
+                        Self(<<$inner as std::ops::Deref>::Target>::new(v))
+                    }
+                    /// Load (yield point).
+                    pub fn load(&self, o: Ordering) -> $prim {
+                        crate::rt::yield_point();
+                        self.0.load(o)
+                    }
+                    /// Store (yield point).
+                    pub fn store(&self, v: $prim, o: Ordering) {
+                        crate::rt::yield_point();
+                        self.0.store(v, o)
+                    }
+                    /// Swap (yield point).
+                    pub fn swap(&self, v: $prim, o: Ordering) -> $prim {
+                        crate::rt::yield_point();
+                        self.0.swap(v, o)
+                    }
+                    /// Compare-exchange (yield point).
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $prim,
+                        new: $prim,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::rt::yield_point();
+                        self.0.compare_exchange(cur, new, ok, err)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(
+            AtomicBool,
+            std::sync::Arc<std::sync::atomic::AtomicBool>,
+            bool
+        );
+        atomic_shim!(
+            AtomicUsize,
+            std::sync::Arc<std::sync::atomic::AtomicUsize>,
+            usize
+        );
+        atomic_shim!(AtomicU64, std::sync::Arc<std::sync::atomic::AtomicU64>, u64);
+        atomic_shim!(AtomicU32, std::sync::Arc<std::sync::atomic::AtomicU32>, u32);
+
+        macro_rules! fetch_ops {
+            ($name:ident, $prim:ty) => {
+                impl $name {
+                    /// Fetch-add (yield point).
+                    pub fn fetch_add(&self, v: $prim, o: Ordering) -> $prim {
+                        crate::rt::yield_point();
+                        self.0.fetch_add(v, o)
+                    }
+                    /// Fetch-max (yield point).
+                    pub fn fetch_max(&self, v: $prim, o: Ordering) -> $prim {
+                        crate::rt::yield_point();
+                        self.0.fetch_max(v, o)
+                    }
+                }
+            };
+        }
+        fetch_ops!(AtomicUsize, usize);
+        fetch_ops!(AtomicU64, u64);
+        fetch_ops!(AtomicU32, u32);
+    }
+}
+
+pub mod thread {
+    use super::rt;
+
+    /// Handle to a model thread; `join` is a blocking yield point.
+    pub struct JoinHandle<T> {
+        pub(crate) tid: usize,
+        pub(crate) result: std::sync::Arc<std::sync::Mutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Block (in model time) until the thread finishes, returning its
+        /// value. `Err` is never returned here: a panicking model thread
+        /// aborts the whole model run instead.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send>> {
+            rt::join(self.tid);
+            let v = self
+                .result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("joined thread produced no value");
+            Ok(v)
+        }
+    }
+
+    /// Spawn a model thread (yield point for the parent).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let result = std::sync::Arc::new(std::sync::Mutex::new(None));
+        let slot = std::sync::Arc::clone(&result);
+        let tid = rt::spawn(Box::new(move || {
+            let v = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+        }));
+        JoinHandle { tid, result }
+    }
+
+    /// Voluntary yield point.
+    pub fn yield_now() {
+        rt::yield_point();
+    }
+}
+
+/// Upper bound on explored schedules; reaching it stops exploration
+/// (bounded model checking) rather than failing.
+pub const MAX_ITERATIONS: usize = 10_000;
+
+/// Explore the scheduling tree of `f`. Panics (propagating the inner
+/// panic message) if any interleaving fails an assertion or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    // The scheduler runtime is process-global; `#[test]`s run concurrently,
+    // so serialize whole model explorations against each other.
+    static MODEL_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let f: std::sync::Arc<dyn Fn() + Send + Sync> = std::sync::Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    for _iter in 0..MAX_ITERATIONS {
+        let outcome = rt::run_iteration(std::sync::Arc::clone(&f), prefix.clone());
+        if let Some(msg) = outcome.panic {
+            panic!(
+                "loom model failed under schedule {:?}: {msg}",
+                outcome.choices
+            );
+        }
+        // DFS backtrack: bump the deepest decision that still has an
+        // unexplored sibling; drop everything after it.
+        let mut next = None;
+        for i in (0..outcome.choices.len()).rev() {
+            if outcome.choices[i] + 1 < outcome.options[i] {
+                let mut p = outcome.choices[..i].to_vec();
+                p.push(outcome.choices[i] + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => return,
+        }
+    }
+}
+
+mod rt {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ts {
+        /// Eligible to be scheduled at the next decision.
+        Parked,
+        /// Currently executing (exactly one thread at a time).
+        Running,
+        /// Waiting for another thread to finish.
+        BlockedOnJoin(usize),
+        Finished,
+    }
+
+    struct State {
+        threads: Vec<Ts>,
+        current: Option<usize>,
+        /// Replayed decision prefix, then 0 for new depths.
+        prefix: Vec<usize>,
+        /// Choice actually taken at each decision.
+        choices: Vec<usize>,
+        /// Number of runnable options at each decision.
+        options: Vec<usize>,
+        /// Closures for threads spawned but not yet claimed by an OS thread.
+        pending: Vec<Option<Box<dyn FnOnce() + Send>>>,
+        panic: Option<String>,
+        active: bool,
+    }
+
+    struct Rt {
+        st: Mutex<State>,
+        cv: Condvar,
+    }
+
+    fn rt() -> &'static Rt {
+        static RT: OnceLock<Rt> = OnceLock::new();
+        RT.get_or_init(|| Rt {
+            st: Mutex::new(State {
+                threads: Vec::new(),
+                current: None,
+                prefix: Vec::new(),
+                choices: Vec::new(),
+                options: Vec::new(),
+                pending: Vec::new(),
+                panic: None,
+                active: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    thread_local! {
+        static TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    }
+
+    fn my_tid() -> usize {
+        TID.with(|t| t.get()).expect("loom sync op outside model()")
+    }
+
+    /// Pick the next thread to run. Caller holds the lock and has already
+    /// parked/blocked/finished itself. Records the decision.
+    fn decide(st: &mut State) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Ts::Parked)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().any(|s| !matches!(s, Ts::Finished)) {
+                st.panic
+                    .get_or_insert_with(|| "model deadlock: no runnable thread".to_string());
+                // Unstick everything so the iteration can end.
+                for s in st.threads.iter_mut() {
+                    *s = Ts::Finished;
+                }
+            }
+            st.current = None;
+            return;
+        }
+        let depth = st.choices.len();
+        let pick = st
+            .prefix
+            .get(depth)
+            .copied()
+            .unwrap_or(0)
+            .min(runnable.len() - 1);
+        st.choices.push(pick);
+        st.options.push(runnable.len());
+        st.current = Some(runnable[pick]);
+    }
+
+    /// Block until the scheduler hands this thread the baton.
+    fn wait_for_turn(rt_: &Rt, mut st: std::sync::MutexGuard<'_, State>, me: usize) {
+        while st.current != Some(me) && st.threads.get(me) != Some(&Ts::Finished) {
+            st = rt_.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(s) = st.threads.get_mut(me) {
+            if *s == Ts::Parked {
+                *s = Ts::Running;
+            }
+        }
+    }
+
+    pub(crate) fn yield_point() {
+        let r = rt();
+        let me = my_tid();
+        let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+        if st.threads.get(me) == Some(&Ts::Finished) {
+            return; // deadlock recovery path
+        }
+        if let Some(s) = st.threads.get_mut(me) {
+            *s = Ts::Parked;
+        }
+        decide(&mut st);
+        r.cv.notify_all();
+        wait_for_turn(r, st, me);
+    }
+
+    pub(crate) fn spawn(body: Box<dyn FnOnce() + Send>) -> usize {
+        let r = rt();
+        let tid = {
+            let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+            let tid = st.threads.len();
+            st.threads.push(Ts::Parked);
+            st.pending.push(Some(body));
+            tid
+        };
+        std::thread::spawn(move || run_thread(tid));
+        yield_point();
+        tid
+    }
+
+    pub(crate) fn join(target: usize) {
+        let r = rt();
+        let me = my_tid();
+        let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+        if st.threads.get(me) == Some(&Ts::Finished) {
+            return;
+        }
+        if st.threads.get(target) != Some(&Ts::Finished) {
+            if let Some(s) = st.threads.get_mut(me) {
+                *s = Ts::BlockedOnJoin(target);
+            }
+        } else if let Some(s) = st.threads.get_mut(me) {
+            *s = Ts::Parked;
+        }
+        decide(&mut st);
+        r.cv.notify_all();
+        wait_for_turn(r, st, me);
+    }
+
+    fn run_thread(tid: usize) {
+        TID.with(|t| t.set(Some(tid)));
+        let r = rt();
+        let body = {
+            let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+            wait_for_turn(r, st, tid);
+            st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+            st.pending.get_mut(tid).and_then(Option::take)
+        };
+        if let Some(body) = body {
+            let res = catch_unwind(AssertUnwindSafe(body));
+            let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(p) = res {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                st.panic.get_or_insert(msg);
+            }
+            if let Some(s) = st.threads.get_mut(tid) {
+                *s = Ts::Finished;
+            }
+            // Wake joiners.
+            for s in st.threads.iter_mut() {
+                if *s == Ts::BlockedOnJoin(tid) {
+                    *s = Ts::Parked;
+                }
+            }
+            if st.current == Some(tid) {
+                decide(&mut st);
+            }
+            r.cv.notify_all();
+        }
+    }
+
+    pub(crate) struct IterationOutcome {
+        pub choices: Vec<usize>,
+        pub options: Vec<usize>,
+        pub panic: Option<String>,
+    }
+
+    pub(crate) fn run_iteration(
+        f: std::sync::Arc<dyn Fn() + Send + Sync>,
+        prefix: Vec<usize>,
+    ) -> IterationOutcome {
+        let r = rt();
+        {
+            let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+            assert!(
+                !st.active,
+                "nested or concurrent loom::model() calls are unsupported"
+            );
+            *st = State {
+                threads: Vec::new(),
+                current: None,
+                prefix,
+                choices: Vec::new(),
+                options: Vec::new(),
+                pending: Vec::new(),
+                panic: None,
+                active: true,
+            };
+        }
+        // The model closure is thread 0.
+        let root = spawn_root(f);
+        // Wait for every model thread to finish.
+        let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+        while st.threads.iter().any(|s| !matches!(s, Ts::Finished)) {
+            st = r.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let out = IterationOutcome {
+            choices: std::mem::take(&mut st.choices),
+            options: std::mem::take(&mut st.options),
+            panic: st.panic.take(),
+        };
+        st.active = false;
+        drop(st);
+        let _ = root.join();
+        out
+    }
+
+    fn spawn_root(f: std::sync::Arc<dyn Fn() + Send + Sync>) -> std::thread::JoinHandle<()> {
+        let r = rt();
+        {
+            let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+            st.threads.push(Ts::Parked);
+            st.pending.push(Some(Box::new(move || f())));
+            decide(&mut st);
+            r.cv.notify_all();
+        }
+        std::thread::spawn(|| run_thread(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn explores_more_than_one_schedule() {
+        let schedules = Arc::new(std::sync::Mutex::new(0usize));
+        let s2 = Arc::clone(&schedules);
+        super::model(move || {
+            *s2.lock().unwrap() += 1;
+            let a = Arc::new(AtomicUsize::new(0));
+            let a1 = Arc::clone(&a);
+            let h = super::thread::spawn(move || a1.fetch_add(1, Ordering::SeqCst));
+            a.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+        assert!(
+            *schedules.lock().unwrap() > 1,
+            "DFS explored a single schedule"
+        );
+    }
+
+    #[test]
+    fn catches_lost_update() {
+        // A classic read-modify-write race: two threads do non-atomic
+        // load-then-store. Some interleaving must lose an update, and the
+        // model must find it.
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let hs: Vec<_> = (0..2)
+                    .map(|_| {
+                        let a = Arc::clone(&a);
+                        super::thread::spawn(move || {
+                            let v = a.load(Ordering::SeqCst);
+                            a.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(
+            found.is_err(),
+            "model failed to find the lost-update interleaving"
+        );
+    }
+}

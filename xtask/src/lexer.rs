@@ -1,0 +1,306 @@
+//! A minimal Rust token scanner for the architectural lints.
+//!
+//! This is intentionally *not* a full Rust lexer: the lints only need a
+//! stream of identifiers and punctuation with line numbers, with comments,
+//! string/char literals, and `#[cfg(test)]`-gated items removed. Operating
+//! at token level (rather than `grep`) is what lets the lints tell
+//! `File::open` from `BlockFile::open`, `unwrap()` from `unwrap_or()`, and
+//! an index expression `buf[i]` from a macro invocation `vec![...]` or an
+//! attribute `#[derive(...)]`.
+
+/// One scanned token: its 1-based source line and its text. Identifiers
+/// keep their full text; punctuation is a single character, except `::`
+/// which is merged into one token (path matching needs it constantly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub line: u32,
+    pub s: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`, dropping comments and the contents of string/char
+/// literals. Literal *prefixes* (`r"..."`, `b'x'`, `r#"..."#`) are
+/// recognized so their payloads never leak into the token stream.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            '\'' => {
+                // Char literal vs. lifetime: a literal closes with `'`
+                // within a couple of chars (or starts with an escape).
+                if i + 1 < n && b[i + 1] == '\\' {
+                    i += 2; // opening quote + backslash
+                    if i < n {
+                        i += 1; // escaped char
+                    }
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    i += 3;
+                } else {
+                    // Lifetime: consume the tick + ident, emit nothing.
+                    i += 1;
+                    while i < n && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // String-literal prefixes: r"", b"", br"", r#""#, b'x'.
+                let next = b.get(i).copied();
+                if matches!(ident.as_str(), "r" | "b" | "br" | "rb")
+                    && matches!(next, Some('"') | Some('#') | Some('\''))
+                {
+                    if next == Some('\'') {
+                        // Byte char literal b'…'.
+                        i += 1;
+                        if i < n && b[i] == '\\' {
+                            i += 1;
+                        }
+                        while i < n && b[i] != '\'' {
+                            if b[i] == '\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                        i += 1;
+                    } else {
+                        i = skip_raw_or_plain_string(&b, i, &mut line);
+                    }
+                } else {
+                    toks.push(Tok { line, s: ident });
+                }
+            }
+            ':' if i + 1 < n && b[i + 1] == ':' => {
+                toks.push(Tok {
+                    line,
+                    s: "::".into(),
+                });
+                i += 2;
+            }
+            _ => {
+                toks.push(Tok {
+                    line,
+                    s: c.to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Skip a plain `"..."` string starting at the opening quote. Returns the
+/// index just past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw (`#`-fenced) or plain string whose opening delimiter begins
+/// at `i` (pointing at `"` or the first `#`).
+fn skip_raw_or_plain_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return i;
+    }
+    if hashes == 0 {
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"'
+            && b.get(i + 1..i + 1 + hashes)
+                .is_some_and(|w| w.iter().all(|&c| c == '#'))
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Remove every `#[cfg(test)]`-gated item (attribute + the braced item
+/// that follows) from the token stream. Test modules construct fixtures
+/// with infallible shortcuts by design; the production-code lints must not
+/// see them. The `vfs-seam` lint deliberately does NOT use this filter —
+/// tests must go through an explicit [`Vfs`] too.
+pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // Skip this attribute, any further attributes, then the item's
+            // balanced braces (or through `;` for brace-less items).
+            i = skip_attr(toks, i);
+            while toks.get(i).is_some_and(|t| t.s == "#") {
+                i = skip_attr(toks, i);
+            }
+            let mut depth = 0i64;
+            while i < toks.len() {
+                match toks[i].s.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Does `toks[i..]` start the exact attribute `#[cfg(test)]`?
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    let want = ["#", "[", "cfg", "(", "test", ")", "]"];
+    want.iter()
+        .enumerate()
+        .all(|(k, w)| toks.get(i + k).is_some_and(|t| t.s == *w))
+}
+
+/// Skip one `#[...]` attribute starting at the `#`.
+fn skip_attr(toks: &[Tok], mut i: usize) -> usize {
+    debug_assert_eq!(toks.get(i).map(|t| t.s.as_str()), Some("#"));
+    i += 1; // '#'
+    if toks.get(i).is_some_and(|t| t.s == "[") {
+        let mut depth = 0i64;
+        while i < toks.len() {
+            match toks[i].s.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.s).collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        assert_eq!(
+            texts("File::open(x)"),
+            vec!["File", "::", "open", "(", "x", ")"]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_vanish() {
+        assert_eq!(
+            texts("a // std::fs\n b \"File::open\" /* unwrap() */ c"),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(
+            texts(r##"let s = r#"std::fs"#;"##),
+            vec!["let", "s", "=", ";"]
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        assert_eq!(texts("'a', '\\n', &'x str"), vec![",", ",", "&", "str"]);
+        assert_eq!(texts("b'x' y"), vec!["y"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_stripped() {
+        let toks = tokenize("fn a() {} #[cfg(test)] mod t { fn b() { x.unwrap() } } fn c() {}");
+        let kept = strip_cfg_test(&toks);
+        let s: Vec<&str> = kept.iter().map(|t| t.s.as_str()).collect();
+        assert!(!s.contains(&"unwrap"));
+        assert!(s.contains(&"a") && s.contains(&"c"));
+    }
+}

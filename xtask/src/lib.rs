@@ -1,0 +1,268 @@
+//! `cargo xtask analyze` — architectural-invariant lints for the iVA-file
+//! workspace. See `ANALYSIS.md` at the repo root for the lint catalog and
+//! the allowlist policy.
+//!
+//! The crate is a library so the meta-tests in `tests/lints.rs` can feed
+//! known-bad snippets straight to [`analyze_source`] and assert each lint
+//! actually fires, then run [`analyze_repo`] and assert the tree is clean.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lints;
+
+use std::path::{Path, PathBuf};
+
+use allowlist::{parse_allowlist, parse_markers, AllowEntry, Marker};
+use lexer::{strip_cfg_test, tokenize};
+use lints::{Violation, LINT_NAMES};
+
+/// Result of a full-repo run: surviving violations plus policy errors
+/// (stale allows, malformed markers, oversized allowlists).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Violations not covered by any allowlist entry or marker.
+    pub violations: Vec<Violation>,
+    /// Allowlist/marker policy errors — these fail the run even when the
+    /// code itself is clean.
+    pub errors: Vec<String>,
+    /// Files scanned, per lint (for the summary line).
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// True when the run should exit 0.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+}
+
+/// Which files a lint looks at, and whether `#[cfg(test)]` items are
+/// exempt. Paths are repo-relative with forward slashes.
+fn in_scope(lint: &str, path: &str) -> bool {
+    // Vendored stand-ins for external crates and the xtask tool itself are
+    // not part of the database being linted.
+    if path.starts_with("vendor/") || path.starts_with("xtask/") || path.starts_with("target/") {
+        return false;
+    }
+    match lint {
+        // Everything in the workspace — production, tests, and benches —
+        // except the seam module itself.
+        "vfs-seam" => path != "crates/storage/src/vfs.rs",
+        // Byte-decoding, estimation, and query-plan modules.
+        "no-panic-decode" => NPD_MODULES.contains(&path),
+        // Production modules of the replayable stack. Bench/workload/
+        // baseline crates measure wall-clock by design and are exempt.
+        "determinism" => {
+            let core = path.starts_with("crates/core/src/")
+                || path.starts_with("crates/storage/src/")
+                || path.starts_with("crates/swt/src/")
+                || path.starts_with("crates/text/src/");
+            let root_lib = path.starts_with("src/") && !path.starts_with("src/bin/");
+            core || root_lib
+        }
+        // Any production module doing raw VfsFile I/O must account for it.
+        "accounting" => {
+            path.starts_with("crates/") && path.contains("/src/") && !path.contains("/benches/")
+        }
+        _ => false,
+    }
+}
+
+/// Whether `#[cfg(test)]` items are stripped before a lint runs. The seam
+/// lint keeps them: tests must construct their Vfs explicitly too.
+fn strips_tests(lint: &str) -> bool {
+    lint != "vfs-seam"
+}
+
+/// The decode / estimator / query-plan modules covered by
+/// `no-panic-decode`. Additions here should be rare and deliberate —
+/// a module that parses disk bytes belongs on this list from birth.
+pub const NPD_MODULES: [&str; 18] = [
+    "crates/storage/src/codec.rs",
+    "crates/storage/src/commit.rs",
+    "crates/storage/src/listfile.rs",
+    "crates/swt/src/record.rs",
+    "crates/swt/src/schema.rs",
+    "crates/swt/src/stats.rs",
+    "crates/swt/src/swt.rs",
+    "crates/swt/src/table.rs",
+    "crates/text/src/signature.rs",
+    "crates/text/src/hash.rs",
+    "crates/text/src/ngram.rs",
+    "crates/text/src/params.rs",
+    "crates/core/src/layout.rs",
+    "crates/core/src/veclist.rs",
+    "crates/core/src/index.rs",
+    "crates/core/src/seqplan.rs",
+    "crates/core/src/parallel.rs",
+    "crates/core/src/pool.rs",
+];
+
+fn run_lint(lint: &str, path: &str, toks: &[lexer::Tok]) -> Vec<Violation> {
+    match lint {
+        "vfs-seam" => lints::vfs_seam(path, toks),
+        "no-panic-decode" => lints::no_panic_decode(path, toks),
+        "determinism" => lints::determinism(path, toks),
+        "accounting" => lints::accounting(path, toks),
+        _ => Vec::new(),
+    }
+}
+
+/// Lint a single in-memory source file. In-code `lint:allow` markers are
+/// honored; allowlist files are not consulted. Used by the meta-tests and
+/// usable for editor integration.
+pub fn analyze_source(lint: &str, path: &str, source: &str) -> Vec<Violation> {
+    let toks = tokenize(source);
+    let toks = if strips_tests(lint) {
+        strip_cfg_test(&toks)
+    } else {
+        toks
+    };
+    let (mut markers, _) = parse_markers(path, source);
+    run_lint(lint, path, &toks)
+        .into_iter()
+        .filter(|v| !marker_covers(&mut markers, lint, v.line))
+        .collect()
+}
+
+fn marker_covers(markers: &mut [Marker], lint: &str, line: u32) -> bool {
+    for m in markers.iter_mut() {
+        if m.lint == lint && (m.line == line || m.line + 1 == line) {
+            m.hits += 1;
+            return true;
+        }
+    }
+    false
+}
+
+fn allowlist_covers(entries: &mut [AllowEntry], file: &str, line_text: &str) -> bool {
+    for e in entries.iter_mut() {
+        if e.path == file && line_text.contains(&e.substring) {
+            e.hits += 1;
+            return true;
+        }
+    }
+    false
+}
+
+/// Collect every `.rs` file under `root`, repo-relative, sorted.
+fn rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in rd.flatten() {
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if name != "target" && name != ".git" {
+                    stack.push(p);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Run the requested lints (all four when `only` is `None`) over the repo
+/// at `root`, applying allowlist files from `xtask/allowlists/` and
+/// in-code markers, and reporting stale suppressions as errors.
+pub fn analyze_repo(root: &Path, only: Option<&str>) -> Analysis {
+    let mut analysis = Analysis::default();
+    let lint_filter: Vec<&str> = match only {
+        Some(l) => vec![l],
+        None => LINT_NAMES.to_vec(),
+    };
+
+    // Load allowlists.
+    let mut allows: Vec<(String, Vec<AllowEntry>)> = Vec::new();
+    for &lint in &lint_filter {
+        let path = root
+            .join("xtask/allowlists")
+            .join(format!("{}.allow", lint.replace('-', "_")));
+        let content = std::fs::read_to_string(&path).unwrap_or_default();
+        match parse_allowlist(lint, &content) {
+            Ok(entries) => allows.push((lint.to_string(), entries)),
+            Err(errs) => {
+                analysis.errors.extend(errs);
+                allows.push((lint.to_string(), Vec::new()));
+            }
+        }
+    }
+
+    let files = rust_files(root);
+    analysis.files_scanned = files.len();
+    for abs in &files {
+        let Ok(rel_os) = abs.strip_prefix(root) else {
+            continue;
+        };
+        let rel = rel_os.to_string_lossy().replace('\\', "/");
+        let wanted: Vec<&str> = lint_filter
+            .iter()
+            .copied()
+            .filter(|l| in_scope(l, &rel))
+            .collect();
+        if wanted.is_empty() {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(abs) else {
+            continue;
+        };
+        let lines: Vec<&str> = source.lines().collect();
+        let toks_full = tokenize(&source);
+        let toks_stripped = strip_cfg_test(&toks_full);
+        let (mut markers, marker_errors) = parse_markers(&rel, &source);
+        analysis.errors.extend(marker_errors);
+        for lint in wanted {
+            let toks = if strips_tests(lint) {
+                &toks_stripped
+            } else {
+                &toks_full
+            };
+            let entries = allows.iter_mut().find(|(l, _)| l == lint).map(|(_, e)| e);
+            let Some(entries) = entries else { continue };
+            for v in run_lint(lint, &rel, toks) {
+                if marker_covers(&mut markers, lint, v.line) {
+                    continue;
+                }
+                let line_text = lines.get(v.line as usize - 1).copied().unwrap_or("");
+                if allowlist_covers(entries, &rel, line_text) {
+                    continue;
+                }
+                analysis.violations.push(v);
+            }
+        }
+        // A marker that suppressed nothing is stale — the code it excused
+        // has moved or been fixed; remove the marker.
+        for m in &markers {
+            if m.hits == 0 && lint_filter.contains(&m.lint.as_str()) {
+                analysis.errors.push(format!(
+                    "{rel}:{}: stale lint:allow({}) marker — it no longer suppresses anything",
+                    m.line, m.lint
+                ));
+            }
+        }
+    }
+
+    // Stale allowlist entries fail the run for the same reason.
+    for (lint, entries) in &allows {
+        for e in entries {
+            if e.hits == 0 {
+                analysis.errors.push(format!(
+                    "{}.allow:{}: stale entry for {} (`{}`) — it no longer suppresses anything",
+                    lint.replace('-', "_"),
+                    e.defined_at,
+                    e.path,
+                    e.substring
+                ));
+            }
+        }
+    }
+    analysis
+}

@@ -1,0 +1,245 @@
+//! The four architectural-invariant lints.
+//!
+//! Each lint takes a repo-relative path plus the file's token stream and
+//! returns raw violations; allowlist filtering happens in
+//! [`crate::allowlist`]. See `ANALYSIS.md` for the catalog and rationale.
+
+use crate::lexer::Tok;
+
+/// One raw lint finding, before allowlist filtering.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (`vfs-seam`, `no-panic-decode`, `determinism`,
+    /// `accounting`).
+    pub lint: &'static str,
+    /// Human-readable description of what fired.
+    pub message: String,
+}
+
+/// All lint names, in the order they run.
+pub const LINT_NAMES: [&str; 4] = ["vfs-seam", "no-panic-decode", "determinism", "accounting"];
+
+fn violation(file: &str, line: u32, lint: &'static str, message: String) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line,
+        lint,
+        message,
+    }
+}
+
+/// `vfs-seam`: the only module allowed to touch the host filesystem is
+/// `crates/storage/src/vfs.rs` (where [`RealVfs`] lives). Everything else
+/// — production code, tests, and benches alike — must go through a [`Vfs`]
+/// handle, or fault injection and the in-memory harness silently lose
+/// coverage. Flags `std::fs`, `fs::…` paths, `File::open`/`File::create`,
+/// and `OpenOptions`.
+pub fn vfs_seam(file: &str, toks: &[Tok]) -> Vec<Violation> {
+    const LINT: &str = "vfs-seam";
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let nx = |k: usize| toks.get(i + k).map(|t| t.s.as_str());
+        match t.s.as_str() {
+            "std" if nx(1) == Some("::") && nx(2) == Some("fs") => {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    "`std::fs` outside the Vfs seam".into(),
+                ));
+            }
+            // Bare `fs::…` after a `use std::fs` (the use itself is also
+            // flagged, but a partial cleanup should not hide call sites).
+            "fs" if nx(1) == Some("::")
+                && (i == 0 || toks[i - 1].s != "::")
+                && nx(2).is_some_and(|s| s != "Vfs" && s != "VfsFile") =>
+            {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    "`fs::` path outside the Vfs seam".into(),
+                ));
+            }
+            "File"
+                if nx(1) == Some("::")
+                    && matches!(nx(2), Some("open") | Some("create"))
+                    && (i == 0 || toks[i - 1].s != "::") =>
+            {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    format!("`File::{}` outside the Vfs seam", nx(2).unwrap_or("")),
+                ));
+            }
+            "OpenOptions" => {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    "`OpenOptions` outside the Vfs seam".into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Keywords that can legitimately precede a `[` that is *not* an index
+/// expression (`for [a, b] in …`, `impl Trait for [T]`, `return [x]`, …).
+const NON_INDEX_KEYWORDS: [&str; 16] = [
+    "for", "in", "as", "return", "break", "if", "else", "match", "move", "mut", "ref", "where",
+    "impl", "dyn", "let", "box",
+];
+
+/// `no-panic-decode`: decode, estimator, and query-plan modules parse
+/// bytes that came from disk — possibly corrupt disk. Panicking there
+/// turns recoverable corruption into an abort, so `unwrap()`, `expect()`,
+/// `panic!`, `unreachable!`, `todo!`, `unimplemented!`, and slice-index
+/// expressions (`buf[i]`, `buf[a..b]`) are banned; use `get`/`get_mut`,
+/// the checked readers in `iva_storage::codec`, or propagate an error.
+pub fn no_panic_decode(file: &str, toks: &[Tok]) -> Vec<Violation> {
+    const LINT: &str = "no-panic-decode";
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let nx = |k: usize| toks.get(i + k).map(|t| t.s.as_str());
+        let prev = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .map(|t| t.s.as_str());
+        match t.s.as_str() {
+            "unwrap" | "expect" if prev == Some(".") && nx(1) == Some("(") => {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    format!("`.{}()` in a decode path", t.s),
+                ));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if nx(1) == Some("!") => {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    format!("`{}!` in a decode path", t.s),
+                ));
+            }
+            "[" => {
+                let Some(p) = prev else { continue };
+                let is_index_base = p == ")"
+                    || p == "]"
+                    || (p
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                        && !NON_INDEX_KEYWORDS.contains(&p));
+                if is_index_base {
+                    out.push(violation(
+                        file,
+                        t.line,
+                        LINT,
+                        format!("slice-index `{p}[…]` in a decode path (use `.get(…)`)"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `determinism`: the index/storage/query stack must be replayable — the
+/// crash-recovery torture tests replay an operation log and expect
+/// bit-identical files, and query results must not depend on the clock.
+/// Flags `Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`, and
+/// `rand::random` in production modules. The one audited clock is
+/// `thread_cpu_time()` in `crates/core/src/timing.rs` (measurement only,
+/// never control flow) — it is carried on the allowlist.
+pub fn determinism(file: &str, toks: &[Tok]) -> Vec<Violation> {
+    const LINT: &str = "determinism";
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let nx = |k: usize| toks.get(i + k).map(|t| t.s.as_str());
+        match t.s.as_str() {
+            "Instant" if nx(1) == Some("::") && nx(2) == Some("now") => {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    "`Instant::now` in a deterministic module".into(),
+                ));
+            }
+            "SystemTime" => {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    "`SystemTime` in a deterministic module".into(),
+                ));
+            }
+            "thread_rng" | "from_entropy" => {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    format!("`{}` (ambient randomness) in a deterministic module", t.s),
+                ));
+            }
+            "random" if i >= 2 && toks[i - 1].s == "::" && toks[i - 2].s == "rand" => {
+                out.push(violation(
+                    file,
+                    t.line,
+                    LINT,
+                    "`rand::random` in a deterministic module".into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `accounting`: the paper's evaluation is I/O-centric, so every raw
+/// [`VfsFile`] read or write must be visible to [`IoStats`]. A module that
+/// calls `.read_at(…)` / `.write_at(…)` / `read_full_at(…)` without ever
+/// touching `IoStats` is doing unaccounted I/O — the benchmarks would
+/// under-report it. Fires once per offending file, at the first raw call.
+pub fn accounting(file: &str, toks: &[Tok]) -> Vec<Violation> {
+    const LINT: &str = "accounting";
+    let mut first_raw: Option<(u32, String)> = None;
+    let mut mentions_stats = false;
+    for (i, t) in toks.iter().enumerate() {
+        let prev = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .map(|t| t.s.as_str());
+        let nx = |k: usize| toks.get(i + k).map(|t| t.s.as_str());
+        match t.s.as_str() {
+            "IoStats" => mentions_stats = true,
+            "read_at" | "write_at"
+                if prev == Some(".") && nx(1) == Some("(") && first_raw.is_none() =>
+            {
+                first_raw = Some((t.line, t.s.clone()));
+            }
+            "read_full_at" if prev != Some("fn") && nx(1) == Some("(") && first_raw.is_none() => {
+                first_raw = Some((t.line, t.s.clone()));
+            }
+            _ => {}
+        }
+    }
+    match first_raw {
+        Some((line, call)) if !mentions_stats => vec![violation(
+            file,
+            line,
+            LINT,
+            format!("raw `{call}` in a module that never updates `IoStats`"),
+        )],
+        _ => Vec::new(),
+    }
+}

@@ -1,0 +1,74 @@
+//! `cargo xtask <command>` — repo automation.
+//!
+//! Commands:
+//! - `analyze [--lint <name>]` — run the architectural-invariant lints
+//!   (see `ANALYSIS.md`); exits non-zero on any violation, malformed or
+//!   stale suppression, or oversized allowlist.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // xtask always lives at <repo>/xtask.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let mut only: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--lint" => {
+                        only = args.get(i + 1).cloned();
+                        i += 2;
+                    }
+                    other => {
+                        eprintln!("unknown argument `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(l) = &only {
+                if !xtask::lints::LINT_NAMES.contains(&l.as_str()) {
+                    eprintln!(
+                        "unknown lint `{l}` — available: {}",
+                        xtask::lints::LINT_NAMES.join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            let analysis = xtask::analyze_repo(&repo_root(), only.as_deref());
+            for v in &analysis.violations {
+                println!("{}:{}: [{}] {}", v.file, v.line, v.lint, v.message);
+            }
+            for e in &analysis.errors {
+                println!("policy: {e}");
+            }
+            if analysis.is_clean() {
+                println!(
+                    "analyze: clean ({} files scanned, lints: {})",
+                    analysis.files_scanned,
+                    only.as_deref().unwrap_or("all")
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "analyze: {} violation(s), {} policy error(s)",
+                    analysis.violations.len(),
+                    analysis.errors.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask analyze [--lint <name>]");
+            ExitCode::FAILURE
+        }
+    }
+}

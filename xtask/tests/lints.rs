@@ -1,0 +1,283 @@
+//! Meta-tests for `cargo xtask analyze`: every lint must fire on a
+//! known-bad snippet, the escape hatches must work exactly as documented,
+//! and the real tree must be clean.
+
+use std::path::{Path, PathBuf};
+
+use xtask::{analyze_repo, analyze_source};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(PathBuf::from)
+        .expect("xtask sits one level below the repo root")
+}
+
+// ---------------------------------------------------------------------------
+// Each lint fires on a bad snippet
+// ---------------------------------------------------------------------------
+
+#[test]
+fn vfs_seam_fires_on_std_fs() {
+    let v = analyze_source(
+        "vfs-seam",
+        "crates/core/src/index.rs",
+        "fn f() { let d = std::fs::read(\"x\").unwrap(); }",
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("std::fs"));
+}
+
+#[test]
+fn vfs_seam_fires_on_file_open_and_openoptions() {
+    let v = analyze_source(
+        "vfs-seam",
+        "crates/swt/tests/t.rs",
+        "fn f() { let _ = File::open(\"x\"); let _ = OpenOptions::new(); }",
+    );
+    assert_eq!(v.len(), 2, "{v:?}");
+}
+
+#[test]
+fn vfs_seam_does_not_fire_on_blockfile_open() {
+    // Token-level matching: `BlockFile::open` is not `File::open`.
+    let v = analyze_source(
+        "vfs-seam",
+        "crates/storage/src/pager.rs",
+        "fn f() { let _ = BlockFile::open(path); }",
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn vfs_seam_checks_test_code_too() {
+    // Unlike the other lints, cfg(test) items are NOT exempt: tests must
+    // construct their Vfs explicitly.
+    let v = analyze_source(
+        "vfs-seam",
+        "crates/storage/src/file.rs",
+        "#[cfg(test)]\nmod tests {\n fn f() { std::fs::create_dir_all(\"d\").unwrap(); }\n}",
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+}
+
+#[test]
+fn no_panic_decode_fires_on_unwrap_expect_and_macros() {
+    let src = r#"
+fn f(buf: &[u8]) -> u32 {
+    let x = buf.first().unwrap();
+    let y = buf.last().expect("y");
+    if *x == 0 { panic!("zero"); }
+    match y { 0 => unreachable!(), _ => u32::from(*y) }
+}
+"#;
+    let v = analyze_source("no-panic-decode", "crates/swt/src/record.rs", src);
+    assert_eq!(v.len(), 4, "{v:?}");
+}
+
+#[test]
+fn no_panic_decode_fires_on_slice_index() {
+    let v = analyze_source(
+        "no-panic-decode",
+        "crates/core/src/layout.rs",
+        "fn f(b: &[u8]) -> u8 { b[0] + b[1..3][0] }",
+    );
+    assert_eq!(v.len(), 3, "{v:?}");
+}
+
+#[test]
+fn no_panic_decode_skips_lookalikes() {
+    // unwrap_or / expect_err are different identifiers; vec![…] and
+    // #[attr] brackets are not index expressions; array types neither.
+    let src = r#"
+#[derive(Debug)]
+struct S;
+fn f(o: Option<u8>) -> Vec<u8> {
+    let _ = o.unwrap_or(3);
+    let _: [u8; 2] = [0, 1];
+    vec![o.unwrap_or_default(); 4]
+}
+"#;
+    let v = analyze_source("no-panic-decode", "crates/swt/src/record.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn no_panic_decode_ignores_test_modules() {
+    let src = "#[cfg(test)]\nmod tests {\n fn f(b: &[u8]) -> u8 { b[0] }\n}\n";
+    let v = analyze_source("no-panic-decode", "crates/swt/src/record.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn determinism_fires_on_clocks_and_rngs() {
+    let src = r#"
+fn f() {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let r = thread_rng();
+    let x = rand::random::<u64>();
+}
+"#;
+    let v = analyze_source("determinism", "crates/core/src/parallel.rs", src);
+    assert_eq!(v.len(), 4, "{v:?}");
+}
+
+#[test]
+fn accounting_fires_on_unaccounted_raw_io() {
+    let v = analyze_source(
+        "accounting",
+        "crates/storage/src/newmod.rs",
+        "fn f(file: &dyn VfsFile) { let mut b = [0u8; 8]; file.read_at(&mut b, 0).ok(); }",
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("IoStats"), "{v:?}");
+}
+
+#[test]
+fn accounting_accepts_module_with_stats() {
+    let src = r#"
+fn f(file: &dyn VfsFile, stats: &IoStats) {
+    let mut b = [0u8; 8];
+    file.read_at(&mut b, 0).ok();
+}
+"#;
+    let v = analyze_source("accounting", "crates/storage/src/newmod.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn accounting_ignores_trait_definitions() {
+    let src = "trait T { fn read_at(&self, buf: &mut [u8], off: u64) -> usize; }";
+    let v = analyze_source("accounting", "crates/storage/src/newmod.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Escape hatches
+// ---------------------------------------------------------------------------
+
+#[test]
+fn in_code_marker_suppresses_with_justification() {
+    let src = r#"
+fn f(b: &[u8]) -> u8 {
+    // lint:allow(no-panic-decode, "b is checked to be non-empty by the caller")
+    b[0]
+}
+"#;
+    let v = analyze_source("no-panic-decode", "crates/core/src/layout.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn marker_without_justification_is_rejected() {
+    let (markers, errors) =
+        xtask::allowlist::parse_markers("f.rs", "// lint:allow(no-panic-decode, \"\")\n");
+    assert!(markers.is_empty());
+    assert_eq!(errors.len(), 1);
+}
+
+#[test]
+fn marker_for_other_lint_does_not_suppress() {
+    let src = r#"
+fn f(b: &[u8]) -> u8 {
+    // lint:allow(determinism, "wrong lint")
+    b[0]
+}
+"#;
+    let v = analyze_source("no-panic-decode", "crates/core/src/layout.rs", src);
+    assert_eq!(v.len(), 1, "{v:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Full-repo runs (stale detection + clean tree) on a scratch repo
+// ---------------------------------------------------------------------------
+
+fn write(root: &Path, rel: &str, content: &str) {
+    let p = root.join(rel);
+    std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+    std::fs::write(p, content).expect("write");
+}
+
+fn scratch_repo(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtask-meta-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_run() {
+    let dir = scratch_repo("stale");
+    write(&dir, "crates/core/src/layout.rs", "fn ok() {}\n");
+    write(
+        &dir,
+        "xtask/allowlists/no_panic_decode.allow",
+        "crates/core/src/layout.rs :: b[0] :: was needed once\n",
+    );
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert_eq!(a.errors.len(), 1, "{:?}", a.errors);
+    assert!(a.errors[0].contains("stale"), "{:?}", a.errors);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_in_code_marker_fails_the_run() {
+    let dir = scratch_repo("stale-marker");
+    write(
+        &dir,
+        "crates/core/src/layout.rs",
+        "// lint:allow(no-panic-decode, \"nothing here anymore\")\nfn ok() {}\n",
+    );
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert_eq!(a.errors.len(), 1, "{:?}", a.errors);
+    assert!(a.errors[0].contains("stale"), "{:?}", a.errors);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn live_allowlist_entry_suppresses_and_is_not_stale() {
+    let dir = scratch_repo("live");
+    write(
+        &dir,
+        "crates/core/src/layout.rs",
+        "fn f(b: &[u8]) -> u8 { b[0] }\n",
+    );
+    write(
+        &dir,
+        "xtask/allowlists/no_panic_decode.allow",
+        "crates/core/src/layout.rs :: b[0] :: caller guarantees non-empty\n",
+    );
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert!(a.is_clean(), "{:?} / {:?}", a.violations, a.errors);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_allowlist_fails_the_run() {
+    let dir = scratch_repo("oversized");
+    write(&dir, "crates/core/src/layout.rs", "fn ok() {}\n");
+    let mut allow = String::new();
+    for i in 0..41 {
+        allow.push_str(&format!("crates/core/src/layout.rs :: x{i} :: filler\n"));
+    }
+    write(&dir, "xtask/allowlists/no_panic_decode.allow", &allow);
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert!(a.errors.iter().any(|e| e.contains("cap")), "{:?}", a.errors);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The real tree is clean: zero unallowed violations, zero stale
+/// suppressions. This is the same check CI runs via `cargo xtask analyze`.
+#[test]
+fn current_tree_is_clean() {
+    let a = analyze_repo(&repo_root(), None);
+    assert!(
+        a.is_clean(),
+        "violations: {:#?}\npolicy errors: {:#?}",
+        a.violations,
+        a.errors
+    );
+    assert!(a.files_scanned > 50, "scanned only {}", a.files_scanned);
+}
