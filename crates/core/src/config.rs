@@ -18,8 +18,10 @@ pub struct IvaConfig {
     /// Worker threads for the segmented filter scan (`0` ⇒ one per
     /// available CPU). An effective count of 1 runs the exact
     /// single-threaded code path; any count produces bit-identical
-    /// results. Runtime-only: not persisted in the index header, so a
-    /// reopened index starts back at the default.
+    /// results. Runtime-only: not persisted in the index header. A
+    /// freshly opened index starts at the default until the caller
+    /// re-applies its knobs via `IvaIndex::set_runtime_knobs` (the
+    /// `IvaDb` open path does this automatically).
     pub search_threads: usize,
     /// Refinement batch size `B`: admitted candidates are deferred and
     /// fetched from the table file in page-ordered, coalesced batches of

@@ -127,6 +127,21 @@ impl IvaIndex {
         &self.header.config
     }
 
+    /// Overlay the runtime-only execution knobs onto this index's
+    /// in-memory configuration.
+    ///
+    /// The persistent header stores only the structural parameters (α,
+    /// `n`, ndf penalty, numeric width) — `IndexHeader::decode` resets
+    /// `search_threads`/`refine_batch` to their defaults — so an opened
+    /// index forgets the knobs its caller asked for. Callers that carry
+    /// execution knobs in their options re-apply them here after open.
+    /// This never touches the persistent format: `IndexHeader::encode`
+    /// does not serialize either field.
+    pub fn set_runtime_knobs(&mut self, search_threads: usize, refine_batch: usize) {
+        self.header.config.search_threads = search_threads;
+        self.header.config.refine_batch = refine_batch;
+    }
+
     /// Number of tuple-list elements (live + tombstoned).
     pub fn n_tuples(&self) -> u64 {
         self.header.n_tuples

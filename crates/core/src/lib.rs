@@ -27,6 +27,7 @@ mod error;
 mod index;
 mod layout;
 mod metric;
+mod multi;
 mod numeric;
 mod parallel;
 mod pool;
@@ -41,10 +42,12 @@ pub use error::{IvaError, Result};
 pub use index::{ExplainAttr, IvaIndex, QueryExplain, QueryOutcome};
 pub use layout::{AttrEntry, IndexHeader, TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
 pub use metric::{Metric, MetricKind, WeightScheme};
+pub use multi::BatchItem;
 pub use numeric::NumericCodec;
 pub use parallel::QueryOptions;
 pub use pool::{PoolEntry, ResultPool};
 pub use query::{attr_difference, exact_distance, Query, QueryStats, QueryValue};
+pub use timing::monotonic_nanos;
 pub use veclist::{
     choose_num_type, choose_text_type, encode_num_list, encode_text_list, num_list_sizes,
     text_list_sizes, ListType, NumListCursor, TextListCursor, LNUM, LTID,

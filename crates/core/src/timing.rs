@@ -61,9 +61,34 @@ pub(crate) fn thread_cpu_time() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
+/// Nanoseconds since an arbitrary process-wide epoch, from the OS
+/// monotonic clock.
+///
+/// This is the one sanctioned wall-clock for the *serving* layer: request
+/// latency is a property of the outside world (queueing + execution), so
+/// thread CPU time is the wrong instrument there. Like the crate-private
+/// `thread_cpu_time` shim, values must flow only into measurements — never
+/// into admission, ordering or merge logic — which is why the serving
+/// module imports this shim instead of `std::time::Instant` directly (the
+/// `determinism` lint enforces it).
+pub fn monotonic_nanos() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn monotonic_nanos_advances() {
+        let a = monotonic_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = monotonic_nanos();
+        assert!(b > a, "monotonic clock did not advance: {a} -> {b}");
+    }
 
     #[test]
     fn monotone_and_advancing() {

@@ -89,7 +89,7 @@ impl ByteLog {
     }
 
     /// Create a new log in memory. With `IVA_VFS=fault` the backing is a
-    /// pass-through [`FaultVfs`] (see [`crate::BlockFile::create_mem`]).
+    /// pass-through [`crate::FaultVfs`] (see [`crate::BlockFile::create_mem`]).
     pub fn create_mem(opts: &PagerOptions, stats: IoStats) -> Result<Self> {
         Self::create_with_vfs(
             crate::vfs::default_mem_vfs(),

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example community_catalog`
 
 use iva_file::workload::{generate_query_set, Dataset, WorkloadConfig};
-use iva_file::{IvaDb, IvaDbOptions, Tuple, Value};
+use iva_file::{IvaDb, IvaDbOptions, SearchRequest, Tuple, Value};
 
 fn main() -> iva_file::Result<()> {
     let cfg = WorkloadConfig::scaled(5_000);
@@ -98,7 +98,7 @@ fn main() -> iva_file::Result<()> {
     let qs = generate_query_set(&dataset, 3, 12, 2, 99);
     let mut answered = 0;
     for q in qs.measured() {
-        let hits = db.search(q, 10)?;
+        let hits = db.execute(q, &SearchRequest::new(10))?.hits;
         answered += usize::from(!hits.is_empty());
     }
     println!(

@@ -10,7 +10,7 @@
 
 use iva_file::vfs::{RealVfs, Vfs};
 use iva_file::workload::{Dataset, WorkloadConfig};
-use iva_file::{IvaDb, IvaDbOptions, MetricKind, Query, Tuple, Value, WeightScheme};
+use iva_file::{IvaDb, IvaDbOptions, MetricKind, Query, SearchRequest, Tuple, Value, WeightScheme};
 
 fn main() -> iva_file::Result<()> {
     let dir = std::env::temp_dir().join("iva-ecommerce-example");
@@ -76,7 +76,12 @@ fn main() -> iva_file::Result<()> {
         ("L2 + equal weights", WeightScheme::Equal),
         ("L2 + ITF weights", WeightScheme::Itf),
     ] {
-        let (hits, stats) = db.search_measured(&query, 5, &MetricKind::L2, weights)?;
+        let req = SearchRequest::new(5)
+            .metric(MetricKind::L2)
+            .weights(weights)
+            .measured(true);
+        let out = db.execute(&query, &req)?;
+        let (hits, stats) = (out.hits, out.stats);
         println!("top-5 under {metric_name}:");
         for hit in &hits {
             let b = text_of(&hit.tuple, brand);

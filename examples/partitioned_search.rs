@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use iva_file::workload::{generate_query_set, Dataset, WorkloadConfig};
-use iva_file::{IvaDb, IvaDbOptions, ShardedIvaDb};
+use iva_file::{IvaDb, IvaDbOptions, SearchRequest, ShardedIvaDb};
 
 fn main() -> iva_file::Result<()> {
     let cfg = WorkloadConfig::scaled(48_000);
@@ -51,11 +51,11 @@ fn main() -> iva_file::Result<()> {
     let mut agree = 0;
     for q in qs.measured() {
         let s0 = Instant::now();
-        let a = single.search(q, 10)?;
+        let a = single.execute(q, &SearchRequest::new(10))?.hits;
         t_single += s0.elapsed().as_secs_f64();
 
         let s1 = Instant::now();
-        let b = sharded.search(q, 10)?;
+        let b = sharded.execute(q, &SearchRequest::new(10))?.hits;
         t_sharded += s1.elapsed().as_secs_f64();
 
         let same = a.len() == b.len()

@@ -5,8 +5,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use iva_core::{
-    build_index, IndexTarget, IvaConfig, IvaError, IvaIndex, Metric, MetricKind, Query,
-    QueryOptions, QueryStats, Result, WeightScheme,
+    build_index, BatchItem, IndexTarget, IvaConfig, IvaError, IvaIndex, Metric, MetricKind, Query,
+    QueryOptions, QueryOutcome, QueryStats, Result, WeightScheme,
 };
 use iva_storage::vfs::{RealVfs, Vfs};
 use iva_storage::{sidecar_path, IoStats, PagerOptions, StorageError};
@@ -15,6 +15,30 @@ use iva_swt::{AttrId, SwtTable, Tid, Tuple};
 use crate::search::{QueryBuilder, SearchRequest};
 
 /// Options for creating an [`IvaDb`].
+///
+/// # Persisted vs. per-request configuration
+///
+/// Three layers of knobs exist, from most to least durable:
+///
+/// 1. **Structural parameters** (`config.alpha`, `config.n`,
+///    `config.ndf_penalty`, `config.numeric_width`) shape the index's
+///    bytes. They are persisted in the index header; on
+///    [`IvaDb::open`] the *stored* values win — the ones in `opts` are
+///    only used if the index has to be rebuilt from the table.
+/// 2. **Runtime defaults** (`config.search_threads`,
+///    `config.refine_batch`, plus `metric` and `weights` here) set the
+///    database's default execution plan. They are *never* persisted:
+///    an index header round-trip deliberately drops them, and open
+///    re-applies the values from `opts` so a reopened database behaves
+///    like the options say, not like the process that wrote the file.
+/// 3. **Per-request overrides** ([`SearchRequest::metric`],
+///    [`SearchRequest::threads`], [`SearchRequest::refine_batch`], ...)
+///    apply to one `execute` call only. They never write through to
+///    either layer above — a request can never change what a later
+///    request or a reopened database does.
+///
+/// Every layer-2/3 knob is plan-only: any setting produces bit-identical
+/// top-k answers, differing only in timing and speculative I/O.
 #[derive(Debug, Clone)]
 pub struct IvaDbOptions {
     /// Pager/page-cache options (shared shape for table and index files).
@@ -181,33 +205,49 @@ impl IvaDb {
         io: IoStats,
     ) -> Result<IvaIndex> {
         let path = dir.join("index.iva");
-        match IvaIndex::open_with_vfs(Arc::clone(vfs), &path, &opts.pager, io.clone()) {
-            Ok(index)
-                if !index.is_dirty() && index.table_watermark() == table.file().data_len() =>
-            {
-                return Ok(index)
+        let reusable =
+            match IvaIndex::open_with_vfs(Arc::clone(vfs), &path, &opts.pager, io.clone()) {
+                Ok(index)
+                    if !index.is_dirty() && index.table_watermark() == table.file().data_len() =>
+                {
+                    Some(index)
+                }
+                Ok(_) => None, // dirty or stale: fall through to the rebuild
+                Err(e) if e.is_corruption() => None,
+                Err(IvaError::Storage(StorageError::Io(e)))
+                    if e.kind() == std::io::ErrorKind::NotFound =>
+                {
+                    None
+                }
+                Err(e) => return Err(e),
+            };
+        let mut index = match reusable {
+            Some(index) => index,
+            None => {
+                // Rebuild to a temporary file, then swap it in atomically
+                // so a crash mid-rebuild leaves the (still rebuildable)
+                // old state.
+                let tmp = dir.join("index.rebuild.iva");
+                let mut index = build_index(
+                    table,
+                    IndexTarget::Vfs(Arc::clone(vfs), &tmp),
+                    &opts.pager,
+                    io.clone(),
+                    opts.config,
+                )?;
+                index.flush()?;
+                drop(index);
+                vfs.rename(&tmp, &path)
+                    .map_err(|e| IvaError::Storage(e.into()))?;
+                IvaIndex::open_with_vfs(Arc::clone(vfs), &path, &opts.pager, io)?
             }
-            Ok(_) => {} // dirty or stale: fall through to the rebuild
-            Err(e) if e.is_corruption() => {}
-            Err(IvaError::Storage(StorageError::Io(e)))
-                if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
-        // Rebuild to a temporary file, then swap it in atomically so a
-        // crash mid-rebuild leaves the (still rebuildable) old state.
-        let tmp = dir.join("index.rebuild.iva");
-        let mut index = build_index(
-            table,
-            IndexTarget::Vfs(Arc::clone(vfs), &tmp),
-            &opts.pager,
-            io.clone(),
-            opts.config,
-        )?;
-        index.flush()?;
-        drop(index);
-        vfs.rename(&tmp, &path)
-            .map_err(|e| IvaError::Storage(e.into()))?;
-        IvaIndex::open_with_vfs(Arc::clone(vfs), &path, &opts.pager, io)
+        };
+        // The header persists only structural parameters; re-apply the
+        // caller's execution knobs so a reopened database behaves like
+        // the one that was closed (see "Persisted vs. per-request
+        // configuration" on [`IvaDbOptions`]).
+        index.set_runtime_knobs(opts.config.search_threads, opts.config.refine_batch);
+        Ok(index)
     }
 
     /// Define (or look up) a text attribute.
@@ -322,6 +362,12 @@ impl IvaDb {
         let out =
             self.index
                 .query_opts(&self.table, query, request.k(), metric, weights, &qopts)?;
+        self.materialize(out)
+    }
+
+    /// Turn a raw index outcome into a [`SearchOutcome`] by fetching each
+    /// hit's tuple from the table file.
+    fn materialize(&self, out: QueryOutcome) -> Result<SearchOutcome> {
         let hits = out
             .results
             .into_iter()
@@ -339,19 +385,82 @@ impl IvaDb {
         })
     }
 
-    /// Top-k search with the default metric and weights.
+    /// Run several searches as one admission batch: the tuple list is
+    /// scanned once for the whole batch and refinement fetches are pooled
+    /// into shared page-coalesced rounds (see
+    /// [`iva_core::IvaIndex::query_batch`]). Every entry's result is
+    /// bit-identical to calling [`IvaDb::execute`] with the same query and
+    /// request on its own.
     ///
-    /// Thin wrapper kept for convenience; prefer [`IvaDb::execute`] with a
-    /// [`SearchRequest`].
+    /// Requests may disagree on their knobs: entries are grouped by
+    /// resolved metric (one shared scan per distinct metric), weights and
+    /// `k` are honored per entry, and the scan-level knobs take the first
+    /// explicit override in the group (`refine_batch`, `threads` — the
+    /// latter only reaches a singleton group, since batching replaces
+    /// segment parallelism) or any entry's `measured`.
+    pub fn execute_batch(&self, batch: &[(Query, SearchRequest)]) -> Result<Vec<SearchOutcome>> {
+        let mut out: Vec<Option<SearchOutcome>> = Vec::new();
+        out.resize_with(batch.len(), || None);
+        // Group by resolved metric, preserving submission order per group.
+        let mut groups: Vec<(MetricKind, Vec<usize>)> = Vec::new();
+        for (i, (_, r)) in batch.iter().enumerate() {
+            let m = r.metric_override().unwrap_or(self.opts.metric);
+            match groups.iter_mut().find(|(g, _)| *g == m) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((m, vec![i])),
+            }
+        }
+        for (metric, idxs) in groups {
+            let items: Vec<BatchItem<'_>> = idxs
+                .iter()
+                .map(|&i| {
+                    let (q, r) = &batch[i];
+                    BatchItem {
+                        query: q,
+                        k: r.k(),
+                        weights: r.weights_override().unwrap_or(self.opts.weights),
+                    }
+                })
+                .collect();
+            let qopts = QueryOptions {
+                threads: idxs.iter().find_map(|&i| batch[i].1.threads_override()),
+                measured: idxs.iter().any(|&i| batch[i].1.is_measured()),
+                refine_batch: idxs
+                    .iter()
+                    .find_map(|&i| batch[i].1.refine_batch_override()),
+            };
+            let outs = self
+                .index
+                .query_batch(&self.table, &items, &metric, &qopts)?;
+            for (&i, o) in idxs.iter().zip(outs) {
+                out[i] = Some(self.materialize(o)?);
+            }
+        }
+        out.into_iter()
+            .map(|o| o.ok_or_else(|| IvaError::Corrupt("batch entry left unanswered".into())))
+            .collect()
+    }
+
+    /// The metric used when a request carries no override.
+    pub fn default_metric(&self) -> MetricKind {
+        self.opts.metric
+    }
+
+    /// Top-k search with the default metric and weights.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execute(&query, &SearchRequest::new(k))` — the unified entry point"
+    )]
     pub fn search(&self, query: &Query, k: usize) -> Result<Vec<SearchHit>> {
         Ok(self.execute(query, &SearchRequest::new(k))?.hits)
     }
 
     /// Top-k search under an explicit metric and weight scheme.
-    ///
-    /// Thin wrapper kept for convenience; prefer [`IvaDb::execute`] (or
-    /// [`IvaDb::execute_metric`] for custom metrics) with a
-    /// [`SearchRequest`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execute` with `SearchRequest::new(k).metric(…).weights(…)` (or \
+                `execute_metric` for custom metrics)"
+    )]
     pub fn search_with<M: Metric + Sync>(
         &self,
         query: &Query,
@@ -364,9 +473,10 @@ impl IvaDb {
     }
 
     /// Top-k search returning measurement counters (for experiments).
-    ///
-    /// Thin wrapper kept for convenience; prefer [`IvaDb::execute`], whose
-    /// [`SearchOutcome`] always carries the stats.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execute` / `execute_metric` — `SearchOutcome` always carries the stats"
+    )]
     pub fn search_measured<M: Metric + Sync>(
         &self,
         query: &Query,

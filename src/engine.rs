@@ -1,0 +1,210 @@
+//! The common engine surface: one trait pair implemented by both
+//! [`IvaDb`] and [`ShardedIvaDb`] so callers — the serving layer above
+//! all — are generic over sharding.
+//!
+//! [`Engine`] is the read side: everything that runs with `&self` and is
+//! safe to call from any number of threads at once (both engines hold
+//! only `Sync` state on the query path). [`EngineWriter`] is the write
+//! side: the `&mut self` mutators, which the serving layer funnels
+//! through a single [`crate::serve::Writer`] handle.
+//!
+//! The split mirrors how the system is meant to be deployed: one writer
+//! thread owns the mutations and publishes epoch snapshots; reader
+//! threads execute searches against whichever snapshot they pinned.
+
+use iva_core::{MetricKind, Query, QueryStats, Result};
+use iva_swt::{AttrId, Tid, Tuple};
+
+use crate::db::{IvaDb, SearchOutcome};
+use crate::search::{QueryBuilder, SearchRequest};
+use crate::sharded::{ShardedIvaDb, ShardedSearchOutcome, ShardedTid};
+
+/// What any engine's search outcome can report, independent of its hit
+/// type. `hit_keys` gives a shape-independent digest — `(distance bits,
+/// tid, shard)` per hit, in rank order — so generic callers (the
+/// concurrent-reader tests, the load harness) can compare results across
+/// engines bit-for-bit without knowing the concrete hit type.
+pub trait EngineOutcome {
+    /// Measurement counters of the run.
+    fn stats(&self) -> &QueryStats;
+    /// `(dist.to_bits(), tid, shard)` per hit in rank order (`shard` is 0
+    /// for unsharded engines).
+    fn hit_keys(&self) -> Vec<(u64, u64, u32)>;
+}
+
+impl EngineOutcome for SearchOutcome {
+    fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+    fn hit_keys(&self) -> Vec<(u64, u64, u32)> {
+        self.hits
+            .iter()
+            .map(|h| (h.dist.to_bits(), h.tid, 0))
+            .collect()
+    }
+}
+
+impl EngineOutcome for ShardedSearchOutcome {
+    fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+    fn hit_keys(&self) -> Vec<(u64, u64, u32)> {
+        self.hits
+            .iter()
+            .map(|h| (h.dist.to_bits(), h.id.tid, h.id.shard))
+            .collect()
+    }
+}
+
+/// The read side of an engine: concurrent top-k search with `&self`.
+///
+/// Implemented by [`IvaDb`] and [`ShardedIvaDb`]; the serving layer
+/// ([`crate::serve`]) is generic over this trait, so a deployment can
+/// switch between one database and a partitioned one without touching
+/// its serving code.
+pub trait Engine: Send + Sync {
+    /// What one search run produces.
+    type Outcome: EngineOutcome + Send;
+
+    /// Build a [`Query`] from attribute names resolved through the
+    /// engine's catalog.
+    fn query_builder(&self) -> QueryBuilder<'_>;
+
+    /// Run one top-k search as described by `request`.
+    fn execute(&self, query: &Query, request: &SearchRequest) -> Result<Self::Outcome>;
+
+    /// Run several searches as one admission batch, sharing the filter
+    /// scan and the refinement fetch rounds where the engine supports it.
+    /// Results are bit-identical to calling [`Engine::execute`] once per
+    /// entry — batching is an execution strategy, never a semantic.
+    ///
+    /// The default implementation simply loops; engines override it with
+    /// a genuinely shared plan.
+    fn execute_batch(&self, batch: &[(Query, SearchRequest)]) -> Result<Vec<Self::Outcome>> {
+        batch.iter().map(|(q, r)| self.execute(q, r)).collect()
+    }
+
+    /// The metric used when a request carries no override.
+    fn default_metric(&self) -> MetricKind;
+
+    /// Live tuple count.
+    fn len(&self) -> u64;
+
+    /// True if no live tuples exist.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The write side of an engine: every `&mut self` mutator the serving
+/// layer routes through its single [`crate::serve::Writer`]. Engine-
+/// specific operations not listed here (`update`, `rebuild`, …) remain
+/// reachable through [`crate::serve::Writer::apply`].
+pub trait EngineWriter: Engine {
+    /// The engine's tuple handle ([`Tid`] or [`ShardedTid`]).
+    type Id: Copy + Send + Sync + std::fmt::Debug;
+
+    /// Define (or look up) a text attribute.
+    fn define_text(&mut self, name: &str) -> Result<AttrId>;
+
+    /// Define (or look up) a numerical attribute.
+    fn define_numeric(&mut self, name: &str) -> Result<AttrId>;
+
+    /// Insert a tuple; returns its handle.
+    fn insert(&mut self, tuple: &Tuple) -> Result<Self::Id>;
+
+    /// Delete a tuple by handle. Returns false if absent/already deleted.
+    fn delete(&mut self, id: Self::Id) -> Result<bool>;
+
+    /// Fetch a live tuple by handle.
+    fn get(&self, id: Self::Id) -> Result<Option<Tuple>>;
+
+    /// Persist all files durably.
+    fn flush(&mut self) -> Result<()>;
+}
+
+impl Engine for IvaDb {
+    type Outcome = SearchOutcome;
+
+    fn query_builder(&self) -> QueryBuilder<'_> {
+        IvaDb::query_builder(self)
+    }
+    fn execute(&self, query: &Query, request: &SearchRequest) -> Result<SearchOutcome> {
+        IvaDb::execute(self, query, request)
+    }
+    fn execute_batch(&self, batch: &[(Query, SearchRequest)]) -> Result<Vec<SearchOutcome>> {
+        IvaDb::execute_batch(self, batch)
+    }
+    fn default_metric(&self) -> MetricKind {
+        IvaDb::default_metric(self)
+    }
+    fn len(&self) -> u64 {
+        IvaDb::len(self)
+    }
+}
+
+impl EngineWriter for IvaDb {
+    type Id = Tid;
+
+    fn define_text(&mut self, name: &str) -> Result<AttrId> {
+        IvaDb::define_text(self, name)
+    }
+    fn define_numeric(&mut self, name: &str) -> Result<AttrId> {
+        IvaDb::define_numeric(self, name)
+    }
+    fn insert(&mut self, tuple: &Tuple) -> Result<Tid> {
+        IvaDb::insert(self, tuple)
+    }
+    fn delete(&mut self, id: Tid) -> Result<bool> {
+        IvaDb::delete(self, id)
+    }
+    fn get(&self, id: Tid) -> Result<Option<Tuple>> {
+        IvaDb::get(self, id)
+    }
+    fn flush(&mut self) -> Result<()> {
+        IvaDb::flush(self)
+    }
+}
+
+impl Engine for ShardedIvaDb {
+    type Outcome = ShardedSearchOutcome;
+
+    fn query_builder(&self) -> QueryBuilder<'_> {
+        ShardedIvaDb::query_builder(self)
+    }
+    fn execute(&self, query: &Query, request: &SearchRequest) -> Result<ShardedSearchOutcome> {
+        ShardedIvaDb::execute(self, query, request)
+    }
+    fn execute_batch(&self, batch: &[(Query, SearchRequest)]) -> Result<Vec<ShardedSearchOutcome>> {
+        ShardedIvaDb::execute_batch(self, batch)
+    }
+    fn default_metric(&self) -> MetricKind {
+        ShardedIvaDb::default_metric(self)
+    }
+    fn len(&self) -> u64 {
+        ShardedIvaDb::len(self)
+    }
+}
+
+impl EngineWriter for ShardedIvaDb {
+    type Id = ShardedTid;
+
+    fn define_text(&mut self, name: &str) -> Result<AttrId> {
+        ShardedIvaDb::define_text(self, name)
+    }
+    fn define_numeric(&mut self, name: &str) -> Result<AttrId> {
+        ShardedIvaDb::define_numeric(self, name)
+    }
+    fn insert(&mut self, tuple: &Tuple) -> Result<ShardedTid> {
+        ShardedIvaDb::insert(self, tuple)
+    }
+    fn delete(&mut self, id: ShardedTid) -> Result<bool> {
+        ShardedIvaDb::delete(self, id)
+    }
+    fn get(&self, id: ShardedTid) -> Result<Option<Tuple>> {
+        ShardedIvaDb::get(self, id)
+    }
+    fn flush(&mut self) -> Result<()> {
+        ShardedIvaDb::flush(self)
+    }
+}

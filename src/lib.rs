@@ -12,35 +12,51 @@
 //!
 //! ## Quickstart
 //!
+//! The serving API splits the engine into one mutating [`Writer`] and any
+//! number of cloneable [`Reader`]s. The writer publishes an immutable
+//! *epoch snapshot* after every mutation; readers pin snapshots and run
+//! searches against them from any thread.
+//!
 //! ```
+//! use iva_file::serve::Writer;
 //! use iva_file::{IvaDb, IvaDbOptions, SearchRequest, Tuple, Value};
 //!
-//! let mut db = IvaDb::create_mem(IvaDbOptions::default()).unwrap();
-//! let ty = db.define_text("Type").unwrap();
-//! let price = db.define_numeric("Price").unwrap();
-//! let company = db.define_text("Company").unwrap();
+//! let mut writer = Writer::new(IvaDb::create_mem(IvaDbOptions::default()).unwrap());
+//! let ty = writer.define_text("Type").unwrap();
+//! let price = writer.define_numeric("Price").unwrap();
+//! let company = writer.define_text("Company").unwrap();
 //!
-//! db.insert(
-//!     &Tuple::new()
-//!         .with(ty, Value::text("Digital Camera"))
-//!         .with(price, Value::num(230.0))
-//!         .with(company, Value::text("Canon")),
-//! )
-//! .unwrap();
+//! writer
+//!     .insert(
+//!         &Tuple::new()
+//!             .with(ty, Value::text("Digital Camera"))
+//!             .with(price, Value::num(230.0))
+//!             .with(company, Value::text("Canon")),
+//!     )
+//!     .unwrap();
+//!
+//! // Readers are cheap Arc clones; snapshots pin one publication.
+//! let reader = writer.reader();
+//! let snap = reader.snapshot();
 //!
 //! // Queries address attributes by name, resolved through the catalog;
 //! // a SearchRequest carries the execution knobs (k, metric, weights,
-//! // measurement, filter-scan threads).
-//! let query = db
+//! // measurement, filter-scan threads, refinement batching).
+//! let query = snap
 //!     .query_builder()
 //!     .text("Type", "Digital Camera")
 //!     .text("Company", "Cannon")
 //!     .build()
 //!     .unwrap();
-//! let outcome = db.execute(&query, &SearchRequest::new(5)).unwrap();
+//! let outcome = snap.execute(&query, &SearchRequest::new(5)).unwrap();
 //! assert_eq!(outcome.hits[0].dist, 1.0); // one typo away
 //! assert_eq!(outcome.stats.tuples_scanned, 1);
 //! ```
+//!
+//! Single-caller deployments can keep using [`IvaDb`] directly — the
+//! writer/reader split wraps the same engine without copying it, and
+//! [`serve::Server`] adds an admission queue that coalesces concurrent
+//! requests into shared scans (see the [`serve`] module docs).
 //!
 //! ## Crate map
 //!
@@ -57,11 +73,15 @@
 #![warn(missing_docs)]
 
 mod db;
+mod engine;
 mod search;
+pub mod serve;
 mod sharded;
 
 pub use db::{IvaDb, IvaDbOptions, SearchHit, SearchOutcome};
+pub use engine::{Engine, EngineOutcome, EngineWriter};
 pub use search::{QueryBuilder, SearchRequest};
+pub use serve::{Client, Reader, ServeOptions, Server, ServingStats, Snapshot, Writer};
 pub use sharded::{ShardedHit, ShardedIvaDb, ShardedSearchOutcome, ShardedTid};
 
 // Re-export the pieces users compose.

@@ -1,0 +1,476 @@
+//! The single-writer / multi-reader serving layer.
+//!
+//! An engine ([`crate::IvaDb`] or [`crate::ShardedIvaDb`]) enters serving
+//! through [`Writer::new`], which wraps it in a shared cell. From there:
+//!
+//! * **One [`Writer`]** owns every mutation. Each mutator (or a
+//!   multi-operation [`Writer::apply`]) takes the exclusive side of the
+//!   lock, mutates, bumps the epoch counter *while still holding the
+//!   lock*, and releases — publishing a new immutable snapshot.
+//! * **Any number of [`Reader`]s** (cheap `Arc` clones) pin snapshots:
+//!   [`Reader::snapshot`] takes the shared side of the lock, so the state
+//!   a [`Snapshot`] dereferences to cannot change while it is held, and
+//!   its [`Snapshot::epoch`] uniquely identifies that state — two
+//!   snapshots with equal epochs saw bit-identical data.
+//! * **A [`Server`]** (optional) adds admission batching on top: worker
+//!   threads drain a queue of submitted requests and execute each drained
+//!   group as one [`crate::Engine::execute_batch`] call against a single
+//!   snapshot, so concurrent queries share the filter scan and the
+//!   refinement fetch rounds. Batching never changes results — every
+//!   response is bit-identical to executing that request alone against
+//!   the same snapshot (see `iva_core::multi`).
+//!
+//! ## What the epoch contract guarantees (and doesn't)
+//!
+//! The epoch is bumped inside the write critical section, so a reader can
+//! never observe new data under an old epoch or old data under a new one.
+//! It advances on every write-lock release — including mutations that
+//! returned an error after partially applying — so an epoch says "the
+//! state may have changed", not "a mutation succeeded". Epochs order
+//! snapshots; they do not name durable states (call
+//! [`Writer::flush`] for durability). Readers holding a [`Snapshot`]
+//! block the writer: this is snapshot *consistency* via a reader-writer
+//! lock, not MVCC — hold snapshots for the duration of a query, not for
+//! the lifetime of a connection.
+
+use std::collections::VecDeque;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock, RwLockReadGuard};
+use std::thread::JoinHandle;
+
+use iva_core::{IvaError, Query, Result};
+use iva_swt::{AttrId, Tuple};
+
+use crate::engine::{Engine, EngineWriter};
+use crate::search::SearchRequest;
+
+/// The shared cell behind one writer and its readers.
+struct Shared<E> {
+    engine: RwLock<E>,
+    /// Publication counter. Bumped with `Release` ordering inside the
+    /// write critical section; read with `Acquire` under the read guard.
+    epoch: AtomicU64,
+}
+
+/// The single mutating handle over a served engine.
+///
+/// `Writer` is deliberately not `Clone` — the type system enforces the
+/// single-writer half of the contract the same way `&mut self` did on the
+/// bare engine, while [`Writer::reader`] hands out as many read handles
+/// as the deployment wants.
+pub struct Writer<E: EngineWriter> {
+    shared: Arc<Shared<E>>,
+}
+
+impl<E: EngineWriter> Writer<E> {
+    /// Move `engine` into a shared cell and return its writer.
+    pub fn new(engine: E) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                engine: RwLock::new(engine),
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A new read handle onto the same engine. Cheap; clone freely across
+    /// threads.
+    pub fn reader(&self) -> Reader<E> {
+        Reader {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Run one publication: exclusive access to the engine for the
+    /// duration of `f`, then an epoch bump *before* the lock releases, so
+    /// every operation inside `f` lands in a single snapshot transition.
+    /// This is the escape hatch to engine-specific mutators the
+    /// [`EngineWriter`] trait doesn't carry (`update`, `rebuild`, …):
+    ///
+    /// ```
+    /// # use iva_file::{IvaDb, IvaDbOptions};
+    /// # use iva_file::serve::Writer;
+    /// # let mut w = Writer::new(IvaDb::create_mem(IvaDbOptions::default()).unwrap());
+    /// w.apply(|db| db.rebuild()).unwrap();
+    /// ```
+    pub fn apply<T>(&mut self, f: impl FnOnce(&mut E) -> Result<T>) -> Result<T> {
+        let mut guard = self
+            .shared
+            .engine
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let out = f(&mut guard);
+        // Bump while still holding the write lock: a reader acquiring the
+        // read lock afterwards sees the new state *and* the new epoch;
+        // no interleaving can pair them crosswise. Errors bump too — a
+        // failed mutation may have partially applied.
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        drop(guard);
+        out
+    }
+
+    /// Read-only access through the writer itself (the writer can always
+    /// observe its own latest publication).
+    pub fn snapshot(&self) -> Snapshot<'_, E> {
+        read_snapshot(&self.shared)
+    }
+
+    /// Epochs published so far.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Define (or look up) a text attribute. Publishes.
+    pub fn define_text(&mut self, name: &str) -> Result<AttrId> {
+        self.apply(|e| e.define_text(name))
+    }
+
+    /// Define (or look up) a numerical attribute. Publishes.
+    pub fn define_numeric(&mut self, name: &str) -> Result<AttrId> {
+        self.apply(|e| e.define_numeric(name))
+    }
+
+    /// Insert a tuple. Publishes.
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<E::Id> {
+        self.apply(|e| e.insert(tuple))
+    }
+
+    /// Delete a tuple by handle. Publishes.
+    pub fn delete(&mut self, id: E::Id) -> Result<bool> {
+        self.apply(|e| e.delete(id))
+    }
+
+    /// Persist the engine durably. Publishes (durability changed, even
+    /// though query-visible state did not).
+    pub fn flush(&mut self) -> Result<()> {
+        self.apply(|e| e.flush())
+    }
+
+    /// Tear down serving and take the engine back. Fails (returning the
+    /// intact writer) while any [`Reader`], [`Snapshot`] or [`Server`] is
+    /// still alive.
+    pub fn into_inner(self) -> std::result::Result<E, Self> {
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => Ok(shared
+                .engine
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)),
+            Err(shared) => Err(Self { shared }),
+        }
+    }
+}
+
+/// A cheap, cloneable read handle. See [`Reader::snapshot`].
+pub struct Reader<E: Engine> {
+    shared: Arc<Shared<E>>,
+}
+
+impl<E: Engine> Clone for Reader<E> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+fn read_snapshot<E>(shared: &Shared<E>) -> Snapshot<'_, E> {
+    let guard = shared.engine.read().unwrap_or_else(PoisonError::into_inner);
+    // The write side bumps before releasing, so under the read guard the
+    // loaded epoch is exactly the one that published the guarded state.
+    let epoch = shared.epoch.load(Ordering::Acquire);
+    Snapshot { guard, epoch }
+}
+
+impl<E: Engine> Reader<E> {
+    /// Pin the current publication. The returned [`Snapshot`] derefs to
+    /// the engine; the writer is excluded until it drops.
+    pub fn snapshot(&self) -> Snapshot<'_, E> {
+        read_snapshot(&self.shared)
+    }
+
+    /// Convenience: pin a snapshot, run one search, release.
+    pub fn execute(&self, query: &Query, request: &SearchRequest) -> Result<E::Outcome> {
+        self.snapshot().execute(query, request)
+    }
+
+    /// The epoch a snapshot taken now would see (advisory — a writer may
+    /// publish between this load and a later [`Reader::snapshot`]).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// A pinned publication: shared access to the engine state of one epoch.
+///
+/// Derefs to the engine, so the whole read API is available:
+/// `snap.query_builder()`, `snap.execute(…)`, `snap.execute_batch(…)`,
+/// `snap.len()`. Holding a snapshot blocks the writer — keep it scoped to
+/// one query or one batch.
+pub struct Snapshot<'a, E> {
+    guard: RwLockReadGuard<'a, E>,
+    epoch: u64,
+}
+
+impl<E> Snapshot<'_, E> {
+    /// The publication this snapshot pinned. Two snapshots with equal
+    /// epochs dereference to bit-identical engine state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl<E> Deref for Snapshot<'_, E> {
+    type Target = E;
+    fn deref(&self) -> &E {
+        &self.guard
+    }
+}
+
+/// Tuning for [`Server::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Worker threads draining the admission queue. Each worker executes
+    /// one batch at a time against its own pinned snapshot.
+    pub workers: usize,
+    /// Most requests coalesced into one shared-scan batch. `1` disables
+    /// coalescing (the queue then only provides thread hand-off).
+    pub max_batch: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Admission-queue counters (monotone; read with [`Server::stats`] or
+/// [`Client::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Requests submitted through [`Client::search`].
+    pub submitted: u64,
+    /// Batches executed (each against one snapshot).
+    pub batches: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests that shared a batch with at least one other request —
+    /// the admission queue's coalescing win.
+    pub coalesced: u64,
+}
+
+/// One queued request and the channel its answer goes back on.
+struct Job<E: Engine> {
+    query: Query,
+    request: SearchRequest,
+    reply: mpsc::Sender<Result<E::Outcome>>,
+}
+
+struct ServerState<E: Engine> {
+    queue: Mutex<VecDeque<Job<E>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    submitted: AtomicU64,
+    batches: AtomicU64,
+    completed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<E: Engine> ServerState<E> {
+    fn stats(&self) -> ServingStats {
+        ServingStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The admission-batching front end: worker threads + a request queue
+/// over a [`Reader`].
+///
+/// Submissions arriving while all workers are busy pile up in the queue;
+/// when a worker frees up it drains up to `max_batch` of them and runs
+/// them as **one** shared-scan batch against **one** snapshot. Under
+/// light load batches degenerate to singletons and the server adds only
+/// a thread hand-off; under heavy load batching caps the per-query scan
+/// cost at `1/batch_size` of a dedicated scan.
+pub struct Server<E: Engine + 'static> {
+    state: Arc<ServerState<E>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<E: Engine + 'static> Server<E> {
+    /// Spawn the worker threads and start serving.
+    pub fn start(reader: Reader<E>, opts: ServeOptions) -> Self {
+        let state = Arc::new(ServerState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        });
+        let max_batch = opts.max_batch.max(1);
+        let workers = (0..opts.workers.max(1))
+            .map(|_| {
+                let reader = reader.clone();
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(reader, state, max_batch))
+            })
+            .collect();
+        Self { state, workers }
+    }
+
+    /// A submission handle. Cheap; clone freely across client threads.
+    pub fn client(&self) -> Client<E> {
+        Client {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Admission-queue counters so far.
+    pub fn stats(&self) -> ServingStats {
+        self.state.stats()
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    /// Requests still queued are answered before workers exit.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        let _guard = self
+            .state
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.state.available.notify_all();
+    }
+}
+
+impl<E: Engine + 'static> Drop for Server<E> {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A cloneable submission handle onto a [`Server`]'s admission queue.
+pub struct Client<E: Engine> {
+    state: Arc<ServerState<E>>,
+}
+
+impl<E: Engine> Clone for Client<E> {
+    fn clone(&self) -> Self {
+        Self {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<E: Engine> Client<E> {
+    /// Submit one search and block until its answer arrives. The answer
+    /// is bit-identical to `reader.execute(&query, &request)` against the
+    /// snapshot the serving batch pinned.
+    pub fn search(&self, query: Query, request: SearchRequest) -> Result<E::Outcome> {
+        if self.state.shutdown.load(Ordering::Acquire) {
+            return Err(IvaError::InvalidArgument(
+                "serving: request submitted to a stopped server".into(),
+            ));
+        }
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut q = self
+                .state
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            q.push_back(Job {
+                query,
+                request,
+                reply,
+            });
+        }
+        self.state.submitted.fetch_add(1, Ordering::Relaxed);
+        self.state.available.notify_one();
+        rx.recv().map_err(|_| {
+            IvaError::InvalidArgument("serving: server stopped before answering".into())
+        })?
+    }
+
+    /// Admission-queue counters so far.
+    pub fn stats(&self) -> ServingStats {
+        self.state.stats()
+    }
+}
+
+fn worker_loop<E: Engine>(reader: Reader<E>, state: Arc<ServerState<E>>, max_batch: usize) {
+    loop {
+        let jobs: Vec<Job<E>> = {
+            let mut q = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = state
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            let take = q.len().min(max_batch);
+            q.drain(..take).collect()
+        };
+        // One snapshot per batch: every member answers from the same
+        // epoch, and the write lock is held shared for exactly one
+        // execution round.
+        let snap = reader.snapshot();
+        state.batches.fetch_add(1, Ordering::Relaxed);
+        state
+            .completed
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        if jobs.len() == 1 {
+            for job in jobs {
+                let _ = job.reply.send(snap.execute(&job.query, &job.request));
+            }
+            continue;
+        }
+        state
+            .coalesced
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let batch: Vec<(Query, SearchRequest)> = jobs
+            .iter()
+            .map(|j| (j.query.clone(), j.request.clone()))
+            .collect();
+        match snap.execute_batch(&batch) {
+            Ok(outs) => {
+                for (job, out) in jobs.into_iter().zip(outs) {
+                    let _ = job.reply.send(Ok(out));
+                }
+            }
+            // A batch-level failure (say, one malformed query) must not
+            // take its neighbors down: re-run each member alone so every
+            // caller gets its own verdict.
+            Err(_) => {
+                for job in jobs {
+                    let _ = job.reply.send(snap.execute(&job.query, &job.request));
+                }
+            }
+        }
+    }
+}

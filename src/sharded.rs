@@ -13,8 +13,8 @@
 //! and the global top-k is contained in the union of local top-ks.
 
 use iva_core::{
-    IvaError, Metric, MetricKind, PoolEntry, Query, QueryOptions, QueryOutcome, QueryStats, Result,
-    WeightScheme,
+    BatchItem, IvaError, Metric, MetricKind, PoolEntry, Query, QueryOptions, QueryOutcome,
+    QueryStats, Result, WeightScheme,
 };
 use iva_swt::{Tid, Tuple};
 
@@ -211,12 +211,18 @@ impl ShardedIvaDb {
                 .collect()
         };
 
-        // Merge: take the k smallest across shards (deterministic
-        // ordering: distance, then tid, then shard), then materialize.
+        let locals = locals.into_iter().collect::<Result<Vec<_>>>()?;
+        self.merge_locals(k, locals)
+    }
+
+    /// Merge per-shard local top-k outcomes (in shard order) into the
+    /// global top-k: take the k smallest across shards (deterministic
+    /// ordering: distance, then tid, then shard), then materialize.
+    /// Counters sum across shards; phase timings take the slowest shard.
+    fn merge_locals(&self, k: usize, locals: Vec<QueryOutcome>) -> Result<ShardedSearchOutcome> {
         let mut stats = QueryStats::default();
         let mut merged: Vec<(u32, PoolEntry)> = Vec::new();
-        for (i, local) in locals.into_iter().enumerate() {
-            let out = local?;
+        for (i, out) in locals.into_iter().enumerate() {
             stats.tuples_scanned += out.stats.tuples_scanned;
             stats.table_accesses += out.stats.table_accesses;
             stats.speculative_accesses += out.stats.speculative_accesses;
@@ -249,20 +255,119 @@ impl ShardedIvaDb {
         Ok(ShardedSearchOutcome { hits, stats })
     }
 
+    /// Run several searches as one admission batch: every shard scans its
+    /// tuple list once for the whole batch (see
+    /// [`iva_core::IvaIndex::query_batch`]), then the per-shard local
+    /// top-ks merge per entry exactly as in [`ShardedIvaDb::execute`].
+    /// Every entry's result is bit-identical to executing it alone.
+    ///
+    /// Entries are grouped by resolved metric as in
+    /// [`crate::IvaDb::execute_batch`]; weights and `k` are honored per
+    /// entry.
+    pub fn execute_batch(
+        &self,
+        batch: &[(Query, SearchRequest)],
+    ) -> Result<Vec<ShardedSearchOutcome>> {
+        let mut out: Vec<Option<ShardedSearchOutcome>> = Vec::new();
+        out.resize_with(batch.len(), || None);
+        let mut groups: Vec<(MetricKind, Vec<usize>)> = Vec::new();
+        for (i, (_, r)) in batch.iter().enumerate() {
+            let m = r.metric_override().unwrap_or(self.opts.metric);
+            match groups.iter_mut().find(|(g, _)| *g == m) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((m, vec![i])),
+            }
+        }
+        for (metric, idxs) in groups {
+            let items: Vec<BatchItem<'_>> = idxs
+                .iter()
+                .map(|&i| {
+                    let (q, r) = &batch[i];
+                    BatchItem {
+                        query: q,
+                        k: r.k(),
+                        weights: r.weights_override().unwrap_or(self.opts.weights),
+                    }
+                })
+                .collect();
+            let budget = idxs
+                .iter()
+                .find_map(|&i| batch[i].1.threads_override())
+                .unwrap_or_else(|| self.opts.config.resolved_search_threads());
+            let qopts = QueryOptions {
+                threads: Some((budget / self.shards.len()).max(1)),
+                measured: idxs.iter().any(|&i| batch[i].1.is_measured()),
+                refine_batch: idxs
+                    .iter()
+                    .find_map(|&i| batch[i].1.refine_batch_override()),
+            };
+
+            let per_shard: Vec<Result<Vec<QueryOutcome>>> = if self.shards.len() == 1 {
+                vec![self.shards[0].index().query_batch(
+                    self.shards[0].table(),
+                    &items,
+                    &metric,
+                    &qopts,
+                )]
+            } else {
+                let mut slots: Vec<Option<Result<Vec<QueryOutcome>>>> = Vec::new();
+                slots.resize_with(self.shards.len(), || None);
+                crossbeam::thread::scope(|scope| {
+                    for (shard, slot) in self.shards.iter().zip(slots.iter_mut()) {
+                        let items = &items;
+                        let qopts = &qopts;
+                        scope.spawn(move |_| {
+                            *slot = Some(shard.index().query_batch(
+                                shard.table(),
+                                items,
+                                &metric,
+                                qopts,
+                            ));
+                        });
+                    }
+                })
+                .expect("shard batch thread panicked");
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("shard slot unfilled"))
+                    .collect()
+            };
+            let per_shard = per_shard.into_iter().collect::<Result<Vec<_>>>()?;
+            for (j, &i) in idxs.iter().enumerate() {
+                let locals: Vec<QueryOutcome> = per_shard
+                    .iter()
+                    .map(|shard_outs| {
+                        shard_outs
+                            .get(j)
+                            .cloned()
+                            .ok_or_else(|| IvaError::Corrupt("shard batch came up short".into()))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                out[i] = Some(self.merge_locals(batch[i].1.k(), locals)?);
+            }
+        }
+        out.into_iter()
+            .map(|o| o.ok_or_else(|| IvaError::Corrupt("batch entry left unanswered".into())))
+            .collect()
+    }
+
     /// Parallel top-k search: every shard runs Algorithm 1 concurrently on
     /// its own scoped thread; the per-shard top-k pools merge into the
     /// global top-k.
-    ///
-    /// Thin wrapper kept for convenience; prefer [`ShardedIvaDb::execute`]
-    /// with a [`SearchRequest`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execute(&query, &SearchRequest::new(k))` — the unified entry point"
+    )]
     pub fn search(&self, query: &Query, k: usize) -> Result<Vec<ShardedHit>> {
         Ok(self.execute(query, &SearchRequest::new(k))?.hits)
     }
 
     /// Parallel top-k search under an explicit metric and weights.
-    ///
-    /// Thin wrapper kept for convenience; prefer
-    /// [`ShardedIvaDb::execute_metric`] with a [`SearchRequest`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execute` with `SearchRequest::new(k).metric(…).weights(…)` (or \
+                `execute_metric` for custom metrics)"
+    )]
     pub fn search_with<M: Metric + Sync>(
         &self,
         query: &Query,
@@ -278,6 +383,15 @@ impl ShardedIvaDb {
     pub fn maybe_clean(&mut self) -> Result<()> {
         for s in &mut self.shards {
             s.maybe_clean()?;
+        }
+        Ok(())
+    }
+
+    /// Persist every shard durably (table first, then index, per shard —
+    /// see [`IvaDb::flush`]).
+    pub fn flush(&mut self) -> Result<()> {
+        for s in &mut self.shards {
+            s.flush()?;
         }
         Ok(())
     }

@@ -1,0 +1,141 @@
+//! The configuration-layering contract of `IvaDbOptions` (see its
+//! rustdoc): structural parameters persist, runtime knobs follow the
+//! options of the opening process, and per-request overrides never
+//! write through to either.
+
+use iva_file::vfs::{RealVfs, Vfs};
+use iva_file::{IvaConfig, IvaDb, IvaDbOptions, Query, SearchRequest, Tuple, Value};
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("iva-knobs-{tag}-{}", std::process::id()));
+    let _ = RealVfs.remove_dir_all(&dir);
+    dir
+}
+
+fn knobbed_opts() -> IvaDbOptions {
+    IvaDbOptions {
+        config: IvaConfig {
+            search_threads: 3,
+            refine_batch: 32,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn populate(db: &mut IvaDb) {
+    let name = db.define_text("name").unwrap();
+    for i in 0..40 {
+        db.insert(&Tuple::new().with(name, Value::text(format!("widget {i}"))))
+            .unwrap();
+    }
+    db.flush().unwrap();
+}
+
+/// Regression: runtime knobs used to be silently dropped on open because
+/// the index header round-trip resets them. The opening process's
+/// options must win.
+#[test]
+fn runtime_knobs_survive_reopen() {
+    let dir = scratch_dir("survive");
+    {
+        let mut db = IvaDb::create(&dir, knobbed_opts()).unwrap();
+        populate(&mut db);
+        assert_eq!(db.index().config().search_threads, 3);
+        assert_eq!(db.index().config().refine_batch, 32);
+    }
+    let db = IvaDb::open(&dir, knobbed_opts()).unwrap();
+    assert_eq!(
+        db.index().config().search_threads,
+        3,
+        "search_threads dropped on open"
+    );
+    assert_eq!(
+        db.index().config().refine_batch,
+        32,
+        "refine_batch dropped on open"
+    );
+    RealVfs.remove_dir_all(&dir).unwrap();
+}
+
+/// Runtime knobs belong to the opening process, not the file: a reopen
+/// with default options gets the defaults back, no matter what the
+/// writing process used.
+#[test]
+fn runtime_knobs_are_not_persisted() {
+    let dir = scratch_dir("notpersisted");
+    {
+        let mut db = IvaDb::create(&dir, knobbed_opts()).unwrap();
+        populate(&mut db);
+    }
+    let db = IvaDb::open(&dir, IvaDbOptions::default()).unwrap();
+    assert_eq!(db.index().config().search_threads, 0);
+    assert_eq!(db.index().config().refine_batch, 1);
+    RealVfs.remove_dir_all(&dir).unwrap();
+}
+
+/// Per-request overrides are scoped to one `execute` call: they must
+/// not leak into the live config, nor into the persisted image.
+#[test]
+fn search_request_overrides_never_leak() {
+    let dir = scratch_dir("noleak");
+    {
+        let mut db = IvaDb::create(&dir, knobbed_opts()).unwrap();
+        populate(&mut db);
+        let q = Query::new().text(db.attr("name").unwrap(), "widget 7");
+        let req = SearchRequest::new(5).threads(13).refine_batch(1024);
+        let out = db.execute(&q, &req).unwrap();
+        assert_eq!(out.hits[0].dist, 0.0);
+        // The live config still holds the options' knobs.
+        assert_eq!(db.index().config().search_threads, 3);
+        assert_eq!(db.index().config().refine_batch, 32);
+        db.flush().unwrap();
+    }
+    // ... and the durable image never saw the override either: a reopen
+    // with default options shows pure defaults.
+    let db = IvaDb::open(&dir, IvaDbOptions::default()).unwrap();
+    assert_eq!(db.index().config().search_threads, 0);
+    assert_eq!(db.index().config().refine_batch, 1);
+    RealVfs.remove_dir_all(&dir).unwrap();
+}
+
+/// Structural parameters go the other way: the stored values win over
+/// whatever the opening options carry (the index bytes were shaped by
+/// them), while the opener's runtime knobs still apply.
+#[test]
+fn structural_params_from_disk_win_over_options() {
+    let dir = scratch_dir("structural");
+    {
+        let mut db = IvaDb::create(
+            &dir,
+            IvaDbOptions {
+                config: IvaConfig {
+                    alpha: 0.30,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        populate(&mut db);
+    }
+    // Open asking for a different alpha AND custom runtime knobs.
+    let db = IvaDb::open(
+        &dir,
+        IvaDbOptions {
+            config: IvaConfig {
+                alpha: 0.10,
+                search_threads: 2,
+                refine_batch: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let cfg = db.index().config();
+    assert_eq!(cfg.alpha, 0.30, "stored structural parameter must win");
+    assert_eq!(cfg.search_threads, 2, "opener's runtime knob must apply");
+    assert_eq!(cfg.refine_batch, 8);
+    RealVfs.remove_dir_all(&dir).unwrap();
+}

@@ -18,7 +18,9 @@ use std::sync::Arc;
 
 use iva_core::ListType;
 use iva_file::vfs::{FaultVfs, MemVfs, Vfs};
-use iva_file::{AttrId, IvaDb, IvaDbOptions, PagerOptions, Query, Tid, Tuple, Value};
+use iva_file::{
+    AttrId, IvaDb, IvaDbOptions, PagerOptions, Query, SearchRequest, Tid, Tuple, Value,
+};
 
 const DIR: &str = "torture-db";
 const ROWS: u32 = 150;
@@ -192,8 +194,9 @@ fn shadow_topk(shadow: &Shadow, k: usize) -> Vec<f64> {
     for (_, tup) in shadow {
         db.insert(tup).unwrap();
     }
-    db.search(&probe_query(), k)
+    db.execute(&probe_query(), &SearchRequest::new(k))
         .unwrap()
+        .hits
         .iter()
         .map(|h| h.dist)
         .collect()
@@ -228,8 +231,9 @@ fn verify_recovery(disk: Arc<dyn Vfs>, outcome: &Outcome, ctx: &str) {
     // Top-k agreement with a shadow database holding the matched state.
     let k = 10;
     let got: Vec<f64> = db
-        .search(&probe_query(), k)
+        .execute(&probe_query(), &SearchRequest::new(k))
         .unwrap_or_else(|e| panic!("{ctx}: search after recovery failed: {e}"))
+        .hits
         .iter()
         .map(|h| h.dist)
         .collect();
@@ -249,8 +253,12 @@ fn verify_recovery(disk: Arc<dyn Vfs>, outcome: &Outcome, ctx: &str) {
     db.flush()
         .unwrap_or_else(|e| panic!("{ctx}: flush after recovery failed: {e}"));
     let hits = db
-        .search(&Query::new().text(AttrId(0), "post recovery tuple"), 1)
-        .unwrap_or_else(|e| panic!("{ctx}: search after reinsert failed: {e}"));
+        .execute(
+            &Query::new().text(AttrId(0), "post recovery tuple"),
+            &SearchRequest::new(1),
+        )
+        .unwrap_or_else(|e| panic!("{ctx}: search after reinsert failed: {e}"))
+        .hits;
     assert_eq!(hits[0].tid, tid, "{ctx}");
     assert_eq!(hits[0].dist, 0.0, "{ctx}");
 }
@@ -382,8 +390,11 @@ fn bit_flipped_index_page_is_detected_or_rebuilt() {
             // A damaged header frame fails validation at open and routes
             // through the rebuild, which must leave a working database; a
             // damaged list frame surfaces at the first scan over it.
-            Ok(db) => match db.search(&Query::new().text(AttrId(0), "product listing 0041"), 1) {
-                Ok(hits) => assert_eq!(hits[0].dist, 0.0, "flip at {at}: wrong answer"),
+            Ok(db) => match db.execute(
+                &Query::new().text(AttrId(0), "product listing 0041"),
+                &SearchRequest::new(1),
+            ) {
+                Ok(out) => assert_eq!(out.hits[0].dist, 0.0, "flip at {at}: wrong answer"),
                 Err(e) => {
                     assert!(
                         e.is_corruption(),

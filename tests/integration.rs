@@ -4,7 +4,9 @@
 
 use iva_file::baselines::{DirectScan, SiiIndex};
 use iva_file::workload::{generate_query_set, Dataset, WorkloadConfig};
-use iva_file::{IvaDb, IvaDbOptions, MetricKind, PagerOptions, Query, Tuple, Value, WeightScheme};
+use iva_file::{
+    IvaDb, IvaDbOptions, MetricKind, PagerOptions, Query, SearchRequest, Tuple, Value, WeightScheme,
+};
 use iva_storage::{RealVfs, Vfs};
 
 fn mem_db() -> IvaDb {
@@ -56,7 +58,10 @@ fn crud_lifecycle() {
     assert_eq!(db.len(), 1);
 
     // Search still exact.
-    let hits = db.search(&Query::new().text(name, "beta v2"), 5).unwrap();
+    let hits = db
+        .execute(&Query::new().text(name, "beta v2"), &SearchRequest::new(5))
+        .unwrap()
+        .hits;
     assert_eq!(hits[0].tid, t3);
     assert_eq!(hits[0].dist, 0.0);
 }
@@ -95,7 +100,10 @@ fn auto_cleanup_triggers_at_beta() {
     assert_eq!(db.index().n_deleted(), 0);
     assert_eq!(db.len(), 45);
     // Content preserved.
-    let hits = db.search(&Query::new().text(name, "item 30"), 1).unwrap();
+    let hits = db
+        .execute(&Query::new().text(name, "item 30"), &SearchRequest::new(1))
+        .unwrap()
+        .hits;
     assert_eq!(hits[0].dist, 0.0);
 }
 
@@ -123,8 +131,12 @@ fn disk_persistence_full_cycle() {
         let mut db = IvaDb::open(&dir, IvaDbOptions::default()).unwrap();
         assert_eq!(db.len(), 99);
         let hits = db
-            .search(&Query::new().text(name_attr, "record number 42"), 1)
-            .unwrap();
+            .execute(
+                &Query::new().text(name_attr, "record number 42"),
+                &SearchRequest::new(1),
+            )
+            .unwrap()
+            .hits;
         assert_eq!(hits[0].dist, 0.0);
         assert!(db.get(7).unwrap().is_none());
         // Mutate after reopen; rebuild on disk; reopen again.
@@ -137,8 +149,12 @@ fn disk_persistence_full_cycle() {
     let db = IvaDb::open(&dir, IvaDbOptions::default()).unwrap();
     assert_eq!(db.len(), 100);
     let hits = db
-        .search(&Query::new().text(name_attr, "post-reopen insert"), 1)
-        .unwrap();
+        .execute(
+            &Query::new().text(name_attr, "post-reopen insert"),
+            &SearchRequest::new(1),
+        )
+        .unwrap()
+        .hits;
     assert_eq!(hits[0].dist, 0.0);
     RealVfs.remove_dir_all(&dir).unwrap();
 }
@@ -196,7 +212,10 @@ fn search_hits_materialize_matching_tuples() {
         db.insert(&Tuple::new().with(brand, Value::text(b)))
             .unwrap();
     }
-    let hits = db.search(&Query::new().text(brand, "Canon"), 2).unwrap();
+    let hits = db
+        .execute(&Query::new().text(brand, "Canon"), &SearchRequest::new(2))
+        .unwrap()
+        .hits;
     assert_eq!(hits.len(), 2);
     assert_eq!(hits[0].tuple.get(brand), Some(&Value::text("Canon")));
     assert_eq!(hits[1].tuple.get(brand), Some(&Value::text("Cannon")));
@@ -207,7 +226,10 @@ fn empty_database_searches_cleanly() {
     let mut db = mem_db();
     let a = db.define_text("a").unwrap();
     assert!(db.is_empty());
-    let hits = db.search(&Query::new().text(a, "nothing"), 5).unwrap();
+    let hits = db
+        .execute(&Query::new().text(a, "nothing"), &SearchRequest::new(5))
+        .unwrap()
+        .hits;
     assert!(hits.is_empty());
 }
 
@@ -236,8 +258,46 @@ fn failed_update_rolls_back_to_old_tuple() {
     );
 
     assert_eq!(db.len(), 1, "old tuple lost by failed update");
-    let hits = db.search(&Query::new().text(name, "keep me"), 1).unwrap();
+    let hits = db
+        .execute(&Query::new().text(name, "keep me"), &SearchRequest::new(1))
+        .unwrap()
+        .hits;
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].dist, 0.0);
     assert_eq!(hits[0].tuple.get(price), Some(&Value::num(7.0)));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_search_shims_agree_with_execute() {
+    // The 0.1 wrappers stay for one release; they must forward to the
+    // unified entry point unchanged.
+    let mut db = mem_db();
+    let name = db.define_text("name").unwrap();
+    for i in 0..20 {
+        db.insert(&Tuple::new().with(name, Value::text(format!("gadget {i}"))))
+            .unwrap();
+    }
+    let q = Query::new().text(name, "gadget 7");
+    let req = SearchRequest::new(3)
+        .metric(MetricKind::L2)
+        .weights(WeightScheme::Equal);
+    let via_execute = db.execute(&q, &req).unwrap().hits;
+
+    let via_search = db.search(&q, 3).unwrap();
+    let via_with = db
+        .search_with(&q, 3, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
+    let (via_measured, stats) = db
+        .search_measured(&q, 3, &MetricKind::L2, WeightScheme::Equal)
+        .unwrap();
+
+    for hits in [&via_search, &via_with, &via_measured] {
+        assert_eq!(hits.len(), via_execute.len());
+        for (a, b) in hits.iter().zip(&via_execute) {
+            assert_eq!(a.tid, b.tid);
+            assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+        }
+    }
+    assert!(stats.tuples_scanned > 0);
 }

@@ -1,0 +1,135 @@
+//! Loom model of the serving layer's epoch publication protocol
+//! (`src/serve.rs`): the writer bumps the epoch counter *inside* the
+//! write critical section, so no reader can pair new engine state with an
+//! old epoch or old state with a new one.
+//!
+//! The vendored checker has atomics only (no `Mutex`/`RwLock`), so the
+//! lock-exclusion + epoch-bump protocol is restated as its equivalent
+//! seqlock: an odd epoch value plays the role of "write lock held"
+//! (production readers block here; the model's readers instead discard
+//! the sample), and the even bump before anything else can run again is
+//! the in-critical-section publication of `Writer::apply`. Publication
+//! `i` stores state `i` and lands on epoch `2·i`, so a consistent sample
+//! must satisfy `state == epoch / 2` — exactly the serving layer's
+//! "two snapshots with equal epochs saw bit-identical data".
+//!
+//! Two models: the shipped protocol, which must hold under every
+//! interleaving, and the tempting-but-wrong variant that publishes state
+//! before bumping (the bump-after-release bug), which the checker must
+//! catch — proving the model is strong enough to see the difference.
+//!
+//! Run with the vendored bounded checker (see TESTING.md):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test --test loom_serve --release
+//! ```
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+
+const PUBLICATIONS: u64 = 2;
+
+/// One reader pass: the model analogue of `read_snapshot` — sample the
+/// epoch, the state, and the epoch again. In production the read guard
+/// makes the three reads atomic with respect to the writer; here a
+/// sample is "a snapshot" only if the writer provably did not overlap
+/// (both epoch loads equal and even). No retry loop: an inconsistent
+/// sample is simply not a snapshot, and bounding the reader keeps the
+/// schedule tree finite.
+fn sample(epoch: &AtomicU64, state: &AtomicU64) -> Option<(u64, u64)> {
+    let e1 = epoch.load(Ordering::Acquire);
+    let s = state.load(Ordering::Acquire);
+    let e2 = epoch.load(Ordering::Acquire);
+    (e1 == e2 && e1 % 2 == 0).then_some((e1, s))
+}
+
+#[test]
+fn epoch_always_pairs_with_its_publication() {
+    loom::model(|| {
+        let epoch = Arc::new(AtomicU64::new(0));
+        let state = Arc::new(AtomicU64::new(0));
+
+        let writer = {
+            let epoch = Arc::clone(&epoch);
+            let state = Arc::clone(&state);
+            loom::thread::spawn(move || {
+                for i in 1..=PUBLICATIONS {
+                    // Writer::apply: enter the critical section (odd —
+                    // readers excluded), mutate, publish the epoch while
+                    // still inside, then release (even).
+                    epoch.fetch_add(1, Ordering::Release);
+                    state.store(i, Ordering::Release);
+                    epoch.fetch_add(1, Ordering::Release);
+                }
+            })
+        };
+        let reader = {
+            let epoch = Arc::clone(&epoch);
+            let state = Arc::clone(&state);
+            loom::thread::spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..2 {
+                    if let Some((e, s)) = sample(&epoch, &state) {
+                        assert_eq!(
+                            s,
+                            e / 2,
+                            "snapshot pairs state {s} with epoch {e}: torn publication"
+                        );
+                        assert!(e >= last, "epoch went backwards");
+                        last = e;
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        // Quiescent end state: everything published, epoch even.
+        assert_eq!(epoch.load(Ordering::Acquire), 2 * PUBLICATIONS);
+        assert_eq!(state.load(Ordering::Acquire), PUBLICATIONS);
+    });
+}
+
+/// The buggy ordering — mutate first, then bump straight to the next
+/// even epoch (i.e. the bump happens outside the critical section, as if
+/// `Writer::apply` bumped after `drop(guard)`). A reader can then pair
+/// the *new* state with the *old* epoch. The checker must find that
+/// schedule; if it ever stops doing so, the model has gone blind and
+/// the passing test above means nothing.
+#[test]
+fn late_epoch_bump_is_caught_by_the_model() {
+    let caught = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let epoch = Arc::new(AtomicU64::new(0));
+            let state = Arc::new(AtomicU64::new(0));
+
+            let writer = {
+                let epoch = Arc::clone(&epoch);
+                let state = Arc::clone(&state);
+                loom::thread::spawn(move || {
+                    for i in 1..=PUBLICATIONS {
+                        state.store(i, Ordering::Release);
+                        epoch.fetch_add(2, Ordering::Release);
+                    }
+                })
+            };
+            let reader = {
+                let epoch = Arc::clone(&epoch);
+                let state = Arc::clone(&state);
+                loom::thread::spawn(move || {
+                    for _ in 0..2 {
+                        if let Some((e, s)) = sample(&epoch, &state) {
+                            assert_eq!(s, e / 2, "torn publication");
+                        }
+                    }
+                })
+            };
+            writer.join().unwrap();
+            reader.join().unwrap();
+        });
+    });
+    assert!(
+        caught.is_err(),
+        "the model failed to catch the bump-after-release bug"
+    );
+}

@@ -3,7 +3,9 @@
 //! single-node database over the same data — under parallel execution.
 
 use iva_file::workload::{generate_query_set, Dataset, WorkloadConfig};
-use iva_file::{IvaDb, IvaDbOptions, MetricKind, Query, ShardedIvaDb, Tuple, Value, WeightScheme};
+use iva_file::{
+    IvaDb, IvaDbOptions, MetricKind, Query, SearchRequest, ShardedIvaDb, Tuple, Value, WeightScheme,
+};
 
 fn fill_both(n: usize, shards: usize) -> (IvaDb, ShardedIvaDb, Dataset) {
     let cfg = WorkloadConfig::scaled(n);
@@ -37,12 +39,11 @@ fn sharded_matches_single_node() {
     let qs = generate_query_set(&dataset, 3, 12, 2, 77);
     for q in qs.measured() {
         for k in [1usize, 5, 20] {
-            let a = single
-                .search_with(q, k, &MetricKind::L2, WeightScheme::Equal)
-                .unwrap();
-            let b = sharded
-                .search_with(q, k, &MetricKind::L2, WeightScheme::Equal)
-                .unwrap();
+            let req = SearchRequest::new(k)
+                .metric(MetricKind::L2)
+                .weights(WeightScheme::Equal);
+            let a = single.execute(q, &req).unwrap().hits;
+            let b = sharded.execute(q, &req).unwrap().hits;
             assert_eq!(a.len(), b.len(), "k={k}");
             for (x, y) in a.iter().zip(&b) {
                 assert!(
@@ -82,7 +83,10 @@ fn sharded_crud() {
     assert_eq!(db.len(), 29);
     assert!(db.get(ids[7]).unwrap().is_none());
 
-    let hits = db.search(&Query::new().text(name, "item 8"), 1).unwrap();
+    let hits = db
+        .execute(&Query::new().text(name, "item 8"), &SearchRequest::new(1))
+        .unwrap()
+        .hits;
     assert_eq!(hits[0].dist, 0.0);
     assert_eq!(hits[0].id, ids[8]);
 }
@@ -93,7 +97,10 @@ fn single_shard_degenerates_to_plain_db() {
     let a = db.define_text("a").unwrap();
     db.insert(&Tuple::new().with(a, Value::text("only")))
         .unwrap();
-    let hits = db.search(&Query::new().text(a, "only"), 3).unwrap();
+    let hits = db
+        .execute(&Query::new().text(a, "only"), &SearchRequest::new(3))
+        .unwrap()
+        .hits;
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].dist, 0.0);
 }
@@ -136,7 +143,6 @@ fn sharded_cleanup_runs_per_shard() {
 
 #[test]
 fn sharded_merge_breaks_distance_ties_deterministically() {
-    use iva_file::SearchRequest;
     // 12 byte-identical tuples round-robined over 3 shards: every hit ties
     // at distance 0, so the answer order is decided purely by the merge's
     // tie-break (distance, then local tid, then shard). That order must be
