@@ -31,6 +31,16 @@ pub struct IvaConfig {
     /// `QueryStats::speculative_accesses`) for far fewer random seeks.
     /// Runtime-only, like [`IvaConfig::search_threads`].
     pub refine_batch: usize,
+    /// Memory budget in bytes for the in-RAM hot tier of per-attribute
+    /// signature columns (`0` ⇒ tier disabled, every scan goes through
+    /// the pager). Attributes are admitted by access frequency (EWMA)
+    /// until the budget is full; colder columns are evicted to make
+    /// room. The tier is a read-path cache: any budget produces
+    /// bit-identical query answers, differing only in which tier served
+    /// the filter scan (`QueryStats::hot_tier_attrs` /
+    /// `QueryStats::cold_tier_attrs`). Runtime-only, like
+    /// [`IvaConfig::search_threads`].
+    pub hot_tier_bytes: usize,
 }
 
 impl Default for IvaConfig {
@@ -42,6 +52,7 @@ impl Default for IvaConfig {
             numeric_width: 8,
             search_threads: 0,
             refine_batch: 1,
+            hot_tier_bytes: 0,
         }
     }
 }
@@ -103,6 +114,12 @@ impl IvaConfig {
             return Err(format!(
                 "refine batch must be <= 2^20, got {}",
                 self.refine_batch
+            ));
+        }
+        if self.hot_tier_bytes > 1 << 40 {
+            return Err(format!(
+                "hot tier budget must be <= 2^40 bytes, got {}",
+                self.hot_tier_bytes
             ));
         }
         Ok(())

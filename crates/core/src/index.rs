@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! The iVA-file index: query processing (Algorithm 1) and updates
 //! (Sec. IV-B).
 
@@ -6,7 +7,8 @@ use std::sync::Arc;
 
 use iva_storage::vfs::Vfs;
 use iva_storage::{
-    overwrite_in_list, IoStats, ListHandle, ListReader, ListWriter, PageId, Pager, PagerOptions,
+    overwrite_in_list, read_list_to_vec, IoStats, ListHandle, ListReader, ListWriter, PageId,
+    Pager, PagerOptions,
 };
 use iva_swt::{AttrId, AttrType, Catalog, RecordPtr, SwtTable, Tid, Tuple, Value};
 use iva_text::{PreparedMatcher, SigCodec};
@@ -18,6 +20,10 @@ use crate::metric::{Metric, WeightScheme};
 use crate::numeric::NumericCodec;
 use crate::pool::{PoolEntry, ResultPool};
 use crate::query::{exact_distance, Query, QueryStats, QueryValue};
+use crate::tier::{
+    build_num_column, build_text_column, parse_tuple_column, ColumnData, HotTier, NumColumn,
+    TextColumn, TierLookup, TupleColumn, TUPLE_KEY,
+};
 use crate::timing::thread_cpu_time;
 use crate::veclist::{ListType, NumListCursor, TextListCursor};
 
@@ -36,6 +42,8 @@ pub struct IvaIndex {
     header: IndexHeader,
     entries: Vec<AttrEntry>,
     sig_codec: SigCodec,
+    /// In-RAM columnar fast path for hot attributes (see [`crate::tier`]).
+    tier: HotTier,
 }
 
 /// Immutable per-query attribute state, built once per query and shared by
@@ -54,16 +62,65 @@ pub(crate) enum SharedAttr {
         vlist: ListHandle,
         ty: ListType,
     },
+    /// Hot-tier fast path: the attribute's signatures are resident as one
+    /// contiguous column; `pos_lb` holds the per-tuple-position lower
+    /// bounds, prefolded from a single `estimate_block` sweep at prepare
+    /// time (`NaN` = *ndf*). The scan then reads one `f64` per position —
+    /// zero pager traffic for this attribute.
+    TextHot {
+        col: Arc<TextColumn>,
+        pos_lb: Vec<f64>,
+    },
+    /// Hot-tier fast path for a numeric attribute: positionalized codes
+    /// resident in RAM.
+    NumHot {
+        q: f64,
+        codec: NumericCodec,
+        col: Arc<NumColumn>,
+    },
     /// The attribute was added to the catalog after the last (re)build and
     /// no tuple defines it in the index: every tuple reads as *ndf*.
     AlwaysNdf,
 }
 
+/// Borrowed dispatch-free view of one attribute of a *fully hot* query,
+/// used by the fused serial spine: every lower bound is an array read,
+/// so the scan loop carries no cursor state at all.
+enum FusedAttr<'a> {
+    /// Prefolded per-position lower bounds (`NaN` = *ndf*).
+    Text(&'a [f64]),
+    /// Positionalized numeric codes.
+    Num {
+        q: f64,
+        codec: &'a NumericCodec,
+        col: &'a NumColumn,
+    },
+    /// Reads *ndf* at every position.
+    Ndf,
+}
+
+/// The fused view of a prepared query, or `None` if any attribute still
+/// scans through the pager.
+fn fused_attrs(shared: &[SharedAttr]) -> Option<Vec<FusedAttr<'_>>> {
+    shared
+        .iter()
+        .map(|sa| match sa {
+            SharedAttr::TextHot { pos_lb, .. } => Some(FusedAttr::Text(pos_lb)),
+            SharedAttr::NumHot { q, codec, col } => Some(FusedAttr::Num { q: *q, codec, col }),
+            SharedAttr::AlwaysNdf => Some(FusedAttr::Ndf),
+            SharedAttr::Text { .. } | SharedAttr::Num { .. } => None,
+        })
+        .collect()
+}
+
 /// Per-worker scan position over one attribute's vector list. Paired
-/// index-for-index with the query's `[SharedAttr]` slice.
+/// index-for-index with the query's `[SharedAttr]` slice. Hot variants
+/// carry only the tuple-list position — the columns are positional.
 pub(crate) enum AttrCursor {
     Text(TextListCursor),
     Num(NumListCursor),
+    TextHot(usize),
+    NumHot(usize),
     AlwaysNdf,
 }
 
@@ -75,11 +132,13 @@ impl IvaIndex {
         entries: Vec<AttrEntry>,
     ) -> Result<Self> {
         let sig_codec = header.config.sig_codec();
+        let tier = HotTier::new(header.config.hot_tier_bytes);
         let mut idx = Self {
             pager,
             header,
             entries,
             sig_codec,
+            tier,
         };
         idx.write_header()?;
         Ok(idx)
@@ -114,11 +173,16 @@ impl IvaIndex {
             entries.push(AttrEntry::decode(&buf)?);
         }
         let sig_codec = header.config.sig_codec();
+        // `IndexHeader::decode` resets `hot_tier_bytes` (runtime knob):
+        // an opened index starts with the tier disabled until
+        // `set_runtime_knobs` re-applies the caller's budget.
+        let tier = HotTier::new(header.config.hot_tier_bytes);
         Ok(Self {
             pager,
             header,
             entries,
             sig_codec,
+            tier,
         })
     }
 
@@ -132,14 +196,21 @@ impl IvaIndex {
     ///
     /// The persistent header stores only the structural parameters (α,
     /// `n`, ndf penalty, numeric width) — `IndexHeader::decode` resets
-    /// `search_threads`/`refine_batch` to their defaults — so an opened
-    /// index forgets the knobs its caller asked for. Callers that carry
-    /// execution knobs in their options re-apply them here after open.
-    /// This never touches the persistent format: `IndexHeader::encode`
-    /// does not serialize either field.
-    pub fn set_runtime_knobs(&mut self, search_threads: usize, refine_batch: usize) {
+    /// `search_threads`/`refine_batch`/`hot_tier_bytes` to their defaults
+    /// — so an opened index forgets the knobs its caller asked for.
+    /// Callers that carry execution knobs in their options re-apply them
+    /// here after open. This never touches the persistent format:
+    /// `IndexHeader::encode` does not serialize any of these fields.
+    pub fn set_runtime_knobs(
+        &mut self,
+        search_threads: usize,
+        refine_batch: usize,
+        hot_tier_bytes: usize,
+    ) {
         self.header.config.search_threads = search_threads;
         self.header.config.refine_batch = refine_batch;
+        self.header.config.hot_tier_bytes = hot_tier_bytes;
+        self.tier.set_budget(hot_tier_bytes);
     }
 
     /// Number of tuple-list elements (live + tombstoned).
@@ -274,10 +345,15 @@ impl IvaIndex {
             .collect()
     }
 
+    /// Test-only access for reference plans that read the durable tuple
+    /// list directly, bypassing the hot tier.
+    #[cfg(test)]
     pub(crate) fn pager_ref(&self) -> &Arc<Pager> {
         &self.pager
     }
 
+    /// Test-only companion to [`IvaIndex::pager_ref`].
+    #[cfg(test)]
     pub(crate) fn tuple_list_handle(&self) -> iva_storage::ListHandle {
         self.header.tuple_list
     }
@@ -296,6 +372,8 @@ impl IvaIndex {
                     c.seek_elements(n, &self.sig_codec)?
                 }
                 (SharedAttr::Num { codec, .. }, AttrCursor::Num(c)) => c.seek_elements(n, codec)?,
+                (SharedAttr::TextHot { .. }, AttrCursor::TextHot(pos))
+                | (SharedAttr::NumHot { .. }, AttrCursor::NumHot(pos)) => *pos = n as usize,
                 (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => {}
                 _ => return Err(IvaError::Corrupt("shared/cursor slices out of step".into())),
             }
@@ -314,6 +392,8 @@ impl IvaIndex {
             match (sa, cur) {
                 (SharedAttr::Text { .. }, AttrCursor::Text(c)) => c.skip(tid, &self.sig_codec)?,
                 (SharedAttr::Num { codec, .. }, AttrCursor::Num(c)) => c.skip(tid, codec)?,
+                (SharedAttr::TextHot { .. }, AttrCursor::TextHot(pos))
+                | (SharedAttr::NumHot { .. }, AttrCursor::NumHot(pos)) => *pos += 1,
                 (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => {}
                 _ => return Err(IvaError::Corrupt("shared/cursor slices out of step".into())),
             }
@@ -342,6 +422,18 @@ impl IvaIndex {
                 (SharedAttr::Num { q, codec, .. }, AttrCursor::Num(c)) => c
                     .advance(tid, codec)?
                     .map(|code| codec.lower_bound_dist(code, *q)),
+                (SharedAttr::TextHot { pos_lb, .. }, AttrCursor::TextHot(pos)) => {
+                    let lb = pos_lb.get(*pos).copied().filter(|v| !v.is_nan());
+                    *pos += 1;
+                    lb
+                }
+                (SharedAttr::NumHot { q, codec, col }, AttrCursor::NumHot(pos)) => {
+                    let lb = col
+                        .code_at(*pos)
+                        .map(|code| codec.lower_bound_dist(code, *q));
+                    *pos += 1;
+                    lb
+                }
                 (SharedAttr::AlwaysNdf, AttrCursor::AlwaysNdf) => None,
                 _ => return Err(IvaError::Corrupt("shared/cursor slices out of step".into())),
             };
@@ -370,11 +462,26 @@ impl IvaIndex {
                             "query gives a string on numerical attribute {attr}"
                         )));
                     }
-                    shared.push(SharedAttr::Text {
-                        matcher: PreparedMatcher::new(&self.sig_codec, s.as_bytes()),
-                        vlist: entry.vlist,
-                        ty: entry.list_type,
-                    });
+                    let matcher = PreparedMatcher::new(&self.sig_codec, s.as_bytes());
+                    if let Some(col) = self.tier_text_column(attr.index(), entry)? {
+                        // The hot filter phase: one contiguous block sweep
+                        // over every signature of the attribute, done here
+                        // so the per-tuple scan is a pure min-fold.
+                        let mut ests = vec![0.0f64; col.n_strings()];
+                        if !ests.is_empty() {
+                            matcher
+                                .estimate_block(&col.sigs, col.stride, &mut ests)
+                                .map_err(IvaError::from)?;
+                        }
+                        let pos_lb = col.fold_positions(&ests);
+                        shared.push(SharedAttr::TextHot { col, pos_lb });
+                    } else {
+                        shared.push(SharedAttr::Text {
+                            matcher,
+                            vlist: entry.vlist,
+                            ty: entry.list_type,
+                        });
+                    }
                 }
                 QueryValue::Num(v) => {
                     if entry.is_text {
@@ -382,16 +489,158 @@ impl IvaIndex {
                             "query gives a number on text attribute {attr}"
                         )));
                     }
-                    shared.push(SharedAttr::Num {
-                        q: *v,
-                        codec: self.numeric_codec(entry),
-                        vlist: entry.vlist,
-                        ty: entry.list_type,
-                    });
+                    let codec = self.numeric_codec(entry);
+                    if let Some(col) = self.tier_num_column(attr.index(), entry, &codec)? {
+                        shared.push(SharedAttr::NumHot { q: *v, codec, col });
+                    } else {
+                        shared.push(SharedAttr::Num {
+                            q: *v,
+                            codec,
+                            vlist: entry.vlist,
+                            ty: entry.list_type,
+                        });
+                    }
                 }
             }
         }
+        // Score (and possibly promote) the tuple list alongside the
+        // attributes: every query scans it, so it is the hottest list of
+        // all and the last pager dependency of the filter phase.
+        self.tier_touch_tuple()?;
         Ok(shared)
+    }
+
+    /// Consult the hot tier for a text attribute's column, building and
+    /// publishing it on promotion. The extraction cost is paid (and
+    /// visible in the pager's `IoStats`) by the query that promotes.
+    fn tier_text_column(&self, key: usize, entry: &AttrEntry) -> Result<Option<Arc<TextColumn>>> {
+        let est = self.sig_codec.max_encoded_len() * entry.str_count as usize
+            + 4 * (self.header.n_tuples as usize + 1);
+        match self.tier.lookup(key, entry.vlist, est) {
+            TierLookup::Hit(ColumnData::Text(col)) => Ok(Some(col)),
+            TierLookup::Hit(_) => Ok(None),
+            TierLookup::Promote { epoch } => {
+                let tuples = self.tier_tuple_column_for_build()?;
+                let raw = read_list_to_vec(&self.pager, entry.vlist)?;
+                let col = Arc::new(build_text_column(
+                    &raw,
+                    entry.list_type,
+                    &self.sig_codec,
+                    &tuples.tids,
+                )?);
+                self.tier
+                    .insert(key, entry.vlist, ColumnData::Text(Arc::clone(&col)), epoch);
+                Ok(Some(col))
+            }
+            TierLookup::Cold => Ok(None),
+        }
+    }
+
+    /// Consult the hot tier for a numeric attribute's column.
+    fn tier_num_column(
+        &self,
+        key: usize,
+        entry: &AttrEntry,
+        codec: &NumericCodec,
+    ) -> Result<Option<Arc<NumColumn>>> {
+        let est = 8 * self.header.n_tuples as usize;
+        match self.tier.lookup(key, entry.vlist, est) {
+            TierLookup::Hit(ColumnData::Num(col)) => Ok(Some(col)),
+            TierLookup::Hit(_) => Ok(None),
+            TierLookup::Promote { epoch } => {
+                let tuples = self.tier_tuple_column_for_build()?;
+                let raw = read_list_to_vec(&self.pager, entry.vlist)?;
+                let col = Arc::new(build_num_column(
+                    &raw,
+                    entry.list_type,
+                    codec,
+                    &tuples.tids,
+                )?);
+                self.tier
+                    .insert(key, entry.vlist, ColumnData::Num(Arc::clone(&col)), epoch);
+                Ok(Some(col))
+            }
+            TierLookup::Cold => Ok(None),
+        }
+    }
+
+    /// The tuple-list tids a column build positionalizes against: the
+    /// resident tuple column if valid, else a transient extraction.
+    fn tier_tuple_column_for_build(&self) -> Result<Arc<TupleColumn>> {
+        if let Some(ColumnData::Tuple(col)) = self.tier.peek(TUPLE_KEY, self.header.tuple_list) {
+            return Ok(col);
+        }
+        let raw = read_list_to_vec(&self.pager, self.header.tuple_list)?;
+        Ok(Arc::new(parse_tuple_column(&raw)?))
+    }
+
+    /// Score the tuple list in the tier and promote it when hot.
+    fn tier_touch_tuple(&self) -> Result<()> {
+        let handle = self.header.tuple_list;
+        let est = TUPLE_ENTRY_LEN * self.header.n_tuples as usize;
+        if let TierLookup::Promote { epoch } = self.tier.lookup(TUPLE_KEY, handle, est) {
+            let raw = read_list_to_vec(&self.pager, handle)?;
+            let col = Arc::new(parse_tuple_column(&raw)?);
+            self.tier
+                .insert(TUPLE_KEY, handle, ColumnData::Tuple(col), epoch);
+        }
+        Ok(())
+    }
+
+    /// True if the tuple list is currently resident in the hot tier.
+    pub(crate) fn tuple_is_hot(&self) -> bool {
+        matches!(
+            self.tier.peek(TUPLE_KEY, self.header.tuple_list),
+            Some(ColumnData::Tuple(_))
+        )
+    }
+
+    /// Open the tuple-list scan source: the resident column when the tier
+    /// holds one (promotion/scoring happened in [`IvaIndex::prepare_query`]
+    /// — this is a non-scoring probe, so each worker of a segmented scan
+    /// can open its own source without inflating the EWMA).
+    pub(crate) fn open_tuple_source(&self) -> Result<TupleSource> {
+        if let Some(ColumnData::Tuple(col)) = self.tier.peek(TUPLE_KEY, self.header.tuple_list) {
+            return Ok(TupleSource::Col { col, pos: 0 });
+        }
+        Ok(TupleSource::Pager(ListReader::open(
+            Arc::clone(&self.pager),
+            self.header.tuple_list,
+        )?))
+    }
+
+    /// Fold the per-attribute tier breakdown of a prepared query into
+    /// `stats`: which medium served each vector-list scan and how many
+    /// bytes it swept. Called once per plan (parallel plans account the
+    /// merged scan once, not per worker).
+    pub(crate) fn tier_stats_into(
+        &self,
+        shared: &[SharedAttr],
+        tuple_hot: bool,
+        stats: &mut QueryStats,
+    ) {
+        for sa in shared {
+            match sa {
+                SharedAttr::Text { vlist, .. } | SharedAttr::Num { vlist, .. } => {
+                    stats.cold_tier_attrs += 1;
+                    stats.cold_tier_bytes_scanned += vlist.len;
+                }
+                SharedAttr::TextHot { col, .. } => {
+                    stats.hot_tier_attrs += 1;
+                    stats.hot_tier_bytes_scanned += col.bytes() as u64;
+                }
+                SharedAttr::NumHot { col, .. } => {
+                    stats.hot_tier_attrs += 1;
+                    stats.hot_tier_bytes_scanned += col.bytes() as u64;
+                }
+                SharedAttr::AlwaysNdf => {}
+            }
+        }
+        if tuple_hot {
+            stats.hot_tier_bytes_scanned += self.header.n_tuples * TUPLE_ENTRY_LEN as u64;
+        } else {
+            stats.cold_tier_bytes_scanned += self.header.tuple_list.len;
+        }
     }
 
     /// Open one scan cursor per query attribute, positioned at the head of
@@ -410,6 +659,8 @@ impl IvaIndex {
                         ListReader::open(Arc::clone(&self.pager), *vlist)?,
                         *ty,
                     )),
+                    SharedAttr::TextHot { .. } => AttrCursor::TextHot(0),
+                    SharedAttr::NumHot { .. } => AttrCursor::NumHot(0),
                     SharedAttr::AlwaysNdf => AttrCursor::AlwaysNdf,
                 })
             })
@@ -464,7 +715,7 @@ impl IvaIndex {
         let lambda = self.resolve_weights(query, weights);
         let shared = self.prepare_query(query)?;
         let mut cursors = self.open_cursors(&shared)?;
-        let mut treader = ListReader::open(Arc::clone(&self.pager), self.header.tuple_list)?;
+        let mut tsrc = self.open_tuple_source()?;
         let mut pool = ResultPool::new(k);
         let mut stats = QueryStats::default();
         let mut diffs = vec![0.0f64; query.len()];
@@ -495,37 +746,97 @@ impl IvaIndex {
             Ok(())
         };
 
+        // One admission step, shared verbatim by both scan spines below so
+        // a fused scan cannot drift from the generic one.
+        let admit = |ptr: u64,
+                     est: f64,
+                     pool: &mut ResultPool,
+                     stats: &mut QueryStats,
+                     pending: &mut Vec<(u64, f64)>,
+                     refine_nanos: &mut u64|
+         -> Result<()> {
+            if refine_batch <= 1 {
+                let refine_start = measured.then(thread_cpu_time);
+                let rec = table.get(RecordPtr(ptr))?;
+                stats.table_accesses += 1;
+                let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                pool.insert_at(rec.tid, actual, RecordPtr(ptr));
+                if let Some(t) = refine_start {
+                    *refine_nanos += thread_cpu_time().saturating_sub(t);
+                }
+            } else {
+                pending.push((ptr, est));
+                if pending.len() >= refine_batch {
+                    let refine_start = measured.then(thread_cpu_time);
+                    flush(pending, pool, stats)?;
+                    if let Some(t) = refine_start {
+                        *refine_nanos += thread_cpu_time().saturating_sub(t);
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        // A fully-resident query — hot tuple column and only hot (or ndf)
+        // attributes — takes a fused spine over the columns: no per-tuple
+        // source/cursor enum dispatch, no cursor bookkeeping, just array
+        // reads. Anything else goes through the generic synchronized scan.
+        let fused = fused_attrs(&shared).and_then(|fattrs| match &tsrc {
+            TupleSource::Col { col, .. } if col.tids.len() as u64 == self.header.n_tuples => {
+                Some((Arc::clone(col), fattrs))
+            }
+            _ => None,
+        });
+
         let start = measured.then(thread_cpu_time);
         let mut refine_nanos = 0u64;
-        for _ in 0..self.header.n_tuples {
-            let tid = treader.read_u32()?;
-            let ptr = treader.read_u64()?;
-            stats.tuples_scanned += 1;
-            if ptr == TOMBSTONE_PTR {
-                self.skip_cursors(&shared, &mut cursors, tid)?;
-                continue;
-            }
-            self.lower_bounds_into(&shared, &mut cursors, tid, &lambda, ndf, &mut diffs)?;
-            let est = metric.combine(&diffs);
-            if pool.admits(est) {
-                if refine_batch <= 1 {
-                    let refine_start = measured.then(thread_cpu_time);
-                    let rec = table.get(RecordPtr(ptr))?;
-                    stats.table_accesses += 1;
-                    let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
-                    pool.insert_at(rec.tid, actual, RecordPtr(ptr));
-                    if let Some(t) = refine_start {
-                        refine_nanos += thread_cpu_time().saturating_sub(t);
-                    }
-                } else {
-                    pending.push((ptr, est));
-                    if pending.len() >= refine_batch {
-                        let refine_start = measured.then(thread_cpu_time);
-                        flush(&mut pending, &mut pool, &mut stats)?;
-                        if let Some(t) = refine_start {
-                            refine_nanos += thread_cpu_time().saturating_sub(t);
+        if let Some((tcol, fattrs)) = &fused {
+            for (i, &ptr) in tcol.ptrs.iter().enumerate() {
+                stats.tuples_scanned += 1;
+                if ptr == TOMBSTONE_PTR {
+                    continue;
+                }
+                for (fa, (d, &lam)) in fattrs.iter().zip(diffs.iter_mut().zip(&lambda)) {
+                    let lb = match fa {
+                        FusedAttr::Text(lbs) => lbs.get(i).copied().filter(|v| !v.is_nan()),
+                        FusedAttr::Num { q, codec, col } => {
+                            col.code_at(i).map(|code| codec.lower_bound_dist(code, *q))
                         }
-                    }
+                        FusedAttr::Ndf => None,
+                    };
+                    *d = lam * lb.unwrap_or(ndf);
+                }
+                let est = metric.combine(&diffs);
+                if pool.admits(est) {
+                    admit(
+                        ptr,
+                        est,
+                        &mut pool,
+                        &mut stats,
+                        &mut pending,
+                        &mut refine_nanos,
+                    )?;
+                }
+            }
+        } else {
+            for _ in 0..self.header.n_tuples {
+                let (tid, ptr) = tsrc.next_entry()?;
+                stats.tuples_scanned += 1;
+                if ptr == TOMBSTONE_PTR {
+                    self.skip_cursors(&shared, &mut cursors, tid)?;
+                    continue;
+                }
+                self.lower_bounds_into(&shared, &mut cursors, tid, &lambda, ndf, &mut diffs)?;
+                let est = metric.combine(&diffs);
+                if pool.admits(est) {
+                    admit(
+                        ptr,
+                        est,
+                        &mut pool,
+                        &mut stats,
+                        &mut pending,
+                        &mut refine_nanos,
+                    )?;
                 }
             }
         }
@@ -541,6 +852,7 @@ impl IvaIndex {
             stats.refine_nanos = refine_nanos;
             stats.filter_nanos = total_nanos.saturating_sub(refine_nanos);
         }
+        self.tier_stats_into(&shared, tsrc.is_hot(), &mut stats);
         Ok(QueryOutcome {
             results: pool.into_sorted(),
             stats,
@@ -673,7 +985,18 @@ impl IvaIndex {
         tw.append_u64(ptr.0)?;
         self.header.tuple_list = tw.finish()?;
         self.header.n_tuples += 1;
-        self.write_header()
+        self.write_header()?;
+
+        // Hot-tier invalidation: the tuple list grew, and the vector list
+        // of every attribute this tuple defines changed. Columns of
+        // attributes the tuple does *not* define stay valid — their
+        // positional tails read the new position as ndf, exactly like the
+        // lazily padded on-disk lists.
+        self.tier.invalidate(TUPLE_KEY);
+        for (attr, _) in tuple.iter() {
+            self.tier.invalidate(attr.index());
+        }
+        Ok(())
     }
 
     /// Extend the attribute list for attributes defined in the catalog
@@ -725,6 +1048,12 @@ impl IvaIndex {
                 )?;
                 self.header.n_deleted += 1;
                 self.write_header()?;
+                // The tombstone rewrites a `ptr` *in place*, so the tuple
+                // list's handle is unchanged and handle validation cannot
+                // catch this — explicit invalidation is mandatory. Vector
+                // lists are untouched; attribute columns stay valid (the
+                // scan skips tombstoned positions by ptr, same as disk).
+                self.tier.invalidate(TUPLE_KEY);
                 return Ok(true);
             }
             if t > tid32 {
@@ -795,6 +1124,50 @@ impl IvaIndex {
             tombstones: self.header.n_deleted,
             tuple_list_bytes: self.header.tuple_list.len,
         }
+    }
+}
+
+/// One scan pass over the tuple list: either a pager cursor over the
+/// durable list or a position over the resident hot-tier column. Both
+/// yield the identical `(tid, ptr)` sequence — mixed sources across the
+/// workers of one plan are therefore harmless.
+pub(crate) enum TupleSource {
+    Pager(ListReader),
+    Col { col: Arc<TupleColumn>, pos: usize },
+}
+
+impl TupleSource {
+    /// The next `(tid, ptr)` element.
+    pub(crate) fn next_entry(&mut self) -> Result<(u32, u64)> {
+        match self {
+            TupleSource::Pager(r) => Ok((r.read_u32()?, r.read_u64()?)),
+            TupleSource::Col { col, pos } => {
+                let e = col
+                    .entry(*pos)
+                    .ok_or_else(|| IvaError::Corrupt("tuple column scan past end".into()))?;
+                *pos += 1;
+                Ok(e)
+            }
+        }
+    }
+
+    /// Skip the first `n` elements (segmented scans start mid-list).
+    pub(crate) fn skip_entries(&mut self, n: u64) -> Result<()> {
+        match self {
+            TupleSource::Pager(r) => {
+                r.skip(n * TUPLE_ENTRY_LEN as u64)?;
+                Ok(())
+            }
+            TupleSource::Col { pos, .. } => {
+                *pos = n as usize;
+                Ok(())
+            }
+        }
+    }
+
+    /// True when scanning the resident column.
+    pub(crate) fn is_hot(&self) -> bool {
+        matches!(self, TupleSource::Col { .. })
     }
 }
 

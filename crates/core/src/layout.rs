@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! On-disk layout of the iVA-file.
 //!
 //! One paged file holds everything (Fig. 5): page 0 is the header; the
@@ -174,6 +175,7 @@ impl IndexHeader {
             // Runtime knobs, not part of the persistent format.
             search_threads: 0,
             refine_batch: 1,
+            hot_tier_bytes: 0,
         };
         let n_attrs = u32at(32)?;
         let n_tuples = u64at(36)?;
@@ -267,6 +269,7 @@ mod tests {
             config: IvaConfig {
                 search_threads: 7,
                 refine_batch: 64,
+                hot_tier_bytes: 1 << 20,
                 ..Default::default()
             },
             n_attrs: 1,
@@ -280,8 +283,10 @@ mod tests {
         let back = IndexHeader::decode(&h.encode()).unwrap();
         assert_eq!(back.config.search_threads, 0);
         assert_eq!(back.config.refine_batch, 1);
+        assert_eq!(back.config.hot_tier_bytes, 0);
         h.config.search_threads = 0;
         h.config.refine_batch = 1;
+        h.config.hot_tier_bytes = 0;
         assert_eq!(back, h);
     }
 

@@ -33,6 +33,7 @@ mod parallel;
 mod pool;
 mod query;
 mod seqplan;
+mod tier;
 mod timing;
 mod veclist;
 

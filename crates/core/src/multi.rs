@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! Multi-query batch execution: one shared tuple-list scan serving many
 //! queries at once (the admission-batching substrate of the serving layer).
 //!
@@ -28,9 +29,6 @@
 //! work genuinely is shared and cannot be attributed to one member. Treat
 //! the nanos of a batched outcome as "cost of the round you rode in".
 
-use std::sync::Arc;
-
-use iva_storage::ListReader;
 use iva_swt::{RecordPtr, SwtTable};
 
 use crate::error::{IvaError, Result};
@@ -154,13 +152,13 @@ impl IvaIndex {
             });
         }
 
-        let mut treader = ListReader::open(Arc::clone(self.pager_ref()), self.tuple_list_handle())?;
+        let mut tsrc = self.open_tuple_source()?;
+        let tuple_hot = tsrc.is_hot();
         let mut total_pending = 0usize;
         let mut refine_nanos = 0u64;
         let start = measured.then(thread_cpu_time);
         for _ in 0..self.n_tuples() {
-            let tid = treader.read_u32()?;
-            let ptr = treader.read_u64()?;
+            let (tid, ptr) = tsrc.next_entry()?;
             if ptr == TOMBSTONE_PTR {
                 for st in items.iter_mut() {
                     st.stats.tuples_scanned += 1;
@@ -208,6 +206,7 @@ impl IvaIndex {
                 st.stats.refine_nanos = refine_nanos;
                 st.stats.filter_nanos = total.saturating_sub(refine_nanos);
             }
+            self.tier_stats_into(&st.shared, tuple_hot, &mut st.stats);
             out.push(QueryOutcome {
                 results: st.pool.into_sorted(),
                 stats: st.stats,

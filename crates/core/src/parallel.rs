@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! Intra-query parallel filtering: Algorithm 1 over tuple-list segments.
 //!
 //! The tuple list is split into `t` contiguous segments, each scanned by a
@@ -22,14 +23,11 @@
 //! happens once, where the candidate is found), so the table file's
 //! [`iva_storage::IoStats`] counts each physical access exactly once.
 
-use std::sync::Arc;
-
-use iva_storage::ListReader;
 use iva_swt::{RecordPtr, SwtTable};
 
 use crate::error::{IvaError, Result};
 use crate::index::{IvaIndex, QueryOutcome, SharedAttr};
-use crate::layout::{TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
+use crate::layout::TOMBSTONE_PTR;
 use crate::metric::{Metric, WeightScheme};
 use crate::pool::ResultPool;
 use crate::query::{exact_distance, Query, QueryStats};
@@ -190,6 +188,10 @@ impl IvaIndex {
         }
         stats.filter_nanos = max_filter;
         stats.refine_nanos = max_refine;
+        // Tier accounting once for the merged plan — the workers scanned
+        // the same prepared attributes, so per-worker accounting would
+        // multiply the breakdown by the thread count.
+        self.tier_stats_into(&shared, self.tuple_is_hot(), &mut stats);
         Ok(QueryOutcome {
             results: pool.into_sorted(),
             stats,
@@ -216,8 +218,8 @@ impl IvaIndex {
     ) -> Result<SegmentScan> {
         let mut cursors = self.open_cursors(shared)?;
         self.seek_cursors(shared, &mut cursors, lo)?;
-        let mut treader = ListReader::open(Arc::clone(self.pager_ref()), self.tuple_list_handle())?;
-        treader.skip(lo * TUPLE_ENTRY_LEN as u64)?;
+        let mut tsrc = self.open_tuple_source()?;
+        tsrc.skip_entries(lo)?;
         let mut pool = ResultPool::new(k);
         let mut out = SegmentScan {
             candidates: Vec::new(),
@@ -232,8 +234,7 @@ impl IvaIndex {
         let mut pending: Vec<(u64, f64)> = Vec::new();
         let start = measured.then(thread_cpu_time);
         for _ in lo..hi {
-            let tid = treader.read_u32()?;
-            let ptr = treader.read_u64()?;
+            let (tid, ptr) = tsrc.next_entry()?;
             out.tuples_scanned += 1;
             if ptr == TOMBSTONE_PTR {
                 self.skip_cursors(shared, &mut cursors, tid)?;

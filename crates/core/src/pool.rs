@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! The temporary result pool (Sec. IV-A).
 //!
 //! Holds at most `k` `(tid, dist)` pairs with their *actual* distances; a

@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! The *sequential* filter-and-refine plan — the VA-file's strategy that
 //! Sec. IV-A argues cannot work for sparse wide tables.
 //!
@@ -17,9 +18,6 @@
 //! relative to Algorithm 1's interleaved plan. See the
 //! `ablation_query_plans` bench.
 
-use std::sync::Arc;
-
-use iva_storage::ListReader;
 use iva_swt::{RecordPtr, SwtTable};
 
 use crate::error::Result;
@@ -69,15 +67,15 @@ impl IvaIndex {
         // ---- Phase 1: full index scan, collect lower bounds. ----
         // (tid, ptr, lb, any_defined)
         let mut scanned: Vec<(u64, u64, f64, bool)> = Vec::new();
+        let shared = self.prepare_query(query)?;
+        let tuple_hot;
         {
-            let shared = self.prepare_query(query)?;
             let mut cursors = self.open_cursors(&shared)?;
-            let mut treader =
-                ListReader::open(Arc::clone(self.pager_ref()), self.tuple_list_handle())?;
+            let mut tsrc = self.open_tuple_source()?;
+            tuple_hot = tsrc.is_hot();
             let mut diffs = vec![0.0f64; query.len()];
             for _ in 0..self.n_tuples() {
-                let tid = treader.read_u32()?;
-                let ptr = treader.read_u64()?;
+                let (tid, ptr) = tsrc.next_entry()?;
                 if ptr == TOMBSTONE_PTR {
                     self.skip_cursors(&shared, &mut cursors, tid)?;
                     continue;
@@ -175,6 +173,7 @@ impl IvaIndex {
         let total = thread_cpu_time().saturating_sub(start);
         stats.refine_nanos = refine_nanos;
         stats.filter_nanos = total.saturating_sub(refine_nanos);
+        self.tier_stats_into(&shared, tuple_hot, &mut stats);
         Ok(QueryOutcome {
             results: pool.into_sorted(),
             stats,
@@ -188,8 +187,9 @@ mod tests {
     use crate::build::{build_index, IndexTarget};
     use crate::config::IvaConfig;
     use crate::metric::MetricKind;
-    use iva_storage::{IoStats, PagerOptions};
+    use iva_storage::{IoStats, ListReader, PagerOptions};
     use iva_swt::{AttrId, Tuple, Value};
+    use std::sync::Arc;
 
     fn opts() -> PagerOptions {
         PagerOptions {

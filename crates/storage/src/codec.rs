@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! Checked little-endian field readers for decode paths.
 //!
 //! Decode code must never panic on malformed bytes — a corrupt file is an

@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! Atomic shadow-commit for file metadata.
 //!
 //! A commit record is a small sidecar file updated with the classic

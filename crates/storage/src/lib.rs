@@ -43,7 +43,8 @@ pub use error::{Result, StorageError};
 pub use fault::{FaultKind, FaultVfs, PlannedFault};
 pub use file::{BlockFile, FORMAT_VERSION, FRAME_TRAILER, MIN_PAGE_SIZE, SUPERBLOCK_LEN};
 pub use listfile::{
-    overwrite_in_list, write_contiguous_list, ListHandle, ListReader, ListWriter, LIST_PAGE_HEADER,
+    overwrite_in_list, read_list_to_vec, write_contiguous_list, ListHandle, ListReader, ListWriter,
+    LIST_PAGE_HEADER,
 };
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use pager::{Pager, PagerOptions};

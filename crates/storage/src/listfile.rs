@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! Chained page lists ("list files").
 //!
 //! The iVA-file is "a sequence of list elements" per list (tuple list,
@@ -498,6 +499,20 @@ pub fn overwrite_in_list(
     Ok(())
 }
 
+/// Extract a whole list into one contiguous byte buffer — the column
+/// extraction read used when promoting a vector list into an in-memory
+/// tier. The walk is a plain sequential scan through the pager, so the
+/// extraction's I/O cost lands in [`crate::IoStats`] like any other scan
+/// of the same list.
+pub fn read_list_to_vec(pager: &Arc<Pager>, handle: ListHandle) -> Result<Vec<u8>> {
+    let mut out = vec![0u8; handle.len as usize];
+    if handle.len > 0 {
+        let mut r = ListReader::open(Arc::clone(pager), handle)?;
+        r.read_exact(&mut out)?;
+    }
+    Ok(out)
+}
+
 /// Bulk-write a byte buffer as a new, physically contiguous list.
 ///
 /// Used at (re)build time so that subsequent scans are purely sequential.
@@ -768,6 +783,24 @@ mod tests {
         assert_eq!(h.len, 0);
         let r = ListReader::open(p, h).unwrap();
         assert!(r.at_end());
+    }
+
+    #[test]
+    fn read_list_to_vec_extracts_whole_lists() {
+        let p = mem_pager(); // 64 B pages: multi-page lists exercised
+        for n in [0usize, 1, 54, 55, 500] {
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let h = write_contiguous_list(&p, &data).unwrap();
+            assert_eq!(read_list_to_vec(&p, h).unwrap(), data, "n={n}");
+        }
+        // Fragmented (writer-built) lists extract identically.
+        let mut w = ListWriter::create(Arc::clone(&p)).unwrap();
+        let data: Vec<u8> = (0..300).map(|i| (i % 97) as u8).collect();
+        for chunk in data.chunks(11) {
+            w.append(chunk).unwrap();
+        }
+        let h = w.finish().unwrap();
+        assert_eq!(read_list_to_vec(&p, h).unwrap(), data);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! The interpreted record format.
 //!
 //! Beckmann et al. concluded "the best option is to store the data

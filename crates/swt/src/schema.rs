@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! Attribute catalog.
 //!
 //! A sparse wide table has a single, ever-growing set of attributes `A`

@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! Per-attribute table statistics.
 //!
 //! The iVA-file's attribute list carries `df` (tuples defining the

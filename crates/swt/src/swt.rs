@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! The sparse wide table: catalog + statistics + table file, with typed
 //! inserts and compaction.
 

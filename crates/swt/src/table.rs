@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! The table file: row-wise interpreted records in an append-only log.
 //!
 //! Matches Sec. IV-B of the paper: "the new tuple is appended to the end of

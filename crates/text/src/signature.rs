@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! The nG-signature (Sec. III-B): encoding, hit testing and the lower-bound
 //! edit-distance estimator `est(sq, c(sd))` of Eq. 3.
 //!
@@ -256,6 +257,13 @@ struct LenPlan {
     words: u32,
     /// Offset of this length's first gram mask in [`PreparedMatcher::masks`].
     mask_off: u32,
+    /// One-word fast path (`words == 1` only): offset/length of this
+    /// geometry's deduped `(mask, count)` pairs in [`PreparedMatcher::packs`].
+    pack_off: u32,
+    pack_len: u32,
+    /// Hit-gram count contributed unconditionally by grams whose mask is
+    /// empty under this geometry (they hit every signature).
+    pack_base: u64,
 }
 
 /// Immutable branch-free estimation kernel for one query string.
@@ -281,9 +289,17 @@ pub struct PreparedMatcher {
     /// word of the first gram's mask for that length's geometry. Lengths
     /// sharing a geometry share one table.
     masks: Vec<u64>,
+    /// Deduped `(mask, summed count)` pairs for one-word geometries.
+    /// Distinct grams frequently collide into the same single-word mask,
+    /// so the block kernel tests each distinct mask once instead of once
+    /// per gram.
+    packs: Vec<(u64, u64)>,
     /// Largest `words` over all plans (sizes the block-scan scratch).
     max_words: usize,
 }
+
+/// Baked per-geometry offsets: `(mask_off, pack_off, pack_len, pack_base)`.
+type Baked = (u32, u32, u32, u64);
 
 impl PreparedMatcher {
     /// Build the kernel for query string `sq` — shorthand for
@@ -295,9 +311,10 @@ impl PreparedMatcher {
     fn build(codec: &SigCodec, query: &QueryStringMatcher) -> Self {
         let mut plans = Vec::with_capacity(256);
         let mut masks: Vec<u64> = Vec::new();
+        let mut packs: Vec<(u64, u64)> = Vec::new();
         // Consecutive length bytes frequently share (l, t); dedupe so each
         // distinct geometry hashes the query grams exactly once.
-        let mut seen: Vec<((u32, u32), u32)> = Vec::new();
+        let mut seen: Vec<((u32, u32), Baked)> = Vec::new();
         let mut pos = Vec::new();
         let mut max_words = 0usize;
         for len in 0u16..=255 {
@@ -306,28 +323,54 @@ impl PreparedMatcher {
             let ch_bytes = codec.ch_bytes(len_byte);
             let words = ch_bytes.div_ceil(8);
             max_words = max_words.max(words);
-            let mask_off = match seen.iter().find(|(k, _)| *k == (l, t)) {
-                Some(&(_, off)) => off,
-                None => {
-                    let off = masks.len() as u32;
-                    for g in &query.grams {
-                        gram_bit_positions(g, l, t, &mut pos);
-                        let base = masks.len();
-                        masks.resize(base + words, 0);
-                        for &p in &pos {
-                            if let Some(w) = masks.get_mut(base + (p / 64) as usize) {
-                                *w |= 1u64 << (p % 64);
+            let (mask_off, pack_off, pack_len, pack_base) =
+                match seen.iter().find(|(k, _)| *k == (l, t)) {
+                    Some(&(_, baked)) => baked,
+                    None => {
+                        let off = masks.len() as u32;
+                        for g in &query.grams {
+                            gram_bit_positions(g, l, t, &mut pos);
+                            let base = masks.len();
+                            masks.resize(base + words, 0);
+                            for &p in &pos {
+                                if let Some(w) = masks.get_mut(base + (p / 64) as usize) {
+                                    *w |= 1u64 << (p % 64);
+                                }
                             }
                         }
+                        // One-word geometries additionally get a deduped
+                        // (mask, count) table: grams that collide into the
+                        // same mask are indistinguishable to the hit test,
+                        // so their counts merge, and empty masks hit every
+                        // signature and fold into a constant.
+                        let p_off = packs.len() as u32;
+                        let mut p_base = 0u64;
+                        if words == 1 {
+                            for (i, &c) in query.counts.iter().enumerate() {
+                                let m = masks.get(off as usize + i).copied().unwrap_or(0);
+                                if m == 0 {
+                                    p_base += u64::from(c);
+                                } else if let Some(pair) =
+                                    packs.iter_mut().skip(p_off as usize).find(|p| p.0 == m)
+                                {
+                                    pair.1 += u64::from(c);
+                                } else {
+                                    packs.push((m, u64::from(c)));
+                                }
+                            }
+                        }
+                        let baked = (off, p_off, packs.len() as u32 - p_off, p_base);
+                        seen.push(((l, t), baked));
+                        baked
                     }
-                    seen.push(((l, t), off));
-                    off
-                }
-            };
+                };
             plans.push(LenPlan {
                 ch_bytes: ch_bytes as u32,
                 words: words as u32,
                 mask_off,
+                pack_off,
+                pack_len,
+                pack_base,
             });
         }
         Self {
@@ -336,6 +379,7 @@ impl PreparedMatcher {
             counts: query.counts.iter().map(|&c| u64::from(c)).collect(),
             plans,
             masks,
+            packs,
             max_words,
         }
     }
@@ -356,6 +400,9 @@ impl PreparedMatcher {
                 ch_bytes: 0,
                 words: 0,
                 mask_off: 0,
+                pack_off: 0,
+                pack_len: 0,
+                pack_base: 0,
             })
     }
 
@@ -426,9 +473,39 @@ impl PreparedMatcher {
             &mut heap
         };
         for (i, slot) in out.iter_mut().enumerate() {
-            let cell = sigs
-                .get(i * stride..sigs.len().min((i + 1) * stride))
-                .unwrap_or(&[]);
+            let base = i * stride;
+            // One-word fast path: the whole signature word in a single
+            // load (padding beyond `ch_bytes` masked off, so garbage
+            // trailing bytes stay ignored), then one test per *distinct*
+            // mask from the baked pack — no scratch staging, no per-gram
+            // slice arithmetic. This is the kernel the hot tier's
+            // stride-packed columns are shaped for.
+            if let Some(&len_byte) = sigs.get(base) {
+                let plan = self.plan_of(len_byte);
+                if plan.words == 1 && stride > plan.ch_bytes as usize {
+                    if let Some(win) = sigs.get(base + 1..base + 9) {
+                        let keep = match plan.ch_bytes {
+                            8.. => !0u64,
+                            cb => (1u64 << (8 * cb)) - 1,
+                        };
+                        let s = u64::from_le_bytes(win.try_into().unwrap_or([0u8; 8])) & keep;
+                        let mut hg = plan.pack_base;
+                        let p0 = plan.pack_off as usize;
+                        for &(m, c) in self
+                            .packs
+                            .get(p0..p0 + plan.pack_len as usize)
+                            .unwrap_or(&[])
+                        {
+                            hg += u64::from(s & m == m) * c;
+                        }
+                        *slot = finish_estimate(self.q_len, len_byte, hg, self.n);
+                        continue;
+                    }
+                    // A final cell narrower than 9 bytes falls through to
+                    // the exact-width path below.
+                }
+            }
+            let cell = sigs.get(base..sigs.len().min(base + stride)).unwrap_or(&[]);
             let Some((&len_byte, rest)) = cell.split_first() else {
                 return Err(SigError::Empty);
             };
@@ -648,6 +725,41 @@ mod tests {
         assert!(m.estimate_block(&block, 0, &mut [0.0; 2]).is_err());
         // An empty output slice asks for nothing.
         m.estimate_block(&[], 16, &mut []).unwrap();
+    }
+
+    /// The one-word fast path must be bit-identical to per-cell
+    /// `estimate`, including when the stride padding holds garbage (the
+    /// contract says trailing bytes are ignored) and across varied
+    /// lengths, alphas, and gram sizes (exercising deduped and empty
+    /// masks and the narrow final cell).
+    #[test]
+    fn estimate_block_fast_path_ignores_padding_and_matches_single() {
+        for (alpha, n) in [(0.15, 2usize), (0.3, 3), (0.45, 2)] {
+            let c = SigCodec::new(alpha, n);
+            let m = PreparedMatcher::new(&c, b"aaab repeated grams aaab");
+            let values: Vec<String> = (0..48)
+                .map(|i| "x".repeat(i % 23 + 1) + &i.to_string())
+                .collect();
+            let stride = c.max_encoded_len();
+            // Poison every padding byte; a correct kernel never reads it.
+            let mut block = vec![0xA5u8; values.len() * stride];
+            let mut singles = Vec::new();
+            for (i, v) in values.iter().enumerate() {
+                let sig = c.encode_to_vec(v.as_bytes());
+                block[i * stride..i * stride + sig.len()].copy_from_slice(&sig);
+                singles.push(m.estimate(&sig).unwrap());
+            }
+            // Truncate the buffer to the last cell's real signature so the
+            // final cell is narrower than 9 bytes and exercises the
+            // fallback path.
+            let last_sig = c.encode_to_vec(values[values.len() - 1].as_bytes());
+            let tight = (values.len() - 1) * stride + last_sig.len();
+            let mut out = vec![0.0f64; values.len()];
+            m.estimate_block(&block[..tight], stride, &mut out).unwrap();
+            for (i, (a, b)) in out.iter().zip(&singles).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "alpha={alpha} n={n} cell {i}");
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@ use crate::search::{QueryBuilder, SearchRequest};
 ///    [`IvaDb::open`] the *stored* values win — the ones in `opts` are
 ///    only used if the index has to be rebuilt from the table.
 /// 2. **Runtime defaults** (`config.search_threads`,
-///    `config.refine_batch`, plus `metric` and `weights` here) set the
+///    `config.refine_batch`, `config.hot_tier_bytes`, plus `metric` and
+///    `weights` here) set the
 ///    database's default execution plan. They are *never* persisted:
 ///    an index header round-trip deliberately drops them, and open
 ///    re-applies the values from `opts` so a reopened database behaves
@@ -246,7 +247,11 @@ impl IvaDb {
         // caller's execution knobs so a reopened database behaves like
         // the one that was closed (see "Persisted vs. per-request
         // configuration" on [`IvaDbOptions`]).
-        index.set_runtime_knobs(opts.config.search_threads, opts.config.refine_batch);
+        index.set_runtime_knobs(
+            opts.config.search_threads,
+            opts.config.refine_batch,
+            opts.config.hot_tier_bytes,
+        );
         Ok(index)
     }
 
@@ -446,49 +451,6 @@ impl IvaDb {
         self.opts.metric
     }
 
-    /// Top-k search with the default metric and weights.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `execute(&query, &SearchRequest::new(k))` — the unified entry point"
-    )]
-    pub fn search(&self, query: &Query, k: usize) -> Result<Vec<SearchHit>> {
-        Ok(self.execute(query, &SearchRequest::new(k))?.hits)
-    }
-
-    /// Top-k search under an explicit metric and weight scheme.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `execute` with `SearchRequest::new(k).metric(…).weights(…)` (or \
-                `execute_metric` for custom metrics)"
-    )]
-    pub fn search_with<M: Metric + Sync>(
-        &self,
-        query: &Query,
-        k: usize,
-        metric: &M,
-        weights: WeightScheme,
-    ) -> Result<Vec<SearchHit>> {
-        let request = SearchRequest::new(k).weights(weights);
-        Ok(self.execute_metric(query, metric, &request)?.hits)
-    }
-
-    /// Top-k search returning measurement counters (for experiments).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `execute` / `execute_metric` — `SearchOutcome` always carries the stats"
-    )]
-    pub fn search_measured<M: Metric + Sync>(
-        &self,
-        query: &Query,
-        k: usize,
-        metric: &M,
-        weights: WeightScheme,
-    ) -> Result<(Vec<SearchHit>, QueryStats)> {
-        let request = SearchRequest::new(k).weights(weights);
-        let out = self.execute_metric(query, metric, &request)?;
-        Ok((out.hits, out.stats))
-    }
-
     /// Rebuild if the deleted fraction reached β.
     pub fn maybe_clean(&mut self) -> Result<bool> {
         if self.index.deleted_fraction() >= self.opts.cleaning_threshold
@@ -566,6 +528,13 @@ impl IvaDb {
                     &self.opts.pager,
                     index_io.clone(),
                 )?;
+                // Reopening dropped the runtime knobs with the header
+                // round-trip; restore this database's execution defaults.
+                self.index.set_runtime_knobs(
+                    self.opts.config.search_threads,
+                    self.opts.config.refine_batch,
+                    self.opts.config.hot_tier_bytes,
+                );
             }
         }
         self.table_io = table_io;

@@ -1,3 +1,4 @@
+//! lint:scope(no-panic-decode)
 //! The single-writer / multi-reader serving layer.
 //!
 //! An engine ([`crate::IvaDb`] or [`crate::ShardedIvaDb`]) enters serving
@@ -42,7 +43,7 @@ use std::thread::JoinHandle;
 use iva_core::{IvaError, Query, Result};
 use iva_swt::{AttrId, Tuple};
 
-use crate::engine::{Engine, EngineWriter};
+use crate::engine::{Engine, EngineOutcome, EngineWriter};
 use crate::search::SearchRequest;
 
 /// The shared cell behind one writer and its readers.
@@ -260,6 +261,15 @@ pub struct ServingStats {
     /// Requests that shared a batch with at least one other request —
     /// the admission queue's coalescing win.
     pub coalesced: u64,
+    /// Query attributes whose filter phase ran from the in-memory hot
+    /// tier, summed over every answered request.
+    pub hot_tier_attrs: u64,
+    /// Query attributes whose filter phase went to the durable iVA-file.
+    pub cold_tier_attrs: u64,
+    /// Bytes the filter phases swept in RAM (hot-tier columns).
+    pub hot_tier_bytes_scanned: u64,
+    /// Bytes the filter phases pulled through the pager (cold lists).
+    pub cold_tier_bytes_scanned: u64,
 }
 
 /// One queued request and the channel its answer goes back on.
@@ -277,6 +287,10 @@ struct ServerState<E: Engine> {
     batches: AtomicU64,
     completed: AtomicU64,
     coalesced: AtomicU64,
+    hot_tier_attrs: AtomicU64,
+    cold_tier_attrs: AtomicU64,
+    hot_tier_bytes_scanned: AtomicU64,
+    cold_tier_bytes_scanned: AtomicU64,
 }
 
 impl<E: Engine> ServerState<E> {
@@ -286,7 +300,25 @@ impl<E: Engine> ServerState<E> {
             batches: self.batches.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            hot_tier_attrs: self.hot_tier_attrs.load(Ordering::Relaxed),
+            cold_tier_attrs: self.cold_tier_attrs.load(Ordering::Relaxed),
+            hot_tier_bytes_scanned: self.hot_tier_bytes_scanned.load(Ordering::Relaxed),
+            cold_tier_bytes_scanned: self.cold_tier_bytes_scanned.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fold one answered outcome's tier breakdown into the serving-level
+    /// counters.
+    fn absorb_tiering(&self, out: &E::Outcome) {
+        let s = out.stats();
+        self.hot_tier_attrs
+            .fetch_add(s.hot_tier_attrs, Ordering::Relaxed);
+        self.cold_tier_attrs
+            .fetch_add(s.cold_tier_attrs, Ordering::Relaxed);
+        self.hot_tier_bytes_scanned
+            .fetch_add(s.hot_tier_bytes_scanned, Ordering::Relaxed);
+        self.cold_tier_bytes_scanned
+            .fetch_add(s.cold_tier_bytes_scanned, Ordering::Relaxed);
     }
 }
 
@@ -315,13 +347,18 @@ impl<E: Engine + 'static> Server<E> {
             batches: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            hot_tier_attrs: AtomicU64::new(0),
+            cold_tier_attrs: AtomicU64::new(0),
+            hot_tier_bytes_scanned: AtomicU64::new(0),
+            cold_tier_bytes_scanned: AtomicU64::new(0),
         });
         let max_batch = opts.max_batch.max(1);
-        let workers = (0..opts.workers.max(1))
+        let n_workers = opts.workers.max(1);
+        let workers = (0..n_workers)
             .map(|_| {
                 let reader = reader.clone();
                 let state = Arc::clone(&state);
-                std::thread::spawn(move || worker_loop(reader, state, max_batch))
+                std::thread::spawn(move || worker_loop(reader, state, max_batch, n_workers))
             })
             .collect();
         Self { state, workers }
@@ -417,7 +454,12 @@ impl<E: Engine> Client<E> {
     }
 }
 
-fn worker_loop<E: Engine>(reader: Reader<E>, state: Arc<ServerState<E>>, max_batch: usize) {
+fn worker_loop<E: Engine>(
+    reader: Reader<E>,
+    state: Arc<ServerState<E>>,
+    max_batch: usize,
+    n_workers: usize,
+) {
     loop {
         let jobs: Vec<Job<E>> = {
             let mut q = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
@@ -433,8 +475,20 @@ fn worker_loop<E: Engine>(reader: Reader<E>, state: Arc<ServerState<E>>, max_bat
                     .wait(q)
                     .unwrap_or_else(PoisonError::into_inner);
             }
-            let take = q.len().min(max_batch);
-            q.drain(..take).collect()
+            // Fair-share drain. Taking `q.len()` outright lets the first
+            // worker woken by a burst swallow the whole queue and serve it
+            // as one serial mega-batch while its siblings sleep — under an
+            // open-loop arrival stream that is head-of-line blocking and
+            // tail latency grows with the burst, not with `max_batch`.
+            // Each worker instead takes its 1/n share (capped by
+            // `max_batch`), and, if work remains, wakes one sibling before
+            // releasing the lock so the burst fans out across all workers.
+            let take = (q.len().div_ceil(n_workers)).clamp(1, max_batch);
+            let jobs: Vec<Job<E>> = q.drain(..take).collect();
+            if !q.is_empty() {
+                state.available.notify_one();
+            }
+            jobs
         };
         // One snapshot per batch: every member answers from the same
         // epoch, and the write lock is held shared for exactly one
@@ -446,7 +500,11 @@ fn worker_loop<E: Engine>(reader: Reader<E>, state: Arc<ServerState<E>>, max_bat
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
         if jobs.len() == 1 {
             for job in jobs {
-                let _ = job.reply.send(snap.execute(&job.query, &job.request));
+                let out = snap.execute(&job.query, &job.request);
+                if let Ok(out) = &out {
+                    state.absorb_tiering(out);
+                }
+                let _ = job.reply.send(out);
             }
             continue;
         }
@@ -460,6 +518,7 @@ fn worker_loop<E: Engine>(reader: Reader<E>, state: Arc<ServerState<E>>, max_bat
         match snap.execute_batch(&batch) {
             Ok(outs) => {
                 for (job, out) in jobs.into_iter().zip(outs) {
+                    state.absorb_tiering(&out);
                     let _ = job.reply.send(Ok(out));
                 }
             }
@@ -468,7 +527,11 @@ fn worker_loop<E: Engine>(reader: Reader<E>, state: Arc<ServerState<E>>, max_bat
             // caller gets its own verdict.
             Err(_) => {
                 for job in jobs {
-                    let _ = job.reply.send(snap.execute(&job.query, &job.request));
+                    let out = snap.execute(&job.query, &job.request);
+                    if let Ok(out) = &out {
+                        state.absorb_tiering(out);
+                    }
+                    let _ = job.reply.send(out);
                 }
             }
         }

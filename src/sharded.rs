@@ -14,7 +14,7 @@
 
 use iva_core::{
     BatchItem, IvaError, Metric, MetricKind, PoolEntry, Query, QueryOptions, QueryOutcome,
-    QueryStats, Result, WeightScheme,
+    QueryStats, Result,
 };
 use iva_swt::{Tid, Tuple};
 
@@ -226,6 +226,10 @@ impl ShardedIvaDb {
             stats.tuples_scanned += out.stats.tuples_scanned;
             stats.table_accesses += out.stats.table_accesses;
             stats.speculative_accesses += out.stats.speculative_accesses;
+            stats.hot_tier_attrs += out.stats.hot_tier_attrs;
+            stats.cold_tier_attrs += out.stats.cold_tier_attrs;
+            stats.hot_tier_bytes_scanned += out.stats.hot_tier_bytes_scanned;
+            stats.cold_tier_bytes_scanned += out.stats.cold_tier_bytes_scanned;
             stats.filter_nanos = stats.filter_nanos.max(out.stats.filter_nanos);
             stats.refine_nanos = stats.refine_nanos.max(out.stats.refine_nanos);
             for e in out.results {
@@ -349,34 +353,6 @@ impl ShardedIvaDb {
         out.into_iter()
             .map(|o| o.ok_or_else(|| IvaError::Corrupt("batch entry left unanswered".into())))
             .collect()
-    }
-
-    /// Parallel top-k search: every shard runs Algorithm 1 concurrently on
-    /// its own scoped thread; the per-shard top-k pools merge into the
-    /// global top-k.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `execute(&query, &SearchRequest::new(k))` — the unified entry point"
-    )]
-    pub fn search(&self, query: &Query, k: usize) -> Result<Vec<ShardedHit>> {
-        Ok(self.execute(query, &SearchRequest::new(k))?.hits)
-    }
-
-    /// Parallel top-k search under an explicit metric and weights.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `execute` with `SearchRequest::new(k).metric(…).weights(…)` (or \
-                `execute_metric` for custom metrics)"
-    )]
-    pub fn search_with<M: Metric + Sync>(
-        &self,
-        query: &Query,
-        k: usize,
-        metric: &M,
-        weights: WeightScheme,
-    ) -> Result<Vec<ShardedHit>> {
-        let request = SearchRequest::new(k).weights(weights);
-        Ok(self.execute_metric(query, metric, &request)?.hits)
     }
 
     /// Run the β-cleanup check on every shard.

@@ -268,10 +268,9 @@ fn failed_update_rolls_back_to_old_tuple() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_search_shims_agree_with_execute() {
-    // The 0.1 wrappers stay for one release; they must forward to the
-    // unified entry point unchanged.
+fn execute_metric_agrees_with_metric_override() {
+    // `execute` with a request-level metric override must match
+    // `execute_metric` with the same metric passed directly.
     let mut db = mem_db();
     let name = db.define_text("name").unwrap();
     for i in 0..20 {
@@ -284,20 +283,18 @@ fn deprecated_search_shims_agree_with_execute() {
         .weights(WeightScheme::Equal);
     let via_execute = db.execute(&q, &req).unwrap().hits;
 
-    let via_search = db.search(&q, 3).unwrap();
-    let via_with = db
-        .search_with(&q, 3, &MetricKind::L2, WeightScheme::Equal)
-        .unwrap();
-    let (via_measured, stats) = db
-        .search_measured(&q, 3, &MetricKind::L2, WeightScheme::Equal)
+    let direct = db
+        .execute_metric(
+            &q,
+            &MetricKind::L2,
+            &SearchRequest::new(3).weights(WeightScheme::Equal),
+        )
         .unwrap();
 
-    for hits in [&via_search, &via_with, &via_measured] {
-        assert_eq!(hits.len(), via_execute.len());
-        for (a, b) in hits.iter().zip(&via_execute) {
-            assert_eq!(a.tid, b.tid);
-            assert_eq!(a.dist.to_bits(), b.dist.to_bits());
-        }
+    assert_eq!(direct.hits.len(), via_execute.len());
+    for (a, b) in direct.hits.iter().zip(&via_execute) {
+        assert_eq!(a.tid, b.tid);
+        assert_eq!(a.dist.to_bits(), b.dist.to_bits());
     }
-    assert!(stats.tuples_scanned > 0);
+    assert!(direct.stats.tuples_scanned > 0);
 }

@@ -1,4 +1,5 @@
-//! Allowlist files and in-code `lint:allow` markers.
+//! Allowlist files, in-code `lint:allow` markers, and `lint:scope`
+//! module attributes.
 //!
 //! Two escape hatches, both requiring a written justification:
 //!
@@ -12,6 +13,13 @@
 //!    on the violating line or the line directly above it. A marker with a
 //!    missing or empty justification is an error; a marker that suppresses
 //!    nothing is stale and fails the run.
+//!
+//! Plus one opt-in mechanism: a **scope attribute** — a module-doc line
+//! `//! lint:scope(<lint>)` — declares the module subject to a lint whose
+//! scope is attribute-driven (today: `no-panic-decode`). The attribute
+//! lives in the file it scopes, so a new decode module carries its lint
+//! obligations from birth instead of waiting for someone to grow a list
+//! inside the lint tool.
 
 /// One parsed allowlist entry.
 #[derive(Debug, Clone)]
@@ -129,9 +137,57 @@ pub fn parse_markers(file: &str, source: &str) -> (Vec<Marker>, Vec<String>) {
     (markers, errors)
 }
 
+/// Extract `lint:scope(<lint>)` attributes from a source file. Returns
+/// the scoped lint names plus errors for malformed attributes (no closing
+/// paren, empty lint name). Attribute placement is free-form — any line
+/// containing the token counts — but by convention it sits in the module
+/// doc comment at the top of the file.
+pub fn parse_scopes(file: &str, source: &str) -> (Vec<String>, Vec<String>) {
+    let mut scopes = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let Some(start) = line.find("lint:scope(") else {
+            continue;
+        };
+        let rest = &line[start + "lint:scope(".len()..];
+        match rest.find(')') {
+            Some(end) => {
+                let lint = rest[..end].trim();
+                if lint.is_empty() {
+                    errors.push(format!(
+                        "{file}:{line_no}: malformed lint:scope attribute — want `lint:scope(<lint>)`"
+                    ));
+                } else {
+                    scopes.push(lint.to_string());
+                }
+            }
+            None => errors.push(format!(
+                "{file}:{line_no}: malformed lint:scope attribute — missing `)`"
+            )),
+        }
+    }
+    (scopes, errors)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scopes_parse_and_reject() {
+        let (s, e) = parse_scopes("f.rs", "//! lint:scope(no-panic-decode)\nfn f() {}\n");
+        assert_eq!(s, vec!["no-panic-decode".to_string()]);
+        assert!(e.is_empty());
+
+        let (s, e) = parse_scopes("f.rs", "//! lint:scope(no-panic-decode\n");
+        assert!(s.is_empty());
+        assert_eq!(e.len(), 1);
+
+        let (s, e) = parse_scopes("f.rs", "//! lint:scope()\n");
+        assert!(s.is_empty());
+        assert_eq!(e.len(), 1);
+    }
 
     #[test]
     fn allowlist_round_trip() {

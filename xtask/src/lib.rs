@@ -7,12 +7,13 @@
 //! actually fires, then run [`analyze_repo`] and assert the tree is clean.
 
 pub mod allowlist;
+pub mod benchjson;
 pub mod lexer;
 pub mod lints;
 
 use std::path::{Path, PathBuf};
 
-use allowlist::{parse_allowlist, parse_markers, AllowEntry, Marker};
+use allowlist::{parse_allowlist, parse_markers, parse_scopes, AllowEntry, Marker};
 use lexer::{strip_cfg_test, tokenize};
 use lints::{Violation, LINT_NAMES};
 
@@ -37,8 +38,9 @@ impl Analysis {
 }
 
 /// Which files a lint looks at, and whether `#[cfg(test)]` items are
-/// exempt. Paths are repo-relative with forward slashes.
-fn in_scope(lint: &str, path: &str) -> bool {
+/// exempt. Paths are repo-relative with forward slashes; `scopes` holds
+/// the file's parsed `lint:scope(…)` attributes.
+fn in_scope(lint: &str, path: &str, scopes: &[String]) -> bool {
     // Vendored stand-ins for external crates and the xtask tool itself are
     // not part of the database being linted.
     if path.starts_with("vendor/") || path.starts_with("xtask/") || path.starts_with("target/") {
@@ -48,8 +50,11 @@ fn in_scope(lint: &str, path: &str) -> bool {
         // Everything in the workspace — production, tests, and benches —
         // except the seam module itself.
         "vfs-seam" => path != "crates/storage/src/vfs.rs",
-        // Byte-decoding, estimation, and query-plan modules.
-        "no-panic-decode" => NPD_MODULES.contains(&path),
+        // Byte-decoding, estimation, and query-plan modules opt in with a
+        // `//! lint:scope(no-panic-decode)` module attribute — the scope
+        // lives in the module, not in a list here, so a new decode module
+        // carries the lint from birth (see `undeclared_decoder`).
+        "no-panic-decode" => scopes.iter().any(|s| s == lint),
         // Production modules of the replayable stack. Bench/workload/
         // baseline crates measure wall-clock by design and are exempt.
         "determinism" => {
@@ -79,31 +84,28 @@ fn strips_tests(lint: &str) -> bool {
     lint != "vfs-seam"
 }
 
-/// The decode / estimator / query-plan modules covered by
-/// `no-panic-decode`. Additions here should be rare and deliberate —
-/// a module that parses disk bytes belongs on this list from birth.
-pub const NPD_MODULES: [&str; 20] = [
-    "crates/storage/src/codec.rs",
-    "crates/storage/src/commit.rs",
-    "crates/storage/src/listfile.rs",
-    "crates/swt/src/record.rs",
-    "crates/swt/src/schema.rs",
-    "crates/swt/src/stats.rs",
-    "crates/swt/src/swt.rs",
-    "crates/swt/src/table.rs",
-    "crates/text/src/signature.rs",
-    "crates/text/src/hash.rs",
-    "crates/text/src/ngram.rs",
-    "crates/text/src/params.rs",
-    "crates/core/src/layout.rs",
-    "crates/core/src/veclist.rs",
-    "crates/core/src/index.rs",
-    "crates/core/src/seqplan.rs",
-    "crates/core/src/parallel.rs",
-    "crates/core/src/pool.rs",
-    "crates/core/src/multi.rs",
-    "src/serve.rs",
-];
+/// Production module paths — the set where an undeclared decode function
+/// is a policy error (see [`undeclared_decoder`]). Matches the
+/// `determinism` lint's notion of production code.
+fn production_module(path: &str) -> bool {
+    let core = path.starts_with("crates/core/src/")
+        || path.starts_with("crates/storage/src/")
+        || path.starts_with("crates/swt/src/")
+        || path.starts_with("crates/text/src/");
+    let root_lib = path.starts_with("src/") && !path.starts_with("src/bin/");
+    core || root_lib
+}
+
+/// A production module that defines a `fn decode…` is parsing bytes that
+/// may have come from disk — it must carry the
+/// `//! lint:scope(no-panic-decode)` attribute so the lint covers it from
+/// birth. Returns the first offending definition `(line, name)` in the
+/// test-stripped token stream (test-only decoders are exempt).
+fn undeclared_decoder(toks: &[lexer::Tok]) -> Option<(u32, String)> {
+    toks.windows(2).find_map(|w| {
+        (w[0].s == "fn" && w[1].s.starts_with("decode")).then(|| (w[1].line, w[1].s.clone()))
+    })
+}
 
 fn run_lint(lint: &str, path: &str, toks: &[lexer::Tok]) -> Vec<Violation> {
     match lint {
@@ -210,20 +212,46 @@ pub fn analyze_repo(root: &Path, only: Option<&str>) -> Analysis {
             continue;
         };
         let rel = rel_os.to_string_lossy().replace('\\', "/");
-        let wanted: Vec<&str> = lint_filter
-            .iter()
-            .copied()
-            .filter(|l| in_scope(l, &rel))
-            .collect();
-        if wanted.is_empty() {
+        if rel.starts_with("vendor/") || rel.starts_with("xtask/") || rel.starts_with("target/") {
             continue;
         }
         let Ok(source) = std::fs::read_to_string(abs) else {
             continue;
         };
+        let (scopes, scope_errors) = parse_scopes(&rel, &source);
+        analysis.errors.extend(scope_errors);
+        for s in &scopes {
+            if s != "no-panic-decode" {
+                analysis.errors.push(format!(
+                    "{rel}: lint:scope({s}) names a lint whose scope is not attribute-driven"
+                ));
+            }
+        }
+        let wanted: Vec<&str> = lint_filter
+            .iter()
+            .copied()
+            .filter(|l| in_scope(l, &rel, &scopes))
+            .collect();
+        let check_decoders = lint_filter.contains(&"no-panic-decode")
+            && production_module(&rel)
+            && !scopes.iter().any(|s| s == "no-panic-decode");
+        if wanted.is_empty() && !check_decoders {
+            continue;
+        }
         let lines: Vec<&str> = source.lines().collect();
         let toks_full = tokenize(&source);
         let toks_stripped = strip_cfg_test(&toks_full);
+        if check_decoders {
+            if let Some((line, name)) = undeclared_decoder(&toks_stripped) {
+                analysis.errors.push(format!(
+                    "{rel}:{line}: `fn {name}` in a production module without \
+                     `//! lint:scope(no-panic-decode)` — decode modules carry the lint from birth"
+                ));
+            }
+        }
+        if wanted.is_empty() {
+            continue;
+        }
         let (mut markers, marker_errors) = parse_markers(&rel, &source);
         analysis.errors.extend(marker_errors);
         for lint in wanted {

@@ -4,6 +4,10 @@
 //! - `analyze [--lint <name>]` — run the architectural-invariant lints
 //!   (see `ANALYSIS.md`); exits non-zero on any violation, malformed or
 //!   stale suppression, or oversized allowlist.
+//! - `bench-json` — validate every recorded `BENCH_*.json` artifact at
+//!   the repo root: strict JSON (the writers hand-roll their output, so
+//!   a missing comma or a formatted `NaN` ships silently otherwise) plus
+//!   the artifact contract (top-level object with a `"bench"` string).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -66,8 +70,21 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("bench-json") => {
+            let problems = xtask::benchjson::check_dir(&repo_root());
+            if problems.is_empty() {
+                println!("bench-json: all artifacts parse");
+                ExitCode::SUCCESS
+            } else {
+                for (file, err) in &problems {
+                    println!("{file}: {err}");
+                }
+                println!("bench-json: {} bad artifact(s)", problems.len());
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask analyze [--lint <name>]");
+            eprintln!("usage: cargo xtask analyze [--lint <name>] | bench-json");
             ExitCode::FAILURE
         }
     }

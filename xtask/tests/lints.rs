@@ -228,7 +228,7 @@ fn stale_in_code_marker_fails_the_run() {
     write(
         &dir,
         "crates/core/src/layout.rs",
-        "// lint:allow(no-panic-decode, \"nothing here anymore\")\nfn ok() {}\n",
+        "//! lint:scope(no-panic-decode)\n// lint:allow(no-panic-decode, \"nothing here anymore\")\nfn ok() {}\n",
     );
     let a = analyze_repo(&dir, Some("no-panic-decode"));
     assert_eq!(a.errors.len(), 1, "{:?}", a.errors);
@@ -242,7 +242,7 @@ fn live_allowlist_entry_suppresses_and_is_not_stale() {
     write(
         &dir,
         "crates/core/src/layout.rs",
-        "fn f(b: &[u8]) -> u8 { b[0] }\n",
+        "//! lint:scope(no-panic-decode)\nfn f(b: &[u8]) -> u8 { b[0] }\n",
     );
     write(
         &dir,
@@ -251,6 +251,89 @@ fn live_allowlist_entry_suppresses_and_is_not_stale() {
     );
     let a = analyze_repo(&dir, Some("no-panic-decode"));
     assert!(a.is_clean(), "{:?} / {:?}", a.violations, a.errors);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Scope attributes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scope_attribute_brings_module_in_scope() {
+    let dir = scratch_repo("scope-on");
+    write(
+        &dir,
+        "crates/core/src/newmod.rs",
+        "//! lint:scope(no-panic-decode)\nfn f(b: &[u8]) -> u8 { b[0] }\n",
+    );
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+    assert!(a.violations[0].message.contains("slice-index"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn module_without_attribute_is_out_of_scope() {
+    let dir = scratch_repo("scope-off");
+    write(
+        &dir,
+        "crates/core/src/newmod.rs",
+        "fn f(b: &[u8]) -> u8 { b[0] }\n",
+    );
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert!(a.is_clean(), "{:?} / {:?}", a.violations, a.errors);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn undeclared_decoder_module_is_a_policy_error() {
+    // A production module that *parses* (defines `fn decode…`) without
+    // declaring itself in scope must fail the run — decode modules carry
+    // the lint from birth, not after someone remembers to list them.
+    let dir = scratch_repo("undeclared-decoder");
+    write(
+        &dir,
+        "crates/core/src/newmod.rs",
+        "fn decode_header(b: &[u8]) -> u8 { 0 }\n",
+    );
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert_eq!(a.errors.len(), 1, "{:?}", a.errors);
+    assert!(
+        a.errors[0].contains("decode_header") && a.errors[0].contains("lint:scope"),
+        "{:?}",
+        a.errors
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn test_only_decoder_is_exempt_from_the_policy() {
+    let dir = scratch_repo("test-decoder");
+    write(
+        &dir,
+        "crates/core/src/newmod.rs",
+        "#[cfg(test)]\nmod tests {\n fn decode_fixture(b: &[u8]) -> u8 { b[0] }\n}\n",
+    );
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert!(a.is_clean(), "{:?} / {:?}", a.violations, a.errors);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scope_attribute_for_non_scoped_lint_is_rejected() {
+    let dir = scratch_repo("scope-wrong-lint");
+    write(
+        &dir,
+        "crates/core/src/newmod.rs",
+        "//! lint:scope(determinism)\nfn ok() {}\n",
+    );
+    let a = analyze_repo(&dir, Some("no-panic-decode"));
+    assert_eq!(a.errors.len(), 1, "{:?}", a.errors);
+    assert!(
+        a.errors[0].contains("not attribute-driven"),
+        "{:?}",
+        a.errors
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
