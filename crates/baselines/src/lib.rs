@@ -18,11 +18,13 @@
 
 #![warn(missing_docs)]
 
+mod ciff;
 mod dst;
 mod gram_index;
 mod sii;
 mod vafile;
 
+pub use ciff::{export_iva, export_sii, import_iva, import_sii};
 pub use dst::{DirectScan, DstOutcome};
 pub use gram_index::{GramIndex, GramMatch};
 pub use sii::{SiiIndex, SiiOutcome};

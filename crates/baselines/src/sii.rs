@@ -43,6 +43,10 @@ pub struct SiiOutcome {
     pub stats: QueryStats,
 }
 
+/// What [`SiiIndex::export_parts`] yields: the ndf penalty, the tuple
+/// list, and one tid list per attribute.
+pub(crate) type SiiExportParts = (f64, Vec<(u32, u64)>, Vec<Vec<u32>>);
+
 /// The sparse inverted index.
 pub struct SiiIndex {
     pager: Arc<Pager>,
@@ -346,5 +350,70 @@ impl SiiIndex {
     /// True if the attribute has an inverted list.
     pub fn has_attr(&self, attr: AttrId) -> bool {
         attr.index() < self.entries.len()
+    }
+
+    /// Logical content for the CIFF-style interchange
+    /// ([`crate::ciff`]): the ndf penalty, the tuple list (tombstones
+    /// included), and one tid list per attribute.
+    pub(crate) fn export_parts(&self) -> Result<SiiExportParts> {
+        let mut treader = ListReader::open(Arc::clone(&self.pager), self.tuple_list)?;
+        let mut tuple_entries = Vec::with_capacity(self.n_tuples as usize);
+        for _ in 0..self.n_tuples {
+            let tid = treader.read_u32()?;
+            let ptr = treader.read_u64()?;
+            tuple_entries.push((tid, ptr));
+        }
+        let mut lists = Vec::with_capacity(self.entries.len());
+        for entry in &self.entries {
+            let mut reader = ListReader::open(Arc::clone(&self.pager), entry.list)?;
+            let mut tids = Vec::with_capacity(entry.df as usize);
+            for _ in 0..entry.df {
+                tids.push(reader.read_u32()?);
+            }
+            lists.push(tids);
+        }
+        Ok((self.ndf_penalty, tuple_entries, lists))
+    }
+
+    /// Rebuild an index from interchange content (the inverse of
+    /// [`SiiIndex::export_parts`]), on a fresh in-memory pager.
+    pub(crate) fn from_parts(
+        opts: &PagerOptions,
+        io: IoStats,
+        ndf_penalty: f64,
+        tuple_entries: &[(u32, u64)],
+        lists: &[Vec<u32>],
+    ) -> Result<Self> {
+        let pager = Pager::create_mem(opts, io);
+        let mut entries = Vec::with_capacity(lists.len());
+        for tids in lists {
+            let mut bytes = Vec::with_capacity(tids.len() * 4);
+            for t in tids {
+                bytes.extend_from_slice(&t.to_le_bytes());
+            }
+            let list = write_contiguous_list(&pager, &bytes)?;
+            entries.push(SiiEntry {
+                list,
+                df: tids.len() as u64,
+            });
+        }
+        let mut tuple_bytes = Vec::with_capacity(tuple_entries.len() * TUPLE_ENTRY_LEN);
+        let mut n_deleted = 0u64;
+        for (tid, ptr) in tuple_entries {
+            tuple_bytes.extend_from_slice(&tid.to_le_bytes());
+            tuple_bytes.extend_from_slice(&ptr.to_le_bytes());
+            if *ptr == TOMBSTONE_PTR {
+                n_deleted += 1;
+            }
+        }
+        let tuple_list = write_contiguous_list(&pager, &tuple_bytes)?;
+        Ok(Self {
+            pager,
+            entries,
+            tuple_list,
+            n_tuples: tuple_entries.len() as u64,
+            n_deleted,
+            ndf_penalty,
+        })
     }
 }

@@ -280,6 +280,8 @@ fn combine(index_io: Option<&IoStats>, table_io: &IoStats) -> IoSnapshot {
                 seq_bytes_read: t.seq_bytes_read + i.seq_bytes_read,
                 random_bytes_read: t.random_bytes_read + i.random_bytes_read,
                 bytes_written: t.bytes_written + i.bytes_written,
+                logical_list_bytes: t.logical_list_bytes + i.logical_list_bytes,
+                physical_list_bytes: t.physical_list_bytes + i.physical_list_bytes,
             }
         }
     }

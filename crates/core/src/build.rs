@@ -17,11 +17,26 @@ use iva_swt::{SwtTable, Value};
 use crate::config::IvaConfig;
 use crate::error::{IvaError, Result};
 use crate::index::IvaIndex;
-use crate::layout::{AttrEntry, IndexHeader};
+use crate::layout::{AttrEntry, IndexHeader, ListEncoding, INDEX_VERSION};
 use crate::numeric::NumericCodec;
+use crate::packed::{encode_packed_num_list, encode_packed_text_list};
 use crate::veclist::{
     choose_num_type, choose_text_type, encode_num_list, encode_text_list, ListType,
 };
+
+/// Pick the stored image of a freshly encoded list: the packed encoding
+/// when enabled *and* strictly smaller than the raw layout, else raw. The
+/// raw length is the list's logical length either way.
+pub(crate) fn choose_encoding(
+    raw: Vec<u8>,
+    packed: Option<Vec<u8>>,
+) -> (Vec<u8>, ListEncoding, u64) {
+    let logical = raw.len() as u64;
+    match packed {
+        Some(p) if p.len() < raw.len() => (p, ListEncoding::Packed, logical),
+        _ => (raw, ListEncoding::Raw, logical),
+    }
+}
 
 /// Where to put the index file.
 pub enum IndexTarget<'a> {
@@ -100,7 +115,11 @@ pub fn build_index(
             let df = items.len() as u64;
             let str_count: u64 = items.iter().map(|(_, s)| s.len() as u64).sum();
             let ty = choose_text_type(str_count, df, n_tuples);
-            let data = encode_text_list(ty, items, &all_tids);
+            let raw = encode_text_list(ty, items, &all_tids);
+            let packed = config
+                .compress_lists
+                .then(|| encode_packed_text_list(ty, items, &all_tids));
+            let (data, encoding, logical_len) = choose_encoding(raw, packed);
             let vlist = write_contiguous_list(&pager, &data)?;
             let elem_count = match ty {
                 ListType::I => str_count,
@@ -118,6 +137,8 @@ pub fn build_index(
                 alpha: config.alpha,
                 min: f64::INFINITY,
                 max: f64::NEG_INFINITY,
+                encoding,
+                logical_len,
             }
         } else {
             let values = &num_items[i];
@@ -131,7 +152,11 @@ pub fn build_index(
             let items: Vec<(u32, u64)> =
                 values.iter().map(|(t, v)| (*t, codec.encode(*v))).collect();
             let ty = choose_num_type(config.numeric_code_bytes(), df, n_tuples);
-            let data = encode_num_list(ty, &items, &all_tids, &codec);
+            let raw = encode_num_list(ty, &items, &all_tids, &codec);
+            let packed = config
+                .compress_lists
+                .then(|| encode_packed_num_list(ty, &items, &all_tids, &codec));
+            let (data, encoding, logical_len) = choose_encoding(raw, packed);
             let vlist = write_contiguous_list(&pager, &data)?;
             let elem_count = match ty {
                 ListType::I => df,
@@ -148,27 +173,42 @@ pub fn build_index(
                 alpha: config.alpha,
                 min,
                 max,
+                encoding,
+                logical_len,
             }
         };
         entries.push(entry);
     }
 
-    // Attribute list.
-    let mut attr_bytes = Vec::with_capacity(entries.len() * AttrEntry::ENCODED_LEN);
+    // Attribute list (fresh builds always write the current version).
+    let mut attr_bytes = Vec::with_capacity(entries.len() * AttrEntry::ENCODED_LEN_V3);
     for e in &entries {
-        e.encode(&mut attr_bytes);
+        e.encode(INDEX_VERSION, &mut attr_bytes);
     }
     let attr_list = write_contiguous_list(&pager, &attr_bytes)?;
 
-    // Tuple list.
-    let mut tuple_bytes = Vec::with_capacity(tuple_entries.len() * 12);
-    for (tid, ptr) in &tuple_entries {
-        tuple_bytes.extend_from_slice(&tid.to_le_bytes());
-        tuple_bytes.extend_from_slice(&ptr.to_le_bytes());
-    }
+    // Tuple list: framed delta/bit-packed under `compress_lists`, the
+    // legacy raw element stream otherwise.
+    let dir_encoding = if config.compress_lists {
+        ListEncoding::Packed
+    } else {
+        ListEncoding::Raw
+    };
+    let tuple_bytes = match dir_encoding {
+        ListEncoding::Packed => crate::dirlist::encode_dir(&tuple_entries),
+        ListEncoding::Raw => {
+            let mut raw = Vec::with_capacity(tuple_entries.len() * 12);
+            for (tid, ptr) in &tuple_entries {
+                raw.extend_from_slice(&tid.to_le_bytes());
+                raw.extend_from_slice(&ptr.to_le_bytes());
+            }
+            raw
+        }
+    };
     let tuple_list = write_contiguous_list(&pager, &tuple_bytes)?;
 
     let header = IndexHeader {
+        version: INDEX_VERSION,
         config,
         n_attrs: n_attrs as u32,
         n_tuples,
@@ -178,6 +218,7 @@ pub fn build_index(
         // A fresh build covers exactly the table contents just scanned.
         table_watermark: table.file().data_len(),
         dirty: false,
+        dir_encoding,
     };
     IvaIndex::assemble(pager, header, entries)
 }

@@ -23,6 +23,16 @@ pub struct IvaConfig {
     /// re-applies its knobs via `IvaIndex::set_runtime_knobs` (the
     /// `IvaDb` open path does this automatically).
     pub search_threads: usize,
+    /// Build-time switch for the compressed vector-list encodings
+    /// (delta/bit-packed tuple-id runs, grouped signature payloads, ndf
+    /// run-length frames). When set, `build_index` stores each vector
+    /// list in the packed encoding whenever that is strictly smaller than
+    /// the raw layout; when clear, every list uses the raw (v2) layout.
+    /// Either way queries are bit-identical — the encoding tag travels in
+    /// the attribute entry, so mixed-encoding indexes read fine. Not
+    /// persisted: an opened index keeps the per-list tags it was built
+    /// with, and this knob only steers future (re)builds.
+    pub compress_lists: bool,
     /// Refinement batch size `B`: admitted candidates are deferred and
     /// fetched from the table file in page-ordered, coalesced batches of
     /// up to `B` (`0` or `1` ⇒ fetch immediately, the unbatched plan). Any
@@ -51,6 +61,7 @@ impl Default for IvaConfig {
             ndf_penalty: 20.0,
             numeric_width: 8,
             search_threads: 0,
+            compress_lists: true,
             refine_batch: 1,
             hot_tier_bytes: 0,
         }

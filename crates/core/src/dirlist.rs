@@ -1,0 +1,726 @@
+//! lint:scope(no-panic-decode)
+//! Framed delta/bit-packed tuple directory.
+//!
+//! The tuple list is the one list *every* plan scans in full, once per
+//! query: `<tid u32, ptr u64>` elements in tid order. Raw, that is 12
+//! bytes per tuple — on wide sparse tables it dwarfs the vector-list
+//! bytes a query touches. This module stores the directory as frames
+//! reusing the vector-list frame header (`[kind u8][elems u32]
+//! [payload_len u32]`, see the `packed` module):
+//!
+//! * `DIR_RAW` — `elems` legacy 12-byte elements, byte-for-byte. Bulk
+//!   encodes fall back to it when packing would not help; every
+//!   incremental insert appends a one-element raw frame (rebuilds
+//!   repack).
+//! * `DIR_PACKED` — `[first_tid u32][tbw u8][Δtid−1 × (elems−1)]
+//!   [first_ptr u64][pbw u8][zigzag Δptr × (elems−1)]
+//!   [liveness bitmap ⌈elems/8⌉ bytes]`, delta sections bit-packed at
+//!   their declared widths. Tids are strictly increasing (so Δ−1 packs
+//!   dense appends at width 0); record pointers are near-sorted, so
+//!   zigzag deltas stay narrow without assuming monotonicity.
+//!
+//! **Deletes stay in-place.** Sec. IV-B tombstones a tuple by rewriting
+//! its `ptr` — impossible inside a delta chain without re-encoding the
+//! frame. Instead each packed frame carries a raw liveness bitmap:
+//! clearing one bit (a one-byte [`overwrite_in_list`] patch, same crash
+//! granularity as the raw 8-byte `ptr` rewrite) marks the element dead
+//! while its stored pointer keeps the delta chain intact. Decoders
+//! surface dead elements as [`TOMBSTONE_PTR`], so scan plans, the hot
+//! tier, and the interchange exporter see the exact raw-directory
+//! semantics. Elements already dead at encode time repeat the previous
+//! stored pointer (Δ = 0) and clear their bit.
+
+use std::sync::Arc;
+
+use iva_storage::codec::{le_u32, le_u64};
+use iva_storage::compress::{bit_width, pack_bits, packed_len, BitUnpacker};
+use iva_storage::{ListHandle, ListReader, Pager};
+
+use crate::error::{IvaError, Result};
+use crate::layout::{ListEncoding, TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
+use crate::packed::append_frame;
+use crate::tier::{parse_tuple_column, TupleColumn};
+
+/// Raw 12-byte elements.
+pub(crate) const DIR_RAW: u8 = 0;
+/// Delta/bit-packed elements with a liveness bitmap.
+pub(crate) const DIR_PACKED: u8 = 1;
+
+/// Elements per packed frame in bulk encodes.
+const DIR_FRAME_ELEMS: usize = 1024;
+
+/// Decode-side cap on one frame's claimed element count.
+const MAX_DIR_FRAME_ELEMS: usize = 1 << 20;
+
+fn corrupt(msg: &str) -> IvaError {
+    IvaError::Corrupt(msg.into())
+}
+
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Minimal checked cursor over extracted frame bytes.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("directory frame length overflow"))?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("short directory frame"))?;
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| corrupt("short directory frame"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let v = le_u32(self.buf, self.pos).ok_or_else(|| corrupt("short directory frame"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let v = le_u64(self.buf, self.pos).ok_or_else(|| corrupt("short directory frame"))?;
+        self.pos += 8;
+        Ok(v)
+    }
+}
+
+/// Encode the full directory as frames. Chunks whose tids are not
+/// strictly increasing, or that packing would not shrink, fall back to
+/// raw frames element-for-element.
+pub(crate) fn encode_dir(entries: &[(u32, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 3 + 16);
+    for chunk in entries.chunks(DIR_FRAME_ELEMS) {
+        match pack_dir_chunk(chunk) {
+            Some(p) if p.len() < chunk.len() * TUPLE_ENTRY_LEN => {
+                append_frame(&mut out, DIR_PACKED, chunk.len(), &p);
+            }
+            _ => {
+                let mut raw = Vec::with_capacity(chunk.len() * TUPLE_ENTRY_LEN);
+                for &(t, p) in chunk {
+                    raw.extend_from_slice(&t.to_le_bytes());
+                    raw.extend_from_slice(&p.to_le_bytes());
+                }
+                append_frame(&mut out, DIR_RAW, chunk.len(), &raw);
+            }
+        }
+    }
+    out
+}
+
+/// One incremental insert: a single-element raw frame the tail of a
+/// framed directory absorbs without re-encoding anything.
+pub(crate) fn append_raw_entry(out: &mut Vec<u8>, tid: u32, ptr: u64) {
+    let mut elem = Vec::with_capacity(TUPLE_ENTRY_LEN);
+    elem.extend_from_slice(&tid.to_le_bytes());
+    elem.extend_from_slice(&ptr.to_le_bytes());
+    append_frame(out, DIR_RAW, 1, &elem);
+}
+
+/// Packed payload for one chunk; `None` if its tids don't strictly
+/// increase (never the case for directories we wrote ourselves).
+fn pack_dir_chunk(chunk: &[(u32, u64)]) -> Option<Vec<u8>> {
+    let &(first_tid, _) = chunk.first()?;
+    let mut tds = Vec::with_capacity(chunk.len().saturating_sub(1));
+    for w in chunk.windows(2) {
+        let a = w.first()?.0;
+        let b = w.get(1)?.0;
+        tds.push(u64::from(b).checked_sub(u64::from(a))?.checked_sub(1)?);
+    }
+    // Stored-pointer chain: dead elements repeat the previous value.
+    let mut stored = Vec::with_capacity(chunk.len());
+    let mut prev = 0u64;
+    for &(_, p) in chunk {
+        let s = if p == TOMBSTONE_PTR { prev } else { p };
+        stored.push(s);
+        prev = s;
+    }
+    let first_ptr = stored.first().copied()?;
+    let zs: Vec<u64> = stored
+        .windows(2)
+        .map(|w| {
+            let a = w.first().copied().unwrap_or(0);
+            let b = w.get(1).copied().unwrap_or(0);
+            zigzag(b.wrapping_sub(a) as i64)
+        })
+        .collect();
+    let tbw = tds.iter().map(|&v| bit_width(v)).max().unwrap_or(0);
+    let pbw = zs.iter().map(|&v| bit_width(v)).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(14 + packed_len(tds.len(), tbw) + packed_len(zs.len(), pbw));
+    out.extend_from_slice(&first_tid.to_le_bytes());
+    out.push(tbw as u8);
+    pack_bits(&tds, tbw, &mut out);
+    out.extend_from_slice(&first_ptr.to_le_bytes());
+    out.push(pbw as u8);
+    pack_bits(&zs, pbw, &mut out);
+    let mut bitmap = vec![0u8; chunk.len().div_ceil(8)];
+    for (j, &(_, p)) in chunk.iter().enumerate() {
+        if p != TOMBSTONE_PTR {
+            if let Some(b) = bitmap.get_mut(j / 8) {
+                *b |= 1 << (j % 8);
+            }
+        }
+    }
+    out.extend_from_slice(&bitmap);
+    Some(out)
+}
+
+/// Decode one raw frame's payload, appending to the column vectors.
+fn decode_raw_dir_frame(
+    payload: &[u8],
+    elems: usize,
+    tids: &mut Vec<u32>,
+    ptrs: &mut Vec<u64>,
+) -> Result<()> {
+    if elems == 0 || elems > MAX_DIR_FRAME_ELEMS {
+        return Err(corrupt("bad directory frame element count"));
+    }
+    if payload.len() != elems.saturating_mul(TUPLE_ENTRY_LEN) {
+        return Err(corrupt("raw directory frame length mismatch"));
+    }
+    let mut c = Cur::new(payload);
+    for _ in 0..elems {
+        tids.push(c.u32()?);
+        ptrs.push(c.u64()?);
+    }
+    Ok(())
+}
+
+/// Decode one packed frame's payload, appending to the column vectors.
+/// The payload must be exactly its declared sections — trailing bytes
+/// are corruption, not padding.
+fn decode_packed_dir_frame(
+    payload: &[u8],
+    elems: usize,
+    tids: &mut Vec<u32>,
+    ptrs: &mut Vec<u64>,
+) -> Result<()> {
+    if elems == 0 || elems > MAX_DIR_FRAME_ELEMS {
+        return Err(corrupt("bad directory frame element count"));
+    }
+    let mut c = Cur::new(payload);
+    let first_tid = c.u32()?;
+    let tbw = u32::from(c.u8()?);
+    let tbytes = c.take(packed_len(elems - 1, tbw))?;
+    let mut tup =
+        BitUnpacker::new(tbytes, tbw).ok_or_else(|| corrupt("bad directory tid delta width"))?;
+    let first_ptr = c.u64()?;
+    let pbw = u32::from(c.u8()?);
+    let pbytes = c.take(packed_len(elems - 1, pbw))?;
+    let mut pup =
+        BitUnpacker::new(pbytes, pbw).ok_or_else(|| corrupt("bad directory ptr delta width"))?;
+    let bitmap = c.take(elems.div_ceil(8))?;
+    if !c.at_end() {
+        return Err(corrupt("directory frame payload overrun"));
+    }
+    let live = |j: usize| bitmap.get(j / 8).is_some_and(|b| b & (1u8 << (j % 8)) != 0);
+    let mut tid = first_tid;
+    let mut sp = first_ptr;
+    tids.push(tid);
+    ptrs.push(if live(0) { sp } else { TOMBSTONE_PTR });
+    for j in 1..elems {
+        let d = tup
+            .next()
+            .ok_or_else(|| corrupt("truncated directory tid deltas"))?;
+        let step = d
+            .checked_add(1)
+            .ok_or_else(|| corrupt("directory tid delta overflow"))?;
+        tid = u64::from(tid)
+            .checked_add(step)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| corrupt("directory tid overflow"))?;
+        let z = pup
+            .next()
+            .ok_or_else(|| corrupt("truncated directory ptr deltas"))?;
+        sp = sp.wrapping_add(unzigzag(z) as u64);
+        tids.push(tid);
+        ptrs.push(if live(j) { sp } else { TOMBSTONE_PTR });
+    }
+    Ok(())
+}
+
+/// Decode an extracted directory (all frames, or the legacy raw stream)
+/// into a [`TupleColumn`] — the hot-tier promotion path.
+pub(crate) fn dir_column(raw: &[u8], encoding: ListEncoding) -> Result<TupleColumn> {
+    match encoding {
+        ListEncoding::Raw => parse_tuple_column(raw),
+        ListEncoding::Packed => {
+            let mut tids = Vec::new();
+            let mut ptrs = Vec::new();
+            let mut c = Cur::new(raw);
+            while !c.at_end() {
+                let kind = c.u8()?;
+                let elems = c.u32()? as usize;
+                let plen = c.u32()? as usize;
+                let payload = c.take(plen)?;
+                match kind {
+                    DIR_RAW => decode_raw_dir_frame(payload, elems, &mut tids, &mut ptrs)?,
+                    DIR_PACKED => decode_packed_dir_frame(payload, elems, &mut tids, &mut ptrs)?,
+                    _ => return Err(corrupt("bad directory frame kind")),
+                }
+            }
+            Ok(TupleColumn { tids, ptrs })
+        }
+    }
+}
+
+/// Streaming `(tid, ptr)` cursor over the durable directory, either
+/// encoding. The raw mode reads elements straight off the pager exactly
+/// like the legacy scan; the packed mode buffers one decoded frame at a
+/// time, so a segmented worker's footprint stays one frame.
+pub(crate) struct DirCursor {
+    r: ListReader,
+    packed: bool,
+    tids: Vec<u32>,
+    ptrs: Vec<u64>,
+    pos: usize,
+    scratch: Vec<u8>,
+}
+
+impl DirCursor {
+    /// Open at the first element.
+    pub(crate) fn open(
+        pager: &Arc<Pager>,
+        handle: ListHandle,
+        encoding: ListEncoding,
+    ) -> Result<Self> {
+        Ok(Self {
+            r: ListReader::open(Arc::clone(pager), handle)?,
+            packed: encoding == ListEncoding::Packed,
+            tids: Vec::new(),
+            ptrs: Vec::new(),
+            pos: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn read_frame_header(&mut self) -> Result<(u8, usize, usize)> {
+        let kind = self.r.read_u8()?;
+        let elems = self.r.read_u32()? as usize;
+        let plen = self.r.read_u32()? as usize;
+        if plen as u64 > self.r.remaining() {
+            return Err(corrupt("truncated directory frame"));
+        }
+        if elems == 0 {
+            return Err(corrupt("bad directory frame element count"));
+        }
+        Ok((kind, elems, plen))
+    }
+
+    fn load_frame(&mut self, kind: u8, elems: usize, plen: usize) -> Result<()> {
+        self.scratch.clear();
+        self.scratch.resize(plen, 0);
+        self.r.read_exact(&mut self.scratch)?;
+        self.tids.clear();
+        self.ptrs.clear();
+        self.pos = 0;
+        match kind {
+            DIR_RAW => decode_raw_dir_frame(&self.scratch, elems, &mut self.tids, &mut self.ptrs),
+            DIR_PACKED => {
+                decode_packed_dir_frame(&self.scratch, elems, &mut self.tids, &mut self.ptrs)
+            }
+            _ => Err(corrupt("bad directory frame kind")),
+        }
+    }
+
+    /// The next `(tid, ptr)` element (tombstones as [`TOMBSTONE_PTR`]).
+    pub(crate) fn next_entry(&mut self) -> Result<(u32, u64)> {
+        if !self.packed {
+            return Ok((self.r.read_u32()?, self.r.read_u64()?));
+        }
+        if self.pos >= self.tids.len() {
+            if self.r.at_end() {
+                return Err(corrupt("directory scan past end"));
+            }
+            let (kind, elems, plen) = self.read_frame_header()?;
+            self.load_frame(kind, elems, plen)?;
+        }
+        let t = self
+            .tids
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| corrupt("directory scan past end"))?;
+        let p = self
+            .ptrs
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| corrupt("directory scan past end"))?;
+        self.pos += 1;
+        Ok((t, p))
+    }
+
+    /// Skip the next `n` elements (segmented scans start mid-list).
+    /// Packed frames strictly before the target position skip by their
+    /// header alone — no payload decode.
+    pub(crate) fn skip_entries(&mut self, mut n: u64) -> Result<()> {
+        if !self.packed {
+            self.r.skip(n.saturating_mul(TUPLE_ENTRY_LEN as u64))?;
+            return Ok(());
+        }
+        let buffered = (self.tids.len().saturating_sub(self.pos)) as u64;
+        if n <= buffered {
+            self.pos += n as usize;
+            return Ok(());
+        }
+        n -= buffered;
+        self.pos = self.tids.len();
+        while n > 0 {
+            if self.r.at_end() {
+                return Err(corrupt("directory skip past end"));
+            }
+            let (kind, elems, plen) = self.read_frame_header()?;
+            if elems as u64 <= n {
+                self.r.skip(plen as u64)?;
+                n -= elems as u64;
+            } else {
+                self.load_frame(kind, elems, plen)?;
+                self.pos = n as usize;
+                n = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The in-place patch that tombstones one directory element.
+pub(crate) struct DirPatch {
+    /// Byte offset into the directory list's content.
+    pub offset: u64,
+    /// Replacement bytes at that offset.
+    pub bytes: Vec<u8>,
+    /// Whether the element was live when located (false: already dead,
+    /// nothing to write).
+    pub live: bool,
+}
+
+/// Locate `tid` and describe the in-place write that tombstones it: the
+/// 8-byte `ptr` rewrite inside a raw element, or the one-byte liveness
+/// bit clear inside a packed frame. `None` if the tid is absent.
+pub(crate) fn locate_tombstone(
+    pager: &Arc<Pager>,
+    handle: ListHandle,
+    encoding: ListEncoding,
+    n_entries: u64,
+    tid: u32,
+) -> Result<Option<DirPatch>> {
+    let mut r = ListReader::open(Arc::clone(pager), handle)?;
+    if encoding == ListEncoding::Raw {
+        for i in 0..n_entries {
+            let t = r.read_u32()?;
+            let p = r.read_u64()?;
+            if t == tid {
+                return Ok(Some(DirPatch {
+                    offset: i * TUPLE_ENTRY_LEN as u64 + 4,
+                    bytes: TOMBSTONE_PTR.to_le_bytes().to_vec(),
+                    live: p != TOMBSTONE_PTR,
+                }));
+            }
+            if t > tid {
+                break;
+            }
+        }
+        return Ok(None);
+    }
+    let mut scratch = Vec::new();
+    let mut tids = Vec::new();
+    let mut ptrs = Vec::new();
+    while !r.at_end() {
+        let kind = r.read_u8()?;
+        let elems = r.read_u32()? as usize;
+        let plen = r.read_u32()? as usize;
+        if plen as u64 > r.remaining() {
+            return Err(corrupt("truncated directory frame"));
+        }
+        let payload_start = r.tell();
+        scratch.clear();
+        scratch.resize(plen, 0);
+        r.read_exact(&mut scratch)?;
+        tids.clear();
+        ptrs.clear();
+        match kind {
+            DIR_RAW => decode_raw_dir_frame(&scratch, elems, &mut tids, &mut ptrs)?,
+            DIR_PACKED => decode_packed_dir_frame(&scratch, elems, &mut tids, &mut ptrs)?,
+            _ => return Err(corrupt("bad directory frame kind")),
+        }
+        if tids.first().is_some_and(|&f| f > tid) {
+            return Ok(None); // frames are globally tid-sorted
+        }
+        if tids.last().is_some_and(|&l| l < tid) {
+            continue;
+        }
+        let Some(j) = tids.iter().position(|&t| t == tid) else {
+            return Ok(None);
+        };
+        let live = ptrs.get(j).copied().is_some_and(|p| p != TOMBSTONE_PTR);
+        let patch = if kind == DIR_RAW {
+            DirPatch {
+                offset: payload_start + (j * TUPLE_ENTRY_LEN + 4) as u64,
+                bytes: TOMBSTONE_PTR.to_le_bytes().to_vec(),
+                live,
+            }
+        } else {
+            // decode validated the exact section layout, so the bitmap
+            // is the payload tail.
+            let bm_off = plen
+                .checked_sub(elems.div_ceil(8))
+                .and_then(|b| b.checked_add(j / 8))
+                .ok_or_else(|| corrupt("short directory frame"))?;
+            let old = scratch
+                .get(bm_off)
+                .copied()
+                .ok_or_else(|| corrupt("short directory frame"))?;
+            DirPatch {
+                offset: payload_start + bm_off as u64,
+                bytes: vec![old & !(1u8 << (j % 8))],
+                live,
+            }
+        };
+        return Ok(Some(patch));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iva_storage::{overwrite_in_list, write_contiguous_list, IoStats, PagerOptions};
+
+    fn pager() -> Arc<Pager> {
+        Pager::create_mem(
+            &PagerOptions {
+                page_size: 128,
+                cache_bytes: 8192,
+            },
+            IoStats::new(),
+        )
+    }
+
+    fn sample(n: u32) -> Vec<(u32, u64)> {
+        (0..n)
+            .map(|t| {
+                let ptr = if t % 97 == 3 {
+                    TOMBSTONE_PTR
+                } else {
+                    u64::from(t) * 237 + (u64::from(t) % 5) * 11
+                };
+                (t * 2 + (t % 2), ptr)
+            })
+            .collect()
+    }
+
+    fn decode_all(
+        p: &Arc<Pager>,
+        data: &[u8],
+        encoding: ListEncoding,
+        n: usize,
+    ) -> Vec<(u32, u64)> {
+        // Via the slice decoder...
+        let col = dir_column(data, encoding).unwrap();
+        let slice: Vec<(u32, u64)> = col
+            .tids
+            .iter()
+            .copied()
+            .zip(col.ptrs.iter().copied())
+            .collect();
+        // ...and via the streaming cursor; both must agree.
+        let h = write_contiguous_list(p, data).unwrap();
+        let mut cur = DirCursor::open(p, h, encoding).unwrap();
+        let streamed: Vec<(u32, u64)> = (0..n).map(|_| cur.next_entry().unwrap()).collect();
+        assert_eq!(slice, streamed);
+        slice
+    }
+
+    #[test]
+    fn packed_roundtrip_with_tombstones() {
+        let p = pager();
+        let entries = sample(3000);
+        let framed = encode_dir(&entries);
+        assert!(
+            framed.len() * 4 < entries.len() * TUPLE_ENTRY_LEN,
+            "sequential directories must pack at least 4x ({} vs {})",
+            framed.len(),
+            entries.len() * TUPLE_ENTRY_LEN
+        );
+        assert_eq!(
+            decode_all(&p, &framed, ListEncoding::Packed, entries.len()),
+            entries
+        );
+    }
+
+    #[test]
+    fn raw_mode_matches_legacy_stream() {
+        let p = pager();
+        let entries = sample(500);
+        let mut raw = Vec::new();
+        for &(t, ptr) in &entries {
+            raw.extend_from_slice(&t.to_le_bytes());
+            raw.extend_from_slice(&ptr.to_le_bytes());
+        }
+        assert_eq!(
+            decode_all(&p, &raw, ListEncoding::Raw, entries.len()),
+            entries
+        );
+    }
+
+    #[test]
+    fn non_monotonic_tids_fall_back_to_raw_frames() {
+        let entries: Vec<(u32, u64)> = vec![(5, 10), (3, 20), (3, 30), (9, 40)];
+        let framed = encode_dir(&entries);
+        let col = dir_column(&framed, ListEncoding::Packed).unwrap();
+        assert_eq!(col.tids, vec![5, 3, 3, 9]);
+        assert_eq!(col.ptrs, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn raw_tail_frames_append_after_packed_frames() {
+        let p = pager();
+        let mut entries = sample(1500);
+        let mut framed = encode_dir(&entries);
+        for t in 0..5u32 {
+            let (tid, ptr) = (10_000 + t, 999_000 + u64::from(t) * 17);
+            append_raw_entry(&mut framed, tid, ptr);
+            entries.push((tid, ptr));
+        }
+        assert_eq!(
+            decode_all(&p, &framed, ListEncoding::Packed, entries.len()),
+            entries
+        );
+    }
+
+    #[test]
+    fn skip_entries_lands_anywhere() {
+        let p = pager();
+        let entries = sample(2500);
+        let framed = encode_dir(&entries);
+        let h = write_contiguous_list(&p, &framed).unwrap();
+        for skip in [0usize, 1, 7, 1023, 1024, 1025, 2048, 2499] {
+            let mut cur = DirCursor::open(&p, h, ListEncoding::Packed).unwrap();
+            cur.skip_entries(skip as u64).unwrap();
+            assert_eq!(cur.next_entry().unwrap(), entries[skip], "skip {skip}");
+        }
+        // Skipping in two installments must land at the sum.
+        let mut cur = DirCursor::open(&p, h, ListEncoding::Packed).unwrap();
+        cur.skip_entries(100).unwrap();
+        cur.skip_entries(1500).unwrap();
+        assert_eq!(cur.next_entry().unwrap(), entries[1600]);
+    }
+
+    #[test]
+    fn locate_and_patch_tombstones_in_place() {
+        let p = pager();
+        let mut entries = sample(1400);
+        let mut framed = encode_dir(&entries);
+        append_raw_entry(&mut framed, 90_000, 123_456);
+        entries.push((90_000, 123_456));
+        let h = write_contiguous_list(&p, &framed).unwrap();
+        // One victim inside a packed frame, one in the raw tail frame.
+        for victim in [entries[700].0, 90_000] {
+            let patch = locate_tombstone(&p, h, ListEncoding::Packed, 0, victim)
+                .unwrap()
+                .expect("tid present");
+            assert!(patch.live);
+            overwrite_in_list(&p, h, patch.offset, &patch.bytes).unwrap();
+            // Now dead: locating again reports live = false.
+            let again = locate_tombstone(&p, h, ListEncoding::Packed, 0, victim)
+                .unwrap()
+                .unwrap();
+            assert!(!again.live);
+        }
+        let raw = iva_storage::read_list_to_vec(&p, h).unwrap();
+        let col = dir_column(&raw, ListEncoding::Packed).unwrap();
+        for (i, &(t, ptr)) in entries.iter().enumerate() {
+            assert_eq!(col.tids[i], t);
+            if t == entries[700].0 || t == 90_000 {
+                assert_eq!(col.ptrs[i], TOMBSTONE_PTR, "tid {t} must be tombstoned");
+            } else {
+                assert_eq!(col.ptrs[i], ptr);
+            }
+        }
+        // Absent tids: inside a frame's tid range and past the end.
+        assert!(locate_tombstone(&p, h, ListEncoding::Packed, 0, 1)
+            .unwrap()
+            .is_none());
+        assert!(locate_tombstone(&p, h, ListEncoding::Packed, 0, 95_000)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn locate_raw_matches_legacy_offsets() {
+        let p = pager();
+        let entries = sample(50);
+        let mut raw = Vec::new();
+        for &(t, ptr) in &entries {
+            raw.extend_from_slice(&t.to_le_bytes());
+            raw.extend_from_slice(&ptr.to_le_bytes());
+        }
+        let h = write_contiguous_list(&p, &raw).unwrap();
+        let victim = entries[31].0;
+        let patch = locate_tombstone(&p, h, ListEncoding::Raw, entries.len() as u64, victim)
+            .unwrap()
+            .unwrap();
+        assert_eq!(patch.offset, 31 * TUPLE_ENTRY_LEN as u64 + 4);
+        assert_eq!(patch.bytes, TOMBSTONE_PTR.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn corrupt_frames_error_not_panic() {
+        let entries = sample(300);
+        let framed = encode_dir(&entries);
+        // Truncations at every prefix.
+        for cut in 0..framed.len().min(64) {
+            let _ = dir_column(&framed[..cut], ListEncoding::Packed);
+        }
+        // Bad kind byte.
+        let mut bad = framed.clone();
+        bad[0] = 7;
+        assert!(dir_column(&bad, ListEncoding::Packed).is_err());
+        // Overclaimed element count.
+        let mut bad = framed.clone();
+        bad[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(dir_column(&bad, ListEncoding::Packed).is_err());
+        // Zero elements.
+        let mut bad = framed;
+        bad[1..5].copy_from_slice(&0u32.to_le_bytes());
+        assert!(dir_column(&bad, ListEncoding::Packed).is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0u64, 1, 2, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+            for prev in [0u64, 5, u64::MAX, 1 << 40] {
+                let z = zigzag(v.wrapping_sub(prev) as i64);
+                assert_eq!(prev.wrapping_add(unzigzag(z) as u64), v);
+            }
+        }
+    }
+}

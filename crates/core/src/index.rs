@@ -8,21 +8,23 @@ use std::sync::Arc;
 use iva_storage::vfs::Vfs;
 use iva_storage::{
     overwrite_in_list, read_list_to_vec, IoStats, ListHandle, ListReader, ListWriter, PageId,
-    Pager, PagerOptions,
+    Pager, PagerOptions, LIST_PAGE_HEADER,
 };
 use iva_swt::{AttrId, AttrType, Catalog, RecordPtr, SwtTable, Tid, Tuple, Value};
 use iva_text::{PreparedMatcher, SigCodec};
 
 use crate::config::IvaConfig;
+use crate::dirlist::{append_raw_entry, dir_column, locate_tombstone, DirCursor};
 use crate::error::{IvaError, Result};
-use crate::layout::{AttrEntry, IndexHeader, TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
+use crate::layout::{AttrEntry, IndexHeader, ListEncoding, TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
 use crate::metric::{Metric, WeightScheme};
 use crate::numeric::NumericCodec;
+use crate::packed::{self, PackedReader};
 use crate::pool::{PoolEntry, ResultPool};
 use crate::query::{exact_distance, Query, QueryStats, QueryValue};
 use crate::tier::{
-    build_num_column, build_text_column, parse_tuple_column, ColumnData, HotTier, NumColumn,
-    TextColumn, TierLookup, TupleColumn, TUPLE_KEY,
+    build_num_column, build_text_column, ColumnData, HotTier, NumColumn, TextColumn, TierLookup,
+    TupleColumn, TUPLE_KEY,
 };
 use crate::timing::thread_cpu_time;
 use crate::veclist::{ListType, NumListCursor, TextListCursor};
@@ -55,12 +57,20 @@ pub(crate) enum SharedAttr {
         matcher: PreparedMatcher,
         vlist: ListHandle,
         ty: ListType,
+        /// How the list is stored on disk (cursors dispatch on this).
+        encoding: ListEncoding,
+        /// Raw-layout byte size (== `vlist.len` for raw lists).
+        logical_len: u64,
     },
     Num {
         q: f64,
         codec: NumericCodec,
         vlist: ListHandle,
         ty: ListType,
+        /// How the list is stored on disk (cursors dispatch on this).
+        encoding: ListEncoding,
+        /// Raw-layout byte size (== `vlist.len` for raw lists).
+        logical_len: u64,
     },
     /// Hot-tier fast path: the attribute's signatures are resident as one
     /// contiguous column; `pos_lb` holds the per-tuple-position lower
@@ -70,6 +80,10 @@ pub(crate) enum SharedAttr {
     TextHot {
         col: Arc<TextColumn>,
         pos_lb: Vec<f64>,
+        /// Raw-layout byte size of the backing on-disk list.
+        logical_len: u64,
+        /// Stored (possibly packed) byte size of the backing list.
+        stored_len: u64,
     },
     /// Hot-tier fast path for a numeric attribute: positionalized codes
     /// resident in RAM.
@@ -77,6 +91,10 @@ pub(crate) enum SharedAttr {
         q: f64,
         codec: NumericCodec,
         col: Arc<NumColumn>,
+        /// Raw-layout byte size of the backing on-disk list.
+        logical_len: u64,
+        /// Stored (possibly packed) byte size of the backing list.
+        stored_len: u64,
     },
     /// The attribute was added to the catalog after the last (re)build and
     /// no tuple defines it in the index: every tuple reads as *ndf*.
@@ -106,7 +124,7 @@ fn fused_attrs(shared: &[SharedAttr]) -> Option<Vec<FusedAttr<'_>>> {
         .iter()
         .map(|sa| match sa {
             SharedAttr::TextHot { pos_lb, .. } => Some(FusedAttr::Text(pos_lb)),
-            SharedAttr::NumHot { q, codec, col } => Some(FusedAttr::Num { q: *q, codec, col }),
+            SharedAttr::NumHot { q, codec, col, .. } => Some(FusedAttr::Num { q: *q, codec, col }),
             SharedAttr::AlwaysNdf => Some(FusedAttr::Ndf),
             SharedAttr::Text { .. } | SharedAttr::Num { .. } => None,
         })
@@ -167,10 +185,19 @@ impl IvaIndex {
         drop(page0);
         let mut reader = ListReader::open(Arc::clone(&pager), header.attr_list)?;
         let mut entries = Vec::with_capacity(header.n_attrs as usize);
-        let mut buf = vec![0u8; AttrEntry::ENCODED_LEN];
+        // The attribute-list entry layout is versioned with the index: v2
+        // files carry raw-only entries, v3 adds the encoding tag bit.
+        let mut buf = vec![0u8; AttrEntry::encoded_len(header.version)];
         for _ in 0..header.n_attrs {
             reader.read_exact(&mut buf)?;
-            entries.push(AttrEntry::decode(&buf)?);
+            let mut entry = AttrEntry::decode(&buf, header.version)?;
+            if entry.encoding == ListEncoding::Packed {
+                // A packed list self-describes: its catalog entry defers
+                // the logical length to the 8-byte list prologue.
+                let mut r = ListReader::open(Arc::clone(&pager), entry.vlist)?;
+                entry.logical_len = packed::read_logical_len(&mut r)?;
+            }
+            entries.push(entry);
         }
         let sig_codec = header.config.sig_codec();
         // `IndexHeader::decode` resets `hot_tier_bytes` (runtime knob):
@@ -233,6 +260,11 @@ impl IvaIndex {
         }
     }
 
+    /// Number of attribute-list entries.
+    pub fn n_attrs(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Attribute-list entry (None if the attribute postdates the index).
     pub fn attr_entry(&self, attr: AttrId) -> Option<&AttrEntry> {
         self.entries.get(attr.index())
@@ -241,6 +273,19 @@ impl IvaIndex {
     /// Physical index size in bytes.
     pub fn size_bytes(&self) -> u64 {
         self.pager.size_bytes()
+    }
+
+    /// Stored bytes of the tuple list — the per-query directory scan that
+    /// every plan pays once, independent of the vector-list encoding.
+    /// Always raw, so stored bytes equal logical bytes.
+    pub fn tuple_list_bytes(&self) -> u64 {
+        self.header.tuple_list.len
+    }
+
+    /// Encoding of the tuple directory (Raw for v2/v3 indexes and
+    /// uncompressed builds; Packed for compressed v4 builds).
+    pub fn dir_encoding(&self) -> ListEncoding {
+        self.header.dir_encoding
     }
 
     /// I/O counters of the index file.
@@ -313,21 +358,22 @@ impl IvaIndex {
     }
 
     fn write_entry(&mut self, idx: usize) -> Result<()> {
-        let mut buf = Vec::with_capacity(AttrEntry::ENCODED_LEN);
+        let entry_len = AttrEntry::encoded_len(self.header.version);
+        let mut buf = Vec::with_capacity(entry_len);
         self.entries
             .get(idx)
             .ok_or_else(|| IvaError::Corrupt("attribute entry missing".into()))?
-            .encode(&mut buf);
+            .encode(self.header.version, &mut buf);
         overwrite_in_list(
             &self.pager,
             self.header.attr_list,
-            (idx * AttrEntry::ENCODED_LEN) as u64,
+            (idx * entry_len) as u64,
             &buf,
         )?;
         Ok(())
     }
 
-    fn numeric_codec(&self, entry: &AttrEntry) -> NumericCodec {
+    pub(crate) fn numeric_codec(&self, entry: &AttrEntry) -> NumericCodec {
         let code_bytes =
             ((entry.alpha * self.header.config.numeric_width as f64).ceil() as usize).clamp(1, 8);
         NumericCodec::new(entry.min, entry.max, code_bytes)
@@ -345,15 +391,14 @@ impl IvaIndex {
             .collect()
     }
 
-    /// Test-only access for reference plans that read the durable tuple
-    /// list directly, bypassing the hot tier.
-    #[cfg(test)]
+    /// Crate-internal access for reference plans and the interchange
+    /// exporter, which read the durable tuple list directly, bypassing
+    /// the hot tier.
     pub(crate) fn pager_ref(&self) -> &Arc<Pager> {
         &self.pager
     }
 
-    /// Test-only companion to [`IvaIndex::pager_ref`].
-    #[cfg(test)]
+    /// Crate-internal companion to [`IvaIndex::pager_ref`].
     pub(crate) fn tuple_list_handle(&self) -> iva_storage::ListHandle {
         self.header.tuple_list
     }
@@ -427,7 +472,7 @@ impl IvaIndex {
                     *pos += 1;
                     lb
                 }
-                (SharedAttr::NumHot { q, codec, col }, AttrCursor::NumHot(pos)) => {
+                (SharedAttr::NumHot { q, codec, col, .. }, AttrCursor::NumHot(pos)) => {
                     let lb = col
                         .code_at(*pos)
                         .map(|code| codec.lower_bound_dist(code, *q));
@@ -474,12 +519,19 @@ impl IvaIndex {
                                 .map_err(IvaError::from)?;
                         }
                         let pos_lb = col.fold_positions(&ests);
-                        shared.push(SharedAttr::TextHot { col, pos_lb });
+                        shared.push(SharedAttr::TextHot {
+                            col,
+                            pos_lb,
+                            logical_len: entry.logical_len,
+                            stored_len: entry.vlist.len,
+                        });
                     } else {
                         shared.push(SharedAttr::Text {
                             matcher,
                             vlist: entry.vlist,
                             ty: entry.list_type,
+                            encoding: entry.encoding,
+                            logical_len: entry.logical_len,
                         });
                     }
                 }
@@ -491,13 +543,21 @@ impl IvaIndex {
                     }
                     let codec = self.numeric_codec(entry);
                     if let Some(col) = self.tier_num_column(attr.index(), entry, &codec)? {
-                        shared.push(SharedAttr::NumHot { q: *v, codec, col });
+                        shared.push(SharedAttr::NumHot {
+                            q: *v,
+                            codec,
+                            col,
+                            logical_len: entry.logical_len,
+                            stored_len: entry.vlist.len,
+                        });
                     } else {
                         shared.push(SharedAttr::Num {
                             q: *v,
                             codec,
                             vlist: entry.vlist,
                             ty: entry.list_type,
+                            encoding: entry.encoding,
+                            logical_len: entry.logical_len,
                         });
                     }
                 }
@@ -521,7 +581,7 @@ impl IvaIndex {
             TierLookup::Hit(_) => Ok(None),
             TierLookup::Promote { epoch } => {
                 let tuples = self.tier_tuple_column_for_build()?;
-                let raw = read_list_to_vec(&self.pager, entry.vlist)?;
+                let raw = self.list_raw_bytes(entry)?;
                 let col = Arc::new(build_text_column(
                     &raw,
                     entry.list_type,
@@ -549,7 +609,7 @@ impl IvaIndex {
             TierLookup::Hit(_) => Ok(None),
             TierLookup::Promote { epoch } => {
                 let tuples = self.tier_tuple_column_for_build()?;
-                let raw = read_list_to_vec(&self.pager, entry.vlist)?;
+                let raw = self.list_raw_bytes(entry)?;
                 let col = Arc::new(build_num_column(
                     &raw,
                     entry.list_type,
@@ -564,6 +624,26 @@ impl IvaIndex {
         }
     }
 
+    /// The raw-layout bytes of an attribute's vector list: a straight
+    /// extraction for raw lists, a frame-wise decode for packed ones. The
+    /// decoded image is transient (column builds consume and drop it), so
+    /// packed lists promote to the hot tier with the same peak footprint
+    /// as raw ones.
+    pub(crate) fn list_raw_bytes(&self, entry: &AttrEntry) -> Result<Vec<u8>> {
+        match entry.encoding {
+            ListEncoding::Raw => Ok(read_list_to_vec(&self.pager, entry.vlist)?),
+            ListEncoding::Packed => {
+                let r = ListReader::open(Arc::clone(&self.pager), entry.vlist)?;
+                if entry.is_text {
+                    PackedReader::new_text(r, entry.list_type, &self.sig_codec)?.read_to_vec()
+                } else {
+                    let codec = self.numeric_codec(entry);
+                    PackedReader::new_num(r, entry.list_type, &codec)?.read_to_vec()
+                }
+            }
+        }
+    }
+
     /// The tuple-list tids a column build positionalizes against: the
     /// resident tuple column if valid, else a transient extraction.
     fn tier_tuple_column_for_build(&self) -> Result<Arc<TupleColumn>> {
@@ -571,7 +651,7 @@ impl IvaIndex {
             return Ok(col);
         }
         let raw = read_list_to_vec(&self.pager, self.header.tuple_list)?;
-        Ok(Arc::new(parse_tuple_column(&raw)?))
+        Ok(Arc::new(dir_column(&raw, self.header.dir_encoding)?))
     }
 
     /// Score the tuple list in the tier and promote it when hot.
@@ -580,7 +660,7 @@ impl IvaIndex {
         let est = TUPLE_ENTRY_LEN * self.header.n_tuples as usize;
         if let TierLookup::Promote { epoch } = self.tier.lookup(TUPLE_KEY, handle, est) {
             let raw = read_list_to_vec(&self.pager, handle)?;
-            let col = Arc::new(parse_tuple_column(&raw)?);
+            let col = Arc::new(dir_column(&raw, self.header.dir_encoding)?);
             self.tier
                 .insert(TUPLE_KEY, handle, ColumnData::Tuple(col), epoch);
         }
@@ -603,9 +683,10 @@ impl IvaIndex {
         if let Some(ColumnData::Tuple(col)) = self.tier.peek(TUPLE_KEY, self.header.tuple_list) {
             return Ok(TupleSource::Col { col, pos: 0 });
         }
-        Ok(TupleSource::Pager(ListReader::open(
-            Arc::clone(&self.pager),
+        Ok(TupleSource::Pager(DirCursor::open(
+            &self.pager,
             self.header.tuple_list,
+            self.header.dir_encoding,
         )?))
     }
 
@@ -621,17 +702,38 @@ impl IvaIndex {
     ) {
         for sa in shared {
             match sa {
-                SharedAttr::Text { vlist, .. } | SharedAttr::Num { vlist, .. } => {
+                SharedAttr::Text {
+                    vlist, logical_len, ..
+                }
+                | SharedAttr::Num {
+                    vlist, logical_len, ..
+                } => {
                     stats.cold_tier_attrs += 1;
                     stats.cold_tier_bytes_scanned += vlist.len;
+                    stats.list_bytes_logical += logical_len;
+                    stats.list_bytes_physical += self.padded_list_bytes(vlist.len);
                 }
-                SharedAttr::TextHot { col, .. } => {
+                SharedAttr::TextHot {
+                    col,
+                    logical_len,
+                    stored_len,
+                    ..
+                } => {
                     stats.hot_tier_attrs += 1;
                     stats.hot_tier_bytes_scanned += col.bytes() as u64;
+                    stats.list_bytes_logical += logical_len;
+                    stats.list_bytes_physical += self.padded_list_bytes(*stored_len);
                 }
-                SharedAttr::NumHot { col, .. } => {
+                SharedAttr::NumHot {
+                    col,
+                    logical_len,
+                    stored_len,
+                    ..
+                } => {
                     stats.hot_tier_attrs += 1;
                     stats.hot_tier_bytes_scanned += col.bytes() as u64;
+                    stats.list_bytes_logical += logical_len;
+                    stats.list_bytes_physical += self.padded_list_bytes(*stored_len);
                 }
                 SharedAttr::AlwaysNdf => {}
             }
@@ -641,6 +743,19 @@ impl IvaIndex {
         } else {
             stats.cold_tier_bytes_scanned += self.header.tuple_list.len;
         }
+        // The directory's logical size is the raw element stream; a
+        // packed directory stores (and therefore sweeps) fewer bytes.
+        stats.list_bytes_logical += self.header.n_tuples * TUPLE_ENTRY_LEN as u64;
+        stats.list_bytes_physical += self.padded_list_bytes(self.header.tuple_list.len);
+    }
+
+    /// Physical page-padded footprint of `stored` list-data bytes: lists
+    /// occupy whole pager pages, each with [`LIST_PAGE_HEADER`] bytes of
+    /// chaining overhead.
+    fn padded_list_bytes(&self, stored: u64) -> u64 {
+        let page = self.pager.page_size() as u64;
+        let cap = page.saturating_sub(LIST_PAGE_HEADER as u64).max(1);
+        stored.div_ceil(cap) * page
     }
 
     /// Open one scan cursor per query attribute, positioned at the head of
@@ -651,14 +766,37 @@ impl IvaIndex {
             .iter()
             .map(|sa| {
                 Ok(match sa {
-                    SharedAttr::Text { vlist, ty, .. } => AttrCursor::Text(TextListCursor::new(
-                        ListReader::open(Arc::clone(&self.pager), *vlist)?,
-                        *ty,
-                    )),
-                    SharedAttr::Num { vlist, ty, .. } => AttrCursor::Num(NumListCursor::new(
-                        ListReader::open(Arc::clone(&self.pager), *vlist)?,
-                        *ty,
-                    )),
+                    SharedAttr::Text {
+                        vlist,
+                        ty,
+                        encoding,
+                        ..
+                    } => {
+                        let r = ListReader::open(Arc::clone(&self.pager), *vlist)?;
+                        AttrCursor::Text(match encoding {
+                            ListEncoding::Raw => TextListCursor::new(r, *ty),
+                            ListEncoding::Packed => TextListCursor::new_packed(
+                                PackedReader::new_text(r, *ty, &self.sig_codec)?,
+                                *ty,
+                            ),
+                        })
+                    }
+                    SharedAttr::Num {
+                        vlist,
+                        ty,
+                        codec,
+                        encoding,
+                        ..
+                    } => {
+                        let r = ListReader::open(Arc::clone(&self.pager), *vlist)?;
+                        AttrCursor::Num(match encoding {
+                            ListEncoding::Raw => NumListCursor::new(r, *ty),
+                            ListEncoding::Packed => NumListCursor::new_packed(
+                                PackedReader::new_num(r, *ty, codec)?,
+                                *ty,
+                            ),
+                        })
+                    }
                     SharedAttr::TextHot { .. } => AttrCursor::TextHot(0),
                     SharedAttr::NumHot { .. } => AttrCursor::NumHot(0),
                     SharedAttr::AlwaysNdf => AttrCursor::AlwaysNdf,
@@ -893,6 +1031,14 @@ impl IvaIndex {
                 .clone();
             let mut w = ListWriter::append_to(Arc::clone(&self.pager), entry.vlist)?;
             let mut new_entry = entry;
+            // Build the raw-layout bytes of the new elements first; how
+            // they land on disk depends on the list's encoding tag. `gap`
+            // counts the positional ndf elements (each `gap_pad` bytes
+            // raw) owed since the last element on this attribute.
+            let mut elem_buf: Vec<u8> = Vec::new();
+            let mut n_elems = 0usize;
+            let mut gap = 0u64;
+            let mut gap_pad: Vec<u8> = Vec::new();
             match value {
                 Value::Text(strings) => {
                     let sigs: Vec<Vec<u8>> = strings
@@ -902,30 +1048,32 @@ impl IvaIndex {
                     match new_entry.list_type {
                         ListType::I => {
                             for sig in &sigs {
-                                w.append_u32(tid32)?;
-                                w.append(sig)?;
+                                elem_buf.extend_from_slice(&tid32.to_le_bytes());
+                                elem_buf.extend_from_slice(sig);
                                 new_entry.elem_count += 1;
+                                n_elems += 1;
                             }
                         }
                         ListType::II => {
-                            w.append_u32(tid32)?;
-                            w.append_u8(sigs.len() as u8)?;
+                            elem_buf.extend_from_slice(&tid32.to_le_bytes());
+                            elem_buf.push(sigs.len() as u8);
                             for sig in &sigs {
-                                w.append(sig)?;
+                                elem_buf.extend_from_slice(sig);
                             }
                             new_entry.elem_count += 1;
+                            n_elems = 1;
                         }
                         ListType::III => {
                             // Lazy positional padding for tuples inserted
                             // since the last element on this attribute.
-                            for _ in new_entry.elem_count..tuple_index {
-                                w.append_u8(0)?;
-                            }
-                            w.append_u8(sigs.len() as u8)?;
+                            gap = tuple_index - new_entry.elem_count;
+                            gap_pad.push(0);
+                            elem_buf.push(sigs.len() as u8);
                             for sig in &sigs {
-                                w.append(sig)?;
+                                elem_buf.extend_from_slice(sig);
                             }
                             new_entry.elem_count = tuple_index + 1;
+                            n_elems = 1;
                         }
                         ListType::IV => {
                             return Err(IvaError::Corrupt(
@@ -944,23 +1092,19 @@ impl IvaIndex {
                     }
                     let codec = self.numeric_codec(&new_entry);
                     let code = codec.encode(*v);
-                    let mut code_buf = Vec::with_capacity(8);
                     match new_entry.list_type {
                         ListType::I => {
-                            w.append_u32(tid32)?;
-                            codec.write_code(code, &mut code_buf);
-                            w.append(&code_buf)?;
+                            elem_buf.extend_from_slice(&tid32.to_le_bytes());
+                            codec.write_code(code, &mut elem_buf);
                             new_entry.elem_count += 1;
+                            n_elems = 1;
                         }
                         ListType::IV => {
-                            let mut ndf_buf = Vec::with_capacity(8);
-                            codec.write_code(codec.ndf_code(), &mut ndf_buf);
-                            for _ in new_entry.elem_count..tuple_index {
-                                w.append(&ndf_buf)?;
-                            }
-                            codec.write_code(code, &mut code_buf);
-                            w.append(&code_buf)?;
+                            gap = tuple_index - new_entry.elem_count;
+                            codec.write_code(codec.ndf_code(), &mut gap_pad);
+                            codec.write_code(code, &mut elem_buf);
                             new_entry.elem_count = tuple_index + 1;
+                            n_elems = 1;
                         }
                         _ => {
                             return Err(IvaError::Corrupt(
@@ -970,8 +1114,44 @@ impl IvaIndex {
                     }
                 }
             }
+            match new_entry.encoding {
+                ListEncoding::Raw => {
+                    for _ in 0..gap {
+                        w.append(&gap_pad)?;
+                    }
+                    w.append(&elem_buf)?;
+                }
+                ListEncoding::Packed => {
+                    // Frame the tail so the packed decoder keeps working:
+                    // the positional gap becomes a 9-byte ndf-run frame
+                    // (however long the run) and the new elements one RAW
+                    // frame — a mixed-encoding list segment.
+                    let mut framed =
+                        Vec::with_capacity(elem_buf.len() + 2 * packed::FRAME_HEADER_LEN);
+                    if gap > 0 {
+                        packed::append_frame(&mut framed, packed::FRAME_NDF_RUN, gap as usize, &[]);
+                    }
+                    if n_elems > 0 {
+                        packed::append_frame(&mut framed, packed::FRAME_RAW, n_elems, &elem_buf);
+                    }
+                    w.append(&framed)?;
+                }
+            }
+            // Logical length grows by the raw-layout equivalent either way
+            // (for raw lists this keeps it equal to the stored length).
+            new_entry.logical_len += gap * gap_pad.len() as u64 + elem_buf.len() as u64;
             new_entry.df += 1;
             new_entry.vlist = w.finish()?;
+            if new_entry.encoding == ListEncoding::Packed {
+                // The catalog defers a packed list's logical length to the
+                // list prologue — rewrite it in place to cover the tail.
+                overwrite_in_list(
+                    &self.pager,
+                    new_entry.vlist,
+                    0,
+                    &new_entry.logical_len.to_le_bytes(),
+                )?;
+            }
             *self
                 .entries
                 .get_mut(i)
@@ -979,10 +1159,21 @@ impl IvaIndex {
             self.write_entry(i)?;
         }
 
-        // Tuple list.
+        // Tuple list: a framed directory takes the element as a
+        // one-element raw tail frame (rebuilds repack); a raw directory
+        // appends the legacy 12-byte element.
         let mut tw = ListWriter::append_to(Arc::clone(&self.pager), self.header.tuple_list)?;
-        tw.append_u32(tid32)?;
-        tw.append_u64(ptr.0)?;
+        match self.header.dir_encoding {
+            ListEncoding::Raw => {
+                tw.append_u32(tid32)?;
+                tw.append_u64(ptr.0)?;
+            }
+            ListEncoding::Packed => {
+                let mut frame = Vec::with_capacity(TUPLE_ENTRY_LEN + 9);
+                append_raw_entry(&mut frame, tid32, ptr.0);
+                tw.append(&frame)?;
+            }
+        }
         self.header.tuple_list = tw.finish()?;
         self.header.n_tuples += 1;
         self.write_header()?;
@@ -1012,7 +1203,7 @@ impl IvaIndex {
                 .ok_or_else(|| IvaError::Corrupt("catalog entry missing during sync".into()))?;
             let vlist = ListWriter::create(Arc::clone(&self.pager))?.finish()?;
             let entry = AttrEntry::empty(vlist, def.ty == AttrType::Text, self.header.config.alpha);
-            entry.encode(&mut appended);
+            entry.encode(self.header.version, &mut appended);
             self.entries.push(entry);
         }
         let mut w = ListWriter::append_to(Arc::clone(&self.pager), self.header.attr_list)?;
@@ -1031,36 +1222,39 @@ impl IvaIndex {
             return Err(IvaError::TidOverflow(tid));
         }
         let tid32 = tid as u32;
-        let mut reader = ListReader::open(Arc::clone(&self.pager), self.header.tuple_list)?;
-        for i in 0..self.header.n_tuples {
-            let t = reader.read_u32()?;
-            let ptr = reader.read_u64()?;
-            if t == tid32 {
-                if ptr == TOMBSTONE_PTR {
-                    return Ok(false);
-                }
-                self.ensure_dirty()?;
-                overwrite_in_list(
-                    &self.pager,
-                    self.header.tuple_list,
-                    i * TUPLE_ENTRY_LEN as u64 + 4,
-                    &TOMBSTONE_PTR.to_le_bytes(),
-                )?;
-                self.header.n_deleted += 1;
-                self.write_header()?;
-                // The tombstone rewrites a `ptr` *in place*, so the tuple
-                // list's handle is unchanged and handle validation cannot
-                // catch this — explicit invalidation is mandatory. Vector
-                // lists are untouched; attribute columns stay valid (the
-                // scan skips tombstoned positions by ptr, same as disk).
-                self.tier.invalidate(TUPLE_KEY);
-                return Ok(true);
-            }
-            if t > tid32 {
-                break;
-            }
+        // Locate the element and the in-place write that tombstones it:
+        // the 8-byte `ptr` rewrite of a raw element, or the one-byte
+        // liveness-bit clear of a packed frame (the stored pointer stays
+        // behind to keep the frame's delta chain intact).
+        let Some(patch) = locate_tombstone(
+            &self.pager,
+            self.header.tuple_list,
+            self.header.dir_encoding,
+            self.header.n_tuples,
+            tid32,
+        )?
+        else {
+            return Ok(false);
+        };
+        if !patch.live {
+            return Ok(false);
         }
-        Ok(false)
+        self.ensure_dirty()?;
+        overwrite_in_list(
+            &self.pager,
+            self.header.tuple_list,
+            patch.offset,
+            &patch.bytes,
+        )?;
+        self.header.n_deleted += 1;
+        self.write_header()?;
+        // The tombstone rewrites bytes *in place*, so the tuple list's
+        // handle is unchanged and handle validation cannot catch this —
+        // explicit invalidation is mandatory. Vector lists are
+        // untouched; attribute columns stay valid (the scan skips
+        // tombstoned positions by ptr, same as disk).
+        self.tier.invalidate(TUPLE_KEY);
+        Ok(true)
     }
 
     /// Look up the record pointer of a live tuple by scanning the tuple
@@ -1070,10 +1264,13 @@ impl IvaIndex {
             return Err(IvaError::TidOverflow(tid));
         }
         let tid32 = tid as u32;
-        let mut reader = ListReader::open(Arc::clone(&self.pager), self.header.tuple_list)?;
+        let mut reader = DirCursor::open(
+            &self.pager,
+            self.header.tuple_list,
+            self.header.dir_encoding,
+        )?;
         for _ in 0..self.header.n_tuples {
-            let t = reader.read_u32()?;
-            let ptr = reader.read_u64()?;
+            let (t, ptr) = reader.next_entry()?;
             if t == tid32 {
                 return Ok((ptr != TOMBSTONE_PTR).then_some(RecordPtr(ptr)));
             }
@@ -1132,7 +1329,7 @@ impl IvaIndex {
 /// yield the identical `(tid, ptr)` sequence — mixed sources across the
 /// workers of one plan are therefore harmless.
 pub(crate) enum TupleSource {
-    Pager(ListReader),
+    Pager(DirCursor),
     Col { col: Arc<TupleColumn>, pos: usize },
 }
 
@@ -1140,7 +1337,7 @@ impl TupleSource {
     /// The next `(tid, ptr)` element.
     pub(crate) fn next_entry(&mut self) -> Result<(u32, u64)> {
         match self {
-            TupleSource::Pager(r) => Ok((r.read_u32()?, r.read_u64()?)),
+            TupleSource::Pager(c) => c.next_entry(),
             TupleSource::Col { col, pos } => {
                 let e = col
                     .entry(*pos)
@@ -1154,10 +1351,7 @@ impl TupleSource {
     /// Skip the first `n` elements (segmented scans start mid-list).
     pub(crate) fn skip_entries(&mut self, n: u64) -> Result<()> {
         match self {
-            TupleSource::Pager(r) => {
-                r.skip(n * TUPLE_ENTRY_LEN as u64)?;
-                Ok(())
-            }
+            TupleSource::Pager(c) => c.skip_entries(n),
             TupleSource::Col { pos, .. } => {
                 *pos = n as usize;
                 Ok(())

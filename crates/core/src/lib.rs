@@ -23,12 +23,15 @@
 
 mod build;
 mod config;
+mod dirlist;
 mod error;
 mod index;
+mod interchange;
 mod layout;
 mod metric;
 mod multi;
 mod numeric;
+mod packed;
 mod parallel;
 mod pool;
 mod query;
@@ -41,10 +44,15 @@ pub use build::{build_index, IndexTarget};
 pub use config::IvaConfig;
 pub use error::{IvaError, Result};
 pub use index::{ExplainAttr, IvaIndex, QueryExplain, QueryOutcome};
-pub use layout::{AttrEntry, IndexHeader, TOMBSTONE_PTR, TUPLE_ENTRY_LEN};
+pub use interchange::{export_index, import_index, ExportedAttr, ExportedIndex};
+pub use layout::{
+    AttrEntry, IndexHeader, ListEncoding, INDEX_VERSION, INDEX_VERSION_V2, INDEX_VERSION_V3,
+    TOMBSTONE_PTR, TUPLE_ENTRY_LEN,
+};
 pub use metric::{Metric, MetricKind, WeightScheme};
 pub use multi::BatchItem;
 pub use numeric::NumericCodec;
+pub use packed::{encode_packed_num_list, encode_packed_text_list, PackedReader};
 pub use parallel::QueryOptions;
 pub use pool::{PoolEntry, ResultPool};
 pub use query::{attr_difference, exact_distance, Query, QueryStats, QueryValue};

@@ -132,6 +132,16 @@ pub struct QueryStats {
     pub hot_tier_bytes_scanned: u64,
     /// Vector-list bytes scanned through the pager for cold attributes.
     pub cold_tier_bytes_scanned: u64,
+    /// *Logical* (raw-layout-equivalent) bytes of the lists behind this
+    /// query's filter phase: the tuple list plus every query attribute's
+    /// vector list at its uncompressed size, whatever encoding or tier
+    /// actually served the scan. The denominator of the compression ratio.
+    pub list_bytes_logical: u64,
+    /// *Physical* page-padded bytes of the same lists as stored: each
+    /// list's on-disk (possibly packed) size rounded up to whole pager
+    /// pages. `list_bytes_logical / list_bytes_physical` > 1 means the
+    /// packed encodings shrank this query's filter working set.
+    pub list_bytes_physical: u64,
 }
 
 impl QueryStats {

@@ -187,9 +187,8 @@ mod tests {
     use crate::build::{build_index, IndexTarget};
     use crate::config::IvaConfig;
     use crate::metric::MetricKind;
-    use iva_storage::{IoStats, ListReader, PagerOptions};
+    use iva_storage::{IoStats, PagerOptions};
     use iva_swt::{AttrId, Tuple, Value};
-    use std::sync::Arc;
 
     fn opts() -> PagerOptions {
         PagerOptions {
@@ -276,12 +275,10 @@ mod tests {
         {
             let shared = index.prepare_query(query).unwrap();
             let mut cursors = index.open_cursors(&shared).unwrap();
-            let mut treader =
-                ListReader::open(Arc::clone(index.pager_ref()), index.tuple_list_handle()).unwrap();
+            let mut tsrc = index.open_tuple_source().unwrap();
             let mut diffs = vec![0.0f64; query.len()];
             for _ in 0..index.n_tuples() {
-                let tid = treader.read_u32().unwrap();
-                let ptr = treader.read_u64().unwrap();
+                let (tid, ptr) = tsrc.next_entry().unwrap();
                 if ptr == TOMBSTONE_PTR {
                     index.skip_cursors(&shared, &mut cursors, tid).unwrap();
                     continue;

@@ -24,6 +24,7 @@ use iva_text::{PreparedMatcher, SigCodec};
 
 use crate::error::{IvaError, Result};
 use crate::numeric::NumericCodec;
+use crate::packed::PackedReader;
 
 /// Width of a tuple id in list elements (the paper's `ltid`).
 pub const LTID: usize = 4;
@@ -200,6 +201,63 @@ pub fn encode_num_list(
     out
 }
 
+/// Element-stream source for a cursor: the raw list layout served straight
+/// off buffer-pool pages, or the packed codec's frame-wise decoder
+/// ([`crate::packed`]). Both present the identical raw element byte
+/// stream, so the cursor state machines below are encoding-oblivious and
+/// compressed lists are bit-identical to uncompressed ones by
+/// construction.
+pub(crate) enum ElemReader {
+    /// Raw (v2) layout: reads borrow buffer-pool pages directly.
+    Raw(ListReader),
+    /// Packed (v3) layout: reads borrow the current decoded frame.
+    Packed(PackedReader),
+}
+
+impl ElemReader {
+    fn at_end(&self) -> bool {
+        match self {
+            ElemReader::Raw(r) => r.at_end(),
+            ElemReader::Packed(r) => r.at_end(),
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        match self {
+            ElemReader::Raw(r) => r.remaining(),
+            ElemReader::Packed(r) => r.remaining(),
+        }
+    }
+
+    fn read_u8(&mut self) -> Result<u8> {
+        match self {
+            ElemReader::Raw(r) => Ok(r.read_u8()?),
+            ElemReader::Packed(r) => r.read_u8(),
+        }
+    }
+
+    fn read_u32(&mut self) -> Result<u32> {
+        match self {
+            ElemReader::Raw(r) => Ok(r.read_u32()?),
+            ElemReader::Packed(r) => r.read_u32(),
+        }
+    }
+
+    fn read_bytes(&mut self, n: usize) -> Result<&[u8]> {
+        match self {
+            ElemReader::Raw(r) => Ok(r.read_bytes(n)?),
+            ElemReader::Packed(r) => r.read_bytes(n),
+        }
+    }
+
+    fn skip(&mut self, n: u64) -> Result<()> {
+        match self {
+            ElemReader::Raw(r) => Ok(r.skip(n)?),
+            ElemReader::Packed(r) => r.skip(n),
+        }
+    }
+}
+
 /// Scanning cursor over a text vector list, implementing the synchronized
 /// `MoveTo(currentTuple)` / freeze semantics of Sec. IV-A.
 ///
@@ -208,7 +266,7 @@ pub fn encode_num_list(
 /// path copies no element bytes; the shared immutable [`PreparedMatcher`]
 /// kernel evaluates each view in place.
 pub struct TextListCursor {
-    reader: ListReader,
+    reader: ElemReader,
     ty: ListType,
     /// For keyed types: tid of the element whose header has been read but
     /// whose payload has not yet been consumed ("frozen" pointer).
@@ -216,11 +274,21 @@ pub struct TextListCursor {
 }
 
 impl TextListCursor {
-    /// Open a cursor at the head of a list.
+    /// Open a cursor at the head of a raw-encoded list.
     pub fn new(reader: ListReader, ty: ListType) -> Self {
         debug_assert!(matches!(ty, ListType::I | ListType::II | ListType::III));
         Self {
-            reader,
+            reader: ElemReader::Raw(reader),
+            ty,
+            peek_tid: None,
+        }
+    }
+
+    /// Open a cursor at the head of a packed-encoded list.
+    pub fn new_packed(reader: PackedReader, ty: ListType) -> Self {
+        debug_assert!(matches!(ty, ListType::I | ListType::II | ListType::III));
+        Self {
+            reader: ElemReader::Packed(reader),
             ty,
             peek_tid: None,
         }
@@ -433,7 +501,7 @@ fn num_on_text_type() -> IvaError {
 /// bookkeeping. I/O accounting is unchanged: runs borrow pages the reader
 /// already charged to the stats when it loaded them.
 pub struct NumListCursor {
-    reader: ListReader,
+    reader: ElemReader,
     ty: ListType,
     peek_tid: Option<u32>,
     /// Type IV block path: pinned page holding a run of whole codes.
@@ -445,11 +513,24 @@ pub struct NumListCursor {
 }
 
 impl NumListCursor {
-    /// Open a cursor at the head of a list.
+    /// Open a cursor at the head of a raw-encoded list.
     pub fn new(reader: ListReader, ty: ListType) -> Self {
         debug_assert!(matches!(ty, ListType::I | ListType::IV));
         Self {
-            reader,
+            reader: ElemReader::Raw(reader),
+            ty,
+            peek_tid: None,
+            run_page: None,
+            run_pos: 0,
+            run_end: 0,
+        }
+    }
+
+    /// Open a cursor at the head of a packed-encoded list.
+    pub fn new_packed(reader: PackedReader, ty: ListType) -> Self {
+        debug_assert!(matches!(ty, ListType::I | ListType::IV));
+        Self {
+            reader: ElemReader::Packed(reader),
             ty,
             peek_tid: None,
             run_page: None,
@@ -472,15 +553,28 @@ impl NumListCursor {
             if self.reader.at_end() {
                 return Ok(None);
             }
-            let whole = (self.reader.in_page_remaining()? / cb) * cb;
-            if whole >= cb {
-                let (page, range) = self.reader.read_run_page(whole)?;
-                self.run_pos = range.start;
-                self.run_end = range.end;
-                self.run_page = Some(page);
-            } else {
-                // The next code crosses the page boundary: copy fallback.
-                return self.read_code(codec).map(Some);
+            let pinned = match &mut self.reader {
+                ElemReader::Raw(r) => {
+                    let whole = (r.in_page_remaining()? / cb) * cb;
+                    if whole >= cb {
+                        let (page, range) = r.read_run_page(whole)?;
+                        Some((page, range))
+                    } else {
+                        None // next code crosses the page boundary
+                    }
+                }
+                // Packed lists decode frame-wise into a private buffer; the
+                // pinned whole-page run is a raw-layout fast path, so codes
+                // go through the (frame-buffered) copy reads instead.
+                ElemReader::Packed(_) => None,
+            };
+            match pinned {
+                Some((page, range)) => {
+                    self.run_pos = range.start;
+                    self.run_end = range.end;
+                    self.run_page = Some(page);
+                }
+                None => return self.read_code(codec).map(Some),
             }
         }
         let bytes = self
@@ -865,6 +959,72 @@ mod tests {
         assert!(cur.advance(0, &codec, &matcher).unwrap().is_some());
         assert!(cur.advance(1, &codec, &matcher).unwrap().is_none());
         assert!(cur.advance(2, &codec, &matcher).unwrap().is_none());
+    }
+
+    #[test]
+    fn packed_cursors_match_raw_bit_for_bit() {
+        use crate::packed::{encode_packed_num_list, encode_packed_text_list, PackedReader};
+        let codec = SigCodec::new(0.3, 2);
+        let p = pager();
+        let all_tids: Vec<u32> = (0..64).collect();
+        let items: Vec<(u32, Vec<Vec<u8>>)> = (0..64u32)
+            .filter(|t| t % 3 != 1)
+            .map(|t| {
+                (
+                    t,
+                    (0..(t as usize % 2) + 1)
+                        .map(|i| codec.encode_to_vec(format!("v{t}-{i}").as_bytes()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let matcher = PreparedMatcher::new(&codec, b"v7-0");
+        for ty in [ListType::I, ListType::II, ListType::III] {
+            let raw = encode_text_list(ty, &items, &all_tids);
+            let packed = encode_packed_text_list(ty, &items, &all_tids);
+            let mut rc = TextListCursor::new(reader_for(&p, &raw), ty);
+            let pr = PackedReader::new_text(reader_for(&p, &packed), ty, &codec).unwrap();
+            let mut pc = TextListCursor::new_packed(pr, ty);
+            for tid in 0..64u32 {
+                if tid % 5 == 4 {
+                    rc.skip(tid, &codec).unwrap();
+                    pc.skip(tid, &codec).unwrap();
+                    continue;
+                }
+                let a = rc.advance(tid, &codec, &matcher).unwrap();
+                let b = pc.advance(tid, &codec, &matcher).unwrap();
+                assert_eq!(
+                    a.map(f64::to_bits),
+                    b.map(f64::to_bits),
+                    "type {ty} tid {tid}"
+                );
+            }
+        }
+
+        let ncodec = NumericCodec::new(0.0, 500.0, 2);
+        let nitems: Vec<(u32, u64)> = (0..64u32)
+            .filter(|t| t % 4 != 2)
+            .map(|t| (t, ncodec.encode(f64::from(t * 7 % 500))))
+            .collect();
+        for ty in [ListType::I, ListType::IV] {
+            let raw = encode_num_list(ty, &nitems, &all_tids, &ncodec);
+            let packed = encode_packed_num_list(ty, &nitems, &all_tids, &ncodec);
+            let mut rc = NumListCursor::new(reader_for(&p, &raw), ty);
+            let pr = PackedReader::new_num(reader_for(&p, &packed), ty, &ncodec).unwrap();
+            let mut pc = NumListCursor::new_packed(pr, ty);
+            for tid in 0..64u32 {
+                if tid % 5 == 4 {
+                    rc.skip(tid, &ncodec).unwrap();
+                    pc.skip(tid, &ncodec).unwrap();
+                    continue;
+                }
+                assert_eq!(
+                    rc.advance(tid, &ncodec).unwrap(),
+                    pc.advance(tid, &ncodec).unwrap(),
+                    "type {ty} tid {tid}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -342,4 +342,99 @@ proptest! {
             }
         }
     }
+
+    /// Compression is invisible in the answer: a packed-list build returns
+    /// the same top-k (ids, distance bits, tie-breaks), `table_accesses`,
+    /// and `tuples_scanned` as an uncompressed build of the same table,
+    /// for every list organization, randomized (α, n) geometry, serial and
+    /// parallel execution — including after inserts append raw-layout
+    /// tails onto packed lists (mixed-encoding segments).
+    #[test]
+    fn compressed_queries_bit_identical_on_all_list_types(
+        rows in 150u32..400,
+        extra in 0u32..12,
+        alpha in 0.1f64..0.5,
+        gram_n in 2usize..5,
+        k in 1usize..12,
+    ) {
+        let mut table = all_list_types_table(rows);
+        let packed_cfg = IvaConfig { alpha, n: gram_n, compress_lists: true, ..Default::default() };
+        let raw_cfg = IvaConfig { compress_lists: false, ..packed_cfg };
+        let mut packed =
+            build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), packed_cfg).unwrap();
+        let mut raw =
+            build_index(&table, IndexTarget::Mem, &opts(), IoStats::new(), raw_cfg).unwrap();
+        // The compressed build must actually pack something (the dense
+        // numeric Type IV list at minimum), or this test silently weakens.
+        let n_packed = (0..4u32)
+            .filter(|a| {
+                packed.attr_entry(AttrId(*a)).unwrap().encoding == iva_core::ListEncoding::Packed
+            })
+            .count();
+        prop_assert!(n_packed >= 1, "no list compressed");
+        prop_assert!(packed.size_bytes() <= raw.size_bytes());
+
+        let q = Query::new()
+            .text(AttrId(0), "product listing 0042")
+            .text(AttrId(1), "note 33")
+            .num(AttrId(2), 42.0)
+            .num(AttrId(3), 26.0);
+        for threads in [1usize, 3] {
+            let o = QueryOptions { threads: Some(threads), measured: false, refine_batch: None };
+            let a = packed
+                .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
+                .unwrap();
+            let b = raw
+                .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
+                .unwrap();
+            prop_assert_eq!(a.results.len(), b.results.len());
+            for (x, y) in a.results.iter().zip(&b.results) {
+                prop_assert_eq!(x.tid, y.tid, "threads={}", threads);
+                prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "threads={}", threads);
+            }
+            prop_assert_eq!(a.stats.table_accesses, b.stats.table_accesses);
+            prop_assert_eq!(a.stats.tuples_scanned, b.stats.tuples_scanned);
+            // Both sides account the same raw-equivalent list bytes; the
+            // packed side never stores (page-padded) more than raw.
+            prop_assert_eq!(a.stats.list_bytes_logical, b.stats.list_bytes_logical);
+            prop_assert!(a.stats.list_bytes_physical <= b.stats.list_bytes_physical);
+        }
+
+        // Appends create raw tail frames on packed lists (mixed-encoding
+        // segments): the same tuples go into both indexes so they stay
+        // logically identical. The physical-size inequality is no longer
+        // guaranteed (frame headers cost bytes raw appends don't pay),
+        // but the answer must remain bit-identical.
+        for i in 0..extra {
+            let mut tup = Tuple::new();
+            tup.set(AttrId(0), Value::text(format!("appended listing {i}")));
+            if i % 2 == 0 {
+                tup.set(AttrId(2), Value::num(f64::from(i % 89)));
+            }
+            let (tid, ptr) = table.insert(&tup).unwrap();
+            packed.insert(tid, ptr, &tup, table.catalog()).unwrap();
+            raw.insert(tid, ptr, &tup, table.catalog()).unwrap();
+        }
+        for threads in [1usize, 3] {
+            let o = QueryOptions { threads: Some(threads), measured: false, refine_batch: None };
+            let a = packed
+                .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
+                .unwrap();
+            let b = raw
+                .query_opts(&table, &q, k, &MetricKind::L2, WeightScheme::Equal, &o)
+                .unwrap();
+            prop_assert_eq!(a.results.len(), b.results.len());
+            for (x, y) in a.results.iter().zip(&b.results) {
+                prop_assert_eq!(x.tid, y.tid, "post-insert threads={}", threads);
+                prop_assert_eq!(
+                    x.dist.to_bits(), y.dist.to_bits(), "post-insert threads={}", threads
+                );
+            }
+            prop_assert_eq!(a.stats.table_accesses, b.stats.table_accesses);
+            prop_assert_eq!(a.stats.tuples_scanned, b.stats.tuples_scanned);
+            prop_assert_eq!(a.stats.list_bytes_logical, b.stats.list_bytes_logical);
+        }
+        // And both agree with brute force over the final table state.
+        check_equivalence(&table, &packed, &q, k, &MetricKind::L2, WeightScheme::Equal)?;
+    }
 }

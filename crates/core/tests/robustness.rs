@@ -174,12 +174,15 @@ mod fuzz_decode {
     //! Fuzz-style hardening of the index-layout decoders: arbitrary and
     //! mutated header/entry bytes must produce typed errors, never panics.
 
-    use iva_core::{AttrEntry, IndexHeader, IvaConfig, ListType};
+    use iva_core::{
+        AttrEntry, IndexHeader, IvaConfig, ListEncoding, ListType, INDEX_VERSION, INDEX_VERSION_V2,
+    };
     use iva_storage::{ListHandle, PageId};
     use proptest::prelude::*;
 
     fn sample_header() -> IndexHeader {
         IndexHeader {
+            version: INDEX_VERSION,
             config: IvaConfig::default(),
             n_attrs: 4,
             n_tuples: 1_000,
@@ -196,10 +199,11 @@ mod fuzz_decode {
             },
             table_watermark: 77_777,
             dirty: false,
+            dir_encoding: ListEncoding::Raw,
         }
     }
 
-    fn sample_entry_bytes() -> Vec<u8> {
+    fn sample_entry_bytes(version: u32) -> Vec<u8> {
         let entry = AttrEntry {
             vlist: ListHandle {
                 head: PageId(4),
@@ -214,9 +218,11 @@ mod fuzz_decode {
             alpha: 0.25,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            encoding: ListEncoding::Raw,
+            logical_len: 900,
         };
         let mut out = Vec::new();
-        entry.encode(&mut out);
+        entry.encode(version, &mut out);
         out
     }
 
@@ -228,7 +234,8 @@ mod fuzz_decode {
             bytes in proptest::collection::vec(any::<u8>(), 0..200),
         ) {
             let _ = IndexHeader::decode(&bytes);
-            let _ = AttrEntry::decode(&bytes);
+            let _ = AttrEntry::decode(&bytes, INDEX_VERSION);
+            let _ = AttrEntry::decode(&bytes, INDEX_VERSION_V2);
             let _ = ListHandle::decode(&bytes);
         }
 
@@ -245,12 +252,168 @@ mod fuzz_decode {
             let _ = IndexHeader::decode(&mutated);
             let _ = IndexHeader::decode(&header[..cut.index(header.len())]);
 
-            let entry = sample_entry_bytes();
-            let mut mutated = entry.clone();
-            let e_at = at.index(mutated.len());
-            mutated[e_at] ^= xor;
-            let _ = AttrEntry::decode(&mutated);
-            let _ = AttrEntry::decode(&entry[..cut.index(entry.len())]);
+            for version in [INDEX_VERSION, INDEX_VERSION_V2] {
+                let entry = sample_entry_bytes(version);
+                let mut mutated = entry.clone();
+                let e_at = at.index(mutated.len());
+                mutated[e_at] ^= xor;
+                let _ = AttrEntry::decode(&mutated, version);
+                let _ = AttrEntry::decode(&entry[..cut.index(entry.len())], version);
+            }
+        }
+    }
+}
+
+mod fuzz_packed {
+    //! Fuzz-style hardening of the compressed vector-list decoders: a
+    //! packed list whose bytes are flipped, truncated, or replaced
+    //! wholesale must decode to `IvaError::Corrupt` (or, rarely, a
+    //! still-valid image) — never panic, never allocate unboundedly.
+
+    use std::sync::Arc;
+
+    use iva_core::{
+        encode_num_list, encode_packed_num_list, encode_packed_text_list, encode_text_list,
+        ListType, NumericCodec, PackedReader,
+    };
+    use iva_storage::{write_contiguous_list, IoStats, ListReader, Pager, PagerOptions};
+    use iva_text::SigCodec;
+    use proptest::prelude::*;
+
+    fn opts() -> PagerOptions {
+        PagerOptions {
+            page_size: 512,
+            cache_bytes: 64 * 1024,
+        }
+    }
+
+    fn sig_codec() -> SigCodec {
+        SigCodec::new(0.25, 64)
+    }
+
+    fn num_codec() -> NumericCodec {
+        NumericCodec::new(0.0, 1000.0, 2)
+    }
+
+    /// A small but structurally rich corpus: every organization, with
+    /// multi-string tuples, ndf gaps, and enough elements for several
+    /// packed sections.
+    fn corpus() -> Vec<(Vec<u8>, Vec<u8>, bool, ListType)> {
+        let sc = sig_codec();
+        let nc = num_codec();
+        let all_tids: Vec<u32> = (0..120).map(|i| i * 3).collect();
+        let text_items: Vec<(u32, Vec<Vec<u8>>)> = all_tids
+            .iter()
+            .filter(|t| *t % 15 != 0)
+            .map(|&t| {
+                let strings: Vec<Vec<u8>> = (0..1 + (t as usize % 3))
+                    .map(|j| sc.encode_to_vec(format!("value {t} {j}").as_bytes()))
+                    .collect();
+                (t, strings)
+            })
+            .collect();
+        let num_items: Vec<(u32, u64)> = all_tids
+            .iter()
+            .filter(|t| *t % 9 != 0)
+            .map(|&t| (t, nc.encode(f64::from(t))))
+            .collect();
+        let mut out = Vec::new();
+        for ty in [ListType::I, ListType::II, ListType::III] {
+            out.push((
+                encode_packed_text_list(ty, &text_items, &all_tids),
+                encode_text_list(ty, &text_items, &all_tids),
+                true,
+                ty,
+            ));
+        }
+        for ty in [ListType::I, ListType::IV] {
+            out.push((
+                encode_packed_num_list(ty, &num_items, &all_tids, &nc),
+                encode_num_list(ty, &num_items, &all_tids, &nc),
+                false,
+                ty,
+            ));
+        }
+        out
+    }
+
+    /// Store `stored` (prologue + frames) in a fresh in-memory list file
+    /// and decode it as a packed list. Must return, not panic; the caller
+    /// decides whether success is acceptable.
+    fn drive(stored: &[u8], is_text: bool, ty: ListType) -> Option<Vec<u8>> {
+        let pager = Pager::create_mem(&opts(), IoStats::new());
+        let _header = pager.allocate_page().unwrap();
+        let handle = write_contiguous_list(&pager, stored).unwrap();
+        let reader = ListReader::open(Arc::clone(&pager), handle).unwrap();
+        let packed = if is_text {
+            PackedReader::new_text(reader, ty, &sig_codec())
+        } else {
+            PackedReader::new_num(reader, ty, &num_codec())
+        };
+        packed.ok().and_then(|p| p.read_to_vec().ok())
+    }
+
+    #[test]
+    fn intact_corpus_decodes_exactly() {
+        for (stored, raw, is_text, ty) in corpus() {
+            let got = drive(&stored, is_text, ty)
+                .unwrap_or_else(|| panic!("intact {ty:?} failed to decode"));
+            assert_eq!(got, raw, "{ty:?} round-trip mismatch");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn mutated_packed_lists_never_panic(
+            pick in any::<prop::sample::Index>(),
+            at in any::<prop::sample::Index>(),
+            xor in 1u8..255,
+            cut in any::<prop::sample::Index>(),
+        ) {
+            let corpus = corpus();
+            let (stored, raw, is_text, ty) = &corpus[pick.index(corpus.len())];
+            let logical = raw.len() as u64;
+
+            // Single-byte corruption anywhere in the stored image:
+            // prologue, frame kinds, element counts, payload lengths,
+            // delta widths, first tuple-ids — all reachable.
+            let mut mutated = stored.clone();
+            let m_at = at.index(mutated.len());
+            mutated[m_at] ^= xor;
+            if let Some(got) = drive(&mutated, *is_text, *ty) {
+                // A surviving decode must still honor the length contract
+                // its (possibly mutated) prologue declares.
+                let declared = u64::from_le_bytes(mutated[..8].try_into().unwrap());
+                prop_assert_eq!(got.len() as u64, declared);
+            }
+
+            // Truncation at every prefix: partial prologues, partial
+            // headers, partial payloads, missing tail frames.
+            let _ = drive(&stored[..cut.index(stored.len())], *is_text, *ty);
+
+            // Lying prologue: a logical length off by the mutation byte
+            // in either direction must be caught, not trusted.
+            let mut lying = stored.clone();
+            lying[..8].copy_from_slice(&(logical + u64::from(xor)).to_le_bytes());
+            prop_assert!(drive(&lying, *is_text, *ty).is_none());
+            if logical >= u64::from(xor) {
+                lying[..8].copy_from_slice(&(logical - u64::from(xor)).to_le_bytes());
+                prop_assert!(drive(&lying, *is_text, *ty).is_none());
+            }
+        }
+
+        #[test]
+        fn arbitrary_bytes_as_packed_lists_never_panic(
+            bytes in proptest::collection::vec(any::<u8>(), 0..300),
+        ) {
+            for ty in [ListType::I, ListType::II, ListType::III] {
+                let _ = drive(&bytes, true, ty);
+            }
+            for ty in [ListType::I, ListType::IV] {
+                let _ = drive(&bytes, false, ty);
+            }
         }
     }
 }

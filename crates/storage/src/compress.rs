@@ -1,0 +1,184 @@
+//! lint:scope(no-panic-decode)
+//! Bit-packing primitives for the compressed list encodings.
+//!
+//! The compressed vector-list format (iva-core's `packed` module) stores
+//! monotone tuple-id deltas and small numeric codes as fixed-width
+//! bit-packed runs, the classic inverted-list compression of
+//! compression-based index structures. This module provides the two
+//! primitives: a packer that appends `n` values at `width` bits each
+//! (LSB-first within and across bytes), and a checked unpacker that reads
+//! them back without ever indexing past the buffer — truncated input
+//! surfaces as `None`, never a panic, because these bytes come straight
+//! off disk.
+
+/// Minimal number of bits needed to represent `v` (`0` for `v == 0`).
+pub fn bit_width(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Exact byte length of `n` values packed at `width` bits each.
+pub fn packed_len(n: usize, width: u32) -> usize {
+    (n * width as usize).div_ceil(8)
+}
+
+/// Append `values` to `out`, each truncated to `width` bits, packed
+/// LSB-first. `width == 0` appends nothing: the caller's contract is that
+/// every value is zero (the unpacker synthesizes zeros back).
+pub fn pack_bits(values: &[u64], width: u32, out: &mut Vec<u8>) {
+    if width == 0 {
+        return;
+    }
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    for &v in values {
+        acc |= u128::from(v & mask) << nbits;
+        nbits += width;
+        while nbits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+}
+
+/// Checked LSB-first reader over a bit-packed byte slice.
+///
+/// Every accessor is bounds-checked against the borrowed buffer; a
+/// truncated or short buffer ends the [`Iterator`] with `None` instead
+/// of a slice panic.
+#[derive(Debug)]
+pub struct BitUnpacker<'a> {
+    buf: &'a [u8],
+    bit_pos: usize,
+    width: u32,
+}
+
+impl<'a> BitUnpacker<'a> {
+    /// Reader over `buf` at `width` bits per value. `None` if the width is
+    /// not representable (`> 64`) — a corrupt on-disk tag, not a caller bug.
+    pub fn new(buf: &'a [u8], width: u32) -> Option<Self> {
+        if width > 64 {
+            return None;
+        }
+        Some(Self {
+            buf,
+            bit_pos: 0,
+            width,
+        })
+    }
+}
+
+impl Iterator for BitUnpacker<'_> {
+    type Item = u64;
+
+    /// Next value, or `None` once fewer than `width` bits remain. At width
+    /// 0 this returns `Some(0)` forever; the caller bounds the count.
+    fn next(&mut self) -> Option<u64> {
+        if self.width == 0 {
+            return Some(0);
+        }
+        let end = self.bit_pos.checked_add(self.width as usize)?;
+        if end > self.buf.len().checked_mul(8)? {
+            return None;
+        }
+        let first = self.bit_pos / 8;
+        let shift = self.bit_pos % 8;
+        let nbytes = (shift + self.width as usize).div_ceil(8);
+        let mut acc: u128 = 0;
+        for (i, &b) in self.buf.get(first..first + nbytes)?.iter().enumerate() {
+            acc |= u128::from(b) << (8 * i);
+        }
+        acc >>= shift;
+        let mask = if self.width == 64 {
+            u128::from(u64::MAX)
+        } else {
+            (1u128 << self.width) - 1
+        };
+        self.bit_pos = end;
+        Some((acc & mask) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(bit_width(0), 0);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(255), 8);
+        assert_eq!(bit_width(256), 9);
+        assert_eq!(bit_width(u64::MAX), 64);
+        assert_eq!(packed_len(0, 13), 0);
+        assert_eq!(packed_len(8, 1), 1);
+        assert_eq!(packed_len(9, 1), 2);
+        assert_eq!(packed_len(3, 64), 24);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for width in 0..=64u32 {
+            let max = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..97u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & max)
+                .collect();
+            let mut buf = Vec::new();
+            pack_bits(&values, width, &mut buf);
+            assert_eq!(buf.len(), packed_len(values.len(), width), "w={width}");
+            let mut u = BitUnpacker::new(&buf, width).unwrap();
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(u.next(), Some(v), "w={width} i={i}");
+            }
+            if width > 0 {
+                // Fewer than `width` bits remain past the run.
+                let mut tail = u;
+                let spare_bits = buf.len() * 8 - values.len() * width as usize;
+                if (spare_bits as u32) < width {
+                    assert_eq!(tail.next(), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_is_none_not_panic() {
+        let values = [1023u64; 10];
+        let mut buf = Vec::new();
+        pack_bits(&values, 10, &mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut u = BitUnpacker::new(&buf, 10).unwrap();
+        let decoded: Vec<u64> = std::iter::from_fn(|| u.next()).collect();
+        assert!(decoded.len() < values.len());
+        assert!(decoded.iter().all(|&v| v == 1023));
+    }
+
+    #[test]
+    fn bad_width_rejected() {
+        assert!(BitUnpacker::new(&[0u8; 8], 65).is_none());
+        assert!(BitUnpacker::new(&[], 64).is_some());
+        assert_eq!(BitUnpacker::new(&[], 64).unwrap().next(), None);
+    }
+
+    #[test]
+    fn width_zero_synthesizes_zeros() {
+        let mut buf = Vec::new();
+        pack_bits(&[0, 0, 0], 0, &mut buf);
+        assert!(buf.is_empty());
+        let mut u = BitUnpacker::new(&buf, 0).unwrap();
+        assert_eq!(u.next(), Some(0));
+        assert_eq!(u.next(), Some(0));
+    }
+}

@@ -23,6 +23,7 @@ mod bytelog;
 mod cache;
 pub mod codec;
 pub mod commit;
+pub mod compress;
 mod crc;
 mod disk_model;
 mod error;

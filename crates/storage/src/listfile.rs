@@ -226,6 +226,14 @@ impl ListWriter {
 /// the page reference so callers can hold them across further reads. Both
 /// paths touch exactly the pages the copying path would, so I/O accounting
 /// is identical.
+///
+/// Besides the pager-level counters, the reader feeds two list-granular
+/// [`IoStats`](crate::IoStats) counters: *logical* list bytes (data bytes
+/// delivered to the caller, padding-free) and *physical* list bytes (one
+/// full page size per page the cursor enters, padding included). Each is
+/// charged at exactly one site — logical where bytes are handed out,
+/// physical in [`ListReader::open`] / `advance_page` — so a read that
+/// crosses any number of page boundaries is never double-counted.
 pub struct ListReader {
     pager: Arc<Pager>,
     page: PageRef,
@@ -243,6 +251,7 @@ impl ListReader {
     pub fn open(pager: Arc<Pager>, handle: ListHandle) -> Result<Self> {
         let page = pager.read_page(handle.head)?;
         let page_used = checked_page_used(&page, pager.page_size())?;
+        pager.stats().record_list_physical(pager.page_size() as u64);
         Ok(Self {
             pager,
             page,
@@ -279,6 +288,9 @@ impl ListReader {
         self.page = self.pager.read_page(next)?;
         self.page_used = checked_page_used(&self.page, self.pager.page_size())?;
         self.offset_in_page = 0;
+        self.pager
+            .stats()
+            .record_list_physical(self.pager.page_size() as u64);
         Ok(())
     }
 
@@ -309,6 +321,7 @@ impl ListReader {
             self.offset_in_page += n;
             self.pos += n as u64;
         }
+        self.pager.stats().record_list_logical(buf.len() as u64);
         Ok(())
     }
 
@@ -338,12 +351,16 @@ impl ListReader {
             let start = LIST_PAGE_HEADER + self.offset_in_page;
             self.offset_in_page += n;
             self.pos += n as u64;
+            self.pager.stats().record_list_logical(n as u64);
             return self
                 .page
                 .get(start..start + n)
                 .ok_or_else(|| StorageError::Corrupt("list page view out of bounds".into()));
         }
         // Page-crossing fallback: one copy through the reusable spill.
+        // `read_exact` charges the logical bytes (and `advance_page` the
+        // spanned pages), so no counter is touched here — charging on this
+        // path too would double-count every boundary-crossing read.
         let mut spill = std::mem::take(&mut self.spill);
         spill.clear();
         spill.resize(n, 0);
@@ -392,6 +409,7 @@ impl ListReader {
         let start = LIST_PAGE_HEADER + self.offset_in_page;
         self.offset_in_page += n;
         self.pos += n as u64;
+        self.pager.stats().record_list_logical(n as u64);
         Ok((Arc::clone(&self.page), start..start + n))
     }
 
@@ -750,6 +768,54 @@ mod tests {
             }
         }
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn boundary_crossing_reads_charge_list_bytes_exactly_once() {
+        // 64 B pages, 54 B data capacity: a 120 B read starting at offset
+        // 10 spans three pages, i.e. crosses a page boundary twice in one
+        // `read_bytes` call. The spill fallback delegates to `read_exact`,
+        // which must be the only site charging the logical bytes and
+        // `advance_page` the only site charging the spanned pages —
+        // charging in `read_bytes` as well would double-count both.
+        let p = mem_pager();
+        let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        let h = write_contiguous_list(&p, &data).unwrap();
+
+        let before = p.stats().snapshot();
+        let mut r = ListReader::open(Arc::clone(&p), h).unwrap();
+        r.skip(10).unwrap();
+        let view = r.read_bytes(120).unwrap().to_vec();
+        assert_eq!(view, &data[10..130]);
+        let d = p.stats().snapshot().since(&before);
+        // Exactly the 120 delivered bytes, charged once.
+        assert_eq!(d.logical_list_bytes, 120);
+        // Exactly the three pages entered (open + two boundary crossings).
+        assert_eq!(d.physical_list_bytes, 3 * 64);
+
+        // The same bytes read element-wise (views + copies + run pages)
+        // charge identically: logical counts deliveries, not call shapes.
+        let before = p.stats().snapshot();
+        let mut r = ListReader::open(Arc::clone(&p), h).unwrap();
+        let mut delivered = 0u64;
+        while !r.at_end() {
+            match delivered % 3 {
+                0 => delivered += r.read_bytes(7.min(r.remaining() as usize)).unwrap().len() as u64,
+                1 => {
+                    r.read_u8().unwrap();
+                    delivered += 1;
+                }
+                _ => {
+                    let n = r.in_page_remaining().unwrap().min(5);
+                    let (_, range) = r.read_run_page(n).unwrap();
+                    delivered += range.len() as u64;
+                }
+            }
+        }
+        assert_eq!(delivered, 200);
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!(d.logical_list_bytes, 200);
+        assert_eq!(d.physical_list_bytes, 4 * 64); // ceil(200 / 54) pages
     }
 
     #[test]

@@ -34,6 +34,13 @@ struct Counters {
     random_bytes_read: AtomicU64,
     /// Bytes written to disk.
     bytes_written: AtomicU64,
+    /// List-data bytes delivered to list readers (element payload only,
+    /// no page headers or padding). For a compressed list this counts the
+    /// stored (compressed) bytes the scan actually consumed.
+    logical_list_bytes: AtomicU64,
+    /// Page-granular bytes entered by list readers: one full page size per
+    /// page a reader stepped into, padding included.
+    physical_list_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of the counters; subtract two to get a delta.
@@ -55,6 +62,10 @@ pub struct IoSnapshot {
     pub random_bytes_read: u64,
     /// Bytes written to disk.
     pub bytes_written: u64,
+    /// List-data bytes delivered to list readers (no padding).
+    pub logical_list_bytes: u64,
+    /// Page-granular bytes entered by list readers (padding included).
+    pub physical_list_bytes: u64,
 }
 
 impl IoStats {
@@ -90,6 +101,18 @@ impl IoStats {
         self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_list_logical(&self, bytes: u64) {
+        self.inner
+            .logical_list_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_list_physical(&self, bytes: u64) {
+        self.inner
+            .physical_list_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Copy the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         let c = &*self.inner;
@@ -102,6 +125,8 @@ impl IoStats {
             seq_bytes_read: c.seq_bytes_read.load(Ordering::Relaxed),
             random_bytes_read: c.random_bytes_read.load(Ordering::Relaxed),
             bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            logical_list_bytes: c.logical_list_bytes.load(Ordering::Relaxed),
+            physical_list_bytes: c.physical_list_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -122,6 +147,12 @@ impl IoSnapshot {
                 .random_bytes_read
                 .saturating_sub(earlier.random_bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            logical_list_bytes: self
+                .logical_list_bytes
+                .saturating_sub(earlier.logical_list_bytes),
+            physical_list_bytes: self
+                .physical_list_bytes
+                .saturating_sub(earlier.physical_list_bytes),
         }
     }
 
@@ -157,6 +188,22 @@ mod tests {
         assert_eq!(d.bytes_written, 4096);
         assert_eq!(d.cache_hits, 0);
         assert_eq!(end.bytes_read(), 8192);
+    }
+
+    #[test]
+    fn list_byte_counters_accumulate_and_diff() {
+        let s = IoStats::new();
+        s.record_list_logical(100);
+        s.record_list_physical(4096);
+        let mid = s.snapshot();
+        s.record_list_logical(28);
+        s.record_list_physical(4096);
+        let end = s.snapshot();
+        assert_eq!(mid.logical_list_bytes, 100);
+        assert_eq!(mid.physical_list_bytes, 4096);
+        let d = end.since(&mid);
+        assert_eq!(d.logical_list_bytes, 28);
+        assert_eq!(d.physical_list_bytes, 4096);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ivactl stats   <dir>                                sizes and counts
 //! ivactl gen     <dir> <n_tuples>                     load a synthetic CWMS dataset
 //! ivactl rebuild <dir>                                compact table + rebuild index
+//! ivactl export-ciff <dir> <out-file>                 export the index (CIFF-style)
 //! ```
 //!
 //! Values are typed by the catalog: numbers on numerical attributes parse
@@ -34,7 +35,8 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: ivactl <create|define|insert|search|stats|gen|rebuild> <dir> ...";
+    let usage =
+        "usage: ivactl <create|define|insert|search|stats|gen|rebuild|export-ciff> <dir> ...";
     let cmd = args.first().ok_or(usage)?;
     let dir = Path::new(args.get(1).ok_or(usage)?);
     let opts = IvaDbOptions::default();
@@ -174,6 +176,22 @@ fn run(args: &[String]) -> Result<(), String> {
             db.rebuild().map_err(|e| e.to_string())?;
             db.flush().map_err(|e| e.to_string())?;
             println!("rebuilt table + index");
+            Ok(())
+        }
+        "export-ciff" => {
+            let out = Path::new(args.get(2).ok_or("export-ciff needs an output file")?);
+            let db = IvaDb::open(dir, opts).map_err(|e| e.to_string())?;
+            let bytes = iva_baselines::export_iva(db.index()).map_err(|e| e.to_string())?;
+            iva_file::vfs::write_vec(&iva_file::vfs::RealVfs, out, &bytes)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "exported {} tuples / {} attributes: {} index bytes -> {} CIFF bytes at {}",
+                db.index().n_tuples(),
+                db.table().catalog().len(),
+                db.index().size_bytes(),
+                bytes.len(),
+                out.display()
+            );
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{usage}")),

@@ -50,9 +50,9 @@ pub struct IvaDbOptions {
     /// deleted tuples reaches β, the table file and the iVA-file are
     /// rebuilt. Set to 1.0 to disable automatic cleaning.
     pub cleaning_threshold: f64,
-    /// Default metric for [`IvaDb::search`].
+    /// Default metric for [`IvaDb::execute`].
     pub metric: MetricKind,
-    /// Default weight scheme for [`IvaDb::search`].
+    /// Default weight scheme for [`IvaDb::execute`].
     pub weights: WeightScheme,
 }
 

@@ -95,7 +95,9 @@ pub use iva_swt::{AttrId, AttrType, Catalog, SwtTable, Tid, Tuple, Value};
 /// The virtual-filesystem seam and its fault-injecting implementation
 /// (crash testing, deterministic torture harnesses).
 pub mod vfs {
-    pub use iva_storage::{FaultKind, FaultVfs, MemVfs, PlannedFault, RealVfs, Vfs, VfsFile};
+    pub use iva_storage::{
+        write_vec, FaultKind, FaultVfs, MemVfs, PlannedFault, RealVfs, Vfs, VfsFile,
+    };
 }
 
 /// Baseline methods from the paper's evaluation.

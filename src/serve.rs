@@ -270,6 +270,13 @@ pub struct ServingStats {
     pub hot_tier_bytes_scanned: u64,
     /// Bytes the filter phases pulled through the pager (cold lists).
     pub cold_tier_bytes_scanned: u64,
+    /// Logical (raw-layout-equivalent) bytes of the vector lists behind
+    /// every answered request's filter phase — the denominator of the
+    /// serving-level compression ratio.
+    pub list_bytes_logical: u64,
+    /// Physical page-padded stored bytes of the same lists (packed lists
+    /// count at their compressed size).
+    pub list_bytes_physical: u64,
 }
 
 /// One queued request and the channel its answer goes back on.
@@ -291,6 +298,8 @@ struct ServerState<E: Engine> {
     cold_tier_attrs: AtomicU64,
     hot_tier_bytes_scanned: AtomicU64,
     cold_tier_bytes_scanned: AtomicU64,
+    list_bytes_logical: AtomicU64,
+    list_bytes_physical: AtomicU64,
 }
 
 impl<E: Engine> ServerState<E> {
@@ -304,6 +313,8 @@ impl<E: Engine> ServerState<E> {
             cold_tier_attrs: self.cold_tier_attrs.load(Ordering::Relaxed),
             hot_tier_bytes_scanned: self.hot_tier_bytes_scanned.load(Ordering::Relaxed),
             cold_tier_bytes_scanned: self.cold_tier_bytes_scanned.load(Ordering::Relaxed),
+            list_bytes_logical: self.list_bytes_logical.load(Ordering::Relaxed),
+            list_bytes_physical: self.list_bytes_physical.load(Ordering::Relaxed),
         }
     }
 
@@ -319,6 +330,10 @@ impl<E: Engine> ServerState<E> {
             .fetch_add(s.hot_tier_bytes_scanned, Ordering::Relaxed);
         self.cold_tier_bytes_scanned
             .fetch_add(s.cold_tier_bytes_scanned, Ordering::Relaxed);
+        self.list_bytes_logical
+            .fetch_add(s.list_bytes_logical, Ordering::Relaxed);
+        self.list_bytes_physical
+            .fetch_add(s.list_bytes_physical, Ordering::Relaxed);
     }
 }
 
@@ -351,6 +366,8 @@ impl<E: Engine + 'static> Server<E> {
             cold_tier_attrs: AtomicU64::new(0),
             hot_tier_bytes_scanned: AtomicU64::new(0),
             cold_tier_bytes_scanned: AtomicU64::new(0),
+            list_bytes_logical: AtomicU64::new(0),
+            list_bytes_physical: AtomicU64::new(0),
         });
         let max_batch = opts.max_batch.max(1);
         let n_workers = opts.workers.max(1);

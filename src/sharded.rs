@@ -230,6 +230,8 @@ impl ShardedIvaDb {
             stats.cold_tier_attrs += out.stats.cold_tier_attrs;
             stats.hot_tier_bytes_scanned += out.stats.hot_tier_bytes_scanned;
             stats.cold_tier_bytes_scanned += out.stats.cold_tier_bytes_scanned;
+            stats.list_bytes_logical += out.stats.list_bytes_logical;
+            stats.list_bytes_physical += out.stats.list_bytes_physical;
             stats.filter_nanos = stats.filter_nanos.max(out.stats.filter_nanos);
             stats.refine_nanos = stats.refine_nanos.max(out.stats.refine_nanos);
             for e in out.results {

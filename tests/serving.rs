@@ -203,6 +203,10 @@ fn served_answers_match_direct_execution() {
     assert_eq!(stats.submitted, queries.len() as u64);
     assert_eq!(stats.completed, queries.len() as u64);
     assert!(stats.batches >= 1 && stats.batches <= stats.completed);
+    // Every answered request's filter phase touched vector lists, so the
+    // compression-visibility counters must have accumulated.
+    assert!(stats.list_bytes_logical > 0);
+    assert!(stats.list_bytes_physical > 0);
     server.shutdown();
 }
 
