@@ -11,7 +11,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use iva_storage::vfs::Vfs;
-use iva_storage::{write_contiguous_list, IoStats, Pager, PagerOptions};
+use iva_storage::{write_contiguous_list, DomainPin, IoStats, Pager, PagerOptions};
 use iva_swt::{SwtTable, Value};
 
 use crate::config::IvaConfig;
@@ -56,6 +56,26 @@ pub fn build_index(
     opts: &PagerOptions,
     io: IoStats,
     config: IvaConfig,
+) -> Result<IvaIndex> {
+    build_index_with_domains(table, target, opts, io, config, None)
+}
+
+/// [`build_index`] with per-attribute numeric domain pins.
+///
+/// The incremental index fixes an attribute's quantisation domain at its
+/// first insert and never widens it (Sec. III-C renewal happens only on
+/// an explicit rebuild). A segmented store must reproduce those exact
+/// codes when it seals a memtable or merges segments, otherwise
+/// lower-bound estimates — and with them `table_accesses` — drift from
+/// the monolithic engine. `domains[attr]`, when pinned, overrides the
+/// min/max this build would otherwise derive from the scanned values.
+pub fn build_index_with_domains(
+    table: &SwtTable,
+    target: IndexTarget<'_>,
+    opts: &PagerOptions,
+    io: IoStats,
+    config: IvaConfig,
+    domains: Option<&[DomainPin]>,
 ) -> Result<IvaIndex> {
     config.validate().map_err(IvaError::InvalidArgument)?;
     let sig_codec = config.sig_codec();
@@ -143,11 +163,14 @@ pub fn build_index(
         } else {
             let values = &num_items[i];
             let df = values.len() as u64;
-            let (min, max) = values
-                .iter()
-                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, v)| {
-                    (lo.min(*v), hi.max(*v))
-                });
+            let (min, max) = match domains.and_then(|d| d.get(i)) {
+                Some(pin) if pin.is_pinned() => (pin.min, pin.max),
+                _ => values
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, v)| {
+                        (lo.min(*v), hi.max(*v))
+                    }),
+            };
             let codec = NumericCodec::new(min, max, config.numeric_code_bytes());
             let items: Vec<(u32, u64)> =
                 values.iter().map(|(t, v)| (*t, codec.encode(*v))).collect();

@@ -1,0 +1,98 @@
+//! Background compaction for the segmented write path.
+//!
+//! Compaction merges a run of sealed segments into one fresh segment in
+//! two phases mirroring the serving layer's read/write split:
+//!
+//! 1. **Prepare** ([`prepare_merge`]) — read-only over the store: copy the
+//!    sources' live records into staged files named by the *next* segment
+//!    id and build the merged index (pinned domains, so no value is ever
+//!    re-quantised). Readers keep scanning the old segments throughout;
+//!    nothing references the staged files yet.
+//! 2. **Commit** — the caller swaps the manifest (sources out, merged
+//!    segment in) through the atomic commit record and only then removes
+//!    the source files.
+//!
+//! A crash before the manifest rename leaves the old manifest and some
+//! staged files under the still-unallocated id — collected by
+//! [`collect_orphans`] at the next open. A crash after the rename leaves
+//! the new manifest and possibly the source files — same collector, other
+//! arm. Either way every segment is fully merged or fully intact, never
+//! half-visible.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use iva_storage::vfs::Vfs;
+use iva_storage::{DomainPin, IoStats, Manifest, PagerOptions};
+use iva_swt::{Catalog, Tid};
+
+use crate::config::IvaConfig;
+use crate::error::Result;
+use crate::segment::{remove_segment_files, segment_files_exist, write_segment, Segment};
+
+/// A staged (prepared but uncommitted) merge of sealed segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionPlan {
+    /// Id the merged segment's files are staged under.
+    pub new_id: u64,
+    /// Ids of the segments the merge replaces, oldest first.
+    pub source_ids: Vec<u64>,
+    /// Tid range of the merged segment; `None` when every source record
+    /// was tombstoned (the commit then just drops the sources).
+    pub range: Option<(Tid, Tid)>,
+}
+
+/// Phase 1 of a compaction: stage the merge of `sources` (oldest first)
+/// under segment id `new_id`. Only touches new files — concurrent readers
+/// of the source segments are unaffected. The staged build's I/O is
+/// charged to `io`.
+#[allow(clippy::too_many_arguments)]
+pub fn prepare_merge(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    new_id: u64,
+    sources: &[&Segment],
+    catalog: &Catalog,
+    pager: &PagerOptions,
+    config: IvaConfig,
+    domains: &[DomainPin],
+    io: &IoStats,
+) -> Result<CompactionPlan> {
+    let tables: Vec<_> = sources.iter().map(|s| s.table()).collect();
+    let range = write_segment(
+        vfs,
+        dir,
+        new_id,
+        &tables,
+        catalog,
+        pager,
+        config,
+        domains,
+        io.clone(),
+        io.clone(),
+    )?;
+    Ok(CompactionPlan {
+        new_id,
+        source_ids: sources.iter().map(|s| s.id()).collect(),
+        range,
+    })
+}
+
+/// Remove every segment file not referenced by `manifest`: staged files
+/// under `manifest.next_segment_id` (a seal or compaction that crashed
+/// before its manifest commit) and files of already-superseded ids (a
+/// compaction that crashed after its commit but before garbage
+/// collection). Returns the ids that had files removed.
+pub fn collect_orphans(vfs: &dyn Vfs, dir: &Path, manifest: &Manifest) -> Result<Vec<u64>> {
+    let mut removed = Vec::new();
+    for id in 0..=manifest.next_segment_id {
+        if manifest.segments.iter().any(|s| s.id == id) {
+            continue;
+        }
+        if segment_files_exist(vfs, dir, id) {
+            remove_segment_files(vfs, dir, id)?;
+            removed.push(id);
+        }
+    }
+    Ok(removed)
+}

@@ -38,6 +38,42 @@ pub struct QueryOutcome {
     pub stats: QueryStats,
 }
 
+/// Carry-through state for a top-k scan spanning several index files.
+///
+/// A segmented store answers one query by scanning its tiers in tid order
+/// — oldest sealed segment first, memtable last — threading one candidate
+/// pool and one statistics block through every per-segment scan. Because
+/// each per-segment scan replays the same admission test against the
+/// *carried* pool, the concatenated scan admits exactly the candidates a
+/// monolithic index holding all tuples would admit, and the final
+/// [`QueryOutcome`] is bit-identical to the single-file engine's (see
+/// DESIGN.md §14).
+#[derive(Debug)]
+pub struct ScanCarry {
+    /// The candidate pool shared by every tier of the scan.
+    pub pool: ResultPool,
+    /// Counters accumulated across every tier of the scan.
+    pub stats: QueryStats,
+}
+
+impl ScanCarry {
+    /// Fresh carry state for a top-`k` query.
+    pub fn new(k: usize) -> Self {
+        Self {
+            pool: ResultPool::new(k),
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Finish the scan: drain the pool into ascending-distance order.
+    pub fn finish(self) -> QueryOutcome {
+        QueryOutcome {
+            results: self.pool.into_sorted(),
+            stats: self.stats,
+        }
+    }
+}
+
 /// The inverted vector approximation file.
 pub struct IvaIndex {
     pager: Arc<Pager>,
@@ -851,11 +887,47 @@ impl IvaIndex {
         refine_batch: usize,
     ) -> Result<QueryOutcome> {
         let lambda = self.resolve_weights(query, weights);
+        let mut carry = ScanCarry::new(k);
+        self.query_carry_serial(
+            table,
+            query,
+            metric,
+            &lambda,
+            measured,
+            refine_batch,
+            &mut carry,
+        )?;
+        Ok(carry.finish())
+    }
+
+    /// The serial Algorithm 1 scan over *this* index's tuples, threading
+    /// the candidate pool and counters through `carry` — the segmented
+    /// engine's building block (one call per tier, in tid order). `lambda`
+    /// is the resolved per-query-attribute weight vector; the segmented
+    /// caller resolves it once, globally, so every tier admits with the
+    /// same weights a monolithic index would use.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_carry_serial<M: Metric>(
+        &self,
+        table: &SwtTable,
+        query: &Query,
+        metric: &M,
+        lambda: &[f64],
+        measured: bool,
+        refine_batch: usize,
+        carry: &mut ScanCarry,
+    ) -> Result<()> {
+        if lambda.len() != query.len() {
+            return Err(IvaError::InvalidArgument(format!(
+                "weight vector has {} entries for a {}-attribute query",
+                lambda.len(),
+                query.len()
+            )));
+        }
         let shared = self.prepare_query(query)?;
         let mut cursors = self.open_cursors(&shared)?;
         let mut tsrc = self.open_tuple_source()?;
-        let mut pool = ResultPool::new(k);
-        let mut stats = QueryStats::default();
+        let ScanCarry { pool, stats } = carry;
         let mut diffs = vec![0.0f64; query.len()];
         let ndf = self.header.config.ndf_penalty;
 
@@ -874,7 +946,7 @@ impl IvaIndex {
                 // unbatched pool evolution exactly.
                 if pool.admits(est) {
                     stats.table_accesses += 1;
-                    let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                    let actual = exact_distance(&rec.tuple, query, lambda, metric, ndf);
                     pool.insert_at(rec.tid, actual, RecordPtr(ptr));
                 } else {
                     stats.speculative_accesses += 1;
@@ -897,7 +969,7 @@ impl IvaIndex {
                 let refine_start = measured.then(thread_cpu_time);
                 let rec = table.get(RecordPtr(ptr))?;
                 stats.table_accesses += 1;
-                let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                let actual = exact_distance(&rec.tuple, query, lambda, metric, ndf);
                 pool.insert_at(rec.tid, actual, RecordPtr(ptr));
                 if let Some(t) = refine_start {
                     *refine_nanos += thread_cpu_time().saturating_sub(t);
@@ -934,7 +1006,7 @@ impl IvaIndex {
                 if ptr == TOMBSTONE_PTR {
                     continue;
                 }
-                for (fa, (d, &lam)) in fattrs.iter().zip(diffs.iter_mut().zip(&lambda)) {
+                for (fa, (d, &lam)) in fattrs.iter().zip(diffs.iter_mut().zip(lambda)) {
                     let lb = match fa {
                         FusedAttr::Text(lbs) => lbs.get(i).copied().filter(|v| !v.is_nan()),
                         FusedAttr::Num { q, codec, col } => {
@@ -946,14 +1018,7 @@ impl IvaIndex {
                 }
                 let est = metric.combine(&diffs);
                 if pool.admits(est) {
-                    admit(
-                        ptr,
-                        est,
-                        &mut pool,
-                        &mut stats,
-                        &mut pending,
-                        &mut refine_nanos,
-                    )?;
+                    admit(ptr, est, pool, stats, &mut pending, &mut refine_nanos)?;
                 }
             }
         } else {
@@ -964,37 +1029,27 @@ impl IvaIndex {
                     self.skip_cursors(&shared, &mut cursors, tid)?;
                     continue;
                 }
-                self.lower_bounds_into(&shared, &mut cursors, tid, &lambda, ndf, &mut diffs)?;
+                self.lower_bounds_into(&shared, &mut cursors, tid, lambda, ndf, &mut diffs)?;
                 let est = metric.combine(&diffs);
                 if pool.admits(est) {
-                    admit(
-                        ptr,
-                        est,
-                        &mut pool,
-                        &mut stats,
-                        &mut pending,
-                        &mut refine_nanos,
-                    )?;
+                    admit(ptr, est, pool, stats, &mut pending, &mut refine_nanos)?;
                 }
             }
         }
         if !pending.is_empty() {
             let refine_start = measured.then(thread_cpu_time);
-            flush(&mut pending, &mut pool, &mut stats)?;
+            flush(&mut pending, pool, stats)?;
             if let Some(t) = refine_start {
                 refine_nanos += thread_cpu_time().saturating_sub(t);
             }
         }
         if let Some(t) = start {
             let total_nanos = thread_cpu_time().saturating_sub(t);
-            stats.refine_nanos = refine_nanos;
-            stats.filter_nanos = total_nanos.saturating_sub(refine_nanos);
+            stats.refine_nanos += refine_nanos;
+            stats.filter_nanos += total_nanos.saturating_sub(refine_nanos);
         }
-        self.tier_stats_into(&shared, tsrc.is_hot(), &mut stats);
-        Ok(QueryOutcome {
-            results: pool.into_sorted(),
-            stats,
-        })
+        self.tier_stats_into(&shared, tsrc.is_hot(), stats);
+        Ok(())
     }
 
     /// Index a freshly inserted tuple (Sec. IV-B): append to the tuple list

@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 mod build;
+mod compact;
 mod config;
 mod dirlist;
 mod error;
 mod index;
 mod interchange;
 mod layout;
+mod memtable;
 mod metric;
 mod multi;
 mod numeric;
@@ -35,20 +37,23 @@ mod packed;
 mod parallel;
 mod pool;
 mod query;
+mod segment;
 mod seqplan;
 mod tier;
 mod timing;
 mod veclist;
 
-pub use build::{build_index, IndexTarget};
+pub use build::{build_index, build_index_with_domains, IndexTarget};
+pub use compact::{collect_orphans, prepare_merge, CompactionPlan};
 pub use config::IvaConfig;
 pub use error::{IvaError, Result};
-pub use index::{ExplainAttr, IvaIndex, QueryExplain, QueryOutcome};
+pub use index::{ExplainAttr, IvaIndex, QueryExplain, QueryOutcome, ScanCarry};
 pub use interchange::{export_index, import_index, ExportedAttr, ExportedIndex};
 pub use layout::{
     AttrEntry, IndexHeader, ListEncoding, INDEX_VERSION, INDEX_VERSION_V2, INDEX_VERSION_V3,
     TOMBSTONE_PTR, TUPLE_ENTRY_LEN,
 };
+pub use memtable::Memtable;
 pub use metric::{Metric, MetricKind, WeightScheme};
 pub use multi::BatchItem;
 pub use numeric::NumericCodec;
@@ -56,6 +61,10 @@ pub use packed::{encode_packed_num_list, encode_packed_text_list, PackedReader};
 pub use parallel::QueryOptions;
 pub use pool::{PoolEntry, ResultPool};
 pub use query::{attr_difference, exact_distance, Query, QueryStats, QueryValue};
+pub use segment::{
+    remove_segment_files, segment_base, segment_file_candidates, segment_files_exist,
+    segment_index_path, write_segment, Segment,
+};
 pub use timing::monotonic_nanos;
 pub use veclist::{
     choose_num_type, choose_text_type, encode_num_list, encode_text_list, num_list_sizes,

@@ -1,0 +1,138 @@
+//! The mutable tier of the segmented (LSM-style) write path.
+//!
+//! A memtable is a fully in-memory `SwtTable` + `IvaIndex` pair holding
+//! every tuple inserted since the last seal. Inserts append to it exactly
+//! the way the monolithic engine appends to its single file — same tuple
+//! directory, same per-attribute list appends, same numeric quantisation
+//! (the codec domains come from the store's global [`DomainPin`]s) — so a
+//! carried scan over sealed segments plus the memtable reproduces the
+//! monolithic scan bit for bit (DESIGN.md §14).
+//!
+//! Durability: the memtable is volatile by design. A mutation is
+//! acknowledged only by a store-level flush, which seals the memtable
+//! into an immutable on-disk segment; a crash before that loses only
+//! unacknowledged operations (the acked-or-pending contract of the
+//! crash-torture suite).
+
+use iva_storage::{DomainPin, IoStats, PagerOptions};
+use iva_swt::{AttrId, Catalog, RecordPtr, SwtTable, Tid, Tuple};
+
+use crate::build::{build_index_with_domains, IndexTarget};
+use crate::config::IvaConfig;
+use crate::error::Result;
+use crate::index::IvaIndex;
+
+/// The in-memory mutable tier: a table + index pair covering every tid
+/// from its base watermark up.
+pub struct Memtable {
+    table: SwtTable,
+    index: IvaIndex,
+    base_tid: Tid,
+}
+
+impl Memtable {
+    /// Fresh, empty memtable continuing the global tid sequence at
+    /// `base_tid`, carrying the store's `catalog` and quantising numeric
+    /// attributes on the store's pinned `domains`.
+    pub fn new(
+        catalog: &Catalog,
+        pager: &PagerOptions,
+        config: IvaConfig,
+        base_tid: Tid,
+        domains: &[DomainPin],
+    ) -> Result<Self> {
+        let mut table = SwtTable::create_mem(pager, IoStats::new())?;
+        table.adopt_catalog(catalog.clone());
+        table.reserve_tids_below(base_tid);
+        let index = build_index_with_domains(
+            &table,
+            IndexTarget::Mem,
+            pager,
+            IoStats::new(),
+            config,
+            Some(domains),
+        )?;
+        Ok(Self {
+            table,
+            index,
+            base_tid,
+        })
+    }
+
+    /// Define (or look up) a text attribute.
+    pub fn define_text(&mut self, name: &str) -> Result<AttrId> {
+        Ok(self.table.define_text(name)?)
+    }
+
+    /// Define (or look up) a numerical attribute.
+    pub fn define_numeric(&mut self, name: &str) -> Result<AttrId> {
+        Ok(self.table.define_numeric(name)?)
+    }
+
+    /// Insert a tuple; tids continue the global sequence.
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<(Tid, RecordPtr)> {
+        let (tid, ptr) = self.table.insert(tuple)?;
+        self.index.insert(tid, ptr, tuple, self.table.catalog())?;
+        Ok((tid, ptr))
+    }
+
+    /// Tombstone `tid` if this memtable holds it live. Returns whether a
+    /// record was deleted.
+    pub fn delete(&mut self, tid: Tid) -> Result<bool> {
+        if tid < self.base_tid {
+            return Ok(false);
+        }
+        match self.index.lookup_ptr(tid)? {
+            Some(ptr) => {
+                self.table.delete(ptr)?;
+                self.index.delete(tid)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Locate a live tid in this memtable.
+    pub fn lookup_ptr(&self, tid: Tid) -> Result<Option<RecordPtr>> {
+        if tid < self.base_tid {
+            return Ok(None);
+        }
+        self.index.lookup_ptr(tid)
+    }
+
+    /// The underlying in-memory table.
+    pub fn table(&self) -> &SwtTable {
+        &self.table
+    }
+
+    /// The in-memory index over [`Memtable::table`].
+    pub fn index(&self) -> &IvaIndex {
+        &self.index
+    }
+
+    /// First tid this memtable may assign.
+    pub fn base_tid(&self) -> Tid {
+        self.base_tid
+    }
+
+    /// The tid the next insert will receive.
+    pub fn next_tid(&self) -> Tid {
+        self.table.file().next_tid()
+    }
+
+    /// Live (non-tombstoned) records.
+    pub fn live_records(&self) -> u64 {
+        self.table.file().live_records()
+    }
+
+    /// Total records including tombstones (the seal-threshold measure:
+    /// tombstones occupy directory entries until sealed away).
+    pub fn total_records(&self) -> u64 {
+        self.table.file().total_records()
+    }
+
+    /// Whether the memtable holds no records at all.
+    pub fn is_unused(&self) -> bool {
+        self.total_records() == 0 && self.next_tid() == self.base_tid
+    }
+}

@@ -26,11 +26,11 @@
 use iva_swt::{RecordPtr, SwtTable};
 
 use crate::error::{IvaError, Result};
-use crate::index::{IvaIndex, QueryOutcome, SharedAttr};
+use crate::index::{IvaIndex, QueryOutcome, ScanCarry, SharedAttr};
 use crate::layout::TOMBSTONE_PTR;
 use crate::metric::{Metric, WeightScheme};
 use crate::pool::ResultPool;
-use crate::query::{exact_distance, Query, QueryStats};
+use crate::query::{exact_distance, Query};
 use crate::timing::thread_cpu_time;
 
 /// Smallest tuple-list segment worth a worker thread; requests for more
@@ -103,6 +103,27 @@ impl IvaIndex {
         weights: WeightScheme,
         opts: &QueryOptions,
     ) -> Result<QueryOutcome> {
+        let lambda = self.resolve_weights(query, weights);
+        let mut carry = ScanCarry::new(k);
+        self.query_carry_opts(table, query, metric, &lambda, opts, &mut carry)?;
+        Ok(carry.finish())
+    }
+
+    /// [`IvaIndex::query_opts`] threading the candidate pool and counters
+    /// through `carry` — the segmented engine's parallel building block.
+    /// Workers still scan with private (initially empty) pools, which
+    /// admit a superset of what the carried pool would; the merge replay
+    /// filters against the carried pool in scan order, so the concatenated
+    /// multi-tier scan stays bit-identical to a serial carried scan.
+    pub fn query_carry_opts<M: Metric + Sync>(
+        &self,
+        table: &SwtTable,
+        query: &Query,
+        metric: &M,
+        lambda: &[f64],
+        opts: &QueryOptions,
+        carry: &mut ScanCarry,
+    ) -> Result<()> {
         let n = self.n_tuples();
         let requested = opts
             .threads
@@ -114,18 +135,18 @@ impl IvaIndex {
             .unwrap_or_else(|| self.config().resolved_refine_batch())
             .max(1);
         if threads == 1 {
-            return self.query_serial(
+            return self.query_carry_serial(
                 table,
                 query,
-                k,
                 metric,
-                weights,
+                lambda,
                 opts.measured,
                 refine_batch,
+                carry,
             );
         }
 
-        let lambda = self.resolve_weights(query, weights);
+        let k = carry.pool.capacity();
         // One prepared table per query — the packed-mask kernels and
         // numeric codecs are immutable and shared by every worker below;
         // workers only open private cursors.
@@ -139,7 +160,6 @@ impl IvaIndex {
         slots.resize_with(bounds.len(), || None);
         crossbeam::thread::scope(|s| {
             for (&(lo, hi), slot) in bounds.iter().zip(slots.iter_mut()) {
-                let lambda = &lambda;
                 let shared = &shared;
                 s.spawn(move |_| {
                     *slot = Some(self.scan_segment(
@@ -161,11 +181,10 @@ impl IvaIndex {
         .map_err(|_| IvaError::Corrupt("filter worker panicked".into()))?;
 
         // Merge barrier: replay recorded candidates in segment order
-        // through one fresh pool (see module doc for why this reproduces
+        // through the carried pool (see module doc for why this reproduces
         // the serial scan exactly).
         let merge_start = measured.then(thread_cpu_time);
-        let mut pool = ResultPool::new(k);
-        let mut stats = QueryStats::default();
+        let ScanCarry { pool, stats } = carry;
         let mut max_filter = 0u64;
         let mut max_refine = 0u64;
         for slot in slots {
@@ -186,16 +205,13 @@ impl IvaIndex {
         if let Some(m) = merge_start {
             max_filter += thread_cpu_time().saturating_sub(m);
         }
-        stats.filter_nanos = max_filter;
-        stats.refine_nanos = max_refine;
+        stats.filter_nanos += max_filter;
+        stats.refine_nanos += max_refine;
         // Tier accounting once for the merged plan — the workers scanned
         // the same prepared attributes, so per-worker accounting would
         // multiply the breakdown by the thread count.
-        self.tier_stats_into(&shared, self.tuple_is_hot(), &mut stats);
-        Ok(QueryOutcome {
-            results: pool.into_sorted(),
-            stats,
-        })
+        self.tier_stats_into(&shared, self.tuple_is_hot(), stats);
+        Ok(())
     }
 
     /// Scan tuple-list positions `[lo, hi)` with private cursors and pool,

@@ -62,6 +62,11 @@ impl ResultPool {
         self.heap.len()
     }
 
+    /// The `k` this pool was created with.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
     /// `pool.MaxDist()` of Algorithm 1: the largest distance currently held
     /// (`+∞` while empty, so everything is admitted).
     pub fn max_dist(&self) -> f64 {

@@ -21,11 +21,10 @@
 use iva_swt::{RecordPtr, SwtTable};
 
 use crate::error::Result;
-use crate::index::{IvaIndex, QueryOutcome};
+use crate::index::{IvaIndex, QueryOutcome, ScanCarry};
 use crate::layout::TOMBSTONE_PTR;
 use crate::metric::{Metric, WeightScheme};
-use crate::pool::ResultPool;
-use crate::query::{exact_distance, Query, QueryStats};
+use crate::query::{exact_distance, Query};
 use crate::timing::thread_cpu_time;
 
 impl IvaIndex {
@@ -53,6 +52,27 @@ impl IvaIndex {
         weights: WeightScheme,
     ) -> Result<QueryOutcome> {
         let lambda = self.resolve_weights(query, weights);
+        let mut carry = ScanCarry::new(k);
+        self.query_carry_sequential_plan(table, query, metric, &lambda, &mut carry)?;
+        Ok(carry.finish())
+    }
+
+    /// The sequential plan threading the candidate pool and counters
+    /// through `carry` — one call per tier of a segmented store, in tid
+    /// order. The phase-1 candidate threshold (the all-ndf distance) is a
+    /// function of `lambda` alone, so every tier filters with the same
+    /// bound; top-k results stay exact. The leftover rounds, however, sort
+    /// by lower bound *within* each tier rather than globally, so
+    /// `table_accesses` may differ from a monolithic sequential plan (the
+    /// interleaved plans make the stronger bit-identical guarantee).
+    pub fn query_carry_sequential_plan<M: Metric>(
+        &self,
+        table: &SwtTable,
+        query: &Query,
+        metric: &M,
+        lambda: &[f64],
+        carry: &mut ScanCarry,
+    ) -> Result<()> {
         let ndf = self.config().ndf_penalty;
         let start = thread_cpu_time();
 
@@ -81,7 +101,7 @@ impl IvaIndex {
                     continue;
                 }
                 let any_defined =
-                    self.lower_bounds_into(&shared, &mut cursors, tid, &lambda, ndf, &mut diffs)?;
+                    self.lower_bounds_into(&shared, &mut cursors, tid, lambda, ndf, &mut diffs)?;
                 scanned.push((u64::from(tid), ptr, metric.combine(&diffs), any_defined));
             }
         }
@@ -97,11 +117,9 @@ impl IvaIndex {
         // sequence the one-at-a-time plan performed, so results and
         // `table_accesses` are unchanged.
         const REFINE_CHUNK: usize = 1024;
-        let mut pool = ResultPool::new(k);
-        let mut stats = QueryStats {
-            tuples_scanned: scanned.len() as u64,
-            ..Default::default()
-        };
+        let ScanCarry { pool, stats } = carry;
+        let k = pool.capacity();
+        stats.tuples_scanned += scanned.len() as u64;
         let refine_start = thread_cpu_time();
         let mut cands: Vec<(usize, u64)> = Vec::new(); // (index into `scanned`, ptr)
         for (i, &(_, ptr, lb, any_defined)) in scanned.iter().enumerate() {
@@ -117,7 +135,7 @@ impl IvaIndex {
             stats.table_accesses += recs.len() as u64;
             for (&(i, _), rec) in chunk.iter().zip(&recs) {
                 if let Some(a) = actuals.get_mut(i) {
-                    *a = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                    *a = exact_distance(&rec.tuple, query, lambda, metric, ndf);
                 }
             }
         }
@@ -160,7 +178,7 @@ impl IvaIndex {
                 for (&(tid, ptr, lb), rec) in round.iter().zip(&recs) {
                     if pool.admits(lb) {
                         stats.table_accesses += 1;
-                        let actual = exact_distance(&rec.tuple, query, &lambda, metric, ndf);
+                        let actual = exact_distance(&rec.tuple, query, lambda, metric, ndf);
                         pool.insert_at(tid, actual, RecordPtr(ptr));
                     } else {
                         stats.speculative_accesses += 1;
@@ -171,13 +189,10 @@ impl IvaIndex {
         }
         let refine_nanos = thread_cpu_time().saturating_sub(refine_start);
         let total = thread_cpu_time().saturating_sub(start);
-        stats.refine_nanos = refine_nanos;
-        stats.filter_nanos = total.saturating_sub(refine_nanos);
-        self.tier_stats_into(&shared, tuple_hot, &mut stats);
-        Ok(QueryOutcome {
-            results: pool.into_sorted(),
-            stats,
-        })
+        stats.refine_nanos += refine_nanos;
+        stats.filter_nanos += total.saturating_sub(refine_nanos);
+        self.tier_stats_into(&shared, tuple_hot, stats);
+        Ok(())
     }
 }
 
@@ -187,6 +202,7 @@ mod tests {
     use crate::build::{build_index, IndexTarget};
     use crate::config::IvaConfig;
     use crate::metric::MetricKind;
+    use crate::pool::ResultPool;
     use iva_storage::{IoStats, PagerOptions};
     use iva_swt::{AttrId, Tuple, Value};
 

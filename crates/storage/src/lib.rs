@@ -30,6 +30,7 @@ mod error;
 mod fault;
 mod file;
 mod listfile;
+pub mod manifest;
 mod page;
 mod pager;
 mod stats;
@@ -46,6 +47,10 @@ pub use file::{BlockFile, FORMAT_VERSION, FRAME_TRAILER, MIN_PAGE_SIZE, SUPERBLO
 pub use listfile::{
     overwrite_in_list, read_list_to_vec, write_contiguous_list, ListHandle, ListReader, ListWriter,
     LIST_PAGE_HEADER,
+};
+pub use manifest::{
+    decode_manifest, encode_manifest, read_manifest, write_manifest, DomainPin, Manifest,
+    SegmentMeta,
 };
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use pager::{Pager, PagerOptions};

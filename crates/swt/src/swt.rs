@@ -160,6 +160,34 @@ impl SwtTable {
         Ok(out)
     }
 
+    /// Insert a tuple under a caller-chosen tid (validated against the
+    /// catalog). Used by the segmented write path when sealing a memtable
+    /// or merging segments: the copy must preserve the tids the original
+    /// records were acknowledged under.
+    pub fn insert_with_tid(&mut self, tid: Tid, tuple: &Tuple) -> Result<RecordPtr> {
+        tuple.validate()?;
+        self.check_types(tuple)?;
+        let ptr = self.file.append_with_tid(tid, tuple)?;
+        self.stats.ensure_attrs(self.catalog.len());
+        self.stats.observe_insert(tuple);
+        Ok(ptr)
+    }
+
+    /// Never assign a tid below `tid`, even though no record carries it.
+    /// A sealed segment reserves the global watermark so later inserts
+    /// into a fresh memtable continue the same tid sequence.
+    pub fn reserve_tids_below(&mut self, tid: Tid) {
+        self.file.reserve_tids_below(tid);
+    }
+
+    /// Replace the catalog wholesale. The segmented write path keeps one
+    /// global catalog (attributes are defined once, for every tier) and
+    /// stamps it onto fresh memtables and merged segment tables.
+    pub fn adopt_catalog(&mut self, catalog: Catalog) {
+        self.catalog = catalog;
+        self.stats.ensure_attrs(self.catalog.len());
+    }
+
     /// Tombstone the record at `ptr`.
     pub fn delete(&mut self, ptr: RecordPtr) -> Result<()> {
         self.file.mark_deleted(ptr)

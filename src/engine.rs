@@ -16,6 +16,7 @@ use iva_core::{MetricKind, Query, QueryStats, Result};
 use iva_swt::{AttrId, Tid, Tuple};
 
 use crate::db::{IvaDb, SearchOutcome};
+use crate::lsm::LsmDb;
 use crate::search::{QueryBuilder, SearchRequest};
 use crate::sharded::{ShardedIvaDb, ShardedSearchOutcome, ShardedTid};
 
@@ -123,6 +124,36 @@ pub trait EngineWriter: Engine {
     fn flush(&mut self) -> Result<()>;
 }
 
+/// Engines whose maintenance (sealing, compaction, rebuilds) splits into
+/// an expensive read-side **prepare** and a cheap exclusive **publish**.
+///
+/// The split exists for the serving layer: [`crate::serve::Writer::maintain`]
+/// runs [`MaintainEngine::plan_maintenance`] under a *read* snapshot — so
+/// concurrent readers keep answering while the new segment is staged — and
+/// takes the write lock only for [`MaintainEngine::publish_maintenance`],
+/// whose critical section is a pointer swap plus one manifest commit.
+/// Holding the write lock across the whole operation (the
+/// [`crate::serve::Writer::apply`] route) is correct but stalls every
+/// reader for the duration of an index build.
+///
+/// A plan is only valid against the exact engine state it was prepared
+/// from. The serving layer's single-writer discipline guarantees no
+/// mutation interleaves between the two phases; engines must still
+/// *detect* a stale plan (mutations did interleave) and reject it with an
+/// error rather than publish a torn state.
+pub trait MaintainEngine: EngineWriter {
+    /// A staged unit of maintenance work.
+    type Plan: Send;
+
+    /// Stage the next unit of maintenance with `&self`, or `None` when
+    /// nothing needs doing. Expensive; safe under concurrent reads.
+    fn plan_maintenance(&self) -> Result<Option<Self::Plan>>;
+
+    /// Commit a staged plan with `&mut self`. Cheap. Errors on a stale
+    /// plan instead of publishing torn state.
+    fn publish_maintenance(&mut self, plan: Self::Plan) -> Result<bool>;
+}
+
 impl Engine for IvaDb {
     type Outcome = SearchOutcome;
 
@@ -163,6 +194,57 @@ impl EngineWriter for IvaDb {
     }
     fn flush(&mut self) -> Result<()> {
         IvaDb::flush(self)
+    }
+}
+
+impl Engine for LsmDb {
+    type Outcome = SearchOutcome;
+
+    fn query_builder(&self) -> QueryBuilder<'_> {
+        LsmDb::query_builder(self)
+    }
+    fn execute(&self, query: &Query, request: &SearchRequest) -> Result<SearchOutcome> {
+        LsmDb::execute(self, query, request)
+    }
+    fn default_metric(&self) -> MetricKind {
+        LsmDb::default_metric(self)
+    }
+    fn len(&self) -> u64 {
+        LsmDb::len(self)
+    }
+}
+
+impl EngineWriter for LsmDb {
+    type Id = Tid;
+
+    fn define_text(&mut self, name: &str) -> Result<AttrId> {
+        LsmDb::define_text(self, name)
+    }
+    fn define_numeric(&mut self, name: &str) -> Result<AttrId> {
+        LsmDb::define_numeric(self, name)
+    }
+    fn insert(&mut self, tuple: &Tuple) -> Result<Tid> {
+        LsmDb::insert(self, tuple)
+    }
+    fn delete(&mut self, id: Tid) -> Result<bool> {
+        LsmDb::delete(self, id)
+    }
+    fn get(&self, id: Tid) -> Result<Option<Tuple>> {
+        LsmDb::get(self, id)
+    }
+    fn flush(&mut self) -> Result<()> {
+        LsmDb::flush(self)
+    }
+}
+
+impl MaintainEngine for LsmDb {
+    type Plan = crate::lsm::MaintenancePlan;
+
+    fn plan_maintenance(&self) -> Result<Option<Self::Plan>> {
+        LsmDb::plan_maintenance(self)
+    }
+    fn publish_maintenance(&mut self, plan: Self::Plan) -> Result<bool> {
+        LsmDb::publish_maintenance(self, plan)
     }
 }
 

@@ -74,12 +74,14 @@
 
 mod db;
 mod engine;
+mod lsm;
 mod search;
 pub mod serve;
 mod sharded;
 
 pub use db::{IvaDb, IvaDbOptions, SearchHit, SearchOutcome};
-pub use engine::{Engine, EngineOutcome, EngineWriter};
+pub use engine::{Engine, EngineOutcome, EngineWriter, MaintainEngine};
+pub use lsm::{LsmDb, LsmOptions, MaintenancePlan, MergePlan, SealPlan};
 pub use search::{QueryBuilder, SearchRequest};
 pub use serve::{Client, Reader, ServeOptions, Server, ServingStats, Snapshot, Writer};
 pub use sharded::{ShardedHit, ShardedIvaDb, ShardedSearchOutcome, ShardedTid};

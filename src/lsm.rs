@@ -1,0 +1,765 @@
+//! `LsmDb`: the segmented (LSM-style) write path — an in-memory
+//! [`Memtable`] in front of immutable sealed [`Segment`]s, merged by a
+//! background compactor, all tracked by an atomically-committed manifest.
+//!
+//! ## Tiers
+//!
+//! Inserts land in the memtable: a fully in-memory table + iVA-file pair
+//! indexing exactly like the monolithic engine (same quantisation — the
+//! numeric codec domains are pinned store-wide, see [`DomainPin`]).
+//! Sealing freezes the memtable's live records into an on-disk segment
+//! with its own table file, catalog sidecar, index, and [`IoStats`];
+//! compaction merges several segments into one. Deletes tombstone in
+//! whichever tier holds the record — in place, through the same
+//! Sec. IV-B protocol the monolithic file uses.
+//!
+//! ## Commit protocol
+//!
+//! Both seal and compaction run in two phases:
+//!
+//! 1. **Prepare** (`&self`) — stage the new segment's files under the
+//!    next unallocated id. Nothing references them; readers are
+//!    unaffected.
+//! 2. **Publish** (`&mut self`) — swap the in-memory tier list and
+//!    commit the manifest through the storage layer's atomic commit
+//!    record. The manifest rename is the *only* commit point: a crash on
+//!    either side of it leaves every segment fully merged or fully
+//!    intact, with any half-staged files collected as orphans at the
+//!    next open.
+//!
+//! A mutation is acknowledged by [`LsmDb::flush`] (which seals); a crash
+//! loses at most unacknowledged operations — the acked-or-pending
+//! contract shared with the monolithic engine's torture suite.
+//!
+//! ## Query equivalence
+//!
+//! A query scans the tiers oldest-first (segments in tid order, then the
+//! memtable), threading one [`ScanCarry`] — the shared candidate pool
+//! and counters — through every per-tier scan. Because the concatenated
+//! tier scan visits live tuples in exactly the monolithic engine's scan
+//! order with the same vector encodings, hits, distance bits, and
+//! `table_accesses` are bit-identical to the single-file engine (see
+//! DESIGN.md §14 for the argument and the one documented exception).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use iva_core::{
+    collect_orphans, prepare_merge, remove_segment_files, write_segment, CompactionPlan, IvaConfig,
+    IvaError, Memtable, Metric, MetricKind, Query, QueryOptions, QueryOutcome, Result, ScanCarry,
+    Segment, WeightScheme,
+};
+use iva_storage::vfs::{MemVfs, RealVfs, Vfs};
+use iva_storage::{
+    read_manifest, write_manifest, DomainPin, IoStats, Manifest, PagerOptions, SegmentMeta,
+};
+use iva_swt::{AttrId, Catalog, SwtTable, Tid, Tuple, Value};
+
+use crate::db::{SearchHit, SearchOutcome};
+use crate::search::{QueryBuilder, SearchRequest};
+
+/// Options for creating an [`LsmDb`].
+///
+/// The layering contract of [`crate::IvaDbOptions`] carries over
+/// unchanged: structural parameters in `config` shape segment bytes and
+/// are persisted per segment; runtime knobs (`metric`, `weights`,
+/// threads/batching inside `config`) are never persisted; per-request
+/// overrides win for one call. The two thresholds below only steer
+/// *when* maintenance runs — any schedule yields bit-identical answers.
+#[derive(Debug, Clone)]
+pub struct LsmOptions {
+    /// Pager/page-cache options (shared shape for every tier's files).
+    pub pager: PagerOptions,
+    /// Index configuration (α, n, ndf penalty...), applied to every
+    /// tier's iVA-file.
+    pub config: IvaConfig,
+    /// Default metric for [`LsmDb::execute`].
+    pub metric: MetricKind,
+    /// Default weight scheme for [`LsmDb::execute`].
+    pub weights: WeightScheme,
+    /// Memtable record count (tombstones included) at which
+    /// [`LsmDb::plan_maintenance`] proposes a seal. `0` disables the
+    /// automatic trigger; [`LsmDb::seal`] always works.
+    pub memtable_limit: u64,
+    /// Sealed-segment count at which [`LsmDb::plan_maintenance`]
+    /// proposes a full merge. `0` disables the automatic trigger;
+    /// [`LsmDb::compact`] always works.
+    pub compact_fanout: usize,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        Self {
+            pager: PagerOptions::default(),
+            config: IvaConfig::default(),
+            metric: MetricKind::L2,
+            weights: WeightScheme::Equal,
+            memtable_limit: 4096,
+            compact_fanout: 8,
+        }
+    }
+}
+
+/// A staged (prepared but unpublished) seal of the memtable.
+#[derive(Debug, Clone)]
+pub struct SealPlan {
+    id: u64,
+    range: Option<(Tid, Tid)>,
+    next_tid: Tid,
+    ops: u64,
+}
+
+/// A staged (prepared but unpublished) merge of sealed segments.
+#[derive(Debug, Clone)]
+pub struct MergePlan {
+    inner: CompactionPlan,
+    ops: u64,
+}
+
+/// One unit of staged maintenance work: what
+/// [`LsmDb::plan_maintenance`] proposes and
+/// [`LsmDb::publish_maintenance`] commits.
+#[derive(Debug, Clone)]
+pub enum MaintenancePlan {
+    /// Seal the memtable into a fresh segment.
+    Seal(SealPlan),
+    /// Merge every sealed segment into one.
+    Merge(MergePlan),
+}
+
+/// The segmented store: memtable + sealed segments + manifest.
+pub struct LsmDb {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    opts: LsmOptions,
+    /// Store-wide numeric codec domains, indexed by attribute. Pinned at
+    /// the first inserted value of each numeric attribute (exactly the
+    /// monolithic engine's degenerate first-value domain) and never
+    /// widened, so every tier quantises every value identically.
+    domains: Vec<DomainPin>,
+    /// Sealed segments in ascending tid order (oldest first — scan order).
+    segments: Vec<Segment>,
+    memtable: Memtable,
+    next_segment_id: u64,
+    /// Mutation counter fencing prepare/publish pairs: a plan prepared
+    /// at one count publishes only at the same count.
+    ops: u64,
+    manifest_io: IoStats,
+    maintenance_io: IoStats,
+    /// Catalog or domain pins changed since the last manifest write.
+    meta_dirty: bool,
+}
+
+/// Path of the store's manifest inside `dir`.
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.ivls")
+}
+
+impl LsmDb {
+    /// Create an in-memory store (tests, examples, experiments). Sealed
+    /// segments live on a private [`MemVfs`].
+    pub fn create_mem(opts: LsmOptions) -> Result<Self> {
+        Self::create_with_vfs(Arc::new(MemVfs::new()), Path::new("/lsm"), opts)
+    }
+
+    /// Create a disk-backed store inside directory `dir` (created if
+    /// missing): a manifest plus `seg-NNNNNNNN.{tbl,meta,iva}` files as
+    /// segments are sealed.
+    pub fn create(dir: &Path, opts: LsmOptions) -> Result<Self> {
+        Self::create_with_vfs(Arc::new(RealVfs), dir, opts)
+    }
+
+    /// [`LsmDb::create`] on an explicit [`Vfs`] (fault injection, crash
+    /// replay).
+    pub fn create_with_vfs(vfs: Arc<dyn Vfs>, dir: &Path, opts: LsmOptions) -> Result<Self> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| IvaError::Storage(e.into()))?;
+        let memtable = Memtable::new(&Catalog::new(), &opts.pager, opts.config, 0, &[])?;
+        let mut db = Self {
+            vfs,
+            dir: dir.to_path_buf(),
+            opts,
+            domains: Vec::new(),
+            segments: Vec::new(),
+            memtable,
+            next_segment_id: 0,
+            ops: 0,
+            manifest_io: IoStats::new(),
+            maintenance_io: IoStats::new(),
+            meta_dirty: false,
+        };
+        db.write_manifest()?; // make the directory openable immediately
+        Ok(db)
+    }
+
+    /// Open an existing store.
+    pub fn open(dir: &Path, opts: LsmOptions) -> Result<Self> {
+        Self::open_with_vfs(Arc::new(RealVfs), dir, opts)
+    }
+
+    /// [`LsmDb::open`] on an explicit [`Vfs`], with crash recovery.
+    ///
+    /// The manifest's commit record picks the last committed tier set;
+    /// any segment files it does not reference (a seal or compaction
+    /// that crashed around its commit point) are collected as orphans.
+    /// Each referenced segment then recovers exactly like the monolithic
+    /// engine: reuse a clean index whose watermark matches its table,
+    /// rebuild (on the store's pinned domains) otherwise. The memtable
+    /// is volatile — recovery restarts it empty at the manifest's tid
+    /// watermark.
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, dir: &Path, opts: LsmOptions) -> Result<Self> {
+        let manifest_io = IoStats::new();
+        let manifest = read_manifest(vfs.as_ref(), &manifest_path(dir), &manifest_io)?;
+        let catalog = Catalog::decode(&manifest.catalog)?;
+        collect_orphans(vfs.as_ref(), dir, &manifest)?;
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for meta in &manifest.segments {
+            segments.push(Segment::open(
+                &vfs,
+                dir,
+                meta.id,
+                meta.lo_tid,
+                meta.hi_tid,
+                &opts.pager,
+                opts.config,
+                &manifest.domains,
+            )?);
+        }
+        let memtable = Memtable::new(
+            &catalog,
+            &opts.pager,
+            opts.config,
+            manifest.next_tid,
+            &manifest.domains,
+        )?;
+        Ok(Self {
+            vfs,
+            dir: dir.to_path_buf(),
+            opts,
+            domains: manifest.domains,
+            segments,
+            memtable,
+            next_segment_id: manifest.next_segment_id,
+            ops: 0,
+            manifest_io,
+            maintenance_io: IoStats::new(),
+            meta_dirty: false,
+        })
+    }
+
+    fn catalog(&self) -> &Catalog {
+        self.memtable.table().catalog()
+    }
+
+    fn write_manifest(&mut self) -> Result<()> {
+        let m = Manifest {
+            next_segment_id: self.next_segment_id,
+            next_tid: self.memtable.base_tid(),
+            segments: self
+                .segments
+                .iter()
+                .map(|s| SegmentMeta {
+                    id: s.id(),
+                    lo_tid: s.lo_tid(),
+                    hi_tid: s.hi_tid(),
+                })
+                .collect(),
+            domains: self.domains.clone(),
+            catalog: self.catalog().encode(),
+        };
+        write_manifest(
+            self.vfs.as_ref(),
+            &manifest_path(&self.dir),
+            &m,
+            &self.manifest_io,
+        )?;
+        self.meta_dirty = false;
+        Ok(())
+    }
+
+    /// Define (or look up) a text attribute.
+    pub fn define_text(&mut self, name: &str) -> Result<AttrId> {
+        let id = self.memtable.define_text(name)?;
+        self.sync_domains();
+        Ok(id)
+    }
+
+    /// Define (or look up) a numerical attribute.
+    pub fn define_numeric(&mut self, name: &str) -> Result<AttrId> {
+        let id = self.memtable.define_numeric(name)?;
+        self.sync_domains();
+        Ok(id)
+    }
+
+    /// Attribute id by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.catalog().id_of(name)
+    }
+
+    fn sync_domains(&mut self) {
+        if self.domains.len() < self.catalog().len() {
+            self.domains
+                .resize(self.catalog().len(), DomainPin::unpinned());
+            self.ops += 1;
+            self.meta_dirty = true;
+        }
+    }
+
+    /// Pin the codec domain of any numeric attribute `tuple` defines for
+    /// the first time store-wide. The memtable's index just fixed the
+    /// degenerate first-value domain (the monolithic engine's rule);
+    /// recording it makes every later tier quantise identically.
+    fn observe_domains(&mut self, tuple: &Tuple) {
+        for (attr, value) in tuple.iter() {
+            if !matches!(value, Value::Num(_)) {
+                continue;
+            }
+            let i = attr.index();
+            if self.domains.get(i).is_some_and(|d| d.is_pinned()) {
+                continue;
+            }
+            if let Some(e) = self.memtable.index().attr_entry(attr) {
+                if e.min <= e.max {
+                    self.domains[i] = DomainPin {
+                        min: e.min,
+                        max: e.max,
+                    };
+                    self.meta_dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Insert a tuple; returns its tuple id (globally unique across
+    /// tiers). Volatile until the next [`LsmDb::flush`].
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<Tid> {
+        let (tid, _ptr) = self.memtable.insert(tuple)?;
+        self.observe_domains(tuple);
+        self.ops += 1;
+        Ok(tid)
+    }
+
+    /// Delete a tuple by id, tombstoning whichever tier holds it.
+    /// Returns false if absent/already deleted.
+    pub fn delete(&mut self, tid: Tid) -> Result<bool> {
+        self.ops += 1;
+        if self.memtable.delete(tid)? {
+            return Ok(true);
+        }
+        for seg in &mut self.segments {
+            if seg.covers(tid) {
+                return seg.delete(tid);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Update = delete + insert under a fresh tuple id (Sec. IV-B).
+    /// Returns the new tuple id.
+    ///
+    /// If inserting `new_tuple` fails, the old tuple is reinserted —
+    /// under a fresh id, like any update — so the data survives the
+    /// failed attempt.
+    pub fn update(&mut self, tid: Tid, new_tuple: &Tuple) -> Result<Tid> {
+        let Some(old) = self.get(tid)? else {
+            return Err(IvaError::InvalidArgument(format!(
+                "update of unknown tuple {tid}"
+            )));
+        };
+        self.delete(tid)?;
+        match self.insert(new_tuple) {
+            Ok(new_tid) => Ok(new_tid),
+            Err(e) => {
+                self.insert(&old)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Fetch a live tuple by id from whichever tier holds it.
+    pub fn get(&self, tid: Tid) -> Result<Option<Tuple>> {
+        if let Some(ptr) = self.memtable.lookup_ptr(tid)? {
+            return Ok(Some(self.memtable.table().get(ptr)?.tuple));
+        }
+        for seg in &self.segments {
+            if seg.covers(tid) {
+                return seg.get(tid);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Live tuple count across every tier.
+    pub fn len(&self) -> u64 {
+        self.memtable.live_records() + self.segments.iter().map(Segment::live_records).sum::<u64>()
+    }
+
+    /// True if no live tuples exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sealed segments, oldest first (advanced/testing surface).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The mutable tier (advanced/testing surface).
+    pub fn memtable(&self) -> &Memtable {
+        &self.memtable
+    }
+
+    /// Manifest read/write accounting.
+    pub fn manifest_io(&self) -> &IoStats {
+        &self.manifest_io
+    }
+
+    /// Seal/compaction build accounting (staging I/O).
+    pub fn maintenance_io(&self) -> &IoStats {
+        &self.maintenance_io
+    }
+
+    /// Stage a seal of the current memtable (`&self` — readers keep
+    /// going). Returns `None` when the memtable holds nothing to seal.
+    pub fn prepare_seal(&self) -> Result<Option<SealPlan>> {
+        if self.memtable.is_unused() {
+            return Ok(None);
+        }
+        let id = self.next_segment_id;
+        let range = write_segment(
+            &self.vfs,
+            &self.dir,
+            id,
+            &[self.memtable.table()],
+            self.catalog(),
+            &self.opts.pager,
+            self.opts.config,
+            &self.domains,
+            self.maintenance_io.clone(),
+            self.maintenance_io.clone(),
+        )?;
+        Ok(Some(SealPlan {
+            id,
+            range,
+            next_tid: self.memtable.next_tid(),
+            ops: self.ops,
+        }))
+    }
+
+    /// Publish a staged seal: swap in the new segment (if any record
+    /// survived), restart the memtable past the sealed tids, and commit
+    /// the manifest — the seal's single atomic point.
+    pub fn publish_seal(&mut self, plan: SealPlan) -> Result<()> {
+        if plan.id != self.next_segment_id || plan.ops != self.ops {
+            return Err(IvaError::InvalidArgument(
+                "stale seal plan: mutations interleaved with the prepare phase".into(),
+            ));
+        }
+        if let Some((lo, hi)) = plan.range {
+            self.segments.push(Segment::open(
+                &self.vfs,
+                &self.dir,
+                plan.id,
+                lo,
+                hi,
+                &self.opts.pager,
+                self.opts.config,
+                &self.domains,
+            )?);
+        }
+        self.next_segment_id = plan.id + 1;
+        let catalog = self.catalog().clone();
+        self.memtable = Memtable::new(
+            &catalog,
+            &self.opts.pager,
+            self.opts.config,
+            plan.next_tid,
+            &self.domains,
+        )?;
+        self.write_manifest()
+    }
+
+    /// Seal the memtable into a fresh segment (prepare + publish in
+    /// one). Returns whether anything was sealed.
+    pub fn seal(&mut self) -> Result<bool> {
+        match self.prepare_seal()? {
+            Some(plan) => {
+                self.publish_seal(plan)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Stage a merge of every sealed segment into one (`&self` —
+    /// readers keep scanning the sources). Returns `None` with fewer
+    /// than two segments.
+    pub fn prepare_compact(&self) -> Result<Option<MergePlan>> {
+        if self.segments.len() < 2 {
+            return Ok(None);
+        }
+        let sources: Vec<&Segment> = self.segments.iter().collect();
+        let inner = prepare_merge(
+            &self.vfs,
+            &self.dir,
+            self.next_segment_id,
+            &sources,
+            self.catalog(),
+            &self.opts.pager,
+            self.opts.config,
+            &self.domains,
+            &self.maintenance_io,
+        )?;
+        Ok(Some(MergePlan {
+            inner,
+            ops: self.ops,
+        }))
+    }
+
+    /// Publish a staged merge: swap the merged segment in for its
+    /// sources, commit the manifest (the merge's single atomic point),
+    /// then garbage-collect the source files.
+    pub fn publish_compact(&mut self, plan: MergePlan) -> Result<()> {
+        if plan.inner.new_id != self.next_segment_id || plan.ops != self.ops {
+            return Err(IvaError::InvalidArgument(
+                "stale merge plan: mutations interleaved with the prepare phase".into(),
+            ));
+        }
+        let merged = match plan.inner.range {
+            Some((lo, hi)) => Some(Segment::open(
+                &self.vfs,
+                &self.dir,
+                plan.inner.new_id,
+                lo,
+                hi,
+                &self.opts.pager,
+                self.opts.config,
+                &self.domains,
+            )?),
+            None => None,
+        };
+        self.segments
+            .retain(|s| !plan.inner.source_ids.contains(&s.id()));
+        if let Some(seg) = merged {
+            self.segments.push(seg);
+            self.segments.sort_by_key(Segment::lo_tid);
+        }
+        self.next_segment_id = plan.inner.new_id + 1;
+        self.write_manifest()?;
+        for &sid in &plan.inner.source_ids {
+            remove_segment_files(self.vfs.as_ref(), &self.dir, sid)?;
+        }
+        Ok(())
+    }
+
+    /// Merge every sealed segment into one (prepare + publish in one).
+    /// Returns whether a merge ran.
+    pub fn compact(&mut self) -> Result<bool> {
+        match self.prepare_compact()? {
+            Some(plan) => {
+                self.publish_compact(plan)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Propose the next unit of maintenance under the configured
+    /// thresholds: a seal once the memtable reaches
+    /// [`LsmOptions::memtable_limit`] records, else a merge once the
+    /// store reaches [`LsmOptions::compact_fanout`] segments. `&self` —
+    /// this is the expensive staging half, safe under concurrent reads.
+    pub fn plan_maintenance(&self) -> Result<Option<MaintenancePlan>> {
+        if self.opts.memtable_limit > 0 && self.memtable.total_records() >= self.opts.memtable_limit
+        {
+            if let Some(plan) = self.prepare_seal()? {
+                return Ok(Some(MaintenancePlan::Seal(plan)));
+            }
+        }
+        if self.opts.compact_fanout > 0 && self.segments.len() >= self.opts.compact_fanout {
+            if let Some(plan) = self.prepare_compact()? {
+                return Ok(Some(MaintenancePlan::Merge(plan)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Commit a staged maintenance plan (`&mut self` — the cheap swap).
+    /// Returns whether the plan published (an interleaved mutation makes
+    /// it stale, which surfaces as an error).
+    pub fn publish_maintenance(&mut self, plan: MaintenancePlan) -> Result<bool> {
+        match plan {
+            MaintenancePlan::Seal(p) => self.publish_seal(p)?,
+            MaintenancePlan::Merge(p) => self.publish_compact(p)?,
+        }
+        Ok(true)
+    }
+
+    /// Run one round of threshold-driven maintenance synchronously.
+    /// Returns whether any work ran.
+    pub fn maintain(&mut self) -> Result<bool> {
+        match self.plan_maintenance()? {
+            Some(plan) => self.publish_maintenance(plan),
+            None => Ok(false),
+        }
+    }
+
+    /// Persist everything durably — the acknowledgement point. Dirty
+    /// segments commit their in-place tombstones; the memtable (if used)
+    /// seals into a segment; metadata-only changes (new attributes,
+    /// freshly pinned domains) rewrite the manifest.
+    pub fn flush(&mut self) -> Result<()> {
+        for seg in &mut self.segments {
+            if seg.is_dirty() {
+                seg.flush()?;
+            }
+        }
+        if !self.seal()? && self.meta_dirty {
+            self.write_manifest()?;
+        }
+        Ok(())
+    }
+
+    /// Build a [`Query`] from attribute names resolved through this
+    /// store's catalog.
+    pub fn query_builder(&self) -> QueryBuilder<'_> {
+        QueryBuilder::new(self.catalog())
+    }
+
+    /// Resolve the weight `λ` of each query attribute under `scheme`,
+    /// aggregated across every tier: `|T|` is the store's live tuple
+    /// count and `|T|_A` sums the attribute's document frequency over
+    /// all tiers, so λ is one global vector — every tier scan lower-
+    /// bounds the same weighted metric (a per-tier λ would break the
+    /// carried pool's admission bound).
+    pub fn resolve_weights(&self, query: &Query, scheme: WeightScheme) -> Vec<f64> {
+        let mut total = self.memtable.index().n_tuples() - self.memtable.index().n_deleted();
+        for seg in &self.segments {
+            total += seg.index().n_tuples() - seg.index().n_deleted();
+        }
+        query
+            .iter()
+            .map(|(attr, _)| {
+                let mut df = self.memtable.index().attr_entry(attr).map_or(0, |e| e.df);
+                for seg in &self.segments {
+                    df += seg.index().attr_entry(attr).map_or(0, |e| e.df);
+                }
+                scheme.weight(total, df)
+            })
+            .collect()
+    }
+
+    /// Run one top-k search as described by `request` — the single entry
+    /// point every other search method wraps.
+    pub fn execute(&self, query: &Query, request: &SearchRequest) -> Result<SearchOutcome> {
+        let metric = request.metric_override().unwrap_or(self.opts.metric);
+        self.execute_metric(query, &metric, request)
+    }
+
+    /// [`LsmDb::execute`] under a caller-supplied [`Metric`]
+    /// implementation.
+    pub fn execute_metric<M: Metric + Sync>(
+        &self,
+        query: &Query,
+        metric: &M,
+        request: &SearchRequest,
+    ) -> Result<SearchOutcome> {
+        let scheme = request.weights_override().unwrap_or(self.opts.weights);
+        let lambda = self.resolve_weights(query, scheme);
+        let qopts = QueryOptions {
+            threads: request.threads_override(),
+            measured: request.is_measured(),
+            refine_batch: request.refine_batch_override(),
+        };
+        let mut carry = ScanCarry::new(request.k());
+        for seg in &self.segments {
+            seg.index().query_carry_opts(
+                seg.table(),
+                query,
+                metric,
+                &lambda,
+                &qopts,
+                &mut carry,
+            )?;
+        }
+        self.memtable.index().query_carry_opts(
+            self.memtable.table(),
+            query,
+            metric,
+            &lambda,
+            &qopts,
+            &mut carry,
+        )?;
+        self.materialize(carry.finish())
+    }
+
+    /// The table holding live tuple `tid` (tiers cover disjoint tid
+    /// ranges, so the covering tier is the holding tier).
+    fn tier_table(&self, tid: Tid) -> &SwtTable {
+        for seg in &self.segments {
+            if seg.covers(tid) {
+                return seg.table();
+            }
+        }
+        self.memtable.table()
+    }
+
+    /// Turn a raw carried outcome into a [`SearchOutcome`] by fetching
+    /// each hit's tuple from the tier that holds it.
+    fn materialize(&self, out: QueryOutcome) -> Result<SearchOutcome> {
+        let hits = out
+            .results
+            .into_iter()
+            .map(|e| {
+                Ok(SearchHit {
+                    tid: e.tid,
+                    dist: e.dist,
+                    tuple: self.tier_table(e.tid).get(e.ptr)?.tuple,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SearchOutcome {
+            hits,
+            stats: out.stats,
+        })
+    }
+
+    /// The metric used when a request carries no override.
+    pub fn default_metric(&self) -> MetricKind {
+        self.opts.metric
+    }
+
+    /// Cross-tier sequential plan (Sec. V-A's ordered-refinement
+    /// baseline): the same carried scan, driven through each tier's
+    /// [`iva_core::IvaIndex::query_sequential_plan`] stage. Hits are
+    /// bit-identical
+    /// to the monolithic sequential plan; `table_accesses` may differ,
+    /// since leftover-round ordering is per tier (DESIGN.md §14).
+    pub fn execute_sequential_plan(
+        &self,
+        query: &Query,
+        request: &SearchRequest,
+    ) -> Result<SearchOutcome> {
+        let metric = request.metric_override().unwrap_or(self.opts.metric);
+        let scheme = request.weights_override().unwrap_or(self.opts.weights);
+        let lambda = self.resolve_weights(query, scheme);
+        let mut carry = ScanCarry::new(request.k());
+        for seg in &self.segments {
+            seg.index().query_carry_sequential_plan(
+                seg.table(),
+                query,
+                &metric,
+                &lambda,
+                &mut carry,
+            )?;
+        }
+        self.memtable.index().query_carry_sequential_plan(
+            self.memtable.table(),
+            query,
+            &metric,
+            &lambda,
+            &mut carry,
+        )?;
+        self.materialize(carry.finish())
+    }
+}

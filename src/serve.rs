@@ -148,6 +148,32 @@ impl<E: EngineWriter> Writer<E> {
         self.apply(|e| e.flush())
     }
 
+    /// Run one round of background maintenance (a seal or a compaction)
+    /// without stalling readers: the expensive staging half runs under a
+    /// *read* snapshot — concurrent searches proceed throughout — and
+    /// the write lock is taken only for the publish half, whose critical
+    /// section is a tier-list swap plus one manifest commit. Returns
+    /// whether any work ran. Publishes when it does.
+    ///
+    /// This is the serving-layer fix for the naive
+    /// `writer.apply(|db| db.seal())` route, which holds the exclusive
+    /// lock across an entire segment build. The single-writer discipline
+    /// (`&mut self` here) guarantees no mutation interleaves between the
+    /// two halves, so the staged plan can never go stale.
+    pub fn maintain(&mut self) -> Result<bool>
+    where
+        E: crate::engine::MaintainEngine,
+    {
+        let plan = {
+            let snap = self.snapshot();
+            snap.plan_maintenance()?
+        };
+        match plan {
+            Some(plan) => self.apply(|e| e.publish_maintenance(plan)),
+            None => Ok(false),
+        }
+    }
+
     /// Tear down serving and take the engine back. Fails (returning the
     /// intact writer) while any [`Reader`], [`Snapshot`] or [`Server`] is
     /// still alive.

@@ -19,7 +19,8 @@ use std::sync::Arc;
 use iva_core::ListType;
 use iva_file::vfs::{FaultVfs, MemVfs, Vfs};
 use iva_file::{
-    AttrId, IvaDb, IvaDbOptions, PagerOptions, Query, SearchRequest, Tid, Tuple, Value,
+    AttrId, IvaDb, IvaDbOptions, LsmDb, LsmOptions, PagerOptions, Query, SearchRequest, Tid, Tuple,
+    Value,
 };
 
 const DIR: &str = "torture-db";
@@ -306,6 +307,410 @@ fn full_stack_power_cut_sweep_recovers_committed_state() {
         let ctx = format!("seed={seed:#x} crash_at={crash_at}");
         verify_recovery(Arc::new(fv.durable_snapshot()), &outcome, &ctx);
     }
+}
+
+// ---------------------------------------------------------------------
+// Segmented (LSM-style) write path under the same power-cut discipline.
+// ---------------------------------------------------------------------
+
+const LSM_DIR: &str = "torture-lsm";
+
+fn lsm_opts() -> LsmOptions {
+    LsmOptions {
+        pager: PagerOptions {
+            page_size: 256,
+            cache_bytes: 256 * 32,
+        },
+        // Maintenance is driven explicitly by the workload.
+        memtable_limit: 0,
+        compact_fanout: 0,
+        ..Default::default()
+    }
+}
+
+/// Replay the segmented workload: batches of inserts and cross-tier
+/// deletes, with mid-batch seals and compactions, acknowledged by a
+/// store-level flush per batch. Returns the last acked live map and (if
+/// the run died mid-batch) the in-flight one.
+fn run_lsm_workload(vfs: Arc<dyn Vfs>) -> Outcome {
+    let nothing = Outcome {
+        acked: None,
+        pending: None,
+    };
+    let mut db = match LsmDb::create_with_vfs(vfs, Path::new(LSM_DIR), lsm_opts()) {
+        Ok(db) => db,
+        Err(_) => return nothing,
+    };
+    for name in ["dense_txt", "sparse_txt"] {
+        if db.define_text(name).is_err() {
+            return nothing;
+        }
+    }
+    for name in ["dense_num", "sparse_num"] {
+        if db.define_numeric(name).is_err() {
+            return nothing;
+        }
+    }
+    let mut live: Shadow = Vec::new();
+    if db.flush().is_err() {
+        return Outcome {
+            acked: None,
+            pending: Some(live),
+        };
+    }
+    let mut acked = Some(live.clone());
+
+    for batch in 0u32..5 {
+        let batch_start = batch * BATCH;
+        for i in batch_start..batch_start + BATCH {
+            let tup = row(i);
+            match db.insert(&tup) {
+                Ok(tid) => live.push((tid, tup)),
+                Err(_) => {
+                    return Outcome {
+                        acked,
+                        pending: Some(live),
+                    }
+                }
+            }
+        }
+        // A mid-batch seal moves the young inserts to disk before the
+        // deletes below, so the deletes tombstone a *sealed segment* in
+        // place — the cross-tier arm of the delete path.
+        if batch == 1 && db.seal().is_err() {
+            return Outcome {
+                acked,
+                pending: Some(live),
+            };
+        }
+        for _ in 0..2 {
+            if live.len() > 4 {
+                let (tid, _) = live.remove(live.len() / 3);
+                if db.delete(tid).is_err() {
+                    return Outcome {
+                        acked,
+                        pending: Some(live),
+                    };
+                }
+            }
+        }
+        // A mid-batch compaction (once several segments exist) exercises
+        // the merge commit protocol under the sweep.
+        if batch == 3 && db.compact().is_err() {
+            return Outcome {
+                acked,
+                pending: Some(live),
+            };
+        }
+        let pending = live.clone();
+        match db.flush() {
+            Ok(()) => acked = Some(pending),
+            Err(_) => {
+                return Outcome {
+                    acked,
+                    pending: Some(pending),
+                }
+            }
+        }
+    }
+    Outcome {
+        acked,
+        pending: None,
+    }
+}
+
+/// Per-tuple acked-or-pending acceptance. The segmented store has one
+/// commit point per segment plus the manifest, so a crash mid-batch can
+/// durably capture *some* of the in-flight mutations (a sealed insert, a
+/// flushed segment tombstone) without the others — each tuple must
+/// individually read back as its acked or its pending version, tuples
+/// the two states agree on must match exactly, and nothing else may be
+/// live. Returns the recovered live map for the oracle check.
+fn lsm_recovered_state(db: &LsmDb, acked: &Shadow, pending: Option<&Shadow>, ctx: &str) -> Shadow {
+    let pending = pending.unwrap_or(acked);
+    let mut union: Vec<(Tid, (Option<&Tuple>, Option<&Tuple>))> = Vec::new();
+    fn lookup(s: &Shadow, tid: Tid) -> Option<&Tuple> {
+        s.iter().find(|(t, _)| *t == tid).map(|(_, tup)| tup)
+    }
+    for (tid, _) in acked.iter().chain(pending) {
+        if union.iter().any(|(t, _)| t == tid) {
+            continue;
+        }
+        union.push((*tid, (lookup(acked, *tid), lookup(pending, *tid))));
+    }
+    let mut recovered: Shadow = Vec::new();
+    for (tid, (a, p)) in union {
+        let got = db
+            .get(tid)
+            .unwrap_or_else(|e| panic!("{ctx}: get({tid}) failed after recovery: {e}"));
+        let ok = match (a, p) {
+            (Some(a), Some(p)) if a == p => got.as_ref() == Some(a),
+            (Some(a), Some(p)) => got.as_ref() == Some(a) || got.as_ref() == Some(p),
+            (Some(a), None) => got.as_ref() == Some(a) || got.is_none(),
+            (None, Some(p)) => got.as_ref() == Some(p) || got.is_none(),
+            (None, None) => unreachable!("tid came from one of the shadows"),
+        };
+        assert!(
+            ok,
+            "{ctx}: tuple {tid} recovered to {:?}, acked {:?}, pending {:?}",
+            got.is_some(),
+            a.is_some(),
+            p.is_some()
+        );
+        if let Some(tup) = got {
+            recovered.push((tid, tup));
+        }
+    }
+    assert_eq!(
+        db.len(),
+        recovered.len() as u64,
+        "{ctx}: live count disagrees with the per-tuple probe — a tuple outside the \
+         acked/pending union is live"
+    );
+    recovered
+}
+
+fn verify_lsm_recovery(disk: Arc<dyn Vfs>, outcome: &Outcome, ctx: &str) {
+    let reopened = LsmDb::open_with_vfs(disk, Path::new(LSM_DIR), lsm_opts());
+    let Some(acked) = &outcome.acked else {
+        return;
+    };
+    let mut db = match reopened {
+        Ok(db) => db,
+        Err(e) => panic!("{ctx}: acked state exists but reopen failed: {e}"),
+    };
+
+    // Segment membership is atomic regardless of where the cut landed:
+    // whatever tier set the manifest committed must be internally
+    // consistent — disjoint ascending tid ranges, every range non-empty.
+    let mut prev_hi: Option<Tid> = None;
+    for seg in db.segments() {
+        assert!(
+            seg.lo_tid() <= seg.hi_tid(),
+            "{ctx}: segment {} has inverted range",
+            seg.id()
+        );
+        if let Some(hi) = prev_hi {
+            assert!(
+                seg.lo_tid() > hi,
+                "{ctx}: segment {} overlaps its predecessor",
+                seg.id()
+            );
+        }
+        prev_hi = Some(seg.hi_tid());
+    }
+
+    let recovered = lsm_recovered_state(&db, acked, outcome.pending.as_ref(), ctx);
+
+    // Top-k agreement with a monolithic oracle over the recovered state —
+    // refinement distances are exact, so the engines must agree digit for
+    // digit whatever the tier layout looks like.
+    let k = 10;
+    let got: Vec<f64> = db
+        .execute(&probe_query(), &SearchRequest::new(k))
+        .unwrap_or_else(|e| panic!("{ctx}: search after recovery failed: {e}"))
+        .hits
+        .iter()
+        .map(|h| h.dist)
+        .collect();
+    let want = shadow_topk(&recovered, k);
+    assert_eq!(got.len(), want.len(), "{ctx}: top-k size mismatch");
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (g - w).abs() < 1e-9,
+            "{ctx}: top-k rank {i}: recovered dist {g}, oracle dist {w}"
+        );
+    }
+
+    // The recovered store must accept and commit new work.
+    let tid = db
+        .insert(&Tuple::new().with(AttrId(0), Value::text("post recovery tuple")))
+        .unwrap_or_else(|e| panic!("{ctx}: insert after recovery failed: {e}"));
+    db.flush()
+        .unwrap_or_else(|e| panic!("{ctx}: flush after recovery failed: {e}"));
+    let hits = db
+        .execute(
+            &Query::new().text(AttrId(0), "post recovery tuple"),
+            &SearchRequest::new(1),
+        )
+        .unwrap_or_else(|e| panic!("{ctx}: search after reinsert failed: {e}"))
+        .hits;
+    assert_eq!(hits[0].tid, tid, "{ctx}");
+    assert_eq!(hits[0].dist, 0.0, "{ctx}");
+}
+
+#[test]
+fn lsm_power_cut_sweep_recovers_committed_state() {
+    let seed = 0x15E6_0D_B0u64;
+
+    let dry = FaultVfs::passthrough(seed);
+    let outcome = run_lsm_workload(Arc::new(dry.clone()));
+    assert!(outcome.acked.is_some() && outcome.pending.is_none());
+    let total_ops = dry.op_count();
+
+    let points = 220.min(total_ops);
+    assert!(points >= 200, "workload too small: {total_ops} ops");
+    for p in 0..points {
+        let crash_at = p * total_ops / points;
+        let fv = FaultVfs::power_cut_at(seed, crash_at);
+        let outcome = run_lsm_workload(Arc::new(fv.clone()));
+        assert!(
+            fv.crashed(),
+            "seed={seed:#x} crash_at={crash_at}: cut never fired"
+        );
+        let ctx = format!("lsm seed={seed:#x} crash_at={crash_at}");
+        verify_lsm_recovery(Arc::new(fv.durable_snapshot()), &outcome, &ctx);
+    }
+}
+
+/// What the commit-point sweep's deterministic replay reports back when
+/// it survives to the end (the dry run; crashed replays are ignored).
+struct CompactRun {
+    /// `[window_start, window_end)`: the compaction's VFS op indices.
+    window: (u64, u64),
+    source_ids: Vec<u64>,
+    live: Shadow,
+}
+
+/// Build three sealed segments, then compact, measuring the compaction's
+/// op window on the fault layer itself (so every replay shares one op
+/// numbering). Used by the commit-point sweep.
+fn build_and_compact(fv: &FaultVfs) -> Result<CompactRun, iva_file::IvaError> {
+    let vfs: Arc<dyn Vfs> = Arc::new(fv.clone());
+    let mut db = LsmDb::create_with_vfs(vfs, Path::new(LSM_DIR), lsm_opts())?;
+    for name in ["dense_txt", "sparse_txt"] {
+        db.define_text(name)?;
+    }
+    for name in ["dense_num", "sparse_num"] {
+        db.define_numeric(name)?;
+    }
+    let mut live: Shadow = Vec::new();
+    for batch in 0u32..3 {
+        for i in batch * 20..(batch + 1) * 20 {
+            let tup = row(i);
+            let tid = db.insert(&tup)?;
+            live.push((tid, tup));
+        }
+        // One cross-segment delete per sealed batch keeps tombstones in
+        // the merge's way.
+        if live.len() > 6 {
+            let (tid, _) = live.remove(live.len() / 2);
+            db.delete(tid)?;
+        }
+        db.flush()?;
+    }
+    let source_ids: Vec<u64> = db.segments().iter().map(|s| s.id()).collect();
+    let window_start = fv.op_count();
+    db.compact()?;
+    let window_end = fv.op_count();
+    Ok(CompactRun {
+        window: (window_start, window_end),
+        source_ids,
+        live,
+    })
+}
+
+/// Crash at *every* VFS operation of the compaction window — staging
+/// writes, the manifest commit, source-file garbage collection — and
+/// require the reopened store to hold either exactly the source segments
+/// or exactly the merged one, never a mix, with the full live state
+/// intact either way (compaction is pure reorganization).
+#[test]
+fn compactor_commit_point_sweep_leaves_segments_merged_or_intact() {
+    let seed = 0xC0_4A_C7u64;
+
+    // Dry run: find the compaction's op window.
+    let dry = FaultVfs::passthrough(seed);
+    let run = build_and_compact(&dry).unwrap();
+    let (window_start, window_end) = run.window;
+    let sources = run.source_ids;
+    let live = run.live;
+    assert!(sources.len() >= 2, "workload sealed too few segments");
+    let merged_id = *sources.iter().max().unwrap() + 1;
+    assert!(
+        window_end - window_start >= 20,
+        "compaction window implausibly small: {} ops",
+        window_end - window_start
+    );
+
+    for crash_at in window_start..window_end {
+        let fv = FaultVfs::power_cut_at(seed, crash_at);
+        let _ = build_and_compact(&fv);
+        assert!(
+            fv.crashed(),
+            "seed={seed:#x} crash_at={crash_at}: cut never fired"
+        );
+        let ctx = format!("compact seed={seed:#x} crash_at={crash_at}");
+        let db = LsmDb::open_with_vfs(
+            Arc::new(fv.durable_snapshot()),
+            Path::new(LSM_DIR),
+            lsm_opts(),
+        )
+        .unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
+        let ids: Vec<u64> = db.segments().iter().map(|s| s.id()).collect();
+        assert!(
+            ids == sources || ids == [merged_id],
+            "{ctx}: half-visible merge: segments {ids:?} (sources {sources:?}, merged {merged_id})"
+        );
+        // Compaction changes no logical state: every live tuple must read
+        // back exactly on both sides of the commit point. (The deletes
+        // were all acked by the pre-compaction flushes.)
+        assert_eq!(db.len(), live.len() as u64, "{ctx}: live count changed");
+        for (tid, tup) in &live {
+            assert_eq!(
+                db.get(*tid).unwrap().as_ref(),
+                Some(tup),
+                "{ctx}: tuple {tid} damaged by the cut"
+            );
+        }
+    }
+}
+
+/// A bit-flipped or truncated manifest must surface as a typed error at
+/// open — never a panic, never a silently empty store. (The manifest
+/// payload decoder is additionally fuzzed byte-by-byte in
+/// `iva-storage`'s unit tests; this covers the full open path through
+/// the commit record.)
+#[test]
+fn damaged_manifest_is_rejected_typed() {
+    let mem = MemVfs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(mem.clone());
+    {
+        let mut db =
+            LsmDb::create_with_vfs(Arc::clone(&vfs), Path::new(LSM_DIR), lsm_opts()).unwrap();
+        db.define_text("dense_txt").unwrap();
+        for i in 0..30 {
+            db.insert(&Tuple::new().with(AttrId(0), Value::text(format!("tuple {i}"))))
+                .unwrap();
+        }
+        db.flush().unwrap();
+    }
+    let path = Path::new(LSM_DIR).join("manifest.ivls");
+    let clean = mem.contents(&path).unwrap();
+
+    // Every single-bit flip and every truncation must be caught by the
+    // commit record's CRC (or the manifest decoder behind it).
+    for at in 0..clean.len() {
+        let mut bytes = clean.clone();
+        bytes[at] ^= 0x01;
+        mem.set_contents(&path, bytes);
+        match LsmDb::open_with_vfs(Arc::clone(&vfs), Path::new(LSM_DIR), lsm_opts()) {
+            Err(_) => {}
+            Ok(_) => panic!("flip at byte {at} opened as a valid store"),
+        }
+    }
+    for len in 0..clean.len() {
+        mem.set_contents(&path, clean[..len].to_vec());
+        match LsmDb::open_with_vfs(Arc::clone(&vfs), Path::new(LSM_DIR), lsm_opts()) {
+            Err(_) => {}
+            Ok(_) => panic!("truncation to {len} bytes opened as a valid store"),
+        }
+    }
+
+    // Restore and prove the sweep damaged nothing else.
+    mem.set_contents(&path, clean);
+    let db = LsmDb::open_with_vfs(vfs, Path::new(LSM_DIR), lsm_opts()).unwrap();
+    assert_eq!(db.len(), 30);
 }
 
 /// A deliberately bit-flipped table page must surface as a corruption

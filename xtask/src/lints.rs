@@ -209,7 +209,13 @@ pub fn determinism(file: &str, toks: &[Tok]) -> Vec<Violation> {
 /// [`VfsFile`] read or write must be visible to [`IoStats`]. A module that
 /// calls `.read_at(…)` / `.write_at(…)` / `read_full_at(…)` without ever
 /// touching `IoStats` is doing unaccounted I/O — the benchmarks would
-/// under-report it. Fires once per offending file, at the first raw call.
+/// under-report it. The whole-file helpers (`read_to_vec(…)`,
+/// `write_vec(…)`, `write_full_at(…)`) count as raw I/O too: the
+/// segmented write path moves bytes through them (manifest and commit
+/// records), and every tier — memtable, sealed segment, manifest — is
+/// required to carry its own `IoStats`, so a tier module that streams
+/// whole files without stats is exactly the under-reporting this lint
+/// exists to catch. Fires once per offending file, at the first raw call.
 pub fn accounting(file: &str, toks: &[Tok]) -> Vec<Violation> {
     const LINT: &str = "accounting";
     let mut first_raw: Option<(u32, String)> = None;
@@ -227,7 +233,9 @@ pub fn accounting(file: &str, toks: &[Tok]) -> Vec<Violation> {
             {
                 first_raw = Some((t.line, t.s.clone()));
             }
-            "read_full_at" if prev != Some("fn") && nx(1) == Some("(") && first_raw.is_none() => {
+            "read_full_at" | "write_full_at" | "read_to_vec" | "write_vec"
+                if prev != Some("fn") && nx(1) == Some("(") && first_raw.is_none() =>
+            {
                 first_raw = Some((t.line, t.s.clone()));
             }
             _ => {}

@@ -147,6 +147,38 @@ fn f(file: &dyn VfsFile, stats: &IoStats) {
 }
 
 #[test]
+fn accounting_fires_on_unaccounted_whole_file_helpers() {
+    // The manifest/commit path of the segmented store streams whole
+    // files through `read_to_vec`/`write_vec`/`write_full_at` — a tier
+    // module doing that without IoStats is under-reported I/O.
+    let v = analyze_source(
+        "accounting",
+        "crates/storage/src/newtier.rs",
+        "fn load(vfs: &dyn Vfs, p: &Path) -> Vec<u8> { read_to_vec(vfs, p).unwrap() }",
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("read_to_vec"), "{v:?}");
+    let v = analyze_source(
+        "accounting",
+        "crates/storage/src/newtier.rs",
+        "fn save(vfs: &dyn Vfs, p: &Path) { write_vec(vfs, p, b\"x\").unwrap(); }",
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+}
+
+#[test]
+fn accounting_accepts_whole_file_helpers_with_stats() {
+    let src = r#"
+fn save(vfs: &dyn Vfs, p: &Path, io: &IoStats) {
+    io.record_disk_write(1);
+    write_vec(vfs, p, b"x").unwrap();
+}
+"#;
+    let v = analyze_source("accounting", "crates/storage/src/newtier.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
 fn accounting_ignores_trait_definitions() {
     let src = "trait T { fn read_at(&self, buf: &mut [u8], off: u64) -> usize; }";
     let v = analyze_source("accounting", "crates/storage/src/newmod.rs", src);
