@@ -183,7 +183,7 @@ fn codec_throughput(dataset: &Dataset, config: &IvaConfig) -> CodecStats {
                 }
                 let str_count: u64 = items.iter().map(|(_, s)| s.len() as u64).sum();
                 let lty = choose_text_type(str_count, items.len() as u64, n_tuples);
-                let raw = encode_text_list(lty, items, &all_tids);
+                let raw = encode_text_list(lty, items, &all_tids).unwrap();
                 let t0 = Instant::now();
                 let packed = encode_packed_text_list(lty, items, &all_tids);
                 stats.encode_secs += t0.elapsed().as_secs_f64();
@@ -191,7 +191,7 @@ fn codec_throughput(dataset: &Dataset, config: &IvaConfig) -> CodecStats {
                 let reader = ListReader::open(pager.clone(), handle).expect("open list");
                 let t0 = Instant::now();
                 let decoded = PackedReader::new_text(reader, lty, &sig_codec)
-                    .and_then(|r| r.read_to_vec())
+                    .and_then(|r| r.decode_to_vec())
                     .expect("decode");
                 stats.decode_secs += t0.elapsed().as_secs_f64();
                 assert_eq!(decoded, raw, "decode mismatch on text attr {i}");
@@ -212,7 +212,7 @@ fn codec_throughput(dataset: &Dataset, config: &IvaConfig) -> CodecStats {
                     values.iter().map(|(t, v)| (*t, codec.encode(*v))).collect();
                 let lty =
                     choose_num_type(config.numeric_code_bytes(), items.len() as u64, n_tuples);
-                let raw = encode_num_list(lty, &items, &all_tids, &codec);
+                let raw = encode_num_list(lty, &items, &all_tids, &codec).unwrap();
                 let t0 = Instant::now();
                 let packed = encode_packed_num_list(lty, &items, &all_tids, &codec);
                 stats.encode_secs += t0.elapsed().as_secs_f64();
@@ -220,7 +220,7 @@ fn codec_throughput(dataset: &Dataset, config: &IvaConfig) -> CodecStats {
                 let reader = ListReader::open(pager.clone(), handle).expect("open list");
                 let t0 = Instant::now();
                 let decoded = PackedReader::new_num(reader, lty, &codec)
-                    .and_then(|r| r.read_to_vec())
+                    .and_then(|r| r.decode_to_vec())
                     .expect("decode");
                 stats.decode_secs += t0.elapsed().as_secs_f64();
                 assert_eq!(decoded, raw, "decode mismatch on numeric attr {i}");

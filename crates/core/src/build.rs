@@ -108,9 +108,15 @@ pub fn build_index_with_domains(
                         .iter()
                         .map(|s| sig_codec.encode_to_vec(s.as_bytes()))
                         .collect();
-                    text_items[attr.index()].push((tid, sigs));
+                    if let Some(acc) = text_items.get_mut(attr.index()) {
+                        acc.push((tid, sigs));
+                    }
                 }
-                Value::Num(v) => num_items[attr.index()].push((tid, *v)),
+                Value::Num(v) => {
+                    if let Some(acc) = num_items.get_mut(attr.index()) {
+                        acc.push((tid, *v));
+                    }
+                }
             }
         }
     }
@@ -131,11 +137,11 @@ pub fn build_index_with_domains(
     for (attr, def) in table.catalog().iter() {
         let i = attr.index();
         let entry = if def.ty == iva_swt::AttrType::Text {
-            let items = &text_items[i];
+            let items = text_items.get(i).map(Vec::as_slice).unwrap_or_default();
             let df = items.len() as u64;
             let str_count: u64 = items.iter().map(|(_, s)| s.len() as u64).sum();
             let ty = choose_text_type(str_count, df, n_tuples);
-            let raw = encode_text_list(ty, items, &all_tids);
+            let raw = encode_text_list(ty, items, &all_tids)?;
             let packed = config
                 .compress_lists
                 .then(|| encode_packed_text_list(ty, items, &all_tids));
@@ -145,7 +151,11 @@ pub fn build_index_with_domains(
                 ListType::I => str_count,
                 ListType::II => df,
                 ListType::III => n_tuples,
-                ListType::IV => unreachable!(),
+                ListType::IV => {
+                    return Err(IvaError::InvalidArgument(
+                        "choose_text_type produced the numeric-only Type IV".into(),
+                    ))
+                }
             };
             AttrEntry {
                 vlist,
@@ -161,7 +171,7 @@ pub fn build_index_with_domains(
                 logical_len,
             }
         } else {
-            let values = &num_items[i];
+            let values = num_items.get(i).map(Vec::as_slice).unwrap_or_default();
             let df = values.len() as u64;
             let (min, max) = match domains.and_then(|d| d.get(i)) {
                 Some(pin) if pin.is_pinned() => (pin.min, pin.max),
@@ -175,7 +185,7 @@ pub fn build_index_with_domains(
             let items: Vec<(u32, u64)> =
                 values.iter().map(|(t, v)| (*t, codec.encode(*v))).collect();
             let ty = choose_num_type(config.numeric_code_bytes(), df, n_tuples);
-            let raw = encode_num_list(ty, &items, &all_tids, &codec);
+            let raw = encode_num_list(ty, &items, &all_tids, &codec)?;
             let packed = config
                 .compress_lists
                 .then(|| encode_packed_num_list(ty, &items, &all_tids, &codec));
@@ -184,7 +194,11 @@ pub fn build_index_with_domains(
             let elem_count = match ty {
                 ListType::I => df,
                 ListType::IV => n_tuples,
-                _ => unreachable!(),
+                other => {
+                    return Err(IvaError::InvalidArgument(format!(
+                        "choose_num_type produced the text-only {other:?}"
+                    )))
+                }
             };
             AttrEntry {
                 vlist,

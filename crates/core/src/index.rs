@@ -671,10 +671,10 @@ impl IvaIndex {
             ListEncoding::Packed => {
                 let r = ListReader::open(Arc::clone(&self.pager), entry.vlist)?;
                 if entry.is_text {
-                    PackedReader::new_text(r, entry.list_type, &self.sig_codec)?.read_to_vec()
+                    PackedReader::new_text(r, entry.list_type, &self.sig_codec)?.decode_to_vec()
                 } else {
                     let codec = self.numeric_codec(entry);
-                    PackedReader::new_num(r, entry.list_type, &codec)?.read_to_vec()
+                    PackedReader::new_num(r, entry.list_type, &codec)?.decode_to_vec()
                 }
             }
         }

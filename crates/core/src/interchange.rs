@@ -350,7 +350,7 @@ pub fn import_index(
                 str_count += sigs.len() as u64;
             }
             let df = attr.text_postings.len() as u64;
-            let raw = encode_text_list(attr.list_type, &attr.text_postings, &all_tids);
+            let raw = encode_text_list(attr.list_type, &attr.text_postings, &all_tids)?;
             let packed = config
                 .compress_lists
                 .then(|| encode_packed_text_list(attr.list_type, &attr.text_postings, &all_tids));
@@ -385,7 +385,7 @@ pub fn import_index(
                 }
             }
             let df = attr.num_postings.len() as u64;
-            let raw = encode_num_list(attr.list_type, &attr.num_postings, &all_tids, &codec);
+            let raw = encode_num_list(attr.list_type, &attr.num_postings, &all_tids, &codec)?;
             let packed = config.compress_lists.then(|| {
                 encode_packed_num_list(attr.list_type, &attr.num_postings, &all_tids, &codec)
             });

@@ -134,7 +134,7 @@ impl NumericCodec {
 
     /// Serialize a code into `code_bytes` little-endian bytes.
     pub fn write_code(&self, code: u64, out: &mut Vec<u8>) {
-        out.extend_from_slice(&code.to_le_bytes()[..self.code_bytes]);
+        out.extend(code.to_le_bytes().into_iter().take(self.code_bytes));
     }
 
     /// Deserialize a code from `code_bytes` bytes.
@@ -143,7 +143,9 @@ impl NumericCodec {
             return Err(IvaError::Corrupt("short numeric code".into()));
         }
         let mut bytes = [0u8; 8];
-        bytes[..self.code_bytes].copy_from_slice(&buf[..self.code_bytes]);
+        for (dst, src) in bytes.iter_mut().zip(buf.iter().take(self.code_bytes)) {
+            *dst = *src;
+        }
         Ok(u64::from_le_bytes(bytes))
     }
 }

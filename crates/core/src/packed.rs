@@ -442,6 +442,7 @@ fn encode_positional<T: PositionalElem>(
         }
         let chunk = positions.get(start..end).unwrap_or(&[]);
         let mut payload = Vec::new();
+        // lint:allow(panic-reachability, "dynamic edge: `emit` is one of the two in-module frame encoders below, both total over arbitrary position slices")
         emit(chunk, &mut payload);
         push_frame_header(out, FRAME_PACKED, chunk.len(), payload.len());
         out.extend_from_slice(&payload);
@@ -721,7 +722,7 @@ impl PackedReader {
     /// column-extraction read used by hot-tier promotion, mirroring
     /// [`iva_storage::read_list_to_vec`] for raw lists. Strict: the
     /// decoded size must equal the declared logical length.
-    pub fn read_to_vec(mut self) -> Result<Vec<u8>> {
+    pub fn decode_to_vec(mut self) -> Result<Vec<u8>> {
         let expected = self.remaining;
         // Pre-size from the prologue, but cap the up-front trust placed in
         // a disk-sourced field; a lying length still fails the strict
@@ -945,7 +946,7 @@ mod tests {
         let all_tids: Vec<u32> = (0..400).collect();
         let items = text_items(&codec, &defined);
         for ty in [ListType::I, ListType::II, ListType::III] {
-            let raw = encode_text_list(ty, &items, &all_tids);
+            let raw = encode_text_list(ty, &items, &all_tids).unwrap();
             let packed = encode_packed_text_list(ty, &items, &all_tids);
             assert_eq!(
                 packed
@@ -956,7 +957,7 @@ mod tests {
             );
             let r = reader_for(&p, &packed);
             let pr = PackedReader::new_text(r, ty, &codec).unwrap();
-            assert_eq!(pr.read_to_vec().unwrap(), raw, "type {ty}");
+            assert_eq!(pr.decode_to_vec().unwrap(), raw, "type {ty}");
         }
     }
 
@@ -971,7 +972,7 @@ mod tests {
             .map(|&t| (t, codec.encode(f64::from(t))))
             .collect();
         for ty in [ListType::I, ListType::IV] {
-            let raw = encode_num_list(ty, &items, &all_tids, &codec);
+            let raw = encode_num_list(ty, &items, &all_tids, &codec).unwrap();
             let packed = encode_packed_num_list(ty, &items, &all_tids, &codec);
             assert_eq!(
                 packed
@@ -982,7 +983,7 @@ mod tests {
             );
             let r = reader_for(&p, &packed);
             let pr = PackedReader::new_num(r, ty, &codec).unwrap();
-            assert_eq!(pr.read_to_vec().unwrap(), raw, "type {ty}");
+            assert_eq!(pr.decode_to_vec().unwrap(), raw, "type {ty}");
         }
     }
 
@@ -997,7 +998,7 @@ mod tests {
             .iter()
             .map(|&t| (t, codec.encode(f64::from(t % 100))))
             .collect();
-        let raw = encode_num_list(ListType::I, &items, &all_tids, &codec);
+        let raw = encode_num_list(ListType::I, &items, &all_tids, &codec).unwrap();
         let packed = encode_packed_num_list(ListType::I, &items, &all_tids, &codec);
         assert!(
             packed.len() * 2 < raw.len(),
@@ -1007,7 +1008,7 @@ mod tests {
         );
         // Positional list with a long ndf tail.
         let head: Vec<(u32, u64)> = (0..500u32).map(|t| (t, codec.encode(5.0))).collect();
-        let raw4 = encode_num_list(ListType::IV, &head, &all_tids, &codec);
+        let raw4 = encode_num_list(ListType::IV, &head, &all_tids, &codec).unwrap();
         let packed4 = encode_packed_num_list(ListType::IV, &head, &all_tids, &codec);
         assert!(
             packed4.len() * 2 < raw4.len(),
@@ -1024,7 +1025,7 @@ mod tests {
         let codec = NumericCodec::new(0.0, 100.0, 2);
         let p = pager();
         let items: Vec<(u32, u64)> = (0..50u32).map(|t| (t, codec.encode(1.0))).collect();
-        let raw = encode_num_list(ListType::I, &items, &[], &codec);
+        let raw = encode_num_list(ListType::I, &items, &[], &codec).unwrap();
         let mut packed = encode_packed_num_list(ListType::I, &items, &[], &codec);
         let mut tail = Vec::new();
         tail.extend_from_slice(&777u32.to_le_bytes());
@@ -1038,7 +1039,7 @@ mod tests {
         packed[..8].copy_from_slice(&(expect.len() as u64).to_le_bytes());
         let r = reader_for(&p, &packed);
         let pr = PackedReader::new_num(r, ListType::I, &codec).unwrap();
-        assert_eq!(pr.read_to_vec().unwrap(), expect);
+        assert_eq!(pr.decode_to_vec().unwrap(), expect);
     }
 
     #[test]
@@ -1055,7 +1056,7 @@ mod tests {
             *b = 9;
         }
         let pr = PackedReader::new_num(reader_for(&p, &bad), ListType::I, &codec).unwrap();
-        assert!(matches!(pr.read_to_vec(), Err(IvaError::Corrupt(_))));
+        assert!(matches!(pr.decode_to_vec(), Err(IvaError::Corrupt(_))));
 
         // Truncated payload (shorten the list mid-frame).
         let cut = good.len() - 3;
@@ -1065,7 +1066,7 @@ mod tests {
             &codec,
         )
         .unwrap();
-        assert!(matches!(pr.read_to_vec(), Err(IvaError::Corrupt(_))));
+        assert!(matches!(pr.decode_to_vec(), Err(IvaError::Corrupt(_))));
 
         // Overflowing tuple-id delta: first tid near u32::MAX with wide deltas.
         let overflow_items: Vec<(u32, u64)> = vec![(u32::MAX - 1, 1), (u32::MAX, 1)];
@@ -1076,14 +1077,14 @@ mod tests {
             window.copy_from_slice(&u32::MAX.to_le_bytes());
         }
         let pr = PackedReader::new_num(reader_for(&p, &of), ListType::I, &codec).unwrap();
-        let err = pr.read_to_vec();
+        let err = pr.decode_to_vec();
         assert!(matches!(err, Err(IvaError::Corrupt(_))), "{err:?}");
 
         // NDF_RUN frame inside a keyed list.
         let mut keyed = 10u64.to_le_bytes().to_vec();
         push_frame_header(&mut keyed, FRAME_NDF_RUN, 5, 0);
         let pr = PackedReader::new_text(reader_for(&p, &keyed), ListType::I, &scodec).unwrap();
-        assert!(matches!(pr.read_to_vec(), Err(IvaError::Corrupt(_))));
+        assert!(matches!(pr.decode_to_vec(), Err(IvaError::Corrupt(_))));
     }
 
     #[test]
@@ -1091,13 +1092,15 @@ mod tests {
         let codec = NumericCodec::new(0.0, 100.0, 2);
         let p = pager();
         let items: Vec<(u32, u64)> = (0..10u32).map(|t| (t, codec.encode(2.0))).collect();
-        let raw_len = encode_num_list(ListType::I, &items, &[], &codec).len() as u64;
+        let raw_len = encode_num_list(ListType::I, &items, &[], &codec)
+            .unwrap()
+            .len() as u64;
         let packed = encode_packed_num_list(ListType::I, &items, &[], &codec);
         for wrong in [raw_len - 1, raw_len + 1] {
             let mut lying = packed.clone();
             lying[..8].copy_from_slice(&wrong.to_le_bytes());
             let pr = PackedReader::new_num(reader_for(&p, &lying), ListType::I, &codec).unwrap();
-            assert!(matches!(pr.read_to_vec(), Err(IvaError::Corrupt(_))));
+            assert!(matches!(pr.decode_to_vec(), Err(IvaError::Corrupt(_))));
         }
     }
 }

@@ -732,7 +732,7 @@ mod tests {
             Some(best)
         };
         for ty in [ListType::I, ListType::II, ListType::III] {
-            let raw = encode_text_list(ty, &items, &tids);
+            let raw = encode_text_list(ty, &items, &tids).unwrap();
             let col = build_text_column(&raw, ty, &codec, &tids).unwrap();
             assert_eq!(col.starts.len(), tids.len() + 1);
             assert_eq!(col.n_strings(), 3);
@@ -765,7 +765,7 @@ mod tests {
         ];
         let tids = vec![5u32, 9];
         for ty in [ListType::I, ListType::II] {
-            let raw = encode_text_list(ty, &items, &tids);
+            let raw = encode_text_list(ty, &items, &tids).unwrap();
             let col = build_text_column(&raw, ty, &codec, &tids).unwrap();
             assert_eq!(col.n_strings(), 1, "type {ty:?}");
         }
@@ -777,7 +777,7 @@ mod tests {
         let items: Vec<(u32, u64)> = vec![(1, codec.encode(10.0)), (4, codec.encode(90.0))];
         let tids: Vec<u32> = (0..6).collect();
         for ty in [ListType::I, ListType::IV] {
-            let raw = encode_num_list(ty, &items, &tids, &codec);
+            let raw = encode_num_list(ty, &items, &tids, &codec).unwrap();
             let col = build_num_column(&raw, ty, &codec, &tids).unwrap();
             assert_eq!(col.codes.len(), 6);
             for pos in 0..6 {
@@ -795,7 +795,7 @@ mod tests {
     fn num_type_iv_lazy_tail_reads_ndf() {
         let codec = NumericCodec::new(0.0, 10.0, 1);
         let items: Vec<(u32, u64)> = vec![(0, codec.encode(1.0))];
-        let raw = encode_num_list(ListType::IV, &items, &[0u32], &codec);
+        let raw = encode_num_list(ListType::IV, &items, &[0u32], &codec).unwrap();
         let tids: Vec<u32> = (0..4).collect();
         let col = build_num_column(&raw, ListType::IV, &codec, &tids).unwrap();
         assert!(col.code_at(0).is_some());

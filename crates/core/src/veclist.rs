@@ -124,7 +124,11 @@ pub fn choose_num_type(code_bytes: usize, df: u64, tuples: u64) -> ListType {
 /// Encode a text attribute's vector list. `items` are `(tid, signatures)`
 /// in strictly increasing tid order; `all_tids` is the full tuple-list tid
 /// sequence (needed by the positional Type III).
-pub fn encode_text_list(ty: ListType, items: &[(u32, Vec<Vec<u8>>)], all_tids: &[u32]) -> Vec<u8> {
+pub fn encode_text_list(
+    ty: ListType,
+    items: &[(u32, Vec<Vec<u8>>)],
+    all_tids: &[u32],
+) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     match ty {
         ListType::I => {
@@ -160,10 +164,13 @@ pub fn encode_text_list(ty: ListType, items: &[(u32, Vec<Vec<u8>>)], all_tids: &
             }
             debug_assert!(it.peek().is_none(), "items not aligned with tuple list");
         }
-        // lint:allow(no-panic-decode, "encoder invariant: callers dispatch on AttrType::Text before choosing a text list type; Type IV never reaches this arm")
-        ListType::IV => unreachable!("Type IV is numeric-only"),
+        ListType::IV => {
+            return Err(IvaError::InvalidArgument(
+                "Type IV vector list is numeric-only".into(),
+            ))
+        }
     }
-    out
+    Ok(out)
 }
 
 /// Encode a numeric attribute's vector list. `items` are `(tid, code)` in
@@ -173,7 +180,7 @@ pub fn encode_num_list(
     items: &[(u32, u64)],
     all_tids: &[u32],
     codec: &NumericCodec,
-) -> Vec<u8> {
+) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     match ty {
         ListType::I => {
@@ -195,10 +202,13 @@ pub fn encode_num_list(
             }
             debug_assert!(it.peek().is_none(), "items not aligned with tuple list");
         }
-        // lint:allow(no-panic-decode, "encoder invariant: callers dispatch on AttrType::Numeric first; text list types never reach this arm")
-        _ => unreachable!("text-only list type for numeric attribute"),
+        _ => {
+            return Err(IvaError::InvalidArgument(format!(
+                "text-only list type {ty:?} for a numeric attribute"
+            )))
+        }
     }
-    out
+    Ok(out)
 }
 
 /// Element-stream source for a cursor: the raw list layout served straight
@@ -743,15 +753,21 @@ mod tests {
             .sum();
         let (l1, l2, l3) = text_list_sizes(4, 3, 10, sig_total);
         assert_eq!(
-            encode_text_list(ListType::I, &items, &all_tids).len() as u64,
+            encode_text_list(ListType::I, &items, &all_tids)
+                .unwrap()
+                .len() as u64,
             l1
         );
         assert_eq!(
-            encode_text_list(ListType::II, &items, &all_tids).len() as u64,
+            encode_text_list(ListType::II, &items, &all_tids)
+                .unwrap()
+                .len() as u64,
             l2
         );
         assert_eq!(
-            encode_text_list(ListType::III, &items, &all_tids).len() as u64,
+            encode_text_list(ListType::III, &items, &all_tids)
+                .unwrap()
+                .len() as u64,
             l3
         );
 
@@ -763,11 +779,15 @@ mod tests {
         ];
         let (n1, n4) = num_list_sizes(2, 3, 10);
         assert_eq!(
-            encode_num_list(ListType::I, &nitems, &all_tids, &ncodec).len() as u64,
+            encode_num_list(ListType::I, &nitems, &all_tids, &ncodec)
+                .unwrap()
+                .len() as u64,
             n1
         );
         assert_eq!(
-            encode_num_list(ListType::IV, &nitems, &all_tids, &ncodec).len() as u64,
+            encode_num_list(ListType::IV, &nitems, &all_tids, &ncodec)
+                .unwrap()
+                .len() as u64,
             n4
         );
     }
@@ -792,7 +812,7 @@ mod tests {
             })
             .collect();
         let all_tids: Vec<u32> = (0..10).collect();
-        let data = encode_text_list(ty, &items, &all_tids);
+        let data = encode_text_list(ty, &items, &all_tids).unwrap();
         let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
 
         let matcher = PreparedMatcher::new(&codec, b"white");
@@ -835,7 +855,7 @@ mod tests {
         )];
         let all_tids = vec![0u32];
         for ty in [ListType::I, ListType::II, ListType::III] {
-            let data = encode_text_list(ty, &items, &all_tids);
+            let data = encode_text_list(ty, &items, &all_tids).unwrap();
             let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
             let matcher = PreparedMatcher::new(&codec, b"white");
             let got = cur.advance(0, &codec, &matcher).unwrap().unwrap();
@@ -852,7 +872,7 @@ mod tests {
             (9, codec.encode(90.0)),
         ];
         let all_tids: Vec<u32> = (0..10).collect();
-        let data = encode_num_list(ty, &items, &all_tids, &codec);
+        let data = encode_num_list(ty, &items, &all_tids, &codec).unwrap();
         let mut cur = NumListCursor::new(reader_for(&p, &data), ty);
         for tid in 0..10u32 {
             let got = cur.advance(tid, &codec).unwrap();
@@ -880,7 +900,7 @@ mod tests {
             .collect();
         let all_tids: Vec<u32> = (0..5).collect();
         for ty in [ListType::I, ListType::II, ListType::III] {
-            let data = encode_text_list(ty, &items, &all_tids);
+            let data = encode_text_list(ty, &items, &all_tids).unwrap();
             let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
             let matcher = PreparedMatcher::new(&codec, b"val3");
             // Skip tuples 0-2 (as if tombstoned), then evaluate 3.
@@ -901,7 +921,7 @@ mod tests {
             .collect();
         let all_tids: Vec<u32> = (0..6).collect();
         for ty in [ListType::I, ListType::II, ListType::III] {
-            let data = encode_text_list(ty, &items, &all_tids);
+            let data = encode_text_list(ty, &items, &all_tids).unwrap();
             let mut cur = TextListCursor::new(reader_for(&p, &data), ty);
             cur.seek_elements(4, &codec).unwrap();
             let matcher = PreparedMatcher::new(&codec, b"val4");
@@ -916,7 +936,7 @@ mod tests {
             .map(|t| (t, ncodec.encode(f64::from(t))))
             .collect();
         for ty in [ListType::I, ListType::IV] {
-            let data = encode_num_list(ty, &nitems, &all_tids, &ncodec);
+            let data = encode_num_list(ty, &nitems, &all_tids, &ncodec).unwrap();
             let mut cur = NumListCursor::new(reader_for(&p, &data), ty);
             cur.seek_elements(4, &ncodec).unwrap();
             assert_eq!(
@@ -932,7 +952,7 @@ mod tests {
         let codec = SigCodec::new(0.3, 2);
         let p = pager();
         let items: Vec<(u32, Vec<Vec<u8>>)> = vec![(0, vec![codec.encode_to_vec(b"x")])];
-        let data = encode_text_list(ListType::III, &items, &[0u32]);
+        let data = encode_text_list(ListType::III, &items, &[0u32]).unwrap();
         let mut cur = TextListCursor::new(reader_for(&p, &data), ListType::III);
         cur.seek_elements(5, &codec).unwrap();
         let matcher = PreparedMatcher::new(&codec, b"x");
@@ -940,7 +960,7 @@ mod tests {
 
         let ncodec = NumericCodec::new(0.0, 10.0, 1);
         let nitems: Vec<(u32, u64)> = vec![(0, ncodec.encode(1.0))];
-        let data = encode_num_list(ListType::IV, &nitems, &[0u32], &ncodec);
+        let data = encode_num_list(ListType::IV, &nitems, &[0u32], &ncodec).unwrap();
         let mut cur = NumListCursor::new(reader_for(&p, &data), ListType::IV);
         cur.seek_elements(5, &ncodec).unwrap();
         assert!(cur.advance(5, &ncodec).unwrap().is_none());
@@ -953,7 +973,7 @@ mod tests {
         let codec = SigCodec::new(0.3, 2);
         let p = pager();
         let items: Vec<(u32, Vec<Vec<u8>>)> = vec![(0, vec![codec.encode_to_vec(b"x")])];
-        let data = encode_text_list(ListType::III, &items, &[0u32]);
+        let data = encode_text_list(ListType::III, &items, &[0u32]).unwrap();
         let mut cur = TextListCursor::new(reader_for(&p, &data), ListType::III);
         let matcher = PreparedMatcher::new(&codec, b"x");
         assert!(cur.advance(0, &codec, &matcher).unwrap().is_some());
@@ -980,7 +1000,7 @@ mod tests {
             .collect();
         let matcher = PreparedMatcher::new(&codec, b"v7-0");
         for ty in [ListType::I, ListType::II, ListType::III] {
-            let raw = encode_text_list(ty, &items, &all_tids);
+            let raw = encode_text_list(ty, &items, &all_tids).unwrap();
             let packed = encode_packed_text_list(ty, &items, &all_tids);
             let mut rc = TextListCursor::new(reader_for(&p, &raw), ty);
             let pr = PackedReader::new_text(reader_for(&p, &packed), ty, &codec).unwrap();
@@ -1007,7 +1027,7 @@ mod tests {
             .map(|t| (t, ncodec.encode(f64::from(t * 7 % 500))))
             .collect();
         for ty in [ListType::I, ListType::IV] {
-            let raw = encode_num_list(ty, &nitems, &all_tids, &ncodec);
+            let raw = encode_num_list(ty, &nitems, &all_tids, &ncodec).unwrap();
             let packed = encode_packed_num_list(ty, &nitems, &all_tids, &ncodec);
             let mut rc = NumListCursor::new(reader_for(&p, &raw), ty);
             let pr = PackedReader::new_num(reader_for(&p, &packed), ty, &ncodec).unwrap();
@@ -1033,7 +1053,7 @@ mod tests {
         let codec = NumericCodec::new(0.0, 10.0, 1);
         let p = pager();
         let items: Vec<(u32, u64)> = vec![(5, codec.encode(1.0)), (20, codec.encode(9.0))];
-        let data = encode_num_list(ListType::I, &items, &[], &codec);
+        let data = encode_num_list(ListType::I, &items, &[], &codec).unwrap();
         let mut cur = NumListCursor::new(reader_for(&p, &data), ListType::I);
         for tid in [2u32, 5, 11, 20, 30] {
             let got = cur.advance(tid, &codec).unwrap();

@@ -321,7 +321,7 @@ mod fuzz_packed {
         for ty in [ListType::I, ListType::II, ListType::III] {
             out.push((
                 encode_packed_text_list(ty, &text_items, &all_tids),
-                encode_text_list(ty, &text_items, &all_tids),
+                encode_text_list(ty, &text_items, &all_tids).unwrap(),
                 true,
                 ty,
             ));
@@ -329,7 +329,7 @@ mod fuzz_packed {
         for ty in [ListType::I, ListType::IV] {
             out.push((
                 encode_packed_num_list(ty, &num_items, &all_tids, &nc),
-                encode_num_list(ty, &num_items, &all_tids, &nc),
+                encode_num_list(ty, &num_items, &all_tids, &nc).unwrap(),
                 false,
                 ty,
             ));
@@ -350,7 +350,7 @@ mod fuzz_packed {
         } else {
             PackedReader::new_num(reader, ty, &num_codec())
         };
-        packed.ok().and_then(|p| p.read_to_vec().ok())
+        packed.ok().and_then(|p| p.decode_to_vec().ok())
     }
 
     #[test]

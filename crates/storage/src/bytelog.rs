@@ -172,7 +172,10 @@ impl ByteLog {
         // Restore the committed tail page byte-for-byte from its shadow;
         // this also repairs a tail frame torn by a post-commit append.
         let mut tail_buf = vec![0u8; page_size as usize];
-        tail_buf[..tail_image.len()].copy_from_slice(&tail_image);
+        tail_buf
+            .get_mut(..tail_image.len())
+            .ok_or_else(|| geometry("recovered tail image longer than a page"))?
+            .copy_from_slice(&tail_image);
         pager.write_page(tail_page, tail_buf.clone())?;
         pager.sync()?;
 
@@ -236,10 +239,16 @@ impl ByteLog {
         while !data.is_empty() {
             let in_page = (self.len % page_size as u64) as usize;
             let n = data.len().min(page_size - in_page);
-            self.tail_buf[in_page..in_page + n].copy_from_slice(&data[..n]);
+            let (chunk, rest) = data
+                .split_at_checked(n)
+                .ok_or_else(|| geometry("append chunk larger than remaining input"))?;
+            self.tail_buf
+                .get_mut(in_page..in_page + n)
+                .ok_or_else(|| geometry("append range beyond the tail page"))?
+                .copy_from_slice(chunk);
             self.tail_dirty = true;
             self.len += n as u64;
-            data = &data[n..];
+            data = rest;
             if self.len.is_multiple_of(page_size as u64) {
                 // Page filled: write it out and move to a fresh page. If
                 // this page holds committed bytes, a torn write here is
@@ -286,15 +295,23 @@ impl ByteLog {
             let page = PageId(pos / page_size);
             let in_page = (pos % page_size) as usize;
             let n = (buf.len() - filled).min(page_size as usize - in_page);
+            let src_err = || geometry("read source range beyond its page");
+            let dst = buf
+                .get_mut(filled..filled + n)
+                .ok_or_else(|| geometry("read destination range beyond the buffer"))?;
             if page == self.tail_page {
-                buf[filled..filled + n].copy_from_slice(&self.tail_buf[in_page..in_page + n]);
+                dst.copy_from_slice(
+                    self.tail_buf
+                        .get(in_page..in_page + n)
+                        .ok_or_else(src_err)?,
+                );
             } else if let Some(img) = self.overlay.get(&page.0) {
-                buf[filled..filled + n].copy_from_slice(&img[in_page..in_page + n]);
+                dst.copy_from_slice(img.get(in_page..in_page + n).ok_or_else(src_err)?);
             } else if let Some(p) = pinned.and_then(|pins| pins.get(page)) {
-                buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
+                dst.copy_from_slice(p.get(in_page..in_page + n).ok_or_else(src_err)?);
             } else {
                 let p = self.pager.read_page(page)?;
-                buf[filled..filled + n].copy_from_slice(&p[in_page..in_page + n]);
+                dst.copy_from_slice(p.get(in_page..in_page + n).ok_or_else(src_err)?);
             }
             filled += n;
             pos += n as u64;
@@ -348,8 +365,14 @@ impl ByteLog {
             let page = PageId(pos / page_size);
             let in_page = (pos % page_size) as usize;
             let n = (data.len() - written).min(page_size as usize - in_page);
+            let src = data
+                .get(written..written + n)
+                .ok_or_else(|| geometry("overwrite chunk larger than remaining input"))?;
             if page == self.tail_page {
-                self.tail_buf[in_page..in_page + n].copy_from_slice(&data[written..written + n]);
+                self.tail_buf
+                    .get_mut(in_page..in_page + n)
+                    .ok_or_else(|| geometry("overwrite range beyond the tail page"))?
+                    .copy_from_slice(src);
                 self.tail_dirty = true;
             } else {
                 let img = match self.overlay.entry(page.0) {
@@ -358,7 +381,9 @@ impl ByteLog {
                         e.insert(self.pager.read_page(page)?.as_ref().clone())
                     }
                 };
-                img[in_page..in_page + n].copy_from_slice(&data[written..written + n]);
+                img.get_mut(in_page..in_page + n)
+                    .ok_or_else(|| geometry("overwrite range beyond its page image"))?
+                    .copy_from_slice(src);
                 self.header_dirty = true;
             }
             written += n;
@@ -396,7 +421,11 @@ impl ByteLog {
         payload.extend_from_slice(&self.user_header);
         payload.extend_from_slice(&(tail_len as u32).to_le_bytes());
         payload.extend_from_slice(&(self.overlay.len() as u32).to_le_bytes());
-        payload.extend_from_slice(&self.tail_buf[..tail_len]);
+        payload.extend_from_slice(
+            self.tail_buf
+                .get(..tail_len)
+                .ok_or_else(|| geometry("tail length beyond the tail page"))?,
+        );
         for (&id, image) in &self.overlay {
             payload.extend_from_slice(&id.to_le_bytes());
             payload.extend_from_slice(image);
@@ -418,6 +447,15 @@ impl ByteLog {
     }
 }
 
+/// Internal page-geometry invariant surfaced as an error instead of a
+/// panic. The offset arithmetic in the read/write loops keeps every
+/// range in bounds, so these paths are unreachable in practice — but
+/// the byte log sits under `no-panic-decode` scopes, so even the
+/// "impossible" branches must stay total.
+fn geometry(what: &str) -> StorageError {
+    StorageError::Corrupt(format!("byte-log internal geometry error: {what}"))
+}
+
 /// Parse a commit-record payload into
 /// `(len, user_header, tail_image, journal)`.
 #[allow(clippy::type_complexity)]
@@ -426,14 +464,24 @@ fn parse_payload(
     page_size: usize,
 ) -> Result<(u64, [u8; USER_HEADER_LEN], Vec<u8>, Vec<(u64, Vec<u8>)>)> {
     let corrupt = |msg: &str| StorageError::Corrupt(format!("byte-log commit record: {msg}"));
-    if payload.len() < PAYLOAD_FIXED {
-        return Err(corrupt("shorter than fixed header"));
-    }
-    let len = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
-    let mut user_header = [0u8; USER_HEADER_LEN];
-    user_header.copy_from_slice(&payload[8..8 + USER_HEADER_LEN]);
-    let tail_len = u32::from_le_bytes(payload[40..44].try_into().expect("4 bytes")) as usize;
-    let journal_count = u32::from_le_bytes(payload[44..48].try_into().expect("4 bytes")) as usize;
+    // The payload comes straight off disk; every field read is total —
+    // a record of any length yields `Corrupt`, never a panic.
+    let le8 = |b: Option<&[u8]>| {
+        b.and_then(|b| <[u8; 8]>::try_from(b).ok())
+            .map(u64::from_le_bytes)
+    };
+    let le4 = |b: Option<&[u8]>| {
+        b.and_then(|b| <[u8; 4]>::try_from(b).ok())
+            .map(|b| u32::from_le_bytes(b) as usize)
+    };
+    let short = || corrupt("shorter than fixed header");
+    let len = le8(payload.get(0..8)).ok_or_else(short)?;
+    let user_header: [u8; USER_HEADER_LEN] = payload
+        .get(8..8 + USER_HEADER_LEN)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(short)?;
+    let tail_len = le4(payload.get(40..44)).ok_or_else(short)?;
+    let journal_count = le4(payload.get(44..48)).ok_or_else(short)?;
     if tail_len >= page_size {
         return Err(corrupt("tail image longer than a page"));
     }
@@ -443,20 +491,24 @@ fn parse_payload(
         ));
     }
     let mut off = PAYLOAD_FIXED;
-    if payload.len() < off + tail_len {
-        return Err(corrupt("truncated tail image"));
-    }
-    let tail_image = payload[off..off + tail_len].to_vec();
+    let tail_image = payload
+        .get(off..off + tail_len)
+        .ok_or_else(|| corrupt("truncated tail image"))?
+        .to_vec();
     off += tail_len;
-    let mut journal = Vec::with_capacity(journal_count);
+    // `journal_count` is untrusted: cap the preallocation, let the loop
+    // fail on the first entry the payload cannot actually back.
+    let mut journal = Vec::with_capacity(journal_count.min(1024));
     for _ in 0..journal_count {
-        if payload.len() < off + 8 + page_size {
-            return Err(corrupt("truncated journal entry"));
-        }
-        let id = u64::from_le_bytes(payload[off..off + 8].try_into().expect("8 bytes"));
+        let entry_short = || corrupt("truncated journal entry");
+        let id = le8(payload.get(off..off + 8)).ok_or_else(entry_short)?;
         off += 8;
-        journal.push((id, payload[off..off + page_size].to_vec()));
+        let image = payload
+            .get(off..off + page_size)
+            .ok_or_else(entry_short)?
+            .to_vec();
         off += page_size;
+        journal.push((id, image));
     }
     if off != payload.len() {
         return Err(corrupt("trailing bytes after journal"));

@@ -63,24 +63,32 @@ impl LruCache {
     }
 
     fn unlink(&mut self, idx: usize) {
-        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
-        if prev != NIL {
-            self.nodes[prev].next = next;
-        } else {
-            self.head = next;
+        // `NIL` is `usize::MAX`, so `get_mut(NIL)` misses and the branch
+        // falls through to updating the list ends — the same shape as an
+        // explicit `!= NIL` check, but total for any index.
+        let Some(node) = self.nodes.get(idx) else {
+            return;
+        };
+        let (prev, next) = (node.prev, node.next);
+        match self.nodes.get_mut(prev) {
+            Some(p) => p.next = next,
+            None => self.head = next,
         }
-        if next != NIL {
-            self.nodes[next].prev = prev;
-        } else {
-            self.tail = prev;
+        match self.nodes.get_mut(next) {
+            Some(n) => n.prev = prev,
+            None => self.tail = prev,
         }
     }
 
     fn push_front(&mut self, idx: usize) {
-        self.nodes[idx].prev = NIL;
-        self.nodes[idx].next = self.head;
-        if self.head != NIL {
-            self.nodes[self.head].prev = idx;
+        let head = self.head;
+        let Some(node) = self.nodes.get_mut(idx) else {
+            return;
+        };
+        node.prev = NIL;
+        node.next = head;
+        if let Some(h) = self.nodes.get_mut(head) {
+            h.prev = idx;
         }
         self.head = idx;
         if self.tail == NIL {
@@ -95,7 +103,7 @@ impl LruCache {
             self.unlink(idx);
             self.push_front(idx);
         }
-        Some(Arc::clone(&self.nodes[idx].value))
+        self.nodes.get(idx).map(|n| Arc::clone(&n.value))
     }
 
     /// Insert or replace a page, evicting the least-recently-used entry if
@@ -105,7 +113,9 @@ impl LruCache {
             return None;
         }
         if let Some(&idx) = self.map.get(&key) {
-            self.nodes[idx].value = value;
+            if let Some(n) = self.nodes.get_mut(idx) {
+                n.value = value;
+            }
             if idx != self.head {
                 self.unlink(idx);
                 self.push_front(idx);
@@ -116,28 +126,30 @@ impl LruCache {
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
-            self.unlink(lru);
-            let old_key = self.nodes[lru].key;
-            self.map.remove(&old_key);
-            self.free.push(lru);
-            evicted = Some(old_key);
+            if let Some(old_key) = self.nodes.get(lru).map(|n| n.key) {
+                self.unlink(lru);
+                self.map.remove(&old_key);
+                self.free.push(lru);
+                evicted = Some(old_key);
+            }
         }
-        let idx = if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = Node {
-                key,
-                value,
-                prev: NIL,
-                next: NIL,
-            };
-            idx
-        } else {
-            self.nodes.push(Node {
-                key,
-                value,
-                prev: NIL,
-                next: NIL,
-            });
-            self.nodes.len() - 1
+        let node = Node {
+            key,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop().filter(|&i| i < self.nodes.len()) {
+            Some(i) => {
+                if let Some(slot) = self.nodes.get_mut(i) {
+                    *slot = node;
+                }
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
         };
         self.push_front(idx);
         self.map.insert(key, idx);

@@ -43,8 +43,11 @@ pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
     let mut crc = !crc;
     let mut chunks = data.chunks_exact(8);
     for ch in &mut chunks {
-        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ crc;
-        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        let Ok([b0, b1, b2, b3, b4, b5, b6, b7]) = <[u8; 8]>::try_from(ch) else {
+            continue; // chunks_exact(8) always yields 8-byte chunks
+        };
+        let lo = u32::from_le_bytes([b0, b1, b2, b3]) ^ crc;
+        let hi = u32::from_le_bytes([b4, b5, b6, b7]);
         crc = t[7][(lo & 0xFF) as usize]
             ^ t[6][((lo >> 8) & 0xFF) as usize]
             ^ t[5][((lo >> 16) & 0xFF) as usize]

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::vfs::{MemVfs, Vfs, VfsFile};
 
@@ -124,12 +124,14 @@ impl FaultState {
 fn apply_write(durable: &mut Vec<u8>, p: &Pending, torn_prefix: Option<usize>) {
     match p {
         Pending::Write { off, data } => {
-            let n = torn_prefix.unwrap_or(data.len());
+            let n = torn_prefix.unwrap_or(data.len()).min(data.len());
             let end = *off as usize + n;
             if durable.len() < end {
                 durable.resize(end, 0);
             }
-            durable[*off as usize..end].copy_from_slice(&data[..n]);
+            if let (Some(dst), Some(src)) = (durable.get_mut(*off as usize..end), data.get(..n)) {
+                dst.copy_from_slice(src);
+            }
         }
         Pending::Truncate { len } => durable.resize(*len as usize, 0),
     }
@@ -237,7 +239,7 @@ impl FaultVfs {
     }
 
     fn tick(&self, during_sync: bool) -> io::Result<Option<FaultKind>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         match state.tick()? {
             Some(FaultKind::PowerCut) => {
                 state.power_cut();
@@ -256,10 +258,11 @@ impl FaultVfs {
         path: &Path,
         f: impl FnOnce(&mut FaultState, &PathBuf) -> io::Result<R>,
     ) -> io::Result<R> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.crashed {
             return Err(io::Error::other("power already cut: filesystem is down"));
         }
+        // lint:allow(panic-reachability, "dynamic edge: in-module closures over in-memory fault state; every caller is a Vfs method in this file")
         f(&mut state, &path.to_path_buf())
     }
 }
@@ -274,10 +277,15 @@ impl FaultFile {
         &self,
         f: impl FnOnce(&mut FaultState, &mut FileImages) -> R,
     ) -> io::Result<R> {
-        let mut state = self.vfs.state.lock().unwrap();
+        let mut state = self
+            .vfs
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let mut images = state.files.remove(&self.path).ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, "file removed under open handle")
         })?;
+        // lint:allow(panic-reachability, "dynamic edge: in-module closures over in-memory file images; every caller is a VfsFile method in this file")
         let r = f(&mut state, &mut images);
         state.files.insert(self.path.clone(), images);
         Ok(r)
@@ -297,7 +305,10 @@ impl VfsFile for FaultFile {
             if fault == Some(FaultKind::ShortRead) && n > 0 {
                 n = (state.next_u64() % n as u64) as usize;
             }
-            buf[..n].copy_from_slice(&data[off..off + n]);
+            match (buf.get_mut(..n), data.get(off..off + n)) {
+                (Some(dst), Some(src)) => dst.copy_from_slice(src),
+                _ => return 0,
+            }
             n
         })
     }
@@ -311,7 +322,7 @@ impl VfsFile for FaultFile {
             }
             let p = Pending::Write {
                 off,
-                data: buf[..n].to_vec(),
+                data: buf.get(..n).unwrap_or(buf).to_vec(),
             };
             apply_write(&mut images.volatile, &p, None);
             images.pending.push(p);

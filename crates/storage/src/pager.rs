@@ -259,25 +259,25 @@ impl Pager {
         if !missing.is_empty() {
             let mut file = self.file.lock();
             let mut i = 0;
-            while i < missing.len() {
-                let first = missing[i].0;
+            while let Some(&run_start) = missing.get(i) {
+                let first = run_start.0;
                 let mut last = first;
                 let mut j = i + 1;
-                while j < missing.len()
-                    && missing[j].0 - last <= Self::RUN_GAP + 1
-                    && missing[j].0 - first < Self::MAX_RUN_PAGES
-                {
-                    last = missing[j].0;
+                while let Some(&next) = missing.get(j) {
+                    if next.0 - last > Self::RUN_GAP + 1 || next.0 - first >= Self::MAX_RUN_PAGES {
+                        break;
+                    }
+                    last = next.0;
                     j += 1;
                 }
                 let span = (last - first + 1) as usize;
                 let mut buf = vec![0u8; span * self.page_size];
-                file.read_run(missing[i], &mut buf)?;
+                file.read_run(run_start, &mut buf)?;
                 let mut want = i;
                 for (k, chunk) in buf.chunks(self.page_size).enumerate() {
                     let id = PageId(first + k as u64);
                     let page: PageRef = Arc::new(chunk.to_vec());
-                    if want < j && missing[want] == id {
+                    if want < j && missing.get(want) == Some(&id) {
                         fetched.push((id, page));
                         want += 1;
                     } else {
@@ -347,6 +347,7 @@ impl Pager {
             self.file.lock().read_page(id, &mut b)?;
             b
         };
+        // lint:allow(panic-reachability, "dynamic edge: callers pass in-crate header/flag editors over a full page buffer; not driven by on-disk data")
         f(&mut buf);
         self.file.lock().write_page(id, &buf)?;
         shard.put(id, Arc::new(buf));

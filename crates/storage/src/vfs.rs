@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// An open file handle produced by a [`Vfs`].
 pub trait VfsFile: Send {
@@ -89,7 +89,14 @@ pub fn read_full_at(file: &dyn VfsFile, mut buf: &mut [u8], mut off: u64) -> io:
                 "short read: file ends before requested range",
             ));
         }
-        buf = &mut buf[n..];
+        buf = match buf.split_at_mut_checked(n) {
+            Some((_, rest)) => rest,
+            None => {
+                return Err(io::Error::other(
+                    "read_at reported more bytes than the buffer holds",
+                ))
+            }
+        };
         off += n as u64;
     }
     Ok(())
@@ -105,7 +112,14 @@ pub fn write_full_at(file: &dyn VfsFile, mut buf: &[u8], mut off: u64) -> io::Re
                 "short write: no progress",
             ));
         }
-        buf = &buf[n..];
+        buf = match buf.split_at_checked(n) {
+            Some((_, rest)) => rest,
+            None => {
+                return Err(io::Error::other(
+                    "write_at reported more bytes than the buffer holds",
+                ))
+            }
+        };
         off += n as u64;
     }
     Ok(())
@@ -125,6 +139,7 @@ pub fn read_to_vec(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<u8>> {
 /// the seam).
 pub fn write_vec(vfs: &dyn Vfs, path: &Path, data: impl AsRef<[u8]>) -> io::Result<()> {
     let f = vfs.create(path)?;
+    // lint:allow(accounting-dataflow, "fixture helper for tests and tools; never on a measured I/O path")
     write_full_at(f.as_ref(), data.as_ref(), 0)?;
     f.sync()
 }
@@ -222,20 +237,27 @@ impl MemVfs {
 
     /// Snapshot a file's current contents (test hook; `None` if absent).
     pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
-        let files = self.files.lock().unwrap();
-        files.get(path).map(|d| d.lock().unwrap().clone())
+        let files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
+        files
+            .get(path)
+            .map(|d| d.lock().unwrap_or_else(PoisonError::into_inner).clone())
     }
 
     /// Replace a file's contents wholesale (test hook for corrupting
     /// on-disk state, e.g. flipping a bit inside a page frame).
     pub fn set_contents(&self, path: &Path, data: Vec<u8>) {
-        let mut files = self.files.lock().unwrap();
+        let mut files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
         files.insert(path.to_path_buf(), Arc::new(Mutex::new(data)));
     }
 
     /// All file paths currently present.
     pub fn paths(&self) -> Vec<PathBuf> {
-        self.files.lock().unwrap().keys().cloned().collect()
+        self.files
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect()
     }
 }
 
@@ -243,29 +265,38 @@ struct MemFile(Arc<Mutex<Vec<u8>>>);
 
 impl VfsFile for MemFile {
     fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<usize> {
-        let data = self.0.lock().unwrap();
+        let data = self.0.lock().unwrap_or_else(PoisonError::into_inner);
         let off = off as usize;
         if off >= data.len() {
             return Ok(0);
         }
         let n = buf.len().min(data.len() - off);
-        buf[..n].copy_from_slice(&data[off..off + n]);
+        match (buf.get_mut(..n), data.get(off..off + n)) {
+            (Some(dst), Some(src)) => dst.copy_from_slice(src),
+            _ => return Err(io::Error::other("in-memory read range out of bounds")),
+        }
         Ok(n)
     }
     fn write_at(&self, buf: &[u8], off: u64) -> io::Result<usize> {
-        let mut data = self.0.lock().unwrap();
+        let mut data = self.0.lock().unwrap_or_else(PoisonError::into_inner);
         let end = off as usize + buf.len();
         if data.len() < end {
             data.resize(end, 0);
         }
-        data[off as usize..end].copy_from_slice(buf);
+        match data.get_mut(off as usize..end) {
+            Some(dst) => dst.copy_from_slice(buf),
+            None => return Err(io::Error::other("in-memory write range out of bounds")),
+        }
         Ok(buf.len())
     }
     fn len(&self) -> io::Result<u64> {
-        Ok(self.0.lock().unwrap().len() as u64)
+        Ok(self.0.lock().unwrap_or_else(PoisonError::into_inner).len() as u64)
     }
     fn set_len(&self, len: u64) -> io::Result<()> {
-        self.0.lock().unwrap().resize(len as usize, 0);
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .resize(len as usize, 0);
         Ok(())
     }
     fn sync(&self) -> io::Result<()> {
@@ -278,12 +309,12 @@ impl Vfs for MemVfs {
         let data = Arc::new(Mutex::new(Vec::new()));
         self.files
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(path.to_path_buf(), Arc::clone(&data));
         Ok(Box::new(MemFile(data)))
     }
     fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
-        let files = self.files.lock().unwrap();
+        let files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
         match files.get(path) {
             Some(data) => Ok(Box::new(MemFile(Arc::clone(data)))),
             None => Err(io::Error::new(
@@ -293,10 +324,13 @@ impl Vfs for MemVfs {
         }
     }
     fn exists(&self, path: &Path) -> bool {
-        self.files.lock().unwrap().contains_key(path)
+        self.files
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(path)
     }
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        let mut files = self.files.lock().unwrap();
+        let mut files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
         match files.remove(from) {
             Some(data) => {
                 files.insert(to.to_path_buf(), data);
@@ -309,7 +343,7 @@ impl Vfs for MemVfs {
         }
     }
     fn remove(&self, path: &Path) -> io::Result<()> {
-        let mut files = self.files.lock().unwrap();
+        let mut files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
         match files.remove(path) {
             Some(_) => Ok(()),
             None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),

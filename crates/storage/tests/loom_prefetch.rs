@@ -1,0 +1,144 @@
+//! Loom model of the PR 3 prefetch-queue handoff in
+//! `crates/storage/src/pager.rs` (`Pager::read_batch` / `Pager::prefetch`).
+//!
+//! The production protocol: a filling thread reads a page image into a
+//! fresh buffer (the `file.read_run` into `buf`, *outside* any shard
+//! lock), wraps it in an `Arc`, and only then takes the shard lock to
+//! publish — and if another thread won the race, it adopts the copy
+//! already in the cache ("prefer the copy already in the cache") instead
+//! of overwriting. Consumers take the same shard lock to pin, so a pin
+//! can only ever name a fully-built, never-again-mutated image
+//! (`write_page` replaces the `Arc`; nothing mutates a published page in
+//! place).
+//!
+//! The model restates that protocol with the vendored checker's tracked
+//! primitives — the page image is a [`loom::cell::UnsafeCell`] (its
+//! write/read windows are the model analogue of building/scanning the
+//! page bytes) and the cache slot is a [`loom::sync::Mutex`] — and
+//! asserts, under every explored interleaving:
+//!
+//! 1. **Complete handoff** — a prefetcher and a demand reader racing on
+//!    the same cold page both end up pinning a complete image, with no
+//!    data race between the build and the scan.
+//! 2. **Publication order matters** (negative control) — publishing the
+//!    `Arc` *before* writing the image lets a reader's scan overlap the
+//!    build, and the checker must catch that schedule.
+//! 3. **Published pages are immutable** (negative control) — mutating an
+//!    already-published image in place (instead of replacing the `Arc`)
+//!    races a pinned reader, and the checker must catch that too.
+//!
+//! Run with the vendored bounded checker (see TESTING.md):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p iva-storage --test loom_prefetch --release
+//! ```
+#![cfg(loom)]
+
+use loom::cell::UnsafeCell;
+use loom::sync::{Arc, Mutex};
+
+/// The model page image: one tracked word stands for the page bytes.
+type Page = Arc<UnsafeCell<u64>>;
+
+/// The model shard: one cache slot behind the shard mutex.
+type Slot = Arc<Mutex<Option<Page>>>;
+
+/// Distinct-from-zero payload so a torn or missing build is detectable.
+const IMAGE: u64 = 0xA11_F17;
+
+/// The `read_batch` miss path: build the image outside the lock, publish
+/// under it, adopting the cached copy if another filler won. Returns the
+/// pin the caller scans through.
+fn fill_and_pin(slot: &Slot) -> Page {
+    let page: Page = Arc::new(UnsafeCell::new(0));
+    // `file.read_run` into the private buffer: no lock held, no sharing.
+    page.with_mut(|p| unsafe { *p = IMAGE });
+    let mut guard = slot.lock().unwrap();
+    match guard.as_ref() {
+        Some(fresh) => Arc::clone(fresh),
+        None => {
+            *guard = Some(Arc::clone(&page));
+            page
+        }
+    }
+}
+
+/// Scan a pinned page (the refine phase reading record bytes).
+fn scan(pin: &Page) -> u64 {
+    pin.with(|p| unsafe { *p })
+}
+
+#[test]
+fn racing_fillers_hand_off_complete_pages() {
+    loom::model(|| {
+        let slot: Slot = Arc::new(Mutex::new(None));
+        // Prefetcher warming the pool and a demand reader, same cold page.
+        let s2 = Arc::clone(&slot);
+        let prefetcher = loom::thread::spawn(move || {
+            let pin = fill_and_pin(&s2);
+            scan(&pin)
+        });
+        let pin = fill_and_pin(&slot);
+        let seen = scan(&pin);
+        let warmed = prefetcher.join().unwrap();
+        assert_eq!(seen, IMAGE, "demand reader pinned a torn page");
+        assert_eq!(warmed, IMAGE, "prefetcher pinned a torn page");
+        // Whoever lost the publication race adopted the winner's Arc, so
+        // the slot holds a complete image for every later hit.
+        let guard = slot.lock().unwrap();
+        let resident = guard.as_ref().expect("page vanished from the pool");
+        assert_eq!(scan(resident), IMAGE, "pool holds a torn page");
+    });
+}
+
+#[test]
+fn publish_before_fill_is_caught() {
+    // The tempting-but-wrong variant: insert the Arc under the lock
+    // first, write the bytes after. A reader that pins between the two
+    // scans mid-build — the checker must find that schedule.
+    let found = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let slot: Slot = Arc::new(Mutex::new(None));
+            let s2 = Arc::clone(&slot);
+            let broken_filler = loom::thread::spawn(move || {
+                let page: Page = Arc::new(UnsafeCell::new(0));
+                *s2.lock().unwrap() = Some(Arc::clone(&page));
+                page.with_mut(|p| unsafe { *p = IMAGE });
+            });
+            let pinned = slot.lock().unwrap().as_ref().map(Arc::clone);
+            if let Some(pin) = pinned {
+                scan(&pin);
+            }
+            broken_filler.join().unwrap();
+        });
+    });
+    assert!(
+        found.is_err(),
+        "checker missed the publish-before-fill race"
+    );
+}
+
+#[test]
+fn mutating_a_published_page_is_caught() {
+    // Production replaces the Arc on write (`write_page` publishes a new
+    // page); mutating the published image in place races every held pin.
+    let found = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let slot: Slot = Arc::new(Mutex::new(None));
+            let pin = fill_and_pin(&slot);
+            let s2 = Arc::clone(&slot);
+            let in_place_writer = loom::thread::spawn(move || {
+                let resident = s2.lock().unwrap().as_ref().map(Arc::clone);
+                if let Some(page) = resident {
+                    page.with_mut(|p| unsafe { *p = IMAGE + 1 });
+                }
+            });
+            scan(&pin);
+            in_place_writer.join().unwrap();
+        });
+    });
+    assert!(
+        found.is_err(),
+        "checker missed the in-place mutation race against a held pin"
+    );
+}

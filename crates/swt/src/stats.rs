@@ -71,8 +71,9 @@ impl TableStats {
         self.tuple_count += 1;
         for (attr, value) in tuple.iter() {
             self.ensure_attrs(attr.index() + 1);
-            // lint:allow(no-panic-decode, "ensure_attrs on the previous line grows per_attr past attr.index(); the index is total by construction")
-            let s = &mut self.per_attr[attr.index()];
+            let Some(s) = self.per_attr.get_mut(attr.index()) else {
+                continue;
+            };
             s.df += 1;
             match value {
                 Value::Num(v) => {

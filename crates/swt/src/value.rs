@@ -90,7 +90,11 @@ impl Tuple {
     /// Set (or replace) the value of an attribute. Keeps fields sorted.
     pub fn set(&mut self, attr: AttrId, value: Value) -> &mut Self {
         match self.fields.binary_search_by_key(&attr, |(a, _)| *a) {
-            Ok(i) => self.fields[i].1 = value,
+            Ok(i) => {
+                if let Some(f) = self.fields.get_mut(i) {
+                    f.1 = value;
+                }
+            }
             Err(i) => self.fields.insert(i, (attr, value)),
         }
         self
@@ -107,7 +111,8 @@ impl Tuple {
         self.fields
             .binary_search_by_key(&attr, |(a, _)| *a)
             .ok()
-            .map(|i| &self.fields[i].1)
+            .and_then(|i| self.fields.get(i))
+            .map(|(_, v)| v)
     }
 
     /// Number of defined attributes.

@@ -21,9 +21,12 @@ pub fn word<R: Rng>(rng: &mut R) -> String {
     let syllables = rng.random_range(1..=3);
     let mut w = String::new();
     for _ in 0..syllables {
-        w.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
-        w.push_str(NUCLEI[rng.random_range(0..NUCLEI.len())]);
-        w.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+        fn pick<'a>(table: &[&'a str], at: usize) -> &'a str {
+            table.get(at).copied().unwrap_or_default()
+        }
+        w.push_str(pick(ONSETS, rng.random_range(0..ONSETS.len())));
+        w.push_str(pick(NUCLEI, rng.random_range(0..NUCLEI.len())));
+        w.push_str(pick(CODAS, rng.random_range(0..CODAS.len())));
     }
     w
 }

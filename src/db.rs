@@ -407,38 +407,40 @@ impl IvaDb {
         let mut out: Vec<Option<SearchOutcome>> = Vec::new();
         out.resize_with(batch.len(), || None);
         // Group by resolved metric, preserving submission order per group.
-        let mut groups: Vec<(MetricKind, Vec<usize>)> = Vec::new();
-        for (i, (_, r)) in batch.iter().enumerate() {
-            let m = r.metric_override().unwrap_or(self.opts.metric);
+        // Each group keeps the entry reference next to its slot index so the
+        // batch is never re-indexed.
+        type Entry<'b> = (usize, &'b (Query, SearchRequest));
+        let mut groups: Vec<(MetricKind, Vec<Entry<'_>>)> = Vec::new();
+        for (i, entry) in batch.iter().enumerate() {
+            let m = entry.1.metric_override().unwrap_or(self.opts.metric);
             match groups.iter_mut().find(|(g, _)| *g == m) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((m, vec![i])),
+                Some((_, idxs)) => idxs.push((i, entry)),
+                None => groups.push((m, vec![(i, entry)])),
             }
         }
         for (metric, idxs) in groups {
             let items: Vec<BatchItem<'_>> = idxs
                 .iter()
-                .map(|&i| {
-                    let (q, r) = &batch[i];
-                    BatchItem {
-                        query: q,
-                        k: r.k(),
-                        weights: r.weights_override().unwrap_or(self.opts.weights),
-                    }
+                .map(|(_, (q, r))| BatchItem {
+                    query: q,
+                    k: r.k(),
+                    weights: r.weights_override().unwrap_or(self.opts.weights),
                 })
                 .collect();
             let qopts = QueryOptions {
-                threads: idxs.iter().find_map(|&i| batch[i].1.threads_override()),
-                measured: idxs.iter().any(|&i| batch[i].1.is_measured()),
+                threads: idxs.iter().find_map(|(_, (_, r))| r.threads_override()),
+                measured: idxs.iter().any(|(_, (_, r))| r.is_measured()),
                 refine_batch: idxs
                     .iter()
-                    .find_map(|&i| batch[i].1.refine_batch_override()),
+                    .find_map(|(_, (_, r))| r.refine_batch_override()),
             };
             let outs = self
                 .index
                 .query_batch(&self.table, &items, &metric, &qopts)?;
-            for (&i, o) in idxs.iter().zip(outs) {
-                out[i] = Some(self.materialize(o)?);
+            for (&(i, _), o) in idxs.iter().zip(outs) {
+                if let Some(slot) = out.get_mut(i) {
+                    *slot = Some(self.materialize(o)?);
+                }
             }
         }
         out.into_iter()

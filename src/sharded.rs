@@ -101,7 +101,7 @@ impl ShardedIvaDb {
                 return Err(IvaError::Corrupt("shards disagree on attribute ids".into()));
             }
         }
-        Ok(id.unwrap())
+        id.ok_or_else(|| IvaError::Corrupt("sharded table has no shards".into()))
     }
 
     /// Define a numerical attribute on every shard.
@@ -113,7 +113,7 @@ impl ShardedIvaDb {
                 return Err(IvaError::Corrupt("shards disagree on attribute ids".into()));
             }
         }
-        Ok(id.unwrap())
+        id.ok_or_else(|| IvaError::Corrupt("sharded table has no shards".into()))
     }
 
     /// Insert a tuple (round-robin placement), returning its global handle.
@@ -177,15 +177,10 @@ impl ShardedIvaDb {
             refine_batch: request.refine_batch_override(),
         };
 
-        let locals: Vec<Result<QueryOutcome>> = if self.shards.len() == 1 {
-            vec![self.shards[0].index().query_opts(
-                self.shards[0].table(),
-                query,
-                k,
-                metric,
-                weights,
-                &qopts,
-            )]
+        let locals: Vec<Result<QueryOutcome>> = if let [only] = self.shards.as_slice() {
+            vec![only
+                .index()
+                .query_opts(only.table(), query, k, metric, weights, &qopts)]
         } else {
             let mut slots: Vec<Option<Result<QueryOutcome>>> = Vec::new();
             slots.resize_with(self.shards.len(), || None);
@@ -204,10 +199,12 @@ impl ShardedIvaDb {
                     });
                 }
             })
-            .expect("shard query thread panicked");
+            .map_err(|_| IvaError::Corrupt("shard query thread panicked".into()))?;
             slots
                 .into_iter()
-                .map(|s| s.expect("shard slot unfilled"))
+                .map(|s| {
+                    s.unwrap_or_else(|| Err(IvaError::Corrupt("shard query slot unfilled".into())))
+                })
                 .collect()
         };
 
@@ -250,7 +247,11 @@ impl ShardedIvaDb {
             .into_iter()
             .map(|(shard, e)| {
                 let id = ShardedTid { shard, tid: e.tid };
-                let tuple = self.shards[shard as usize].table().get(e.ptr)?.tuple;
+                let owner = self
+                    .shards
+                    .get(shard as usize)
+                    .ok_or_else(|| IvaError::Corrupt("merged hit names an unknown shard".into()))?;
+                let tuple = owner.table().get(e.ptr)?.tuple;
                 Ok(ShardedHit {
                     id,
                     dist: e.dist,
@@ -276,45 +277,42 @@ impl ShardedIvaDb {
     ) -> Result<Vec<ShardedSearchOutcome>> {
         let mut out: Vec<Option<ShardedSearchOutcome>> = Vec::new();
         out.resize_with(batch.len(), || None);
-        let mut groups: Vec<(MetricKind, Vec<usize>)> = Vec::new();
-        for (i, (_, r)) in batch.iter().enumerate() {
-            let m = r.metric_override().unwrap_or(self.opts.metric);
+        // As in [`crate::IvaDb::execute_batch`], each group keeps the entry
+        // reference next to its slot index so the batch is never re-indexed.
+        type Entry<'b> = (usize, &'b (Query, SearchRequest));
+        let mut groups: Vec<(MetricKind, Vec<Entry<'_>>)> = Vec::new();
+        for (i, entry) in batch.iter().enumerate() {
+            let m = entry.1.metric_override().unwrap_or(self.opts.metric);
             match groups.iter_mut().find(|(g, _)| *g == m) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((m, vec![i])),
+                Some((_, idxs)) => idxs.push((i, entry)),
+                None => groups.push((m, vec![(i, entry)])),
             }
         }
         for (metric, idxs) in groups {
             let items: Vec<BatchItem<'_>> = idxs
                 .iter()
-                .map(|&i| {
-                    let (q, r) = &batch[i];
-                    BatchItem {
-                        query: q,
-                        k: r.k(),
-                        weights: r.weights_override().unwrap_or(self.opts.weights),
-                    }
+                .map(|(_, (q, r))| BatchItem {
+                    query: q,
+                    k: r.k(),
+                    weights: r.weights_override().unwrap_or(self.opts.weights),
                 })
                 .collect();
             let budget = idxs
                 .iter()
-                .find_map(|&i| batch[i].1.threads_override())
+                .find_map(|(_, (_, r))| r.threads_override())
                 .unwrap_or_else(|| self.opts.config.resolved_search_threads());
             let qopts = QueryOptions {
                 threads: Some((budget / self.shards.len()).max(1)),
-                measured: idxs.iter().any(|&i| batch[i].1.is_measured()),
+                measured: idxs.iter().any(|(_, (_, r))| r.is_measured()),
                 refine_batch: idxs
                     .iter()
-                    .find_map(|&i| batch[i].1.refine_batch_override()),
+                    .find_map(|(_, (_, r))| r.refine_batch_override()),
             };
 
-            let per_shard: Vec<Result<Vec<QueryOutcome>>> = if self.shards.len() == 1 {
-                vec![self.shards[0].index().query_batch(
-                    self.shards[0].table(),
-                    &items,
-                    &metric,
-                    &qopts,
-                )]
+            let per_shard: Vec<Result<Vec<QueryOutcome>>> = if let [only] = self.shards.as_slice() {
+                vec![only
+                    .index()
+                    .query_batch(only.table(), &items, &metric, &qopts)]
             } else {
                 let mut slots: Vec<Option<Result<Vec<QueryOutcome>>>> = Vec::new();
                 slots.resize_with(self.shards.len(), || None);
@@ -332,14 +330,18 @@ impl ShardedIvaDb {
                         });
                     }
                 })
-                .expect("shard batch thread panicked");
+                .map_err(|_| IvaError::Corrupt("shard batch thread panicked".into()))?;
                 slots
                     .into_iter()
-                    .map(|s| s.expect("shard slot unfilled"))
+                    .map(|s| {
+                        s.unwrap_or_else(|| {
+                            Err(IvaError::Corrupt("shard batch slot unfilled".into()))
+                        })
+                    })
                     .collect()
             };
             let per_shard = per_shard.into_iter().collect::<Result<Vec<_>>>()?;
-            for (j, &i) in idxs.iter().enumerate() {
+            for (j, &(i, (_, r))) in idxs.iter().enumerate() {
                 let locals: Vec<QueryOutcome> = per_shard
                     .iter()
                     .map(|shard_outs| {
@@ -349,7 +351,9 @@ impl ShardedIvaDb {
                             .ok_or_else(|| IvaError::Corrupt("shard batch came up short".into()))
                     })
                     .collect::<Result<Vec<_>>>()?;
-                out[i] = Some(self.merge_locals(batch[i].1.k(), locals)?);
+                if let Some(slot) = out.get_mut(i) {
+                    *slot = Some(self.merge_locals(r.k(), locals)?);
+                }
             }
         }
         out.into_iter()

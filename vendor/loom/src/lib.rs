@@ -11,18 +11,100 @@
 //! on the next unexplored choice, until the tree is exhausted (or a
 //! safety cap of [`MAX_ITERATIONS`] schedules is hit).
 //!
+//! Beyond atomics, the stand-in models two more primitives the
+//! workspace's concurrency models need:
+//!
+//! - [`sync::Mutex`] — a scheduler-aware lock: acquisition is a yield
+//!   point, a contended acquire *model-blocks* (the thread leaves the
+//!   runnable set until the holder releases), and a schedule in which
+//!   every live thread is blocked is reported as a deadlock.
+//! - [`cell::UnsafeCell`] — access-tracked data: [`cell::UnsafeCell::with`]
+//!   and [`cell::UnsafeCell::with_mut`] mark a read/write window with a
+//!   yield point inside it, so any interleaving in which a write overlaps
+//!   another access is explored and reported as a data race.
+//!
 //! Compared to real loom this does not model weak memory orderings (all
-//! atomics are sequentially consistent under serialization) and has no
-//! `UnsafeCell` access tracking — it checks *interleaving* correctness
-//! (lost updates, join visibility, ordering assumptions), not relaxed-
-//! memory subtleties. That is the property the iVA-file merge-handoff
-//! model asserts. See TESTING.md.
+//! atomics are sequentially consistent under serialization) — it checks
+//! *interleaving* correctness (lost updates, join visibility, ordering
+//! assumptions, lock exclusion, torn publication), not relaxed-memory
+//! subtleties. Those are the properties the iVA-file merge-handoff and
+//! prefetch-handoff models assert. Mutexes and cells must be created
+//! inside the [`model`] closure (each iteration re-creates them);
+//! sync ops outside a model panic. See TESTING.md.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 pub mod sync {
     pub use std::sync::Arc;
+
+    /// A scheduler-aware mutex: `lock()` is a yield point, contended
+    /// acquisition model-blocks until the holder releases, and release
+    /// is a yield point too (so the freshly-woken waiter can be the next
+    /// thread scheduled). The inner `std::sync::Mutex` only carries the
+    /// data — exclusion is enforced by the model scheduler, so the inner
+    /// lock is provably uncontended.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        id: std::sync::OnceLock<usize>,
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// Guard for a model [`Mutex`]; dropping it releases the model lock.
+    pub struct MutexGuard<'a, T> {
+        id: usize,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// New mutex holding `v`.
+        pub fn new(v: T) -> Self {
+            Self {
+                id: std::sync::OnceLock::new(),
+                inner: std::sync::Mutex::new(v),
+            }
+        }
+
+        /// Acquire (yield point; model-blocks while another model thread
+        /// holds the lock). Never returns `Err`: a panicking holder
+        /// aborts the whole model run before poison can be observed.
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            let id = *self.id.get_or_init(crate::rt::mutex_register);
+            crate::rt::mutex_acquire(id);
+            let inner = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    unreachable!("model scheduler admitted two holders")
+                }
+            };
+            Ok(MutexGuard {
+                id,
+                inner: Some(inner),
+            })
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            crate::rt::mutex_release(self.id);
+        }
+    }
+
     pub mod atomic {
         pub use std::sync::atomic::Ordering;
 
@@ -99,6 +181,90 @@ pub mod sync {
         fetch_ops!(AtomicUsize, usize);
         fetch_ops!(AtomicU64, u64);
         fetch_ops!(AtomicU32, u32);
+    }
+}
+
+pub mod cell {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Access-tracked interior mutability. [`UnsafeCell::with`] marks a
+    /// shared-read window and [`UnsafeCell::with_mut`] an exclusive-write
+    /// window; each window opens with a yield point and contains another
+    /// one, so the checker explores interleavings where windows overlap —
+    /// and reports a data race (a write overlapping any other access) as
+    /// a model failure on that schedule.
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T> {
+        data: std::cell::UnsafeCell<T>,
+        readers: AtomicUsize,
+        writers: AtomicUsize,
+    }
+
+    // Tracked access is the whole point: the cell is shared across model
+    // threads and the tracking (not the type system) catches misuse.
+    unsafe impl<T: Send> Send for UnsafeCell<T> {}
+    unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+    /// Decrements an access counter when the window closes, panic or not.
+    struct Window<'a>(&'a AtomicUsize);
+
+    impl Drop for Window<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> UnsafeCell<T> {
+        /// New cell holding `v`.
+        pub fn new(v: T) -> Self {
+            Self {
+                data: std::cell::UnsafeCell::new(v),
+                readers: AtomicUsize::new(0),
+                writers: AtomicUsize::new(0),
+            }
+        }
+
+        /// Run `f` with shared read access (tracked window).
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            crate::rt::yield_point();
+            assert_eq!(
+                self.writers.load(Ordering::SeqCst),
+                0,
+                "data race: UnsafeCell read overlaps a write"
+            );
+            self.readers.fetch_add(1, Ordering::SeqCst);
+            let window = Window(&self.readers);
+            crate::rt::yield_point();
+            let out = f(self.data.get());
+            drop(window);
+            out
+        }
+
+        /// Run `f` with exclusive write access (tracked window).
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            crate::rt::yield_point();
+            assert_eq!(
+                self.writers.load(Ordering::SeqCst),
+                0,
+                "data race: UnsafeCell write overlaps a write"
+            );
+            assert_eq!(
+                self.readers.load(Ordering::SeqCst),
+                0,
+                "data race: UnsafeCell write overlaps a read"
+            );
+            self.writers.fetch_add(1, Ordering::SeqCst);
+            let window = Window(&self.writers);
+            crate::rt::yield_point();
+            let out = f(self.data.get());
+            drop(window);
+            out
+        }
+
+        /// Unwrap the value (consumes the cell; no tracking needed).
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
     }
 }
 
@@ -201,6 +367,8 @@ mod rt {
         Running,
         /// Waiting for another thread to finish.
         BlockedOnJoin(usize),
+        /// Waiting for a model mutex to be released.
+        BlockedOnMutex(usize),
         Finished,
     }
 
@@ -215,6 +383,8 @@ mod rt {
         options: Vec<usize>,
         /// Closures for threads spawned but not yet claimed by an OS thread.
         pending: Vec<Option<Box<dyn FnOnce() + Send>>>,
+        /// Holder (if any) of each registered model mutex.
+        mutexes: Vec<Option<usize>>,
         panic: Option<String>,
         active: bool,
     }
@@ -234,6 +404,7 @@ mod rt {
                 choices: Vec::new(),
                 options: Vec::new(),
                 pending: Vec::new(),
+                mutexes: Vec::new(),
                 panic: None,
                 active: false,
             }),
@@ -343,6 +514,67 @@ mod rt {
         wait_for_turn(r, st, me);
     }
 
+    /// Register a model mutex, returning its slot in the holder table.
+    pub(crate) fn mutex_register() -> usize {
+        let r = rt();
+        let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+        st.mutexes.push(None);
+        st.mutexes.len() - 1
+    }
+
+    /// Acquire model mutex `id`: a yield point, then model-block while
+    /// another thread holds it. A blocked thread leaves the runnable set,
+    /// so an all-blocked schedule surfaces as the deadlock diagnostic.
+    pub(crate) fn mutex_acquire(id: usize) {
+        yield_point();
+        let r = rt();
+        let me = my_tid();
+        loop {
+            let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+            if st.threads.get(me) == Some(&Ts::Finished) {
+                return; // deadlock recovery path
+            }
+            if st.mutexes.len() <= id {
+                // A mutex created outside the model closure re-registers
+                // lazily after the per-iteration state reset.
+                st.mutexes.resize(id + 1, None);
+            }
+            match st.mutexes.get_mut(id) {
+                Some(held @ None) => {
+                    *held = Some(me);
+                    return;
+                }
+                _ => {
+                    if let Some(s) = st.threads.get_mut(me) {
+                        *s = Ts::BlockedOnMutex(id);
+                    }
+                    decide(&mut st);
+                    r.cv.notify_all();
+                    wait_for_turn(r, st, me);
+                }
+            }
+        }
+    }
+
+    /// Release model mutex `id`, waking its blocked waiters, then yield
+    /// so a freshly-woken waiter can be scheduled next.
+    pub(crate) fn mutex_release(id: usize) {
+        let r = rt();
+        {
+            let mut st = r.st.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(held) = st.mutexes.get_mut(id) {
+                *held = None;
+            }
+            for s in st.threads.iter_mut() {
+                if *s == Ts::BlockedOnMutex(id) {
+                    *s = Ts::Parked;
+                }
+            }
+            r.cv.notify_all();
+        }
+        yield_point();
+    }
+
     fn run_thread(tid: usize) {
         TID.with(|t| t.set(Some(tid)));
         let r = rt();
@@ -403,6 +635,7 @@ mod rt {
                 choices: Vec::new(),
                 options: Vec::new(),
                 pending: Vec::new(),
+                mutexes: Vec::new(),
                 panic: None,
                 active: true,
             };
@@ -460,6 +693,78 @@ mod tests {
             *schedules.lock().unwrap() > 1,
             "DFS explored a single schedule"
         );
+    }
+
+    #[test]
+    fn mutex_excludes_and_cell_sees_no_race_under_lock() {
+        // The positive control for the prefetch-handoff model: a counter
+        // in a tracked cell, every access under the model mutex. No
+        // schedule may report a race or a lost update.
+        super::model(|| {
+            let cell = Arc::new(super::sync::Mutex::new(super::cell::UnsafeCell::new(0u64)));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    super::thread::spawn(move || {
+                        let g = cell.lock().unwrap();
+                        g.with_mut(|p| unsafe { *p += 1 });
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            let g = cell.lock().unwrap();
+            let v = g.with(|p| unsafe { *p });
+            assert_eq!(v, 2, "lost update under mutex");
+        });
+    }
+
+    #[test]
+    fn catches_unsynchronized_cell_write() {
+        // Two unlocked with_mut windows must overlap in some schedule,
+        // and the tracking must report it.
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let cell = Arc::new(super::cell::UnsafeCell::new(0u64));
+                let hs: Vec<_> = (0..2)
+                    .map(|_| {
+                        let cell = Arc::clone(&cell);
+                        super::thread::spawn(move || cell.with_mut(|p| unsafe { *p += 1 }))
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+            });
+        });
+        assert!(
+            found.is_err(),
+            "tracking missed the unsynchronized write/write overlap"
+        );
+    }
+
+    #[test]
+    fn catches_lock_order_deadlock() {
+        // Classic ABBA: thread 0 locks a then b, thread 1 locks b then a.
+        // Some schedule must block both, and the checker must report it
+        // as a deadlock rather than hang.
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(super::sync::Mutex::new(()));
+                let b = Arc::new(super::sync::Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = super::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_ga, _gb));
+                h.join().unwrap();
+            });
+        });
+        assert!(found.is_err(), "ABBA deadlock not reported");
     }
 
     #[test]

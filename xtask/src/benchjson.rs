@@ -26,6 +26,23 @@ pub fn check_artifact(source: &str) -> Result<String, String> {
     name.ok_or_else(|| "top-level object has no \"bench\" string key".into())
 }
 
+/// Validate that `source` is one strict JSON object, without the
+/// `"bench"`-key artifact contract. Used to check the `analyze --json`
+/// findings document, which carries a `"tool"` key instead.
+pub fn check_json(source: &str) -> Result<(), String> {
+    let mut p = Parser {
+        s: source.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.top_level_object()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing bytes after the JSON value at {}", p.i));
+    }
+    Ok(())
+}
+
 /// Validate every `BENCH_*.json` directly under `root`. Returns
 /// human-readable `(file, error)` pairs; empty means all artifacts parse.
 pub fn check_dir(root: &Path) -> Vec<(String, String)> {

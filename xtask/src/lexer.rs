@@ -144,7 +144,14 @@ fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            '\\' => i += 2,
+            // An escape skips two chars; `\` before a newline is the
+            // line-continuation form, and the newline still counts.
+            '\\' => {
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -293,6 +300,16 @@ mod tests {
     fn char_literals_vs_lifetimes() {
         assert_eq!(texts("'a', '\\n', &'x str"), vec![",", ",", "&", "str"]);
         assert_eq!(texts("b'x' y"), vec!["y"]);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        // A `\` before the newline continues the string literal onto the
+        // next source line; the newline still has to count, or every
+        // diagnostic after the string points one line too high.
+        let toks = tokenize("let a = \"x \\\n y\";\nfn f() {}");
+        let f = toks.iter().find(|t| t.s == "fn").expect("fn token");
+        assert_eq!(f.line, 3);
     }
 
     #[test]

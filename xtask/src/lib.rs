@@ -8,14 +8,19 @@
 
 pub mod allowlist;
 pub mod benchjson;
+pub mod ipa;
 pub mod lexer;
 pub mod lints;
+pub mod resolver;
 
+use std::collections::HashMap;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 use allowlist::{parse_allowlist, parse_markers, parse_scopes, AllowEntry, Marker};
 use lexer::{strip_cfg_test, tokenize};
 use lints::{Violation, LINT_NAMES};
+use resolver::Workspace;
 
 /// Result of a full-repo run: surviving violations plus policy errors
 /// (stale allows, malformed markers, oversized allowlists).
@@ -47,6 +52,9 @@ fn in_scope(lint: &str, path: &str, scopes: &[String]) -> bool {
         return false;
     }
     match lint {
+        // The interprocedural lints run over the whole workspace at once,
+        // after the per-file phase — never per file.
+        "panic-reachability" | "lock-discipline" | "accounting-dataflow" => false,
         // Everything in the workspace — production, tests, and benches —
         // except the seam module itself.
         "vfs-seam" => path != "crates/storage/src/vfs.rs",
@@ -179,35 +187,32 @@ fn rust_files(root: &Path) -> Vec<PathBuf> {
     out
 }
 
-/// Run the requested lints (all four when `only` is `None`) over the repo
-/// at `root`, applying allowlist files from `xtask/allowlists/` and
+/// Per-file state shared between the token-lint phase and the
+/// interprocedural phase (markers must stay live across both so stale
+/// detection sees every suppression).
+struct FileData {
+    rel: String,
+    source: String,
+    scopes: Vec<String>,
+    markers: Vec<Marker>,
+    toks_full: Vec<lexer::Tok>,
+    toks_stripped: Vec<lexer::Tok>,
+}
+
+/// Production files that feed the call graph: crate sources and the root
+/// library, excluding binaries, integration tests, and benches.
+fn graph_file(path: &str) -> bool {
+    let root_lib = path.starts_with("src/") && !path.starts_with("src/bin/");
+    let crate_lib = path.contains("/src/") && !path.contains("/bin/");
+    root_lib || crate_lib
+}
+
+/// Run the requested lints (all seven when `only` is `None`) over the
+/// repo at `root`, applying allowlist files from `xtask/allowlists/` and
 /// in-code markers, and reporting stale suppressions as errors.
 pub fn analyze_repo(root: &Path, only: Option<&str>) -> Analysis {
-    let mut analysis = Analysis::default();
-    let lint_filter: Vec<&str> = match only {
-        Some(l) => vec![l],
-        None => LINT_NAMES.to_vec(),
-    };
-
-    // Load allowlists.
-    let mut allows: Vec<(String, Vec<AllowEntry>)> = Vec::new();
-    for &lint in &lint_filter {
-        let path = root
-            .join("xtask/allowlists")
-            .join(format!("{}.allow", lint.replace('-', "_")));
-        let content = std::fs::read_to_string(&path).unwrap_or_default();
-        match parse_allowlist(lint, &content) {
-            Ok(entries) => allows.push((lint.to_string(), entries)),
-            Err(errs) => {
-                analysis.errors.extend(errs);
-                allows.push((lint.to_string(), Vec::new()));
-            }
-        }
-    }
-
-    let files = rust_files(root);
-    analysis.files_scanned = files.len();
-    for abs in &files {
+    let mut inputs = Vec::new();
+    for abs in rust_files(root) {
         let Ok(rel_os) = abs.strip_prefix(root) else {
             continue;
         };
@@ -215,9 +220,64 @@ pub fn analyze_repo(root: &Path, only: Option<&str>) -> Analysis {
         if rel.starts_with("vendor/") || rel.starts_with("xtask/") || rel.starts_with("target/") {
             continue;
         }
-        let Ok(source) = std::fs::read_to_string(abs) else {
+        let Ok(source) = std::fs::read_to_string(&abs) else {
             continue;
         };
+        inputs.push((rel, source));
+    }
+    analyze_impl(inputs, only, Some(root))
+}
+
+/// Lint a set of in-memory source files through the full pipeline —
+/// token lints, interprocedural lints, markers, stale-marker detection —
+/// without consulting allowlist files. This is the meta-test entry point
+/// for the interprocedural lints, which need cross-file fixtures.
+pub fn analyze_sources(only: Option<&str>, files: &[(&str, &str)]) -> Analysis {
+    let inputs = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    analyze_impl(inputs, only, None)
+}
+
+fn analyze_impl(
+    inputs: Vec<(String, String)>,
+    only: Option<&str>,
+    root: Option<&Path>,
+) -> Analysis {
+    let mut analysis = Analysis::default();
+    let lint_filter: Vec<&str> = match only {
+        Some(l) => vec![l],
+        None => LINT_NAMES.to_vec(),
+    };
+
+    // Load allowlists (repo runs only; the in-memory entry point tests
+    // marker behavior without allowlist files).
+    let mut allows: Vec<(String, Vec<AllowEntry>)> = Vec::new();
+    for &lint in &lint_filter {
+        let entries = match root {
+            Some(root) => {
+                let path = root
+                    .join("xtask/allowlists")
+                    .join(format!("{}.allow", lint.replace('-', "_")));
+                let content = std::fs::read_to_string(&path).unwrap_or_default();
+                match parse_allowlist(lint, &content) {
+                    Ok(entries) => entries,
+                    Err(errs) => {
+                        analysis.errors.extend(errs);
+                        Vec::new()
+                    }
+                }
+            }
+            None => Vec::new(),
+        };
+        allows.push((lint.to_string(), entries));
+    }
+
+    // Phase 0: parse every file once.
+    analysis.files_scanned = inputs.len();
+    let mut files: Vec<FileData> = Vec::new();
+    for (rel, source) in inputs {
         let (scopes, scope_errors) = parse_scopes(&rel, &source);
         analysis.errors.extend(scope_errors);
         for s in &scopes {
@@ -227,65 +287,142 @@ pub fn analyze_repo(root: &Path, only: Option<&str>) -> Analysis {
                 ));
             }
         }
+        let (markers, marker_errors) = parse_markers(&rel, &source);
+        analysis.errors.extend(marker_errors);
+        let toks_full = tokenize(&source);
+        let toks_stripped = strip_cfg_test(&toks_full);
+        files.push(FileData {
+            rel,
+            source,
+            scopes,
+            markers,
+            toks_full,
+            toks_stripped,
+        });
+    }
+
+    // Phase 1: per-file token lints (plus the undeclared-decoder policy).
+    for fd in &mut files {
         let wanted: Vec<&str> = lint_filter
             .iter()
             .copied()
-            .filter(|l| in_scope(l, &rel, &scopes))
+            .filter(|l| in_scope(l, &fd.rel, &fd.scopes))
             .collect();
         let check_decoders = lint_filter.contains(&"no-panic-decode")
-            && production_module(&rel)
-            && !scopes.iter().any(|s| s == "no-panic-decode");
-        if wanted.is_empty() && !check_decoders {
-            continue;
-        }
-        let lines: Vec<&str> = source.lines().collect();
-        let toks_full = tokenize(&source);
-        let toks_stripped = strip_cfg_test(&toks_full);
+            && production_module(&fd.rel)
+            && !fd.scopes.iter().any(|s| s == "no-panic-decode");
         if check_decoders {
-            if let Some((line, name)) = undeclared_decoder(&toks_stripped) {
+            if let Some((line, name)) = undeclared_decoder(&fd.toks_stripped) {
                 analysis.errors.push(format!(
-                    "{rel}:{line}: `fn {name}` in a production module without \
-                     `//! lint:scope(no-panic-decode)` — decode modules carry the lint from birth"
+                    "{}:{line}: `fn {name}` in a production module without \
+                     `//! lint:scope(no-panic-decode)` — decode modules carry the lint from birth",
+                    fd.rel
                 ));
             }
         }
-        if wanted.is_empty() {
-            continue;
-        }
-        let (mut markers, marker_errors) = parse_markers(&rel, &source);
-        analysis.errors.extend(marker_errors);
+        let lines: Vec<&str> = fd.source.lines().collect();
         for lint in wanted {
             let toks = if strips_tests(lint) {
-                &toks_stripped
+                &fd.toks_stripped
             } else {
-                &toks_full
+                &fd.toks_full
             };
             let entries = allows.iter_mut().find(|(l, _)| l == lint).map(|(_, e)| e);
             let Some(entries) = entries else { continue };
-            for v in run_lint(lint, &rel, toks) {
-                if marker_covers(&mut markers, lint, v.line) {
+            for v in run_lint(lint, &fd.rel, toks) {
+                if marker_covers(&mut fd.markers, lint, v.line) {
                     continue;
                 }
                 let line_text = lines.get(v.line as usize - 1).copied().unwrap_or("");
-                if allowlist_covers(entries, &rel, line_text) {
+                if allowlist_covers(entries, &fd.rel, line_text) {
                     continue;
                 }
                 analysis.violations.push(v);
             }
         }
-        // A marker that suppressed nothing is stale — the code it excused
-        // has moved or been fixed; remove the marker.
-        for m in &markers {
+    }
+
+    // Phase 2: interprocedural lints over the whole-workspace call graph.
+    let interprocedural: Vec<&str> = lint_filter
+        .iter()
+        .copied()
+        .filter(|l| {
+            matches!(
+                *l,
+                "panic-reachability" | "lock-discipline" | "accounting-dataflow"
+            )
+        })
+        .collect();
+    if !interprocedural.is_empty() {
+        let ws = Workspace::build(
+            files
+                .iter()
+                .filter(|fd| graph_file(&fd.rel))
+                .map(|fd| (fd.rel.clone(), fd.toks_stripped.clone()))
+                .collect(),
+        );
+        let scoped_paths: HashSet<String> = files
+            .iter()
+            .filter(|fd| fd.scopes.iter().any(|s| s == "no-panic-decode"))
+            .map(|fd| fd.rel.clone())
+            .collect();
+        let by_rel: HashMap<String, usize> = files
+            .iter()
+            .enumerate()
+            .map(|(i, fd)| (fd.rel.clone(), i))
+            .collect();
+        let mut raw: Vec<Violation> = Vec::new();
+        for &lint in &interprocedural {
+            match lint {
+                "panic-reachability" => {
+                    let scoped = ipa::scoped_file_set(&ws, &scoped_paths);
+                    raw.extend(ipa::panic_reachability(&ws, &scoped));
+                }
+                "lock-discipline" => raw.extend(ipa::lock_discipline(&ws)),
+                "accounting-dataflow" => {
+                    raw.extend(ipa::accounting_dataflow(&ws, &|p| {
+                        in_scope("accounting", p, &[])
+                    }));
+                }
+                _ => {}
+            }
+        }
+        for v in ipa::dedup(raw) {
+            let Some(&fi) = by_rel.get(&v.file) else {
+                analysis.violations.push(v);
+                continue;
+            };
+            let fd = &mut files[fi];
+            if marker_covers(&mut fd.markers, v.lint, v.line) {
+                continue;
+            }
+            let line_text = fd
+                .source
+                .lines()
+                .nth(v.line as usize - 1)
+                .unwrap_or_default();
+            let entries = allows.iter_mut().find(|(l, _)| l == v.lint).map(|(_, e)| e);
+            if let Some(entries) = entries {
+                if allowlist_covers(entries, &v.file, line_text) {
+                    continue;
+                }
+            }
+            analysis.violations.push(v);
+        }
+    }
+
+    // Phase 3: stale suppressions fail the run — the code a marker or
+    // allowlist entry excused has moved or been fixed; remove it.
+    for fd in &files {
+        for m in &fd.markers {
             if m.hits == 0 && lint_filter.contains(&m.lint.as_str()) {
                 analysis.errors.push(format!(
-                    "{rel}:{}: stale lint:allow({}) marker — it no longer suppresses anything",
-                    m.line, m.lint
+                    "{}:{}: stale lint:allow({}) marker — it no longer suppresses anything",
+                    fd.rel, m.line, m.lint
                 ));
             }
         }
     }
-
-    // Stale allowlist entries fail the run for the same reason.
     for (lint, entries) in &allows {
         for e in entries {
             if e.hits == 0 {
@@ -300,4 +437,72 @@ pub fn analyze_repo(root: &Path, only: Option<&str>) -> Analysis {
         }
     }
     analysis
+}
+
+/// Serialize an [`Analysis`] as the machine-readable findings document
+/// emitted by `cargo xtask analyze --json`. Strict JSON — validated by
+/// [`benchjson::check_json`] in the meta-tests and diffable across PRs in
+/// CI.
+pub fn json_report(a: &Analysis, only: Option<&str>) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let lints: Vec<&str> = match only {
+        Some(l) => vec![l],
+        None => LINT_NAMES.to_vec(),
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"tool\": \"xtask-analyze\",\n");
+    s.push_str(&format!(
+        "  \"lints\": [{}],\n",
+        lints
+            .iter()
+            .map(|l| format!("\"{}\"", esc(l)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!("  \"clean\": {},\n", a.is_clean()));
+    s.push_str(&format!("  \"files_scanned\": {},\n", a.files_scanned));
+    s.push_str("  \"violations\": [");
+    for (i, v) in a.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+            esc(&v.file),
+            v.line,
+            esc(v.lint),
+            esc(&v.message)
+        ));
+    }
+    if !a.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    s.push_str("  \"errors\": [");
+    for (i, e) in a.errors.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\"", esc(e)));
+    }
+    if !a.errors.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
 }

@@ -13,15 +13,23 @@ pub struct Violation {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Lint name (`vfs-seam`, `no-panic-decode`, `determinism`,
-    /// `accounting`).
+    /// Lint name (one of [`LINT_NAMES`]).
     pub lint: &'static str,
     /// Human-readable description of what fired.
     pub message: String,
 }
 
-/// All lint names, in the order they run.
-pub const LINT_NAMES: [&str; 4] = ["vfs-seam", "no-panic-decode", "determinism", "accounting"];
+/// All lint names, in the order they run. The first four are per-file
+/// token lints; the last three are interprocedural (see [`crate::ipa`]).
+pub const LINT_NAMES: [&str; 7] = [
+    "vfs-seam",
+    "no-panic-decode",
+    "determinism",
+    "accounting",
+    "panic-reachability",
+    "lock-discipline",
+    "accounting-dataflow",
+];
 
 fn violation(file: &str, line: u32, lint: &'static str, message: String) -> Violation {
     Violation {

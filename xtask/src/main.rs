@@ -25,12 +25,17 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("analyze") => {
             let mut only: Option<String> = None;
+            let mut json = false;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--lint" => {
                         only = args.get(i + 1).cloned();
                         i += 2;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
                     }
                     other => {
                         eprintln!("unknown argument `{other}`");
@@ -48,6 +53,14 @@ fn main() -> ExitCode {
                 }
             }
             let analysis = xtask::analyze_repo(&repo_root(), only.as_deref());
+            if json {
+                print!("{}", xtask::json_report(&analysis, only.as_deref()));
+                return if analysis.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
             for v in &analysis.violations {
                 println!("{}:{}: [{}] {}", v.file, v.line, v.lint, v.message);
             }
@@ -84,7 +97,7 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: cargo xtask analyze [--lint <name>] | bench-json");
+            eprintln!("usage: cargo xtask analyze [--lint <name>] [--json] | bench-json");
             ExitCode::FAILURE
         }
     }

@@ -4,7 +4,7 @@
 
 use std::path::{Path, PathBuf};
 
-use xtask::{analyze_repo, analyze_source};
+use xtask::{analyze_repo, analyze_source, analyze_sources};
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -381,6 +381,361 @@ fn oversized_allowlist_fails_the_run() {
     let a = analyze_repo(&dir, Some("no-panic-decode"));
     assert!(a.errors.iter().any(|e| e.contains("cap")), "{:?}", a.errors);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural lints (the call-graph phase): panic-reachability,
+// lock-discipline, accounting-dataflow. These run over an in-memory
+// workspace via `analyze_sources`, which exercises the same resolver and
+// marker machinery as the repo run (allowlist files are repo-run-only).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_reachability_fires_across_files_with_chain() {
+    let a = analyze_sources(
+        Some("panic-reachability"),
+        &[
+            (
+                "crates/swt/src/parse.rs",
+                "//! lint:scope(no-panic-decode)\npub fn parse(b: &[u8]) -> u8 { helper::finish(b) }\n",
+            ),
+            (
+                "crates/swt/src/helper.rs",
+                "pub fn finish(b: &[u8]) -> u8 { b[0] }\n",
+            ),
+        ],
+    );
+    assert!(a.errors.is_empty(), "{:?}", a.errors);
+    assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+    let v = &a.violations[0];
+    // The panic site is reported where it lives — in the *unscoped*
+    // helper crate — with the entry→target call chain in the message.
+    assert_eq!(v.file, "crates/swt/src/helper.rs");
+    assert!(v.message.contains("slice-index"), "{}", v.message);
+    assert!(
+        v.message.contains("parse::parse → helper::finish"),
+        "chain missing from: {}",
+        v.message
+    );
+}
+
+#[test]
+fn panic_reachability_flags_dynamic_calls_in_the_closure() {
+    let a = analyze_sources(
+        Some("panic-reachability"),
+        &[(
+            "crates/swt/src/parse.rs",
+            "//! lint:scope(no-panic-decode)\npub fn parse(f: impl Fn(u8) -> u8) -> u8 { f(0) }\n",
+        )],
+    );
+    assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+    assert!(
+        a.violations[0].message.contains("dynamic call"),
+        "{}",
+        a.violations[0].message
+    );
+}
+
+#[test]
+fn panic_reachability_marker_suppresses_at_the_panic_site() {
+    let a = analyze_sources(
+        Some("panic-reachability"),
+        &[
+            (
+                "crates/swt/src/parse.rs",
+                "//! lint:scope(no-panic-decode)\npub fn parse(b: &[u8]) -> u8 { helper::finish(b) }\n",
+            ),
+            (
+                "crates/swt/src/helper.rs",
+                "pub fn finish(b: &[u8]) -> u8 {\n    // lint:allow(panic-reachability, \"callers slice after a bounds check\")\n    b[0]\n}\n",
+            ),
+        ],
+    );
+    assert!(a.is_clean(), "{:?} / {:?}", a.violations, a.errors);
+}
+
+#[test]
+fn panic_reachability_stale_marker_fails_the_run() {
+    let a = analyze_sources(
+        Some("panic-reachability"),
+        &[(
+            "crates/swt/src/helper.rs",
+            "pub fn finish(b: &[u8]) -> u8 {\n    // lint:allow(panic-reachability, \"was needed before the bounds check\")\n    b.first().copied().unwrap_or(0)\n}\n",
+        )],
+    );
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert_eq!(a.errors.len(), 1, "{:?}", a.errors);
+    assert!(a.errors[0].contains("stale"), "{:?}", a.errors);
+}
+
+/// Regression meta-test for the cross-module panic path this lint found
+/// in the real tree: `ByteLog::open_with_vfs → parse_payload` decoded
+/// fixed-width seal fields with unchecked slicing + `unwrap`, reachable
+/// from the scoped table-open path. The pre-fix shape must fire; the
+/// shipped decoder must stay clean under the same scoped caller.
+#[test]
+fn panic_reachability_regression_bytelog_parse_payload() {
+    let entry = "//! lint:scope(no-panic-decode)\n\
+                 pub fn open(b: &[u8]) -> (u64, usize) { ByteLog::open_with_vfs(b) }\n";
+    let pre_fix = r#"
+pub struct ByteLog;
+impl ByteLog {
+    pub fn open_with_vfs(payload: &[u8]) -> (u64, usize) {
+        parse_payload(payload)
+    }
+}
+pub(crate) fn parse_payload(payload: &[u8]) -> (u64, usize) {
+    let len = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let tail = u32::from_le_bytes(payload[40..44].try_into().unwrap()) as usize;
+    (len, tail)
+}
+"#;
+    let a = analyze_sources(
+        Some("panic-reachability"),
+        &[
+            ("crates/storage/src/bytelog.rs", pre_fix),
+            ("crates/swt/src/table.rs", entry),
+        ],
+    );
+    assert!(!a.violations.is_empty(), "pre-fix parse_payload must fire");
+    assert!(
+        a.violations.iter().any(|v| v
+            .message
+            .contains("ByteLog::open_with_vfs → bytelog::parse_payload")),
+        "{:?}",
+        a.violations
+    );
+
+    let shipped = std::fs::read_to_string(repo_root().join("crates/storage/src/bytelog.rs"))
+        .expect("read crates/storage/src/bytelog.rs");
+    let a = analyze_sources(
+        Some("panic-reachability"),
+        &[
+            ("crates/storage/src/bytelog.rs", &shipped),
+            ("crates/swt/src/table.rs", entry),
+        ],
+    );
+    assert!(
+        a.violations.is_empty(),
+        "shipped parse_payload regressed: {:?}",
+        a.violations
+    );
+}
+
+#[test]
+fn lock_discipline_flags_second_lock_in_a_critical_section() {
+    let a = analyze_sources(
+        Some("lock-discipline"),
+        &[(
+            "src/lsm.rs",
+            "pub struct S;\nimpl S {\n    fn swap(&self) {\n        let front = self.front.lock();\n        let back = self.back.lock();\n    }\n}\n",
+        )],
+    );
+    assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+    assert!(
+        a.violations[0].message.contains("second lock acquisition"),
+        "{}",
+        a.violations[0].message
+    );
+}
+
+#[test]
+fn lock_discipline_flags_raw_io_under_a_guard() {
+    let a = analyze_sources(
+        Some("lock-discipline"),
+        &[(
+            "src/lsm.rs",
+            "pub struct S;\nimpl S {\n    fn seal(&self) {\n        let g = self.state.lock();\n        write_full_at(self.file.as_ref(), b\"x\", 0);\n    }\n}\n",
+        )],
+    );
+    assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+    assert!(
+        a.violations[0].message.contains("write_full_at")
+            && a.violations[0].message.contains("lock guard"),
+        "{}",
+        a.violations[0].message
+    );
+}
+
+#[test]
+fn lock_discipline_flags_staging_reachable_from_publication_closure() {
+    // The serving layer's `apply` closure runs under the writer lock;
+    // reaching staging-class maintenance (`prepare_*`/`write_segment`)
+    // from it — even transitively through another file — is the
+    // hold-the-lock-during-merge stall the prepare/publish split removed.
+    let a = analyze_sources(
+        Some("lock-discipline"),
+        &[
+            (
+                "src/serve.rs",
+                "pub struct Writer;\nimpl Writer {\n    pub fn flush(&self) {\n        self.apply(|eng| eng.seal_now())\n    }\n}\n",
+            ),
+            (
+                "src/lsm.rs",
+                "pub struct Db;\nimpl Db {\n    pub fn seal_now(&self) { self.prepare_seal() }\n    fn prepare_seal(&self) {}\n}\n",
+            ),
+        ],
+    );
+    assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+    let v = &a.violations[0];
+    assert_eq!(v.file, "src/serve.rs");
+    assert!(
+        v.message.contains("staging-class `lsm::Db::prepare_seal`"),
+        "{}",
+        v.message
+    );
+    assert!(
+        v.message
+            .contains("lsm::Db::seal_now → lsm::Db::prepare_seal"),
+        "chain missing from: {}",
+        v.message
+    );
+}
+
+#[test]
+fn lock_discipline_ignores_files_outside_its_targets() {
+    // Same double-lock shape, but not in the serving/LSM/parallel spine.
+    let a = analyze_sources(
+        Some("lock-discipline"),
+        &[(
+            "crates/core/src/index.rs",
+            "pub struct S;\nimpl S {\n    fn swap(&self) {\n        let front = self.front.lock();\n        let back = self.back.lock();\n    }\n}\n",
+        )],
+    );
+    assert!(a.is_clean(), "{:?} / {:?}", a.violations, a.errors);
+}
+
+#[test]
+fn lock_discipline_marker_suppresses_and_stale_marker_fails() {
+    let suppressed = analyze_sources(
+        Some("lock-discipline"),
+        &[(
+            "src/lsm.rs",
+            "pub struct S;\nimpl S {\n    fn swap(&self) {\n        let front = self.front.lock();\n        // lint:allow(lock-discipline, \"back is ordered strictly after front at every site\")\n        let back = self.back.lock();\n    }\n}\n",
+        )],
+    );
+    assert!(
+        suppressed.is_clean(),
+        "{:?} / {:?}",
+        suppressed.violations,
+        suppressed.errors
+    );
+
+    let stale = analyze_sources(
+        Some("lock-discipline"),
+        &[(
+            "src/lsm.rs",
+            "pub struct S;\nimpl S {\n    fn swap(&self) {\n        // lint:allow(lock-discipline, \"nothing locks here anymore\")\n        let front = self.front.lock();\n    }\n}\n",
+        )],
+    );
+    assert!(stale.violations.is_empty(), "{:?}", stale.violations);
+    assert_eq!(stale.errors.len(), 1, "{:?}", stale.errors);
+    assert!(stale.errors[0].contains("stale"), "{:?}", stale.errors);
+}
+
+#[test]
+fn accounting_dataflow_fires_when_no_caller_accounts() {
+    let a = analyze_sources(
+        Some("accounting-dataflow"),
+        &[(
+            "crates/storage/src/blob.rs",
+            "pub fn load(f: &dyn VfsFile) -> [u8; 8] {\n    let mut b = [0u8; 8];\n    let _ = read_full_at(f, &mut b, 0);\n    b\n}\n",
+        )],
+    );
+    assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+    let v = &a.violations[0];
+    assert!(
+        v.message.contains("read_full_at")
+            && v.message.contains("IoStats")
+            && v.message.contains("no workspace caller found"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn accounting_dataflow_accepts_accounting_in_a_transitive_caller() {
+    // The I/O site itself never touches IoStats; its caller records the
+    // bytes. The reverse walk over the call graph must find it.
+    let a = analyze_sources(
+        Some("accounting-dataflow"),
+        &[
+            (
+                "crates/storage/src/blob.rs",
+                "pub fn load(f: &dyn VfsFile) -> [u8; 8] {\n    let mut b = [0u8; 8];\n    let _ = read_full_at(f, &mut b, 0);\n    b\n}\n",
+            ),
+            (
+                "crates/storage/src/tier.rs",
+                "pub fn fetch(f: &dyn VfsFile, io: &IoStats) -> [u8; 8] {\n    let b = load(f);\n    io.record_disk_read(1);\n    b\n}\n",
+            ),
+        ],
+    );
+    assert!(a.is_clean(), "{:?} / {:?}", a.violations, a.errors);
+}
+
+#[test]
+fn accounting_dataflow_marker_suppresses_and_stale_marker_fails() {
+    let suppressed = analyze_sources(
+        Some("accounting-dataflow"),
+        &[(
+            "crates/storage/src/blob.rs",
+            "pub fn load(f: &dyn VfsFile) -> [u8; 8] {\n    let mut b = [0u8; 8];\n    // lint:allow(accounting-dataflow, \"fixture helper, never on a measured path\")\n    let _ = read_full_at(f, &mut b, 0);\n    b\n}\n",
+        )],
+    );
+    assert!(
+        suppressed.is_clean(),
+        "{:?} / {:?}",
+        suppressed.violations,
+        suppressed.errors
+    );
+
+    let stale = analyze_sources(
+        Some("accounting-dataflow"),
+        &[(
+            "crates/storage/src/blob.rs",
+            "pub fn load() -> u8 {\n    // lint:allow(accounting-dataflow, \"no raw I/O here anymore\")\n    0\n}\n",
+        )],
+    );
+    assert!(stale.violations.is_empty(), "{:?}", stale.violations);
+    assert_eq!(stale.errors.len(), 1, "{:?}", stale.errors);
+    assert!(stale.errors[0].contains("stale"), "{:?}", stale.errors);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable report (`cargo xtask analyze --json`)
+// ---------------------------------------------------------------------------
+
+/// The `--json` report must be strict JSON — validated with the same
+/// parser that gates the recorded bench artifacts — for both a clean run
+/// and one carrying violations and policy errors.
+#[test]
+fn json_report_is_strict_json_clean_and_dirty() {
+    let clean = analyze_repo(&repo_root(), None);
+    let doc = xtask::json_report(&clean, None);
+    xtask::benchjson::check_json(&doc).expect("clean report must be strict JSON");
+    assert!(doc.contains("\"tool\""), "{doc}");
+    assert!(doc.contains("xtask-analyze"), "{doc}");
+
+    let dirty = analyze_sources(
+        Some("panic-reachability"),
+        &[
+            (
+                "crates/swt/src/parse.rs",
+                "//! lint:scope(no-panic-decode)\npub fn parse(b: &[u8]) -> u8 { helper::finish(b) }\n",
+            ),
+            (
+                "crates/swt/src/helper.rs",
+                "pub fn finish(b: &[u8]) -> u8 { b[0] }\n// lint:allow(panic-reachability, \"stale on purpose\")\n",
+            ),
+        ],
+    );
+    assert!(!dirty.is_clean());
+    let doc = xtask::json_report(&dirty, Some("panic-reachability"));
+    xtask::benchjson::check_json(&doc).expect("dirty report must be strict JSON");
+    assert!(
+        doc.contains("\"clean\": false") || doc.contains("\"clean\":false"),
+        "{doc}"
+    );
 }
 
 /// The real tree is clean: zero unallowed violations, zero stale
